@@ -1,0 +1,154 @@
+// Ablation on the paper's Table-I remark that "the availability of
+// quantum-native datasets would eliminate the need for data encoding":
+// amplitude encoding is the closest simulable stand-in — 2^q features enter
+// the register directly, removing both the Dense(F→q) compressor (the CL
+// column) and the per-qubit rotation encoding (the Enc column).
+//
+// Compares, at F = 8 and F = 16 on the spiral:
+//   classical MLP  |  angle-encoded hybrid  |  amplitude-encoded hybrid
+// on accuracy, parameters, and the analytic FLOPs split.
+#include <cstdio>
+#include <filesystem>
+
+#include "data/preprocess.hpp"
+#include "data/spiral.hpp"
+#include "flops/profiler.hpp"
+#include "nn/dense.hpp"
+#include "nn/trainer.hpp"
+#include "qnn/amplitude_layer.hpp"
+#include "qnn/hybrid_model.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace qhdl;
+
+struct Row {
+  std::string model;
+  std::size_t params;
+  double flops_total;
+  double flops_classical;
+  double flops_encoding;
+  double train_acc;
+  double val_acc;
+};
+
+Row evaluate(const std::string& label, nn::Sequential& model,
+             const data::TrainValSplit& split, std::size_t epochs,
+             util::Rng& rng) {
+  const auto report = flops::profile_model(model);
+  nn::Adam optimizer{5e-3};
+  nn::TrainConfig config;
+  config.epochs = epochs;
+  config.batch_size = 8;
+  const auto history = nn::train_classifier(
+      model, optimizer, split.train.x, split.train.y, split.val.x,
+      split.val.y, config, rng);
+  return Row{label,          report.parameter_count, report.total(),
+             report.classical, report.encoding,
+             history.best_train_accuracy, history.best_val_accuracy};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli{"bench_amplitude_encoding",
+                "Amplitude vs angle encoding: what 'quantum-native data' "
+                "would buy"};
+  cli.add_int("epochs", 40, "Training epochs");
+  cli.add_int("points", 600, "Dataset size");
+  cli.add_int("seed", 21, "RNG seed");
+  cli.add_string("results-dir", "qhdl_results", "CSV output directory");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const auto epochs = static_cast<std::size_t>(cli.get_int("epochs"));
+    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+    util::Table table({"features", "model", "params", "FLOPs", "CL FLOPs",
+                       "Enc FLOPs", "train acc", "val acc"});
+    util::CsvWriter csv({"features", "model", "params", "flops",
+                         "flops_classical", "flops_encoding", "train_acc",
+                         "val_acc"});
+
+    for (std::size_t features : {std::size_t{8}, std::size_t{16}}) {
+      data::SpiralConfig spiral;
+      spiral.points = static_cast<std::size_t>(cli.get_int("points"));
+      const data::Dataset dataset =
+          data::make_complexity_dataset(features, spiral, seed + features);
+      util::Rng rng{seed};
+      data::TrainValSplit split = data::stratified_split(dataset, 0.2, rng);
+      data::standardize_split(split);
+
+      const std::size_t amp_qubits = features == 8 ? 3 : 4;
+      std::vector<Row> rows;
+
+      {
+        qnn::ClassicalConfig config;
+        config.features = features;
+        config.hidden = {8};
+        util::Rng model_rng = rng.split();
+        auto model = qnn::build_classical_model(config, model_rng);
+        rows.push_back(evaluate("classical [8]", *model, split, epochs,
+                                model_rng));
+      }
+      {
+        qnn::HybridConfig config;
+        config.features = features;
+        config.qubits = 3;
+        config.depth = 2;
+        util::Rng model_rng = rng.split();
+        auto model = qnn::build_hybrid_model(config, model_rng);
+        rows.push_back(evaluate("angle hybrid SEL(3,2)", *model, split,
+                                epochs, model_rng));
+      }
+      {
+        util::Rng model_rng = rng.split();
+        nn::Sequential model;
+        qnn::AmplitudeLayerConfig config;
+        config.qubits = amp_qubits;
+        config.depth = 2;
+        model.emplace<qnn::AmplitudeQuantumLayer>(config, model_rng);
+        model.emplace<nn::Dense>(amp_qubits, dataset.classes, model_rng);
+        rows.push_back(evaluate("amplitude hybrid SEL(" +
+                                    std::to_string(amp_qubits) + ",2)",
+                                model, split, epochs, model_rng));
+      }
+
+      for (const Row& row : rows) {
+        table.add_row({std::to_string(features), row.model,
+                       std::to_string(row.params),
+                       util::format_double(row.flops_total, 0),
+                       util::format_double(row.flops_classical, 0),
+                       util::format_double(row.flops_encoding, 0),
+                       util::format_double(row.train_acc, 3),
+                       util::format_double(row.val_acc, 3)});
+        csv.add_row({std::to_string(features), row.model,
+                     std::to_string(row.params),
+                     util::format_double(row.flops_total, 1),
+                     util::format_double(row.flops_classical, 1),
+                     util::format_double(row.flops_encoding, 1),
+                     util::format_double(row.train_acc, 4),
+                     util::format_double(row.val_acc, 4)});
+      }
+    }
+    table.print();
+    std::printf("\nReading: the amplitude row has CL FLOPs from the output "
+                "layer only and\nEnc FLOPs = 0 — the regime the paper "
+                "projects for quantum-native data.\nIts parameter count "
+                "drops with the compressor; accuracy shows what that\n"
+                "frugality costs on a classical dataset.\n");
+
+    std::filesystem::create_directories(cli.get_string("results-dir"));
+    const std::string path =
+        cli.get_string("results-dir") + "/amplitude_encoding.csv";
+    csv.write_file(path);
+    std::printf("csv: %s\n", path.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Supporting analysis for the paper's Section III-C claim that the SEL
+// ansatz is more expressive than BEL: expressibility (KL vs Haar — lower is
+// better), Meyer-Wallach entangling capability (higher is better), and the
+// barren-plateau diagnostic (variance of ∂⟨Z0⟩/∂θ across random parameters)
+// for every (ansatz, qubits, depth) configuration in the paper's hybrid
+// search space boundary.
+#include <cstdio>
+#include <filesystem>
+
+#include "qnn/ansatz_metrics.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qhdl;
+  util::Cli cli{"bench_expressibility",
+                "Expressibility / entanglement / gradient-variance analysis "
+                "of the BEL and SEL ansätze"};
+  cli.add_int("samples", 500, "Fidelity sample pairs per configuration");
+  cli.add_int("grad-samples", 50, "Random draws for gradient statistics");
+  cli.add_int("seed", 3, "RNG seed");
+  cli.add_string("results-dir", "qhdl_results", "CSV output directory");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const auto samples = static_cast<std::size_t>(cli.get_int("samples"));
+    const auto grad_samples =
+        static_cast<std::size_t>(cli.get_int("grad-samples"));
+    util::Rng rng{static_cast<std::uint64_t>(cli.get_int("seed"))};
+
+    std::printf("=== Ansatz analysis: why SEL beats BEL (paper Sec. III-C) "
+                "===\n");
+    std::printf("expressibility: KL(fidelities || Haar), LOWER = more "
+                "expressive\nentanglement: Meyer-Wallach Q, higher = more "
+                "entangling\ngrad var: Var[dE/dθ] over random θ (barren "
+                "plateau diagnostic)\n\n");
+
+    qnn::ExpressibilityConfig config;
+    config.sample_pairs = samples;
+
+    util::Table table({"ansatz", "qubits", "depth", "expressibility KL",
+                       "entanglement Q", "grad variance", "params"});
+    util::CsvWriter csv({"ansatz", "qubits", "depth", "expressibility_kl",
+                         "entanglement_q", "grad_variance", "params"});
+    for (qnn::AnsatzKind kind : {qnn::AnsatzKind::BasicEntangler,
+                                 qnn::AnsatzKind::StronglyEntangling}) {
+      for (std::size_t qubits : {std::size_t{3}, std::size_t{4},
+                                 std::size_t{5}}) {
+        for (std::size_t depth : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{5}, std::size_t{10}}) {
+          const double kl =
+              qnn::ansatz_expressibility(kind, qubits, depth, config, rng);
+          const double q = qnn::ansatz_entangling_capability(
+              kind, qubits, depth, samples / 4, rng);
+          const auto grads = qnn::ansatz_gradient_stats(kind, qubits, depth,
+                                                        grad_samples, rng);
+          const std::size_t params =
+              qnn::ansatz_weight_count(kind, qubits, depth);
+          table.add_row({qnn::ansatz_name(kind), std::to_string(qubits),
+                         std::to_string(depth), util::format_double(kl, 4),
+                         util::format_double(q, 4),
+                         util::format_double(grads.variance, 6),
+                         std::to_string(params)});
+          csv.add_row({qnn::ansatz_name(kind), std::to_string(qubits),
+                       std::to_string(depth), util::format_double(kl, 6),
+                       util::format_double(q, 6),
+                       util::format_double(grads.variance, 8),
+                       std::to_string(params)});
+        }
+      }
+    }
+    table.print();
+    std::printf(
+        "\nExpected shape: at equal (q, d), SEL shows lower KL and higher "
+        "Q than BEL —\nthe quantified version of the paper's justification "
+        "for why SEL(3,2) keeps\nsolving harder problems while BEL must "
+        "grow. The gradient-variance column\nshows the cost of "
+        "expressiveness: wider/deeper circuits flatten gradients\n(barren "
+        "plateaus), bounding how far 'just add qubits' can go.\n");
+
+    std::filesystem::create_directories(cli.get_string("results-dir"));
+    const std::string path =
+        cli.get_string("results-dir") + "/expressibility.csv";
+    csv.write_file(path);
+    std::printf("csv: %s\n", path.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Reproduces paper Fig. 10 and the headline percentages: the rate of
+// increase in FLOPs and parameter count — classical vs hybrid (BEL) vs
+// hybrid (SEL) — as problem complexity grows from the lowest to the highest
+// feature size.
+//
+// Paper reference values (Section IV-E):
+//   FLOPs increase:  classical +88.5% | BEL +80.13% | SEL +53.1%
+//   params increase: classical +88.5% | BEL +89.6%  | SEL +81.4%
+// The paper's claim is the ORDERING (SEL grows slowest), not the absolute
+// numbers; EXPERIMENTS.md records measured-vs-paper for this driver.
+#include <cstdio>
+
+#include "common/driver.hpp"
+#include "core/analysis.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qhdl;
+  util::Cli cli{"bench_fig10_comparison",
+                "Fig. 10 — rate of increase in FLOPs and parameters, "
+                "classical vs hybrid"};
+  bench::add_protocol_options(cli);
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const bench::Protocol protocol = bench::protocol_from_cli(cli);
+    bench::print_banner(
+        "Fig. 10 — classical vs hybrid growth in FLOPs and parameters",
+        protocol);
+
+    const bool force = cli.flag("force");
+    std::vector<core::FamilyGrowth> growths;
+    std::vector<std::pair<std::string, core::LevelSeries>> series_list;
+    for (search::Family family :
+         {search::Family::Classical, search::Family::HybridBel,
+          search::Family::HybridSel}) {
+      const auto sweep = bench::load_or_run_sweep(family, protocol, force);
+      series_list.emplace_back(search::family_name(family),
+                               core::sweep_series(sweep));
+      try {
+        growths.push_back(core::analyze_growth(sweep));
+      } catch (const std::invalid_argument& e) {
+        std::printf("(!) %s: %s\n", search::family_name(family).c_str(),
+                    e.what());
+      }
+    }
+
+    std::printf("\nPer-level mean winner series (Fig. 10 curves):\n");
+    util::Table series_table(
+        {"family", "features", "mean FLOPs", "mean parameters"});
+    for (const auto& [name, series] : series_list) {
+      for (std::size_t i = 0; i < series.features.size(); ++i) {
+        series_table.add_row({name, std::to_string(series.features[i]),
+                              util::format_double(series.mean_flops[i], 1),
+                              util::format_double(
+                                  series.mean_parameters[i], 1)});
+      }
+    }
+    series_table.print();
+
+    std::printf("\nGrowth from lowest to highest complexity level:\n");
+    std::fputs(core::growth_comparison_to_string(growths).c_str(), stdout);
+
+    std::printf("\nPaper reference: FLOPs increase classical +88.5%% | "
+                "BEL +80.1%% | SEL +53.1%%\n");
+    std::printf("                 params increase classical +88.5%% | "
+                "BEL +89.6%% | SEL +81.4%%\n");
+
+    const std::string path = protocol.results_dir + "/fig10_growth.csv";
+    core::growth_comparison_to_csv(growths).write_file(path);
+    std::printf("csv: %s\n", path.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Reproduces paper Fig. 6: FLOPs consumption of the best-performing
+// CLASSICAL models at each problem-complexity level. For every feature size
+// the grid search (Section III) is repeated; each repetition's winning model
+// and its per-sample forward+backward FLOPs are reported, matching the
+// paper's per-subplot "top five performing models".
+#include <cstdio>
+
+#include "common/driver.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qhdl;
+  util::Cli cli{"bench_fig6_classical_flops",
+                "Fig. 6 — FLOPs of best classical models vs problem "
+                "complexity"};
+  bench::add_protocol_options(cli);
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const bench::Protocol protocol = bench::protocol_from_cli(cli);
+    bench::print_banner(
+        "Fig. 6 — FLOPs of best-performing classical models", protocol);
+    const search::SweepResult sweep = bench::load_or_run_sweep(
+        search::Family::Classical, protocol, cli.flag("force"));
+    bench::print_sweep_figure(sweep);
+    bench::write_figure_csvs(sweep, protocol, "fig6_classical");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

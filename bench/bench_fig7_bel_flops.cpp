@@ -1,0 +1,30 @@
+// Reproduces paper Fig. 7: FLOPs consumption of the best-performing hybrid
+// models with the Basic Entangling Layer (BEL) ansatz, per complexity level.
+// The expected shape (paper Section IV-B): a fixed small circuit suffices at
+// low feature counts — FLOPs grow only through the classical input layer —
+// until higher complexity forces more qubits/depth.
+#include <cstdio>
+
+#include "common/driver.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qhdl;
+  util::Cli cli{"bench_fig7_bel_flops",
+                "Fig. 7 — FLOPs of best hybrid (BEL) models vs problem "
+                "complexity"};
+  bench::add_protocol_options(cli);
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const bench::Protocol protocol = bench::protocol_from_cli(cli);
+    bench::print_banner("Fig. 7 — FLOPs of best-performing hybrid (BEL) models",
+                        protocol);
+    const search::SweepResult sweep = bench::load_or_run_sweep(
+        search::Family::HybridBel, protocol, cli.flag("force"));
+    bench::print_sweep_figure(sweep);
+    bench::write_figure_csvs(sweep, protocol, "fig7_bel");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Reproduces paper Fig. 8: FLOPs consumption of the best-performing hybrid
+// models with the Strongly Entangling Layer (SEL) ansatz. The paper's
+// headline shape: the SEL circuit stays small across ALL complexity levels,
+// so FLOPs growth comes almost entirely from the classical input layer.
+#include <cstdio>
+
+#include "common/driver.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qhdl;
+  util::Cli cli{"bench_fig8_sel_flops",
+                "Fig. 8 — FLOPs of best hybrid (SEL) models vs problem "
+                "complexity"};
+  bench::add_protocol_options(cli);
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const bench::Protocol protocol = bench::protocol_from_cli(cli);
+    bench::print_banner("Fig. 8 — FLOPs of best-performing hybrid (SEL) models",
+                        protocol);
+    const search::SweepResult sweep = bench::load_or_run_sweep(
+        search::Family::HybridSel, protocol, cli.flag("force"));
+    bench::print_sweep_figure(sweep);
+    bench::write_figure_csvs(sweep, protocol, "fig8_sel");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

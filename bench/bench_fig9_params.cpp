@@ -1,0 +1,86 @@
+// Reproduces paper Fig. 9: parameter counts of the best-performing models —
+// classical (top panel), hybrid BEL (middle), hybrid SEL (bottom) — at the
+// selected complexity levels. Consumes the same cached sweeps as Figs. 6-8.
+#include <cstdio>
+
+#include "common/driver.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace qhdl;
+
+void print_panel(const char* title, const search::SweepResult& sweep) {
+  std::printf("%s\n", title);
+  util::Table table(
+      {"features", "repetition", "winner", "parameters", "mean params"});
+  for (const auto& level : sweep.levels) {
+    for (std::size_t rep = 0; rep < level.search.repetitions.size(); ++rep) {
+      const auto& outcome = level.search.repetitions[rep];
+      table.add_row(
+          {std::to_string(level.features), std::to_string(rep + 1),
+           outcome.winner.has_value() ? outcome.winner->spec.to_string()
+                                      : "(no winner)",
+           outcome.winner.has_value()
+               ? std::to_string(outcome.winner->parameter_count)
+               : "-",
+           rep == 0 && level.search.successful_repetitions > 0
+               ? util::format_double(level.search.mean_winner_parameters, 1)
+               : ""});
+    }
+  }
+  table.print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli{"bench_fig9_params",
+                "Fig. 9 — parameter counts of best models per family"};
+  bench::add_protocol_options(cli);
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const bench::Protocol protocol = bench::protocol_from_cli(cli);
+    bench::print_banner(
+        "Fig. 9 — parameters of best classical / BEL / SEL models",
+        protocol);
+
+    const bool force = cli.flag("force");
+    const auto classical =
+        bench::load_or_run_sweep(search::Family::Classical, protocol, force);
+    const auto bel =
+        bench::load_or_run_sweep(search::Family::HybridBel, protocol, force);
+    const auto sel =
+        bench::load_or_run_sweep(search::Family::HybridSel, protocol, force);
+
+    print_panel("Top panel — classical models", classical);
+    print_panel("Middle panel — hybrid (BEL) models", bel);
+    print_panel("Bottom panel — hybrid (SEL) models", sel);
+
+    util::CsvWriter csv({"family", "features", "repetition", "winner",
+                         "parameters"});
+    for (const auto* sweep : {&classical, &bel, &sel}) {
+      for (const auto& level : sweep->levels) {
+        for (std::size_t rep = 0; rep < level.search.repetitions.size();
+             ++rep) {
+          const auto& outcome = level.search.repetitions[rep];
+          if (!outcome.winner.has_value()) continue;
+          csv.add_row({search::family_name(sweep->family),
+                       std::to_string(level.features),
+                       std::to_string(rep + 1),
+                       outcome.winner->spec.to_string(),
+                       std::to_string(outcome.winner->parameter_count)});
+        }
+      }
+    }
+    const std::string path = protocol.results_dir + "/fig9_parameters.csv";
+    csv.write_file(path);
+    std::printf("csv: %s\n", path.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Extension experiment for the paper's Q2 ("does the quantum part add
+// anything qualitatively different?") through the KERNEL lens its reference
+// [30] (Schnabel & Roth) scrutinizes: the same spiral task solved by kernel
+// ridge classification under (a) a classical RBF kernel, (b) the trivially
+// factorizable product angle kernel, and (c) the entangling ZZ fidelity
+// kernel. If quantumness per se helped, (c) should beat (a) somewhere.
+#include <cstdio>
+#include <filesystem>
+
+#include "data/preprocess.hpp"
+#include "data/spiral.hpp"
+#include "nn/kernel_ridge.hpp"
+#include "qnn/quantum_kernel.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+using namespace qhdl;
+
+int main(int argc, char** argv) {
+  util::Cli cli{"bench_kernel_methods",
+                "Classical vs quantum kernels on the spiral task"};
+  cli.add_int("train", 150, "Training samples (kernel cost is O(n^2))");
+  cli.add_int("test", 60, "Held-out samples");
+  cli.add_double("ridge", 1e-2, "Kernel ridge regularizer");
+  cli.add_double("rbf-gamma", 0.5, "RBF bandwidth");
+  cli.add_int("seed", 13, "RNG seed");
+  cli.add_string("results-dir", "qhdl_results", "CSV output directory");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const auto n_train = static_cast<std::size_t>(cli.get_int("train"));
+    const auto n_test = static_cast<std::size_t>(cli.get_int("test"));
+    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+    std::printf("=== Kernel ridge classification: RBF vs quantum fidelity "
+                "kernels ===\n\n");
+    util::Table table({"features", "kernel", "train acc", "test acc"});
+    util::CsvWriter csv({"features", "kernel", "train_acc", "test_acc"});
+
+    for (std::size_t features : {std::size_t{4}, std::size_t{8}}) {
+      data::SpiralConfig spiral;
+      spiral.points = n_train + n_test;
+      const data::Dataset dataset =
+          data::make_complexity_dataset(features, spiral, seed + features);
+      util::Rng rng{seed};
+      data::TrainValSplit split = data::stratified_split(
+          dataset, static_cast<double>(n_test) /
+                       static_cast<double>(n_train + n_test),
+          rng);
+      data::standardize_split(split);
+      const tensor::Tensor& x_train = split.train.x;
+      const tensor::Tensor& x_test = split.val.x;
+      const auto& y_train = split.train.y;
+      const auto& y_test = split.val.y;
+
+      struct KernelCase {
+        std::string name;
+        tensor::Tensor gram;
+        tensor::Tensor cross;
+      };
+      std::vector<KernelCase> kernels;
+
+      const double gamma = cli.get_double("rbf-gamma");
+      kernels.push_back({"RBF (classical)",
+                         qnn::rbf_kernel_matrix(x_train, gamma),
+                         qnn::rbf_cross_kernel_matrix(x_test, x_train,
+                                                      gamma)});
+
+      qnn::QuantumKernelConfig angle_config;
+      angle_config.map = qnn::FeatureMapKind::Angle;
+      kernels.push_back(
+          {"Angle (product states)",
+           qnn::kernel_matrix(angle_config, x_train),
+           qnn::cross_kernel_matrix(angle_config, x_test, x_train)});
+
+      qnn::QuantumKernelConfig zz_config;
+      zz_config.map = qnn::FeatureMapKind::ZZ;
+      zz_config.repetitions = 2;
+      kernels.push_back(
+          {"ZZ (entangling)", qnn::kernel_matrix(zz_config, x_train),
+           qnn::cross_kernel_matrix(zz_config, x_test, x_train)});
+
+      for (const KernelCase& kernel : kernels) {
+        nn::KernelRidgeClassifier classifier{cli.get_double("ridge")};
+        classifier.fit(kernel.gram, y_train, dataset.classes);
+        const double train_acc = classifier.score(kernel.gram, y_train);
+        const double test_acc = classifier.score(kernel.cross, y_test);
+        table.add_row({std::to_string(features), kernel.name,
+                       util::format_double(train_acc, 3),
+                       util::format_double(test_acc, 3)});
+        csv.add_row({std::to_string(features), kernel.name,
+                     util::format_double(train_acc, 4),
+                     util::format_double(test_acc, 4)});
+      }
+    }
+    table.print();
+    std::printf("\nReading: the product-state Angle kernel is classically "
+                "simulable in closed\nform, so any gap between it and the "
+                "ZZ kernel isolates the contribution of\nentanglement; the "
+                "RBF row is the classical reference point.\n");
+
+    std::filesystem::create_directories(cli.get_string("results-dir"));
+    const std::string path =
+        cli.get_string("results-dir") + "/kernel_methods.csv";
+    csv.write_file(path);
+    std::printf("csv: %s\n", path.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Micro-benchmarks of the classical NN substrate (google-benchmark):
+// dense forward/backward vs width, a full hybrid training step vs a
+// classical training step — the wall-clock counterpart of the analytic
+// FLOPs model.
+#include <benchmark/benchmark.h>
+
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "qnn/hybrid_model.hpp"
+#include "tensor/init.hpp"
+
+namespace {
+
+using namespace qhdl;
+using tensor::Shape;
+using tensor::Tensor;
+
+void BM_DenseForward(benchmark::State& state) {
+  const auto width = static_cast<std::size_t>(state.range(0));
+  util::Rng rng{1};
+  nn::Dense layer{width, width, rng};
+  const Tensor x = tensor::uniform(Shape{8, width}, -1, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layer.forward(x).data().data());
+  }
+}
+BENCHMARK(BM_DenseForward)->RangeMultiplier(4)->Range(4, 256);
+
+void BM_DenseForwardBackward(benchmark::State& state) {
+  const auto width = static_cast<std::size_t>(state.range(0));
+  util::Rng rng{2};
+  nn::Dense layer{width, width, rng};
+  const Tensor x = tensor::uniform(Shape{8, width}, -1, 1, rng);
+  const Tensor g = tensor::uniform(Shape{8, width}, -1, 1, rng);
+  for (auto _ : state) {
+    layer.zero_grad();
+    layer.forward(x);
+    benchmark::DoNotOptimize(layer.backward(g).data().data());
+  }
+}
+BENCHMARK(BM_DenseForwardBackward)->RangeMultiplier(4)->Range(4, 256);
+
+/// One optimizer step on a batch for a classical [10,10] model at F=110 —
+/// the training inner loop of the classical searches.
+void BM_ClassicalTrainStep(benchmark::State& state) {
+  util::Rng rng{3};
+  qnn::ClassicalConfig config;
+  config.features = 110;
+  config.hidden = {10, 10};
+  auto model = qnn::build_classical_model(config, rng);
+  nn::Adam optimizer{1e-3};
+  nn::SoftmaxCrossEntropy loss;
+  const Tensor x = tensor::uniform(Shape{8, 110}, -1, 1, rng);
+  const std::vector<std::size_t> y{0, 1, 2, 0, 1, 2, 0, 1};
+  for (auto _ : state) {
+    model->zero_grad();
+    const Tensor logits = model->forward(x);
+    const auto result = loss.evaluate(logits, y);
+    model->backward(result.grad);
+    optimizer.step(model->parameters());
+    benchmark::DoNotOptimize(result.value);
+  }
+}
+BENCHMARK(BM_ClassicalTrainStep);
+
+/// Same for the hybrid SEL(3,2) model at F=110 — quantifies the simulation
+/// overhead per training step relative to BM_ClassicalTrainStep.
+void BM_HybridTrainStep(benchmark::State& state) {
+  util::Rng rng{4};
+  qnn::HybridConfig config;
+  config.features = 110;
+  config.qubits = 3;
+  config.depth = 2;
+  config.ansatz = qnn::AnsatzKind::StronglyEntangling;
+  auto model = qnn::build_hybrid_model(config, rng);
+  nn::Adam optimizer{1e-3};
+  nn::SoftmaxCrossEntropy loss;
+  const Tensor x = tensor::uniform(Shape{8, 110}, -1, 1, rng);
+  const std::vector<std::size_t> y{0, 1, 2, 0, 1, 2, 0, 1};
+  for (auto _ : state) {
+    model->zero_grad();
+    const Tensor logits = model->forward(x);
+    const auto result = loss.evaluate(logits, y);
+    model->backward(result.grad);
+    optimizer.step(model->parameters());
+    benchmark::DoNotOptimize(result.value);
+  }
+}
+BENCHMARK(BM_HybridTrainStep);
+
+void BM_SoftmaxCrossEntropy(benchmark::State& state) {
+  util::Rng rng{5};
+  nn::SoftmaxCrossEntropy loss;
+  const Tensor logits = tensor::uniform(Shape{64, 3}, -2, 2, rng);
+  std::vector<std::size_t> y(64);
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = i % 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(loss.evaluate(logits, y).value);
+  }
+}
+BENCHMARK(BM_SoftmaxCrossEntropy);
+
+void BM_AdamStep(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  nn::Parameter p{"w", Tensor::zeros(Shape{size})};
+  p.grad.fill(0.01);
+  nn::Adam optimizer{1e-3};
+  for (auto _ : state) {
+    optimizer.step({&p});
+    benchmark::DoNotOptimize(p.value.data().data());
+  }
+}
+BENCHMARK(BM_AdamStep)->RangeMultiplier(8)->Range(64, 4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,130 @@
+// Micro-benchmarks of the quantum-simulation substrate (google-benchmark).
+// These quantify the "simulation overhead" the paper's argument leans on:
+// gate application and adjoint differentiation scale exponentially with the
+// qubit count on classical hardware.
+#include <benchmark/benchmark.h>
+
+#include "qnn/ansatz.hpp"
+#include "qnn/encoding.hpp"
+#include "quantum/adjoint_diff.hpp"
+#include "quantum/parameter_shift.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace qhdl;
+using quantum::Circuit;
+using quantum::GateType;
+using quantum::Observable;
+using quantum::StateVector;
+
+void BM_SingleQubitGate(benchmark::State& state) {
+  const auto qubits = static_cast<std::size_t>(state.range(0));
+  StateVector sv{qubits};
+  const quantum::Mat2 gate = quantum::gates::rx(0.73);
+  std::size_t wire = 0;
+  for (auto _ : state) {
+    sv.apply_single_qubit(gate, wire);
+    wire = (wire + 1) % qubits;
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SingleQubitGate)->DenseRange(2, 12, 2);
+
+void BM_Cnot(benchmark::State& state) {
+  const auto qubits = static_cast<std::size_t>(state.range(0));
+  StateVector sv{qubits};
+  sv.apply_single_qubit(quantum::gates::hadamard(), 0);
+  for (auto _ : state) {
+    sv.apply_cnot(0, 1);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+}
+BENCHMARK(BM_Cnot)->DenseRange(2, 12, 2);
+
+void BM_ExpvalZ(benchmark::State& state) {
+  const auto qubits = static_cast<std::size_t>(state.range(0));
+  StateVector sv{qubits};
+  sv.apply_single_qubit(quantum::gates::ry(0.9), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sv.expval_pauli_z(0));
+  }
+}
+BENCHMARK(BM_ExpvalZ)->DenseRange(2, 12, 2);
+
+Circuit make_sel_circuit(std::size_t qubits, std::size_t depth,
+                         std::vector<double>& params) {
+  Circuit circuit{qubits};
+  qnn::AngleEncoding encoding;
+  std::size_t offset = encoding.append(circuit, qubits);
+  offset += qnn::append_ansatz(circuit, qnn::AnsatzKind::StronglyEntangling,
+                               qubits, depth, offset);
+  util::Rng rng{7};
+  params = rng.uniform_vector(offset, -1.0, 1.0);
+  return circuit;
+}
+
+void BM_SelForward(benchmark::State& state) {
+  const auto qubits = static_cast<std::size_t>(state.range(0));
+  std::vector<double> params;
+  const Circuit circuit = make_sel_circuit(qubits, 2, params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuit.execute(params).amplitudes().data());
+  }
+}
+BENCHMARK(BM_SelForward)->DenseRange(2, 10, 2);
+
+void BM_SelAdjointVjp(benchmark::State& state) {
+  const auto qubits = static_cast<std::size_t>(state.range(0));
+  std::vector<double> params;
+  const Circuit circuit = make_sel_circuit(qubits, 2, params);
+  std::vector<Observable> observables;
+  std::vector<double> upstream;
+  for (std::size_t w = 0; w < qubits; ++w) {
+    observables.push_back(Observable::pauli_z(w));
+    upstream.push_back(0.5);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        quantum::adjoint_vjp(circuit, params, observables, upstream)
+            .gradient.data());
+  }
+}
+BENCHMARK(BM_SelAdjointVjp)->DenseRange(2, 10, 2);
+
+void BM_SelParameterShift(benchmark::State& state) {
+  // The hardware-style gradient: cost grows with PARAMETER count on top of
+  // the state-vector cost — compare against BM_SelAdjointVjp.
+  const auto qubits = static_cast<std::size_t>(state.range(0));
+  std::vector<double> params;
+  const Circuit circuit = make_sel_circuit(qubits, 2, params);
+  const Observable obs = Observable::pauli_z(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        quantum::parameter_shift_gradient(circuit, params, obs).data());
+  }
+}
+BENCHMARK(BM_SelParameterShift)->DenseRange(2, 8, 2);
+
+void BM_SelAdjointVsDepth(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  std::vector<double> params;
+  const Circuit circuit = make_sel_circuit(4, depth, params);
+  std::vector<Observable> observables;
+  std::vector<double> upstream;
+  for (std::size_t w = 0; w < 4; ++w) {
+    observables.push_back(Observable::pauli_z(w));
+    upstream.push_back(0.5);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        quantum::adjoint_vjp(circuit, params, observables, upstream)
+            .gradient.data());
+  }
+}
+BENCHMARK(BM_SelAdjointVsDepth)->DenseRange(1, 10, 3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

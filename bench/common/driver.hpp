@@ -1,0 +1,55 @@
+// Shared infrastructure for the figure/table bench drivers.
+//
+// Every driver accepts the same protocol flags (`--paper` switches from the
+// reduced bench protocol to the paper's full protocol) and caches sweep
+// results as CSV under --results-dir so that drivers which consume the same
+// sweep (Figs. 6-10) do not recompute each other's work.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/config.hpp"
+#include "search/results.hpp"
+#include "util/cli.hpp"
+
+namespace qhdl::bench {
+
+struct Protocol {
+  search::SweepConfig config;
+  bool paper = false;
+  std::string results_dir = "qhdl_results";
+};
+
+/// Registers the shared protocol flags on a Cli.
+void add_protocol_options(util::Cli& cli);
+
+/// Builds the protocol from parsed flags.
+Protocol protocol_from_cli(const util::Cli& cli);
+
+/// File path for a family's cached sweep under this protocol.
+std::string sweep_cache_path(const Protocol& protocol,
+                             search::Family family);
+
+/// Loads a cached sweep if present (and the cache matches the protocol),
+/// otherwise runs the sweep and caches it. Set `force` to recompute.
+search::SweepResult load_or_run_sweep(search::Family family,
+                                      const Protocol& protocol,
+                                      bool force = false);
+
+/// Parses a winner spec string produced by ModelSpec::to_string:
+/// "[2,10]" or "BEL(q=3,d=2)" / "SEL(q=3,d=2)".
+std::optional<search::ModelSpec> parse_spec(const std::string& text);
+
+/// Prints the standard bench banner (what is being reproduced, protocol).
+void print_banner(const std::string& experiment, const Protocol& protocol);
+
+/// Prints the Fig. 6/7/8-style per-level table: one row per repetition's
+/// winner (spec, FLOPs, params, accuracies) plus the level mean.
+void print_sweep_figure(const search::SweepResult& sweep);
+
+/// Writes the per-repetition rows and per-level means CSVs for a figure.
+void write_figure_csvs(const search::SweepResult& sweep,
+                       const Protocol& protocol, const std::string& stem);
+
+}  // namespace qhdl::bench

@@ -1,0 +1,71 @@
+// Profiles any classical or hybrid configuration with the analytic FLOPs
+// cost model, printing the per-layer table and the Table-I-style stage
+// breakdown — without training anything.
+//
+//   ./flops_profiler --hidden 10,10 --features 80
+//   ./flops_profiler --ansatz sel --qubits 3 --depth 2 --features 110
+#include <cstdio>
+
+#include "core/ablation.hpp"
+#include "flops/profiler.hpp"
+#include "search/candidate.hpp"
+#include "util/cli.hpp"
+#include "util/string_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qhdl;
+  util::Cli cli{"flops_profiler",
+                "Analytic FLOPs profile of a model configuration"};
+  cli.add_int("features", 10, "Input feature count");
+  cli.add_int("classes", 3, "Output class count");
+  cli.add_string("hidden", "",
+                 "Classical hidden widths, e.g. 10,10 (classical mode)");
+  cli.add_string("ansatz", "", "bel or sel (hybrid mode)");
+  cli.add_int("qubits", 3, "Hybrid: quantum layer width");
+  cli.add_int("depth", 2, "Hybrid: ansatz repetitions");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const auto features = static_cast<std::size_t>(cli.get_int("features"));
+    const auto classes = static_cast<std::size_t>(cli.get_int("classes"));
+
+    search::ModelSpec spec;
+    const std::string hidden_arg = cli.get_string("hidden");
+    const std::string ansatz_arg = cli.get_string("ansatz");
+    if (!ansatz_arg.empty()) {
+      spec = search::ModelSpec::make_hybrid(
+          static_cast<std::size_t>(cli.get_int("qubits")),
+          static_cast<std::size_t>(cli.get_int("depth")),
+          qnn::ansatz_from_name(ansatz_arg));
+    } else {
+      std::vector<std::size_t> hidden;
+      if (!hidden_arg.empty()) {
+        for (const auto& part : util::split(hidden_arg, ',')) {
+          hidden.push_back(
+              static_cast<std::size_t>(std::stoul(util::trim(part))));
+        }
+      } else {
+        hidden = {8};
+      }
+      spec = search::ModelSpec::make_classical(std::move(hidden));
+    }
+
+    std::printf("model: %s, features=%zu, classes=%zu\n\n",
+                spec.to_string().c_str(), features, classes);
+    const auto infos =
+        search::spec_layer_infos(spec, features, classes,
+                                 qnn::Activation::Tanh);
+    const flops::FlopsReport report = flops::profile_layers(infos);
+    std::fputs(flops::report_to_string(report).c_str(), stdout);
+
+    if (spec.family == search::ModelSpec::Family::Hybrid) {
+      std::printf("\nTable-I style row:\n");
+      const auto row = core::ablate_hybrid(spec.hybrid, features, classes,
+                                           flops::CostModel{});
+      std::fputs(core::ablation_to_string({row}).c_str(), stdout);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

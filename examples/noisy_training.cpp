@@ -1,0 +1,109 @@
+// NISQ-style noisy training: the same hybrid architecture trained (a) on the
+// ideal state-vector simulator with adjoint gradients and (b) on the
+// density-matrix simulator with per-gate depolarizing noise and
+// parameter-shift gradients — the gradient protocol real hardware would use.
+//
+// Demonstrates the noise substrate (quantum/density_matrix, quantum/channels)
+// and quantifies how channel strength degrades trainability, the concern the
+// paper's NISQ framing raises (Section I).
+//
+//   ./noisy_training [--noise 0.02] [--epochs 12] [--samples 90]
+#include <cstdio>
+
+#include "data/preprocess.hpp"
+#include "data/spiral.hpp"
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+#include "nn/trainer.hpp"
+#include "qnn/hybrid_model.hpp"
+#include "qnn/quantum_layer.hpp"
+#include "util/cli.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace qhdl;
+
+std::unique_ptr<nn::Sequential> build_model(std::size_t features,
+                                            const quantum::NoiseModel& noise,
+                                            util::Rng& rng) {
+  auto model = std::make_unique<nn::Sequential>();
+  model->emplace<nn::Dense>(features, 2, rng);
+  model->emplace<nn::Tanh>(2);
+  qnn::QuantumLayerConfig config;
+  config.qubits = 2;
+  config.depth = 1;
+  config.ansatz = qnn::AnsatzKind::StronglyEntangling;
+  config.noise = noise;
+  model->emplace<qnn::QuantumLayer>(config, rng);
+  model->emplace<nn::Dense>(2, 3, rng);
+  return model;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli{"noisy_training",
+                "Train a hybrid model under depolarizing gate noise"};
+  cli.add_double("noise", 0.02, "Depolarizing probability per gate");
+  cli.add_int("epochs", 40, "Training epochs");
+  cli.add_int("samples", 120, "Dataset size (kept small: density-matrix "
+                             "training is expensive)");
+  cli.add_int("seed", 9, "RNG seed");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const auto epochs = static_cast<std::size_t>(cli.get_int("epochs"));
+    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    const double noise_p = cli.get_double("noise");
+
+    data::SpiralConfig spiral;
+    spiral.points = static_cast<std::size_t>(cli.get_int("samples"));
+    const data::Dataset dataset =
+        data::make_complexity_dataset(4, spiral, seed);
+    util::Rng rng{seed};
+    data::TrainValSplit split = data::stratified_split(dataset, 0.25, rng);
+    data::standardize_split(split);
+    std::printf("dataset: %zu train / %zu val, 4 features, 3 classes\n\n",
+                split.train.size(), split.val.size());
+
+    util::Table table({"execution", "gradients", "best train", "best val"});
+    struct Setup {
+      const char* label;
+      const char* gradients;
+      quantum::NoiseModel noise;
+    };
+    const std::vector<Setup> setups{
+        {"ideal (statevector)", "adjoint", quantum::NoiseModel::noiseless()},
+        {"depolarizing", "parameter-shift (density matrix)",
+         quantum::NoiseModel::depolarizing(noise_p)},
+        {"depolarizing x5", "parameter-shift (density matrix)",
+         quantum::NoiseModel::depolarizing(5.0 * noise_p)},
+    };
+    for (const Setup& setup : setups) {
+      util::Rng model_rng{seed + 1};  // identical initialization everywhere
+      auto model = build_model(4, setup.noise, model_rng);
+      nn::Adam optimizer{5e-3};
+      nn::TrainConfig config;
+      config.epochs = epochs;
+      config.batch_size = 8;
+      util::Rng train_rng{seed + 2};
+      const auto history = nn::train_classifier(
+          *model, optimizer, split.train.x, split.train.y, split.val.x,
+          split.val.y, config, train_rng);
+      table.add_row({setup.label, setup.gradients,
+                     util::format_double(history.best_train_accuracy, 3),
+                     util::format_double(history.best_val_accuracy, 3)});
+    }
+    table.print();
+    std::printf("\nModerate depolarizing noise damps the quantum layer's "
+                "outputs toward zero\nbut gradients stay exact "
+                "(parameter-shift holds for CPTP maps), so training\n"
+                "usually survives small noise and degrades as channels "
+                "strengthen.\n");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+#include "core/ablation.hpp"
+
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace qhdl::core {
+
+AblationRow ablate_hybrid(const search::HybridSpec& spec,
+                          std::size_t features, std::size_t classes,
+                          const flops::CostModel& cost_model) {
+  const search::ModelSpec model_spec =
+      search::ModelSpec::make_hybrid(spec.qubits, spec.depth, spec.ansatz);
+  const auto infos = search::spec_layer_infos(
+      model_spec, features, classes, qnn::Activation::Tanh);
+  const flops::FlopsReport report = flops::profile_layers(infos, cost_model);
+
+  AblationRow row;
+  row.model = spec.ansatz == qnn::AnsatzKind::BasicEntangler
+                  ? "Hybrid (BEL)"
+                  : "Hybrid (SEL)";
+  row.features = features;
+  row.qubits = spec.qubits;
+  row.depth = spec.depth;
+  row.total = report.total();
+  row.classical = report.classical;
+  row.encoding = report.encoding;
+  row.quantum = report.quantum;
+  row.encoding_plus_classical = report.encoding_plus_classical();
+  return row;
+}
+
+std::vector<AblationSelection> paper_table1_selection() {
+  using search::HybridSpec;
+  const auto bel = qnn::AnsatzKind::BasicEntangler;
+  const auto sel = qnn::AnsatzKind::StronglyEntangling;
+  // Paper Table I "FS/BC" column: BEL grows to (3,4) then (4,4); SEL stays
+  // at (3,2) for every feature size.
+  return {
+      {HybridSpec{3, 2, bel}, 10},  {HybridSpec{3, 2, bel}, 40},
+      {HybridSpec{3, 4, bel}, 80},  {HybridSpec{4, 4, bel}, 110},
+      {HybridSpec{3, 2, sel}, 10},  {HybridSpec{3, 2, sel}, 40},
+      {HybridSpec{3, 2, sel}, 80},  {HybridSpec{3, 2, sel}, 110},
+  };
+}
+
+std::vector<AblationRow> run_ablation(
+    const std::vector<AblationSelection>& selection, std::size_t classes,
+    const flops::CostModel& cost_model) {
+  std::vector<AblationRow> rows;
+  rows.reserve(selection.size());
+  for (const AblationSelection& item : selection) {
+    rows.push_back(
+        ablate_hybrid(item.spec, item.features, classes, cost_model));
+  }
+  return rows;
+}
+
+std::string ablation_to_string(const std::vector<AblationRow>& rows) {
+  util::Table table(
+      {"Model", "FS/BC", "TF", "Enc+CL", "CL", "Enc", "QL", "QL %"});
+  for (const AblationRow& row : rows) {
+    const double quantum_share =
+        row.total > 0.0 ? 100.0 * row.quantum / row.total : 0.0;
+    table.add_row({row.model,
+                   std::to_string(row.features) + "/(" +
+                       std::to_string(row.qubits) + "," +
+                       std::to_string(row.depth) + ")",
+                   util::format_double(row.total, 1),
+                   util::format_double(row.encoding_plus_classical, 1),
+                   util::format_double(row.classical, 1),
+                   util::format_double(row.encoding, 1),
+                   util::format_double(row.quantum, 1),
+                   util::format_double(quantum_share, 1)});
+  }
+  return table.to_string();
+}
+
+util::CsvWriter ablation_to_csv(const std::vector<AblationRow>& rows) {
+  util::CsvWriter csv({"model", "features", "qubits", "depth", "total",
+                       "enc_plus_cl", "classical", "encoding", "quantum"});
+  for (const AblationRow& row : rows) {
+    csv.add_row({row.model, std::to_string(row.features),
+                 std::to_string(row.qubits), std::to_string(row.depth),
+                 util::format_double(row.total, 2),
+                 util::format_double(row.encoding_plus_classical, 2),
+                 util::format_double(row.classical, 2),
+                 util::format_double(row.encoding, 2),
+                 util::format_double(row.quantum, 2)});
+  }
+  return csv;
+}
+
+}  // namespace qhdl::core

@@ -1,0 +1,50 @@
+// Table I ablation: FLOPs breakdown of hybrid models into
+// Total / Encoding+Classical / Classical / Encoding / Quantum stages,
+// for the best (qubits, depth) combination at selected feature sizes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "flops/profiler.hpp"
+#include "search/candidate.hpp"
+#include "util/csv.hpp"
+
+namespace qhdl::core {
+
+/// One Table-I row.
+struct AblationRow {
+  std::string model;          ///< "Hybrid (BEL)" / "Hybrid (SEL)"
+  std::size_t features = 0;
+  std::size_t qubits = 0;
+  std::size_t depth = 0;
+  double total = 0.0;         ///< TF
+  double encoding_plus_classical = 0.0;  ///< Enc+CL
+  double classical = 0.0;     ///< CL
+  double encoding = 0.0;      ///< Enc
+  double quantum = 0.0;       ///< QL
+};
+
+/// Breakdown of one hybrid configuration at one feature size.
+AblationRow ablate_hybrid(const search::HybridSpec& spec,
+                          std::size_t features, std::size_t classes,
+                          const flops::CostModel& cost_model);
+
+/// The paper's Table I layout: BEL and SEL best combos at features
+/// {10, 40, 80, 110}. `best_combos` maps (ansatz, features) -> (q, d);
+/// defaults to the paper's reported combinations.
+struct AblationSelection {
+  search::HybridSpec spec;
+  std::size_t features;
+};
+std::vector<AblationSelection> paper_table1_selection();
+
+std::vector<AblationRow> run_ablation(
+    const std::vector<AblationSelection>& selection, std::size_t classes,
+    const flops::CostModel& cost_model);
+
+/// Renders rows in the paper's column order.
+std::string ablation_to_string(const std::vector<AblationRow>& rows);
+util::CsvWriter ablation_to_csv(const std::vector<AblationRow>& rows);
+
+}  // namespace qhdl::core

@@ -1,0 +1,95 @@
+#include "core/analysis.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace qhdl::core {
+
+FamilyGrowth analyze_growth(const search::SweepResult& sweep) {
+  // Collect levels that actually produced winners, preserving order.
+  std::vector<const search::LevelResult*> usable;
+  for (const auto& level : sweep.levels) {
+    if (level.search.successful_repetitions > 0) usable.push_back(&level);
+  }
+  if (usable.size() < 2) {
+    throw std::invalid_argument(
+        "analyze_growth: need winners at >= 2 complexity levels");
+  }
+
+  FamilyGrowth growth;
+  growth.family = sweep.family;
+
+  const auto& low = usable.front()->search;
+  const auto& high = usable.back()->search;
+
+  growth.flops.low_value = low.mean_winner_flops;
+  growth.flops.high_value = high.mean_winner_flops;
+  growth.flops.absolute_increase =
+      growth.flops.high_value - growth.flops.low_value;
+  growth.flops.percent_increase =
+      util::percent_increase(growth.flops.low_value, growth.flops.high_value);
+
+  growth.parameters.low_value = low.mean_winner_parameters;
+  growth.parameters.high_value = high.mean_winner_parameters;
+  growth.parameters.absolute_increase =
+      growth.parameters.high_value - growth.parameters.low_value;
+  growth.parameters.percent_increase = util::percent_increase(
+      growth.parameters.low_value, growth.parameters.high_value);
+  return growth;
+}
+
+LevelSeries sweep_series(const search::SweepResult& sweep) {
+  LevelSeries series;
+  for (const auto& level : sweep.levels) {
+    if (level.search.successful_repetitions == 0) continue;
+    series.features.push_back(level.features);
+    series.mean_flops.push_back(level.search.mean_winner_flops);
+    series.mean_parameters.push_back(level.search.mean_winner_parameters);
+  }
+  return series;
+}
+
+std::string growth_comparison_to_string(
+    const std::vector<FamilyGrowth>& growths) {
+  util::Table table({"family", "FLOPs low", "FLOPs high", "FLOPs +abs",
+                     "FLOPs +%", "params low", "params high", "params +abs",
+                     "params +%"});
+  for (const FamilyGrowth& g : growths) {
+    table.add_row({search::family_name(g.family),
+                   util::format_double(g.flops.low_value, 1),
+                   util::format_double(g.flops.high_value, 1),
+                   util::format_double(g.flops.absolute_increase, 1),
+                   util::format_double(g.flops.percent_increase, 1),
+                   util::format_double(g.parameters.low_value, 1),
+                   util::format_double(g.parameters.high_value, 1),
+                   util::format_double(g.parameters.absolute_increase, 1),
+                   util::format_double(g.parameters.percent_increase, 1)});
+  }
+  return table.to_string();
+}
+
+util::CsvWriter growth_comparison_to_csv(
+    const std::vector<FamilyGrowth>& growths) {
+  util::CsvWriter csv({"family", "flops_low", "flops_high",
+                       "flops_abs_increase", "flops_pct_increase",
+                       "params_low", "params_high", "params_abs_increase",
+                       "params_pct_increase"});
+  for (const FamilyGrowth& g : growths) {
+    csv.add_row({search::family_name(g.family),
+                 util::format_double(g.flops.low_value, 2),
+                 util::format_double(g.flops.high_value, 2),
+                 util::format_double(g.flops.absolute_increase, 2),
+                 util::format_double(g.flops.percent_increase, 2),
+                 util::format_double(g.parameters.low_value, 2),
+                 util::format_double(g.parameters.high_value, 2),
+                 util::format_double(g.parameters.absolute_increase, 2),
+                 util::format_double(g.parameters.percent_increase, 2)});
+  }
+  return csv;
+}
+
+}  // namespace qhdl::core

@@ -1,0 +1,48 @@
+// Rate-of-increase analysis (paper Fig. 10 and the headline percentages):
+// absolute and percentage growth of mean winner FLOPs / parameters from the
+// lowest to the highest complexity level, per family.
+#pragma once
+
+#include <string>
+
+#include "search/experiment.hpp"
+#include "util/csv.hpp"
+
+namespace qhdl::core {
+
+/// Growth of one metric from the first to the last complexity level.
+struct GrowthSummary {
+  double low_value = 0.0;      ///< mean at the lowest feature size
+  double high_value = 0.0;     ///< mean at the highest feature size
+  double absolute_increase = 0.0;
+  double percent_increase = 0.0;
+};
+
+/// Per-family growth of both paper metrics.
+struct FamilyGrowth {
+  search::Family family = search::Family::Classical;
+  GrowthSummary flops;
+  GrowthSummary parameters;
+};
+
+/// Computes growth summaries from a sweep. Throws std::invalid_argument if
+/// fewer than two levels produced winners.
+FamilyGrowth analyze_growth(const search::SweepResult& sweep);
+
+/// Per-level (features, mean flops, mean params) series for plotting.
+struct LevelSeries {
+  std::vector<std::size_t> features;
+  std::vector<double> mean_flops;
+  std::vector<double> mean_parameters;
+};
+LevelSeries sweep_series(const search::SweepResult& sweep);
+
+/// Renders the Fig. 10-style comparison block for several families.
+std::string growth_comparison_to_string(
+    const std::vector<FamilyGrowth>& growths);
+
+/// CSV with one row per family: metric lows/highs/increases.
+util::CsvWriter growth_comparison_to_csv(
+    const std::vector<FamilyGrowth>& growths);
+
+}  // namespace qhdl::core

@@ -1,0 +1,43 @@
+#include "core/config.hpp"
+
+namespace qhdl::core {
+
+search::SweepConfig paper_scale() {
+  search::SweepConfig config;
+  config.feature_sizes = {10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110};
+  config.spiral.points = 1500;
+  config.spiral.classes = 3;
+  config.search.accuracy_threshold = 0.90;
+  config.search.runs_per_model = 5;
+  config.search.repetitions = 5;
+  config.search.train.epochs = 100;
+  config.search.train.batch_size = 8;
+  config.search.train.learning_rate = 1e-3;
+  config.search.prune_margin = 0.0;
+  return config;
+}
+
+search::SweepConfig bench_scale() {
+  search::SweepConfig config = paper_scale();
+  config.feature_sizes = {10, 60, 110};
+  config.search.runs_per_model = 2;
+  config.search.repetitions = 2;
+  config.search.train.epochs = 80;
+  config.search.prune_margin = 0.10;
+  config.search.max_candidates = 40;
+  return config;
+}
+
+search::SweepConfig test_scale() {
+  search::SweepConfig config = paper_scale();
+  config.feature_sizes = {6};
+  config.spiral.points = 150;
+  config.search.runs_per_model = 1;
+  config.search.repetitions = 1;
+  config.search.train.epochs = 10;
+  config.search.prune_margin = 0.5;
+  config.search.max_candidates = 4;
+  return config;
+}
+
+}  // namespace qhdl::core

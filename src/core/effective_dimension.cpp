@@ -1,0 +1,95 @@
+#include "core/effective_dimension.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "nn/fisher.hpp"
+#include "tensor/linalg.hpp"
+#include "tensor/ops.hpp"
+
+namespace qhdl::core {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+EffectiveDimensionResult effective_dimension(
+    const search::ModelSpec& spec, const Tensor& x, std::size_t classes,
+    const EffectiveDimensionConfig& config) {
+  if (config.parameter_samples == 0) {
+    throw std::invalid_argument("effective_dimension: need parameter draws");
+  }
+  if (config.dataset_size < 3) {
+    throw std::invalid_argument("effective_dimension: n too small");
+  }
+  if (x.rank() != 2 || x.rows() == 0) {
+    throw std::invalid_argument("effective_dimension: non-empty [N,F] data");
+  }
+  const std::size_t rows =
+      std::min<std::size_t>(x.rows(), config.data_samples);
+  Tensor batch{Shape{rows, x.cols()}};
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      batch.at(i, j) = x.at(i, j);
+    }
+  }
+
+  util::Rng rng{config.seed};
+
+  // Pass 1: Fishers per parameter draw + mean trace for normalization.
+  std::vector<Tensor> fishers;
+  fishers.reserve(config.parameter_samples);
+  double trace_sum = 0.0;
+  std::size_t parameter_count = 0;
+  for (std::size_t draw = 0; draw < config.parameter_samples; ++draw) {
+    util::Rng draw_rng = rng.split();
+    auto model = search::build_from_spec(spec, x.cols(), classes,
+                                         qnn::Activation::Tanh, draw_rng);
+    parameter_count = nn::flat_parameter_count(*model);
+    Tensor fisher = nn::fisher_information(*model, batch, classes);
+    trace_sum += tensor::trace(fisher);
+    fishers.push_back(std::move(fisher));
+  }
+  const double mean_trace =
+      trace_sum / static_cast<double>(config.parameter_samples);
+  if (mean_trace <= 0.0) {
+    throw std::runtime_error("effective_dimension: degenerate Fisher");
+  }
+
+  // κ_n and the trace normalization F̂ = P · F / mean_trace.
+  const double n = static_cast<double>(config.dataset_size);
+  const double kappa =
+      config.gamma * n / (2.0 * std::numbers::pi * std::log(n));
+  const double normalization =
+      static_cast<double>(parameter_count) / mean_trace;
+
+  // Pass 2: log E_θ √det(I + κ F̂) via log-sum-exp for stability.
+  std::vector<double> half_logdets;
+  half_logdets.reserve(fishers.size());
+  double max_half_logdet = -1e300;
+  for (Tensor& fisher : fishers) {
+    // I + κ F̂ in place.
+    tensor::scale_inplace(fisher, kappa * normalization);
+    for (std::size_t i = 0; i < fisher.rows(); ++i) {
+      fisher.at(i, i) += 1.0;
+    }
+    const double half_logdet = 0.5 * tensor::logdet_spd(fisher, 1e-12);
+    half_logdets.push_back(half_logdet);
+    max_half_logdet = std::max(max_half_logdet, half_logdet);
+  }
+  double sum_exp = 0.0;
+  for (double h : half_logdets) sum_exp += std::exp(h - max_half_logdet);
+  const double log_expectation =
+      max_half_logdet +
+      std::log(sum_exp / static_cast<double>(half_logdets.size()));
+
+  EffectiveDimensionResult result;
+  result.parameter_count = parameter_count;
+  result.mean_fisher_trace = mean_trace;
+  result.effective_dimension = 2.0 * log_expectation / std::log(kappa);
+  result.normalized =
+      result.effective_dimension / static_cast<double>(parameter_count);
+  return result;
+}
+
+}  // namespace qhdl::core

@@ -1,0 +1,45 @@
+// Effective dimension (Abbas et al., "The power of quantum neural
+// networks", Nature Computational Science 2021 — the paper's reference [5]).
+//
+// The DAC paper's conclusion (A3) explicitly calls for "additional
+// complexity measures" beyond FLOPs and parameter count; the effective
+// dimension is the measure its own reference list points to. For a model
+// with P parameters and normalized Fisher F̂(θ):
+//
+//   d_eff(γ, n) = 2 · ln( E_θ √det(I + κ_n F̂(θ)) ) / ln κ_n,
+//   κ_n = γ n / (2π ln n),
+//
+// estimated by Monte Carlo over parameter initializations (E_θ) and a data
+// batch (inside the Fisher). F̂ is trace-normalized so that models of
+// different sizes are comparable: F̂ = P · F / E_θ[tr F].
+#pragma once
+
+#include "flops/cost_model.hpp"
+#include "search/candidate.hpp"
+
+namespace qhdl::core {
+
+struct EffectiveDimensionConfig {
+  std::size_t parameter_samples = 8;  ///< Monte-Carlo draws over θ
+  std::size_t data_samples = 32;      ///< rows of x used for the Fisher
+  double gamma = 1.0;                 ///< the γ in κ_n
+  std::size_t dataset_size = 1000;    ///< the n in κ_n
+  std::uint64_t seed = 5;
+};
+
+struct EffectiveDimensionResult {
+  double effective_dimension = 0.0;
+  std::size_t parameter_count = 0;
+  /// d_eff / P in [0, 1]; higher = the model uses its parameters better.
+  double normalized = 0.0;
+  double mean_fisher_trace = 0.0;
+};
+
+/// Computes the effective dimension of a candidate architecture on a data
+/// batch `x` (labels are not needed — the Fisher uses the model's own
+/// predictive distribution). Each parameter draw re-initializes the model.
+EffectiveDimensionResult effective_dimension(
+    const search::ModelSpec& spec, const tensor::Tensor& x,
+    std::size_t classes, const EffectiveDimensionConfig& config);
+
+}  // namespace qhdl::core

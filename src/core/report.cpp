@@ -1,0 +1,128 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+#include "util/string_util.hpp"
+
+namespace qhdl::core {
+
+namespace {
+
+void append_sweep_section(std::ostringstream& oss, const char* title,
+                          const search::SweepResult& sweep) {
+  oss << "## " << title << "\n\n";
+  oss << "| features | repetition | winner | FLOPs | parameters | "
+         "val acc |\n|---|---|---|---|---|---|\n";
+  for (const auto& level : sweep.levels) {
+    for (std::size_t rep = 0; rep < level.search.repetitions.size(); ++rep) {
+      const auto& outcome = level.search.repetitions[rep];
+      oss << "| " << level.features << " | " << (rep + 1) << " | ";
+      if (outcome.winner.has_value()) {
+        const auto& w = *outcome.winner;
+        oss << w.spec.to_string() << " | "
+            << util::format_double(w.flops, 1) << " | "
+            << w.parameter_count << " | "
+            << util::format_double(w.avg_best_val_accuracy, 3);
+      } else {
+        oss << "(no winner) | — | — | —";
+      }
+      oss << " |\n";
+    }
+  }
+  oss << "\n";
+}
+
+const FamilyGrowth* find_growth(const std::vector<FamilyGrowth>& growth,
+                                search::Family family) {
+  for (const FamilyGrowth& g : growth) {
+    if (g.family == family) return &g;
+  }
+  return nullptr;
+}
+
+void append_growth_row(std::ostringstream& oss, const char* label,
+                       const FamilyGrowth* growth, double paper_flops_pct,
+                       double paper_params_pct) {
+  oss << "| " << label << " | ";
+  if (growth != nullptr) {
+    oss << util::format_double(growth->flops.percent_increase, 1) << "% | ";
+  } else {
+    oss << "n/a | ";
+  }
+  oss << util::format_double(paper_flops_pct, 1) << "% | ";
+  if (growth != nullptr) {
+    oss << util::format_double(growth->parameters.percent_increase, 1)
+        << "% | ";
+  } else {
+    oss << "n/a | ";
+  }
+  oss << util::format_double(paper_params_pct, 1) << "% |\n";
+}
+
+}  // namespace
+
+std::string study_report_markdown(const StudyResult& result,
+                                  const search::SweepConfig& config,
+                                  const PaperReference& reference) {
+  std::ostringstream oss;
+  oss << "# HQNN complexity-scaling study — run report\n\n";
+  oss << "Protocol: " << config.search.runs_per_model << " runs x "
+      << config.search.repetitions << " repetitions, "
+      << config.search.train.epochs << " epochs, batch "
+      << config.search.train.batch_size << ", lr "
+      << util::format_double(config.search.train.learning_rate, 6)
+      << ", threshold "
+      << util::format_double(config.search.accuracy_threshold, 2)
+      << ", dataset " << config.spiral.points << " points / "
+      << config.spiral.classes << " classes ("
+      << (config.geometry == search::BaseGeometry::Spiral ? "spiral"
+                                                          : "rings")
+      << "), feature sizes:";
+  for (std::size_t f : config.feature_sizes) oss << " " << f;
+  oss << ".\n\n";
+
+  append_sweep_section(oss, "Classical winners (Fig. 6)", result.classical);
+  append_sweep_section(oss, "Hybrid BEL winners (Fig. 7)",
+                       result.hybrid_bel);
+  append_sweep_section(oss, "Hybrid SEL winners (Fig. 8)",
+                       result.hybrid_sel);
+
+  oss << "## Growth comparison (Fig. 10)\n\n";
+  oss << "| family | FLOPs increase (measured) | FLOPs increase (paper) | "
+         "params increase (measured) | params increase (paper) |\n"
+         "|---|---|---|---|---|\n";
+  append_growth_row(oss, "classical",
+                    find_growth(result.growth, search::Family::Classical),
+                    reference.classical_flops_pct,
+                    reference.classical_params_pct);
+  append_growth_row(oss, "hybrid BEL",
+                    find_growth(result.growth, search::Family::HybridBel),
+                    reference.bel_flops_pct, reference.bel_params_pct);
+  append_growth_row(oss, "hybrid SEL",
+                    find_growth(result.growth, search::Family::HybridSel),
+                    reference.sel_flops_pct, reference.sel_params_pct);
+  oss << "\nThe paper's claim is the ORDERING (SEL grows slowest); absolute "
+         "percentages\ndiffer because the FLOPs substrate differs (see "
+         "DESIGN.md §5).\n\n";
+
+  oss << "## Hybrid FLOPs ablation from discovered winners (Table I)\n\n";
+  if (result.ablation.empty()) {
+    oss << "(no hybrid winners found — ablation unavailable)\n";
+  } else {
+    oss << "| model | FS/(q,d) | TF | Enc+CL | CL | Enc | QL |\n"
+           "|---|---|---|---|---|---|---|\n";
+    for (const AblationRow& row : result.ablation) {
+      oss << "| " << row.model << " | " << row.features << "/("
+          << row.qubits << "," << row.depth << ") | "
+          << util::format_double(row.total, 1) << " | "
+          << util::format_double(row.encoding_plus_classical, 1) << " | "
+          << util::format_double(row.classical, 1) << " | "
+          << util::format_double(row.encoding, 1) << " | "
+          << util::format_double(row.quantum, 1) << " |\n";
+    }
+  }
+  oss << "\n";
+  return oss.str();
+}
+
+}  // namespace qhdl::core

@@ -1,0 +1,28 @@
+// Markdown report generation: turns a StudyResult into a self-contained
+// EXPERIMENTS-style document (per-level winner tables, Fig. 10 growth
+// comparison against the paper's reference values, Table I ablation) so
+// `run_study` leaves a human-readable artifact next to the CSVs.
+#pragma once
+
+#include <string>
+
+#include "core/study.hpp"
+
+namespace qhdl::core {
+
+/// Paper reference values used for side-by-side comparison in the report.
+struct PaperReference {
+  double classical_flops_pct = 88.5;
+  double bel_flops_pct = 80.13;
+  double sel_flops_pct = 53.1;
+  double classical_params_pct = 88.5;
+  double bel_params_pct = 89.6;
+  double sel_params_pct = 81.4;
+};
+
+/// Renders the full markdown report.
+std::string study_report_markdown(const StudyResult& result,
+                                  const search::SweepConfig& config,
+                                  const PaperReference& reference = {});
+
+}  // namespace qhdl::core

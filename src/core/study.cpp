@@ -1,0 +1,95 @@
+#include "core/study.hpp"
+
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace qhdl::core {
+
+ComplexityStudy::ComplexityStudy(search::SweepConfig config)
+    : config_(std::move(config)) {}
+
+search::SweepResult ComplexityStudy::run_family(
+    search::Family family) const {
+  return search::run_complexity_sweep(family, config_);
+}
+
+std::vector<AblationSelection> ablation_from_sweep(
+    const search::SweepResult& sweep) {
+  std::vector<AblationSelection> selection;
+  for (const auto& level : sweep.levels) {
+    if (!level.search.smallest_winner.has_value()) continue;
+    const auto& winner = *level.search.smallest_winner;
+    if (winner.spec.family != search::ModelSpec::Family::Hybrid) continue;
+    selection.push_back(AblationSelection{winner.spec.hybrid, level.features});
+  }
+  return selection;
+}
+
+StudyResult ComplexityStudy::run() const {
+  StudyResult result;
+  util::log_info("study: classical sweep");
+  result.classical = run_family(search::Family::Classical);
+  util::log_info("study: hybrid BEL sweep");
+  result.hybrid_bel = run_family(search::Family::HybridBel);
+  util::log_info("study: hybrid SEL sweep");
+  result.hybrid_sel = run_family(search::Family::HybridSel);
+
+  for (const auto* sweep :
+       {&result.classical, &result.hybrid_bel, &result.hybrid_sel}) {
+    try {
+      result.growth.push_back(analyze_growth(*sweep));
+    } catch (const std::invalid_argument&) {
+      // A family that never met the threshold at two levels has no growth
+      // summary; callers see it missing from `growth`.
+      util::log_warn("study: no growth summary for " +
+                     search::family_name(sweep->family));
+    }
+  }
+
+  const std::size_t classes = config_.spiral.classes;
+  for (const auto* sweep : {&result.hybrid_bel, &result.hybrid_sel}) {
+    const auto selection = ablation_from_sweep(*sweep);
+    const auto rows =
+        run_ablation(selection, classes, config_.search.cost_model);
+    result.ablation.insert(result.ablation.end(), rows.begin(), rows.end());
+  }
+  return result;
+}
+
+util::Json StudyResult::to_json() const {
+  util::Json root = util::Json::object();
+  root["classical"] = search::sweep_to_json(classical);
+  root["hybrid_bel"] = search::sweep_to_json(hybrid_bel);
+  root["hybrid_sel"] = search::sweep_to_json(hybrid_sel);
+
+  util::Json growth_json = util::Json::array();
+  for (const FamilyGrowth& g : growth) {
+    util::Json item = util::Json::object();
+    item["family"] = util::Json{search::family_name(g.family)};
+    item["flops_pct_increase"] = util::Json{g.flops.percent_increase};
+    item["flops_abs_increase"] = util::Json{g.flops.absolute_increase};
+    item["params_pct_increase"] = util::Json{g.parameters.percent_increase};
+    item["params_abs_increase"] = util::Json{g.parameters.absolute_increase};
+    growth_json.push_back(std::move(item));
+  }
+  root["growth"] = std::move(growth_json);
+
+  util::Json ablation_json = util::Json::array();
+  for (const AblationRow& row : ablation) {
+    util::Json item = util::Json::object();
+    item["model"] = util::Json{row.model};
+    item["features"] = util::Json{row.features};
+    item["qubits"] = util::Json{row.qubits};
+    item["depth"] = util::Json{row.depth};
+    item["total"] = util::Json{row.total};
+    item["classical"] = util::Json{row.classical};
+    item["encoding"] = util::Json{row.encoding};
+    item["quantum"] = util::Json{row.quantum};
+    ablation_json.push_back(std::move(item));
+  }
+  root["ablation"] = std::move(ablation_json);
+  return root;
+}
+
+}  // namespace qhdl::core

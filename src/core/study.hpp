@@ -1,0 +1,46 @@
+// ComplexityStudy: the paper's full pipeline (Fig. 3) in one call — runs the
+// classical, BEL-hybrid, and SEL-hybrid sweeps on shared datasets, then
+// derives the Fig. 10 growth comparison and the Table I ablation using the
+// winners it found.
+#pragma once
+
+#include "core/ablation.hpp"
+#include "core/analysis.hpp"
+#include "search/results.hpp"
+
+namespace qhdl::core {
+
+struct StudyResult {
+  search::SweepResult classical;
+  search::SweepResult hybrid_bel;
+  search::SweepResult hybrid_sel;
+
+  std::vector<FamilyGrowth> growth;      ///< Fig. 10 aggregates
+  std::vector<AblationRow> ablation;     ///< Table I rows (from winners)
+
+  /// Full machine-readable manifest.
+  util::Json to_json() const;
+};
+
+class ComplexityStudy {
+ public:
+  explicit ComplexityStudy(search::SweepConfig config);
+
+  /// Runs everything. Progress is logged at Info level.
+  StudyResult run() const;
+
+  /// Runs a single family's sweep (used by the per-figure benches).
+  search::SweepResult run_family(search::Family family) const;
+
+  const search::SweepConfig& config() const { return config_; }
+
+ private:
+  search::SweepConfig config_;
+};
+
+/// Builds Table-I-style ablation selections from a hybrid sweep's winners:
+/// for each level, the repetition-smallest winning (q, d).
+std::vector<AblationSelection> ablation_from_sweep(
+    const search::SweepResult& sweep);
+
+}  // namespace qhdl::core

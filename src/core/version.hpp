@@ -1,0 +1,12 @@
+// Library identity.
+#pragma once
+
+namespace qhdl {
+
+inline constexpr const char* kLibraryName = "qhdl";
+inline constexpr const char* kLibraryVersion = "1.0.0";
+inline constexpr const char* kPaperTitle =
+    "Computational Advantage in Hybrid Quantum Neural Networks: "
+    "Myth or Reality? (DAC 2025)";
+
+}  // namespace qhdl

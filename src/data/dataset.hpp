@@ -1,0 +1,41 @@
+// Labeled dataset container with stratified splitting.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace qhdl::data {
+
+/// Dense features [N, F] with integer class labels.
+struct Dataset {
+  tensor::Tensor x;               ///< [N, F]
+  std::vector<std::size_t> y;     ///< N labels in [0, classes)
+  std::size_t classes = 0;
+
+  std::size_t size() const { return y.size(); }
+  std::size_t features() const { return x.rank() == 2 ? x.cols() : 0; }
+
+  /// Throws std::logic_error if x/y/classes are inconsistent.
+  void validate() const;
+};
+
+struct TrainValSplit {
+  Dataset train;
+  Dataset val;
+};
+
+/// Stratified split: each class contributes ~val_fraction of its samples to
+/// the validation set. Order within splits is shuffled.
+TrainValSplit stratified_split(const Dataset& dataset, double val_fraction,
+                               util::Rng& rng);
+
+/// Returns a copy with rows shuffled consistently with labels.
+Dataset shuffled(const Dataset& dataset, util::Rng& rng);
+
+/// Per-class sample counts.
+std::vector<std::size_t> class_counts(const Dataset& dataset);
+
+}  // namespace qhdl::data

@@ -1,0 +1,76 @@
+#include "data/preprocess.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qhdl::data {
+
+using tensor::Tensor;
+
+void Scaler::apply(Tensor& x) const {
+  if (x.rank() != 2 || x.cols() != offset.size()) {
+    throw std::invalid_argument("Scaler::apply: feature count mismatch");
+  }
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      x.at(i, j) = (x.at(i, j) - offset[j]) / scale[j];
+    }
+  }
+}
+
+Scaler fit_standardizer(const Tensor& x) {
+  if (x.rank() != 2 || x.rows() == 0) {
+    throw std::invalid_argument("fit_standardizer: empty or non-matrix input");
+  }
+  const std::size_t n = x.rows(), f = x.cols();
+  Scaler scaler;
+  scaler.offset.assign(f, 0.0);
+  scaler.scale.assign(f, 1.0);
+  for (std::size_t j = 0; j < f; ++j) {
+    double mean = 0.0;
+    for (std::size_t i = 0; i < n; ++i) mean += x.at(i, j);
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = x.at(i, j) - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(n);
+    scaler.offset[j] = mean;
+    scaler.scale[j] = var > 1e-24 ? std::sqrt(var) : 1.0;
+  }
+  return scaler;
+}
+
+Scaler fit_minmax(const Tensor& x, double lo, double hi) {
+  if (x.rank() != 2 || x.rows() == 0) {
+    throw std::invalid_argument("fit_minmax: empty or non-matrix input");
+  }
+  if (hi <= lo) throw std::invalid_argument("fit_minmax: hi <= lo");
+  const std::size_t n = x.rows(), f = x.cols();
+  Scaler scaler;
+  scaler.offset.assign(f, 0.0);
+  scaler.scale.assign(f, 1.0);
+  for (std::size_t j = 0; j < f; ++j) {
+    double mn = x.at(0, j), mx = x.at(0, j);
+    for (std::size_t i = 1; i < n; ++i) {
+      mn = std::min(mn, x.at(i, j));
+      mx = std::max(mx, x.at(i, j));
+    }
+    const double range = mx - mn;
+    // Map [mn, mx] -> [lo, hi]: (v - offset) / scale with
+    // scale = range/(hi-lo), offset = mn - lo*scale.
+    const double s = range > 1e-24 ? range / (hi - lo) : 1.0;
+    scaler.scale[j] = s;
+    scaler.offset[j] = mn - lo * s;
+  }
+  return scaler;
+}
+
+void standardize_split(TrainValSplit& split) {
+  const Scaler scaler = fit_standardizer(split.train.x);
+  scaler.apply(split.train.x);
+  scaler.apply(split.val.x);
+}
+
+}  // namespace qhdl::data

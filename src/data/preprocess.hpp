@@ -1,0 +1,28 @@
+// Feature preprocessing. The study standardizes features using training-set
+// statistics before feeding either model family (classical or hybrid).
+#pragma once
+
+#include "data/dataset.hpp"
+
+namespace qhdl::data {
+
+/// Per-feature affine transform parameters.
+struct Scaler {
+  std::vector<double> offset;  ///< subtracted per feature
+  std::vector<double> scale;   ///< divided per feature (never zero)
+
+  /// Applies the transform in place.
+  void apply(tensor::Tensor& x) const;
+};
+
+/// Fits a z-score scaler (mean/std) on `x`; zero-variance features get
+/// scale 1 so they pass through centered.
+Scaler fit_standardizer(const tensor::Tensor& x);
+
+/// Fits a min-max scaler mapping each feature to [lo, hi].
+Scaler fit_minmax(const tensor::Tensor& x, double lo, double hi);
+
+/// Standardizes train and val in place using TRAIN statistics only.
+void standardize_split(TrainValSplit& split);
+
+}  // namespace qhdl::data

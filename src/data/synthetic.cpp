@@ -1,0 +1,102 @@
+#include "data/synthetic.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace qhdl::data {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+Dataset allocate(std::size_t points, std::size_t classes,
+                 const char* context) {
+  if (classes < 2) {
+    throw std::invalid_argument(std::string{context} + ": need >= 2 classes");
+  }
+  if (points < classes) {
+    throw std::invalid_argument(std::string{context} +
+                                ": need >= 1 point per class");
+  }
+  Dataset dataset;
+  dataset.classes = classes;
+  const std::size_t per_class = points / classes;
+  const std::size_t total = per_class * classes;
+  dataset.x = Tensor{Shape{total, 2}};
+  dataset.y.resize(total);
+  return dataset;
+}
+
+}  // namespace
+
+Dataset make_rings(std::size_t points, std::size_t classes, double noise,
+                   util::Rng& rng) {
+  Dataset dataset = allocate(points, classes, "make_rings");
+  const std::size_t per_class = dataset.size() / classes;
+  const double two_pi = 2.0 * std::numbers::pi;
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < classes; ++c) {
+    const double radius =
+        static_cast<double>(c + 1) / static_cast<double>(classes);
+    for (std::size_t i = 0; i < per_class; ++i) {
+      const double angle = two_pi * static_cast<double>(i) /
+                           static_cast<double>(per_class);
+      const double r = radius + noise * rng.normal();
+      dataset.x.at(row, 0) = r * std::cos(angle);
+      dataset.x.at(row, 1) = r * std::sin(angle);
+      dataset.y[row] = c;
+      ++row;
+    }
+  }
+  return dataset;
+}
+
+Dataset make_moons(std::size_t points, double noise, util::Rng& rng) {
+  Dataset dataset = allocate(points, 2, "make_moons");
+  const std::size_t per_class = dataset.size() / 2;
+  std::size_t row = 0;
+  for (std::size_t i = 0; i < per_class; ++i) {
+    const double t = std::numbers::pi * static_cast<double>(i) /
+                     static_cast<double>(per_class);
+    // Upper moon.
+    dataset.x.at(row, 0) = std::cos(t) + noise * rng.normal();
+    dataset.x.at(row, 1) = std::sin(t) + noise * rng.normal();
+    dataset.y[row] = 0;
+    ++row;
+  }
+  for (std::size_t i = 0; i < per_class; ++i) {
+    const double t = std::numbers::pi * static_cast<double>(i) /
+                     static_cast<double>(per_class);
+    // Lower moon, shifted right and down.
+    dataset.x.at(row, 0) = 1.0 - std::cos(t) + noise * rng.normal();
+    dataset.x.at(row, 1) = 0.5 - std::sin(t) + noise * rng.normal();
+    dataset.y[row] = 1;
+    ++row;
+  }
+  return dataset;
+}
+
+Dataset make_blobs(std::size_t points, std::size_t classes,
+                   double separation, double noise, util::Rng& rng) {
+  Dataset dataset = allocate(points, classes, "make_blobs");
+  const std::size_t per_class = dataset.size() / classes;
+  const double two_pi = 2.0 * std::numbers::pi;
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < classes; ++c) {
+    const double angle =
+        two_pi * static_cast<double>(c) / static_cast<double>(classes);
+    const double cx = separation * std::cos(angle);
+    const double cy = separation * std::sin(angle);
+    for (std::size_t i = 0; i < per_class; ++i) {
+      dataset.x.at(row, 0) = cx + noise * rng.normal();
+      dataset.x.at(row, 1) = cy + noise * rng.normal();
+      dataset.y[row] = c;
+      ++row;
+    }
+  }
+  return dataset;
+}
+
+}  // namespace qhdl::data

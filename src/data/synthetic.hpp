@@ -1,0 +1,28 @@
+// Additional synthetic classification datasets (beyond the paper's spiral)
+// for robustness checks: concentric rings, two moons, and Gaussian blobs —
+// the standard benchmarking trio of the synthetic-data literature the paper
+// cites ([43], [44]). Each supports the same feature-augmentation pipeline
+// (data::augment_features) as the spiral, so the whole complexity study can
+// be re-run on a different base geometry.
+#pragma once
+
+#include "data/dataset.hpp"
+
+namespace qhdl::data {
+
+/// `classes` concentric rings: class c lives at radius (c+1)/classes with
+/// Gaussian radial jitter `noise`. Rotation-invariant — a good stress test
+/// for models that latch onto axis-aligned features.
+Dataset make_rings(std::size_t points, std::size_t classes, double noise,
+                   util::Rng& rng);
+
+/// The classic two interleaving half-moons (2 classes, 2 features) with
+/// isotropic Gaussian jitter.
+Dataset make_moons(std::size_t points, double noise, util::Rng& rng);
+
+/// Isotropic Gaussian blobs: class c centered on a circle of radius
+/// `separation`, stddev `noise`. The linearly separable control case.
+Dataset make_blobs(std::size_t points, std::size_t classes,
+                   double separation, double noise, util::Rng& rng);
+
+}  // namespace qhdl::data

@@ -1,0 +1,137 @@
+#include "flops/cost_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qhdl::flops {
+
+double CostModel::dense_forward(std::size_t inputs,
+                                std::size_t outputs) const {
+  const double i = static_cast<double>(inputs);
+  const double o = static_cast<double>(outputs);
+  return matmul_mac * i * o + bias_per_element * o;
+}
+
+double CostModel::dense_backward(std::size_t inputs,
+                                 std::size_t outputs) const {
+  const double i = static_cast<double>(inputs);
+  const double o = static_cast<double>(outputs);
+  // dW = Xᵀ·dY and dX = dY·Wᵀ are both full matmuls; db accumulates dY.
+  return 2.0 * matmul_mac * i * o + bias_per_element * o;
+}
+
+double CostModel::activation_forward_flops(std::size_t width) const {
+  return activation_forward * static_cast<double>(width);
+}
+
+double CostModel::activation_backward_flops(std::size_t width) const {
+  return activation_backward * static_cast<double>(width);
+}
+
+double CostModel::softmax_forward_flops(std::size_t width) const {
+  return softmax_forward * static_cast<double>(width);
+}
+
+double CostModel::softmax_ce_backward_flops(std::size_t width) const {
+  return static_cast<double>(width);
+}
+
+double CostModel::amplitudes(std::size_t qubits) const {
+  return std::ldexp(1.0, static_cast<int>(qubits));  // 2^q
+}
+
+double CostModel::rotation_gate_flops(std::size_t qubits) const {
+  return gate_per_amplitude * amplitudes(qubits) + rotation_setup;
+}
+
+double CostModel::entangler_gate_flops(std::size_t qubits) const {
+  return entangler_per_amplitude * amplitudes(qubits);
+}
+
+double CostModel::expval_z_flops(std::size_t qubits) const {
+  return expval_per_amplitude * amplitudes(qubits);
+}
+
+namespace {
+
+void require_quantum(const nn::LayerInfo& info, const char* context) {
+  if (info.kind != "quantum") {
+    throw std::invalid_argument(std::string{context} +
+                                ": layer is not quantum");
+  }
+}
+
+}  // namespace
+
+double CostModel::quantum_encoding_forward(const nn::LayerInfo& info) const {
+  require_quantum(info, "quantum_encoding_forward");
+  return static_cast<double>(info.encoding_gate_count) *
+         rotation_gate_flops(info.qubits);
+}
+
+double CostModel::quantum_encoding_backward(const nn::LayerInfo& info) const {
+  require_quantum(info, "quantum_encoding_backward");
+  // Adjoint sweep share for each encoding rotation: two inverse gate
+  // applications (φ and λ), one derivative application, one inner product.
+  const double sweep_per_rotation = 2.0 * rotation_gate_flops(info.qubits) +
+                                    rotation_gate_flops(info.qubits) +
+                                    inner_product_per_amplitude *
+                                        amplitudes(info.qubits);
+  return static_cast<double>(info.encoding_gate_count) * sweep_per_rotation;
+}
+
+double CostModel::quantum_circuit_forward(const nn::LayerInfo& info) const {
+  require_quantum(info, "quantum_circuit_forward");
+  const std::size_t ansatz_rotations =
+      info.param_gate_count - info.encoding_gate_count;
+  const std::size_t entanglers = info.gate_count - info.param_gate_count;
+  return static_cast<double>(ansatz_rotations) *
+             rotation_gate_flops(info.qubits) +
+         static_cast<double>(entanglers) * entangler_gate_flops(info.qubits) +
+         static_cast<double>(info.qubits) * expval_z_flops(info.qubits);
+}
+
+double CostModel::quantum_circuit_backward(const nn::LayerInfo& info) const {
+  require_quantum(info, "quantum_circuit_backward");
+  const std::size_t ansatz_rotations =
+      info.param_gate_count - info.encoding_gate_count;
+  const std::size_t entanglers = info.gate_count - info.param_gate_count;
+  const double n = amplitudes(info.qubits);
+  // Co-state seeding: apply each ⟨Z_w⟩ term of the effective observable.
+  const double seed = static_cast<double>(info.qubits) *
+                      observable_apply_per_amplitude * n;
+  const double sweep_rotations =
+      static_cast<double>(ansatz_rotations) *
+      (3.0 * rotation_gate_flops(info.qubits) + inner_product_per_amplitude * n);
+  const double sweep_entanglers =
+      static_cast<double>(entanglers) * 2.0 * entangler_gate_flops(info.qubits);
+  return seed + sweep_rotations + sweep_entanglers;
+}
+
+double CostModel::layer_forward(const nn::LayerInfo& info) const {
+  if (info.kind == "dense") return dense_forward(info.inputs, info.outputs);
+  if (info.kind == "tanh" || info.kind == "relu" || info.kind == "sigmoid") {
+    return activation_forward_flops(info.outputs);
+  }
+  if (info.kind == "softmax") return softmax_forward_flops(info.outputs);
+  if (info.kind == "quantum") {
+    return quantum_encoding_forward(info) + quantum_circuit_forward(info);
+  }
+  throw std::invalid_argument("CostModel::layer_forward: unknown kind '" +
+                              info.kind + "'");
+}
+
+double CostModel::layer_backward(const nn::LayerInfo& info) const {
+  if (info.kind == "dense") return dense_backward(info.inputs, info.outputs);
+  if (info.kind == "tanh" || info.kind == "relu" || info.kind == "sigmoid") {
+    return activation_backward_flops(info.outputs);
+  }
+  if (info.kind == "softmax") return softmax_ce_backward_flops(info.outputs);
+  if (info.kind == "quantum") {
+    return quantum_encoding_backward(info) + quantum_circuit_backward(info);
+  }
+  throw std::invalid_argument("CostModel::layer_backward: unknown kind '" +
+                              info.kind + "'");
+}
+
+}  // namespace qhdl::flops

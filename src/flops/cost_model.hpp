@@ -1,0 +1,86 @@
+// Analytic FLOPs cost model (replaces the paper's TensorFlow Profiler; see
+// DESIGN.md §5 for the substitution rationale).
+//
+// All counts are per sample (batch 1), forward and backward, in real FLOPs.
+// The quantum costs model a dense state-vector simulation with N = 2^q
+// amplitudes — the "simulation overhead" the paper's argument hinges on:
+//   * a 1-qubit gate updates N/2 amplitude pairs with a complex 2x2 matvec
+//     (4 complex mul = 24 FLOPs, 2 complex add = 4 FLOPs per pair → 14·N),
+//     plus a constant for building the rotation matrix (sin/cos);
+//   * CNOT/CZ are permutations/sign flips — 0 FLOPs by default (pure data
+//     movement), configurable for sensitivity studies;
+//   * ⟨Z⟩ costs 3·N (|a|² = 2 mul + 1 add per amplitude, signed);
+//   * adjoint backward sweeps the circuit once, costing ~2 gate
+//     applications per op plus a derivative application and an 8·N complex
+//     inner product per parameterized op.
+//
+// Every constant is a struct field so the cost-model ablation bench
+// (bench_ablation_costmodel) can re-run the paper's comparison under
+// alternative assumptions.
+#pragma once
+
+#include <cstddef>
+
+#include "nn/module.hpp"
+
+namespace qhdl::flops {
+
+struct CostModel {
+  // --- classical ---------------------------------------------------------
+  /// FLOPs per multiply-accumulate in a matmul (2 = mul + add).
+  double matmul_mac = 2.0;
+  /// FLOPs per bias element (forward add / backward copy-accumulate).
+  double bias_per_element = 1.0;
+  /// Elementwise activation forward / backward FLOPs per element.
+  double activation_forward = 1.0;
+  double activation_backward = 2.0;
+  /// Softmax forward FLOPs per element (exp + div + max + sum amortized).
+  double softmax_forward = 4.0;
+
+  // --- quantum simulation ------------------------------------------------
+  /// Per-amplitude cost of a 1-qubit dense gate application (pairs: 4 cmul
+  /// + 2 cadd per 2 amplitudes = 14 per amplitude).
+  double gate_per_amplitude = 14.0;
+  /// Constant cost of constructing a rotation matrix (sin/cos evaluations).
+  double rotation_setup = 8.0;
+  /// Per-amplitude cost of CNOT/CZ (0 = treated as data movement).
+  double entangler_per_amplitude = 0.0;
+  /// Per-amplitude cost of a ⟨Z⟩ expectation.
+  double expval_per_amplitude = 3.0;
+  /// Per-amplitude cost of applying one observable term when seeding the
+  /// adjoint co-state (includes the upstream weighting).
+  double observable_apply_per_amplitude = 4.0;
+  /// Per-amplitude cost of a complex inner product ⟨λ|μ⟩.
+  double inner_product_per_amplitude = 8.0;
+
+  // --- derived helpers (classical) ----------------------------------------
+  double dense_forward(std::size_t inputs, std::size_t outputs) const;
+  double dense_backward(std::size_t inputs, std::size_t outputs) const;
+  double activation_forward_flops(std::size_t width) const;
+  double activation_backward_flops(std::size_t width) const;
+  double softmax_forward_flops(std::size_t width) const;
+  /// Fused softmax+CE backward: one subtraction per logit.
+  double softmax_ce_backward_flops(std::size_t width) const;
+
+  // --- derived helpers (quantum; N = 2^qubits) ----------------------------
+  double amplitudes(std::size_t qubits) const;
+  double rotation_gate_flops(std::size_t qubits) const;
+  double entangler_gate_flops(std::size_t qubits) const;
+  double expval_z_flops(std::size_t qubits) const;
+
+  /// Quantum layer stage costs from its structural descriptor.
+  /// Encoding stage: the q input-encoding rotations (forward) plus their
+  /// share of the adjoint sweep (backward).
+  double quantum_encoding_forward(const nn::LayerInfo& info) const;
+  double quantum_encoding_backward(const nn::LayerInfo& info) const;
+  /// Quantum stage: ansatz gates + measurements (forward) plus their share
+  /// of the adjoint sweep and the co-state seeding (backward).
+  double quantum_circuit_forward(const nn::LayerInfo& info) const;
+  double quantum_circuit_backward(const nn::LayerInfo& info) const;
+
+  /// Full layer costs dispatched on LayerInfo.kind. Unknown kinds throw.
+  double layer_forward(const nn::LayerInfo& info) const;
+  double layer_backward(const nn::LayerInfo& info) const;
+};
+
+}  // namespace qhdl::flops

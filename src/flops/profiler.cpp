@@ -1,0 +1,63 @@
+#include "flops/profiler.hpp"
+
+#include <sstream>
+
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace qhdl::flops {
+
+FlopsReport profile_layers(const std::vector<nn::LayerInfo>& infos,
+                           const CostModel& cost_model) {
+  FlopsReport report;
+  for (const nn::LayerInfo& info : infos) {
+    LayerFlops lf;
+    lf.kind = info.kind;
+    lf.name = info.kind;
+    lf.forward = cost_model.layer_forward(info);
+    lf.backward = cost_model.layer_backward(info);
+    report.layers.push_back(lf);
+
+    report.forward_total += lf.forward;
+    report.backward_total += lf.backward;
+    report.parameter_count += info.parameter_count;
+
+    if (info.kind == "quantum") {
+      report.encoding += cost_model.quantum_encoding_forward(info) +
+                         cost_model.quantum_encoding_backward(info);
+      report.quantum += cost_model.quantum_circuit_forward(info) +
+                        cost_model.quantum_circuit_backward(info);
+    } else {
+      report.classical += lf.total();
+    }
+  }
+  return report;
+}
+
+FlopsReport profile_model(const nn::Sequential& model,
+                          const CostModel& cost_model) {
+  return profile_layers(model.layer_infos(), cost_model);
+}
+
+std::string report_to_string(const FlopsReport& report) {
+  util::Table table({"layer", "kind", "fwd FLOPs", "bwd FLOPs", "total"});
+  for (std::size_t i = 0; i < report.layers.size(); ++i) {
+    const LayerFlops& lf = report.layers[i];
+    table.add_row({std::to_string(i) + ":" + lf.name, lf.kind,
+                   util::format_double(lf.forward, 1),
+                   util::format_double(lf.backward, 1),
+                   util::format_double(lf.total(), 1)});
+  }
+  std::ostringstream oss;
+  oss << table.to_string();
+  oss << "total=" << util::format_double(report.total(), 1)
+      << " (fwd=" << util::format_double(report.forward_total, 1)
+      << ", bwd=" << util::format_double(report.backward_total, 1) << ")\n"
+      << "stages: CL=" << util::format_double(report.classical, 1)
+      << " Enc=" << util::format_double(report.encoding, 1)
+      << " QL=" << util::format_double(report.quantum, 1)
+      << " | params=" << report.parameter_count << "\n";
+  return oss.str();
+}
+
+}  // namespace qhdl::flops

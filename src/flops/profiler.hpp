@@ -1,0 +1,51 @@
+// Model FLOPs profiler: walks a model's layer descriptors and produces the
+// per-stage breakdown the paper reports (Table I columns: TF, Enc+CL, CL,
+// Enc, QL) plus a per-layer table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "flops/cost_model.hpp"
+#include "nn/sequential.hpp"
+
+namespace qhdl::flops {
+
+struct LayerFlops {
+  std::string name;
+  std::string kind;
+  double forward = 0.0;
+  double backward = 0.0;
+  double total() const { return forward + backward; }
+};
+
+/// Per-sample forward+backward FLOPs of a model, split into the paper's
+/// ablation stages.
+struct FlopsReport {
+  std::vector<LayerFlops> layers;
+
+  double forward_total = 0.0;
+  double backward_total = 0.0;
+  double total() const { return forward_total + backward_total; }
+
+  // Stage split (forward + backward combined), matching Table I columns:
+  double classical = 0.0;  ///< CL: all dense/activation layers
+  double encoding = 0.0;   ///< Enc: encoding gates + their adjoint share
+  double quantum = 0.0;    ///< QL: ansatz gates, measurement, adjoint sweep
+  double encoding_plus_classical() const { return encoding + classical; }
+
+  std::size_t parameter_count = 0;
+};
+
+/// Profiles from layer descriptors (per sample, batch 1).
+FlopsReport profile_layers(const std::vector<nn::LayerInfo>& infos,
+                           const CostModel& cost_model = CostModel{});
+
+/// Profiles a built model.
+FlopsReport profile_model(const nn::Sequential& model,
+                          const CostModel& cost_model = CostModel{});
+
+/// Renders the per-layer table plus stage summary.
+std::string report_to_string(const FlopsReport& report);
+
+}  // namespace qhdl::flops

@@ -1,0 +1,155 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qhdl::nn {
+
+using tensor::Tensor;
+
+namespace {
+
+LayerInfo elementwise_info(const char* kind, std::size_t declared_width,
+                           const Tensor& cached) {
+  LayerInfo li;
+  li.kind = kind;
+  const std::size_t width =
+      declared_width > 0 ? declared_width
+                         : (cached.rank() == 2 ? cached.cols() : 0);
+  li.inputs = width;
+  li.outputs = width;
+  return li;
+}
+
+void require_cache(bool has_cache, const char* who) {
+  if (!has_cache) {
+    throw std::logic_error(std::string{who} + "::backward before forward");
+  }
+}
+
+}  // namespace
+
+Tensor Tanh::forward(const Tensor& input) {
+  cached_output_ = input;
+  for (std::size_t i = 0; i < cached_output_.size(); ++i) {
+    cached_output_[i] = std::tanh(cached_output_[i]);
+  }
+  has_cache_ = true;
+  return cached_output_;
+}
+
+Tensor Tanh::backward(const Tensor& grad_output) {
+  require_cache(has_cache_, "Tanh");
+  tensor::check_same_shape(grad_output.shape(), cached_output_.shape(),
+                           "Tanh::backward");
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    const double y = cached_output_[i];
+    grad[i] *= 1.0 - y * y;
+  }
+  return grad;
+}
+
+LayerInfo Tanh::info() const { return elementwise_info("tanh", declared_width_, cached_output_); }
+
+Tensor ReLU::forward(const Tensor& input) {
+  cached_input_ = input;
+  has_cache_ = true;
+  Tensor out = input;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out[i] < 0.0) out[i] = 0.0;
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  require_cache(has_cache_, "ReLU");
+  tensor::check_same_shape(grad_output.shape(), cached_input_.shape(),
+                           "ReLU::backward");
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    if (cached_input_[i] <= 0.0) grad[i] = 0.0;
+  }
+  return grad;
+}
+
+LayerInfo ReLU::info() const { return elementwise_info("relu", declared_width_, cached_input_); }
+
+Tensor Sigmoid::forward(const Tensor& input) {
+  cached_output_ = input;
+  for (std::size_t i = 0; i < cached_output_.size(); ++i) {
+    cached_output_[i] = 1.0 / (1.0 + std::exp(-cached_output_[i]));
+  }
+  has_cache_ = true;
+  return cached_output_;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_output) {
+  require_cache(has_cache_, "Sigmoid");
+  tensor::check_same_shape(grad_output.shape(), cached_output_.shape(),
+                           "Sigmoid::backward");
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    const double y = cached_output_[i];
+    grad[i] *= y * (1.0 - y);
+  }
+  return grad;
+}
+
+LayerInfo Sigmoid::info() const {
+  return elementwise_info("sigmoid", declared_width_, cached_output_);
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument("softmax_rows: expected rank-2 logits");
+  }
+  Tensor out = logits;
+  const std::size_t rows = logits.rows(), cols = logits.cols();
+  for (std::size_t i = 0; i < rows; ++i) {
+    double row_max = out.at(i, 0);
+    for (std::size_t j = 1; j < cols; ++j) {
+      row_max = std::max(row_max, out.at(i, j));
+    }
+    double denom = 0.0;
+    for (std::size_t j = 0; j < cols; ++j) {
+      const double e = std::exp(out.at(i, j) - row_max);
+      out.at(i, j) = e;
+      denom += e;
+    }
+    for (std::size_t j = 0; j < cols; ++j) out.at(i, j) /= denom;
+  }
+  return out;
+}
+
+Tensor Softmax::forward(const Tensor& input) {
+  cached_output_ = softmax_rows(input);
+  has_cache_ = true;
+  return cached_output_;
+}
+
+Tensor Softmax::backward(const Tensor& grad_output) {
+  require_cache(has_cache_, "Softmax");
+  tensor::check_same_shape(grad_output.shape(), cached_output_.shape(),
+                           "Softmax::backward");
+  // Row-wise Jacobian-vector product: dx_j = y_j * (g_j - sum_k g_k y_k).
+  Tensor grad = grad_output;
+  const std::size_t rows = grad.rows(), cols = grad.cols();
+  for (std::size_t i = 0; i < rows; ++i) {
+    double dot = 0.0;
+    for (std::size_t j = 0; j < cols; ++j) {
+      dot += grad_output.at(i, j) * cached_output_.at(i, j);
+    }
+    for (std::size_t j = 0; j < cols; ++j) {
+      grad.at(i, j) =
+          cached_output_.at(i, j) * (grad_output.at(i, j) - dot);
+    }
+  }
+  return grad;
+}
+
+LayerInfo Softmax::info() const {
+  return elementwise_info("softmax", declared_width_, cached_output_);
+}
+
+}  // namespace qhdl::nn

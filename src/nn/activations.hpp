@@ -1,0 +1,75 @@
+// Elementwise activations and Softmax. Each caches what its backward needs.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace qhdl::nn {
+
+/// tanh(x); backward uses dL/dx = dL/dy * (1 - y^2).
+/// `width` (optional) declares the per-sample element count so the FLOPs
+/// profiler can describe the layer before any forward pass runs.
+class Tanh : public Module {
+ public:
+  explicit Tanh(std::size_t width = 0) : declared_width_(width) {}
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  LayerInfo info() const override;
+  std::string name() const override { return "Tanh"; }
+
+ private:
+  std::size_t declared_width_;
+  tensor::Tensor cached_output_;
+  bool has_cache_ = false;
+};
+
+/// max(0, x); backward masks by the sign of the input.
+class ReLU : public Module {
+ public:
+  explicit ReLU(std::size_t width = 0) : declared_width_(width) {}
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  LayerInfo info() const override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  std::size_t declared_width_;
+  tensor::Tensor cached_input_;
+  bool has_cache_ = false;
+};
+
+/// 1 / (1 + exp(-x)); backward uses y(1-y).
+class Sigmoid : public Module {
+ public:
+  explicit Sigmoid(std::size_t width = 0) : declared_width_(width) {}
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  LayerInfo info() const override;
+  std::string name() const override { return "Sigmoid"; }
+
+ private:
+  std::size_t declared_width_;
+  tensor::Tensor cached_output_;
+  bool has_cache_ = false;
+};
+
+/// Row-wise softmax with the max-subtraction trick. For training prefer the
+/// fused SoftmaxCrossEntropy loss; this module exists for inference pipelines
+/// and for testing the standalone Jacobian.
+class Softmax : public Module {
+ public:
+  explicit Softmax(std::size_t width = 0) : declared_width_(width) {}
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  LayerInfo info() const override;
+  std::string name() const override { return "Softmax"; }
+
+ private:
+  std::size_t declared_width_;
+  tensor::Tensor cached_output_;
+  bool has_cache_ = false;
+};
+
+/// Row-wise softmax as a free function (used by losses and metrics).
+tensor::Tensor softmax_rows(const tensor::Tensor& logits);
+
+}  // namespace qhdl::nn

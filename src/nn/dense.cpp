@@ -1,0 +1,78 @@
+#include "nn/dense.hpp"
+
+#include <stdexcept>
+
+#include "tensor/init.hpp"
+#include "tensor/ops.hpp"
+
+namespace qhdl::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Dense::Dense(std::size_t inputs, std::size_t outputs, util::Rng& rng)
+    : inputs_(inputs),
+      outputs_(outputs),
+      weight_("W", tensor::glorot_uniform(inputs, outputs, rng)),
+      bias_("b", Tensor::zeros(Shape{1, outputs})) {
+  if (inputs == 0 || outputs == 0) {
+    throw std::invalid_argument("Dense: zero-sized layer");
+  }
+}
+
+Dense::Dense(Tensor weight, Tensor bias)
+    : inputs_(weight.rows()),
+      outputs_(weight.cols()),
+      weight_("W", std::move(weight)),
+      bias_("b", std::move(bias)) {
+  if (bias_.value.size() != outputs_) {
+    throw std::invalid_argument("Dense: bias size != outputs");
+  }
+}
+
+Tensor Dense::forward(const Tensor& input) {
+  if (input.rank() != 2 || input.cols() != inputs_) {
+    throw std::invalid_argument("Dense::forward: expected [B, " +
+                                std::to_string(inputs_) + "], got " +
+                                input.shape().to_string());
+  }
+  cached_input_ = input;
+  has_cached_input_ = true;
+  return tensor::add_row_broadcast(tensor::matmul(input, weight_.value),
+                                   bias_.value);
+}
+
+Tensor Dense::backward(const Tensor& grad_output) {
+  if (!has_cached_input_) {
+    throw std::logic_error("Dense::backward called before forward");
+  }
+  if (grad_output.rank() != 2 || grad_output.cols() != outputs_ ||
+      grad_output.rows() != cached_input_.rows()) {
+    throw std::invalid_argument("Dense::backward: grad shape " +
+                                grad_output.shape().to_string() +
+                                " mismatches forward batch");
+  }
+  // dW = Xᵀ·dY, db = column-sum(dY), dX = dY·Wᵀ.
+  tensor::add_inplace(weight_.grad,
+                      tensor::matmul_transpose_a(cached_input_, grad_output));
+  tensor::add_inplace(bias_.grad, tensor::sum_rows(grad_output));
+  return tensor::matmul_transpose_b(grad_output, weight_.value);
+}
+
+std::vector<Parameter*> Dense::parameters() { return {&weight_, &bias_}; }
+
+LayerInfo Dense::info() const {
+  LayerInfo li;
+  li.kind = "dense";
+  li.inputs = inputs_;
+  li.outputs = outputs_;
+  li.parameter_count = weight_.value.size() + bias_.value.size();
+  return li;
+}
+
+std::string Dense::name() const {
+  return "Dense(" + std::to_string(inputs_) + " -> " +
+         std::to_string(outputs_) + ")";
+}
+
+}  // namespace qhdl::nn

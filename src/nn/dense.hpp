@@ -1,0 +1,39 @@
+// Fully-connected layer: Y = X·W + b, Keras-default Glorot-uniform kernel
+// and zero bias (matching the paper's TensorFlow models).
+#pragma once
+
+#include "nn/module.hpp"
+#include "util/rng.hpp"
+
+namespace qhdl::nn {
+
+class Dense : public Module {
+ public:
+  /// Initializes W ~ GlorotUniform(in,out), b = 0.
+  Dense(std::size_t inputs, std::size_t outputs, util::Rng& rng);
+
+  /// Takes explicit weights (tests / serialization). W: [in,out], b: [1,out].
+  Dense(tensor::Tensor weight, tensor::Tensor bias);
+
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  LayerInfo info() const override;
+  std::string name() const override;
+
+  std::size_t inputs() const { return inputs_; }
+  std::size_t outputs() const { return outputs_; }
+
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  std::size_t inputs_;
+  std::size_t outputs_;
+  Parameter weight_;
+  Parameter bias_;
+  tensor::Tensor cached_input_;  ///< saved by forward for dW computation
+  bool has_cached_input_ = false;
+};
+
+}  // namespace qhdl::nn

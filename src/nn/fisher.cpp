@@ -1,0 +1,77 @@
+#include "nn/fisher.hpp"
+
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "tensor/linalg.hpp"
+
+namespace qhdl::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+std::size_t flat_parameter_count(Module& model) {
+  std::size_t total = 0;
+  for (const Parameter* p : model.parameters()) total += p->value.size();
+  return total;
+}
+
+Tensor flatten_parameter_gradients(Module& model) {
+  Tensor flat{Shape{flat_parameter_count(model)}};
+  std::size_t offset = 0;
+  for (const Parameter* p : model.parameters()) {
+    for (std::size_t i = 0; i < p->grad.size(); ++i) {
+      flat[offset + i] = p->grad[i];
+    }
+    offset += p->grad.size();
+  }
+  return flat;
+}
+
+Tensor fisher_information(Module& model, const Tensor& x,
+                          std::size_t classes) {
+  if (x.rank() != 2 || x.rows() == 0) {
+    throw std::invalid_argument("fisher_information: non-empty [N,F] input");
+  }
+  if (classes < 2) {
+    throw std::invalid_argument("fisher_information: need >= 2 classes");
+  }
+
+  const std::size_t parameter_count = flat_parameter_count(model);
+  Tensor fisher{Shape{parameter_count, parameter_count}};
+  const double inv_samples = 1.0 / static_cast<double>(x.rows());
+
+  Tensor sample{Shape{1, x.cols()}};
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < x.cols(); ++j) sample.at(0, j) = x.at(i, j);
+
+    // Predictive distribution for this sample.
+    const Tensor logits = model.forward(sample);
+    if (logits.cols() != classes) {
+      throw std::invalid_argument("fisher_information: model outputs " +
+                                  std::to_string(logits.cols()) +
+                                  " classes, expected " +
+                                  std::to_string(classes));
+    }
+    const Tensor probs = softmax_rows(logits);
+
+    for (std::size_t y = 0; y < classes; ++y) {
+      const double p_y = probs.at(0, y);
+      if (p_y < 1e-12) continue;  // negligible weight
+
+      // ∇_logits log p(y|x) = onehot_y − softmax.
+      Tensor upstream{Shape{1, classes}};
+      for (std::size_t c = 0; c < classes; ++c) {
+        upstream.at(0, c) = (c == y ? 1.0 : 0.0) - probs.at(0, c);
+      }
+      model.zero_grad();
+      model.forward(sample);  // refresh caches for this backward
+      model.backward(upstream);
+      const Tensor grad = flatten_parameter_gradients(model);
+      tensor::add_outer_product(fisher, grad, inv_samples * p_y);
+    }
+  }
+  return fisher;
+}
+
+}  // namespace qhdl::nn

@@ -1,0 +1,29 @@
+// Fisher information of softmax classifiers.
+//
+// For model p_θ(y|x) = softmax(f_θ(x)) the Fisher information matrix is
+//   F(θ) = E_x E_{y~p_θ(·|x)} [ ∇_θ log p_θ(y|x) ∇_θ log p_θ(y|x)ᵀ ],
+// estimated here over a data batch with the exact inner expectation (all
+// classes weighted by the model's own predictive probabilities). F drives
+// the effective-dimension capacity measure (core/effective_dimension) that
+// Abbas et al. (Nature Comput. Sci. 2021) used to argue quantum models have
+// higher capacity — the measure the paper's conclusion (A3) calls for.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace qhdl::nn {
+
+/// Concatenates all parameter gradients into one flat vector (layer order).
+tensor::Tensor flatten_parameter_gradients(Module& model);
+
+/// Total number of trainable scalars (length of the flat gradient).
+std::size_t flat_parameter_count(Module& model);
+
+/// Empirical Fisher information matrix [P, P] over the rows of `x`.
+/// Exact class expectation: for every sample, every class's score gradient
+/// ∇ log p(y|x) = J_θᵀ(onehot_y − softmax) is weighted by p_θ(y|x).
+/// Cost: rows(x) · classes forward+backward passes.
+tensor::Tensor fisher_information(Module& model, const tensor::Tensor& x,
+                                  std::size_t classes);
+
+}  // namespace qhdl::nn

@@ -1,0 +1,85 @@
+#include "nn/kernel_ridge.hpp"
+
+#include <stdexcept>
+
+#include "tensor/linalg.hpp"
+#include "tensor/ops.hpp"
+
+namespace qhdl::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+KernelRidgeClassifier::KernelRidgeClassifier(double ridge) : ridge_(ridge) {
+  if (ridge <= 0.0) {
+    throw std::invalid_argument("KernelRidgeClassifier: ridge must be > 0");
+  }
+}
+
+void KernelRidgeClassifier::fit(const Tensor& gram,
+                                std::span<const std::size_t> labels,
+                                std::size_t classes) {
+  if (gram.rank() != 2 || gram.rows() != gram.cols()) {
+    throw std::invalid_argument("KernelRidgeClassifier::fit: square Gram");
+  }
+  if (labels.size() != gram.rows()) {
+    throw std::invalid_argument(
+        "KernelRidgeClassifier::fit: label count mismatch");
+  }
+  if (classes < 2) {
+    throw std::invalid_argument(
+        "KernelRidgeClassifier::fit: need >= 2 classes");
+  }
+  const std::size_t n = gram.rows();
+  Tensor targets{Shape{n, classes}};
+  for (std::size_t i = 0; i < n; ++i) {
+    if (labels[i] >= classes) {
+      throw std::out_of_range("KernelRidgeClassifier::fit: label range");
+    }
+    for (std::size_t c = 0; c < classes; ++c) {
+      targets.at(i, c) = labels[i] == c ? 1.0 : -1.0;
+    }
+  }
+  alpha_ = tensor::solve_spd(gram, targets, ridge_);
+  classes_ = classes;
+  training_size_ = n;
+  fitted_ = true;
+}
+
+Tensor KernelRidgeClassifier::decision_function(
+    const Tensor& cross_kernel) const {
+  if (!fitted_) {
+    throw std::logic_error("KernelRidgeClassifier: not fitted");
+  }
+  if (cross_kernel.rank() != 2 || cross_kernel.cols() != training_size_) {
+    throw std::invalid_argument(
+        "KernelRidgeClassifier: cross-kernel must be [m, n_train]");
+  }
+  return tensor::matmul(cross_kernel, alpha_);
+}
+
+std::vector<std::size_t> KernelRidgeClassifier::predict(
+    const Tensor& cross_kernel) const {
+  const Tensor scores = decision_function(cross_kernel);
+  std::vector<std::size_t> predictions(scores.rows());
+  for (std::size_t i = 0; i < scores.rows(); ++i) {
+    predictions[i] = tensor::argmax_row(scores, i);
+  }
+  return predictions;
+}
+
+double KernelRidgeClassifier::score(
+    const Tensor& cross_kernel, std::span<const std::size_t> labels) const {
+  const auto predictions = predict(cross_kernel);
+  if (predictions.size() != labels.size()) {
+    throw std::invalid_argument("KernelRidgeClassifier::score: size");
+  }
+  if (labels.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (predictions[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+}  // namespace qhdl::nn

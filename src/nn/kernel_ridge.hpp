@@ -1,0 +1,48 @@
+// Kernel ridge classification (one-vs-rest least squares in kernel space).
+//
+// Given a precomputed kernel Gram matrix K [n, n] and labels, fits
+//   α = (K + λ I)⁻¹ Y     (Y = ±1 one-vs-rest targets, one column per class)
+// via Cholesky, and predicts argmax over class scores K_cross · α.
+// Kernel-agnostic: pair with qnn::kernel_matrix (quantum fidelity kernel) or
+// qnn::rbf_kernel_matrix (classical baseline).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace qhdl::nn {
+
+class KernelRidgeClassifier {
+ public:
+  /// `ridge` is the λ regularizer (> 0 keeps the solve well-posed).
+  explicit KernelRidgeClassifier(double ridge = 1e-3);
+
+  /// Fits from a precomputed symmetric Gram matrix over the training set.
+  void fit(const tensor::Tensor& gram, std::span<const std::size_t> labels,
+           std::size_t classes);
+
+  /// Predicts scores from a cross-kernel matrix [m, n_train] -> [m, classes].
+  tensor::Tensor decision_function(const tensor::Tensor& cross_kernel) const;
+
+  /// Predicted class per row of the cross-kernel matrix.
+  std::vector<std::size_t> predict(const tensor::Tensor& cross_kernel) const;
+
+  /// Accuracy against ground truth.
+  double score(const tensor::Tensor& cross_kernel,
+               std::span<const std::size_t> labels) const;
+
+  bool is_fitted() const { return fitted_; }
+  std::size_t classes() const { return classes_; }
+  std::size_t training_size() const { return training_size_; }
+
+ private:
+  double ridge_;
+  bool fitted_ = false;
+  std::size_t classes_ = 0;
+  std::size_t training_size_ = 0;
+  tensor::Tensor alpha_;  ///< [n_train, classes]
+};
+
+}  // namespace qhdl::nn

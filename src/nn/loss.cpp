@@ -1,0 +1,65 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "tensor/ops.hpp"
+
+namespace qhdl::nn {
+
+using tensor::Tensor;
+
+LossResult SoftmaxCrossEntropy::evaluate(
+    const Tensor& logits, std::span<const std::size_t> labels) const {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument("SoftmaxCrossEntropy: rank-2 logits expected");
+  }
+  const std::size_t batch = logits.rows(), classes = logits.cols();
+  if (labels.size() != batch) {
+    throw std::invalid_argument("SoftmaxCrossEntropy: batch " +
+                                std::to_string(batch) + " vs labels " +
+                                std::to_string(labels.size()));
+  }
+  Tensor probs = softmax_rows(logits);
+  double total = 0.0;
+  for (std::size_t i = 0; i < batch; ++i) {
+    if (labels[i] >= classes) {
+      throw std::out_of_range("SoftmaxCrossEntropy: label out of range");
+    }
+    // Clamp to avoid log(0) when a probability underflows.
+    const double p = std::max(probs.at(i, labels[i]), 1e-300);
+    total -= std::log(p);
+  }
+
+  LossResult result;
+  result.value = total / static_cast<double>(batch);
+  // d(mean CE)/d(logit) = (softmax - onehot) / batch.
+  result.grad = std::move(probs);
+  const double inv_batch = 1.0 / static_cast<double>(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    result.grad.at(i, labels[i]) -= 1.0;
+    for (std::size_t j = 0; j < classes; ++j) {
+      result.grad.at(i, j) *= inv_batch;
+    }
+  }
+  return result;
+}
+
+LossResult MeanSquaredError::evaluate(const Tensor& predictions,
+                                      const Tensor& targets) const {
+  tensor::check_same_shape(predictions.shape(), targets.shape(),
+                           "MeanSquaredError");
+  LossResult result;
+  result.grad = tensor::subtract(predictions, targets);
+  double total = 0.0;
+  for (std::size_t i = 0; i < result.grad.size(); ++i) {
+    total += result.grad[i] * result.grad[i];
+  }
+  const double n = static_cast<double>(result.grad.size());
+  result.value = total / n;
+  tensor::scale_inplace(result.grad, 2.0 / n);
+  return result;
+}
+
+}  // namespace qhdl::nn

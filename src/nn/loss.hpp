@@ -1,0 +1,33 @@
+// Losses. Training uses the fused softmax + cross-entropy (numerically
+// stable, gradient = softmax - onehot), matching Keras's
+// SparseCategoricalCrossentropy(from_logits=True).
+#pragma once
+
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace qhdl::nn {
+
+/// Result of a loss evaluation: scalar mean loss and dL/d(logits).
+struct LossResult {
+  double value = 0.0;
+  tensor::Tensor grad;  ///< same shape as the logits, already mean-reduced
+};
+
+/// Mean softmax cross-entropy over the batch from raw logits.
+/// labels[i] in [0, classes).
+class SoftmaxCrossEntropy {
+ public:
+  LossResult evaluate(const tensor::Tensor& logits,
+                      std::span<const std::size_t> labels) const;
+};
+
+/// Mean squared error against a dense target of the same shape.
+class MeanSquaredError {
+ public:
+  LossResult evaluate(const tensor::Tensor& predictions,
+                      const tensor::Tensor& targets) const;
+};
+
+}  // namespace qhdl::nn

@@ -1,0 +1,52 @@
+#include "nn/metrics.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace qhdl::nn {
+
+double accuracy(const tensor::Tensor& logits,
+                std::span<const std::size_t> labels) {
+  if (logits.rank() != 2 || logits.rows() != labels.size()) {
+    throw std::invalid_argument("accuracy: logits/labels mismatch");
+  }
+  if (labels.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (tensor::argmax_row(logits, i) == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+std::vector<std::size_t> predict_classes(const tensor::Tensor& logits) {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument("predict_classes: rank-2 logits expected");
+  }
+  std::vector<std::size_t> out(logits.rows());
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    out[i] = tensor::argmax_row(logits, i);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::size_t>> confusion_matrix(
+    const tensor::Tensor& logits, std::span<const std::size_t> labels,
+    std::size_t classes) {
+  if (logits.rank() != 2 || logits.rows() != labels.size()) {
+    throw std::invalid_argument("confusion_matrix: logits/labels mismatch");
+  }
+  std::vector<std::vector<std::size_t>> counts(
+      classes, std::vector<std::size_t>(classes, 0));
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const std::size_t actual = labels[i];
+    const std::size_t predicted = tensor::argmax_row(logits, i);
+    if (actual >= classes || predicted >= classes) {
+      throw std::out_of_range("confusion_matrix: class index out of range");
+    }
+    ++counts[actual][predicted];
+  }
+  return counts;
+}
+
+}  // namespace qhdl::nn

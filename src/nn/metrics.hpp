@@ -1,0 +1,23 @@
+// Classification metrics over logits.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace qhdl::nn {
+
+/// Fraction of rows where argmax(logits) == label.
+double accuracy(const tensor::Tensor& logits,
+                std::span<const std::size_t> labels);
+
+/// Predicted class per row.
+std::vector<std::size_t> predict_classes(const tensor::Tensor& logits);
+
+/// classes x classes confusion matrix; [actual][predicted] counts.
+std::vector<std::vector<std::size_t>> confusion_matrix(
+    const tensor::Tensor& logits, std::span<const std::size_t> labels,
+    std::size_t classes);
+
+}  // namespace qhdl::nn

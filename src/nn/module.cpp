@@ -1,0 +1,15 @@
+#include "nn/module.hpp"
+
+namespace qhdl::nn {
+
+void Module::zero_grad() {
+  for (Parameter* p : parameters()) p->zero_grad();
+}
+
+std::size_t Module::parameter_count() {
+  std::size_t total = 0;
+  for (Parameter* p : parameters()) total += p->size();
+  return total;
+}
+
+}  // namespace qhdl::nn

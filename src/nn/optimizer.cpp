@@ -1,0 +1,68 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace qhdl::nn {
+
+using tensor::Tensor;
+
+Sgd::Sgd(double learning_rate) : learning_rate_(learning_rate) {}
+
+void Sgd::step(const std::vector<Parameter*>& parameters) {
+  for (Parameter* p : parameters) {
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      p->value[i] -= learning_rate_ * p->grad[i];
+    }
+  }
+}
+
+Momentum::Momentum(double learning_rate, double momentum)
+    : learning_rate_(learning_rate), momentum_(momentum) {}
+
+void Momentum::step(const std::vector<Parameter*>& parameters) {
+  for (Parameter* p : parameters) {
+    auto [it, inserted] =
+        velocity_.try_emplace(p, Tensor::zeros(p->value.shape()));
+    Tensor& v = it->second;
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      v[i] = momentum_ * v[i] + p->grad[i];
+      p->value[i] -= learning_rate_ * v[i];
+    }
+  }
+}
+
+void Momentum::reset() { velocity_.clear(); }
+
+Adam::Adam(double learning_rate, double beta1, double beta2, double epsilon)
+    : learning_rate_(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon) {}
+
+void Adam::step(const std::vector<Parameter*>& parameters) {
+  ++step_count_;
+  const double t = static_cast<double>(step_count_);
+  const double bias1 = 1.0 - std::pow(beta1_, t);
+  const double bias2 = 1.0 - std::pow(beta2_, t);
+  for (Parameter* p : parameters) {
+    auto [it, inserted] = slots_.try_emplace(
+        p, Slots{Tensor::zeros(p->value.shape()),
+                 Tensor::zeros(p->value.shape())});
+    Slots& s = it->second;
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      const double g = p->grad[i];
+      s.m[i] = beta1_ * s.m[i] + (1.0 - beta1_) * g;
+      s.v[i] = beta2_ * s.v[i] + (1.0 - beta2_) * g * g;
+      const double m_hat = s.m[i] / bias1;
+      const double v_hat = s.v[i] / bias2;
+      p->value[i] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+  }
+}
+
+void Adam::reset() {
+  slots_.clear();
+  step_count_ = 0;
+}
+
+}  // namespace qhdl::nn

@@ -1,0 +1,70 @@
+// Gradient-descent optimizers over a flat parameter list. The paper trains
+// everything with Adam(lr=1e-3); SGD/Momentum are provided for baselines and
+// tests.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace qhdl::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using each parameter's accumulated gradient.
+  virtual void step(const std::vector<Parameter*>& parameters) = 0;
+
+  /// Clears optimizer slots (moments); call when re-using an optimizer for a
+  /// fresh model.
+  virtual void reset() {}
+};
+
+/// Plain SGD: w -= lr * g.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double learning_rate);
+  void step(const std::vector<Parameter*>& parameters) override;
+
+ private:
+  double learning_rate_;
+};
+
+/// Classical momentum: v = mu*v + g; w -= lr*v.
+class Momentum : public Optimizer {
+ public:
+  Momentum(double learning_rate, double momentum);
+  void step(const std::vector<Parameter*>& parameters) override;
+  void reset() override;
+
+ private:
+  double learning_rate_;
+  double momentum_;
+  std::map<Parameter*, tensor::Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction; Keras-default
+/// beta1=0.9, beta2=0.999, eps=1e-7.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double learning_rate, double beta1 = 0.9,
+                double beta2 = 0.999, double epsilon = 1e-7);
+  void step(const std::vector<Parameter*>& parameters) override;
+  void reset() override;
+
+ private:
+  struct Slots {
+    tensor::Tensor m;
+    tensor::Tensor v;
+  };
+  double learning_rate_;
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  long step_count_ = 0;
+  std::map<Parameter*, Slots> slots_;
+};
+
+}  // namespace qhdl::nn

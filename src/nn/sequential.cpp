@@ -1,0 +1,66 @@
+#include "nn/sequential.hpp"
+
+#include <stdexcept>
+
+namespace qhdl::nn {
+
+using tensor::Tensor;
+
+Sequential& Sequential::add(std::unique_ptr<Module> layer) {
+  if (!layer) throw std::invalid_argument("Sequential::add: null layer");
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& input) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->forward(x);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<Parameter*> Sequential::parameters() {
+  std::vector<Parameter*> all;
+  for (auto& layer : layers_) {
+    for (Parameter* p : layer->parameters()) all.push_back(p);
+  }
+  return all;
+}
+
+LayerInfo Sequential::info() const {
+  LayerInfo li;
+  li.kind = "sequential";
+  if (!layers_.empty()) {
+    li.inputs = layers_.front()->info().inputs;
+    li.outputs = layers_.back()->info().outputs;
+  }
+  for (const auto& layer : layers_) {
+    li.parameter_count += layer->info().parameter_count;
+  }
+  return li;
+}
+
+std::string Sequential::name() const {
+  std::string out = "Sequential[";
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += layers_[i]->name();
+  }
+  return out + "]";
+}
+
+std::vector<LayerInfo> Sequential::layer_infos() const {
+  std::vector<LayerInfo> infos;
+  infos.reserve(layers_.size());
+  for (const auto& layer : layers_) infos.push_back(layer->info());
+  return infos;
+}
+
+}  // namespace qhdl::nn

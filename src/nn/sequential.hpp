@@ -1,0 +1,43 @@
+// Ordered container of Modules with chained forward/backward.
+#pragma once
+
+#include <memory>
+
+#include "nn/module.hpp"
+
+namespace qhdl::nn {
+
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer; returns *this for fluent building.
+  Sequential& add(std::unique_ptr<Module> layer);
+
+  /// Emplace-style append.
+  template <typename M, typename... Args>
+  M& emplace(Args&&... args) {
+    auto layer = std::make_unique<M>(std::forward<Args>(args)...);
+    M& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  LayerInfo info() const override;
+  std::string name() const override;
+
+  std::size_t layer_count() const { return layers_.size(); }
+  Module& layer(std::size_t index) { return *layers_.at(index); }
+  const Module& layer(std::size_t index) const { return *layers_.at(index); }
+
+  /// Per-layer descriptors in order (for profiling/reports).
+  std::vector<LayerInfo> layer_infos() const;
+
+ private:
+  std::vector<std::unique_ptr<Module>> layers_;
+};
+
+}  // namespace qhdl::nn

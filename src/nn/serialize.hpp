@@ -1,0 +1,27 @@
+// Weight serialization: persist a trained model's parameters as JSON and
+// restore them into a freshly built model of the same architecture
+// (architecture itself is reconstructed from its ModelSpec / config — this
+// module only moves the numbers).
+#pragma once
+
+#include <string>
+
+#include "nn/module.hpp"
+#include "util/json.hpp"
+
+namespace qhdl::nn {
+
+/// Snapshot of all parameters: names, shapes, and flat values, in layer
+/// order.
+util::Json parameters_to_json(Module& model);
+
+/// Restores parameters captured by parameters_to_json. Throws
+/// std::invalid_argument if the count, order, names, or shapes don't match
+/// the model's current parameters.
+void parameters_from_json(Module& model, const util::Json& snapshot);
+
+/// Convenience file round-trip.
+void save_parameters(Module& model, const std::string& path);
+void load_parameters(Module& model, const std::string& path);
+
+}  // namespace qhdl::nn

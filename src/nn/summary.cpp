@@ -1,0 +1,32 @@
+#include "nn/summary.hpp"
+
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace qhdl::nn {
+
+std::string summarize(const Sequential& model) {
+  util::Table table({"#", "layer", "kind", "in", "out", "params", "extra"});
+  std::size_t total_params = 0;
+  const auto infos = model.layer_infos();
+  for (std::size_t i = 0; i < infos.size(); ++i) {
+    const LayerInfo& info = infos[i];
+    total_params += info.parameter_count;
+    std::string extra;
+    if (info.kind == "quantum") {
+      extra = info.ansatz + " q=" + std::to_string(info.qubits) + " d=" +
+              std::to_string(info.depth) + " gates=" +
+              std::to_string(info.gate_count);
+    }
+    table.add_row({std::to_string(i), model.layer(i).name(), info.kind,
+                   std::to_string(info.inputs), std::to_string(info.outputs),
+                   std::to_string(info.parameter_count), extra});
+  }
+  std::ostringstream oss;
+  oss << table.to_string();
+  oss << "total trainable parameters: " << total_params << "\n";
+  return oss.str();
+}
+
+}  // namespace qhdl::nn

@@ -1,0 +1,16 @@
+// Human-readable model summaries (Keras `model.summary()` style) combining
+// the structural descriptors with the analytic FLOPs profile.
+#pragma once
+
+#include <string>
+
+#include "nn/sequential.hpp"
+
+namespace qhdl::nn {
+
+/// Renders a per-layer table: name, output width, parameter count, plus
+/// totals. (FLOPs live in flops::report_to_string, which has the cost
+/// model; this summary is dependency-free.)
+std::string summarize(const Sequential& model);
+
+}  // namespace qhdl::nn

@@ -1,0 +1,141 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "nn/metrics.hpp"
+#include "util/csv.hpp"
+#include "util/string_util.hpp"
+#include "util/logging.hpp"
+
+namespace qhdl::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor slice_rows(const Tensor& matrix,
+                  std::span<const std::size_t> row_indices) {
+  if (matrix.rank() != 2) {
+    throw std::invalid_argument("slice_rows: rank-2 input expected");
+  }
+  const std::size_t cols = matrix.cols();
+  Tensor out{Shape{row_indices.size(), cols}};
+  for (std::size_t i = 0; i < row_indices.size(); ++i) {
+    const std::size_t r = row_indices[i];
+    if (r >= matrix.rows()) {
+      throw std::out_of_range("slice_rows: row index out of range");
+    }
+    for (std::size_t j = 0; j < cols; ++j) out.at(i, j) = matrix.at(r, j);
+  }
+  return out;
+}
+
+double evaluate_accuracy(Module& model, const Tensor& x,
+                         std::span<const std::size_t> y) {
+  const Tensor logits = model.forward(x);
+  return accuracy(logits, y);
+}
+
+TrainHistory train_classifier(Module& model, Optimizer& optimizer,
+                              const Tensor& x_train,
+                              std::span<const std::size_t> y_train,
+                              const Tensor& x_val,
+                              std::span<const std::size_t> y_val,
+                              const TrainConfig& config, util::Rng& rng) {
+  if (x_train.rank() != 2 || x_train.rows() != y_train.size()) {
+    throw std::invalid_argument("train_classifier: train data mismatch");
+  }
+  if (x_val.rank() != 2 || x_val.rows() != y_val.size()) {
+    throw std::invalid_argument("train_classifier: val data mismatch");
+  }
+  if (config.batch_size == 0) {
+    throw std::invalid_argument("train_classifier: batch_size must be > 0");
+  }
+
+  const std::size_t n = x_train.rows();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  SoftmaxCrossEntropy loss_fn;
+  TrainHistory history;
+  double best_val_for_patience = -1.0;
+  std::size_t epochs_without_improvement = 0;
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    if (config.shuffle) rng.shuffle(order);
+
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t begin = 0; begin < n; begin += config.batch_size) {
+      const std::size_t end = std::min(begin + config.batch_size, n);
+      const std::span<const std::size_t> batch_rows{order.data() + begin,
+                                                    end - begin};
+      const Tensor x_batch = slice_rows(x_train, batch_rows);
+      std::vector<std::size_t> y_batch(batch_rows.size());
+      for (std::size_t i = 0; i < batch_rows.size(); ++i) {
+        y_batch[i] = y_train[batch_rows[i]];
+      }
+
+      model.zero_grad();
+      const Tensor logits = model.forward(x_batch);
+      const LossResult loss = loss_fn.evaluate(logits, y_batch);
+      model.backward(loss.grad);
+      optimizer.step(model.parameters());
+
+      epoch_loss += loss.value;
+      ++batches;
+    }
+
+    EpochStats stats;
+    stats.train_loss = batches > 0 ? epoch_loss / static_cast<double>(batches)
+                                   : 0.0;
+    stats.train_accuracy = evaluate_accuracy(model, x_train, y_train);
+    stats.val_accuracy = evaluate_accuracy(model, x_val, y_val);
+    history.epochs.push_back(stats);
+    history.best_train_accuracy =
+        std::max(history.best_train_accuracy, stats.train_accuracy);
+    history.best_val_accuracy =
+        std::max(history.best_val_accuracy, stats.val_accuracy);
+    history.epochs_run = epoch + 1;
+
+    util::log_debug("epoch " + std::to_string(epoch + 1) + "/" +
+                    std::to_string(config.epochs) + " loss=" +
+                    std::to_string(stats.train_loss) + " train_acc=" +
+                    std::to_string(stats.train_accuracy) + " val_acc=" +
+                    std::to_string(stats.val_accuracy));
+    if (config.on_epoch) config.on_epoch(epoch, stats);
+
+    if (config.early_stop_accuracy > 0.0 &&
+        history.best_train_accuracy >= config.early_stop_accuracy &&
+        history.best_val_accuracy >= config.early_stop_accuracy) {
+      break;
+    }
+    if (config.patience > 0) {
+      // Standard patience semantics: only a STRICT improvement resets the
+      // counter, so saturated validation accuracy also triggers the stop.
+      if (stats.val_accuracy > best_val_for_patience) {
+        best_val_for_patience = stats.val_accuracy;
+        epochs_without_improvement = 0;
+      } else if (++epochs_without_improvement >= config.patience) {
+        break;
+      }
+    }
+  }
+  return history;
+}
+
+std::string history_to_csv(const TrainHistory& history) {
+  util::CsvWriter csv({"epoch", "train_loss", "train_accuracy",
+                       "val_accuracy"});
+  for (std::size_t e = 0; e < history.epochs.size(); ++e) {
+    const EpochStats& stats = history.epochs[e];
+    csv.add_row({std::to_string(e + 1),
+                 util::format_double(stats.train_loss, 6),
+                 util::format_double(stats.train_accuracy, 6),
+                 util::format_double(stats.val_accuracy, 6)});
+  }
+  return csv.to_string();
+}
+
+}  // namespace qhdl::nn

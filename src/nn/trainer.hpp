@@ -1,0 +1,69 @@
+// Mini-batch training loop reproducing the paper's protocol:
+// Adam(lr=1e-3), batch size 8, 100 epochs, record the highest train and
+// validation accuracy reached across epochs (Section III-F).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "nn/loss.hpp"
+#include "nn/module.hpp"
+#include "nn/optimizer.hpp"
+#include "util/rng.hpp"
+
+namespace qhdl::nn {
+
+struct EpochStats {
+  double train_loss = 0.0;
+  double train_accuracy = 0.0;
+  double val_accuracy = 0.0;
+};
+
+struct TrainConfig {
+  std::size_t epochs = 100;
+  std::size_t batch_size = 8;
+  double learning_rate = 1e-3;
+  /// Stops early once both best train and best val accuracy reach this
+  /// value (0 disables). The paper's threshold is 0.90; stopping early is
+  /// sound because only the best-so-far accuracies are recorded.
+  double early_stop_accuracy = 0.0;
+  bool shuffle = true;
+  /// Early-stopping patience: stop when val accuracy has not improved for
+  /// this many consecutive epochs (0 disables). Independent of
+  /// early_stop_accuracy.
+  std::size_t patience = 0;
+  /// Optional per-epoch observer (epoch index, stats). Called after each
+  /// epoch's evaluation; exceptions propagate and abort training.
+  std::function<void(std::size_t, const EpochStats&)> on_epoch{};
+};
+
+struct TrainHistory {
+  std::vector<EpochStats> epochs;
+  double best_train_accuracy = 0.0;
+  double best_val_accuracy = 0.0;
+  std::size_t epochs_run = 0;
+};
+
+/// Trains `model` with softmax cross-entropy on (x_train, y_train),
+/// evaluating on (x_val, y_val) each epoch. `rng` drives batch shuffling.
+TrainHistory train_classifier(Module& model, Optimizer& optimizer,
+                              const tensor::Tensor& x_train,
+                              std::span<const std::size_t> y_train,
+                              const tensor::Tensor& x_val,
+                              std::span<const std::size_t> y_val,
+                              const TrainConfig& config, util::Rng& rng);
+
+/// Evaluates accuracy of `model` on (x, y) without touching gradients.
+double evaluate_accuracy(Module& model, const tensor::Tensor& x,
+                         std::span<const std::size_t> y);
+
+/// Extracts rows [begin, end) of a [N,F] matrix into a new tensor.
+tensor::Tensor slice_rows(const tensor::Tensor& matrix,
+                          std::span<const std::size_t> row_indices);
+
+/// Learning-curve export: one CSV row per epoch
+/// (epoch, train_loss, train_accuracy, val_accuracy).
+std::string history_to_csv(const TrainHistory& history);
+
+}  // namespace qhdl::nn

@@ -1,0 +1,171 @@
+#include "qnn/amplitude_layer.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "tensor/init.hpp"
+#include "util/string_util.hpp"
+
+namespace qhdl::qnn {
+
+using quantum::Complex;
+using quantum::StateVector;
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+quantum::Circuit build_ansatz_circuit(const AmplitudeLayerConfig& config) {
+  quantum::Circuit circuit{config.qubits};
+  append_ansatz(circuit, config.ansatz, config.qubits, config.depth, 0);
+  return circuit;
+}
+
+std::vector<quantum::Observable> z_observables(std::size_t qubits) {
+  std::vector<quantum::Observable> observables;
+  observables.reserve(qubits);
+  for (std::size_t w = 0; w < qubits; ++w) {
+    observables.push_back(quantum::Observable::pauli_z(w));
+  }
+  return observables;
+}
+
+}  // namespace
+
+AmplitudeQuantumLayer::AmplitudeQuantumLayer(
+    const AmplitudeLayerConfig& config, util::Rng& rng)
+    : config_(config),
+      circuit_(build_ansatz_circuit(config)),
+      observables_(z_observables(config.qubits)),
+      weights_("theta",
+               tensor::uniform(
+                   Shape{ansatz_weight_count(config.ansatz, config.qubits,
+                                             config.depth)},
+                   0.0, 2.0 * std::numbers::pi, rng)) {
+  if (config.qubits == 0 || config.qubits > 16) {
+    throw std::invalid_argument(
+        "AmplitudeQuantumLayer: qubits must be in [1, 16]");
+  }
+}
+
+StateVector AmplitudeQuantumLayer::encode_row(const Tensor& input,
+                                              std::size_t row,
+                                              double& norm) const {
+  const std::size_t width = input_width();
+  double sum_sq = 0.0;
+  for (std::size_t j = 0; j < width; ++j) {
+    sum_sq += input.at(row, j) * input.at(row, j);
+  }
+  norm = std::sqrt(sum_sq);
+  if (norm < 1e-12) {
+    throw std::invalid_argument(
+        "AmplitudeQuantumLayer: input row has (near-)zero norm; amplitude "
+        "encoding requires a nonzero vector");
+  }
+  std::vector<Complex> amplitudes(width);
+  for (std::size_t j = 0; j < width; ++j) {
+    amplitudes[j] = Complex{input.at(row, j) / norm, 0.0};
+  }
+  return StateVector{std::move(amplitudes)};
+}
+
+Tensor AmplitudeQuantumLayer::forward(const Tensor& input) {
+  const std::size_t width = input_width();
+  if (input.rank() != 2 || input.cols() != width) {
+    throw std::invalid_argument(
+        "AmplitudeQuantumLayer::forward: expected [B, " +
+        std::to_string(width) + "], got " + input.shape().to_string());
+  }
+  cached_input_ = input;
+  has_cached_input_ = true;
+
+  const std::vector<double> params(weights_.value.data().begin(),
+                                   weights_.value.data().end());
+  Tensor output{Shape{input.rows(), config_.qubits}};
+  for (std::size_t b = 0; b < input.rows(); ++b) {
+    double norm = 0.0;
+    StateVector psi = encode_row(input, b, norm);
+    circuit_.run(psi, params);
+    for (std::size_t w = 0; w < config_.qubits; ++w) {
+      output.at(b, w) = observables_[w].expectation(psi);
+    }
+  }
+  return output;
+}
+
+Tensor AmplitudeQuantumLayer::backward(const Tensor& grad_output) {
+  if (!has_cached_input_) {
+    throw std::logic_error("AmplitudeQuantumLayer::backward before forward");
+  }
+  const std::size_t width = input_width();
+  const std::size_t q = config_.qubits;
+  if (grad_output.rank() != 2 || grad_output.cols() != q ||
+      grad_output.rows() != cached_input_.rows()) {
+    throw std::invalid_argument(
+        "AmplitudeQuantumLayer::backward: grad shape " +
+        grad_output.shape().to_string());
+  }
+
+  const std::vector<double> params(weights_.value.data().begin(),
+                                   weights_.value.data().end());
+  Tensor grad_input{Shape{cached_input_.rows(), width}};
+  std::vector<double> upstream(q);
+
+  for (std::size_t b = 0; b < cached_input_.rows(); ++b) {
+    double norm = 0.0;
+    const StateVector phi = encode_row(cached_input_, b, norm);
+    for (std::size_t w = 0; w < q; ++w) upstream[w] = grad_output.at(b, w);
+
+    // Weight gradients: adjoint sweep starting from |φ⟩.
+    const auto vjp = quantum::adjoint_vjp_from_state(
+        circuit_, params, phi, observables_, upstream);
+    for (std::size_t i = 0; i < weights_.value.size(); ++i) {
+      weights_.grad[i] += vjp.gradient[i];
+    }
+
+    // Input gradients: dE/dφ, then the normalization Jacobian
+    // dφ_j/dx_i = (δ_ij − φ_i φ_j) / ‖x‖.
+    const auto dphi = quantum::initial_state_cogradient(
+        circuit_, params, phi, observables_, upstream);
+    const auto amps = phi.amplitudes();
+    double phi_dot_dphi = 0.0;
+    for (std::size_t j = 0; j < width; ++j) {
+      phi_dot_dphi += amps[j].real() * dphi[j];
+    }
+    for (std::size_t i = 0; i < width; ++i) {
+      grad_input.at(b, i) =
+          (dphi[i] - amps[i].real() * phi_dot_dphi) / norm;
+    }
+  }
+  return grad_input;
+}
+
+std::vector<nn::Parameter*> AmplitudeQuantumLayer::parameters() {
+  return {&weights_};
+}
+
+nn::LayerInfo AmplitudeQuantumLayer::info() const {
+  nn::LayerInfo li;
+  li.kind = "quantum";
+  li.inputs = input_width();
+  li.outputs = config_.qubits;
+  li.parameter_count = weights_.value.size();
+  li.qubits = config_.qubits;
+  li.depth = config_.depth;
+  li.ansatz = util::to_lower(ansatz_name(config_.ansatz));
+  const auto counts =
+      ansatz_op_counts(config_.ansatz, config_.qubits, config_.depth);
+  li.encoding_gate_count = 0;  // state preparation is data, not gates
+  li.gate_count = counts.rotation_ops + counts.entangling_ops;
+  li.param_gate_count = counts.rotation_ops;
+  return li;
+}
+
+std::string AmplitudeQuantumLayer::name() const {
+  return "AmplitudeQuantum" + ansatz_name(config_.ansatz) + "(q=" +
+         std::to_string(config_.qubits) + ", d=" +
+         std::to_string(config_.depth) + ")";
+}
+
+}  // namespace qhdl::qnn

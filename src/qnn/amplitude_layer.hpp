@@ -1,0 +1,58 @@
+// Amplitude-encoded quantum layer.
+//
+// The paper's Table-I discussion notes that "the availability of quantum-
+// native datasets would eliminate the need for data encoding". Amplitude
+// encoding is the closest classical stand-in: 2^q features become the 2^q
+// amplitudes of a q-qubit register directly (after L2 normalization), so
+// the hybrid model no longer needs the Dense(F→q) compressor that dominates
+// the classical-stage FLOPs in Figs. 6-10.
+//
+//   inputs x ∈ R^{2^q}  →  |φ(x)⟩ = x / ‖x‖  →  ansatz U(θ)  →  ⟨Z_w⟩.
+//
+// Gradients are exact everywhere:
+//   * weights — one adjoint sweep starting from |φ(x)⟩;
+//   * inputs — dE/dφ_i = 2 Re[(U†O_eff U φ)_i] (real amplitudes), pushed
+//     through the normalization Jacobian (δ_ij − φ_i φ_j)/‖x‖.
+#pragma once
+
+#include "nn/module.hpp"
+#include "qnn/ansatz.hpp"
+#include "quantum/adjoint_diff.hpp"
+#include "util/rng.hpp"
+
+namespace qhdl::qnn {
+
+struct AmplitudeLayerConfig {
+  std::size_t qubits = 3;  ///< encodes 2^qubits features
+  std::size_t depth = 2;
+  AnsatzKind ansatz = AnsatzKind::StronglyEntangling;
+};
+
+class AmplitudeQuantumLayer : public nn::Module {
+ public:
+  AmplitudeQuantumLayer(const AmplitudeLayerConfig& config, util::Rng& rng);
+
+  /// Input width is 2^qubits; rows with (near-)zero norm are rejected.
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::vector<nn::Parameter*> parameters() override;
+  nn::LayerInfo info() const override;
+  std::string name() const override;
+
+  std::size_t qubits() const { return config_.qubits; }
+  std::size_t input_width() const { return std::size_t{1} << config_.qubits; }
+
+ private:
+  /// Normalized amplitude state for one row, plus its norm.
+  quantum::StateVector encode_row(const tensor::Tensor& input,
+                                  std::size_t row, double& norm) const;
+
+  AmplitudeLayerConfig config_;
+  quantum::Circuit circuit_;
+  std::vector<quantum::Observable> observables_;
+  nn::Parameter weights_;
+  tensor::Tensor cached_input_;
+  bool has_cached_input_ = false;
+};
+
+}  // namespace qhdl::qnn

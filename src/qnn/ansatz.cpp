@@ -1,0 +1,140 @@
+#include "qnn/ansatz.hpp"
+
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace qhdl::qnn {
+
+using quantum::Circuit;
+using quantum::GateType;
+
+std::string ansatz_name(AnsatzKind kind) {
+  switch (kind) {
+    case AnsatzKind::BasicEntangler: return "BEL";
+    case AnsatzKind::StronglyEntangling: return "SEL";
+    case AnsatzKind::HardwareEfficient: return "HEA";
+  }
+  return "?";
+}
+
+AnsatzKind ansatz_from_name(const std::string& name) {
+  const std::string lower = util::to_lower(name);
+  if (lower == "bel" || lower == "basic" || lower == "basicentangler") {
+    return AnsatzKind::BasicEntangler;
+  }
+  if (lower == "sel" || lower == "strong" || lower == "stronglyentangling") {
+    return AnsatzKind::StronglyEntangling;
+  }
+  if (lower == "hea" || lower == "hardware" || lower == "hardwareefficient") {
+    return AnsatzKind::HardwareEfficient;
+  }
+  throw std::invalid_argument("ansatz_from_name: unknown ansatz '" + name +
+                              "'");
+}
+
+std::size_t ansatz_weights_per_layer(AnsatzKind kind, std::size_t qubits) {
+  switch (kind) {
+    case AnsatzKind::BasicEntangler: return qubits;
+    case AnsatzKind::StronglyEntangling: return 3 * qubits;
+    case AnsatzKind::HardwareEfficient: return qubits;
+  }
+  return 0;
+}
+
+std::size_t ansatz_weight_count(AnsatzKind kind, std::size_t qubits,
+                                std::size_t depth) {
+  return depth * ansatz_weights_per_layer(kind, qubits);
+}
+
+namespace {
+
+/// CNOTs per entangling ring (PennyLane: q>=3 -> q CNOTs; q==2 -> 1; q==1 -> 0).
+std::size_t ring_cnot_count(std::size_t qubits) {
+  if (qubits >= 3) return qubits;
+  if (qubits == 2) return 1;
+  return 0;
+}
+
+}  // namespace
+
+AnsatzOpCounts ansatz_op_counts(AnsatzKind kind, std::size_t qubits,
+                                std::size_t depth) {
+  AnsatzOpCounts counts;
+  switch (kind) {
+    case AnsatzKind::BasicEntangler:
+      counts.rotation_ops = depth * qubits;
+      break;
+    case AnsatzKind::StronglyEntangling:
+      // Rot decomposes into RZ·RY·RZ -> 3 rotation ops per qubit per layer.
+      counts.rotation_ops = depth * qubits * 3;
+      break;
+    case AnsatzKind::HardwareEfficient:
+      counts.rotation_ops = depth * qubits;
+      counts.entangling_ops = depth * (qubits > 0 ? qubits - 1 : 0);
+      return counts;
+  }
+  counts.entangling_ops = depth * ring_cnot_count(qubits);
+  return counts;
+}
+
+std::size_t append_ansatz(Circuit& circuit, AnsatzKind kind,
+                          std::size_t qubits, std::size_t depth,
+                          std::size_t param_offset) {
+  if (qubits == 0 || qubits > circuit.num_qubits()) {
+    throw std::invalid_argument("append_ansatz: bad qubit count");
+  }
+  if (depth == 0) {
+    throw std::invalid_argument("append_ansatz: depth must be >= 1");
+  }
+
+  std::size_t p = param_offset;
+  for (std::size_t layer = 0; layer < depth; ++layer) {
+    switch (kind) {
+      case AnsatzKind::BasicEntangler: {
+        for (std::size_t w = 0; w < qubits; ++w) {
+          circuit.parameterized_gate(GateType::RX, p++, w);
+        }
+        if (qubits == 2) {
+          circuit.gate(GateType::CNOT, 0, 1);
+        } else if (qubits >= 3) {
+          for (std::size_t w = 0; w < qubits; ++w) {
+            circuit.gate(GateType::CNOT, w, (w + 1) % qubits);
+          }
+        }
+        break;
+      }
+      case AnsatzKind::HardwareEfficient: {
+        for (std::size_t w = 0; w < qubits; ++w) {
+          circuit.parameterized_gate(GateType::RY, p++, w);
+        }
+        for (std::size_t w = 0; w + 1 < qubits; ++w) {
+          circuit.gate(GateType::CZ, w, w + 1);
+        }
+        break;
+      }
+      case AnsatzKind::StronglyEntangling: {
+        for (std::size_t w = 0; w < qubits; ++w) {
+          circuit.rot(p, w);
+          p += 3;
+        }
+        if (qubits >= 2) {
+          // PennyLane default ranges: r = (layer mod (q-1)) + 1.
+          const std::size_t range =
+              qubits == 2 ? 1 : (layer % (qubits - 1)) + 1;
+          if (qubits == 2) {
+            circuit.gate(GateType::CNOT, 0, 1);
+          } else {
+            for (std::size_t w = 0; w < qubits; ++w) {
+              circuit.gate(GateType::CNOT, w, (w + range) % qubits);
+            }
+          }
+        }
+        break;
+      }
+    }
+  }
+  return p - param_offset;
+}
+
+}  // namespace qhdl::qnn

@@ -1,0 +1,51 @@
+// Trainable circuit ansätze, following PennyLane template semantics:
+//
+// BasicEntanglerLayers (BEL, paper Fig. 5(b)): per layer, one RX rotation per
+// qubit followed by a ring of CNOTs (CNOT(i, (i+1) mod q); a single CNOT for
+// q = 2, none for q = 1). Weights shape: (depth, qubits).
+//
+// StronglyEntanglingLayers (SEL, paper Fig. 5(a)): per layer, one Rot(φ,θ,ω)
+// per qubit (decomposed RZ·RY·RZ) followed by a ring of CNOTs with layer-
+// dependent range r = (l mod (q-1)) + 1: CNOT(i, (i+r) mod q). Weights
+// shape: (depth, qubits, 3).
+//
+// HardwareEfficient (HEA, extension): the ubiquitous NISQ ansatz — per
+// layer, one RY per qubit followed by a linear chain of CZs
+// (CZ(i, i+1), i < q−1). Weights shape: (depth, qubits). Included so the
+// study can probe a third point on the expressiveness/cost curve.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "quantum/circuit.hpp"
+
+namespace qhdl::qnn {
+
+enum class AnsatzKind { BasicEntangler, StronglyEntangling, HardwareEfficient };
+
+std::string ansatz_name(AnsatzKind kind);
+AnsatzKind ansatz_from_name(const std::string& name);
+
+/// Trainable angles per layer block.
+std::size_t ansatz_weights_per_layer(AnsatzKind kind, std::size_t qubits);
+
+/// Total trainable angles for `depth` layers.
+std::size_t ansatz_weight_count(AnsatzKind kind, std::size_t qubits,
+                                std::size_t depth);
+
+/// Structural op counts (per full ansatz, excluding encoding/measurement).
+struct AnsatzOpCounts {
+  std::size_t rotation_ops = 0;  ///< parameterized 1-qubit rotations
+  std::size_t entangling_ops = 0;  ///< CNOTs
+};
+AnsatzOpCounts ansatz_op_counts(AnsatzKind kind, std::size_t qubits,
+                                std::size_t depth);
+
+/// Appends `depth` ansatz layers to `circuit`, consuming weights from
+/// params[param_offset ...]. Returns the number of parameters consumed.
+std::size_t append_ansatz(quantum::Circuit& circuit, AnsatzKind kind,
+                          std::size_t qubits, std::size_t depth,
+                          std::size_t param_offset);
+
+}  // namespace qhdl::qnn

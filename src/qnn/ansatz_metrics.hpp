@@ -1,0 +1,61 @@
+// Quantitative ansatz analysis backing the paper's qualitative claim that
+// "the SEL quantum layer has a more intricate entanglement design than the
+// BEL, enhancing its expressiveness" (Section III-C):
+//
+// * Expressibility (Sim, Johnson & Aspuru-Guzik, Adv. Quantum Technol. 2019):
+//   the KL divergence between the ansatz's state-fidelity distribution under
+//   random parameters and the Haar-random distribution
+//   P_Haar(F) = (N−1)(1−F)^(N−2). LOWER KL = more expressive.
+//
+// * Entangling capability: the Meyer-Wallach measure
+//   Q(ψ) = 2(1 − (1/n)Σ_k Tr ρ_k²) averaged over random parameters;
+//   0 for product states, →1 for highly entangled states.
+//
+// * Gradient statistics: variance of ∂⟨Z_0⟩/∂θ over random parameters — the
+//   barren-plateau diagnostic (McClean et al., Nat. Commun. 2018) relevant
+//   to why deep/wide quantum layers may stop paying off.
+#pragma once
+
+#include "qnn/ansatz.hpp"
+#include "util/rng.hpp"
+
+namespace qhdl::qnn {
+
+struct ExpressibilityConfig {
+  std::size_t sample_pairs = 1000;  ///< random (θ1, θ2) fidelity samples
+  std::size_t bins = 50;            ///< fidelity histogram resolution
+};
+
+/// KL(P_ansatz || P_Haar) of the fidelity distribution; lower = more
+/// expressive. Deterministic given `rng`.
+double ansatz_expressibility(AnsatzKind kind, std::size_t qubits,
+                             std::size_t depth,
+                             const ExpressibilityConfig& config,
+                             util::Rng& rng);
+
+/// Mean Meyer-Wallach entanglement over `samples` random parameter vectors.
+double ansatz_entangling_capability(AnsatzKind kind, std::size_t qubits,
+                                    std::size_t depth, std::size_t samples,
+                                    util::Rng& rng);
+
+/// Meyer-Wallach Q of one state.
+double meyer_wallach(const quantum::StateVector& state);
+
+struct GradientStats {
+  double mean = 0.0;
+  double variance = 0.0;
+  double mean_abs = 0.0;
+};
+
+/// Statistics of ∂⟨Z_0⟩/∂θ_j over random parameter draws, pooled across all
+/// parameters (adjoint differentiation; `samples` draws).
+GradientStats ansatz_gradient_stats(AnsatzKind kind, std::size_t qubits,
+                                    std::size_t depth, std::size_t samples,
+                                    util::Rng& rng);
+
+/// Binned Haar fidelity probability for N-dimensional states:
+/// ∫_a^b (N−1)(1−F)^(N−2) dF = (1−a)^(N−1) − (1−b)^(N−1).
+double haar_bin_probability(std::size_t dimension, double bin_low,
+                            double bin_high);
+
+}  // namespace qhdl::qnn

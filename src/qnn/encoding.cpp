@@ -1,0 +1,24 @@
+#include "qnn/encoding.hpp"
+
+#include <stdexcept>
+
+namespace qhdl::qnn {
+
+std::size_t AngleEncoding::append(quantum::Circuit& circuit,
+                                  std::size_t qubits,
+                                  std::size_t param_offset) const {
+  if (qubits == 0 || qubits > circuit.num_qubits()) {
+    throw std::invalid_argument("AngleEncoding: bad qubit count");
+  }
+  if (!quantum::gate_is_parameterized(gate) ||
+      quantum::gate_arity(gate) != 1) {
+    throw std::invalid_argument(
+        "AngleEncoding: encoding gate must be a 1-qubit rotation");
+  }
+  for (std::size_t w = 0; w < qubits; ++w) {
+    circuit.parameterized_gate(gate, param_offset + w, w);
+  }
+  return qubits;
+}
+
+}  // namespace qhdl::qnn

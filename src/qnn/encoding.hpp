@@ -1,0 +1,30 @@
+// Data encoding: classical values -> quantum state.
+//
+// The paper uses angle encoding (one qubit per encoded value, Section III-C):
+// feature x_i becomes RX(scale · x_i) on wire i. `scale` defaults to π so
+// that the tanh-bounded activations of the preceding classical layer span a
+// half rotation, which keeps the encoding expressive (LaRose & Coyle,
+// PRA 102, 032420).
+#pragma once
+
+#include <cstddef>
+
+#include "quantum/circuit.hpp"
+
+namespace qhdl::qnn {
+
+struct AngleEncoding {
+  /// Rotation axis for the encoding gates (paper uses RX).
+  quantum::GateType gate = quantum::GateType::RX;
+  /// Multiplier applied to inputs before rotation. NOTE: with parameterized
+  /// circuit angles the scale is folded into the *input* at the layer level,
+  /// not into the circuit (circuit params are raw angles).
+  double scale = 1.0;
+
+  /// Appends encoding gates to `circuit`: gate(params[i]) on wire i for
+  /// i in [0, qubits). Returns the number of parameters consumed (= qubits).
+  std::size_t append(quantum::Circuit& circuit, std::size_t qubits,
+                     std::size_t param_offset = 0) const;
+};
+
+}  // namespace qhdl::qnn

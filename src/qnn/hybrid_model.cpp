@@ -1,0 +1,90 @@
+#include "qnn/hybrid_model.hpp"
+
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+
+namespace qhdl::qnn {
+
+namespace {
+
+void append_activation(nn::Sequential& model, Activation activation,
+                       std::size_t width) {
+  switch (activation) {
+    case Activation::Tanh:
+      model.emplace<nn::Tanh>(width);
+      return;
+    case Activation::ReLU:
+      model.emplace<nn::ReLU>(width);
+      return;
+  }
+  throw std::logic_error("append_activation: unknown activation");
+}
+
+}  // namespace
+
+std::unique_ptr<nn::Sequential> build_hybrid_model(const HybridConfig& config,
+                                                   util::Rng& rng) {
+  if (config.features == 0 || config.qubits == 0 || config.classes == 0) {
+    throw std::invalid_argument("build_hybrid_model: zero-sized dimension");
+  }
+  auto model = std::make_unique<nn::Sequential>();
+  model->emplace<nn::Dense>(config.features, config.qubits, rng);
+  // Tanh bounds the activations to [-1, 1]; the encoding scale (default π)
+  // then maps them onto a half rotation.
+  model->emplace<nn::Tanh>(config.qubits);
+
+  QuantumLayerConfig qcfg;
+  qcfg.qubits = config.qubits;
+  qcfg.depth = config.depth;
+  qcfg.ansatz = config.ansatz;
+  qcfg.diff_method = config.diff_method;
+  qcfg.encoding.scale = config.encoding_scale;
+  model->emplace<QuantumLayer>(qcfg, rng);
+
+  model->emplace<nn::Dense>(config.qubits, config.classes, rng);
+  return model;
+}
+
+std::unique_ptr<nn::Sequential> build_classical_model(
+    const ClassicalConfig& config, util::Rng& rng) {
+  if (config.features == 0 || config.classes == 0) {
+    throw std::invalid_argument("build_classical_model: zero-sized dimension");
+  }
+  auto model = std::make_unique<nn::Sequential>();
+  std::size_t width = config.features;
+  for (std::size_t hidden : config.hidden) {
+    if (hidden == 0) {
+      throw std::invalid_argument("build_classical_model: zero-width layer");
+    }
+    model->emplace<nn::Dense>(width, hidden, rng);
+    append_activation(*model, config.activation, hidden);
+    width = hidden;
+  }
+  model->emplace<nn::Dense>(width, config.classes, rng);
+  return model;
+}
+
+std::size_t hybrid_parameter_count(const HybridConfig& config) {
+  const std::size_t input_layer =
+      config.features * config.qubits + config.qubits;
+  const std::size_t quantum =
+      ansatz_weight_count(config.ansatz, config.qubits, config.depth);
+  const std::size_t output_layer =
+      config.qubits * config.classes + config.classes;
+  return input_layer + quantum + output_layer;
+}
+
+std::size_t classical_parameter_count(const ClassicalConfig& config) {
+  std::size_t total = 0;
+  std::size_t width = config.features;
+  for (std::size_t hidden : config.hidden) {
+    total += width * hidden + hidden;
+    width = hidden;
+  }
+  total += width * config.classes + config.classes;
+  return total;
+}
+
+}  // namespace qhdl::qnn

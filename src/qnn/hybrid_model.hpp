@@ -1,0 +1,55 @@
+// Model factories for the two network families the paper compares
+// (Fig. 1(b) vs Fig. 1(a)):
+//
+// Hybrid:    Dense(F -> q) + Tanh -> QuantumLayer(q, d, ansatz) ->
+//            Dense(q -> classes)            [logits; CE loss adds softmax]
+// Classical: Dense(F -> h1) + act -> ... -> Dense(h_n -> classes)
+//
+// Per Section III-C the hybrid input layer width equals the qubit count
+// (one qubit per encoded value under angle encoding) and the output layer
+// width equals the class count.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/sequential.hpp"
+#include "qnn/quantum_layer.hpp"
+
+namespace qhdl::qnn {
+
+enum class Activation { Tanh, ReLU };
+
+struct HybridConfig {
+  std::size_t features = 10;
+  std::size_t qubits = 3;
+  std::size_t depth = 2;
+  AnsatzKind ansatz = AnsatzKind::StronglyEntangling;
+  std::size_t classes = 3;
+  quantum::DiffMethod diff_method = quantum::DiffMethod::Adjoint;
+  double encoding_scale = 1.0;
+};
+
+struct ClassicalConfig {
+  std::size_t features = 10;
+  std::vector<std::size_t> hidden = {8};
+  std::size_t classes = 3;
+  Activation activation = Activation::Tanh;
+};
+
+/// Builds the paper's HQNN topology. Output is raw logits.
+std::unique_ptr<nn::Sequential> build_hybrid_model(const HybridConfig& config,
+                                                   util::Rng& rng);
+
+/// Builds a classical MLP baseline. Output is raw logits.
+std::unique_ptr<nn::Sequential> build_classical_model(
+    const ClassicalConfig& config, util::Rng& rng);
+
+/// Trainable-parameter count of the hybrid topology without building it
+/// (used to pre-sort search candidates).
+std::size_t hybrid_parameter_count(const HybridConfig& config);
+
+/// Trainable-parameter count of the classical topology without building it.
+std::size_t classical_parameter_count(const ClassicalConfig& config);
+
+}  // namespace qhdl::qnn

@@ -1,0 +1,159 @@
+#include "qnn/quantum_kernel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "quantum/gates.hpp"
+
+namespace qhdl::qnn {
+
+using quantum::StateVector;
+using tensor::Shape;
+using tensor::Tensor;
+
+StateVector feature_state(const QuantumKernelConfig& config,
+                          std::span<const double> x) {
+  const std::size_t qubits = x.size();
+  if (qubits == 0 || qubits > 20) {
+    throw std::invalid_argument(
+        "feature_state: feature count must be in [1, 20]");
+  }
+  StateVector state{qubits};
+  switch (config.map) {
+    case FeatureMapKind::Angle: {
+      for (std::size_t w = 0; w < qubits; ++w) {
+        state.apply_single_qubit(
+            quantum::gates::rx(config.scale * x[w]), w);
+      }
+      break;
+    }
+    case FeatureMapKind::ZZ: {
+      for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
+        for (std::size_t w = 0; w < qubits; ++w) {
+          state.apply_single_qubit(quantum::gates::hadamard(), w);
+          state.apply_single_qubit(
+              quantum::gates::rz(config.scale * x[w]), w);
+        }
+        if (qubits >= 2) {
+          for (std::size_t w = 0; w + 1 < qubits; ++w) {
+            const quantum::gates::IsingPair pair = quantum::gates::ising_pair(
+                quantum::GateType::RZZ,
+                config.scale * x[w] * x[w + 1]);
+            state.apply_double_flip_pairs(pair.even, pair.odd, w, w + 1);
+          }
+        }
+      }
+      break;
+    }
+  }
+  return state;
+}
+
+double kernel_value(const QuantumKernelConfig& config,
+                    std::span<const double> x1,
+                    std::span<const double> x2) {
+  if (x1.size() != x2.size()) {
+    throw std::invalid_argument("kernel_value: feature size mismatch");
+  }
+  const StateVector phi1 = feature_state(config, x1);
+  const StateVector phi2 = feature_state(config, x2);
+  return std::norm(phi1.inner_product(phi2));
+}
+
+namespace {
+
+std::vector<StateVector> feature_states_for_rows(
+    const QuantumKernelConfig& config, const Tensor& x) {
+  if (x.rank() != 2 || x.rows() == 0) {
+    throw std::invalid_argument("kernel: non-empty [n, F] input required");
+  }
+  std::vector<StateVector> states;
+  states.reserve(x.rows());
+  std::vector<double> row(x.cols());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < x.cols(); ++j) row[j] = x.at(i, j);
+    states.push_back(feature_state(config, row));
+  }
+  return states;
+}
+
+}  // namespace
+
+Tensor kernel_matrix(const QuantumKernelConfig& config, const Tensor& x) {
+  const auto states = feature_states_for_rows(config, x);
+  const std::size_t n = states.size();
+  Tensor k{Shape{n, n}};
+  for (std::size_t i = 0; i < n; ++i) {
+    k.at(i, i) = 1.0;  // |⟨φ|φ⟩|² for normalized states
+    for (std::size_t j = 0; j < i; ++j) {
+      const double value = std::norm(states[i].inner_product(states[j]));
+      k.at(i, j) = value;
+      k.at(j, i) = value;
+    }
+  }
+  return k;
+}
+
+Tensor cross_kernel_matrix(const QuantumKernelConfig& config,
+                           const Tensor& a, const Tensor& b) {
+  if (a.rank() != 2 || b.rank() != 2 || a.cols() != b.cols()) {
+    throw std::invalid_argument("cross_kernel_matrix: feature mismatch");
+  }
+  const auto states_a = feature_states_for_rows(config, a);
+  const auto states_b = feature_states_for_rows(config, b);
+  Tensor k{Shape{states_a.size(), states_b.size()}};
+  for (std::size_t i = 0; i < states_a.size(); ++i) {
+    for (std::size_t j = 0; j < states_b.size(); ++j) {
+      k.at(i, j) = std::norm(states_a[i].inner_product(states_b[j]));
+    }
+  }
+  return k;
+}
+
+namespace {
+
+double squared_distance(const Tensor& a, std::size_t i, const Tensor& b,
+                        std::size_t j) {
+  double total = 0.0;
+  for (std::size_t c = 0; c < a.cols(); ++c) {
+    const double d = a.at(i, c) - b.at(j, c);
+    total += d * d;
+  }
+  return total;
+}
+
+}  // namespace
+
+Tensor rbf_kernel_matrix(const Tensor& x, double gamma) {
+  if (x.rank() != 2 || x.rows() == 0) {
+    throw std::invalid_argument("rbf_kernel_matrix: non-empty [n, F] input");
+  }
+  const std::size_t n = x.rows();
+  Tensor k{Shape{n, n}};
+  for (std::size_t i = 0; i < n; ++i) {
+    k.at(i, i) = 1.0;
+    for (std::size_t j = 0; j < i; ++j) {
+      const double value = std::exp(-gamma * squared_distance(x, i, x, j));
+      k.at(i, j) = value;
+      k.at(j, i) = value;
+    }
+  }
+  return k;
+}
+
+Tensor rbf_cross_kernel_matrix(const Tensor& a, const Tensor& b,
+                               double gamma) {
+  if (a.rank() != 2 || b.rank() != 2 || a.cols() != b.cols()) {
+    throw std::invalid_argument("rbf_cross_kernel_matrix: feature mismatch");
+  }
+  Tensor k{Shape{a.rows(), b.rows()}};
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      k.at(i, j) = std::exp(-gamma * squared_distance(a, i, b, j));
+    }
+  }
+  return k;
+}
+
+}  // namespace qhdl::qnn

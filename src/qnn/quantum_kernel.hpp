@@ -1,0 +1,56 @@
+// Quantum fidelity kernels.
+//
+// An alternative lens on the paper's question Q2 ("does the quantum part
+// add anything qualitatively different?"): instead of a trainable quantum
+// LAYER, use a fixed quantum FEATURE MAP φ(x) and the fidelity kernel
+// k(x, x') = |⟨φ(x)|φ(x')⟩|², the construction scrutinized by the paper's
+// reference [30] (Schnabel & Roth, quantum kernel benchmarking).
+//
+// Feature maps:
+// * Angle — RX(x_i) per qubit: a PRODUCT state map; its kernel factorizes
+//   into Π_i cos²((x_i − x'_i)/2) and is classically trivial (useful as a
+//   control).
+// * ZZ — the entangling map (Havlíček et al., Nature 2019 style): per
+//   repetition, H on every qubit, RZ(x_i) per qubit, then RZZ(x_i·x_j) on a
+//   linear chain. Entanglement makes the kernel non-factorizable.
+#pragma once
+
+#include "quantum/statevector.hpp"
+#include "tensor/tensor.hpp"
+
+namespace qhdl::qnn {
+
+enum class FeatureMapKind { Angle, ZZ };
+
+struct QuantumKernelConfig {
+  FeatureMapKind map = FeatureMapKind::ZZ;
+  std::size_t repetitions = 2;  ///< feature-map repetitions (ZZ map depth)
+  double scale = 1.0;           ///< multiplier applied to features
+};
+
+/// |φ(x)⟩ for a feature vector (one qubit per feature; size in [1, 20]).
+quantum::StateVector feature_state(const QuantumKernelConfig& config,
+                                   std::span<const double> x);
+
+/// k(x1, x2) = |⟨φ(x1)|φ(x2)⟩|². Inputs must have equal size.
+double kernel_value(const QuantumKernelConfig& config,
+                    std::span<const double> x1, std::span<const double> x2);
+
+/// Symmetric Gram matrix of the rows of X [n, F] -> [n, n].
+/// States are prepared once per row (n state preparations, n² inner
+/// products).
+tensor::Tensor kernel_matrix(const QuantumKernelConfig& config,
+                             const tensor::Tensor& x);
+
+/// Cross-kernel of rows(A) vs rows(B): [na, nb].
+tensor::Tensor cross_kernel_matrix(const QuantumKernelConfig& config,
+                                   const tensor::Tensor& a,
+                                   const tensor::Tensor& b);
+
+/// Classical RBF baseline: k(x,x') = exp(-gamma‖x−x'‖²).
+tensor::Tensor rbf_kernel_matrix(const tensor::Tensor& x, double gamma);
+tensor::Tensor rbf_cross_kernel_matrix(const tensor::Tensor& a,
+                                       const tensor::Tensor& b,
+                                       double gamma);
+
+}  // namespace qhdl::qnn

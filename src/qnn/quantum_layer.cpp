@@ -1,0 +1,222 @@
+#include "qnn/quantum_layer.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <thread>
+
+#include "quantum/sampling.hpp"
+#include "tensor/init.hpp"
+#include "util/string_util.hpp"
+
+namespace qhdl::qnn {
+
+using quantum::Circuit;
+using quantum::Executor;
+using quantum::Observable;
+using tensor::Shape;
+using tensor::Tensor;
+
+Executor make_quantum_executor(const QuantumLayerConfig& config) {
+  Circuit circuit{config.qubits};
+  std::size_t offset =
+      config.encoding.append(circuit, config.qubits, /*param_offset=*/0);
+  append_ansatz(circuit, config.ansatz, config.qubits, config.depth, offset);
+
+  std::vector<Observable> observables;
+  observables.reserve(config.qubits);
+  for (std::size_t w = 0; w < config.qubits; ++w) {
+    observables.push_back(Observable::pauli_z(w));
+  }
+  return Executor{std::move(circuit), std::move(observables),
+                  config.diff_method};
+}
+
+QuantumLayer::QuantumLayer(const QuantumLayerConfig& config, util::Rng& rng)
+    : config_(config),
+      executor_(make_quantum_executor(config)),
+      weights_("theta",
+               tensor::uniform(
+                   Shape{ansatz_weight_count(config.ansatz, config.qubits,
+                                             config.depth)},
+                   0.0, 2.0 * std::numbers::pi, rng)),
+      sample_rng_(rng.split()) {
+  if (config.qubits == 0) {
+    throw std::invalid_argument("QuantumLayer: qubits must be >= 1");
+  }
+  if (config.shots > 0 && !config.noise.empty()) {
+    throw std::invalid_argument(
+        "QuantumLayer: shots with noise channels is not supported");
+  }
+}
+
+std::vector<double> QuantumLayer::pack_params(const Tensor& input,
+                                              std::size_t row) const {
+  const std::size_t q = config_.qubits;
+  std::vector<double> params(q + weights_.value.size());
+  for (std::size_t i = 0; i < q; ++i) {
+    params[i] = config_.encoding.scale * input.at(row, i);
+  }
+  for (std::size_t i = 0; i < weights_.value.size(); ++i) {
+    params[q + i] = weights_.value[i];
+  }
+  return params;
+}
+
+Tensor QuantumLayer::forward(const Tensor& input) {
+  const std::size_t q = config_.qubits;
+  if (input.rank() != 2 || input.cols() != q) {
+    throw std::invalid_argument("QuantumLayer::forward: expected [B, " +
+                                std::to_string(q) + "], got " +
+                                input.shape().to_string());
+  }
+  cached_input_ = input;
+  has_cached_input_ = true;
+
+  Tensor output{Shape{input.rows(), q}};
+  std::vector<std::size_t> wires(q);
+  for (std::size_t w = 0; w < q; ++w) wires[w] = w;
+
+  const auto compute_row = [&](std::size_t b) {
+    const auto params = pack_params(input, b);
+    std::vector<double> expectations;
+    if (!config_.noise.empty()) {
+      expectations = quantum::noisy_expvals(executor_.circuit(), params,
+                                            config_.noise, wires);
+    } else if (config_.shots > 0) {
+      const quantum::StateVector psi = executor_.circuit().execute(params);
+      expectations = quantum::estimate_expvals_z(psi, wires, config_.shots,
+                                                 sample_rng_);
+    } else {
+      expectations = executor_.run(params);
+    }
+    for (std::size_t w = 0; w < q; ++w) output.at(b, w) = expectations[w];
+  };
+
+  // Thread over the batch only on the exact path (sampling shares an RNG).
+  if (config_.threads > 1 && config_.noise.empty() && config_.shots == 0 &&
+      input.rows() > 1) {
+    run_batch_parallel(input.rows(), compute_row);
+  } else {
+    for (std::size_t b = 0; b < input.rows(); ++b) compute_row(b);
+  }
+  return output;
+}
+
+Tensor QuantumLayer::backward(const Tensor& grad_output) {
+  if (!has_cached_input_) {
+    throw std::logic_error("QuantumLayer::backward before forward");
+  }
+  const std::size_t q = config_.qubits;
+  if (grad_output.rank() != 2 || grad_output.cols() != q ||
+      grad_output.rows() != cached_input_.rows()) {
+    throw std::invalid_argument("QuantumLayer::backward: grad shape " +
+                                grad_output.shape().to_string());
+  }
+
+  const std::size_t batch = cached_input_.rows();
+  Tensor grad_input{Shape{batch, q}};
+  std::vector<std::size_t> wires(q);
+  for (std::size_t w = 0; w < q; ++w) wires[w] = w;
+
+  // Per-sample gradients land in per-row buffers; the weight gradient is
+  // reduced afterwards so the parallel path needs no synchronization.
+  std::vector<std::vector<double>> weight_grads(
+      batch, std::vector<double>(weights_.value.size(), 0.0));
+
+  const auto compute_row = [&](std::size_t b) {
+    const auto params = pack_params(cached_input_, b);
+    std::vector<double> upstream(q);
+    for (std::size_t w = 0; w < q; ++w) upstream[w] = grad_output.at(b, w);
+
+    std::vector<double> gradient;
+    if (config_.noise.empty()) {
+      gradient = executor_.run_with_vjp(params, upstream).gradient;
+    } else {
+      gradient = quantum::noisy_parameter_shift_vjp(
+                     executor_.circuit(), params, config_.noise, wires,
+                     upstream)
+                     .gradient;
+    }
+    // First q entries are encoding-angle gradients; the chain rule through
+    // angle = scale * input multiplies by the encoding scale.
+    for (std::size_t w = 0; w < q; ++w) {
+      grad_input.at(b, w) = config_.encoding.scale * gradient[w];
+    }
+    for (std::size_t i = 0; i < weights_.value.size(); ++i) {
+      weight_grads[b][i] = gradient[q + i];
+    }
+  };
+
+  if (config_.threads > 1 && config_.noise.empty() && batch > 1) {
+    run_batch_parallel(batch, compute_row);
+  } else {
+    for (std::size_t b = 0; b < batch; ++b) compute_row(b);
+  }
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t i = 0; i < weights_.value.size(); ++i) {
+      weights_.grad[i] += weight_grads[b][i];
+    }
+  }
+  return grad_input;
+}
+
+void QuantumLayer::run_batch_parallel(
+    std::size_t batch, const std::function<void(std::size_t)>& work) const {
+  const std::size_t workers = std::min(config_.threads, batch);
+  std::vector<std::thread> pool;
+  std::atomic<std::size_t> next{0};
+  pool.reserve(workers);
+  for (std::size_t t = 0; t < workers; ++t) {
+    pool.emplace_back([&] {
+      while (true) {
+        const std::size_t b = next.fetch_add(1);
+        if (b >= batch) return;
+        work(b);
+      }
+    });
+  }
+  for (auto& worker : pool) worker.join();
+}
+
+std::vector<nn::Parameter*> QuantumLayer::parameters() { return {&weights_}; }
+
+nn::LayerInfo QuantumLayer::info() const {
+  nn::LayerInfo li;
+  li.kind = "quantum";
+  li.inputs = config_.qubits;
+  li.outputs = config_.qubits;
+  li.parameter_count = weights_.value.size();
+  li.qubits = config_.qubits;
+  li.depth = config_.depth;
+  li.ansatz = util::to_lower(ansatz_name(config_.ansatz));
+  const auto counts =
+      ansatz_op_counts(config_.ansatz, config_.qubits, config_.depth);
+  li.encoding_gate_count = config_.qubits;
+  li.gate_count =
+      li.encoding_gate_count + counts.rotation_ops + counts.entangling_ops;
+  li.param_gate_count = li.encoding_gate_count + counts.rotation_ops;
+  return li;
+}
+
+std::string QuantumLayer::name() const {
+  return "Quantum" + ansatz_name(config_.ansatz) + "(q=" +
+         std::to_string(config_.qubits) + ", d=" +
+         std::to_string(config_.depth) + ")";
+}
+
+std::vector<double> QuantumLayer::run_single(
+    std::span<const double> angles) const {
+  if (angles.size() != config_.qubits) {
+    throw std::invalid_argument("QuantumLayer::run_single: angle count");
+  }
+  std::vector<double> params(config_.qubits + weights_.value.size());
+  for (std::size_t i = 0; i < angles.size(); ++i) params[i] = angles[i];
+  for (std::size_t i = 0; i < weights_.value.size(); ++i) {
+    params[config_.qubits + i] = weights_.value[i];
+  }
+  return executor_.run(params);
+}
+
+}  // namespace qhdl::qnn

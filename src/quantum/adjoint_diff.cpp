@@ -1,0 +1,157 @@
+#include "quantum/adjoint_diff.hpp"
+
+#include <stdexcept>
+
+namespace qhdl::quantum {
+
+namespace {
+
+/// Core reverse sweep shared by the scalar and VJP entry points.
+/// `lambda` must hold O_eff|ψ⟩ on entry; `phi` must hold |ψ⟩.
+std::vector<double> reverse_sweep(const Circuit& circuit,
+                                  std::span<const double> params,
+                                  StateVector& phi, StateVector& lambda) {
+  std::vector<double> gradient(circuit.parameter_count(), 0.0);
+  const auto& ops = circuit.ops();
+  StateVector mu{circuit.num_qubits()};
+
+  for (std::size_t idx = ops.size(); idx-- > 0;) {
+    const Op& op = ops[idx];
+    const double angle = op.angle(params);
+    // Peel the gate off the forward state: φ ← U_k† φ.
+    apply_gate_inverse(phi, op.type, angle, op.wire0, op.wire1);
+
+    if (op.param_index.has_value()) {
+      // μ = (dU_k/dθ) φ_{k-1}; contribution = 2 Re⟨λ|μ⟩.
+      mu = phi;
+      apply_gate_derivative(mu, op.type, angle, op.wire0, op.wire1);
+      gradient[*op.param_index] += 2.0 * lambda.inner_product(mu).real();
+    }
+
+    // Pull the co-state back: λ ← U_k† λ.
+    apply_gate_inverse(lambda, op.type, angle, op.wire0, op.wire1);
+  }
+  return gradient;
+}
+
+}  // namespace
+
+AdjointResult adjoint_gradient(const Circuit& circuit,
+                               std::span<const double> params,
+                               const Observable& observable) {
+  StateVector psi = circuit.execute(params);
+  AdjointResult result;
+  result.expectation = observable.expectation(psi);
+
+  StateVector lambda{circuit.num_qubits()};
+  observable.apply(psi, lambda);
+  result.gradient = reverse_sweep(circuit, params, psi, lambda);
+  return result;
+}
+
+namespace {
+
+/// λ = Σ_k w_k (O_k ψ) — the adjoint co-state seed.
+StateVector weighted_observable_state(
+    const StateVector& psi, std::span<const Observable> observables,
+    std::span<const double> upstream_weights) {
+  StateVector lambda{psi.num_qubits()};
+  StateVector scratch{psi.num_qubits()};
+  for (auto& a : lambda.amplitudes()) a = Complex{0.0, 0.0};
+  for (std::size_t k = 0; k < observables.size(); ++k) {
+    if (upstream_weights[k] == 0.0) continue;
+    observables[k].apply(psi, scratch);
+    auto lam = lambda.amplitudes();
+    auto scr = scratch.amplitudes();
+    for (std::size_t i = 0; i < lam.size(); ++i) {
+      lam[i] += upstream_weights[k] * scr[i];
+    }
+  }
+  return lambda;
+}
+
+AdjointVjpResult adjoint_vjp_impl(const Circuit& circuit,
+                                  std::span<const double> params,
+                                  StateVector psi,
+                                  std::span<const Observable> observables,
+                                  std::span<const double> upstream_weights) {
+  AdjointVjpResult result;
+  result.expectations.reserve(observables.size());
+  for (const Observable& obs : observables) {
+    result.expectations.push_back(obs.expectation(psi));
+  }
+  StateVector lambda =
+      weighted_observable_state(psi, observables, upstream_weights);
+  result.gradient = reverse_sweep(circuit, params, psi, lambda);
+  return result;
+}
+
+}  // namespace
+
+AdjointVjpResult adjoint_vjp(const Circuit& circuit,
+                             std::span<const double> params,
+                             std::span<const Observable> observables,
+                             std::span<const double> upstream_weights) {
+  if (observables.size() != upstream_weights.size()) {
+    throw std::invalid_argument(
+        "adjoint_vjp: observables/upstream size mismatch");
+  }
+  return adjoint_vjp_impl(circuit, params, circuit.execute(params),
+                          observables, upstream_weights);
+}
+
+AdjointVjpResult adjoint_vjp_from_state(
+    const Circuit& circuit, std::span<const double> params,
+    const StateVector& initial_state,
+    std::span<const Observable> observables,
+    std::span<const double> upstream_weights) {
+  if (observables.size() != upstream_weights.size()) {
+    throw std::invalid_argument(
+        "adjoint_vjp_from_state: observables/upstream size mismatch");
+  }
+  StateVector psi = initial_state;
+  circuit.run(psi, params);
+  return adjoint_vjp_impl(circuit, params, std::move(psi), observables,
+                          upstream_weights);
+}
+
+std::vector<double> initial_state_cogradient(
+    const Circuit& circuit, std::span<const double> params,
+    const StateVector& initial_state,
+    std::span<const Observable> observables,
+    std::span<const double> upstream_weights) {
+  if (observables.size() != upstream_weights.size()) {
+    throw std::invalid_argument(
+        "initial_state_cogradient: observables/upstream size mismatch");
+  }
+  // v = U† O_eff U |φ⟩: run forward, seed with O_eff, pull back through U†.
+  StateVector psi = initial_state;
+  circuit.run(psi, params);
+  StateVector lambda =
+      weighted_observable_state(psi, observables, upstream_weights);
+  const auto& ops = circuit.ops();
+  for (std::size_t idx = ops.size(); idx-- > 0;) {
+    const Op& op = ops[idx];
+    apply_gate_inverse(lambda, op.type, op.angle(params), op.wire0,
+                       op.wire1);
+  }
+  std::vector<double> cogradient(lambda.dimension());
+  const auto amps = lambda.amplitudes();
+  for (std::size_t i = 0; i < cogradient.size(); ++i) {
+    cogradient[i] = 2.0 * amps[i].real();
+  }
+  return cogradient;
+}
+
+std::vector<std::vector<double>> adjoint_jacobian(
+    const Circuit& circuit, std::span<const double> params,
+    std::span<const Observable> observables) {
+  std::vector<std::vector<double>> jacobian;
+  jacobian.reserve(observables.size());
+  for (const Observable& obs : observables) {
+    jacobian.push_back(adjoint_gradient(circuit, params, obs).gradient);
+  }
+  return jacobian;
+}
+
+}  // namespace qhdl::quantum

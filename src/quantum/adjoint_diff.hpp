@@ -1,0 +1,77 @@
+// Adjoint differentiation (Jones & Gacon, arXiv:2009.02823) — the same
+// algorithm PennyLane's default.qubit uses for simulator gradients.
+//
+// For a circuit U = U_n … U_1 and Hermitian observable O, the gradient of
+// E(θ) = ⟨0|U† O U|0⟩ w.r.t. the angle of gate k is
+//     dE/dθ_k = 2 Re ⟨λ_k | (dU_k/dθ_k) | φ_{k-1}⟩,
+// computed in a single reverse sweep that maintains |φ⟩ (the forward state
+// with gates peeled off) and |λ⟩ (O|ψ⟩ pulled back through the circuit).
+// Cost: O(ops · 2^q) — independent of the parameter count, unlike
+// parameter-shift.
+//
+// The VJP variant fuses multiple observables: given upstream weights w_k
+// (dL/d⟨O_k⟩ from classical backprop), it runs ONE sweep with the effective
+// observable Σ_k w_k O_k, yielding dL/dθ directly. This is what the hybrid
+// QuantumLayer calls in its backward pass.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "quantum/circuit.hpp"
+#include "quantum/observable.hpp"
+
+namespace qhdl::quantum {
+
+struct AdjointResult {
+  double expectation = 0.0;
+  std::vector<double> gradient;  ///< dE/dθ per runtime parameter
+};
+
+struct AdjointVjpResult {
+  std::vector<double> expectations;  ///< ⟨O_k⟩ per observable
+  std::vector<double> gradient;      ///< dL/dθ per runtime parameter
+};
+
+/// Gradient of a single observable's expectation w.r.t. every runtime
+/// parameter. Parameters shared across ops accumulate (product rule).
+AdjointResult adjoint_gradient(const Circuit& circuit,
+                               std::span<const double> params,
+                               const Observable& observable);
+
+/// Single-sweep vector-Jacobian product over multiple observables.
+/// `upstream_weights[k]` multiplies observable k; the returned gradient is
+/// Σ_k upstream_weights[k] · d⟨O_k⟩/dθ. Also returns each raw ⟨O_k⟩.
+AdjointVjpResult adjoint_vjp(const Circuit& circuit,
+                             std::span<const double> params,
+                             std::span<const Observable> observables,
+                             std::span<const double> upstream_weights);
+
+/// Same, but the circuit starts from `initial_state` instead of |0...0⟩ —
+/// needed by amplitude-encoded layers whose state preparation is data, not
+/// gates. The gradient covers the circuit parameters only (the caller owns
+/// the chain rule through the initial state; see initial_state_cogradient).
+AdjointVjpResult adjoint_vjp_from_state(
+    const Circuit& circuit, std::span<const double> params,
+    const StateVector& initial_state,
+    std::span<const Observable> observables,
+    std::span<const double> upstream_weights);
+
+/// Co-gradient of the weighted expectation with respect to the REAL part of
+/// each initial amplitude: returns v with
+///   v_i = 2 Re[ (U† O_eff U |φ⟩)_i ],   O_eff = Σ_k w_k O_k,
+/// so that for real amplitude vectors dE/dφ_i = v_i. Used by amplitude
+/// encoding to backpropagate into the data register.
+std::vector<double> initial_state_cogradient(
+    const Circuit& circuit, std::span<const double> params,
+    const StateVector& initial_state,
+    std::span<const Observable> observables,
+    std::span<const double> upstream_weights);
+
+/// Full Jacobian d⟨O_k⟩/dθ_j as rows per observable (one adjoint sweep per
+/// observable; used in tests and for Fisher-style analyses).
+std::vector<std::vector<double>> adjoint_jacobian(
+    const Circuit& circuit, std::span<const double> params,
+    std::span<const Observable> observables);
+
+}  // namespace qhdl::quantum

@@ -1,0 +1,298 @@
+#include "quantum/channels.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace qhdl::quantum {
+
+namespace channels {
+
+namespace {
+
+void check_probability(double p, const char* context) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument(std::string{context} +
+                                ": probability must be in [0, 1]");
+  }
+}
+
+Mat2 scaled(const Mat2& m, double factor) {
+  const Complex f{factor, 0.0};
+  return Mat2{f * m.m00, f * m.m01, f * m.m10, f * m.m11};
+}
+
+Mat2 identity() {
+  return Mat2{Complex{1, 0}, Complex{0, 0}, Complex{0, 0}, Complex{1, 0}};
+}
+
+}  // namespace
+
+KrausChannel depolarizing(double p) {
+  check_probability(p, "depolarizing");
+  KrausChannel channel;
+  channel.name = "depolarizing(" + std::to_string(p) + ")";
+  channel.operators = {scaled(identity(), std::sqrt(1.0 - p)),
+                       scaled(gates::pauli_x(), std::sqrt(p / 3.0)),
+                       scaled(gates::pauli_y(), std::sqrt(p / 3.0)),
+                       scaled(gates::pauli_z(), std::sqrt(p / 3.0))};
+  return channel;
+}
+
+KrausChannel amplitude_damping(double gamma) {
+  check_probability(gamma, "amplitude_damping");
+  KrausChannel channel;
+  channel.name = "amplitude_damping(" + std::to_string(gamma) + ")";
+  // K0 = diag(1, √(1-γ)), K1 = √γ |0⟩⟨1|.
+  channel.operators = {
+      Mat2{Complex{1, 0}, Complex{0, 0}, Complex{0, 0},
+           Complex{std::sqrt(1.0 - gamma), 0}},
+      Mat2{Complex{0, 0}, Complex{std::sqrt(gamma), 0}, Complex{0, 0},
+           Complex{0, 0}}};
+  return channel;
+}
+
+KrausChannel phase_damping(double gamma) {
+  check_probability(gamma, "phase_damping");
+  KrausChannel channel;
+  channel.name = "phase_damping(" + std::to_string(gamma) + ")";
+  // K0 = diag(1, √(1-γ)), K1 = diag(0, √γ).
+  channel.operators = {
+      Mat2{Complex{1, 0}, Complex{0, 0}, Complex{0, 0},
+           Complex{std::sqrt(1.0 - gamma), 0}},
+      Mat2{Complex{0, 0}, Complex{0, 0}, Complex{0, 0},
+           Complex{std::sqrt(gamma), 0}}};
+  return channel;
+}
+
+KrausChannel bit_flip(double p) {
+  check_probability(p, "bit_flip");
+  KrausChannel channel;
+  channel.name = "bit_flip(" + std::to_string(p) + ")";
+  channel.operators = {scaled(identity(), std::sqrt(1.0 - p)),
+                       scaled(gates::pauli_x(), std::sqrt(p))};
+  return channel;
+}
+
+KrausChannel phase_flip(double p) {
+  check_probability(p, "phase_flip");
+  KrausChannel channel;
+  channel.name = "phase_flip(" + std::to_string(p) + ")";
+  channel.operators = {scaled(identity(), std::sqrt(1.0 - p)),
+                       scaled(gates::pauli_z(), std::sqrt(p))};
+  return channel;
+}
+
+}  // namespace channels
+
+NoiseModel NoiseModel::depolarizing(double p) {
+  NoiseModel model;
+  model.per_gate_channels.push_back(channels::depolarizing(p));
+  return model;
+}
+
+NoiseModel NoiseModel::amplitude_damping(double gamma) {
+  NoiseModel model;
+  model.per_gate_channels.push_back(channels::amplitude_damping(gamma));
+  return model;
+}
+
+namespace {
+
+void apply_gate_to_density(DensityMatrix& rho, GateType type, double angle,
+                           std::size_t wire0, std::size_t wire1) {
+  switch (type) {
+    case GateType::CNOT:
+      rho.apply_cnot(wire0, wire1);
+      return;
+    case GateType::CZ:
+      rho.apply_cz(wire0, wire1);
+      return;
+    case GateType::SWAP:
+      // SWAP = 3 CNOTs.
+      rho.apply_cnot(wire0, wire1);
+      rho.apply_cnot(wire1, wire0);
+      rho.apply_cnot(wire0, wire1);
+      return;
+    case GateType::CRX:
+    case GateType::CRY:
+    case GateType::CRZ:
+      rho.apply_controlled(gates::matrix_for(type, angle), wire0, wire1);
+      return;
+    case GateType::RXX:
+    case GateType::RYY:
+    case GateType::RZZ: {
+      const gates::IsingPair pair = gates::ising_pair(type, angle);
+      rho.apply_double_flip_pairs(pair.even, pair.odd, wire0, wire1);
+      return;
+    }
+    default:
+      rho.apply_single_qubit(gates::matrix_for(type, angle), wire0);
+      return;
+  }
+}
+
+void apply_noise(DensityMatrix& rho, const NoiseModel& noise,
+                 std::size_t wire0, std::size_t wire1) {
+  for (const KrausChannel& channel : noise.per_gate_channels) {
+    rho.apply_channel(channel, wire0);
+    if (wire1 != SIZE_MAX) rho.apply_channel(channel, wire1);
+  }
+}
+
+}  // namespace
+
+DensityMatrix run_noisy(const Circuit& circuit,
+                        std::span<const double> params,
+                        const NoiseModel& noise) {
+  if (params.size() < circuit.parameter_count()) {
+    throw std::invalid_argument("run_noisy: insufficient parameters");
+  }
+  DensityMatrix rho{circuit.num_qubits()};
+  for (const Op& op : circuit.ops()) {
+    apply_gate_to_density(rho, op.type, op.angle(params), op.wire0, op.wire1);
+    if (!noise.empty()) apply_noise(rho, noise, op.wire0, op.wire1);
+  }
+  return rho;
+}
+
+std::vector<double> noisy_expvals(const Circuit& circuit,
+                                  std::span<const double> params,
+                                  const NoiseModel& noise,
+                                  std::span<const std::size_t> wires) {
+  const DensityMatrix rho = run_noisy(circuit, params, noise);
+  std::vector<double> values;
+  values.reserve(wires.size());
+  for (std::size_t wire : wires) {
+    values.push_back(rho.expval_pauli_z(wire));
+  }
+  return values;
+}
+
+std::vector<double> noisy_parameter_shift_gradient(
+    const Circuit& circuit, std::span<const double> params,
+    const NoiseModel& noise, std::size_t observable_wire) {
+  std::vector<double> gradient(circuit.parameter_count(), 0.0);
+  const double half_pi = std::numbers::pi / 2.0;
+  const auto& ops = circuit.ops();
+
+  const auto eval_with_shift = [&](std::size_t op_index, double delta) {
+    DensityMatrix rho{circuit.num_qubits()};
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const Op& op = ops[i];
+      double angle = op.angle(params);
+      if (i == op_index) angle += delta;
+      apply_gate_to_density(rho, op.type, angle, op.wire0, op.wire1);
+      if (!noise.empty()) apply_noise(rho, noise, op.wire0, op.wire1);
+    }
+    return rho.expval_pauli_z(observable_wire);
+  };
+
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Op& op = ops[i];
+    if (!op.param_index.has_value()) continue;
+    double contribution = 0.0;
+    switch (op.type) {
+      case GateType::RX:
+      case GateType::RY:
+      case GateType::RZ:
+      case GateType::PhaseShift:
+      case GateType::RXX:
+      case GateType::RYY:
+      case GateType::RZZ:
+        contribution = 0.5 * (eval_with_shift(i, half_pi) -
+                              eval_with_shift(i, -half_pi));
+        break;
+      case GateType::CRX:
+      case GateType::CRY:
+      case GateType::CRZ: {
+        const double sqrt2 = std::numbers::sqrt2;
+        const double c_plus = (sqrt2 + 1.0) / (4.0 * sqrt2);
+        const double c_minus = (sqrt2 - 1.0) / (4.0 * sqrt2);
+        contribution =
+            c_plus * (eval_with_shift(i, half_pi) -
+                      eval_with_shift(i, -half_pi)) -
+            c_minus * (eval_with_shift(i, 3.0 * half_pi) -
+                       eval_with_shift(i, -3.0 * half_pi));
+        break;
+      }
+      default:
+        throw std::logic_error(
+            "noisy_parameter_shift_gradient: no rule for " +
+            gate_name(op.type));
+    }
+    gradient[*op.param_index] += contribution;
+  }
+  return gradient;
+}
+
+NoisyVjpResult noisy_parameter_shift_vjp(const Circuit& circuit,
+                                         std::span<const double> params,
+                                         const NoiseModel& noise,
+                                         std::span<const std::size_t> wires,
+                                         std::span<const double> upstream) {
+  if (wires.size() != upstream.size()) {
+    throw std::invalid_argument(
+        "noisy_parameter_shift_vjp: wires/upstream size mismatch");
+  }
+  const auto& ops = circuit.ops();
+  const double half_pi = std::numbers::pi / 2.0;
+
+  // Weighted observable value of one (optionally shifted) execution.
+  const auto weighted_eval = [&](std::size_t op_index, double delta) {
+    DensityMatrix rho{circuit.num_qubits()};
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const Op& op = ops[i];
+      double angle = op.angle(params);
+      if (i == op_index) angle += delta;
+      apply_gate_to_density(rho, op.type, angle, op.wire0, op.wire1);
+      if (!noise.empty()) apply_noise(rho, noise, op.wire0, op.wire1);
+    }
+    double total = 0.0;
+    for (std::size_t k = 0; k < wires.size(); ++k) {
+      total += upstream[k] * rho.expval_pauli_z(wires[k]);
+    }
+    return total;
+  };
+
+  NoisyVjpResult result;
+  result.expectations = noisy_expvals(circuit, params, noise, wires);
+  result.gradient.assign(circuit.parameter_count(), 0.0);
+
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Op& op = ops[i];
+    if (!op.param_index.has_value()) continue;
+    double contribution = 0.0;
+    switch (op.type) {
+      case GateType::RX:
+      case GateType::RY:
+      case GateType::RZ:
+      case GateType::PhaseShift:
+      case GateType::RXX:
+      case GateType::RYY:
+      case GateType::RZZ:
+        contribution = 0.5 * (weighted_eval(i, half_pi) -
+                              weighted_eval(i, -half_pi));
+        break;
+      case GateType::CRX:
+      case GateType::CRY:
+      case GateType::CRZ: {
+        const double sqrt2 = std::numbers::sqrt2;
+        const double c_plus = (sqrt2 + 1.0) / (4.0 * sqrt2);
+        const double c_minus = (sqrt2 - 1.0) / (4.0 * sqrt2);
+        contribution = c_plus * (weighted_eval(i, half_pi) -
+                                 weighted_eval(i, -half_pi)) -
+                       c_minus * (weighted_eval(i, 3.0 * half_pi) -
+                                  weighted_eval(i, -3.0 * half_pi));
+        break;
+      }
+      default:
+        throw std::logic_error("noisy_parameter_shift_vjp: no rule for " +
+                               gate_name(op.type));
+    }
+    result.gradient[*op.param_index] += contribution;
+  }
+  return result;
+}
+
+}  // namespace qhdl::quantum

@@ -1,0 +1,77 @@
+// Standard single-qubit noise channels as Kraus-operator sets, plus a
+// NoiseModel that attaches channels to circuit execution (after every gate,
+// on the wires the gate touched) — the standard NISQ noise idealization.
+#pragma once
+
+#include "quantum/circuit.hpp"
+#include "quantum/density_matrix.hpp"
+
+namespace qhdl::quantum {
+
+namespace channels {
+
+/// Depolarizing: with probability p the qubit is replaced by I/2.
+/// Kraus: {√(1-p) I, √(p/3) X, √(p/3) Y, √(p/3) Z}. Requires p ∈ [0, 1].
+KrausChannel depolarizing(double p);
+
+/// Amplitude damping (T1 decay): |1⟩ -> |0⟩ with probability γ.
+KrausChannel amplitude_damping(double gamma);
+
+/// Phase damping (pure dephasing, T2): off-diagonals shrink by √(1-γ).
+KrausChannel phase_damping(double gamma);
+
+/// Bit flip: X with probability p.
+KrausChannel bit_flip(double p);
+
+/// Phase flip: Z with probability p.
+KrausChannel phase_flip(double p);
+
+}  // namespace channels
+
+/// Per-execution noise description: a channel applied after every gate on
+/// each wire the gate acts on (empty = noiseless).
+struct NoiseModel {
+  std::vector<KrausChannel> per_gate_channels;
+
+  bool empty() const { return per_gate_channels.empty(); }
+
+  static NoiseModel noiseless() { return NoiseModel{}; }
+  static NoiseModel depolarizing(double p);
+  static NoiseModel amplitude_damping(double gamma);
+};
+
+/// Runs a circuit on a density matrix under the noise model and returns the
+/// final state. Fixed-angle and parameterized ops both supported.
+DensityMatrix run_noisy(const Circuit& circuit,
+                        std::span<const double> params,
+                        const NoiseModel& noise);
+
+/// ⟨Z_w⟩ for each requested wire under noisy execution.
+std::vector<double> noisy_expvals(const Circuit& circuit,
+                                  std::span<const double> params,
+                                  const NoiseModel& noise,
+                                  std::span<const std::size_t> wires);
+
+/// Parameter-shift gradient of ⟨Z_wire⟩ under noisy execution. The shift
+/// rules remain exact for unitary parameterized gates even when the overall
+/// evolution is a noisy CPTP map.
+std::vector<double> noisy_parameter_shift_gradient(
+    const Circuit& circuit, std::span<const double> params,
+    const NoiseModel& noise, std::size_t observable_wire);
+
+/// Vector-Jacobian product under noise: gradient of
+/// Σ_k upstream[k] · ⟨Z_{wires[k]}⟩ w.r.t. every runtime parameter, plus the
+/// unshifted expectations. Each shifted circuit is evolved ONCE and all
+/// observables are read from it, so the cost matches the single-observable
+/// shift rule. This is what a noisy QuantumLayer's backward pass uses.
+struct NoisyVjpResult {
+  std::vector<double> expectations;
+  std::vector<double> gradient;
+};
+NoisyVjpResult noisy_parameter_shift_vjp(const Circuit& circuit,
+                                         std::span<const double> params,
+                                         const NoiseModel& noise,
+                                         std::span<const std::size_t> wires,
+                                         std::span<const double> upstream);
+
+}  // namespace qhdl::quantum

@@ -1,0 +1,171 @@
+#include "quantum/circuit.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace qhdl::quantum {
+
+double Op::angle(std::span<const double> params) const {
+  if (!param_index.has_value()) return fixed_angle;
+  if (*param_index >= params.size()) {
+    throw std::out_of_range("Op::angle: parameter index " +
+                            std::to_string(*param_index) +
+                            " out of range for " +
+                            std::to_string(params.size()) + " parameters");
+  }
+  return params[*param_index];
+}
+
+Circuit::Circuit(std::size_t num_qubits) : num_qubits_(num_qubits) {
+  if (num_qubits == 0) {
+    throw std::invalid_argument("Circuit: need at least one qubit");
+  }
+}
+
+std::size_t Circuit::parameterized_op_count() const {
+  std::size_t count = 0;
+  for (const Op& op : ops_) {
+    if (op.param_index.has_value()) ++count;
+  }
+  return count;
+}
+
+void Circuit::check_wires(GateType type, std::size_t wire0,
+                          std::size_t wire1) const {
+  if (wire0 >= num_qubits_) {
+    throw std::out_of_range("Circuit: wire " + std::to_string(wire0) +
+                            " out of range");
+  }
+  const std::size_t arity = gate_arity(type);
+  if (arity == 2) {
+    if (wire1 == SIZE_MAX) {
+      throw std::invalid_argument("Circuit: " + gate_name(type) +
+                                  " needs two wires");
+    }
+    if (wire1 >= num_qubits_) {
+      throw std::out_of_range("Circuit: wire " + std::to_string(wire1) +
+                              " out of range");
+    }
+    if (wire0 == wire1) {
+      throw std::invalid_argument("Circuit: " + gate_name(type) +
+                                  " wires must differ");
+    }
+  } else if (wire1 != SIZE_MAX) {
+    throw std::invalid_argument("Circuit: " + gate_name(type) +
+                                " takes one wire");
+  }
+}
+
+Circuit& Circuit::gate(GateType type, std::size_t wire0, std::size_t wire1,
+                       double fixed_angle) {
+  check_wires(type, wire0, wire1);
+  Op op;
+  op.type = type;
+  op.wire0 = wire0;
+  op.wire1 = wire1;
+  op.fixed_angle = fixed_angle;
+  ops_.push_back(op);
+  return *this;
+}
+
+Circuit& Circuit::parameterized_gate(GateType type, std::size_t param_index,
+                                     std::size_t wire0, std::size_t wire1) {
+  if (!gate_is_parameterized(type)) {
+    throw std::invalid_argument("Circuit: " + gate_name(type) +
+                                " takes no parameter");
+  }
+  check_wires(type, wire0, wire1);
+  Op op;
+  op.type = type;
+  op.wire0 = wire0;
+  op.wire1 = wire1;
+  op.param_index = param_index;
+  ops_.push_back(op);
+  parameter_count_ = std::max(parameter_count_, param_index + 1);
+  return *this;
+}
+
+Circuit& Circuit::rot(std::size_t param_index_base, std::size_t wire) {
+  parameterized_gate(GateType::RZ, param_index_base, wire);
+  parameterized_gate(GateType::RY, param_index_base + 1, wire);
+  parameterized_gate(GateType::RZ, param_index_base + 2, wire);
+  return *this;
+}
+
+void Circuit::run(StateVector& state, std::span<const double> params) const {
+  if (state.num_qubits() != num_qubits_) {
+    throw std::invalid_argument("Circuit::run: state has " +
+                                std::to_string(state.num_qubits()) +
+                                " qubits, circuit needs " +
+                                std::to_string(num_qubits_));
+  }
+  if (params.size() < parameter_count_) {
+    throw std::invalid_argument("Circuit::run: got " +
+                                std::to_string(params.size()) +
+                                " params, need " +
+                                std::to_string(parameter_count_));
+  }
+  for (const Op& op : ops_) {
+    apply_gate(state, op.type, op.angle(params), op.wire0, op.wire1);
+  }
+}
+
+StateVector Circuit::execute(std::span<const double> params) const {
+  StateVector state{num_qubits_};
+  run(state, params);
+  return state;
+}
+
+std::size_t Circuit::depth() const {
+  std::vector<std::size_t> wire_level(num_qubits_, 0);
+  std::size_t depth = 0;
+  for (const Op& op : ops_) {
+    std::size_t level = wire_level[op.wire0];
+    if (op.wire1 != SIZE_MAX) {
+      level = std::max(level, wire_level[op.wire1]);
+    }
+    ++level;
+    wire_level[op.wire0] = level;
+    if (op.wire1 != SIZE_MAX) wire_level[op.wire1] = level;
+    depth = std::max(depth, level);
+  }
+  return depth;
+}
+
+std::vector<std::pair<GateType, std::size_t>> Circuit::gate_histogram()
+    const {
+  std::map<GateType, std::size_t> counts;
+  for (const Op& op : ops_) ++counts[op.type];
+  return {counts.begin(), counts.end()};
+}
+
+std::size_t Circuit::two_qubit_op_count() const {
+  std::size_t count = 0;
+  for (const Op& op : ops_) {
+    if (gate_arity(op.type) == 2) ++count;
+  }
+  return count;
+}
+
+std::string Circuit::to_string() const {
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    if (i > 0) oss << " ; ";
+    const Op& op = ops_[i];
+    oss << gate_name(op.type);
+    if (gate_is_parameterized(op.type)) {
+      if (op.param_index.has_value()) {
+        oss << "(p" << *op.param_index << ")";
+      } else {
+        oss << "(" << op.fixed_angle << ")";
+      }
+    }
+    oss << " q" << op.wire0;
+    if (op.wire1 != SIZE_MAX) oss << ",q" << op.wire1;
+  }
+  return oss.str();
+}
+
+}  // namespace qhdl::quantum

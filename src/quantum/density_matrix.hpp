@@ -1,0 +1,95 @@
+// Density-matrix simulator for mixed states.
+//
+// The paper frames HQNNs as NISQ-era constructions (Section I); its cited
+// companion work (Kashif et al., IJCNN'24) studies how hardware noise
+// affects HQNN training. This substrate makes those experiments possible:
+// ρ evolves under the same gate set as StateVector plus CPTP noise channels
+// (Kraus operators), at O(4^q) per gate. Same wire convention as
+// StateVector (wire 0 = most significant bit).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "quantum/statevector.hpp"
+
+namespace qhdl::quantum {
+
+/// A quantum channel as a list of 2x2 Kraus operators acting on one qubit.
+/// CPTP requires Σ K_k† K_k = I (checked by is_trace_preserving).
+struct KrausChannel {
+  std::string name;
+  std::vector<Mat2> operators;
+
+  bool is_trace_preserving(double tolerance = 1e-10) const;
+};
+
+/// Dense 2^q x 2^q density matrix, row-major.
+class DensityMatrix {
+ public:
+  /// |0...0⟩⟨0...0|.
+  explicit DensityMatrix(std::size_t num_qubits);
+
+  /// Pure-state projector |ψ⟩⟨ψ|.
+  static DensityMatrix from_statevector(const StateVector& state);
+
+  /// Maximally mixed state I / 2^q.
+  static DensityMatrix maximally_mixed(std::size_t num_qubits);
+
+  std::size_t num_qubits() const { return num_qubits_; }
+  std::size_t dimension() const { return dim_; }
+
+  Complex& at(std::size_t row, std::size_t col);
+  Complex at(std::size_t row, std::size_t col) const;
+
+  /// ρ ← U ρ U† for a single-qubit unitary on `wire`.
+  void apply_single_qubit(const Mat2& gate, std::size_t wire);
+
+  /// ρ ← U ρ U† for CNOT / CZ / controlled-U.
+  void apply_cnot(std::size_t control, std::size_t target);
+  void apply_cz(std::size_t control, std::size_t target);
+  void apply_controlled(const Mat2& gate, std::size_t control,
+                        std::size_t target);
+
+  /// Ising-gate application (see StateVector::apply_double_flip_pairs):
+  /// ρ ← U ρ U† where U acts on the double-flip pairs with parity-dependent
+  /// 2x2 blocks.
+  void apply_double_flip_pairs(const Mat2& even_pair, const Mat2& odd_pair,
+                               std::size_t wire_a, std::size_t wire_b);
+
+  /// ρ ← Σ_k K_k ρ K_k† on `wire`.
+  void apply_channel(const KrausChannel& channel, std::size_t wire);
+
+  /// Tr(ρ) — should stay 1 under CPTP evolution.
+  Complex trace() const;
+
+  /// Tr(ρ²) ∈ (0, 1]; 1 iff pure.
+  double purity() const;
+
+  /// Tr(Z_wire ρ).
+  double expval_pauli_z(std::size_t wire) const;
+
+  /// Diagonal of ρ: computational-basis probabilities.
+  std::vector<double> probabilities() const;
+
+  /// Reduced density matrix of a single qubit (partial trace over the rest),
+  /// returned as a 2x2 matrix. Used by the Meyer-Wallach entanglement
+  /// measure.
+  Mat2 reduced_single_qubit(std::size_t wire) const;
+
+  /// Hermiticity violation: max |ρ_ij - conj(ρ_ji)|.
+  double hermiticity_error() const;
+
+ private:
+  void check_wire(std::size_t wire, const char* context) const;
+
+  std::size_t num_qubits_;
+  std::size_t dim_;
+  std::vector<Complex> elements_;  ///< row-major dim x dim
+};
+
+/// Single-qubit reduced density matrix straight from a pure state —
+/// cheaper than materializing the full ρ.
+Mat2 reduced_single_qubit(const StateVector& state, std::size_t wire);
+
+}  // namespace qhdl::quantum

@@ -1,0 +1,65 @@
+#include "quantum/executor.hpp"
+
+#include <stdexcept>
+
+#include "quantum/parameter_shift.hpp"
+
+namespace qhdl::quantum {
+
+Executor::Executor(Circuit circuit, std::vector<Observable> observables,
+                   DiffMethod diff_method)
+    : circuit_(std::move(circuit)),
+      observables_(std::move(observables)),
+      diff_method_(diff_method) {
+  if (observables_.empty()) {
+    throw std::invalid_argument("Executor: need at least one observable");
+  }
+}
+
+std::vector<double> Executor::run(std::span<const double> params) const {
+  const StateVector psi = circuit_.execute(params);
+  std::vector<double> expectations;
+  expectations.reserve(observables_.size());
+  for (const Observable& obs : observables_) {
+    expectations.push_back(obs.expectation(psi));
+  }
+  return expectations;
+}
+
+AdjointVjpResult Executor::run_with_vjp(
+    std::span<const double> params, std::span<const double> upstream) const {
+  if (upstream.size() != observables_.size()) {
+    throw std::invalid_argument("Executor::run_with_vjp: upstream size");
+  }
+  if (diff_method_ == DiffMethod::Adjoint) {
+    return adjoint_vjp(circuit_, params, observables_, upstream);
+  }
+  // Parameter-shift path: full Jacobian, then contract with upstream.
+  AdjointVjpResult result;
+  result.expectations = run(params);
+  result.gradient.assign(circuit_.parameter_count(), 0.0);
+  for (std::size_t k = 0; k < observables_.size(); ++k) {
+    if (upstream[k] == 0.0) continue;
+    const auto row =
+        parameter_shift_gradient(circuit_, params, observables_[k]);
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      result.gradient[j] += upstream[k] * row[j];
+    }
+  }
+  return result;
+}
+
+std::vector<std::vector<double>> Executor::jacobian(
+    std::span<const double> params) const {
+  if (diff_method_ == DiffMethod::Adjoint) {
+    return adjoint_jacobian(circuit_, params, observables_);
+  }
+  std::vector<std::vector<double>> rows;
+  rows.reserve(observables_.size());
+  for (const Observable& obs : observables_) {
+    rows.push_back(parameter_shift_gradient(circuit_, params, obs));
+  }
+  return rows;
+}
+
+}  // namespace qhdl::quantum

@@ -1,0 +1,44 @@
+// QNode-style executor: a circuit plus a list of observables, runnable on a
+// parameter vector, with gradients via adjoint (default) or parameter-shift.
+// This is the seam between the quantum simulator and the QNN layer.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "quantum/adjoint_diff.hpp"
+#include "quantum/circuit.hpp"
+#include "quantum/observable.hpp"
+
+namespace qhdl::quantum {
+
+enum class DiffMethod { Adjoint, ParameterShift };
+
+class Executor {
+ public:
+  Executor(Circuit circuit, std::vector<Observable> observables,
+           DiffMethod diff_method = DiffMethod::Adjoint);
+
+  const Circuit& circuit() const { return circuit_; }
+  std::size_t observable_count() const { return observables_.size(); }
+  std::size_t parameter_count() const { return circuit_.parameter_count(); }
+  DiffMethod diff_method() const { return diff_method_; }
+
+  /// Forward only: ⟨O_k⟩ for each observable.
+  std::vector<double> run(std::span<const double> params) const;
+
+  /// Forward + VJP: expectations and dL/dθ given upstream dL/d⟨O_k⟩.
+  AdjointVjpResult run_with_vjp(std::span<const double> params,
+                                std::span<const double> upstream) const;
+
+  /// Full Jacobian d⟨O_k⟩/dθ_j (row per observable).
+  std::vector<std::vector<double>> jacobian(
+      std::span<const double> params) const;
+
+ private:
+  Circuit circuit_;
+  std::vector<Observable> observables_;
+  DiffMethod diff_method_;
+};
+
+}  // namespace qhdl::quantum

@@ -1,0 +1,378 @@
+#include "quantum/gates.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace qhdl::quantum {
+
+std::size_t gate_arity(GateType type) {
+  switch (type) {
+    case GateType::PauliX:
+    case GateType::PauliY:
+    case GateType::PauliZ:
+    case GateType::Hadamard:
+    case GateType::S:
+    case GateType::T:
+    case GateType::RX:
+    case GateType::RY:
+    case GateType::RZ:
+    case GateType::PhaseShift:
+      return 1;
+    case GateType::CNOT:
+    case GateType::CZ:
+    case GateType::SWAP:
+    case GateType::CRX:
+    case GateType::CRY:
+    case GateType::CRZ:
+    case GateType::RXX:
+    case GateType::RYY:
+    case GateType::RZZ:
+      return 2;
+  }
+  throw std::logic_error("gate_arity: unknown gate");
+}
+
+bool gate_is_parameterized(GateType type) {
+  switch (type) {
+    case GateType::RX:
+    case GateType::RY:
+    case GateType::RZ:
+    case GateType::PhaseShift:
+    case GateType::CRX:
+    case GateType::CRY:
+    case GateType::CRZ:
+    case GateType::RXX:
+    case GateType::RYY:
+    case GateType::RZZ:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool gate_is_controlled(GateType type) {
+  switch (type) {
+    case GateType::CNOT:
+    case GateType::CZ:
+    case GateType::CRX:
+    case GateType::CRY:
+    case GateType::CRZ:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string gate_name(GateType type) {
+  switch (type) {
+    case GateType::PauliX: return "X";
+    case GateType::PauliY: return "Y";
+    case GateType::PauliZ: return "Z";
+    case GateType::Hadamard: return "H";
+    case GateType::S: return "S";
+    case GateType::T: return "T";
+    case GateType::RX: return "RX";
+    case GateType::RY: return "RY";
+    case GateType::RZ: return "RZ";
+    case GateType::PhaseShift: return "PhaseShift";
+    case GateType::CNOT: return "CNOT";
+    case GateType::CZ: return "CZ";
+    case GateType::SWAP: return "SWAP";
+    case GateType::CRX: return "CRX";
+    case GateType::CRY: return "CRY";
+    case GateType::CRZ: return "CRZ";
+    case GateType::RXX: return "RXX";
+    case GateType::RYY: return "RYY";
+    case GateType::RZZ: return "RZZ";
+  }
+  return "?";
+}
+
+namespace gates {
+
+namespace {
+constexpr Complex kI{0.0, 1.0};
+constexpr Complex kZero{0.0, 0.0};
+constexpr Complex kOne{1.0, 0.0};
+}  // namespace
+
+Mat2 pauli_x() { return {kZero, kOne, kOne, kZero}; }
+Mat2 pauli_y() { return {kZero, -kI, kI, kZero}; }
+Mat2 pauli_z() { return {kOne, kZero, kZero, -kOne}; }
+
+Mat2 hadamard() {
+  const double inv_sqrt2 = 1.0 / std::numbers::sqrt2;
+  return {Complex{inv_sqrt2, 0}, Complex{inv_sqrt2, 0}, Complex{inv_sqrt2, 0},
+          Complex{-inv_sqrt2, 0}};
+}
+
+Mat2 s() { return {kOne, kZero, kZero, kI}; }
+
+Mat2 t() {
+  return {kOne, kZero, kZero, std::exp(kI * (std::numbers::pi / 4.0))};
+}
+
+Mat2 rx(double theta) {
+  const double c = std::cos(theta / 2.0);
+  const double sn = std::sin(theta / 2.0);
+  return {Complex{c, 0}, Complex{0, -sn}, Complex{0, -sn}, Complex{c, 0}};
+}
+
+Mat2 ry(double theta) {
+  const double c = std::cos(theta / 2.0);
+  const double sn = std::sin(theta / 2.0);
+  return {Complex{c, 0}, Complex{-sn, 0}, Complex{sn, 0}, Complex{c, 0}};
+}
+
+Mat2 rz(double theta) {
+  return {std::exp(-kI * (theta / 2.0)), kZero, kZero,
+          std::exp(kI * (theta / 2.0))};
+}
+
+Mat2 phase_shift(double theta) {
+  return {kOne, kZero, kZero, std::exp(kI * theta)};
+}
+
+Mat2 rx_derivative(double theta) {
+  const double c = 0.5 * std::cos(theta / 2.0);
+  const double sn = 0.5 * std::sin(theta / 2.0);
+  return {Complex{-sn, 0}, Complex{0, -c}, Complex{0, -c}, Complex{-sn, 0}};
+}
+
+Mat2 ry_derivative(double theta) {
+  const double c = 0.5 * std::cos(theta / 2.0);
+  const double sn = 0.5 * std::sin(theta / 2.0);
+  return {Complex{-sn, 0}, Complex{-c, 0}, Complex{c, 0}, Complex{-sn, 0}};
+}
+
+Mat2 rz_derivative(double theta) {
+  return {-kI * 0.5 * std::exp(-kI * (theta / 2.0)), kZero, kZero,
+          kI * 0.5 * std::exp(kI * (theta / 2.0))};
+}
+
+Mat2 phase_shift_derivative(double theta) {
+  return {kZero, kZero, kZero, kI * std::exp(kI * theta)};
+}
+
+IsingPair ising_pair(GateType type, double theta) {
+  const double c = std::cos(theta / 2.0);
+  const double s = std::sin(theta / 2.0);
+  switch (type) {
+    case GateType::RXX: {
+      // exp(-i θ XX/2): both parity blocks mix with -i sin.
+      const Mat2 block{Complex{c, 0}, Complex{0, -s}, Complex{0, -s},
+                       Complex{c, 0}};
+      return IsingPair{block, block};
+    }
+    case GateType::RYY: {
+      // YY|00⟩ = -|11⟩ (even block mixes with +i sin); YY|01⟩ = +|10⟩.
+      const Mat2 even{Complex{c, 0}, Complex{0, s}, Complex{0, s},
+                      Complex{c, 0}};
+      const Mat2 odd{Complex{c, 0}, Complex{0, -s}, Complex{0, -s},
+                     Complex{c, 0}};
+      return IsingPair{even, odd};
+    }
+    case GateType::RZZ: {
+      // Diagonal: e^{-iθ/2} on even parity, e^{+iθ/2} on odd parity.
+      const Mat2 even{std::exp(kI * (-theta / 2.0)), Complex{0, 0},
+                      Complex{0, 0}, std::exp(kI * (-theta / 2.0))};
+      const Mat2 odd{std::exp(kI * (theta / 2.0)), Complex{0, 0},
+                     Complex{0, 0}, std::exp(kI * (theta / 2.0))};
+      return IsingPair{even, odd};
+    }
+    default:
+      throw std::invalid_argument("ising_pair: not an Ising gate: " +
+                                  gate_name(type));
+  }
+}
+
+IsingPair ising_pair_derivative(GateType type, double theta) {
+  const double c = 0.5 * std::cos(theta / 2.0);
+  const double s = 0.5 * std::sin(theta / 2.0);
+  switch (type) {
+    case GateType::RXX: {
+      const Mat2 block{Complex{-s, 0}, Complex{0, -c}, Complex{0, -c},
+                       Complex{-s, 0}};
+      return IsingPair{block, block};
+    }
+    case GateType::RYY: {
+      const Mat2 even{Complex{-s, 0}, Complex{0, c}, Complex{0, c},
+                      Complex{-s, 0}};
+      const Mat2 odd{Complex{-s, 0}, Complex{0, -c}, Complex{0, -c},
+                     Complex{-s, 0}};
+      return IsingPair{even, odd};
+    }
+    case GateType::RZZ: {
+      const Mat2 even{-kI * 0.5 * std::exp(kI * (-theta / 2.0)),
+                      Complex{0, 0}, Complex{0, 0},
+                      -kI * 0.5 * std::exp(kI * (-theta / 2.0))};
+      const Mat2 odd{kI * 0.5 * std::exp(kI * (theta / 2.0)), Complex{0, 0},
+                     Complex{0, 0},
+                     kI * 0.5 * std::exp(kI * (theta / 2.0))};
+      return IsingPair{even, odd};
+    }
+    default:
+      throw std::invalid_argument(
+          "ising_pair_derivative: not an Ising gate: " + gate_name(type));
+  }
+}
+
+Mat2 matrix_for(GateType type, double theta) {
+  switch (type) {
+    case GateType::PauliX: return pauli_x();
+    case GateType::PauliY: return pauli_y();
+    case GateType::PauliZ: return pauli_z();
+    case GateType::Hadamard: return hadamard();
+    case GateType::S: return s();
+    case GateType::T: return t();
+    case GateType::RX:
+    case GateType::CRX:
+      return rx(theta);
+    case GateType::RY:
+    case GateType::CRY:
+      return ry(theta);
+    case GateType::RZ:
+    case GateType::CRZ:
+      return rz(theta);
+    case GateType::PhaseShift: return phase_shift(theta);
+    default:
+      throw std::invalid_argument("matrix_for: gate has no 2x2 target matrix: " +
+                                  gate_name(type));
+  }
+}
+
+Mat2 derivative_for(GateType type, double theta) {
+  switch (type) {
+    case GateType::RX:
+    case GateType::CRX:
+      return rx_derivative(theta);
+    case GateType::RY:
+    case GateType::CRY:
+      return ry_derivative(theta);
+    case GateType::RZ:
+    case GateType::CRZ:
+      return rz_derivative(theta);
+    case GateType::PhaseShift:
+      return phase_shift_derivative(theta);
+    default:
+      throw std::invalid_argument("derivative_for: gate is not parameterized: " +
+                                  gate_name(type));
+  }
+}
+
+}  // namespace gates
+
+namespace {
+
+void require_second_wire(GateType type, std::size_t wire1) {
+  if (wire1 == SIZE_MAX) {
+    throw std::invalid_argument("apply_gate: " + gate_name(type) +
+                                " needs two wires");
+  }
+}
+
+}  // namespace
+
+void apply_gate(StateVector& state, GateType type, double theta,
+                std::size_t wire0, std::size_t wire1) {
+  switch (type) {
+    case GateType::CNOT:
+      require_second_wire(type, wire1);
+      state.apply_cnot(wire0, wire1);
+      return;
+    case GateType::CZ:
+      require_second_wire(type, wire1);
+      state.apply_cz(wire0, wire1);
+      return;
+    case GateType::SWAP:
+      require_second_wire(type, wire1);
+      state.apply_swap(wire0, wire1);
+      return;
+    case GateType::CRX:
+    case GateType::CRY:
+    case GateType::CRZ:
+      require_second_wire(type, wire1);
+      state.apply_controlled(gates::matrix_for(type, theta), wire0, wire1);
+      return;
+    case GateType::RXX:
+    case GateType::RYY:
+    case GateType::RZZ: {
+      require_second_wire(type, wire1);
+      const gates::IsingPair pair = gates::ising_pair(type, theta);
+      state.apply_double_flip_pairs(pair.even, pair.odd, wire0, wire1);
+      return;
+    }
+    default:
+      state.apply_single_qubit(gates::matrix_for(type, theta), wire0);
+      return;
+  }
+}
+
+void apply_gate_inverse(StateVector& state, GateType type, double theta,
+                        std::size_t wire0, std::size_t wire1) {
+  switch (type) {
+    case GateType::CNOT:
+    case GateType::CZ:
+    case GateType::SWAP:
+      // Self-inverse.
+      apply_gate(state, type, theta, wire0, wire1);
+      return;
+    case GateType::CRX:
+    case GateType::CRY:
+    case GateType::CRZ:
+      require_second_wire(type, wire1);
+      state.apply_controlled(gates::matrix_for(type, -theta), wire0, wire1);
+      return;
+    case GateType::RXX:
+    case GateType::RYY:
+    case GateType::RZZ: {
+      require_second_wire(type, wire1);
+      const gates::IsingPair pair = gates::ising_pair(type, -theta);
+      state.apply_double_flip_pairs(pair.even, pair.odd, wire0, wire1);
+      return;
+    }
+    case GateType::RX:
+    case GateType::RY:
+    case GateType::RZ:
+      state.apply_single_qubit(gates::matrix_for(type, -theta), wire0);
+      return;
+    case GateType::PhaseShift:
+      state.apply_single_qubit(gates::phase_shift(-theta), wire0);
+      return;
+    default:
+      // Fixed gates: apply the conjugate transpose.
+      state.apply_single_qubit(gates::matrix_for(type, theta).dagger(), wire0);
+      return;
+  }
+}
+
+void apply_gate_derivative(StateVector& state, GateType type, double theta,
+                           std::size_t wire0, std::size_t wire1) {
+  if (!gate_is_parameterized(type)) {
+    throw std::invalid_argument("apply_gate_derivative: " + gate_name(type) +
+                                " has no parameter");
+  }
+  switch (type) {
+    case GateType::CRX:
+    case GateType::CRY:
+    case GateType::CRZ:
+      require_second_wire(type, wire1);
+      state.apply_controlled_derivative(gates::derivative_for(type, theta),
+                                        wire0, wire1);
+      return;
+    case GateType::RXX:
+    case GateType::RYY:
+    case GateType::RZZ: {
+      require_second_wire(type, wire1);
+      const gates::IsingPair pair = gates::ising_pair_derivative(type, theta);
+      state.apply_double_flip_pairs(pair.even, pair.odd, wire0, wire1);
+      return;
+    }
+    default:
+      state.apply_single_qubit(gates::derivative_for(type, theta), wire0);
+      return;
+  }
+}
+
+}  // namespace qhdl::quantum

@@ -1,0 +1,164 @@
+#include "quantum/observable.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace qhdl::quantum {
+
+PauliWord PauliWord::z(std::size_t wire) {
+  PauliWord word;
+  word.factors.push_back(Pauli::Z);
+  word.wires.push_back(wire);
+  return word;
+}
+
+PauliWord PauliWord::identity() { return PauliWord{}; }
+
+bool PauliWord::is_diagonal() const {
+  for (Pauli p : factors) {
+    if (p == Pauli::X || p == Pauli::Y) return false;
+  }
+  return true;
+}
+
+std::string PauliWord::to_string() const {
+  if (is_identity()) return "I";
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < factors.size(); ++i) {
+    if (i > 0) oss << "⊗";
+    switch (factors[i]) {
+      case Pauli::I: oss << "I"; break;
+      case Pauli::X: oss << "X"; break;
+      case Pauli::Y: oss << "Y"; break;
+      case Pauli::Z: oss << "Z"; break;
+    }
+    oss << wires[i];
+  }
+  return oss.str();
+}
+
+Observable::Observable(PauliWord word) { add_term(1.0, std::move(word)); }
+
+Observable Observable::pauli_z(std::size_t wire) {
+  return Observable{PauliWord::z(wire)};
+}
+
+Observable Observable::weighted_z_sum(std::span<const double> weights,
+                                      std::span<const std::size_t> wires) {
+  if (weights.size() != wires.size()) {
+    throw std::invalid_argument("weighted_z_sum: size mismatch");
+  }
+  Observable obs;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    obs.add_term(weights[i], PauliWord::z(wires[i]));
+  }
+  return obs;
+}
+
+void Observable::add_term(double weight, PauliWord word) {
+  if (word.factors.size() != word.wires.size()) {
+    throw std::invalid_argument("Observable: malformed Pauli word");
+  }
+  terms_.push_back(Term{weight, std::move(word)});
+}
+
+bool Observable::is_diagonal() const {
+  for (const Term& term : terms_) {
+    if (!term.word.is_diagonal()) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Applies a single Pauli word to |state⟩, writing into `out` (accumulating
+/// weight * P|state⟩ on top of existing contents).
+void accumulate_word(const PauliWord& word, double weight,
+                     const StateVector& state, StateVector& out) {
+  const std::size_t n = state.dimension();
+  const std::size_t q = state.num_qubits();
+  const auto amps = state.amplitudes();
+  auto out_amps = out.amplitudes();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // P|i⟩ = phase · |j⟩; compute j and the phase for this basis state.
+    std::size_t j = i;
+    Complex phase{1.0, 0.0};
+    for (std::size_t k = 0; k < word.factors.size(); ++k) {
+      const std::size_t wire = word.wires[k];
+      if (wire >= q) {
+        throw std::out_of_range("Observable: wire out of range");
+      }
+      const std::size_t mask = std::size_t{1} << (q - 1 - wire);
+      const bool bit = (i & mask) != 0;
+      switch (word.factors[k]) {
+        case Pauli::I:
+          break;
+        case Pauli::X:
+          j ^= mask;
+          break;
+        case Pauli::Y:
+          j ^= mask;
+          // Y|0⟩ = i|1⟩, Y|1⟩ = -i|0⟩.
+          phase *= bit ? Complex{0.0, -1.0} : Complex{0.0, 1.0};
+          break;
+        case Pauli::Z:
+          if (bit) phase = -phase;
+          break;
+      }
+    }
+    out_amps[j] += weight * phase * amps[i];
+  }
+}
+
+}  // namespace
+
+void Observable::apply(const StateVector& state, StateVector& out) const {
+  if (out.dimension() != state.dimension()) {
+    throw std::invalid_argument("Observable::apply: dimension mismatch");
+  }
+  for (auto& a : out.amplitudes()) a = Complex{0.0, 0.0};
+  for (const Term& term : terms_) {
+    accumulate_word(term.word, term.weight, state, out);
+  }
+}
+
+double Observable::expectation(const StateVector& state) const {
+  // Fast path: all-Z observables are diagonal.
+  if (is_diagonal()) {
+    const std::size_t q = state.num_qubits();
+    const auto amps = state.amplitudes();
+    double total = 0.0;
+    for (std::size_t i = 0; i < state.dimension(); ++i) {
+      double sign_weight = 0.0;
+      for (const Term& term : terms_) {
+        double sign = 1.0;
+        for (std::size_t k = 0; k < term.word.wires.size(); ++k) {
+          const std::size_t mask =
+              std::size_t{1} << (q - 1 - term.word.wires[k]);
+          if (term.word.factors[k] == Pauli::Z && (i & mask) != 0) {
+            sign = -sign;
+          }
+        }
+        sign_weight += term.weight * sign;
+      }
+      total += sign_weight * std::norm(amps[i]);
+    }
+    return total;
+  }
+  StateVector scratch{state.num_qubits()};
+  apply(state, scratch);
+  return state.inner_product(scratch).real();
+}
+
+std::string Observable::to_string() const {
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < terms_.size(); ++i) {
+    if (i > 0) oss << " + ";
+    oss << terms_[i].weight << "·" << terms_[i].word.to_string();
+  }
+  if (terms_.empty()) oss << "0";
+  return oss.str();
+}
+
+}  // namespace qhdl::quantum

@@ -1,0 +1,68 @@
+// Observables: Pauli words and real-weighted sums of them.
+//
+// The QNN layers measure ⟨Z_w⟩ on each wire; adjoint differentiation uses a
+// weighted Z-sum as the effective observable for vector-Jacobian products.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "quantum/statevector.hpp"
+
+namespace qhdl::quantum {
+
+enum class Pauli { I, X, Y, Z };
+
+/// A tensor product of Paulis over a subset of wires, e.g. Z0 ⊗ X2.
+struct PauliWord {
+  /// Parallel arrays: factor[i] acts on wire[i]. Wires must be distinct.
+  std::vector<Pauli> factors;
+  std::vector<std::size_t> wires;
+
+  static PauliWord z(std::size_t wire);
+  static PauliWord identity();
+
+  bool is_identity() const { return factors.empty(); }
+  /// True when every factor is Z (diagonal in computational basis).
+  bool is_diagonal() const;
+  std::string to_string() const;
+};
+
+/// Real-weighted sum of Pauli words (a Hermitian operator).
+class Observable {
+ public:
+  Observable() = default;
+
+  /// Single-word observable with weight 1.
+  explicit Observable(PauliWord word);
+
+  static Observable pauli_z(std::size_t wire);
+
+  /// Σ_k weights[k] · Z_{wires[k]} — the effective observable used for VJPs.
+  static Observable weighted_z_sum(std::span<const double> weights,
+                                   std::span<const std::size_t> wires);
+
+  void add_term(double weight, PauliWord word);
+
+  std::size_t term_count() const { return terms_.size(); }
+
+  /// ⟨state|O|state⟩ (real, since O is Hermitian and weights are real).
+  double expectation(const StateVector& state) const;
+
+  /// out = O|state⟩. Requires out.dimension() == state.dimension().
+  void apply(const StateVector& state, StateVector& out) const;
+
+  /// True when every term is a Z-word (fast diagonal path applies).
+  bool is_diagonal() const;
+
+  std::string to_string() const;
+
+ private:
+  struct Term {
+    double weight;
+    PauliWord word;
+  };
+  std::vector<Term> terms_;
+};
+
+}  // namespace qhdl::quantum

@@ -1,0 +1,102 @@
+#include "quantum/parameter_shift.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace qhdl::quantum {
+
+double expectation_with_op_shift(const Circuit& circuit,
+                                 std::span<const double> params,
+                                 const Observable& observable,
+                                 std::size_t op_index, double delta) {
+  const auto& ops = circuit.ops();
+  if (op_index >= ops.size()) {
+    throw std::out_of_range("expectation_with_op_shift: op index");
+  }
+  StateVector state{circuit.num_qubits()};
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Op& op = ops[i];
+    double angle = op.angle(params);
+    if (i == op_index) angle += delta;
+    apply_gate(state, op.type, angle, op.wire0, op.wire1);
+  }
+  return observable.expectation(state);
+}
+
+std::vector<double> parameter_shift_gradient(const Circuit& circuit,
+                                             std::span<const double> params,
+                                             const Observable& observable) {
+  std::vector<double> gradient(circuit.parameter_count(), 0.0);
+  const auto& ops = circuit.ops();
+  const double half_pi = std::numbers::pi / 2.0;
+
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Op& op = ops[i];
+    if (!op.param_index.has_value()) continue;
+
+    double contribution = 0.0;
+    switch (op.type) {
+      case GateType::RX:
+      case GateType::RY:
+      case GateType::RZ:
+      case GateType::PhaseShift:
+      case GateType::RXX:
+      case GateType::RYY:
+      case GateType::RZZ: {
+        // Generators P (or P⊗P) with eigenvalues ±1: two-term rule.
+        const double plus =
+            expectation_with_op_shift(circuit, params, observable, i, half_pi);
+        const double minus = expectation_with_op_shift(circuit, params,
+                                                       observable, i, -half_pi);
+        contribution = 0.5 * (plus - minus);
+        break;
+      }
+      case GateType::CRX:
+      case GateType::CRY:
+      case GateType::CRZ: {
+        const double sqrt2 = std::numbers::sqrt2;
+        const double c_plus = (sqrt2 + 1.0) / (4.0 * sqrt2);
+        const double c_minus = (sqrt2 - 1.0) / (4.0 * sqrt2);
+        const double three_half_pi = 3.0 * half_pi;
+        const double term1 =
+            expectation_with_op_shift(circuit, params, observable, i,
+                                      half_pi) -
+            expectation_with_op_shift(circuit, params, observable, i,
+                                      -half_pi);
+        const double term2 =
+            expectation_with_op_shift(circuit, params, observable, i,
+                                      three_half_pi) -
+            expectation_with_op_shift(circuit, params, observable, i,
+                                      -three_half_pi);
+        contribution = c_plus * term1 - c_minus * term2;
+        break;
+      }
+      default:
+        throw std::logic_error("parameter_shift_gradient: no rule for " +
+                               gate_name(op.type));
+    }
+    gradient[*op.param_index] += contribution;
+  }
+  return gradient;
+}
+
+std::size_t parameter_shift_evaluation_count(const Circuit& circuit) {
+  std::size_t count = 0;
+  for (const Op& op : circuit.ops()) {
+    if (!op.param_index.has_value()) continue;
+    switch (op.type) {
+      case GateType::CRX:
+      case GateType::CRY:
+      case GateType::CRZ:
+        count += 4;
+        break;
+      default:
+        count += 2;
+        break;
+    }
+  }
+  return count;
+}
+
+}  // namespace qhdl::quantum

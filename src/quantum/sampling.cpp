@@ -1,0 +1,83 @@
+#include "quantum/sampling.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qhdl::quantum {
+
+BasisSampler::BasisSampler(const StateVector& state)
+    : num_qubits_(state.num_qubits()) {
+  const auto probs = state.probabilities();
+  cdf_.resize(probs.size());
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    cumulative += probs[i];
+    cdf_[i] = cumulative;
+  }
+  // Guard against rounding: force the last entry to cover u -> 1.
+  if (!cdf_.empty()) cdf_.back() = std::max(cdf_.back(), 1.0);
+}
+
+std::size_t BasisSampler::draw(util::Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+std::vector<std::size_t> sample_basis_states(const StateVector& state,
+                                             std::size_t shots,
+                                             util::Rng& rng) {
+  if (shots == 0) {
+    throw std::invalid_argument("sample_basis_states: shots must be > 0");
+  }
+  const BasisSampler sampler{state};
+  std::vector<std::size_t> outcomes(shots);
+  for (auto& outcome : outcomes) outcome = sampler.draw(rng);
+  return outcomes;
+}
+
+std::map<std::size_t, std::size_t> sample_counts(const StateVector& state,
+                                                 std::size_t shots,
+                                                 util::Rng& rng) {
+  std::map<std::size_t, std::size_t> counts;
+  for (std::size_t outcome : sample_basis_states(state, shots, rng)) {
+    ++counts[outcome];
+  }
+  return counts;
+}
+
+double estimate_expval_z(const StateVector& state, std::size_t wire,
+                         std::size_t shots, util::Rng& rng) {
+  const std::vector<std::size_t> wires{wire};
+  return estimate_expvals_z(state, wires, shots, rng)[0];
+}
+
+std::vector<double> estimate_expvals_z(const StateVector& state,
+                                       std::span<const std::size_t> wires,
+                                       std::size_t shots, util::Rng& rng) {
+  if (shots == 0) {
+    throw std::invalid_argument("estimate_expvals_z: shots must be > 0");
+  }
+  const std::size_t q = state.num_qubits();
+  for (std::size_t wire : wires) {
+    if (wire >= q) {
+      throw std::out_of_range("estimate_expvals_z: wire out of range");
+    }
+  }
+  const BasisSampler sampler{state};
+  std::vector<long> sums(wires.size(), 0);
+  for (std::size_t shot = 0; shot < shots; ++shot) {
+    const std::size_t outcome = sampler.draw(rng);
+    for (std::size_t k = 0; k < wires.size(); ++k) {
+      const std::size_t mask = std::size_t{1} << (q - 1 - wires[k]);
+      sums[k] += (outcome & mask) == 0 ? 1 : -1;
+    }
+  }
+  std::vector<double> estimates(wires.size());
+  for (std::size_t k = 0; k < wires.size(); ++k) {
+    estimates[k] = static_cast<double>(sums[k]) / static_cast<double>(shots);
+  }
+  return estimates;
+}
+
+}  // namespace qhdl::quantum

@@ -1,0 +1,277 @@
+#include "quantum/statevector.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace qhdl::quantum {
+
+Mat2 Mat2::dagger() const {
+  return Mat2{std::conj(m00), std::conj(m10), std::conj(m01), std::conj(m11)};
+}
+
+Mat2 Mat2::operator*(const Mat2& other) const {
+  return Mat2{m00 * other.m00 + m01 * other.m10,
+              m00 * other.m01 + m01 * other.m11,
+              m10 * other.m00 + m11 * other.m10,
+              m10 * other.m01 + m11 * other.m11};
+}
+
+bool Mat2::is_unitary(double tolerance) const {
+  const Mat2 product = *this * dagger();
+  return std::abs(product.m00 - Complex{1.0, 0.0}) < tolerance &&
+         std::abs(product.m01) < tolerance &&
+         std::abs(product.m10) < tolerance &&
+         std::abs(product.m11 - Complex{1.0, 0.0}) < tolerance;
+}
+
+namespace {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::size_t log2_size(std::size_t n) {
+  std::size_t bits = 0;
+  while ((std::size_t{1} << bits) < n) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+StateVector::StateVector(std::size_t num_qubits) : num_qubits_(num_qubits) {
+  if (num_qubits == 0 || num_qubits > 28) {
+    throw std::invalid_argument("StateVector: qubit count must be in [1,28]");
+  }
+  amplitudes_.assign(std::size_t{1} << num_qubits, Complex{0.0, 0.0});
+  amplitudes_[0] = Complex{1.0, 0.0};
+}
+
+StateVector::StateVector(std::vector<Complex> amplitudes)
+    : amplitudes_(std::move(amplitudes)) {
+  if (!is_power_of_two(amplitudes_.size()) || amplitudes_.size() < 2) {
+    throw std::invalid_argument(
+        "StateVector: amplitude count must be a power of two >= 2");
+  }
+  num_qubits_ = log2_size(amplitudes_.size());
+}
+
+void StateVector::reset() {
+  for (auto& a : amplitudes_) a = Complex{0.0, 0.0};
+  amplitudes_[0] = Complex{1.0, 0.0};
+}
+
+void StateVector::set_basis_state(std::size_t basis_index) {
+  if (basis_index >= amplitudes_.size()) {
+    throw std::out_of_range("StateVector::set_basis_state: index out of range");
+  }
+  for (auto& a : amplitudes_) a = Complex{0.0, 0.0};
+  amplitudes_[basis_index] = Complex{1.0, 0.0};
+}
+
+void StateVector::check_wire(std::size_t wire, const char* context) const {
+  if (wire >= num_qubits_) {
+    throw std::out_of_range(std::string{context} + ": wire " +
+                            std::to_string(wire) + " out of range for " +
+                            std::to_string(num_qubits_) + " qubits");
+  }
+}
+
+void StateVector::apply_single_qubit(const Mat2& gate, std::size_t wire) {
+  check_wire(wire, "apply_single_qubit");
+  const std::size_t stride = std::size_t{1} << (num_qubits_ - 1 - wire);
+  const std::size_t n = amplitudes_.size();
+  for (std::size_t block = 0; block < n; block += 2 * stride) {
+    for (std::size_t offset = 0; offset < stride; ++offset) {
+      const std::size_t i0 = block + offset;
+      const std::size_t i1 = i0 + stride;
+      const Complex a0 = amplitudes_[i0];
+      const Complex a1 = amplitudes_[i1];
+      amplitudes_[i0] = gate.m00 * a0 + gate.m01 * a1;
+      amplitudes_[i1] = gate.m10 * a0 + gate.m11 * a1;
+    }
+  }
+}
+
+void StateVector::apply_controlled(const Mat2& gate, std::size_t control,
+                                   std::size_t target) {
+  check_wire(control, "apply_controlled");
+  check_wire(target, "apply_controlled");
+  if (control == target) {
+    throw std::invalid_argument("apply_controlled: control == target");
+  }
+  const std::size_t cmask = std::size_t{1} << (num_qubits_ - 1 - control);
+  const std::size_t tmask = std::size_t{1} << (num_qubits_ - 1 - target);
+  const std::size_t n = amplitudes_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    // Visit each control-1, target-0 amplitude once; pair with target-1.
+    if ((i & cmask) != 0 && (i & tmask) == 0) {
+      const std::size_t j = i | tmask;
+      const Complex a0 = amplitudes_[i];
+      const Complex a1 = amplitudes_[j];
+      amplitudes_[i] = gate.m00 * a0 + gate.m01 * a1;
+      amplitudes_[j] = gate.m10 * a0 + gate.m11 * a1;
+    }
+  }
+}
+
+void StateVector::apply_controlled_derivative(const Mat2& gate,
+                                              std::size_t control,
+                                              std::size_t target) {
+  check_wire(control, "apply_controlled_derivative");
+  check_wire(target, "apply_controlled_derivative");
+  if (control == target) {
+    throw std::invalid_argument(
+        "apply_controlled_derivative: control == target");
+  }
+  const std::size_t cmask = std::size_t{1} << (num_qubits_ - 1 - control);
+  const std::size_t tmask = std::size_t{1} << (num_qubits_ - 1 - target);
+  const std::size_t n = amplitudes_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((i & cmask) == 0) {
+      // d(CU)/dθ annihilates the control-0 subspace.
+      amplitudes_[i] = Complex{0.0, 0.0};
+    } else if ((i & tmask) == 0) {
+      const std::size_t j = i | tmask;
+      const Complex a0 = amplitudes_[i];
+      const Complex a1 = amplitudes_[j];
+      amplitudes_[i] = gate.m00 * a0 + gate.m01 * a1;
+      amplitudes_[j] = gate.m10 * a0 + gate.m11 * a1;
+    }
+  }
+}
+
+void StateVector::apply_cnot(std::size_t control, std::size_t target) {
+  check_wire(control, "apply_cnot");
+  check_wire(target, "apply_cnot");
+  if (control == target) {
+    throw std::invalid_argument("apply_cnot: control == target");
+  }
+  const std::size_t cmask = std::size_t{1} << (num_qubits_ - 1 - control);
+  const std::size_t tmask = std::size_t{1} << (num_qubits_ - 1 - target);
+  const std::size_t n = amplitudes_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((i & cmask) != 0 && (i & tmask) == 0) {
+      std::swap(amplitudes_[i], amplitudes_[i | tmask]);
+    }
+  }
+}
+
+void StateVector::apply_cz(std::size_t control, std::size_t target) {
+  check_wire(control, "apply_cz");
+  check_wire(target, "apply_cz");
+  if (control == target) {
+    throw std::invalid_argument("apply_cz: control == target");
+  }
+  const std::size_t cmask = std::size_t{1} << (num_qubits_ - 1 - control);
+  const std::size_t tmask = std::size_t{1} << (num_qubits_ - 1 - target);
+  const std::size_t n = amplitudes_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((i & cmask) != 0 && (i & tmask) != 0) amplitudes_[i] = -amplitudes_[i];
+  }
+}
+
+void StateVector::apply_swap(std::size_t wire_a, std::size_t wire_b) {
+  check_wire(wire_a, "apply_swap");
+  check_wire(wire_b, "apply_swap");
+  if (wire_a == wire_b) return;
+  const std::size_t amask = std::size_t{1} << (num_qubits_ - 1 - wire_a);
+  const std::size_t bmask = std::size_t{1} << (num_qubits_ - 1 - wire_b);
+  const std::size_t n = amplitudes_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    // Swap |..a=1..b=0..⟩ with |..a=0..b=1..⟩; visit each pair once.
+    if ((i & amask) != 0 && (i & bmask) == 0) {
+      std::swap(amplitudes_[i], amplitudes_[(i & ~amask) | bmask]);
+    }
+  }
+}
+
+void StateVector::apply_double_flip_pairs(const Mat2& even_pair,
+                                          const Mat2& odd_pair,
+                                          std::size_t wire_a,
+                                          std::size_t wire_b) {
+  check_wire(wire_a, "apply_double_flip_pairs");
+  check_wire(wire_b, "apply_double_flip_pairs");
+  if (wire_a == wire_b) {
+    throw std::invalid_argument("apply_double_flip_pairs: wires must differ");
+  }
+  const std::size_t amask = std::size_t{1} << (num_qubits_ - 1 - wire_a);
+  const std::size_t bmask = std::size_t{1} << (num_qubits_ - 1 - wire_b);
+  const std::size_t flip = amask | bmask;
+  const std::size_t n = amplitudes_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((i & amask) != 0) continue;  // visit each pair from its a=0 member
+    const std::size_t j = i ^ flip;
+    const Mat2& gate = (i & bmask) == 0 ? even_pair : odd_pair;
+    const Complex a0 = amplitudes_[i];
+    const Complex a1 = amplitudes_[j];
+    amplitudes_[i] = gate.m00 * a0 + gate.m01 * a1;
+    amplitudes_[j] = gate.m10 * a0 + gate.m11 * a1;
+  }
+}
+
+void StateVector::scale(Complex factor) {
+  for (auto& a : amplitudes_) a *= factor;
+}
+
+double StateVector::expval_pauli_z(std::size_t wire) const {
+  check_wire(wire, "expval_pauli_z");
+  const std::size_t mask = std::size_t{1} << (num_qubits_ - 1 - wire);
+  double expectation = 0.0;
+  for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
+    const double p = std::norm(amplitudes_[i]);
+    expectation += (i & mask) == 0 ? p : -p;
+  }
+  return expectation;
+}
+
+double StateVector::probability(std::size_t basis_index) const {
+  if (basis_index >= amplitudes_.size()) {
+    throw std::out_of_range("StateVector::probability: index out of range");
+  }
+  return std::norm(amplitudes_[basis_index]);
+}
+
+std::vector<double> StateVector::probabilities() const {
+  std::vector<double> probs(amplitudes_.size());
+  for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
+    probs[i] = std::norm(amplitudes_[i]);
+  }
+  return probs;
+}
+
+double StateVector::norm_squared() const {
+  double total = 0.0;
+  for (const auto& a : amplitudes_) total += std::norm(a);
+  return total;
+}
+
+Complex StateVector::inner_product(const StateVector& other) const {
+  if (other.amplitudes_.size() != amplitudes_.size()) {
+    throw std::invalid_argument("inner_product: dimension mismatch");
+  }
+  Complex total{0.0, 0.0};
+  for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
+    total += std::conj(amplitudes_[i]) * other.amplitudes_[i];
+  }
+  return total;
+}
+
+std::string StateVector::to_string() const {
+  std::ostringstream oss;
+  bool first = true;
+  for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
+    if (std::abs(amplitudes_[i]) < 1e-12) continue;
+    if (!first) oss << " + ";
+    first = false;
+    oss.precision(4);
+    oss << std::fixed << "(" << amplitudes_[i].real() << (amplitudes_[i].imag() >= 0 ? "+" : "")
+        << amplitudes_[i].imag() << "i)|";
+    for (std::size_t b = 0; b < num_qubits_; ++b) {
+      oss << (((i >> (num_qubits_ - 1 - b)) & 1) ? '1' : '0');
+    }
+    oss << "⟩";
+  }
+  if (first) oss << "0";
+  return oss.str();
+}
+
+}  // namespace qhdl::quantum

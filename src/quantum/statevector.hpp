@@ -1,0 +1,102 @@
+// Dense state-vector simulator.
+//
+// Wire convention matches PennyLane: wire 0 is the most significant bit of
+// the computational-basis index, so |q0 q1 ... q_{n-1}⟩ has basis index
+// (q0 << (n-1)) | ... | q_{n-1}. All public methods validate wires.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace qhdl::quantum {
+
+using Complex = std::complex<double>;
+
+/// Column-major-free 2x2 complex matrix [[m00, m01], [m10, m11]].
+struct Mat2 {
+  Complex m00, m01, m10, m11;
+
+  /// Conjugate transpose.
+  Mat2 dagger() const;
+  /// Matrix product this * other.
+  Mat2 operator*(const Mat2& other) const;
+  bool is_unitary(double tolerance = 1e-12) const;
+};
+
+/// State of `num_qubits` qubits; 2^n complex amplitudes.
+class StateVector {
+ public:
+  /// Initializes |0...0⟩.
+  explicit StateVector(std::size_t num_qubits);
+
+  /// Takes explicit amplitudes (must have power-of-two size).
+  explicit StateVector(std::vector<Complex> amplitudes);
+
+  std::size_t num_qubits() const { return num_qubits_; }
+  std::size_t dimension() const { return amplitudes_.size(); }
+
+  std::span<Complex> amplitudes() { return amplitudes_; }
+  std::span<const Complex> amplitudes() const { return amplitudes_; }
+
+  /// Resets to |0...0⟩.
+  void reset();
+
+  /// Sets to a computational basis state.
+  void set_basis_state(std::size_t basis_index);
+
+  /// Applies a single-qubit matrix to `wire`.
+  void apply_single_qubit(const Mat2& gate, std::size_t wire);
+
+  /// Applies a single-qubit matrix to `target` controlled on `control`=1.
+  void apply_controlled(const Mat2& gate, std::size_t control,
+                        std::size_t target);
+
+  /// Applies d(CU)/dθ = |1⟩⟨1|_c ⊗ (dU/dθ): control-0 amplitudes are zeroed,
+  /// control-1 amplitudes get `gate` (typically a non-unitary derivative).
+  void apply_controlled_derivative(const Mat2& gate, std::size_t control,
+                                   std::size_t target);
+
+  void apply_cnot(std::size_t control, std::size_t target);
+  void apply_cz(std::size_t control, std::size_t target);
+  void apply_swap(std::size_t wire_a, std::size_t wire_b);
+
+  /// Applies a 2x2 matrix to the double-flip amplitude pairs
+  /// (i, i ^ mask_a ^ mask_b): `even_pair` where the two wire bits agree
+  /// (|00⟩↔|11⟩ blocks), `odd_pair` where they differ (|01⟩↔|10⟩). The
+  /// "low" element of each pair has wire_a's bit = 0. This is exactly the
+  /// structure of the Ising gates RXX/RYY/RZZ (see gates.hpp).
+  void apply_double_flip_pairs(const Mat2& even_pair, const Mat2& odd_pair,
+                               std::size_t wire_a, std::size_t wire_b);
+
+  /// Multiplies the whole state by a scalar (used by derivative ops).
+  void scale(Complex factor);
+
+  /// ⟨Z_wire⟩ = Σ_i ±|a_i|².
+  double expval_pauli_z(std::size_t wire) const;
+
+  /// Probability of measuring basis state `basis_index`.
+  double probability(std::size_t basis_index) const;
+
+  /// All 2^n basis probabilities.
+  std::vector<double> probabilities() const;
+
+  /// Σ|a_i|² (should stay 1 under unitary evolution).
+  double norm_squared() const;
+
+  /// ⟨this|other⟩.
+  Complex inner_product(const StateVector& other) const;
+
+  /// Debug rendering "(0.70+0.00i)|00⟩ + ...".
+  std::string to_string() const;
+
+ private:
+  void check_wire(std::size_t wire, const char* context) const;
+
+  std::size_t num_qubits_;
+  std::vector<Complex> amplitudes_;
+};
+
+}  // namespace qhdl::quantum

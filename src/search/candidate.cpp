@@ -1,0 +1,143 @@
+#include "search/candidate.hpp"
+
+#include <sstream>
+
+#include "util/string_util.hpp"
+#include <stdexcept>
+
+namespace qhdl::search {
+
+ModelSpec ModelSpec::make_classical(std::vector<std::size_t> hidden) {
+  ModelSpec spec;
+  spec.family = Family::Classical;
+  spec.classical.hidden = std::move(hidden);
+  return spec;
+}
+
+ModelSpec ModelSpec::make_hybrid(std::size_t qubits, std::size_t depth,
+                                 qnn::AnsatzKind ansatz) {
+  ModelSpec spec;
+  spec.family = Family::Hybrid;
+  spec.hybrid = HybridSpec{qubits, depth, ansatz};
+  return spec;
+}
+
+std::string ModelSpec::to_string() const {
+  std::ostringstream oss;
+  if (family == Family::Classical) {
+    oss << "[";
+    for (std::size_t i = 0; i < classical.hidden.size(); ++i) {
+      if (i > 0) oss << ",";
+      oss << classical.hidden[i];
+    }
+    oss << "]";
+  } else {
+    oss << qnn::ansatz_name(hybrid.ansatz) << "(q=" << hybrid.qubits
+        << ",d=" << hybrid.depth << ")";
+  }
+  return oss.str();
+}
+
+namespace {
+
+const char* activation_kind(qnn::Activation activation) {
+  switch (activation) {
+    case qnn::Activation::Tanh: return "tanh";
+    case qnn::Activation::ReLU: return "relu";
+  }
+  throw std::logic_error("activation_kind: unknown activation");
+}
+
+nn::LayerInfo dense_info(std::size_t inputs, std::size_t outputs) {
+  nn::LayerInfo li;
+  li.kind = "dense";
+  li.inputs = inputs;
+  li.outputs = outputs;
+  li.parameter_count = inputs * outputs + outputs;
+  return li;
+}
+
+nn::LayerInfo activation_info(const char* kind, std::size_t width) {
+  nn::LayerInfo li;
+  li.kind = kind;
+  li.inputs = width;
+  li.outputs = width;
+  return li;
+}
+
+nn::LayerInfo quantum_info(const HybridSpec& spec) {
+  nn::LayerInfo li;
+  li.kind = "quantum";
+  li.inputs = spec.qubits;
+  li.outputs = spec.qubits;
+  li.parameter_count =
+      qnn::ansatz_weight_count(spec.ansatz, spec.qubits, spec.depth);
+  li.qubits = spec.qubits;
+  li.depth = spec.depth;
+  li.ansatz = util::to_lower(qnn::ansatz_name(spec.ansatz));
+  const auto counts =
+      qnn::ansatz_op_counts(spec.ansatz, spec.qubits, spec.depth);
+  li.encoding_gate_count = spec.qubits;
+  li.gate_count =
+      li.encoding_gate_count + counts.rotation_ops + counts.entangling_ops;
+  li.param_gate_count = li.encoding_gate_count + counts.rotation_ops;
+  return li;
+}
+
+}  // namespace
+
+std::vector<nn::LayerInfo> spec_layer_infos(const ModelSpec& spec,
+                                            std::size_t features,
+                                            std::size_t classes,
+                                            qnn::Activation activation) {
+  std::vector<nn::LayerInfo> infos;
+  if (spec.family == ModelSpec::Family::Classical) {
+    std::size_t width = features;
+    for (std::size_t hidden : spec.classical.hidden) {
+      infos.push_back(dense_info(width, hidden));
+      infos.push_back(activation_info(activation_kind(activation), hidden));
+      width = hidden;
+    }
+    infos.push_back(dense_info(width, classes));
+  } else {
+    infos.push_back(dense_info(features, spec.hybrid.qubits));
+    infos.push_back(activation_info("tanh", spec.hybrid.qubits));
+    infos.push_back(quantum_info(spec.hybrid));
+    infos.push_back(dense_info(spec.hybrid.qubits, classes));
+  }
+  return infos;
+}
+
+std::size_t spec_parameter_count(const ModelSpec& spec, std::size_t features,
+                                 std::size_t classes) {
+  std::size_t total = 0;
+  for (const auto& info :
+       spec_layer_infos(spec, features, classes, qnn::Activation::Tanh)) {
+    total += info.parameter_count;
+  }
+  return total;
+}
+
+std::unique_ptr<nn::Sequential> build_from_spec(const ModelSpec& spec,
+                                                std::size_t features,
+                                                std::size_t classes,
+                                                qnn::Activation activation,
+                                                util::Rng& rng) {
+  if (spec.family == ModelSpec::Family::Classical) {
+    qnn::ClassicalConfig config;
+    config.features = features;
+    config.hidden = spec.classical.hidden;
+    config.classes = classes;
+    config.activation = activation;
+    return qnn::build_classical_model(config, rng);
+  }
+  qnn::HybridConfig config;
+  config.features = features;
+  config.qubits = spec.hybrid.qubits;
+  config.depth = spec.hybrid.depth;
+  config.ansatz = spec.hybrid.ansatz;
+  config.classes = classes;
+  return qnn::build_hybrid_model(config, rng);
+}
+
+}  // namespace qhdl::search

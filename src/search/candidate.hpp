@@ -1,0 +1,60 @@
+// Model candidates for the grid searches (paper Sections III-B / III-C).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flops/cost_model.hpp"
+#include "nn/sequential.hpp"
+#include "qnn/hybrid_model.hpp"
+
+namespace qhdl::search {
+
+/// Classical candidate: hidden-layer widths, e.g. {2, 10, 4}.
+struct ClassicalSpec {
+  std::vector<std::size_t> hidden;
+};
+
+/// Hybrid candidate: (qubits, depth, ansatz).
+struct HybridSpec {
+  std::size_t qubits = 3;
+  std::size_t depth = 1;
+  qnn::AnsatzKind ansatz = qnn::AnsatzKind::BasicEntangler;
+};
+
+/// Tagged union over the two candidate families.
+struct ModelSpec {
+  enum class Family { Classical, Hybrid };
+
+  Family family = Family::Classical;
+  ClassicalSpec classical;
+  HybridSpec hybrid;
+
+  static ModelSpec make_classical(std::vector<std::size_t> hidden);
+  static ModelSpec make_hybrid(std::size_t qubits, std::size_t depth,
+                               qnn::AnsatzKind ansatz);
+
+  /// "[2,10]" or "BEL(q=3,d=2)".
+  std::string to_string() const;
+};
+
+/// Analytic per-layer descriptors for a spec — used to FLOPs-sort the search
+/// space without constructing (and randomly initializing) any model.
+std::vector<nn::LayerInfo> spec_layer_infos(const ModelSpec& spec,
+                                            std::size_t features,
+                                            std::size_t classes,
+                                            qnn::Activation activation);
+
+/// Trainable-parameter count for a spec.
+std::size_t spec_parameter_count(const ModelSpec& spec, std::size_t features,
+                                 std::size_t classes);
+
+/// Builds the trainable model for a spec.
+std::unique_ptr<nn::Sequential> build_from_spec(const ModelSpec& spec,
+                                                std::size_t features,
+                                                std::size_t classes,
+                                                qnn::Activation activation,
+                                                util::Rng& rng);
+
+}  // namespace qhdl::search

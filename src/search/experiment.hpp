@@ -1,0 +1,52 @@
+// Complexity sweeps: a repeated grid search at each feature size
+// (10..110 step 10 in the paper), per model family.
+#pragma once
+
+#include "data/spiral.hpp"
+#include "search/grid_search.hpp"
+#include "search/search_space.hpp"
+
+namespace qhdl::search {
+
+enum class Family { Classical, HybridBel, HybridSel };
+
+std::string family_name(Family family);
+
+/// The paper's search space for a family (155 classical / 30 hybrid).
+std::vector<ModelSpec> family_search_space(Family family);
+
+/// Base 2-D geometry the complexity datasets are grown from. The paper uses
+/// the spiral; Rings is provided as a robustness check (see
+/// bench_robustness_rings).
+enum class BaseGeometry { Spiral, Rings };
+
+struct SweepConfig {
+  /// Paper: {10, 20, ..., 110}.
+  std::vector<std::size_t> feature_sizes = {10, 20, 30, 40,  50,  60,
+                                            70, 80, 90, 100, 110};
+  data::SpiralConfig spiral{};
+  BaseGeometry geometry = BaseGeometry::Spiral;
+  SearchConfig search{};
+  /// Base seed; each feature size derives its own dataset seed from it.
+  std::uint64_t dataset_seed = 7;
+};
+
+/// Result at one complexity level.
+struct LevelResult {
+  std::size_t features = 0;
+  RepeatedSearchResult search;
+};
+
+struct SweepResult {
+  Family family = Family::Classical;
+  std::vector<LevelResult> levels;
+};
+
+/// Runs the full complexity sweep for one family.
+SweepResult run_complexity_sweep(Family family, const SweepConfig& config);
+
+/// Convenience: the standard per-level dataset (shared across families so
+/// the comparison is apples-to-apples).
+data::Dataset level_dataset(std::size_t features, const SweepConfig& config);
+
+}  // namespace qhdl::search

@@ -1,0 +1,203 @@
+#include "search/grid_search.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <stdexcept>
+
+#include "data/preprocess.hpp"
+#include "flops/profiler.hpp"
+#include "util/logging.hpp"
+
+namespace qhdl::search {
+
+namespace {
+
+flops::FlopsReport spec_report(const ModelSpec& spec, std::size_t features,
+                               std::size_t classes,
+                               const SearchConfig& config) {
+  return flops::profile_layers(
+      spec_layer_infos(spec, features, classes, config.classical_activation),
+      config.cost_model);
+}
+
+}  // namespace
+
+std::vector<ModelSpec> sort_by_flops(std::vector<ModelSpec> specs,
+                                     std::size_t features,
+                                     std::size_t classes,
+                                     const SearchConfig& config) {
+  std::vector<std::pair<double, std::size_t>> keyed;
+  keyed.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    keyed.emplace_back(
+        spec_report(specs[i], features, classes, config).total(), i);
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  std::vector<ModelSpec> sorted;
+  sorted.reserve(specs.size());
+  for (const auto& [flops_total, index] : keyed) {
+    sorted.push_back(std::move(specs[index]));
+  }
+  return sorted;
+}
+
+CandidateResult evaluate_candidate(const ModelSpec& spec,
+                                   const data::TrainValSplit& split,
+                                   const SearchConfig& config,
+                                   util::Rng& rng) {
+  const std::size_t features = split.train.features();
+  const std::size_t classes = split.train.classes;
+
+  CandidateResult result;
+  result.spec = spec;
+  const auto report = spec_report(spec, features, classes, config);
+  result.flops = report.total();
+  result.flops_forward = report.forward_total;
+  result.parameter_count = report.parameter_count;
+
+  nn::TrainConfig train_config = config.train;
+  train_config.early_stop_accuracy = config.accuracy_threshold;
+
+  // One RNG stream per run, split up front so results do not depend on the
+  // execution order / thread count.
+  std::vector<util::Rng> run_rngs;
+  run_rngs.reserve(config.runs_per_model);
+  for (std::size_t run = 0; run < config.runs_per_model; ++run) {
+    run_rngs.push_back(rng.split());
+  }
+
+  const auto execute_run = [&](util::Rng& run_rng) {
+    auto model = build_from_spec(spec, features, classes,
+                                 config.classical_activation, run_rng);
+    nn::Adam optimizer{train_config.learning_rate};
+    return nn::train_classifier(*model, optimizer, split.train.x,
+                                split.train.y, split.val.x, split.val.y,
+                                train_config, run_rng);
+  };
+
+  double train_sum = 0.0;
+  double val_sum = 0.0;
+  std::size_t runs = 0;
+  if (config.threads > 1 && config.runs_per_model > 1) {
+    // Parallel: all runs complete; pruning does not apply.
+    std::vector<nn::TrainHistory> histories(config.runs_per_model);
+    std::vector<std::thread> workers;
+    std::atomic<std::size_t> next_run{0};
+    const std::size_t worker_count =
+        std::min(config.threads, config.runs_per_model);
+    for (std::size_t w = 0; w < worker_count; ++w) {
+      workers.emplace_back([&] {
+        while (true) {
+          const std::size_t run = next_run.fetch_add(1);
+          if (run >= config.runs_per_model) return;
+          histories[run] = execute_run(run_rngs[run]);
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    for (const nn::TrainHistory& history : histories) {
+      train_sum += history.best_train_accuracy;
+      val_sum += history.best_val_accuracy;
+      ++runs;
+    }
+  } else {
+    for (std::size_t run = 0; run < config.runs_per_model; ++run) {
+      const nn::TrainHistory history = execute_run(run_rngs[run]);
+      train_sum += history.best_train_accuracy;
+      val_sum += history.best_val_accuracy;
+      ++runs;
+
+      if (config.prune_margin > 0.0 && run == 0 &&
+          history.best_val_accuracy <
+              config.accuracy_threshold - config.prune_margin) {
+        // Far below threshold after a full budget: averaging more runs
+        // cannot rescue this candidate at bench scale.
+        break;
+      }
+    }
+  }
+
+  result.runs = runs;
+  result.avg_best_train_accuracy = train_sum / static_cast<double>(runs);
+  result.avg_best_val_accuracy = val_sum / static_cast<double>(runs);
+  result.meets_threshold =
+      runs == config.runs_per_model &&
+      result.avg_best_train_accuracy >= config.accuracy_threshold &&
+      result.avg_best_val_accuracy >= config.accuracy_threshold;
+  return result;
+}
+
+SearchOutcome search_once(const std::vector<ModelSpec>& sorted_specs,
+                          const data::TrainValSplit& split,
+                          const SearchConfig& config, util::Rng& rng) {
+  SearchOutcome outcome;
+  std::size_t examined = 0;
+  for (const ModelSpec& spec : sorted_specs) {
+    if (config.max_candidates > 0 && examined >= config.max_candidates) {
+      break;
+    }
+    ++examined;
+    CandidateResult result = evaluate_candidate(spec, split, config, rng);
+    util::log_info("search: " + spec.to_string() + " flops=" +
+                   std::to_string(result.flops) + " train_acc=" +
+                   std::to_string(result.avg_best_train_accuracy) +
+                   " val_acc=" +
+                   std::to_string(result.avg_best_val_accuracy) +
+                   (result.meets_threshold ? "  <- winner" : ""));
+    outcome.evaluated.push_back(result);
+    if (result.meets_threshold) {
+      outcome.winner = result;
+      break;
+    }
+  }
+  outcome.candidates_trained = outcome.evaluated.size();
+  return outcome;
+}
+
+RepeatedSearchResult run_repeated_search(const std::vector<ModelSpec>& specs,
+                                         const data::Dataset& dataset,
+                                         const SearchConfig& config) {
+  dataset.validate();
+  if (specs.empty()) {
+    throw std::invalid_argument("run_repeated_search: empty search space");
+  }
+
+  const std::vector<ModelSpec> sorted =
+      sort_by_flops(specs, dataset.features(), dataset.classes, config);
+
+  RepeatedSearchResult result;
+  util::Rng rng{config.seed};
+  for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
+    util::Rng rep_rng = rng.split();
+    data::TrainValSplit split =
+        data::stratified_split(dataset, config.validation_fraction, rep_rng);
+    data::standardize_split(split);
+    result.repetitions.push_back(
+        search_once(sorted, split, config, rep_rng));
+  }
+
+  double flops_sum = 0.0;
+  double param_sum = 0.0;
+  for (const SearchOutcome& outcome : result.repetitions) {
+    if (!outcome.winner.has_value()) continue;
+    ++result.successful_repetitions;
+    flops_sum += outcome.winner->flops;
+    param_sum += static_cast<double>(outcome.winner->parameter_count);
+    if (!result.smallest_winner.has_value() ||
+        outcome.winner->flops < result.smallest_winner->flops) {
+      result.smallest_winner = outcome.winner;
+    }
+  }
+  if (result.successful_repetitions > 0) {
+    const double n = static_cast<double>(result.successful_repetitions);
+    result.mean_winner_flops = flops_sum / n;
+    result.mean_winner_parameters = param_sum / n;
+  }
+  return result;
+}
+
+}  // namespace qhdl::search

@@ -1,0 +1,100 @@
+// FLOPs-sorted, threshold-gated grid search (paper Sections III-D..III-G).
+//
+// Protocol per repetition:
+//   1. Compute per-sample forward+backward FLOPs for every candidate
+//      analytically, sort ascending.
+//   2. Train candidates in order; each candidate gets `runs_per_model`
+//      independent runs (fresh initialization), recording the highest train
+//      and validation accuracy over epochs per run, averaged across runs.
+//   3. The first candidate whose averaged accuracies both reach the
+//      threshold wins; cheaper-first ordering makes it the least-FLOPs
+//      solution. The whole procedure repeats `repetitions` times with fresh
+//      RNG streams to absorb training stochasticity.
+#pragma once
+
+#include <optional>
+
+#include "data/dataset.hpp"
+#include "nn/trainer.hpp"
+#include "search/candidate.hpp"
+
+namespace qhdl::search {
+
+struct SearchConfig {
+  double accuracy_threshold = 0.90;
+  std::size_t runs_per_model = 5;
+  std::size_t repetitions = 5;
+  nn::TrainConfig train{};  ///< epochs=100, batch=8, lr=1e-3 by default
+  double validation_fraction = 0.2;
+  qnn::Activation classical_activation = qnn::Activation::Tanh;
+  flops::CostModel cost_model{};
+  std::uint64_t seed = 42;
+  /// If > 0: after the first run of a candidate, skip its remaining runs
+  /// when best val accuracy < threshold − prune_margin (cheap reject).
+  /// 0 reproduces the paper's full protocol.
+  double prune_margin = 0.0;
+  /// Safety valve for bench drivers: examine at most this many candidates
+  /// per repetition (0 = unlimited, the paper's setting).
+  std::size_t max_candidates = 0;
+  /// Worker threads for a candidate's independent runs. 1 = sequential
+  /// (enables prune_margin); >1 runs all runs_per_model runs concurrently
+  /// (pruning is skipped — all runs complete). Results are deterministic
+  /// for a given seed regardless of the thread count because each run's RNG
+  /// stream is split up front.
+  std::size_t threads = 1;
+};
+
+/// Per-candidate training outcome.
+struct CandidateResult {
+  ModelSpec spec;
+  double avg_best_train_accuracy = 0.0;
+  double avg_best_val_accuracy = 0.0;
+  double flops = 0.0;            ///< per-sample fwd+bwd
+  double flops_forward = 0.0;
+  std::size_t parameter_count = 0;
+  std::size_t runs = 0;
+  bool meets_threshold = false;
+};
+
+/// One repetition's outcome.
+struct SearchOutcome {
+  std::optional<CandidateResult> winner;  ///< empty if nothing met threshold
+  std::vector<CandidateResult> evaluated;  ///< in training order
+  std::size_t candidates_trained = 0;
+};
+
+/// All repetitions plus aggregates over the winners.
+struct RepeatedSearchResult {
+  std::vector<SearchOutcome> repetitions;
+  /// Means over repetitions that produced a winner.
+  double mean_winner_flops = 0.0;
+  double mean_winner_parameters = 0.0;
+  std::size_t successful_repetitions = 0;
+  /// The least-FLOPs winner across repetitions (paper Section IV-E picks
+  /// "the smallest model from the set of five best-performing configs").
+  std::optional<CandidateResult> smallest_winner;
+};
+
+/// Sorts specs ascending by analytic FLOPs (stable, deterministic).
+std::vector<ModelSpec> sort_by_flops(std::vector<ModelSpec> specs,
+                                     std::size_t features,
+                                     std::size_t classes,
+                                     const SearchConfig& config);
+
+/// Trains one candidate (`runs_per_model` runs) and reports averages.
+CandidateResult evaluate_candidate(const ModelSpec& spec,
+                                   const data::TrainValSplit& split,
+                                   const SearchConfig& config,
+                                   util::Rng& rng);
+
+/// One search repetition over pre-sorted specs.
+SearchOutcome search_once(const std::vector<ModelSpec>& sorted_specs,
+                          const data::TrainValSplit& split,
+                          const SearchConfig& config, util::Rng& rng);
+
+/// Full repeated search on a dataset (splits internally per repetition).
+RepeatedSearchResult run_repeated_search(const std::vector<ModelSpec>& specs,
+                                         const data::Dataset& dataset,
+                                         const SearchConfig& config);
+
+}  // namespace qhdl::search

@@ -1,0 +1,84 @@
+#include "search/results.hpp"
+
+#include "util/string_util.hpp"
+
+namespace qhdl::search {
+
+util::CsvWriter sweep_to_csv(const SweepResult& sweep) {
+  util::CsvWriter csv({"family", "features", "repetition", "winner",
+                       "flops", "flops_forward", "parameters",
+                       "train_accuracy", "val_accuracy",
+                       "candidates_trained"});
+  for (const LevelResult& level : sweep.levels) {
+    for (std::size_t rep = 0; rep < level.search.repetitions.size(); ++rep) {
+      const SearchOutcome& outcome = level.search.repetitions[rep];
+      std::vector<std::string> row;
+      row.push_back(family_name(sweep.family));
+      row.push_back(std::to_string(level.features));
+      row.push_back(std::to_string(rep));
+      if (outcome.winner.has_value()) {
+        const CandidateResult& w = *outcome.winner;
+        row.push_back(w.spec.to_string());
+        row.push_back(util::format_double(w.flops, 1));
+        row.push_back(util::format_double(w.flops_forward, 1));
+        row.push_back(std::to_string(w.parameter_count));
+        row.push_back(util::format_double(w.avg_best_train_accuracy, 4));
+        row.push_back(util::format_double(w.avg_best_val_accuracy, 4));
+      } else {
+        row.insert(row.end(), {"", "", "", "", "", ""});
+      }
+      row.push_back(std::to_string(outcome.candidates_trained));
+      csv.add_row(std::move(row));
+    }
+  }
+  return csv;
+}
+
+util::Json sweep_to_json(const SweepResult& sweep) {
+  util::Json root = util::Json::object();
+  root["family"] = util::Json{family_name(sweep.family)};
+  util::Json levels = util::Json::array();
+  for (const LevelResult& level : sweep.levels) {
+    util::Json level_json = util::Json::object();
+    level_json["features"] = util::Json{level.features};
+    level_json["mean_winner_flops"] =
+        util::Json{level.search.mean_winner_flops};
+    level_json["mean_winner_parameters"] =
+        util::Json{level.search.mean_winner_parameters};
+    level_json["successful_repetitions"] =
+        util::Json{level.search.successful_repetitions};
+
+    util::Json reps = util::Json::array();
+    for (const SearchOutcome& outcome : level.search.repetitions) {
+      util::Json rep = util::Json::object();
+      rep["candidates_trained"] = util::Json{outcome.candidates_trained};
+      if (outcome.winner.has_value()) {
+        const CandidateResult& w = *outcome.winner;
+        rep["winner"] = util::Json{w.spec.to_string()};
+        rep["flops"] = util::Json{w.flops};
+        rep["parameters"] = util::Json{w.parameter_count};
+        rep["train_accuracy"] = util::Json{w.avg_best_train_accuracy};
+        rep["val_accuracy"] = util::Json{w.avg_best_val_accuracy};
+      }
+      reps.push_back(std::move(rep));
+    }
+    level_json["repetitions"] = std::move(reps);
+    levels.push_back(std::move(level_json));
+  }
+  root["levels"] = std::move(levels);
+  return root;
+}
+
+util::CsvWriter sweep_means_to_csv(const SweepResult& sweep) {
+  util::CsvWriter csv({"family", "features", "mean_flops",
+                       "mean_parameters", "successful_repetitions"});
+  for (const LevelResult& level : sweep.levels) {
+    csv.add_row({family_name(sweep.family), std::to_string(level.features),
+                 util::format_double(level.search.mean_winner_flops, 1),
+                 util::format_double(level.search.mean_winner_parameters, 1),
+                 std::to_string(level.search.successful_repetitions)});
+  }
+  return csv;
+}
+
+}  // namespace qhdl::search

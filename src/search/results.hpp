@@ -1,0 +1,23 @@
+// Serialization of sweep results to CSV/JSON for the bench drivers.
+#pragma once
+
+#include <string>
+
+#include "search/experiment.hpp"
+#include "util/csv.hpp"
+#include "util/json.hpp"
+
+namespace qhdl::search {
+
+/// One CSV row per (feature size, repetition): winner spec, FLOPs, params,
+/// accuracies. Repetitions without a winner emit empty winner fields.
+util::CsvWriter sweep_to_csv(const SweepResult& sweep);
+
+/// Full machine-readable manifest of a sweep.
+util::Json sweep_to_json(const SweepResult& sweep);
+
+/// Per-level means table (feature size, mean FLOPs, mean params) used by
+/// the Fig. 10 comparison bench.
+util::CsvWriter sweep_means_to_csv(const SweepResult& sweep);
+
+}  // namespace qhdl::search

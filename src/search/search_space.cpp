@@ -1,0 +1,68 @@
+#include "search/search_space.hpp"
+
+#include <stdexcept>
+
+namespace qhdl::search {
+
+std::size_t classical_combination_count(std::size_t m, std::size_t n) {
+  if (m < 2) {
+    // Degenerate: the geometric-series formula needs m != 1.
+    return m * n;
+  }
+  std::size_t m_pow_n = 1;
+  for (std::size_t i = 0; i < n; ++i) m_pow_n *= m;
+  return m * (m_pow_n - 1) / (m - 1);
+}
+
+std::vector<ModelSpec> classical_search_space(
+    const std::vector<std::size_t>& neuron_options, std::size_t max_layers) {
+  if (neuron_options.empty() || max_layers == 0) {
+    throw std::invalid_argument("classical_search_space: empty space");
+  }
+  std::vector<ModelSpec> specs;
+  // Enumerate length-L tuples as base-m counters, shortest lengths first.
+  const auto increment = [&](std::vector<std::size_t>& digits) {
+    for (std::size_t pos = digits.size(); pos-- > 0;) {
+      if (++digits[pos] < neuron_options.size()) return true;
+      digits[pos] = 0;
+    }
+    return false;  // counter wrapped: length exhausted
+  };
+  for (std::size_t length = 1; length <= max_layers; ++length) {
+    std::vector<std::size_t> digits(length, 0);
+    do {
+      std::vector<std::size_t> hidden(length);
+      for (std::size_t i = 0; i < length; ++i) {
+        hidden[i] = neuron_options[digits[i]];
+      }
+      specs.push_back(ModelSpec::make_classical(std::move(hidden)));
+    } while (increment(digits));
+  }
+  return specs;
+}
+
+std::vector<ModelSpec> hybrid_search_space(
+    const std::vector<std::size_t>& qubit_options, std::size_t max_depth,
+    qnn::AnsatzKind ansatz) {
+  if (qubit_options.empty() || max_depth == 0) {
+    throw std::invalid_argument("hybrid_search_space: empty space");
+  }
+  std::vector<ModelSpec> specs;
+  specs.reserve(qubit_options.size() * max_depth);
+  for (std::size_t qubits : qubit_options) {
+    for (std::size_t depth = 1; depth <= max_depth; ++depth) {
+      specs.push_back(ModelSpec::make_hybrid(qubits, depth, ansatz));
+    }
+  }
+  return specs;
+}
+
+std::vector<ModelSpec> paper_classical_space() {
+  return classical_search_space({2, 4, 6, 8, 10}, 3);
+}
+
+std::vector<ModelSpec> paper_hybrid_space(qnn::AnsatzKind ansatz) {
+  return hybrid_search_space({3, 4, 5}, 10, ansatz);
+}
+
+}  // namespace qhdl::search

@@ -1,0 +1,34 @@
+// Search-space enumeration (paper Sections III-B and III-C).
+//
+// Classical: all layer sequences of length 1..max_layers over the neuron
+// options; the count follows the paper's formula m·(mⁿ−1)/(m−1)
+// (= 155 for m = {2,4,6,8,10}, n = 3).
+//
+// Hybrid: the Cartesian product of qubit options and depths for a fixed
+// ansatz (= 30 for qubits {3,4,5} × depth 1..10).
+#pragma once
+
+#include <vector>
+
+#include "search/candidate.hpp"
+
+namespace qhdl::search {
+
+/// m·(mⁿ−1)/(m−1): total sequences of length 1..n over m options.
+std::size_t classical_combination_count(std::size_t m, std::size_t n);
+
+/// Enumerates all hidden-layer configurations, shortest first, in
+/// lexicographic option order within a length.
+std::vector<ModelSpec> classical_search_space(
+    const std::vector<std::size_t>& neuron_options, std::size_t max_layers);
+
+/// Enumerates (qubits × depth) hybrid candidates for one ansatz.
+std::vector<ModelSpec> hybrid_search_space(
+    const std::vector<std::size_t>& qubit_options, std::size_t max_depth,
+    qnn::AnsatzKind ansatz);
+
+/// The paper's exact spaces.
+std::vector<ModelSpec> paper_classical_space();           ///< 155 candidates
+std::vector<ModelSpec> paper_hybrid_space(qnn::AnsatzKind ansatz);  ///< 30
+
+}  // namespace qhdl::search

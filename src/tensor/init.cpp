@@ -1,0 +1,31 @@
+#include "tensor/init.hpp"
+
+#include <cmath>
+
+namespace qhdl::tensor {
+
+Tensor glorot_uniform(std::size_t fan_in, std::size_t fan_out,
+                      util::Rng& rng) {
+  const double limit =
+      std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  return uniform(Shape{fan_in, fan_out}, -limit, limit, rng);
+}
+
+Tensor he_normal(std::size_t fan_in, std::size_t fan_out, util::Rng& rng) {
+  const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+  return normal(Shape{fan_in, fan_out}, 0.0, stddev, rng);
+}
+
+Tensor uniform(Shape shape, double lo, double hi, util::Rng& rng) {
+  Tensor t{std::move(shape)};
+  for (std::size_t i = 0; i < t.size(); ++i) t[i] = rng.uniform(lo, hi);
+  return t;
+}
+
+Tensor normal(Shape shape, double mean, double stddev, util::Rng& rng) {
+  Tensor t{std::move(shape)};
+  for (std::size_t i = 0; i < t.size(); ++i) t[i] = rng.normal(mean, stddev);
+  return t;
+}
+
+}  // namespace qhdl::tensor

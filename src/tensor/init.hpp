@@ -1,0 +1,23 @@
+// Weight initializers matching the Keras defaults the paper's models used
+// (GlorotUniform for Dense kernels, zeros for biases).
+#pragma once
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace qhdl::tensor {
+
+/// Glorot/Xavier uniform: U(-limit, limit) with limit = sqrt(6/(fan_in+fan_out)).
+Tensor glorot_uniform(std::size_t fan_in, std::size_t fan_out,
+                      util::Rng& rng);
+
+/// He/Kaiming normal: N(0, sqrt(2/fan_in)); appropriate for ReLU stacks.
+Tensor he_normal(std::size_t fan_in, std::size_t fan_out, util::Rng& rng);
+
+/// Uniform tensor in [lo, hi).
+Tensor uniform(Shape shape, double lo, double hi, util::Rng& rng);
+
+/// Normal tensor with the given mean/stddev.
+Tensor normal(Shape shape, double mean, double stddev, util::Rng& rng);
+
+}  // namespace qhdl::tensor

@@ -1,0 +1,134 @@
+#include "tensor/linalg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qhdl::tensor {
+
+namespace {
+
+void check_square(const Tensor& a, const char* context) {
+  if (a.rank() != 2 || a.rows() != a.cols()) {
+    throw std::invalid_argument(std::string{context} +
+                                ": square matrix required, got " +
+                                a.shape().to_string());
+  }
+}
+
+}  // namespace
+
+Tensor cholesky(const Tensor& a, double jitter) {
+  check_square(a, "cholesky");
+  const std::size_t n = a.rows();
+  Tensor l{Shape{n, n}};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a.at(i, j) + (i == j ? jitter : 0.0);
+      for (std::size_t k = 0; k < j; ++k) sum -= l.at(i, k) * l.at(j, k);
+      if (i == j) {
+        if (sum <= 0.0) {
+          throw std::invalid_argument(
+              "cholesky: matrix is not positive definite (pivot " +
+              std::to_string(sum) + " at " + std::to_string(i) + ")");
+        }
+        l.at(i, j) = std::sqrt(sum);
+      } else {
+        l.at(i, j) = sum / l.at(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+double logdet_spd(const Tensor& a, double jitter) {
+  const Tensor l = cholesky(a, jitter);
+  double total = 0.0;
+  for (std::size_t i = 0; i < l.rows(); ++i) {
+    total += std::log(l.at(i, i));
+  }
+  return 2.0 * total;
+}
+
+double symmetry_error(const Tensor& a) {
+  check_square(a, "symmetry_error");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      worst = std::max(worst, std::abs(a.at(i, j) - a.at(j, i)));
+    }
+  }
+  return worst;
+}
+
+Tensor gram(const Tensor& a) {
+  if (a.rank() != 2) {
+    throw std::invalid_argument("gram: rank-2 input required");
+  }
+  const std::size_t m = a.rows(), k = a.cols();
+  Tensor g{Shape{m, m}};
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = 0.0;
+      for (std::size_t p = 0; p < k; ++p) sum += a.at(i, p) * a.at(j, p);
+      g.at(i, j) = sum;
+      g.at(j, i) = sum;
+    }
+  }
+  return g;
+}
+
+double trace(const Tensor& a) {
+  check_square(a, "trace");
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) total += a.at(i, i);
+  return total;
+}
+
+void add_outer_product(Tensor& matrix, const Tensor& v, double scale) {
+  check_square(matrix, "add_outer_product");
+  if (v.size() != matrix.rows()) {
+    throw std::invalid_argument("add_outer_product: size mismatch");
+  }
+  const std::size_t n = v.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double vi = scale * v[i];
+    if (vi == 0.0) continue;
+    for (std::size_t j = 0; j < n; ++j) {
+      matrix.at(i, j) += vi * v[j];
+    }
+  }
+}
+
+Tensor cholesky_solve(const Tensor& l, const Tensor& b) {
+  check_square(l, "cholesky_solve(L)");
+  if (b.rank() != 2 || b.rows() != l.rows()) {
+    throw std::invalid_argument("cholesky_solve: rhs shape mismatch");
+  }
+  const std::size_t n = l.rows();
+  const std::size_t m = b.cols();
+  // Forward substitution: L·Y = B.
+  Tensor y = b;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < m; ++c) {
+      double sum = y.at(i, c);
+      for (std::size_t k = 0; k < i; ++k) sum -= l.at(i, k) * y.at(k, c);
+      y.at(i, c) = sum / l.at(i, i);
+    }
+  }
+  // Back substitution: Lᵀ·X = Y.
+  Tensor x = y;
+  for (std::size_t i = n; i-- > 0;) {
+    for (std::size_t c = 0; c < m; ++c) {
+      double sum = x.at(i, c);
+      for (std::size_t k = i + 1; k < n; ++k) sum -= l.at(k, i) * x.at(k, c);
+      x.at(i, c) = sum / l.at(i, i);
+    }
+  }
+  return x;
+}
+
+Tensor solve_spd(const Tensor& a, const Tensor& b, double ridge) {
+  return cholesky_solve(cholesky(a, ridge), b);
+}
+
+}  // namespace qhdl::tensor

@@ -1,0 +1,40 @@
+// Dense linear algebra for symmetric positive-(semi)definite matrices —
+// enough to compute log-determinants of Fisher information matrices for the
+// effective-dimension analysis (core/effective_dimension).
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace qhdl::tensor {
+
+/// Cholesky factor L (lower triangular, A = L·Lᵀ) of a symmetric
+/// positive-definite matrix. `jitter` is added to the diagonal first.
+/// Throws std::invalid_argument if A is not square or not PD.
+Tensor cholesky(const Tensor& a, double jitter = 0.0);
+
+/// log det(A) for symmetric positive-definite A via Cholesky
+/// (= 2 Σ log L_ii).
+double logdet_spd(const Tensor& a, double jitter = 0.0);
+
+/// Symmetry check: max |A_ij − A_ji|.
+double symmetry_error(const Tensor& a);
+
+/// C = A·Aᵀ (useful for building Gram/outer-product matrices).
+Tensor gram(const Tensor& a);
+
+/// Trace of a square matrix.
+double trace(const Tensor& a);
+
+/// out += scale * v vᵀ for a flat vector v (rank-1 update on a square
+/// matrix). Sizes must agree.
+void add_outer_product(Tensor& matrix, const Tensor& v, double scale);
+
+/// Solves A·X = B for SPD A given its Cholesky factor L (A = L·Lᵀ) via
+/// forward + back substitution. B may have multiple right-hand-side
+/// columns; returns X with B's shape.
+Tensor cholesky_solve(const Tensor& l, const Tensor& b);
+
+/// Convenience: solves (A + ridge·I)·X = B for symmetric PSD A.
+Tensor solve_spd(const Tensor& a, const Tensor& b, double ridge = 0.0);
+
+}  // namespace qhdl::tensor

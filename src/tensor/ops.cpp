@@ -1,0 +1,220 @@
+#include "tensor/ops.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qhdl::tensor {
+
+namespace {
+
+void check_rank2(const Tensor& t, const char* context) {
+  if (t.rank() != 2) {
+    throw std::invalid_argument(std::string{context} + ": expected rank 2, got " +
+                                t.shape().to_string());
+  }
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul(a)");
+  check_rank2(b, "matmul(b)");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  if (b.rows() != k) {
+    throw std::invalid_argument("matmul: inner dims " + a.shape().to_string() +
+                                " vs " + b.shape().to_string());
+  }
+  Tensor c{Shape{m, n}};
+  const auto* ap = a.data().data();
+  const auto* bp = b.data().data();
+  auto* cp = c.data().data();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const double aval = ap[i * k + p];
+      if (aval == 0.0) continue;
+      const double* brow = bp + p * n;
+      double* crow = cp + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_transpose_a(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul_transpose_a(a)");
+  check_rank2(b, "matmul_transpose_a(b)");
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  if (b.rows() != k) {
+    throw std::invalid_argument("matmul_transpose_a: inner dims " +
+                                a.shape().to_string() + " vs " +
+                                b.shape().to_string());
+  }
+  Tensor c{Shape{m, n}};
+  const auto* ap = a.data().data();
+  const auto* bp = b.data().data();
+  auto* cp = c.data().data();
+  for (std::size_t p = 0; p < k; ++p) {
+    const double* arow = ap + p * m;
+    const double* brow = bp + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double aval = arow[i];
+      if (aval == 0.0) continue;
+      double* crow = cp + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_transpose_b(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul_transpose_b(a)");
+  check_rank2(b, "matmul_transpose_b(b)");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  if (b.cols() != k) {
+    throw std::invalid_argument("matmul_transpose_b: inner dims " +
+                                a.shape().to_string() + " vs " +
+                                b.shape().to_string());
+  }
+  Tensor c{Shape{m, n}};
+  const auto* ap = a.data().data();
+  const auto* bp = b.data().data();
+  auto* cp = c.data().data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = ap + i * k;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* brow = bp + j * k;
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      cp[i * n + j] = acc;
+    }
+  }
+  return c;
+}
+
+Tensor transpose(const Tensor& a) {
+  check_rank2(a, "transpose");
+  const std::size_t m = a.rows(), n = a.cols();
+  Tensor t{Shape{n, m}};
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) t.at(j, i) = a.at(i, j);
+  }
+  return t;
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_same_shape(a.shape(), b.shape(), "add");
+  Tensor c = a;
+  for (std::size_t i = 0; i < c.size(); ++i) c[i] += b[i];
+  return c;
+}
+
+Tensor subtract(const Tensor& a, const Tensor& b) {
+  check_same_shape(a.shape(), b.shape(), "subtract");
+  Tensor c = a;
+  for (std::size_t i = 0; i < c.size(); ++i) c[i] -= b[i];
+  return c;
+}
+
+Tensor multiply(const Tensor& a, const Tensor& b) {
+  check_same_shape(a.shape(), b.shape(), "multiply");
+  Tensor c = a;
+  for (std::size_t i = 0; i < c.size(); ++i) c[i] *= b[i];
+  return c;
+}
+
+void add_inplace(Tensor& a, const Tensor& b) {
+  check_same_shape(a.shape(), b.shape(), "add_inplace");
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+}
+
+Tensor scale(const Tensor& a, double factor) {
+  Tensor c = a;
+  scale_inplace(c, factor);
+  return c;
+}
+
+void scale_inplace(Tensor& a, double factor) {
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] *= factor;
+}
+
+Tensor add_row_broadcast(const Tensor& matrix, const Tensor& row) {
+  check_rank2(matrix, "add_row_broadcast(matrix)");
+  const std::size_t n = matrix.cols();
+  if (row.size() != n) {
+    throw std::invalid_argument("add_row_broadcast: row size " +
+                                std::to_string(row.size()) + " != cols " +
+                                std::to_string(n));
+  }
+  Tensor c = matrix;
+  for (std::size_t i = 0; i < matrix.rows(); ++i) {
+    for (std::size_t j = 0; j < n; ++j) c.at(i, j) += row[j];
+  }
+  return c;
+}
+
+Tensor map(const Tensor& a, const std::function<double(double)>& fn) {
+  Tensor c = a;
+  for (std::size_t i = 0; i < c.size(); ++i) c[i] = fn(c[i]);
+  return c;
+}
+
+double sum(const Tensor& a) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i];
+  return s;
+}
+
+double mean_value(const Tensor& a) {
+  if (a.size() == 0) return 0.0;
+  return sum(a) / static_cast<double>(a.size());
+}
+
+Tensor sum_rows(const Tensor& a) {
+  check_rank2(a, "sum_rows");
+  Tensor out{Shape{1, a.cols()}};
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) out[j] += a.at(i, j);
+  }
+  return out;
+}
+
+std::size_t argmax_row(const Tensor& a, std::size_t row) {
+  check_rank2(a, "argmax_row");
+  if (row >= a.rows()) {
+    throw std::out_of_range("argmax_row: row out of range");
+  }
+  std::size_t best = 0;
+  double best_value = a.at(row, 0);
+  for (std::size_t j = 1; j < a.cols(); ++j) {
+    if (a.at(row, j) > best_value) {
+      best_value = a.at(row, j);
+      best = j;
+    }
+  }
+  return best;
+}
+
+double max_abs_difference(const Tensor& a, const Tensor& b) {
+  check_same_shape(a.shape(), b.shape(), "max_abs_difference");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+double norm(const Tensor& a) {
+  double ss = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) ss += a[i] * a[i];
+  return std::sqrt(ss);
+}
+
+bool allclose(const Tensor& a, const Tensor& b, double rtol, double atol) {
+  if (a.shape() != b.shape()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i] - b[i]) > atol + rtol * std::abs(b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace qhdl::tensor

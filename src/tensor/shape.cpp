@@ -1,0 +1,44 @@
+#include "tensor/shape.hpp"
+
+#include <stdexcept>
+
+namespace qhdl::tensor {
+
+Shape::Shape(std::initializer_list<std::size_t> dims) : dims_(dims) {}
+
+Shape::Shape(std::vector<std::size_t> dims) : dims_(std::move(dims)) {}
+
+std::size_t Shape::size() const {
+  std::size_t total = 1;
+  for (std::size_t d : dims_) total *= d;
+  return total;
+}
+
+std::size_t Shape::operator[](std::size_t axis) const { return dims_[axis]; }
+
+std::size_t Shape::dim(std::size_t axis) const {
+  if (axis >= dims_.size()) {
+    throw std::out_of_range("Shape::dim: axis " + std::to_string(axis) +
+                            " out of range for rank " +
+                            std::to_string(dims_.size()));
+  }
+  return dims_[axis];
+}
+
+std::string Shape::to_string() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(dims_[i]);
+  }
+  return out + "]";
+}
+
+void check_same_shape(const Shape& a, const Shape& b, const char* context) {
+  if (a != b) {
+    throw std::invalid_argument(std::string{context} + ": shape mismatch " +
+                                a.to_string() + " vs " + b.to_string());
+  }
+}
+
+}  // namespace qhdl::tensor

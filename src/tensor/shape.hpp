@@ -1,0 +1,43 @@
+// Tensor shapes (dimension lists) with validation helpers.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace qhdl::tensor {
+
+/// Dense row-major shape. Rank 0 denotes a scalar (element count 1).
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::size_t> dims);
+  explicit Shape(std::vector<std::size_t> dims);
+
+  std::size_t rank() const { return dims_.size(); }
+
+  /// Total element count (1 for scalars). Never zero unless a dim is zero.
+  std::size_t size() const;
+
+  std::size_t operator[](std::size_t axis) const;
+
+  /// Dimension with negative-style bounds checking and a clear error.
+  std::size_t dim(std::size_t axis) const;
+
+  const std::vector<std::size_t>& dims() const { return dims_; }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// "[2, 3]" style rendering for error messages.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::size_t> dims_;
+};
+
+/// Throws std::invalid_argument with a contextual message on mismatch.
+void check_same_shape(const Shape& a, const Shape& b, const char* context);
+
+}  // namespace qhdl::tensor

@@ -1,0 +1,129 @@
+#include "tensor/tensor.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace qhdl::tensor {
+
+Tensor::Tensor() : shape_{}, data_(1, 0.0) {}
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
+  data_.assign(shape_.size(), 0.0);
+}
+
+Tensor::Tensor(Shape shape, std::vector<double> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (data_.size() != shape_.size()) {
+    throw std::invalid_argument(
+        "Tensor: data size " + std::to_string(data_.size()) +
+        " does not match shape " + shape_.to_string());
+  }
+}
+
+Tensor Tensor::zeros(Shape shape) { return Tensor{std::move(shape)}; }
+
+Tensor Tensor::ones(Shape shape) { return full(std::move(shape), 1.0); }
+
+Tensor Tensor::full(Shape shape, double value) {
+  Tensor t{std::move(shape)};
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::scalar(double value) {
+  Tensor t;
+  t.data_[0] = value;
+  return t;
+}
+
+Tensor Tensor::row(std::vector<double> values) {
+  const std::size_t n = values.size();
+  return Tensor{Shape{1, n}, std::move(values)};
+}
+
+Tensor Tensor::matrix(std::size_t rows, std::size_t cols,
+                      std::vector<double> values) {
+  return Tensor{Shape{rows, cols}, std::move(values)};
+}
+
+Tensor Tensor::identity(std::size_t n) {
+  Tensor t{Shape{n, n}};
+  for (std::size_t i = 0; i < n; ++i) t.at(i, i) = 1.0;
+  return t;
+}
+
+double& Tensor::at(std::size_t flat_index) {
+  if (flat_index >= data_.size()) {
+    throw std::out_of_range("Tensor::at: flat index out of range");
+  }
+  return data_[flat_index];
+}
+
+double Tensor::at(std::size_t flat_index) const {
+  if (flat_index >= data_.size()) {
+    throw std::out_of_range("Tensor::at: flat index out of range");
+  }
+  return data_[flat_index];
+}
+
+double& Tensor::at(std::size_t row, std::size_t col) {
+  if (rank() != 2) throw std::logic_error("Tensor::at(r,c): rank != 2");
+  if (row >= shape_[0] || col >= shape_[1]) {
+    throw std::out_of_range("Tensor::at(r,c): index out of range");
+  }
+  return data_[row * shape_[1] + col];
+}
+
+double Tensor::at(std::size_t row, std::size_t col) const {
+  if (rank() != 2) throw std::logic_error("Tensor::at(r,c): rank != 2");
+  if (row >= shape_[0] || col >= shape_[1]) {
+    throw std::out_of_range("Tensor::at(r,c): index out of range");
+  }
+  return data_[row * shape_[1] + col];
+}
+
+std::size_t Tensor::rows() const {
+  if (rank() != 2) throw std::logic_error("Tensor::rows: rank != 2");
+  return shape_[0];
+}
+
+std::size_t Tensor::cols() const {
+  if (rank() != 2) throw std::logic_error("Tensor::cols: rank != 2");
+  return shape_[1];
+}
+
+void Tensor::reshape(Shape new_shape) {
+  if (new_shape.size() != data_.size()) {
+    throw std::invalid_argument("Tensor::reshape: element count changes (" +
+                                shape_.to_string() + " -> " +
+                                new_shape.to_string() + ")");
+  }
+  shape_ = std::move(new_shape);
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  Tensor t = *this;
+  t.reshape(std::move(new_shape));
+  return t;
+}
+
+void Tensor::fill(double value) {
+  for (auto& v : data_) v = value;
+}
+
+std::string Tensor::to_string() const {
+  std::ostringstream oss;
+  oss << "Tensor" << shape_.to_string() << " {";
+  const std::size_t limit = 16;
+  for (std::size_t i = 0; i < data_.size() && i < limit; ++i) {
+    if (i > 0) oss << ", ";
+    oss << util::format_double(data_[i], 4);
+  }
+  if (data_.size() > limit) oss << ", ...";
+  oss << "}";
+  return oss.str();
+}
+
+}  // namespace qhdl::tensor

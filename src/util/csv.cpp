@@ -1,0 +1,149 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace qhdl::util {
+
+namespace {
+
+bool needs_quoting(std::string_view field) {
+  return field.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+std::string quote(std::string_view field) {
+  if (!needs_quoting(field)) return std::string{field};
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) {
+    throw std::invalid_argument("CsvWriter: header must be non-empty");
+  }
+}
+
+void CsvWriter::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("CsvWriter: row width " +
+                                std::to_string(row.size()) +
+                                " != header width " +
+                                std::to_string(header_.size()));
+  }
+  rows_.push_back(std::move(row));
+}
+
+void CsvWriter::add_row_values(const std::vector<double>& row) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) cells.push_back(format_double(v));
+  add_row(std::move(cells));
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i > 0) oss << ',';
+    oss << quote(header_[i]);
+  }
+  oss << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) oss << ',';
+      oss << quote(row[i]);
+    }
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+void CsvWriter::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("CsvWriter: cannot open " + path);
+  out << to_string();
+  if (!out) throw std::runtime_error("CsvWriter: write failed for " + path);
+}
+
+CsvDocument parse_csv(std::string_view text) {
+  CsvDocument doc;
+  std::vector<std::string> current_row;
+  std::string current_field;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  const auto end_field = [&] {
+    current_row.push_back(std::move(current_field));
+    current_field.clear();
+  };
+  const auto end_row = [&] {
+    end_field();
+    if (doc.header.empty()) {
+      doc.header = std::move(current_row);
+    } else {
+      doc.rows.push_back(std::move(current_row));
+    }
+    current_row.clear();
+    row_has_content = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          current_field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current_field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_has_content = true;
+        break;
+      case ',':
+        end_field();
+        row_has_content = true;
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        end_row();
+        break;
+      default:
+        current_field += c;
+        row_has_content = true;
+        break;
+    }
+  }
+  if (row_has_content || !current_field.empty() || !current_row.empty()) {
+    end_row();
+  }
+  return doc;
+}
+
+CsvDocument read_csv_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_csv_file: cannot open " + path);
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return parse_csv(oss.str());
+}
+
+}  // namespace qhdl::util

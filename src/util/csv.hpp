@@ -1,0 +1,48 @@
+// Minimal CSV writer/reader used to persist experiment series (bench drivers
+// emit one CSV per figure/table so results can be plotted externally).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qhdl::util {
+
+/// Builds CSV content row by row with RFC-4180-style quoting.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Appends a row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `format_double`.
+  void add_row_values(const std::vector<double>& row);
+
+  const std::vector<std::string>& header() const { return header_; }
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the full document (header + rows) as text.
+  std::string to_string() const;
+
+  /// Writes to a file; throws std::runtime_error on I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Parsed CSV document (header + string cells).
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Parses CSV text (quoted fields, embedded commas/quotes/newlines).
+CsvDocument parse_csv(std::string_view text);
+
+/// Reads and parses a CSV file; throws std::runtime_error on I/O failure.
+CsvDocument read_csv_file(const std::string& path);
+
+}  // namespace qhdl::util

@@ -1,0 +1,36 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace qhdl::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Silent: return "     ";
+  }
+  return "?    ";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log(LogLevel level, const std::string& message) {
+  if (level < g_level.load() || level == LogLevel::Silent) return;
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+
+void log_debug(const std::string& message) { log(LogLevel::Debug, message); }
+void log_info(const std::string& message) { log(LogLevel::Info, message); }
+void log_warn(const std::string& message) { log(LogLevel::Warn, message); }
+void log_error(const std::string& message) { log(LogLevel::Error, message); }
+
+}  // namespace qhdl::util

@@ -1,0 +1,24 @@
+// Leveled logging with a global threshold. The grid search emits progress
+// lines (which model is training, accuracies) that benches silence by
+// default and examples enable with --verbose.
+#pragma once
+
+#include <string>
+
+namespace qhdl::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Silent = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Core logging call; prefixes level and writes to stderr.
+void log(LogLevel level, const std::string& message);
+
+void log_debug(const std::string& message);
+void log_info(const std::string& message);
+void log_warn(const std::string& message);
+void log_error(const std::string& message);
+
+}  // namespace qhdl::util

@@ -1,0 +1,76 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// The study trains thousands of models across repeated searches; every result
+// in EXPERIMENTS.md must be reproducible bit-for-bit from a seed. We therefore
+// avoid std::default_random_engine (implementation-defined) and implement
+// xoshiro256** with SplitMix64 seeding, plus the distributions the library
+// needs (uniform, normal, integer ranges, shuffling).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace qhdl::util {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+/// Deterministic across platforms; passes BigCrush; 2^256-1 period.
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from a single 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (cached second value for determinism).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t integer(std::int64_t lo, std::int64_t hi);
+
+  /// Fisher-Yates shuffle (deterministic given the RNG state).
+  template <typename T>
+  void shuffle(std::span<T> values) {
+    if (values.size() < 2) return;
+    for (std::size_t i = values.size() - 1; i > 0; --i) {
+      const std::size_t j = index(i + 1);
+      std::swap(values[i], values[j]);
+    }
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& values) {
+    shuffle(std::span<T>{values});
+  }
+
+  /// Vector of n standard-normal draws.
+  std::vector<double> normal_vector(std::size_t n);
+
+  /// Vector of n uniform draws in [lo, hi).
+  std::vector<double> uniform_vector(std::size_t n, double lo, double hi);
+
+  /// Derives an independent child stream; used to give each training run /
+  /// search repetition its own stream without coupling their sequences.
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace qhdl::util

@@ -1,0 +1,92 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qhdl::util {
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double ss = 0.0;
+  for (double v : values) ss += (v - m) * (v - m);
+  return std::sqrt(ss / static_cast<double>(values.size() - 1));
+}
+
+double min_value(std::span<const double> values) {
+  if (values.empty()) throw std::invalid_argument("min_value: empty sample");
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max_value(std::span<const double> values) {
+  if (values.empty()) throw std::invalid_argument("max_value: empty sample");
+  return *std::max_element(values.begin(), values.end());
+}
+
+double median(std::span<const double> values) {
+  if (values.empty()) throw std::invalid_argument("median: empty sample");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  if (n % 2 == 1) return sorted[n / 2];
+  return 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.mean = mean(values);
+  s.stddev = stddev(values);
+  s.min = min_value(values);
+  s.max = max_value(values);
+  return s;
+}
+
+double percent_increase(double from, double to) {
+  if (from == 0.0) {
+    throw std::invalid_argument("percent_increase: baseline is zero");
+  }
+  return 100.0 * (to - from) / from;
+}
+
+void RunningStats::add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Summary RunningStats::summary() const {
+  Summary s;
+  s.count = count_;
+  s.mean = mean_;
+  s.stddev = stddev();
+  s.min = min_;
+  s.max = max_;
+  return s;
+}
+
+}  // namespace qhdl::util

@@ -1,0 +1,58 @@
+// Small descriptive-statistics helpers used when aggregating repeated
+// training runs and search repetitions (the paper averages over 5 runs and
+// reports per-complexity-level means).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace qhdl::util {
+
+/// Summary of a sample: count, mean, (sample) standard deviation, extrema.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+double mean(std::span<const double> values);
+
+/// Sample standard deviation (n-1 denominator); 0 for n < 2.
+double stddev(std::span<const double> values);
+
+double min_value(std::span<const double> values);
+double max_value(std::span<const double> values);
+
+/// Median (average of middle two for even n). Copies and sorts internally.
+double median(std::span<const double> values);
+
+Summary summarize(std::span<const double> values);
+
+/// Percentage increase from `from` to `to`: 100*(to-from)/from.
+/// This is the paper's "rate of increase" metric (Fig. 10).
+double percent_increase(double from, double to);
+
+/// Online accumulator (Welford) for streaming summaries.
+class RunningStats {
+ public:
+  void add(double value);
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;  ///< Sample variance; 0 for n < 2.
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  Summary summary() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace qhdl::util

@@ -1,0 +1,72 @@
+#include "util/string_util.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace qhdl::util {
+
+std::vector<std::string> split(std::string_view text, char delimiter) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(text.substr(start));
+      break;
+    }
+    parts.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string trim(std::string_view text) {
+  const auto is_space = [](unsigned char c) { return std::isspace(c) != 0; };
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && is_space(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin && is_space(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return std::string{text.substr(begin, end - begin)};
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+std::string join(const std::vector<std::string>& items,
+                 std::string_view separator) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += separator;
+    out += items[i];
+  }
+  return out;
+}
+
+std::string format_double(double value, int precision) {
+  std::ostringstream oss;
+  oss.precision(precision);
+  oss << std::fixed << value;
+  std::string s = oss.str();
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out{text};
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+}  // namespace qhdl::util

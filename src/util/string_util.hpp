@@ -1,0 +1,29 @@
+// String helpers shared by the CSV/CLI/table utilities.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qhdl::util {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(std::string_view text, char delimiter);
+
+/// Trims ASCII whitespace from both ends.
+std::string trim(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Joins items with a separator.
+std::string join(const std::vector<std::string>& items,
+                 std::string_view separator);
+
+/// Fixed-precision formatting (std::to_string prints 6 digits always;
+/// this trims trailing zeros for readable tables).
+std::string format_double(double value, int precision = 6);
+
+/// Lower-cases ASCII letters.
+std::string to_lower(std::string_view text);
+
+}  // namespace qhdl::util

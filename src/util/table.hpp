@@ -1,0 +1,28 @@
+// ASCII table renderer: the bench drivers print paper-style tables (e.g.
+// Table I) to stdout in aligned monospace form.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qhdl::util {
+
+/// Accumulates rows and renders an aligned ASCII table with a header rule.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with column padding and +---+ rules.
+  std::string to_string() const;
+
+  /// Prints to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace qhdl::util

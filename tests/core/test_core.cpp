@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "core/ablation.hpp"
+#include "core/analysis.hpp"
+#include "core/config.hpp"
+#include "core/study.hpp"
+#include "core/version.hpp"
+
+namespace qhdl::core {
+namespace {
+
+TEST(Config, PaperScaleMatchesProtocol) {
+  const auto config = paper_scale();
+  EXPECT_EQ(config.feature_sizes.size(), 11u);
+  EXPECT_EQ(config.feature_sizes.front(), 10u);
+  EXPECT_EQ(config.feature_sizes.back(), 110u);
+  EXPECT_EQ(config.spiral.points, 1500u);
+  EXPECT_EQ(config.spiral.classes, 3u);
+  EXPECT_DOUBLE_EQ(config.search.accuracy_threshold, 0.90);
+  EXPECT_EQ(config.search.runs_per_model, 5u);
+  EXPECT_EQ(config.search.repetitions, 5u);
+  EXPECT_EQ(config.search.train.epochs, 100u);
+  EXPECT_EQ(config.search.train.batch_size, 8u);
+  EXPECT_DOUBLE_EQ(config.search.train.learning_rate, 1e-3);
+  EXPECT_DOUBLE_EQ(config.search.prune_margin, 0.0);
+}
+
+TEST(Config, BenchAndTestScalesAreReduced) {
+  const auto bench = bench_scale();
+  EXPECT_LT(bench.search.runs_per_model, paper_scale().search.runs_per_model);
+  EXPECT_LT(bench.feature_sizes.size(), paper_scale().feature_sizes.size());
+  const auto test = test_scale();
+  EXPECT_EQ(test.search.repetitions, 1u);
+}
+
+search::SweepResult make_sweep(std::vector<std::size_t> features,
+                               std::vector<double> flops,
+                               std::vector<double> params) {
+  search::SweepResult sweep;
+  sweep.family = search::Family::Classical;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    search::LevelResult level;
+    level.features = features[i];
+    level.search.mean_winner_flops = flops[i];
+    level.search.mean_winner_parameters = params[i];
+    level.search.successful_repetitions = 1;
+    sweep.levels.push_back(level);
+  }
+  return sweep;
+}
+
+TEST(Analysis, GrowthFromSyntheticSweep) {
+  const auto sweep =
+      make_sweep({10, 60, 110}, {1000, 1500, 1885}, {100, 150, 188.5});
+  const FamilyGrowth growth = analyze_growth(sweep);
+  EXPECT_DOUBLE_EQ(growth.flops.low_value, 1000.0);
+  EXPECT_DOUBLE_EQ(growth.flops.high_value, 1885.0);
+  EXPECT_DOUBLE_EQ(growth.flops.absolute_increase, 885.0);
+  EXPECT_NEAR(growth.flops.percent_increase, 88.5, 1e-12);
+  EXPECT_NEAR(growth.parameters.percent_increase, 88.5, 1e-12);
+}
+
+TEST(Analysis, GrowthSkipsFailedLevels) {
+  auto sweep = make_sweep({10, 60, 110}, {1000, 0, 2000}, {10, 0, 20});
+  sweep.levels[1].search.successful_repetitions = 0;  // failed level
+  const FamilyGrowth growth = analyze_growth(sweep);
+  EXPECT_DOUBLE_EQ(growth.flops.high_value, 2000.0);
+}
+
+TEST(Analysis, GrowthNeedsTwoLevels) {
+  const auto sweep = make_sweep({10}, {1000}, {100});
+  EXPECT_THROW(analyze_growth(sweep), std::invalid_argument);
+}
+
+TEST(Analysis, SeriesAndRendering) {
+  const auto sweep = make_sweep({10, 110}, {100, 200}, {10, 30});
+  const LevelSeries series = sweep_series(sweep);
+  ASSERT_EQ(series.features.size(), 2u);
+  EXPECT_DOUBLE_EQ(series.mean_flops[1], 200.0);
+
+  const auto growth = analyze_growth(sweep);
+  const std::string text = growth_comparison_to_string({growth});
+  EXPECT_NE(text.find("classical"), std::string::npos);
+  EXPECT_NE(text.find("100"), std::string::npos);
+  const auto csv = growth_comparison_to_csv({growth});
+  EXPECT_EQ(csv.row_count(), 1u);
+}
+
+TEST(Ablation, HybridBreakdownStructure) {
+  const flops::CostModel cm;
+  const search::HybridSpec spec{3, 2, qnn::AnsatzKind::StronglyEntangling};
+  const AblationRow row = ablate_hybrid(spec, 10, 3, cm);
+  EXPECT_EQ(row.model, "Hybrid (SEL)");
+  EXPECT_EQ(row.features, 10u);
+  EXPECT_NEAR(row.total, row.classical + row.encoding + row.quantum, 1e-9);
+  EXPECT_NEAR(row.encoding_plus_classical, row.classical + row.encoding,
+              1e-9);
+  EXPECT_GT(row.quantum, 0.0);
+}
+
+TEST(Ablation, PaperSelectionReproducesTableShape) {
+  const auto rows = run_ablation(paper_table1_selection(), 3,
+                                 flops::CostModel{});
+  ASSERT_EQ(rows.size(), 8u);
+
+  // SEL rows (4..7): QL and Enc constant across feature sizes, CL grows.
+  for (std::size_t i = 5; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(rows[i].quantum, rows[4].quantum);
+    EXPECT_DOUBLE_EQ(rows[i].encoding, rows[4].encoding);
+    EXPECT_GT(rows[i].classical, rows[i - 1].classical);
+  }
+  // BEL rows: QL grows once depth/qubits increase (rows 2 and 3).
+  EXPECT_DOUBLE_EQ(rows[1].quantum, rows[0].quantum);  // same (3,2)
+  EXPECT_GT(rows[2].quantum, rows[1].quantum);         // (3,4)
+  EXPECT_GT(rows[3].quantum, rows[2].quantum);         // (4,4)
+  // BEL 110/(4,4) encoding exceeds the 3-qubit encoding.
+  EXPECT_GT(rows[3].encoding, rows[2].encoding);
+
+  const std::string text = ablation_to_string(rows);
+  EXPECT_NE(text.find("Hybrid (BEL)"), std::string::npos);
+  EXPECT_NE(text.find("110/(4,4)"), std::string::npos);
+  const auto csv = ablation_to_csv(rows);
+  EXPECT_EQ(csv.row_count(), 8u);
+}
+
+TEST(Study, MiniatureEndToEnd) {
+  // Tiny but complete: all three families, growth + ablation assembled.
+  auto config = test_scale();
+  config.feature_sizes = {4, 8};
+  config.search.accuracy_threshold = 0.05;  // plumbing test, trivially met
+  config.search.train.epochs = 2;
+  config.search.max_candidates = 2;
+
+  const ComplexityStudy study{config};
+  const StudyResult result = study.run();
+
+  EXPECT_EQ(result.classical.levels.size(), 2u);
+  EXPECT_EQ(result.hybrid_bel.levels.size(), 2u);
+  EXPECT_EQ(result.hybrid_sel.levels.size(), 2u);
+  EXPECT_EQ(result.growth.size(), 3u);  // all families found winners
+
+  // Ablation rows exist for the hybrid winners.
+  EXPECT_GE(result.ablation.size(), 2u);
+
+  const std::string json = result.to_json().dump();
+  EXPECT_NE(json.find("hybrid_sel"), std::string::npos);
+  EXPECT_NE(json.find("growth"), std::string::npos);
+  EXPECT_NE(json.find("ablation"), std::string::npos);
+}
+
+TEST(Study, AblationFromSweepSkipsClassicalWinners) {
+  search::SweepResult sweep;
+  sweep.family = search::Family::Classical;
+  search::LevelResult level;
+  level.features = 10;
+  search::CandidateResult winner;
+  winner.spec = search::ModelSpec::make_classical({4});
+  level.search.smallest_winner = winner;
+  level.search.successful_repetitions = 1;
+  sweep.levels.push_back(level);
+  EXPECT_TRUE(ablation_from_sweep(sweep).empty());
+}
+
+TEST(Version, Constants) {
+  EXPECT_STREQ(kLibraryName, "qhdl");
+  EXPECT_NE(std::string{kPaperTitle}.find("Hybrid Quantum"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace qhdl::core

@@ -1,0 +1,141 @@
+#include "core/effective_dimension.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+#include "nn/fisher.hpp"
+#include "nn/sequential.hpp"
+#include "tensor/init.hpp"
+#include "tensor/linalg.hpp"
+#include "tensor/ops.hpp"
+
+namespace qhdl::core {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor random_batch(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  util::Rng rng{seed};
+  return tensor::uniform(Shape{rows, cols}, -1.0, 1.0, rng);
+}
+
+TEST(Fisher, FlattenGradientCountsAndOrder) {
+  util::Rng rng{1};
+  nn::Sequential model;
+  model.emplace<nn::Dense>(3, 2, rng);
+  model.emplace<nn::Dense>(2, 2, rng);
+  EXPECT_EQ(nn::flat_parameter_count(model), (3u * 2 + 2) + (2u * 2 + 2));
+  model.zero_grad();
+  const Tensor flat = nn::flatten_parameter_gradients(model);
+  EXPECT_EQ(flat.size(), nn::flat_parameter_count(model));
+}
+
+TEST(Fisher, MatrixIsSymmetricPsd) {
+  util::Rng rng{2};
+  nn::Sequential model;
+  model.emplace<nn::Dense>(4, 3, rng);
+  const Tensor x = random_batch(10, 4, 3);
+  const Tensor fisher = nn::fisher_information(model, x, 3);
+  EXPECT_EQ(fisher.rows(), nn::flat_parameter_count(model));
+  EXPECT_LT(tensor::symmetry_error(fisher), 1e-12);
+  EXPECT_NO_THROW(tensor::cholesky(fisher, 1e-9));
+  EXPECT_GT(tensor::trace(fisher), 0.0);
+}
+
+TEST(Fisher, ValidatesInputs) {
+  util::Rng rng{3};
+  nn::Sequential model;
+  model.emplace<nn::Dense>(4, 3, rng);
+  EXPECT_THROW(nn::fisher_information(model, Tensor{Shape{0, 4}}, 3),
+               std::invalid_argument);
+  EXPECT_THROW(nn::fisher_information(model, random_batch(4, 4, 1), 1),
+               std::invalid_argument);
+  // Model outputs 3 classes but 4 requested.
+  EXPECT_THROW(nn::fisher_information(model, random_batch(4, 4, 1), 4),
+               std::invalid_argument);
+}
+
+TEST(Fisher, ScoreGradientExpectationIsZero) {
+  // E_{y~p}[∇ log p(y|x)] = 0 — verify per sample by summing weighted grads.
+  util::Rng rng{4};
+  nn::Sequential model;
+  model.emplace<nn::Dense>(3, 3, rng);
+  const Tensor x = random_batch(1, 3, 5);
+
+  const Tensor logits = model.forward(x);
+  const Tensor probs = nn::softmax_rows(logits);
+  Tensor weighted_sum{Shape{nn::flat_parameter_count(model)}};
+  for (std::size_t y = 0; y < 3; ++y) {
+    Tensor upstream{Shape{1, 3}};
+    for (std::size_t c = 0; c < 3; ++c) {
+      upstream.at(0, c) = (c == y ? 1.0 : 0.0) - probs.at(0, c);
+    }
+    model.zero_grad();
+    model.forward(x);
+    model.backward(upstream);
+    const Tensor grad = nn::flatten_parameter_gradients(model);
+    for (std::size_t i = 0; i < grad.size(); ++i) {
+      weighted_sum[i] += probs.at(0, y) * grad[i];
+    }
+  }
+  EXPECT_LT(tensor::norm(weighted_sum), 1e-12);
+}
+
+TEST(EffectiveDimension, BetweenZeroAndParameterCount) {
+  const auto spec = search::ModelSpec::make_classical({4});
+  EffectiveDimensionConfig config;
+  config.parameter_samples = 4;
+  config.data_samples = 16;
+  const auto result =
+      effective_dimension(spec, random_batch(16, 5, 6), 3, config);
+  EXPECT_GT(result.effective_dimension, 0.0);
+  EXPECT_LE(result.effective_dimension,
+            static_cast<double>(result.parameter_count) + 1e-9);
+  EXPECT_GT(result.normalized, 0.0);
+  EXPECT_LE(result.normalized, 1.0 + 1e-9);
+  EXPECT_GT(result.mean_fisher_trace, 0.0);
+}
+
+TEST(EffectiveDimension, GrowsWithDatasetSize) {
+  // d_eff(γ, n) is non-decreasing in n for fixed Fisher spectra.
+  const auto spec = search::ModelSpec::make_classical({4});
+  const Tensor x = random_batch(16, 5, 7);
+  EffectiveDimensionConfig config;
+  config.parameter_samples = 4;
+  config.dataset_size = 100;
+  const auto small = effective_dimension(spec, x, 3, config);
+  config.dataset_size = 100000;
+  const auto large = effective_dimension(spec, x, 3, config);
+  EXPECT_GT(large.effective_dimension, small.effective_dimension * 0.9);
+}
+
+TEST(EffectiveDimension, WorksForHybridModels) {
+  const auto spec =
+      search::ModelSpec::make_hybrid(2, 1,
+                                     qnn::AnsatzKind::StronglyEntangling);
+  EffectiveDimensionConfig config;
+  config.parameter_samples = 3;
+  config.data_samples = 8;
+  const auto result =
+      effective_dimension(spec, random_batch(8, 4, 8), 3, config);
+  EXPECT_GT(result.effective_dimension, 0.0);
+  EXPECT_LE(result.normalized, 1.0 + 1e-9);
+}
+
+TEST(EffectiveDimension, ValidatesConfig) {
+  const auto spec = search::ModelSpec::make_classical({2});
+  const Tensor x = random_batch(4, 3, 9);
+  EffectiveDimensionConfig config;
+  config.parameter_samples = 0;
+  EXPECT_THROW(effective_dimension(spec, x, 3, config),
+               std::invalid_argument);
+  config.parameter_samples = 2;
+  config.dataset_size = 2;
+  EXPECT_THROW(effective_dimension(spec, x, 3, config),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qhdl::core

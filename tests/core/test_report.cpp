@@ -1,0 +1,91 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+
+namespace qhdl::core {
+namespace {
+
+StudyResult tiny_result() {
+  StudyResult result;
+  const auto add_level = [](search::SweepResult& sweep, std::size_t features,
+                            search::ModelSpec spec, double flops,
+                            std::size_t params) {
+    search::LevelResult level;
+    level.features = features;
+    search::SearchOutcome outcome;
+    search::CandidateResult winner;
+    winner.spec = std::move(spec);
+    winner.flops = flops;
+    winner.parameter_count = params;
+    winner.avg_best_val_accuracy = 0.91;
+    outcome.winner = winner;
+    level.search.repetitions.push_back(outcome);
+    level.search.successful_repetitions = 1;
+    level.search.mean_winner_flops = flops;
+    level.search.mean_winner_parameters = static_cast<double>(params);
+    level.search.smallest_winner = winner;
+    sweep.levels.push_back(level);
+  };
+
+  result.classical.family = search::Family::Classical;
+  add_level(result.classical, 10, search::ModelSpec::make_classical({2}),
+            100, 30);
+  add_level(result.classical, 110, search::ModelSpec::make_classical({8}),
+            900, 200);
+
+  result.hybrid_sel.family = search::Family::HybridSel;
+  add_level(result.hybrid_sel, 10,
+            search::ModelSpec::make_hybrid(
+                3, 2, qnn::AnsatzKind::StronglyEntangling),
+            5000, 60);
+  add_level(result.hybrid_sel, 110,
+            search::ModelSpec::make_hybrid(
+                3, 2, qnn::AnsatzKind::StronglyEntangling),
+            7000, 360);
+  result.hybrid_bel.family = search::Family::HybridBel;
+
+  result.growth.push_back(analyze_growth(result.classical));
+  result.growth.push_back(analyze_growth(result.hybrid_sel));
+  result.ablation = run_ablation(
+      {{search::HybridSpec{3, 2, qnn::AnsatzKind::StronglyEntangling}, 10}},
+      3, flops::CostModel{});
+  return result;
+}
+
+TEST(StudyReport, ContainsAllSections) {
+  const StudyResult result = tiny_result();
+  const std::string report =
+      study_report_markdown(result, core::bench_scale());
+
+  EXPECT_NE(report.find("# HQNN complexity-scaling study"),
+            std::string::npos);
+  EXPECT_NE(report.find("## Classical winners (Fig. 6)"), std::string::npos);
+  EXPECT_NE(report.find("## Hybrid SEL winners (Fig. 8)"),
+            std::string::npos);
+  EXPECT_NE(report.find("## Growth comparison (Fig. 10)"),
+            std::string::npos);
+  EXPECT_NE(report.find("SEL(q=3,d=2)"), std::string::npos);
+  // Paper reference values are embedded for side-by-side reading.
+  EXPECT_NE(report.find("53.1%"), std::string::npos);
+  EXPECT_NE(report.find("88.5%"), std::string::npos);
+  // Growth measured: classical 100 -> 900 = +800%.
+  EXPECT_NE(report.find("800%"), std::string::npos);
+  // Families without winners degrade gracefully.
+  EXPECT_NE(report.find("| hybrid BEL | n/a |"), std::string::npos);
+  // Ablation table present.
+  EXPECT_NE(report.find("Table I"), std::string::npos);
+  EXPECT_NE(report.find("10/(3,2)"), std::string::npos);
+}
+
+TEST(StudyReport, HandlesEmptyAblation) {
+  StudyResult result = tiny_result();
+  result.ablation.clear();
+  const std::string report =
+      study_report_markdown(result, core::bench_scale());
+  EXPECT_NE(report.find("ablation unavailable"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qhdl::core

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/preprocess.hpp"
+#include "data/spiral.hpp"
+#include "tensor/ops.hpp"
+
+namespace qhdl::data {
+namespace {
+
+TEST(Dataset, ValidateCatchesInconsistencies) {
+  Dataset d;
+  d.classes = 2;
+  d.x = tensor::Tensor{tensor::Shape{3, 2}};
+  d.y = {0, 1};  // wrong length
+  EXPECT_THROW(d.validate(), std::logic_error);
+  d.y = {0, 1, 2};  // label out of range
+  EXPECT_THROW(d.validate(), std::logic_error);
+  d.y = {0, 1, 1};
+  EXPECT_NO_THROW(d.validate());
+  d.classes = 0;
+  EXPECT_THROW(d.validate(), std::logic_error);
+}
+
+TEST(Spiral, NoiseSchedule) {
+  EXPECT_DOUBLE_EQ(noise_for_features(10), 0.13);
+  EXPECT_DOUBLE_EQ(noise_for_features(110), 0.43);
+}
+
+TEST(Spiral, GeneratesRequestedStructure) {
+  util::Rng rng{1};
+  SpiralConfig config;
+  config.points = 1500;
+  config.classes = 3;
+  const Dataset d = make_spiral(config, 0.1, rng);
+  EXPECT_EQ(d.size(), 1500u);
+  EXPECT_EQ(d.features(), 2u);
+  EXPECT_EQ(d.classes, 3u);
+  const auto counts = class_counts(d);
+  EXPECT_EQ(counts[0], 500u);
+  EXPECT_EQ(counts[1], 500u);
+  EXPECT_EQ(counts[2], 500u);
+}
+
+TEST(Spiral, PointsBoundedByUnitDisc) {
+  util::Rng rng{2};
+  SpiralConfig config;
+  const Dataset d = make_spiral(config, 0.1, rng);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const double r = std::hypot(d.x.at(i, 0), d.x.at(i, 1));
+    EXPECT_LE(r, 1.0 + 1e-9);
+  }
+}
+
+TEST(Spiral, ValidatesConfig) {
+  util::Rng rng{3};
+  SpiralConfig config;
+  config.classes = 1;
+  EXPECT_THROW(make_spiral(config, 0.1, rng), std::invalid_argument);
+  config.classes = 5;
+  config.points = 3;
+  EXPECT_THROW(make_spiral(config, 0.1, rng), std::invalid_argument);
+}
+
+TEST(Spiral, AugmentAddsDerivedFeatures) {
+  util::Rng rng{4};
+  SpiralConfig config;
+  config.points = 90;
+  const Dataset base = make_spiral(config, 0.1, rng);
+  const Dataset wide = augment_features(base, 10, 0.1, rng);
+  EXPECT_EQ(wide.features(), 10u);
+  EXPECT_EQ(wide.size(), base.size());
+  EXPECT_EQ(wide.y, base.y);
+  // Base features preserved verbatim.
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_DOUBLE_EQ(wide.x.at(i, 0), base.x.at(i, 0));
+    EXPECT_DOUBLE_EQ(wide.x.at(i, 1), base.x.at(i, 1));
+  }
+}
+
+TEST(Spiral, AugmentValidates) {
+  util::Rng rng{5};
+  SpiralConfig config;
+  config.points = 30;
+  const Dataset base = make_spiral(config, 0.1, rng);
+  EXPECT_THROW(augment_features(base, 1, 0.1, rng), std::invalid_argument);
+}
+
+TEST(Spiral, ComplexityDatasetDeterministicPerSeed) {
+  SpiralConfig config;
+  config.points = 60;
+  const Dataset a = make_complexity_dataset(10, config, 99);
+  const Dataset b = make_complexity_dataset(10, config, 99);
+  EXPECT_TRUE(tensor::allclose(a.x, b.x, 0, 0));
+  EXPECT_EQ(a.y, b.y);
+  const Dataset c = make_complexity_dataset(10, config, 100);
+  EXPECT_FALSE(tensor::allclose(a.x, c.x, 0, 0));
+}
+
+TEST(Spiral, DerivedFeatureNoiseGrowsWithFeatureCount) {
+  // Variance of a derived column should grow with the schedule's noise.
+  SpiralConfig config;
+  config.points = 900;
+  const Dataset low = make_complexity_dataset(10, config, 7);
+  const Dataset high = make_complexity_dataset(110, config, 7);
+  const auto column_variance = [](const Dataset& d, std::size_t col) {
+    double mean = 0.0;
+    for (std::size_t i = 0; i < d.size(); ++i) mean += d.x.at(i, col);
+    mean /= static_cast<double>(d.size());
+    double var = 0.0;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      const double delta = d.x.at(i, col) - mean;
+      var += delta * delta;
+    }
+    return var / static_cast<double>(d.size());
+  };
+  // Column 2 is the same transform in both datasets; only noise differs.
+  EXPECT_GT(column_variance(high, 2), column_variance(low, 2));
+}
+
+TEST(Split, StratifiedProportions) {
+  SpiralConfig config;
+  config.points = 300;
+  const Dataset d = make_complexity_dataset(4, config, 11);
+  util::Rng rng{12};
+  const TrainValSplit split = stratified_split(d, 0.2, rng);
+  EXPECT_EQ(split.val.size(), 60u);
+  EXPECT_EQ(split.train.size(), 240u);
+  const auto val_counts = class_counts(split.val);
+  for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(val_counts[c], 20u);
+}
+
+TEST(Split, FractionValidated) {
+  SpiralConfig config;
+  config.points = 30;
+  const Dataset d = make_complexity_dataset(4, config, 11);
+  util::Rng rng{12};
+  EXPECT_THROW(stratified_split(d, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(stratified_split(d, 1.0, rng), std::invalid_argument);
+}
+
+TEST(Split, NoSampleLeaksBetweenSplits) {
+  // Rows in train and val are disjoint as (x, y) records.
+  SpiralConfig config;
+  config.points = 60;
+  const Dataset d = make_complexity_dataset(3, config, 13);
+  util::Rng rng{14};
+  const TrainValSplit split = stratified_split(d, 0.25, rng);
+  EXPECT_EQ(split.train.size() + split.val.size(), d.size());
+
+  std::set<std::pair<double, double>> train_points;
+  for (std::size_t i = 0; i < split.train.size(); ++i) {
+    train_points.emplace(split.train.x.at(i, 0), split.train.x.at(i, 1));
+  }
+  for (std::size_t i = 0; i < split.val.size(); ++i) {
+    EXPECT_EQ(train_points.count(
+                  {split.val.x.at(i, 0), split.val.x.at(i, 1)}),
+              0u);
+  }
+}
+
+TEST(Shuffled, PreservesPairing) {
+  SpiralConfig config;
+  config.points = 30;
+  const Dataset d = make_complexity_dataset(3, config, 15);
+  util::Rng rng{16};
+  const Dataset s = shuffled(d, rng);
+  EXPECT_EQ(s.size(), d.size());
+  // Multiset of labels unchanged.
+  EXPECT_EQ(class_counts(s), class_counts(d));
+}
+
+TEST(Preprocess, StandardizerZeroMeanUnitVariance) {
+  util::Rng rng{17};
+  tensor::Tensor x{tensor::Shape{200, 3}};
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.normal(5.0, 3.0);
+  }
+  const Scaler scaler = fit_standardizer(x);
+  scaler.apply(x);
+  for (std::size_t j = 0; j < 3; ++j) {
+    double mean = 0.0;
+    for (std::size_t i = 0; i < 200; ++i) mean += x.at(i, j);
+    mean /= 200.0;
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    double var = 0.0;
+    for (std::size_t i = 0; i < 200; ++i) {
+      var += (x.at(i, j) - mean) * (x.at(i, j) - mean);
+    }
+    EXPECT_NEAR(var / 200.0, 1.0, 1e-9);
+  }
+}
+
+TEST(Preprocess, StandardizerHandlesConstantColumn) {
+  tensor::Tensor x{tensor::Shape{5, 1}};
+  x.fill(7.0);
+  const Scaler scaler = fit_standardizer(x);
+  scaler.apply(x);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(x.at(i, 0), 0.0);
+}
+
+TEST(Preprocess, MinMaxMapsToRange) {
+  tensor::Tensor x = tensor::Tensor::matrix(3, 1, {0.0, 5.0, 10.0});
+  const Scaler scaler = fit_minmax(x, -1.0, 1.0);
+  scaler.apply(x);
+  EXPECT_DOUBLE_EQ(x.at(0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(x.at(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(x.at(2, 0), 1.0);
+}
+
+TEST(Preprocess, StandardizeSplitUsesTrainStatistics) {
+  SpiralConfig config;
+  config.points = 120;
+  const Dataset d = make_complexity_dataset(4, config, 18);
+  util::Rng rng{19};
+  TrainValSplit split = stratified_split(d, 0.25, rng);
+  const tensor::Tensor val_before = split.val.x;
+  standardize_split(split);
+  // Train is exactly standardized; val only approximately (train stats).
+  double train_mean = 0.0;
+  for (std::size_t i = 0; i < split.train.size(); ++i) {
+    train_mean += split.train.x.at(i, 0);
+  }
+  EXPECT_NEAR(train_mean / static_cast<double>(split.train.size()), 0.0,
+              1e-9);
+  EXPECT_FALSE(tensor::allclose(split.val.x, val_before));
+}
+
+TEST(Preprocess, ApplyValidatesWidth) {
+  Scaler scaler;
+  scaler.offset = {0.0};
+  scaler.scale = {1.0};
+  tensor::Tensor x{tensor::Shape{2, 2}};
+  EXPECT_THROW(scaler.apply(x), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qhdl::data

@@ -1,0 +1,87 @@
+#include "data/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/spiral.hpp"
+#include "tensor/ops.hpp"
+
+namespace qhdl::data {
+namespace {
+
+TEST(Rings, ClassRadiiSeparate) {
+  util::Rng rng{1};
+  const Dataset d = make_rings(300, 3, 0.02, rng);
+  EXPECT_EQ(d.size(), 300u);
+  EXPECT_EQ(d.features(), 2u);
+  d.validate();
+
+  // Mean radius per class should be near (c+1)/3.
+  std::vector<double> radius_sum(3, 0.0);
+  std::vector<std::size_t> counts(3, 0);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    radius_sum[d.y[i]] += std::hypot(d.x.at(i, 0), d.x.at(i, 1));
+    ++counts[d.y[i]];
+  }
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(radius_sum[c] / static_cast<double>(counts[c]),
+                static_cast<double>(c + 1) / 3.0, 0.02);
+  }
+}
+
+TEST(Rings, ValidatesArguments) {
+  util::Rng rng{2};
+  EXPECT_THROW(make_rings(10, 1, 0.1, rng), std::invalid_argument);
+  EXPECT_THROW(make_rings(1, 2, 0.1, rng), std::invalid_argument);
+}
+
+TEST(Moons, TwoInterleavedClasses) {
+  util::Rng rng{3};
+  const Dataset d = make_moons(200, 0.02, rng);
+  EXPECT_EQ(d.classes, 2u);
+  d.validate();
+  const auto counts = class_counts(d);
+  EXPECT_EQ(counts[0], 100u);
+  EXPECT_EQ(counts[1], 100u);
+  // Class 0 rides above y ≈ 0.25, class 1 below, on average.
+  double mean_y0 = 0.0, mean_y1 = 0.0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    (d.y[i] == 0 ? mean_y0 : mean_y1) += d.x.at(i, 1);
+  }
+  EXPECT_GT(mean_y0 / 100.0, mean_y1 / 100.0);
+}
+
+TEST(Blobs, CentersOnCircle) {
+  util::Rng rng{4};
+  const Dataset d = make_blobs(400, 4, 2.0, 0.05, rng);
+  d.validate();
+  // Per-class centroid should sit near radius 2.
+  std::vector<double> cx(4, 0.0), cy(4, 0.0);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    cx[d.y[i]] += d.x.at(i, 0);
+    cy[d.y[i]] += d.x.at(i, 1);
+  }
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_NEAR(std::hypot(cx[c] / 100.0, cy[c] / 100.0), 2.0, 0.05);
+  }
+}
+
+TEST(Synthetic, ComposesWithFeatureAugmentation) {
+  // The spiral pipeline's augmentation works on any 2-feature base dataset.
+  util::Rng rng{5};
+  const Dataset base = make_rings(90, 3, 0.03, rng);
+  const Dataset wide = augment_features(base, 12, 0.2, rng);
+  EXPECT_EQ(wide.features(), 12u);
+  EXPECT_EQ(wide.y, base.y);
+}
+
+TEST(Synthetic, DeterministicPerSeed) {
+  util::Rng rng1{6}, rng2{6};
+  const Dataset a = make_moons(50, 0.1, rng1);
+  const Dataset b = make_moons(50, 0.1, rng2);
+  EXPECT_TRUE(tensor::allclose(a.x, b.x, 0, 0));
+}
+
+}  // namespace
+}  // namespace qhdl::data

@@ -1,0 +1,116 @@
+#include "nn/activations.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace qhdl::nn {
+namespace {
+
+using tensor::Tensor;
+
+TEST(Tanh, ForwardValues) {
+  Tanh layer;
+  const Tensor out = layer.forward(Tensor::matrix(1, 3, {-1, 0, 1}));
+  EXPECT_NEAR(out.at(0, 0), std::tanh(-1.0), 1e-15);
+  EXPECT_DOUBLE_EQ(out.at(0, 1), 0.0);
+  EXPECT_NEAR(out.at(0, 2), std::tanh(1.0), 1e-15);
+}
+
+TEST(Tanh, BackwardUsesOutput) {
+  Tanh layer;
+  layer.forward(Tensor::matrix(1, 1, {0.5}));
+  const Tensor grad = layer.backward(Tensor::matrix(1, 1, {1.0}));
+  const double y = std::tanh(0.5);
+  EXPECT_NEAR(grad.at(0, 0), 1.0 - y * y, 1e-15);
+}
+
+TEST(ReLU, ForwardClampsNegatives) {
+  ReLU layer;
+  const Tensor out = layer.forward(Tensor::matrix(1, 4, {-2, -0.5, 0, 3}));
+  EXPECT_DOUBLE_EQ(out.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(out.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(out.at(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(out.at(0, 3), 3.0);
+}
+
+TEST(ReLU, BackwardMasksByInputSign) {
+  ReLU layer;
+  layer.forward(Tensor::matrix(1, 3, {-1, 0, 2}));
+  const Tensor grad = layer.backward(Tensor::matrix(1, 3, {5, 5, 5}));
+  EXPECT_DOUBLE_EQ(grad.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(grad.at(0, 1), 0.0);  // gradient at 0 defined as 0
+  EXPECT_DOUBLE_EQ(grad.at(0, 2), 5.0);
+}
+
+TEST(Sigmoid, ForwardAndBackward) {
+  Sigmoid layer;
+  const Tensor out = layer.forward(Tensor::matrix(1, 1, {0.0}));
+  EXPECT_DOUBLE_EQ(out.at(0, 0), 0.5);
+  const Tensor grad = layer.backward(Tensor::matrix(1, 1, {1.0}));
+  EXPECT_DOUBLE_EQ(grad.at(0, 0), 0.25);  // y(1-y) at y=0.5
+}
+
+TEST(Activations, BackwardBeforeForwardThrows) {
+  Tanh tanh_layer;
+  ReLU relu_layer;
+  Sigmoid sigmoid_layer;
+  const Tensor g = Tensor::matrix(1, 1, {1.0});
+  EXPECT_THROW(tanh_layer.backward(g), std::logic_error);
+  EXPECT_THROW(relu_layer.backward(g), std::logic_error);
+  EXPECT_THROW(sigmoid_layer.backward(g), std::logic_error);
+}
+
+TEST(SoftmaxRows, RowsSumToOne) {
+  const Tensor probs =
+      softmax_rows(Tensor::matrix(2, 3, {1, 2, 3, -1, 0, 1}));
+  for (std::size_t i = 0; i < 2; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_GT(probs.at(i, j), 0.0);
+      row_sum += probs.at(i, j);
+    }
+    EXPECT_NEAR(row_sum, 1.0, 1e-12);
+  }
+}
+
+TEST(SoftmaxRows, StableForLargeLogits) {
+  const Tensor probs = softmax_rows(Tensor::matrix(1, 2, {1000.0, 1001.0}));
+  EXPECT_FALSE(std::isnan(probs.at(0, 0)));
+  EXPECT_NEAR(probs.at(0, 0) + probs.at(0, 1), 1.0, 1e-12);
+  EXPECT_GT(probs.at(0, 1), probs.at(0, 0));
+}
+
+TEST(SoftmaxRows, ShiftInvariance) {
+  const Tensor a = softmax_rows(Tensor::matrix(1, 3, {1, 2, 3}));
+  const Tensor b = softmax_rows(Tensor::matrix(1, 3, {11, 12, 13}));
+  EXPECT_TRUE(tensor::allclose(a, b, 1e-12, 1e-12));
+}
+
+TEST(Softmax, ModuleBackwardMatchesJacobian) {
+  // For softmax y and upstream g: dx_j = y_j(g_j - Σ g_k y_k).
+  Softmax layer;
+  const Tensor x = Tensor::matrix(1, 3, {0.2, -0.1, 0.5});
+  const Tensor y = layer.forward(x);
+  const Tensor g = Tensor::matrix(1, 3, {1.0, 0.0, -1.0});
+  const Tensor dx = layer.backward(g);
+
+  double dot = 0.0;
+  for (std::size_t j = 0; j < 3; ++j) dot += g.at(0, j) * y.at(0, j);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(dx.at(0, j), y.at(0, j) * (g.at(0, j) - dot), 1e-14);
+  }
+}
+
+TEST(Activations, InfoReportsWidth) {
+  Tanh layer;
+  layer.forward(Tensor::matrix(2, 5, std::vector<double>(10, 0.1)));
+  EXPECT_EQ(layer.info().kind, "tanh");
+  EXPECT_EQ(layer.info().outputs, 5u);
+  EXPECT_EQ(layer.info().parameter_count, 0u);
+}
+
+}  // namespace
+}  // namespace qhdl::nn

@@ -1,0 +1,115 @@
+#include "nn/dense.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace qhdl::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(Dense, ForwardComputesAffine) {
+  // W = [[1,2],[3,4]], b = [10, 20]; x = [1, 1] -> [14, 26].
+  Dense layer{Tensor::matrix(2, 2, {1, 2, 3, 4}), Tensor::row({10, 20})};
+  const Tensor out = layer.forward(Tensor::matrix(1, 2, {1, 1}));
+  EXPECT_DOUBLE_EQ(out.at(0, 0), 14.0);
+  EXPECT_DOUBLE_EQ(out.at(0, 1), 26.0);
+}
+
+TEST(Dense, ForwardBatch) {
+  Dense layer{Tensor::matrix(2, 1, {1, 1}), Tensor::row({0})};
+  const Tensor out = layer.forward(Tensor::matrix(3, 2, {1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(out.shape(), Shape({3, 1}));
+  EXPECT_DOUBLE_EQ(out.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(out.at(2, 0), 11.0);
+}
+
+TEST(Dense, ForwardWrongWidthThrows) {
+  util::Rng rng{1};
+  Dense layer{3, 2, rng};
+  EXPECT_THROW(layer.forward(Tensor::matrix(1, 4, {1, 2, 3, 4})),
+               std::invalid_argument);
+}
+
+TEST(Dense, BackwardBeforeForwardThrows) {
+  util::Rng rng{1};
+  Dense layer{2, 2, rng};
+  EXPECT_THROW(layer.backward(Tensor::matrix(1, 2, {1, 1})),
+               std::logic_error);
+}
+
+TEST(Dense, BackwardGradients) {
+  // Single sample x = [1, 2], dY = [1, 0]; dW = xᵀ·dY, db = dY, dX = dY·Wᵀ.
+  Dense layer{Tensor::matrix(2, 2, {1, 2, 3, 4}), Tensor::row({0, 0})};
+  layer.forward(Tensor::matrix(1, 2, {1, 2}));
+  const Tensor grad_in = layer.backward(Tensor::matrix(1, 2, {1, 0}));
+  EXPECT_DOUBLE_EQ(layer.weight().grad.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(layer.weight().grad.at(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(layer.weight().grad.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(layer.bias().grad[0], 1.0);
+  EXPECT_DOUBLE_EQ(layer.bias().grad[1], 0.0);
+  // dX = [1,0]·Wᵀ = [1, 3].
+  EXPECT_DOUBLE_EQ(grad_in.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(grad_in.at(0, 1), 3.0);
+}
+
+TEST(Dense, GradientsAccumulateAcrossBackwardCalls) {
+  Dense layer{Tensor::matrix(1, 1, {2}), Tensor::row({0})};
+  layer.forward(Tensor::matrix(1, 1, {3}));
+  layer.backward(Tensor::matrix(1, 1, {1}));
+  layer.forward(Tensor::matrix(1, 1, {3}));
+  layer.backward(Tensor::matrix(1, 1, {1}));
+  EXPECT_DOUBLE_EQ(layer.weight().grad[0], 6.0);  // 3 + 3
+  layer.zero_grad();
+  EXPECT_DOUBLE_EQ(layer.weight().grad[0], 0.0);
+}
+
+TEST(Dense, ParameterCountAndInfo) {
+  util::Rng rng{1};
+  Dense layer{10, 6, rng};
+  EXPECT_EQ(layer.parameter_count(), 10u * 6u + 6u);
+  const LayerInfo info = layer.info();
+  EXPECT_EQ(info.kind, "dense");
+  EXPECT_EQ(info.inputs, 10u);
+  EXPECT_EQ(info.outputs, 6u);
+  EXPECT_EQ(info.parameter_count, 66u);
+  EXPECT_EQ(layer.name(), "Dense(10 -> 6)");
+}
+
+TEST(Dense, ZeroSizedThrows) {
+  util::Rng rng{1};
+  EXPECT_THROW((Dense{0, 3, rng}), std::invalid_argument);
+  EXPECT_THROW((Dense{3, 0, rng}), std::invalid_argument);
+}
+
+TEST(Dense, BatchGradientIsSumOfPerSample) {
+  util::Rng rng{9};
+  Dense batch_layer{3, 2, rng};
+  // Copy weights into a second identical layer.
+  Dense single_layer{batch_layer.weight().value, batch_layer.bias().value};
+
+  const Tensor x = Tensor::matrix(2, 3, {1, 2, 3, 4, 5, 6});
+  const Tensor g = Tensor::matrix(2, 2, {1, 0, 0, 1});
+
+  batch_layer.forward(x);
+  batch_layer.backward(g);
+
+  for (std::size_t s = 0; s < 2; ++s) {
+    Tensor xs{Shape{1, 3}};
+    Tensor gs{Shape{1, 2}};
+    for (std::size_t j = 0; j < 3; ++j) xs.at(0, j) = x.at(s, j);
+    for (std::size_t j = 0; j < 2; ++j) gs.at(0, j) = g.at(s, j);
+    single_layer.forward(xs);
+    single_layer.backward(gs);
+  }
+  EXPECT_TRUE(tensor::allclose(batch_layer.weight().grad,
+                               single_layer.weight().grad));
+  EXPECT_TRUE(
+      tensor::allclose(batch_layer.bias().grad, single_layer.bias().grad));
+}
+
+}  // namespace
+}  // namespace qhdl::nn

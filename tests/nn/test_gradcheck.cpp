@@ -1,0 +1,104 @@
+// Property tests: every classical module's analytic gradients match central
+// finite differences across random shapes and batches.
+#include <gtest/gtest.h>
+
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+#include "nn/sequential.hpp"
+#include "tensor/init.hpp"
+#include "test_helpers.hpp"
+
+namespace qhdl::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+struct GradCheckCase {
+  std::size_t batch;
+  std::size_t inputs;
+  std::size_t outputs;
+  std::uint64_t seed;
+};
+
+class DenseGradCheck : public ::testing::TestWithParam<GradCheckCase> {};
+
+TEST_P(DenseGradCheck, InputAndParameterGradients) {
+  const GradCheckCase c = GetParam();
+  util::Rng rng{c.seed};
+  Dense layer{c.inputs, c.outputs, rng};
+  const Tensor x =
+      tensor::uniform(Shape{c.batch, c.inputs}, -2.0, 2.0, rng);
+  EXPECT_LT(testing::module_input_gradient_error(layer, x, rng), 1e-7);
+  EXPECT_LT(testing::module_parameter_gradient_error(layer, x, rng), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DenseGradCheck,
+    ::testing::Values(GradCheckCase{1, 1, 1, 1}, GradCheckCase{1, 3, 2, 2},
+                      GradCheckCase{4, 5, 3, 3}, GradCheckCase{8, 2, 7, 4},
+                      GradCheckCase{2, 10, 10, 5},
+                      GradCheckCase{16, 4, 4, 6}));
+
+class ActivationGradCheck
+    : public ::testing::TestWithParam<std::tuple<std::string, std::size_t,
+                                                 std::uint64_t>> {};
+
+TEST_P(ActivationGradCheck, InputGradients) {
+  const auto [kind, width, seed] = GetParam();
+  util::Rng rng{seed};
+  std::unique_ptr<Module> layer;
+  if (kind == "tanh") layer = std::make_unique<Tanh>();
+  if (kind == "sigmoid") layer = std::make_unique<Sigmoid>();
+  if (kind == "softmax") layer = std::make_unique<Softmax>();
+  ASSERT_NE(layer, nullptr);
+  const Tensor x = tensor::uniform(Shape{3, width}, -2.0, 2.0, rng);
+  EXPECT_LT(testing::module_input_gradient_error(*layer, x, rng), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, ActivationGradCheck,
+    ::testing::Combine(::testing::Values("tanh", "sigmoid", "softmax"),
+                       ::testing::Values(std::size_t{1}, std::size_t{4},
+                                         std::size_t{9}),
+                       ::testing::Values(std::uint64_t{11},
+                                         std::uint64_t{12})));
+
+// ReLU checked separately with inputs kept away from the kink at 0.
+TEST(ReLUGradCheck, AwayFromKink) {
+  util::Rng rng{21};
+  ReLU layer;
+  Tensor x = tensor::uniform(Shape{4, 6}, 0.5, 2.0, rng);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (i % 2 == 0) x[i] = -x[i];  // mix of firmly positive/negative
+  }
+  EXPECT_LT(testing::module_input_gradient_error(layer, x, rng), 1e-7);
+}
+
+TEST(SequentialGradCheck, TwoLayerMlp) {
+  util::Rng rng{31};
+  Sequential model;
+  model.emplace<Dense>(4, 6, rng);
+  model.emplace<Tanh>();
+  model.emplace<Dense>(6, 3, rng);
+  const Tensor x = tensor::uniform(Shape{5, 4}, -1.5, 1.5, rng);
+  EXPECT_LT(testing::module_input_gradient_error(model, x, rng), 1e-6);
+  EXPECT_LT(testing::module_parameter_gradient_error(model, x, rng), 1e-6);
+}
+
+TEST(SequentialGradCheck, DeepNarrowStack) {
+  util::Rng rng{32};
+  Sequential model;
+  model.emplace<Dense>(3, 3, rng);
+  model.emplace<Tanh>();
+  model.emplace<Dense>(3, 3, rng);
+  model.emplace<Sigmoid>();
+  model.emplace<Dense>(3, 2, rng);
+  model.emplace<Softmax>();
+  const Tensor x = tensor::uniform(Shape{2, 3}, -1.0, 1.0, rng);
+  EXPECT_LT(testing::module_input_gradient_error(model, x, rng), 1e-6);
+  EXPECT_LT(testing::module_parameter_gradient_error(model, x, rng), 1e-6);
+}
+
+}  // namespace
+}  // namespace qhdl::nn

@@ -1,0 +1,108 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activations.hpp"
+#include "tensor/ops.hpp"
+
+namespace qhdl::nn {
+namespace {
+
+using tensor::Tensor;
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogC) {
+  SoftmaxCrossEntropy loss;
+  const std::vector<std::size_t> labels{0, 1, 2};
+  const LossResult r =
+      loss.evaluate(Tensor::matrix(3, 3, std::vector<double>(9, 0.0)), labels);
+  EXPECT_NEAR(r.value, std::log(3.0), 1e-12);
+}
+
+TEST(SoftmaxCrossEntropy, ConfidentCorrectHasLowLoss) {
+  SoftmaxCrossEntropy loss;
+  const std::vector<std::size_t> labels{0};
+  const LossResult r =
+      loss.evaluate(Tensor::matrix(1, 3, {10.0, 0.0, 0.0}), labels);
+  EXPECT_LT(r.value, 1e-3);
+}
+
+TEST(SoftmaxCrossEntropy, GradientIsSoftmaxMinusOnehotOverBatch) {
+  SoftmaxCrossEntropy loss;
+  const Tensor logits = Tensor::matrix(2, 3, {1, 2, 3, 0.5, 0.5, 0.5});
+  const std::vector<std::size_t> labels{2, 0};
+  const LossResult r = loss.evaluate(logits, labels);
+  const Tensor probs = softmax_rows(logits);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      const double expected =
+          (probs.at(i, j) - (labels[i] == j ? 1.0 : 0.0)) / 2.0;
+      EXPECT_NEAR(r.grad.at(i, j), expected, 1e-12);
+    }
+  }
+}
+
+TEST(SoftmaxCrossEntropy, GradientMatchesFiniteDifference) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits = Tensor::matrix(2, 3, {0.3, -0.7, 1.1, 0.2, 0.9, -0.4});
+  const std::vector<std::size_t> labels{1, 2};
+  const LossResult r = loss.evaluate(logits, labels);
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const double saved = logits[i];
+    logits[i] = saved + eps;
+    const double plus = loss.evaluate(logits, labels).value;
+    logits[i] = saved - eps;
+    const double minus = loss.evaluate(logits, labels).value;
+    logits[i] = saved;
+    EXPECT_NEAR(r.grad[i], (plus - minus) / (2 * eps), 1e-8);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, GradientRowsSumToZero) {
+  // softmax - onehot always sums to zero per row.
+  SoftmaxCrossEntropy loss;
+  const LossResult r = loss.evaluate(
+      Tensor::matrix(1, 4, {0.1, 0.2, 0.3, 0.4}), std::vector<std::size_t>{3});
+  double row_sum = 0.0;
+  for (std::size_t j = 0; j < 4; ++j) row_sum += r.grad.at(0, j);
+  EXPECT_NEAR(row_sum, 0.0, 1e-14);
+}
+
+TEST(SoftmaxCrossEntropy, ValidatesInputs) {
+  SoftmaxCrossEntropy loss;
+  const Tensor logits = Tensor::matrix(2, 3, std::vector<double>(6, 0.0));
+  EXPECT_THROW(loss.evaluate(logits, std::vector<std::size_t>{0}),
+               std::invalid_argument);
+  EXPECT_THROW(loss.evaluate(logits, std::vector<std::size_t>{0, 5}),
+               std::out_of_range);
+}
+
+TEST(MeanSquaredError, ValueAndGradient) {
+  MeanSquaredError loss;
+  const Tensor pred = Tensor::matrix(1, 2, {1.0, 3.0});
+  const Tensor target = Tensor::matrix(1, 2, {0.0, 1.0});
+  const LossResult r = loss.evaluate(pred, target);
+  EXPECT_DOUBLE_EQ(r.value, (1.0 + 4.0) / 2.0);
+  EXPECT_DOUBLE_EQ(r.grad.at(0, 0), 2.0 * 1.0 / 2.0);
+  EXPECT_DOUBLE_EQ(r.grad.at(0, 1), 2.0 * 2.0 / 2.0);
+}
+
+TEST(MeanSquaredError, ZeroAtPerfectPrediction) {
+  MeanSquaredError loss;
+  const Tensor pred = Tensor::matrix(2, 2, {1, 2, 3, 4});
+  const LossResult r = loss.evaluate(pred, pred);
+  EXPECT_DOUBLE_EQ(r.value, 0.0);
+  EXPECT_DOUBLE_EQ(tensor::norm(r.grad), 0.0);
+}
+
+TEST(MeanSquaredError, ShapeMismatchThrows) {
+  MeanSquaredError loss;
+  EXPECT_THROW(loss.evaluate(Tensor::matrix(1, 2, {1, 2}),
+                             Tensor::matrix(2, 1, {1, 2})),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qhdl::nn

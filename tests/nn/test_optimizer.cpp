@@ -1,0 +1,106 @@
+#include "nn/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qhdl::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Parameter make_param(double value, double grad) {
+  Parameter p{"p", Tensor::scalar(value)};
+  p.grad[0] = grad;
+  return p;
+}
+
+TEST(Sgd, AppliesLearningRate) {
+  Parameter p = make_param(1.0, 0.5);
+  Sgd opt{0.1};
+  opt.step({&p});
+  EXPECT_DOUBLE_EQ(p.value[0], 1.0 - 0.1 * 0.5);
+}
+
+TEST(Sgd, MultipleParameters) {
+  Parameter a = make_param(1.0, 1.0);
+  Parameter b = make_param(2.0, -1.0);
+  Sgd opt{0.5};
+  opt.step({&a, &b});
+  EXPECT_DOUBLE_EQ(a.value[0], 0.5);
+  EXPECT_DOUBLE_EQ(b.value[0], 2.5);
+}
+
+TEST(Momentum, AcceleratesAlongConstantGradient) {
+  Parameter p = make_param(0.0, 1.0);
+  Momentum opt{0.1, 0.9};
+  opt.step({&p});
+  const double step1 = -p.value[0];
+  const double before = p.value[0];
+  opt.step({&p});
+  const double step2 = before - p.value[0];
+  EXPECT_GT(step2, step1);  // velocity accumulates
+  EXPECT_NEAR(step2, 0.1 * (0.9 + 1.0), 1e-12);
+}
+
+TEST(Momentum, ResetClearsVelocity) {
+  Parameter p = make_param(0.0, 1.0);
+  Momentum opt{0.1, 0.9};
+  opt.step({&p});
+  opt.reset();
+  const double before = p.value[0];
+  opt.step({&p});
+  EXPECT_NEAR(before - p.value[0], 0.1, 1e-12);  // first-step size again
+}
+
+TEST(Adam, FirstStepIsLearningRateSized) {
+  // With bias correction, |Δw| ≈ lr for the first step regardless of grad
+  // magnitude (for constant gradient).
+  Parameter p = make_param(0.0, 0.001);
+  Adam opt{0.1};
+  opt.step({&p});
+  EXPECT_NEAR(std::abs(p.value[0]), 0.1, 1e-3);
+}
+
+TEST(Adam, DescendsQuadratic) {
+  // Minimize f(w) = (w-3)^2 starting from w=0.
+  Parameter p = make_param(0.0, 0.0);
+  Adam opt{0.05};
+  for (int i = 0; i < 2000; ++i) {
+    p.grad[0] = 2.0 * (p.value[0] - 3.0);
+    opt.step({&p});
+  }
+  EXPECT_NEAR(p.value[0], 3.0, 1e-2);
+}
+
+TEST(Adam, ResetClearsMoments) {
+  Parameter p = make_param(0.0, 1.0);
+  Adam opt{0.1};
+  opt.step({&p});
+  const double after_first = p.value[0];
+  opt.reset();
+  Parameter q = make_param(0.0, 1.0);
+  opt.step({&q});
+  EXPECT_NEAR(q.value[0], after_first, 1e-12);
+}
+
+TEST(Adam, HandlesZeroGradient) {
+  Parameter p = make_param(5.0, 0.0);
+  Adam opt{0.1};
+  opt.step({&p});
+  EXPECT_NEAR(p.value[0], 5.0, 1e-9);  // epsilon prevents NaN
+}
+
+TEST(Optimizers, SgdConvergesOnQuadratic) {
+  Parameter p = make_param(10.0, 0.0);
+  Sgd opt{0.1};
+  for (int i = 0; i < 200; ++i) {
+    p.grad[0] = 2.0 * p.value[0];
+    opt.step({&p});
+  }
+  EXPECT_NEAR(p.value[0], 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace qhdl::nn

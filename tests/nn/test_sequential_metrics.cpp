@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+#include "nn/metrics.hpp"
+#include "nn/sequential.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace qhdl::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(Sequential, ChainsForward) {
+  Sequential model;
+  model.add(std::make_unique<Dense>(Tensor::matrix(1, 1, {2.0}),
+                                    Tensor::row({1.0})));
+  model.add(std::make_unique<Dense>(Tensor::matrix(1, 1, {3.0}),
+                                    Tensor::row({0.0})));
+  // x=1 -> 2*1+1 = 3 -> 3*3 = 9.
+  const Tensor out = model.forward(Tensor::matrix(1, 1, {1.0}));
+  EXPECT_DOUBLE_EQ(out.at(0, 0), 9.0);
+}
+
+TEST(Sequential, BackwardChainsInReverse) {
+  Sequential model;
+  model.add(std::make_unique<Dense>(Tensor::matrix(1, 1, {2.0}),
+                                    Tensor::row({0.0})));
+  model.add(std::make_unique<Dense>(Tensor::matrix(1, 1, {3.0}),
+                                    Tensor::row({0.0})));
+  model.forward(Tensor::matrix(1, 1, {1.0}));
+  const Tensor grad = model.backward(Tensor::matrix(1, 1, {1.0}));
+  // dL/dx = 3 * 2 = 6.
+  EXPECT_DOUBLE_EQ(grad.at(0, 0), 6.0);
+}
+
+TEST(Sequential, CollectsParameters) {
+  util::Rng rng{1};
+  Sequential model;
+  model.emplace<Dense>(4, 3, rng);
+  model.emplace<Tanh>();
+  model.emplace<Dense>(3, 2, rng);
+  EXPECT_EQ(model.parameters().size(), 4u);  // 2 dense layers x (W, b)
+  EXPECT_EQ(model.parameter_count(), (4u * 3 + 3) + (3u * 2 + 2));
+}
+
+TEST(Sequential, InfoAggregates) {
+  util::Rng rng{1};
+  Sequential model;
+  model.emplace<Dense>(5, 4, rng);
+  model.emplace<ReLU>();
+  model.emplace<Dense>(4, 2, rng);
+  const LayerInfo info = model.info();
+  EXPECT_EQ(info.inputs, 5u);
+  EXPECT_EQ(info.outputs, 2u);
+  EXPECT_EQ(info.parameter_count, (5u * 4 + 4) + (4u * 2 + 2));
+  EXPECT_EQ(model.layer_infos().size(), 3u);
+}
+
+TEST(Sequential, NameListsLayers) {
+  util::Rng rng{1};
+  Sequential model;
+  model.emplace<Dense>(2, 2, rng);
+  model.emplace<Tanh>();
+  EXPECT_EQ(model.name(), "Sequential[Dense(2 -> 2), Tanh]");
+}
+
+TEST(Sequential, NullLayerThrows) {
+  Sequential model;
+  EXPECT_THROW(model.add(nullptr), std::invalid_argument);
+}
+
+TEST(Sequential, LayerAccess) {
+  util::Rng rng{1};
+  Sequential model;
+  model.emplace<Dense>(2, 2, rng);
+  EXPECT_EQ(model.layer_count(), 1u);
+  EXPECT_EQ(model.layer(0).name(), "Dense(2 -> 2)");
+  EXPECT_THROW(model.layer(1), std::out_of_range);
+}
+
+TEST(Metrics, AccuracyCountsArgmaxMatches) {
+  const Tensor logits =
+      Tensor::matrix(3, 3, {5, 1, 1, 1, 5, 1, 1, 5, 1});
+  const std::vector<std::size_t> labels{0, 1, 2};
+  EXPECT_NEAR(accuracy(logits, labels), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, AccuracyValidatesShapes) {
+  const Tensor logits = Tensor::matrix(2, 2, {1, 0, 0, 1});
+  EXPECT_THROW(accuracy(logits, std::vector<std::size_t>{0}),
+               std::invalid_argument);
+}
+
+TEST(Metrics, PredictClasses) {
+  const Tensor logits = Tensor::matrix(2, 3, {0, 1, 0, 0, 0, 9});
+  const auto predictions = predict_classes(logits);
+  EXPECT_EQ(predictions, (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(Metrics, ConfusionMatrix) {
+  const Tensor logits =
+      Tensor::matrix(4, 2, {5, 0, 0, 5, 5, 0, 5, 0});
+  const std::vector<std::size_t> labels{0, 0, 1, 1};
+  const auto cm = confusion_matrix(logits, labels, 2);
+  EXPECT_EQ(cm[0][0], 1u);  // actual 0, predicted 0
+  EXPECT_EQ(cm[0][1], 1u);  // actual 0, predicted 1
+  EXPECT_EQ(cm[1][0], 2u);  // actual 1, predicted 0
+  EXPECT_EQ(cm[1][1], 0u);
+}
+
+}  // namespace
+}  // namespace qhdl::nn

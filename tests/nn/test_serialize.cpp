@@ -1,0 +1,101 @@
+#include "nn/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+#include "nn/sequential.hpp"
+#include "qnn/hybrid_model.hpp"
+#include "tensor/init.hpp"
+#include "tensor/ops.hpp"
+
+namespace qhdl::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+std::unique_ptr<Sequential> make_model(std::uint64_t seed) {
+  util::Rng rng{seed};
+  auto model = std::make_unique<Sequential>();
+  model->emplace<Dense>(4, 6, rng);
+  model->emplace<Tanh>(6);
+  model->emplace<Dense>(6, 3, rng);
+  return model;
+}
+
+TEST(Serialize, RoundTripRestoresExactOutputs) {
+  auto source = make_model(1);
+  auto target = make_model(2);  // different initialization
+
+  util::Rng rng{3};
+  const Tensor x = tensor::uniform(Shape{5, 4}, -1, 1, rng);
+  const Tensor source_out = source->forward(x);
+  const Tensor target_before = target->forward(x);
+  EXPECT_FALSE(tensor::allclose(source_out, target_before));
+
+  parameters_from_json(*target, parameters_to_json(*source));
+  EXPECT_TRUE(tensor::allclose(source_out, target->forward(x), 0, 0));
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "qhdl_weights.json")
+          .string();
+  auto source = make_model(4);
+  save_parameters(*source, path);
+
+  auto target = make_model(5);
+  load_parameters(*target, path);
+
+  util::Rng rng{6};
+  const Tensor x = tensor::uniform(Shape{3, 4}, -1, 1, rng);
+  EXPECT_TRUE(
+      tensor::allclose(source->forward(x), target->forward(x), 0, 0));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, HybridModelRoundTrip) {
+  qnn::HybridConfig config;
+  config.features = 5;
+  config.qubits = 2;
+  config.depth = 1;
+  util::Rng rng1{7}, rng2{8};
+  auto source = qnn::build_hybrid_model(config, rng1);
+  auto target = qnn::build_hybrid_model(config, rng2);
+
+  parameters_from_json(*target, parameters_to_json(*source));
+  util::Rng rng{9};
+  const Tensor x = tensor::uniform(Shape{4, 5}, -1, 1, rng);
+  EXPECT_TRUE(
+      tensor::allclose(source->forward(x), target->forward(x), 1e-12, 1e-14));
+}
+
+TEST(Serialize, RejectsMismatchedArchitecture) {
+  auto source = make_model(10);
+  const util::Json snapshot = parameters_to_json(*source);
+
+  util::Rng rng{11};
+  Sequential different;
+  different.emplace<Dense>(4, 5, rng);  // shape differs
+  different.emplace<Dense>(5, 3, rng);
+  EXPECT_THROW(parameters_from_json(different, snapshot),
+               std::invalid_argument);
+
+  Sequential fewer;
+  fewer.emplace<Dense>(4, 3, rng);
+  EXPECT_THROW(parameters_from_json(fewer, snapshot), std::invalid_argument);
+}
+
+TEST(Serialize, RejectsUnknownFormat) {
+  auto model = make_model(12);
+  util::Json bad = util::Json::object();
+  bad["format"] = util::Json{"something-else"};
+  EXPECT_THROW(parameters_from_json(*model, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qhdl::nn

@@ -1,0 +1,35 @@
+#include "nn/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qnn/hybrid_model.hpp"
+
+namespace qhdl::nn {
+namespace {
+
+TEST(Summary, ListsLayersAndTotals) {
+  util::Rng rng{1};
+  qnn::HybridConfig config;
+  config.features = 10;
+  config.qubits = 3;
+  config.depth = 2;
+  config.ansatz = qnn::AnsatzKind::StronglyEntangling;
+  const auto model = qnn::build_hybrid_model(config, rng);
+  const std::string text = summarize(*model);
+
+  EXPECT_NE(text.find("Dense(10 -> 3)"), std::string::npos);
+  EXPECT_NE(text.find("QuantumSEL(q=3, d=2)"), std::string::npos);
+  EXPECT_NE(text.find("sel q=3 d=2"), std::string::npos);
+  EXPECT_NE(text.find("total trainable parameters: " +
+                      std::to_string(model->parameter_count())),
+            std::string::npos);
+}
+
+TEST(Summary, EmptyModel) {
+  Sequential empty;
+  const std::string text = summarize(empty);
+  EXPECT_NE(text.find("total trainable parameters: 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qhdl::nn

@@ -1,0 +1,141 @@
+#include "qnn/amplitude_layer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/dense.hpp"
+#include "nn/sequential.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/init.hpp"
+#include "tensor/ops.hpp"
+#include "test_helpers.hpp"
+
+namespace qhdl::qnn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor nonzero_batch(std::size_t rows, std::size_t cols,
+                     std::uint64_t seed) {
+  util::Rng rng{seed};
+  Tensor x = tensor::uniform(Shape{rows, cols}, 0.3, 1.5, rng);
+  for (std::size_t i = 0; i < x.size(); i += 2) x[i] = -x[i];
+  return x;
+}
+
+TEST(AmplitudeLayer, ShapesAndRange) {
+  util::Rng rng{1};
+  AmplitudeLayerConfig config;
+  config.qubits = 3;
+  AmplitudeQuantumLayer layer{config, rng};
+  EXPECT_EQ(layer.input_width(), 8u);
+  const Tensor x = nonzero_batch(4, 8, 2);
+  const Tensor out = layer.forward(x);
+  EXPECT_EQ(out.shape(), Shape({4, 3}));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_GE(out[i], -1.0 - 1e-12);
+    EXPECT_LE(out[i], 1.0 + 1e-12);
+  }
+}
+
+TEST(AmplitudeLayer, NormalizationInvariance) {
+  // Amplitude encoding is scale-invariant: f(x) == f(3x).
+  util::Rng rng_a{3}, rng_b{3};
+  AmplitudeLayerConfig config;
+  config.qubits = 2;
+  AmplitudeQuantumLayer layer{config, rng_a};
+  AmplitudeQuantumLayer same{config, rng_b};
+  const Tensor x = nonzero_batch(2, 4, 4);
+  const Tensor scaled = tensor::scale(x, 3.0);
+  EXPECT_LT(tensor::max_abs_difference(layer.forward(x),
+                                       same.forward(scaled)),
+            1e-12);
+}
+
+TEST(AmplitudeLayer, RejectsBadInputs) {
+  util::Rng rng{5};
+  AmplitudeLayerConfig config;
+  config.qubits = 2;
+  AmplitudeQuantumLayer layer{config, rng};
+  EXPECT_THROW(layer.forward(Tensor::matrix(1, 3, {1, 2, 3})),
+               std::invalid_argument);
+  EXPECT_THROW(layer.forward(Tensor{Shape{1, 4}}),  // zero-norm row
+               std::invalid_argument);
+  EXPECT_THROW(layer.backward(Tensor{Shape{1, 2}}), std::logic_error);
+}
+
+/// The decisive test: exact gradients through the ansatz AND the
+/// normalization, against central finite differences.
+class AmplitudeGradCheck
+    : public ::testing::TestWithParam<std::tuple<AnsatzKind, std::size_t>> {
+};
+
+TEST_P(AmplitudeGradCheck, MatchesFiniteDifferences) {
+  const auto [ansatz, qubits] = GetParam();
+  util::Rng rng{7};
+  AmplitudeLayerConfig config;
+  config.qubits = qubits;
+  config.depth = 2;
+  config.ansatz = ansatz;
+  AmplitudeQuantumLayer layer{config, rng};
+  const Tensor x = nonzero_batch(2, layer.input_width(), 8);
+  EXPECT_LT(testing::module_input_gradient_error(layer, x, rng), 1e-6);
+  EXPECT_LT(testing::module_parameter_gradient_error(layer, x, rng), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, AmplitudeGradCheck,
+    ::testing::Values(
+        std::make_tuple(AnsatzKind::BasicEntangler, std::size_t{2}),
+        std::make_tuple(AnsatzKind::StronglyEntangling, std::size_t{2}),
+        std::make_tuple(AnsatzKind::StronglyEntangling, std::size_t{3}),
+        std::make_tuple(AnsatzKind::HardwareEfficient, std::size_t{3})));
+
+TEST(AmplitudeLayer, InfoOmitsEncodingGates) {
+  util::Rng rng{9};
+  AmplitudeLayerConfig config;
+  config.qubits = 3;
+  config.depth = 2;
+  config.ansatz = AnsatzKind::StronglyEntangling;
+  AmplitudeQuantumLayer layer{config, rng};
+  const nn::LayerInfo info = layer.info();
+  EXPECT_EQ(info.inputs, 8u);
+  EXPECT_EQ(info.outputs, 3u);
+  EXPECT_EQ(info.encoding_gate_count, 0u);  // data IS the state
+  EXPECT_EQ(info.param_gate_count, 18u);
+  EXPECT_EQ(layer.name(), "AmplitudeQuantumSEL(q=3, d=2)");
+}
+
+TEST(AmplitudeLayer, TrainsInsideHybridModel) {
+  // 8 features -> amplitude-encoded 3-qubit register -> Dense(3 -> 2):
+  // no input compressor at all. Fit a simple sign problem.
+  util::Rng rng{11};
+  nn::Sequential model;
+  AmplitudeLayerConfig config;
+  config.qubits = 3;
+  config.depth = 2;
+  model.emplace<AmplitudeQuantumLayer>(config, rng);
+  model.emplace<nn::Dense>(3, 2, rng);
+
+  const std::size_t n = 80;
+  Tensor x{Shape{n, 8}};
+  std::vector<std::size_t> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.uniform(-1.0, 1.0);
+    for (std::size_t j = 0; j < 8; ++j) {
+      x.at(i, j) = rng.uniform(0.2, 1.0);
+    }
+    x.at(i, 0) = a + (a > 0 ? 0.5 : -0.5);
+    y[i] = a > 0 ? 1 : 0;
+  }
+  nn::Adam optimizer{0.05};
+  nn::TrainConfig train_config;
+  train_config.epochs = 30;
+  train_config.batch_size = 8;
+  const auto history = nn::train_classifier(model, optimizer, x, y, x, y,
+                                            train_config, rng);
+  EXPECT_GE(history.best_train_accuracy, 0.85);
+}
+
+}  // namespace
+}  // namespace qhdl::qnn

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qnn/ansatz.hpp"
+#include "qnn/encoding.hpp"
+
+namespace qhdl::qnn {
+namespace {
+
+using quantum::Circuit;
+using quantum::GateType;
+
+TEST(AngleEncoding, AppendsOneRotationPerQubit) {
+  Circuit c{4};
+  AngleEncoding encoding;
+  const std::size_t consumed = encoding.append(c, 4);
+  EXPECT_EQ(consumed, 4u);
+  EXPECT_EQ(c.op_count(), 4u);
+  EXPECT_EQ(c.parameter_count(), 4u);
+  for (const auto& op : c.ops()) {
+    EXPECT_EQ(op.type, GateType::RX);
+    EXPECT_TRUE(op.param_index.has_value());
+  }
+}
+
+TEST(AngleEncoding, EncodesExpectedState) {
+  Circuit c{1};
+  AngleEncoding encoding;
+  encoding.append(c, 1);
+  // ⟨Z⟩ after RX(x) = cos(x); raw circuit params are raw angles.
+  const auto state = c.execute(std::vector<double>{0.9});
+  EXPECT_NEAR(state.expval_pauli_z(0), std::cos(0.9), 1e-12);
+}
+
+TEST(AngleEncoding, ValidatesArguments) {
+  Circuit c{2};
+  AngleEncoding encoding;
+  EXPECT_THROW(encoding.append(c, 0), std::invalid_argument);
+  EXPECT_THROW(encoding.append(c, 3), std::invalid_argument);
+  AngleEncoding bad;
+  bad.gate = GateType::CNOT;
+  EXPECT_THROW(bad.append(c, 2), std::invalid_argument);
+}
+
+TEST(AngleEncoding, ParamOffsetRespected) {
+  Circuit c{2};
+  AngleEncoding encoding;
+  encoding.append(c, 2, 5);
+  EXPECT_EQ(c.parameter_count(), 7u);  // indices 5, 6 referenced
+}
+
+TEST(Ansatz, Names) {
+  EXPECT_EQ(ansatz_name(AnsatzKind::BasicEntangler), "BEL");
+  EXPECT_EQ(ansatz_name(AnsatzKind::StronglyEntangling), "SEL");
+  EXPECT_EQ(ansatz_from_name("bel"), AnsatzKind::BasicEntangler);
+  EXPECT_EQ(ansatz_from_name("SEL"), AnsatzKind::StronglyEntangling);
+  EXPECT_EQ(ansatz_from_name("StronglyEntangling"),
+            AnsatzKind::StronglyEntangling);
+  EXPECT_THROW(ansatz_from_name("nope"), std::invalid_argument);
+}
+
+TEST(Ansatz, WeightCountsMatchPennyLaneShapes) {
+  // BEL: (depth, qubits); SEL: (depth, qubits, 3).
+  EXPECT_EQ(ansatz_weight_count(AnsatzKind::BasicEntangler, 3, 2), 6u);
+  EXPECT_EQ(ansatz_weight_count(AnsatzKind::StronglyEntangling, 3, 2), 18u);
+  EXPECT_EQ(ansatz_weight_count(AnsatzKind::BasicEntangler, 5, 10), 50u);
+  EXPECT_EQ(ansatz_weight_count(AnsatzKind::StronglyEntangling, 4, 7), 84u);
+}
+
+TEST(Ansatz, OpCounts) {
+  // BEL q=3 d=2: 6 RX + 6 CNOT.
+  const auto bel = ansatz_op_counts(AnsatzKind::BasicEntangler, 3, 2);
+  EXPECT_EQ(bel.rotation_ops, 6u);
+  EXPECT_EQ(bel.entangling_ops, 6u);
+  // SEL q=3 d=2: 18 rotations (Rot = 3 ops) + 6 CNOT.
+  const auto sel = ansatz_op_counts(AnsatzKind::StronglyEntangling, 3, 2);
+  EXPECT_EQ(sel.rotation_ops, 18u);
+  EXPECT_EQ(sel.entangling_ops, 6u);
+  // q=2: single CNOT per layer; q=1: none.
+  EXPECT_EQ(ansatz_op_counts(AnsatzKind::BasicEntangler, 2, 3).entangling_ops,
+            3u);
+  EXPECT_EQ(ansatz_op_counts(AnsatzKind::BasicEntangler, 1, 3).entangling_ops,
+            0u);
+}
+
+TEST(Ansatz, AppendBelStructure) {
+  Circuit c{3};
+  const std::size_t consumed =
+      append_ansatz(c, AnsatzKind::BasicEntangler, 3, 2, 0);
+  EXPECT_EQ(consumed, 6u);
+  EXPECT_EQ(c.op_count(), 12u);  // (3 RX + 3 CNOT) x 2
+  // First three ops are RX on wires 0..2, then a CNOT ring 0->1,1->2,2->0.
+  EXPECT_EQ(c.ops()[0].type, GateType::RX);
+  EXPECT_EQ(c.ops()[3].type, GateType::CNOT);
+  EXPECT_EQ(c.ops()[3].wire0, 0u);
+  EXPECT_EQ(c.ops()[3].wire1, 1u);
+  EXPECT_EQ(c.ops()[5].wire0, 2u);
+  EXPECT_EQ(c.ops()[5].wire1, 0u);
+}
+
+TEST(Ansatz, AppendSelUsesLayerDependentRange) {
+  Circuit c{4};
+  append_ansatz(c, AnsatzKind::StronglyEntangling, 4, 2, 0);
+  // Layer 0: range 1 (CNOT i -> i+1); layer 1: range 2 (CNOT i -> i+2).
+  // Per layer: 12 rotation ops (4 Rot) + 4 CNOTs = 16 ops.
+  const auto& ops = c.ops();
+  ASSERT_EQ(ops.size(), 32u);
+  // First layer's first CNOT is op 12: wires 0 -> 1.
+  EXPECT_EQ(ops[12].type, GateType::CNOT);
+  EXPECT_EQ(ops[12].wire1, 1u);
+  // Second layer's first CNOT is op 28: wires 0 -> 2 (range 2).
+  EXPECT_EQ(ops[28].type, GateType::CNOT);
+  EXPECT_EQ(ops[28].wire1, 2u);
+}
+
+TEST(Ansatz, StatePreservesNorm) {
+  Circuit c{3};
+  AngleEncoding encoding;
+  std::size_t offset = encoding.append(c, 3);
+  append_ansatz(c, AnsatzKind::StronglyEntangling, 3, 4, offset);
+  std::vector<double> params(c.parameter_count());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i] = 0.1 * static_cast<double>(i + 1);
+  }
+  EXPECT_NEAR(c.execute(params).norm_squared(), 1.0, 1e-12);
+}
+
+TEST(Ansatz, ValidatesArguments) {
+  Circuit c{2};
+  EXPECT_THROW(append_ansatz(c, AnsatzKind::BasicEntangler, 0, 1, 0),
+               std::invalid_argument);
+  EXPECT_THROW(append_ansatz(c, AnsatzKind::BasicEntangler, 3, 1, 0),
+               std::invalid_argument);
+  EXPECT_THROW(append_ansatz(c, AnsatzKind::BasicEntangler, 2, 0, 0),
+               std::invalid_argument);
+}
+
+TEST(Ansatz, SingleQubitHasNoEntanglers) {
+  Circuit c{1};
+  append_ansatz(c, AnsatzKind::BasicEntangler, 1, 3, 0);
+  for (const auto& op : c.ops()) EXPECT_EQ(op.type, GateType::RX);
+}
+
+}  // namespace
+}  // namespace qhdl::qnn
+
+namespace qhdl::qnn {
+namespace {
+
+TEST(Ansatz, HardwareEfficientStructure) {
+  quantum::Circuit c{4};
+  const std::size_t consumed =
+      append_ansatz(c, AnsatzKind::HardwareEfficient, 4, 2, 0);
+  EXPECT_EQ(consumed, 8u);  // (depth, qubits) weights
+  // Per layer: 4 RY + 3 CZ (linear chain) = 7 ops.
+  ASSERT_EQ(c.op_count(), 14u);
+  EXPECT_EQ(c.ops()[0].type, quantum::GateType::RY);
+  EXPECT_EQ(c.ops()[4].type, quantum::GateType::CZ);
+  EXPECT_EQ(c.ops()[4].wire0, 0u);
+  EXPECT_EQ(c.ops()[4].wire1, 1u);
+  EXPECT_EQ(c.ops()[6].wire1, 3u);
+}
+
+TEST(Ansatz, HardwareEfficientMetadata) {
+  EXPECT_EQ(ansatz_name(AnsatzKind::HardwareEfficient), "HEA");
+  EXPECT_EQ(ansatz_from_name("hea"), AnsatzKind::HardwareEfficient);
+  EXPECT_EQ(ansatz_weight_count(AnsatzKind::HardwareEfficient, 5, 3), 15u);
+  const auto counts = ansatz_op_counts(AnsatzKind::HardwareEfficient, 4, 2);
+  EXPECT_EQ(counts.rotation_ops, 8u);
+  EXPECT_EQ(counts.entangling_ops, 6u);
+}
+
+TEST(Ansatz, HardwareEfficientSingleQubitHasNoCz) {
+  quantum::Circuit c{1};
+  append_ansatz(c, AnsatzKind::HardwareEfficient, 1, 2, 0);
+  for (const auto& op : c.ops()) {
+    EXPECT_EQ(op.type, quantum::GateType::RY);
+  }
+}
+
+}  // namespace
+}  // namespace qhdl::qnn

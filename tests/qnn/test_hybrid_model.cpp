@@ -1,0 +1,162 @@
+#include "qnn/hybrid_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/trainer.hpp"
+#include "tensor/init.hpp"
+#include "test_helpers.hpp"
+
+namespace qhdl::qnn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(HybridModel, TopologyMatchesPaper) {
+  util::Rng rng{1};
+  HybridConfig config;
+  config.features = 10;
+  config.qubits = 3;
+  config.depth = 2;
+  config.ansatz = AnsatzKind::StronglyEntangling;
+  const auto model = build_hybrid_model(config, rng);
+
+  // Dense(F->q), Tanh, Quantum, Dense(q->classes).
+  ASSERT_EQ(model->layer_count(), 4u);
+  const auto infos = model->layer_infos();
+  EXPECT_EQ(infos[0].kind, "dense");
+  EXPECT_EQ(infos[0].inputs, 10u);
+  EXPECT_EQ(infos[0].outputs, 3u);
+  EXPECT_EQ(infos[1].kind, "tanh");
+  EXPECT_EQ(infos[2].kind, "quantum");
+  EXPECT_EQ(infos[3].kind, "dense");
+  EXPECT_EQ(infos[3].outputs, 3u);
+}
+
+TEST(HybridModel, ParameterCountFormula) {
+  util::Rng rng{2};
+  HybridConfig config;
+  config.features = 10;
+  config.qubits = 3;
+  config.depth = 2;
+  config.ansatz = AnsatzKind::BasicEntangler;
+  const auto model = build_hybrid_model(config, rng);
+  // (10*3+3) input + 6 quantum + (3*3+3) output = 33 + 6 + 12 = 51.
+  EXPECT_EQ(model->parameter_count(), 51u);
+  EXPECT_EQ(hybrid_parameter_count(config), 51u);
+}
+
+TEST(HybridModel, SelParameterCount) {
+  HybridConfig config;
+  config.features = 40;
+  config.qubits = 3;
+  config.depth = 2;
+  config.ansatz = AnsatzKind::StronglyEntangling;
+  // (40*3+3) + 18 + (3*3+3) = 123 + 18 + 12 = 153.
+  EXPECT_EQ(hybrid_parameter_count(config), 153u);
+}
+
+TEST(HybridModel, ForwardProducesLogits) {
+  util::Rng rng{3};
+  HybridConfig config;
+  config.features = 6;
+  const auto model = build_hybrid_model(config, rng);
+  const Tensor x = tensor::uniform(Shape{5, 6}, -1.0, 1.0, rng);
+  const Tensor logits = model->forward(x);
+  EXPECT_EQ(logits.shape(), Shape({5, 3}));
+}
+
+TEST(HybridModel, EndToEndGradcheck) {
+  util::Rng rng{4};
+  HybridConfig config;
+  config.features = 4;
+  config.qubits = 2;
+  config.depth = 1;
+  config.ansatz = AnsatzKind::StronglyEntangling;
+  const auto model = build_hybrid_model(config, rng);
+  const Tensor x = tensor::uniform(Shape{2, 4}, -1.0, 1.0, rng);
+  EXPECT_LT(testing::module_input_gradient_error(*model, x, rng), 1e-6);
+  EXPECT_LT(testing::module_parameter_gradient_error(*model, x, rng), 1e-6);
+}
+
+TEST(HybridModel, ValidatesConfig) {
+  util::Rng rng{5};
+  HybridConfig config;
+  config.features = 0;
+  EXPECT_THROW(build_hybrid_model(config, rng), std::invalid_argument);
+}
+
+TEST(ClassicalModel, TopologyAndParameterCount) {
+  util::Rng rng{6};
+  ClassicalConfig config;
+  config.features = 10;
+  config.hidden = {8, 4};
+  config.classes = 3;
+  const auto model = build_classical_model(config, rng);
+  // Dense+act per hidden layer + output dense = 5 layers.
+  EXPECT_EQ(model->layer_count(), 5u);
+  // (10*8+8) + (8*4+4) + (4*3+3) = 88 + 36 + 15 = 139.
+  EXPECT_EQ(model->parameter_count(), 139u);
+  EXPECT_EQ(classical_parameter_count(config), 139u);
+}
+
+TEST(ClassicalModel, ReluActivationOption) {
+  util::Rng rng{7};
+  ClassicalConfig config;
+  config.features = 4;
+  config.hidden = {5};
+  config.activation = Activation::ReLU;
+  const auto model = build_classical_model(config, rng);
+  EXPECT_EQ(model->layer_infos()[1].kind, "relu");
+}
+
+TEST(ClassicalModel, NoHiddenLayersIsLogisticRegression) {
+  util::Rng rng{8};
+  ClassicalConfig config;
+  config.features = 4;
+  config.hidden = {};
+  const auto model = build_classical_model(config, rng);
+  EXPECT_EQ(model->layer_count(), 1u);
+  EXPECT_EQ(model->parameter_count(), 4u * 3 + 3);
+}
+
+TEST(ClassicalModel, ZeroWidthLayerThrows) {
+  util::Rng rng{9};
+  ClassicalConfig config;
+  config.hidden = {4, 0};
+  EXPECT_THROW(build_classical_model(config, rng), std::invalid_argument);
+}
+
+TEST(HybridModel, TrainsOnTinySeparableProblem) {
+  // Smoke test that gradients flow end-to-end: a hybrid model should fit a
+  // 2-feature, 2-class linearly separable problem quickly.
+  util::Rng rng{10};
+  HybridConfig config;
+  config.features = 2;
+  config.qubits = 2;
+  config.depth = 1;
+  config.ansatz = AnsatzKind::StronglyEntangling;
+  config.classes = 2;
+  const auto model = build_hybrid_model(config, rng);
+
+  const std::size_t n = 60;
+  Tensor x{Shape{n, 2}};
+  std::vector<std::size_t> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x0 = rng.uniform(-1.0, 1.0);
+    x.at(i, 0) = x0 + (x0 > 0 ? 0.4 : -0.4);
+    x.at(i, 1) = rng.uniform(-1.0, 1.0);
+    y[i] = x0 > 0 ? 1 : 0;
+  }
+
+  nn::Adam optimizer{0.05};
+  nn::TrainConfig train_config;
+  train_config.epochs = 25;
+  train_config.batch_size = 8;
+  const auto history = nn::train_classifier(*model, optimizer, x, y, x, y,
+                                            train_config, rng);
+  EXPECT_GE(history.best_train_accuracy, 0.9);
+}
+
+}  // namespace
+}  // namespace qhdl::qnn

@@ -1,0 +1,182 @@
+#include "qnn/quantum_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/kernel_ridge.hpp"
+#include "tensor/init.hpp"
+#include "tensor/linalg.hpp"
+#include "util/rng.hpp"
+
+namespace qhdl::qnn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor random_rows(std::size_t n, std::size_t f, std::uint64_t seed) {
+  util::Rng rng{seed};
+  return tensor::uniform(Shape{n, f}, -1.0, 1.0, rng);
+}
+
+TEST(QuantumKernel, SelfKernelIsOne) {
+  QuantumKernelConfig config;
+  const std::vector<double> x{0.3, -0.7, 1.1};
+  EXPECT_NEAR(kernel_value(config, x, x), 1.0, 1e-12);
+}
+
+TEST(QuantumKernel, SymmetricAndBounded) {
+  QuantumKernelConfig config;
+  util::Rng rng{1};
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto x1 = rng.uniform_vector(4, -2.0, 2.0);
+    const auto x2 = rng.uniform_vector(4, -2.0, 2.0);
+    const double k12 = kernel_value(config, x1, x2);
+    const double k21 = kernel_value(config, x2, x1);
+    EXPECT_NEAR(k12, k21, 1e-12);
+    EXPECT_GE(k12, 0.0);
+    EXPECT_LE(k12, 1.0 + 1e-12);
+  }
+}
+
+TEST(QuantumKernel, AngleMapFactorizes) {
+  // Product feature map: k(x,x') = Π cos²((x_i − x'_i)/2).
+  QuantumKernelConfig config;
+  config.map = FeatureMapKind::Angle;
+  const std::vector<double> x1{0.4, -0.6};
+  const std::vector<double> x2{1.0, 0.2};
+  double expected = 1.0;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const double c = std::cos((x1[i] - x2[i]) / 2.0);
+    expected *= c * c;
+  }
+  EXPECT_NEAR(kernel_value(config, x1, x2), expected, 1e-12);
+}
+
+TEST(QuantumKernel, ZzMapDoesNotFactorize) {
+  // With entanglement the product formula must fail for generic inputs.
+  QuantumKernelConfig config;
+  config.map = FeatureMapKind::ZZ;
+  const std::vector<double> x1{0.9, -1.3};
+  const std::vector<double> x2{-0.5, 0.7};
+  double product_formula = 1.0;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const double c = std::cos((x1[i] - x2[i]) / 2.0);
+    product_formula *= c * c;
+  }
+  EXPECT_GT(std::abs(kernel_value(config, x1, x2) - product_formula), 1e-3);
+}
+
+TEST(QuantumKernel, GramMatrixIsPsd) {
+  QuantumKernelConfig config;
+  const Tensor x = random_rows(12, 3, 2);
+  const Tensor k = kernel_matrix(config, x);
+  EXPECT_EQ(k.shape(), Shape({12, 12}));
+  EXPECT_LT(tensor::symmetry_error(k), 1e-12);
+  for (std::size_t i = 0; i < 12; ++i) EXPECT_NEAR(k.at(i, i), 1.0, 1e-12);
+  EXPECT_NO_THROW(tensor::cholesky(k, 1e-9));  // PSD up to jitter
+}
+
+TEST(QuantumKernel, CrossKernelMatchesPairwise) {
+  QuantumKernelConfig config;
+  const Tensor a = random_rows(3, 3, 3);
+  const Tensor b = random_rows(4, 3, 4);
+  const Tensor k = cross_kernel_matrix(config, a, b);
+  EXPECT_EQ(k.shape(), Shape({3, 4}));
+  std::vector<double> row_a(3), row_b(3);
+  for (std::size_t j = 0; j < 3; ++j) row_a[j] = a.at(1, j);
+  for (std::size_t j = 0; j < 3; ++j) row_b[j] = b.at(2, j);
+  EXPECT_NEAR(k.at(1, 2), kernel_value(config, row_a, row_b), 1e-12);
+}
+
+TEST(QuantumKernel, ValidatesInputs) {
+  QuantumKernelConfig config;
+  EXPECT_THROW(feature_state(config, std::vector<double>{}),
+               std::invalid_argument);
+  EXPECT_THROW(kernel_value(config, std::vector<double>{1.0},
+                            std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(RbfKernel, KnownValuesAndBounds) {
+  const Tensor x = Tensor::matrix(2, 1, {0.0, 1.0});
+  const Tensor k = rbf_kernel_matrix(x, 0.5);
+  EXPECT_DOUBLE_EQ(k.at(0, 0), 1.0);
+  EXPECT_NEAR(k.at(0, 1), std::exp(-0.5), 1e-12);
+  const Tensor cross = rbf_cross_kernel_matrix(x, x, 0.5);
+  EXPECT_NEAR(cross.at(1, 0), std::exp(-0.5), 1e-12);
+}
+
+TEST(KernelRidge, LearnsXorWithZzKernelButNotLinearly) {
+  // XOR labels on 2 features: the entangling kernel separates them.
+  Tensor x{Shape{40, 2}};
+  std::vector<std::size_t> y(40);
+  util::Rng rng{5};
+  for (std::size_t i = 0; i < 40; ++i) {
+    const double a = rng.uniform(-1.0, 1.0);
+    const double b = rng.uniform(-1.0, 1.0);
+    x.at(i, 0) = a + (a > 0 ? 0.3 : -0.3);
+    x.at(i, 1) = b + (b > 0 ? 0.3 : -0.3);
+    y[i] = (a > 0) != (b > 0) ? 1 : 0;
+  }
+  QuantumKernelConfig config;
+  config.scale = 1.5;
+  const Tensor gram = kernel_matrix(config, x);
+  nn::KernelRidgeClassifier classifier{1e-3};
+  classifier.fit(gram, y, 2);
+  EXPECT_GE(classifier.score(gram, y), 0.9);  // training accuracy
+}
+
+TEST(KernelRidge, GeneralizesOnHeldOutData) {
+  Tensor x_train{Shape{60, 2}}, x_test{Shape{30, 2}};
+  std::vector<std::size_t> y_train(60), y_test(30);
+  util::Rng rng{6};
+  const auto fill = [&](Tensor& x, std::vector<std::size_t>& y) {
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      const double a = rng.uniform(-1.0, 1.0);
+      x.at(i, 0) = a + (a > 0 ? 0.4 : -0.4);
+      x.at(i, 1) = rng.uniform(-1.0, 1.0);
+      y[i] = a > 0 ? 1 : 0;
+    }
+  };
+  fill(x_train, y_train);
+  fill(x_test, y_test);
+
+  QuantumKernelConfig config;
+  nn::KernelRidgeClassifier classifier{1e-3};
+  classifier.fit(kernel_matrix(config, x_train), y_train, 2);
+  const Tensor cross = cross_kernel_matrix(config, x_test, x_train);
+  EXPECT_GE(classifier.score(cross, y_test), 0.85);
+}
+
+TEST(KernelRidge, ValidatesUsage) {
+  nn::KernelRidgeClassifier classifier{1e-3};
+  EXPECT_THROW(nn::KernelRidgeClassifier{0.0}, std::invalid_argument);
+  EXPECT_THROW(classifier.predict(Tensor{Shape{1, 1}}), std::logic_error);
+
+  const Tensor gram = Tensor::identity(3);
+  const std::vector<std::size_t> bad_labels{0, 1};
+  EXPECT_THROW(classifier.fit(gram, bad_labels, 2), std::invalid_argument);
+  const std::vector<std::size_t> out_of_range{0, 1, 5};
+  EXPECT_THROW(classifier.fit(gram, out_of_range, 2), std::out_of_range);
+
+  const std::vector<std::size_t> labels{0, 1, 0};
+  classifier.fit(gram, labels, 2);
+  EXPECT_TRUE(classifier.is_fitted());
+  EXPECT_THROW(classifier.decision_function(Tensor{Shape{1, 2}}),
+               std::invalid_argument);
+}
+
+TEST(KernelRidge, PerfectKernelRecoversLabels) {
+  // Identity Gram = orthonormal features: training predictions recover the
+  // one-vs-rest targets exactly.
+  const Tensor gram = Tensor::identity(4);
+  const std::vector<std::size_t> labels{0, 1, 2, 1};
+  nn::KernelRidgeClassifier classifier{1e-9};
+  classifier.fit(gram, labels, 3);
+  EXPECT_DOUBLE_EQ(classifier.score(gram, labels), 1.0);
+}
+
+}  // namespace
+}  // namespace qhdl::qnn

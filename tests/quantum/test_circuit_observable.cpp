@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "quantum/circuit.hpp"
+#include "quantum/observable.hpp"
+
+namespace qhdl::quantum {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+TEST(Circuit, BuildAndCount) {
+  Circuit c{3};
+  c.gate(GateType::Hadamard, 0)
+      .parameterized_gate(GateType::RX, 0, 1)
+      .gate(GateType::CNOT, 0, 2)
+      .parameterized_gate(GateType::RZ, 1, 2);
+  EXPECT_EQ(c.op_count(), 4u);
+  EXPECT_EQ(c.parameter_count(), 2u);
+  EXPECT_EQ(c.parameterized_op_count(), 2u);
+}
+
+TEST(Circuit, ValidatesWires) {
+  Circuit c{2};
+  EXPECT_THROW(c.gate(GateType::Hadamard, 2), std::out_of_range);
+  EXPECT_THROW(c.gate(GateType::CNOT, 0, 0), std::invalid_argument);
+  EXPECT_THROW(c.gate(GateType::CNOT, 0), std::invalid_argument);
+  EXPECT_THROW(c.gate(GateType::Hadamard, 0, 1), std::invalid_argument);
+  EXPECT_THROW(c.parameterized_gate(GateType::CNOT, 0, 0, 1),
+               std::invalid_argument);
+}
+
+TEST(Circuit, ZeroQubitsThrows) {
+  EXPECT_THROW(Circuit{0}, std::invalid_argument);
+}
+
+TEST(Circuit, ExecuteAppliesOpsInOrder) {
+  Circuit c{1};
+  c.parameterized_gate(GateType::RX, 0, 0);
+  const std::vector<double> params{1.234};
+  const StateVector state = c.execute(params);
+  EXPECT_NEAR(state.expval_pauli_z(0), std::cos(1.234), kTol);
+}
+
+TEST(Circuit, FixedAngleGates) {
+  Circuit c{1};
+  c.gate(GateType::RX, 0, SIZE_MAX, 0.6);
+  const StateVector state = c.execute(std::vector<double>{});
+  EXPECT_NEAR(state.expval_pauli_z(0), std::cos(0.6), kTol);
+}
+
+TEST(Circuit, RunValidatesParamCountAndState) {
+  Circuit c{2};
+  c.parameterized_gate(GateType::RX, 1, 0);  // needs params[0..1]
+  StateVector state{2};
+  EXPECT_THROW(c.run(state, std::vector<double>{0.1}),
+               std::invalid_argument);
+  StateVector wrong{3};
+  EXPECT_THROW(c.run(wrong, std::vector<double>{0.1, 0.2}),
+               std::invalid_argument);
+}
+
+TEST(Circuit, RotDecomposition) {
+  // Rot(φ,θ,ω) acting on |0⟩: ⟨Z⟩ depends only on θ.
+  Circuit c{1};
+  c.rot(0, 0);
+  EXPECT_EQ(c.parameter_count(), 3u);
+  const std::vector<double> params{0.3, 1.1, -0.7};
+  const StateVector state = c.execute(params);
+  EXPECT_NEAR(state.expval_pauli_z(0), std::cos(1.1), kTol);
+}
+
+TEST(Circuit, SharedParameterIndex) {
+  // Two RX gates sharing one parameter compose: RX(θ)RX(θ) = RX(2θ).
+  Circuit c{1};
+  c.parameterized_gate(GateType::RX, 0, 0);
+  c.parameterized_gate(GateType::RX, 0, 0);
+  const std::vector<double> params{0.4};
+  const StateVector state = c.execute(params);
+  EXPECT_NEAR(state.expval_pauli_z(0), std::cos(0.8), kTol);
+}
+
+TEST(Circuit, ToStringMentionsOps) {
+  Circuit c{2};
+  c.parameterized_gate(GateType::RX, 0, 0).gate(GateType::CNOT, 0, 1);
+  const std::string s = c.to_string();
+  EXPECT_NE(s.find("RX(p0) q0"), std::string::npos);
+  EXPECT_NE(s.find("CNOT q0,q1"), std::string::npos);
+}
+
+TEST(Observable, PauliZExpectations) {
+  const Observable z0 = Observable::pauli_z(0);
+  StateVector state{2};
+  EXPECT_NEAR(z0.expectation(state), 1.0, kTol);
+  state.apply_single_qubit(gates::pauli_x(), 0);
+  EXPECT_NEAR(z0.expectation(state), -1.0, kTol);
+}
+
+TEST(Observable, WeightedZSum) {
+  const std::vector<double> weights{0.5, -2.0};
+  const std::vector<std::size_t> wires{0, 1};
+  const Observable obs = Observable::weighted_z_sum(weights, wires);
+  StateVector state{2};  // |00⟩: 0.5*1 + (-2)*1 = -1.5
+  EXPECT_NEAR(obs.expectation(state), -1.5, kTol);
+  state.apply_single_qubit(gates::pauli_x(), 1);  // |01⟩: 0.5 + 2 = 2.5
+  EXPECT_NEAR(obs.expectation(state), 2.5, kTol);
+}
+
+TEST(Observable, WeightedZSumSizeMismatchThrows) {
+  const std::vector<double> weights{1.0};
+  const std::vector<std::size_t> wires{0, 1};
+  EXPECT_THROW(Observable::weighted_z_sum(weights, wires),
+               std::invalid_argument);
+}
+
+TEST(Observable, PauliXExpectation) {
+  // ⟨+|X|+⟩ = 1.
+  Observable x{PauliWord{{Pauli::X}, {0}}};
+  StateVector state{1};
+  state.apply_single_qubit(gates::hadamard(), 0);
+  EXPECT_NEAR(x.expectation(state), 1.0, kTol);
+  EXPECT_FALSE(x.is_diagonal());
+}
+
+TEST(Observable, PauliYExpectation) {
+  // RX(-π/2)|0⟩ = (|0⟩ + i|1⟩)/√2, the +1 eigenstate of Y.
+  Observable y{PauliWord{{Pauli::Y}, {0}}};
+  StateVector state{1};
+  state.apply_single_qubit(gates::rx(-std::numbers::pi / 2.0), 0);
+  EXPECT_NEAR(y.expectation(state), 1.0, kTol);
+}
+
+TEST(Observable, TwoQubitWordZZ) {
+  // Bell state (|00⟩+|11⟩)/√2 has ⟨Z⊗Z⟩ = 1 and ⟨Z_0⟩ = 0.
+  Observable zz{PauliWord{{Pauli::Z, Pauli::Z}, {0, 1}}};
+  StateVector state{2};
+  state.apply_single_qubit(gates::hadamard(), 0);
+  state.apply_cnot(0, 1);
+  EXPECT_NEAR(zz.expectation(state), 1.0, kTol);
+  EXPECT_NEAR(Observable::pauli_z(0).expectation(state), 0.0, kTol);
+  EXPECT_TRUE(zz.is_diagonal());
+}
+
+TEST(Observable, ApplyMatchesExpectation) {
+  // ⟨ψ|O|ψ⟩ computed via apply + inner product must match expectation().
+  Observable obs;
+  obs.add_term(0.7, PauliWord{{Pauli::Z}, {0}});
+  obs.add_term(-0.4, PauliWord{{Pauli::X, Pauli::Z}, {1, 2}});
+  StateVector state{3};
+  state.apply_single_qubit(gates::ry(0.9), 0);
+  state.apply_single_qubit(gates::hadamard(), 1);
+  state.apply_cnot(1, 2);
+
+  StateVector out{3};
+  obs.apply(state, out);
+  EXPECT_NEAR(state.inner_product(out).real(), obs.expectation(state), kTol);
+}
+
+TEST(Observable, IdentityWordActsAsIdentity) {
+  Observable id{PauliWord::identity()};
+  StateVector state{2};
+  state.apply_single_qubit(gates::ry(1.3), 0);
+  EXPECT_NEAR(id.expectation(state), 1.0, kTol);  // ⟨ψ|ψ⟩ = 1
+}
+
+TEST(Observable, MalformedWordThrows) {
+  Observable obs;
+  PauliWord bad;
+  bad.factors = {Pauli::Z};
+  bad.wires = {};  // length mismatch
+  EXPECT_THROW(obs.add_term(1.0, bad), std::invalid_argument);
+}
+
+TEST(Observable, ToStringRendersTerms) {
+  Observable obs;
+  obs.add_term(0.5, PauliWord::z(1));
+  EXPECT_NE(obs.to_string().find("Z1"), std::string::npos);
+  EXPECT_EQ(Observable{}.to_string(), "0");
+}
+
+}  // namespace
+}  // namespace qhdl::quantum

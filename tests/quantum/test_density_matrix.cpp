@@ -1,0 +1,239 @@
+#include "quantum/density_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quantum/channels.hpp"
+#include "util/rng.hpp"
+
+namespace qhdl::quantum {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+TEST(DensityMatrix, InitializesPureGroundState) {
+  const DensityMatrix rho{2};
+  EXPECT_EQ(rho.dimension(), 4u);
+  EXPECT_NEAR(rho.trace().real(), 1.0, kTol);
+  EXPECT_NEAR(rho.purity(), 1.0, kTol);
+  EXPECT_NEAR(rho.at(0, 0).real(), 1.0, kTol);
+}
+
+TEST(DensityMatrix, RejectsBadSizes) {
+  EXPECT_THROW(DensityMatrix{0}, std::invalid_argument);
+  EXPECT_THROW(DensityMatrix{20}, std::invalid_argument);
+}
+
+TEST(DensityMatrix, FromStatevectorMatchesExpectations) {
+  StateVector psi{2};
+  psi.apply_single_qubit(gates::ry(0.8), 0);
+  psi.apply_cnot(0, 1);
+  const DensityMatrix rho = DensityMatrix::from_statevector(psi);
+  EXPECT_NEAR(rho.trace().real(), 1.0, kTol);
+  EXPECT_NEAR(rho.purity(), 1.0, kTol);
+  EXPECT_NEAR(rho.expval_pauli_z(0), psi.expval_pauli_z(0), kTol);
+  EXPECT_NEAR(rho.expval_pauli_z(1), psi.expval_pauli_z(1), kTol);
+}
+
+TEST(DensityMatrix, MaximallyMixed) {
+  const DensityMatrix rho = DensityMatrix::maximally_mixed(2);
+  EXPECT_NEAR(rho.trace().real(), 1.0, kTol);
+  EXPECT_NEAR(rho.purity(), 0.25, kTol);
+  EXPECT_NEAR(rho.expval_pauli_z(0), 0.0, kTol);
+}
+
+TEST(DensityMatrix, UnitaryEvolutionMatchesStatevector) {
+  // Apply the same circuit to both representations; all ⟨Z⟩ must agree.
+  StateVector psi{3};
+  DensityMatrix rho{3};
+  const auto apply_both = [&](auto&& fn) {
+    fn(psi);
+    // Mirror on rho via the dedicated methods below.
+  };
+  (void)apply_both;
+
+  psi.apply_single_qubit(gates::hadamard(), 0);
+  rho.apply_single_qubit(gates::hadamard(), 0);
+  psi.apply_single_qubit(gates::rx(0.7), 1);
+  rho.apply_single_qubit(gates::rx(0.7), 1);
+  psi.apply_cnot(0, 2);
+  rho.apply_cnot(0, 2);
+  psi.apply_cz(1, 2);
+  rho.apply_cz(1, 2);
+  psi.apply_single_qubit(gates::ry(-1.1), 2);
+  rho.apply_single_qubit(gates::ry(-1.1), 2);
+
+  for (std::size_t w = 0; w < 3; ++w) {
+    EXPECT_NEAR(rho.expval_pauli_z(w), psi.expval_pauli_z(w), 1e-11)
+        << "wire " << w;
+  }
+  EXPECT_NEAR(rho.purity(), 1.0, 1e-11);
+  EXPECT_LT(rho.hermiticity_error(), 1e-12);
+}
+
+TEST(DensityMatrix, ControlledRotationMatchesStatevector) {
+  StateVector psi{2};
+  DensityMatrix rho{2};
+  psi.apply_single_qubit(gates::hadamard(), 0);
+  rho.apply_single_qubit(gates::hadamard(), 0);
+  psi.apply_controlled(gates::rx(0.9), 0, 1);
+  rho.apply_controlled(gates::rx(0.9), 0, 1);
+  EXPECT_NEAR(rho.expval_pauli_z(1), psi.expval_pauli_z(1), 1e-12);
+}
+
+TEST(DensityMatrix, ChannelsAreTracePreserving) {
+  for (const auto& channel :
+       {channels::depolarizing(0.2), channels::amplitude_damping(0.3),
+        channels::phase_damping(0.4), channels::bit_flip(0.1),
+        channels::phase_flip(0.25)}) {
+    EXPECT_TRUE(channel.is_trace_preserving()) << channel.name;
+  }
+}
+
+TEST(DensityMatrix, ChannelProbabilityValidated) {
+  EXPECT_THROW(channels::depolarizing(-0.1), std::invalid_argument);
+  EXPECT_THROW(channels::bit_flip(1.5), std::invalid_argument);
+}
+
+TEST(DensityMatrix, DepolarizingShrinksBlochVector) {
+  // |+⟩ under depolarizing(p): ⟨X⟩ shrinks by (1 - 4p/3).
+  DensityMatrix rho{1};
+  rho.apply_single_qubit(gates::hadamard(), 0);
+  const double p = 0.3;
+  rho.apply_channel(channels::depolarizing(p), 0);
+  EXPECT_NEAR(rho.trace().real(), 1.0, kTol);
+  // ⟨X⟩ = 2 Re(ρ01).
+  EXPECT_NEAR(2.0 * rho.at(0, 1).real(), 1.0 - 4.0 * p / 3.0, 1e-12);
+  EXPECT_LT(rho.purity(), 1.0);
+}
+
+TEST(DensityMatrix, FullDepolarizingGivesMaximallyMixed) {
+  DensityMatrix rho{1};
+  rho.apply_single_qubit(gates::ry(0.7), 0);
+  rho.apply_channel(channels::depolarizing(0.75), 0);
+  // p = 3/4 is the fully-depolarizing point for this Kraus parameterization.
+  EXPECT_NEAR(rho.at(0, 0).real(), 0.5, 1e-12);
+  EXPECT_NEAR(rho.expval_pauli_z(0), 0.0, 1e-12);
+}
+
+TEST(DensityMatrix, AmplitudeDampingDecaysExcitedState) {
+  DensityMatrix rho{1};
+  rho.apply_single_qubit(gates::pauli_x(), 0);  // |1⟩
+  rho.apply_channel(channels::amplitude_damping(0.4), 0);
+  // P(1) = 1 - γ.
+  EXPECT_NEAR(rho.probabilities()[1], 0.6, 1e-12);
+  EXPECT_NEAR(rho.expval_pauli_z(0), 2.0 * 0.4 - 1.0 + 2.0 * 0.0, 1e-9);
+}
+
+TEST(DensityMatrix, PhaseDampingKillsCoherenceOnly) {
+  DensityMatrix rho{1};
+  rho.apply_single_qubit(gates::hadamard(), 0);
+  const auto probs_before = rho.probabilities();
+  rho.apply_channel(channels::phase_damping(0.5), 0);
+  const auto probs_after = rho.probabilities();
+  EXPECT_NEAR(probs_after[0], probs_before[0], 1e-12);  // populations kept
+  EXPECT_LT(std::abs(rho.at(0, 1)), 0.5);               // coherence reduced
+}
+
+TEST(DensityMatrix, ReducedSingleQubitOfBellIsMixed) {
+  StateVector bell{2};
+  bell.apply_single_qubit(gates::hadamard(), 0);
+  bell.apply_cnot(0, 1);
+  const DensityMatrix rho = DensityMatrix::from_statevector(bell);
+  const Mat2 reduced = rho.reduced_single_qubit(0);
+  EXPECT_NEAR(reduced.m00.real(), 0.5, kTol);
+  EXPECT_NEAR(reduced.m11.real(), 0.5, kTol);
+  EXPECT_NEAR(std::abs(reduced.m01), 0.0, kTol);
+
+  // Statevector fast path agrees.
+  const Mat2 direct = reduced_single_qubit(bell, 0);
+  EXPECT_NEAR(std::abs(direct.m00 - reduced.m00), 0.0, kTol);
+  EXPECT_NEAR(std::abs(direct.m01 - reduced.m01), 0.0, kTol);
+}
+
+TEST(DensityMatrix, ReducedOfProductStateIsPure) {
+  StateVector psi{2};
+  psi.apply_single_qubit(gates::ry(0.9), 0);  // product state
+  const Mat2 rho0 = reduced_single_qubit(psi, 0);
+  const double purity = std::norm(rho0.m00) + std::norm(rho0.m01) +
+                        std::norm(rho0.m10) + std::norm(rho0.m11);
+  EXPECT_NEAR(purity, 1.0, kTol);
+}
+
+TEST(NoisyExecution, NoiselessMatchesStatevector) {
+  Circuit circuit{2};
+  circuit.parameterized_gate(GateType::RY, 0, 0);
+  circuit.gate(GateType::CNOT, 0, 1);
+  const std::vector<double> params{0.8};
+
+  const auto noiseless = noisy_expvals(circuit, params,
+                                       NoiseModel::noiseless(),
+                                       std::vector<std::size_t>{0, 1});
+  const StateVector psi = circuit.execute(params);
+  EXPECT_NEAR(noiseless[0], psi.expval_pauli_z(0), 1e-12);
+  EXPECT_NEAR(noiseless[1], psi.expval_pauli_z(1), 1e-12);
+}
+
+TEST(NoisyExecution, DepolarizingDampsExpectations) {
+  Circuit circuit{2};
+  circuit.parameterized_gate(GateType::RY, 0, 0);
+  circuit.gate(GateType::CNOT, 0, 1);
+  const std::vector<double> params{0.8};
+  const std::vector<std::size_t> wires{0, 1};
+
+  const auto clean =
+      noisy_expvals(circuit, params, NoiseModel::noiseless(), wires);
+  const auto noisy =
+      noisy_expvals(circuit, params, NoiseModel::depolarizing(0.05), wires);
+  for (std::size_t w = 0; w < 2; ++w) {
+    EXPECT_LT(std::abs(noisy[w]), std::abs(clean[w]) + 1e-12) << "wire " << w;
+  }
+}
+
+TEST(NoisyExecution, ParameterShiftMatchesFiniteDifferenceUnderNoise) {
+  Circuit circuit{2};
+  circuit.parameterized_gate(GateType::RY, 0, 0);
+  circuit.gate(GateType::CNOT, 0, 1);
+  circuit.parameterized_gate(GateType::RX, 1, 1);
+  std::vector<double> params{0.7, -0.4};
+  const NoiseModel noise = NoiseModel::depolarizing(0.03);
+
+  const auto analytic =
+      noisy_parameter_shift_gradient(circuit, params, noise, 1);
+
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const double eps = 1e-6;
+    const double saved = params[i];
+    params[i] = saved + eps;
+    const double plus = noisy_expvals(circuit, params, noise,
+                                      std::vector<std::size_t>{1})[0];
+    params[i] = saved - eps;
+    const double minus = noisy_expvals(circuit, params, noise,
+                                       std::vector<std::size_t>{1})[0];
+    params[i] = saved;
+    EXPECT_NEAR(analytic[i], (plus - minus) / (2 * eps), 1e-7)
+        << "param " << i;
+  }
+}
+
+TEST(NoisyExecution, TraceStaysOneThroughDeepNoisyCircuit) {
+  Circuit circuit{3};
+  for (std::size_t p = 0; p < 6; ++p) {
+    circuit.parameterized_gate(GateType::RX, p, p % 3);
+  }
+  circuit.gate(GateType::CNOT, 0, 1).gate(GateType::CNOT, 1, 2);
+  util::Rng rng{5};
+  const auto params = rng.uniform_vector(6, -3.0, 3.0);
+
+  NoiseModel noise;
+  noise.per_gate_channels.push_back(channels::amplitude_damping(0.02));
+  noise.per_gate_channels.push_back(channels::phase_damping(0.01));
+  const DensityMatrix rho = run_noisy(circuit, params, noise);
+  EXPECT_NEAR(rho.trace().real(), 1.0, 1e-9);
+  EXPECT_LE(rho.purity(), 1.0 + 1e-9);
+  EXPECT_LT(rho.hermiticity_error(), 1e-10);
+}
+
+}  // namespace
+}  // namespace qhdl::quantum

@@ -1,0 +1,84 @@
+#include "quantum/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_helpers.hpp"
+
+namespace qhdl::quantum {
+namespace {
+
+Executor make_executor(DiffMethod method) {
+  Circuit c{2};
+  c.parameterized_gate(GateType::RY, 0, 0);
+  c.gate(GateType::CNOT, 0, 1);
+  c.parameterized_gate(GateType::RX, 1, 1);
+  std::vector<Observable> observables{Observable::pauli_z(0),
+                                      Observable::pauli_z(1)};
+  return Executor{std::move(c), std::move(observables), method};
+}
+
+TEST(Executor, RunReturnsPerObservableExpectations) {
+  const Executor ex = make_executor(DiffMethod::Adjoint);
+  const std::vector<double> params{0.4, -0.9};
+  const auto expectations = ex.run(params);
+  ASSERT_EQ(expectations.size(), 2u);
+  EXPECT_NEAR(expectations[0], std::cos(0.4), 1e-12);
+}
+
+TEST(Executor, RequiresObservables) {
+  Circuit c{1};
+  EXPECT_THROW(Executor(std::move(c), {}), std::invalid_argument);
+}
+
+TEST(Executor, AdjointAndShiftAgreeOnVjp) {
+  const Executor adjoint = make_executor(DiffMethod::Adjoint);
+  const Executor shift = make_executor(DiffMethod::ParameterShift);
+  const std::vector<double> params{0.8, 1.7};
+  const std::vector<double> upstream{0.6, -0.3};
+
+  const auto a = adjoint.run_with_vjp(params, upstream);
+  const auto s = shift.run_with_vjp(params, upstream);
+
+  ASSERT_EQ(a.gradient.size(), s.gradient.size());
+  for (std::size_t i = 0; i < a.gradient.size(); ++i) {
+    EXPECT_NEAR(a.gradient[i], s.gradient[i], 1e-10);
+  }
+  for (std::size_t k = 0; k < a.expectations.size(); ++k) {
+    EXPECT_NEAR(a.expectations[k], s.expectations[k], 1e-12);
+  }
+}
+
+TEST(Executor, VjpUpstreamSizeValidated) {
+  const Executor ex = make_executor(DiffMethod::Adjoint);
+  const std::vector<double> params{0.1, 0.2};
+  EXPECT_THROW(ex.run_with_vjp(params, std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(Executor, JacobianMethodsAgree) {
+  const Executor adjoint = make_executor(DiffMethod::Adjoint);
+  const Executor shift = make_executor(DiffMethod::ParameterShift);
+  const std::vector<double> params{-0.5, 1.1};
+  const auto ja = adjoint.jacobian(params);
+  const auto js = shift.jacobian(params);
+  ASSERT_EQ(ja.size(), 2u);
+  ASSERT_EQ(js.size(), 2u);
+  for (std::size_t k = 0; k < 2; ++k) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_NEAR(ja[k][j], js[k][j], 1e-10) << "obs " << k << " param " << j;
+    }
+  }
+}
+
+TEST(Executor, AccessorsReportStructure) {
+  const Executor ex = make_executor(DiffMethod::Adjoint);
+  EXPECT_EQ(ex.observable_count(), 2u);
+  EXPECT_EQ(ex.parameter_count(), 2u);
+  EXPECT_EQ(ex.diff_method(), DiffMethod::Adjoint);
+  EXPECT_EQ(ex.circuit().num_qubits(), 2u);
+}
+
+}  // namespace
+}  // namespace qhdl::quantum

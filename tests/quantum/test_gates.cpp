@@ -1,0 +1,185 @@
+#include "quantum/gates.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace qhdl::quantum {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+TEST(GateMeta, ArityAndFlags) {
+  EXPECT_EQ(gate_arity(GateType::RX), 1u);
+  EXPECT_EQ(gate_arity(GateType::CNOT), 2u);
+  EXPECT_EQ(gate_arity(GateType::CRZ), 2u);
+  EXPECT_TRUE(gate_is_parameterized(GateType::RY));
+  EXPECT_TRUE(gate_is_parameterized(GateType::CRX));
+  EXPECT_FALSE(gate_is_parameterized(GateType::Hadamard));
+  EXPECT_TRUE(gate_is_controlled(GateType::CNOT));
+  EXPECT_FALSE(gate_is_controlled(GateType::SWAP));
+  EXPECT_EQ(gate_name(GateType::PhaseShift), "PhaseShift");
+}
+
+/// All parameterized single-qubit matrices must be unitary at any angle.
+class RotationUnitarity
+    : public ::testing::TestWithParam<std::tuple<GateType, double>> {};
+
+TEST_P(RotationUnitarity, MatrixIsUnitary) {
+  const auto [gate, theta] = GetParam();
+  EXPECT_TRUE(gates::matrix_for(gate, theta).is_unitary())
+      << gate_name(gate) << "(" << theta << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AnglesAndGates, RotationUnitarity,
+    ::testing::Combine(::testing::Values(GateType::RX, GateType::RY,
+                                         GateType::RZ, GateType::PhaseShift),
+                       ::testing::Values(-3.0, -0.5, 0.0, 0.37, 1.0,
+                                         std::numbers::pi, 6.0)));
+
+/// Fixed gates are unitary.
+class FixedUnitarity : public ::testing::TestWithParam<GateType> {};
+
+TEST_P(FixedUnitarity, MatrixIsUnitary) {
+  EXPECT_TRUE(gates::matrix_for(GetParam(), 0.0).is_unitary());
+}
+
+INSTANTIATE_TEST_SUITE_P(FixedGates, FixedUnitarity,
+                         ::testing::Values(GateType::PauliX, GateType::PauliY,
+                                           GateType::PauliZ,
+                                           GateType::Hadamard, GateType::S,
+                                           GateType::T));
+
+TEST(GateMatrices, RotationsAtZeroAreIdentity) {
+  for (GateType g : {GateType::RX, GateType::RY, GateType::RZ,
+                     GateType::PhaseShift}) {
+    const Mat2 m = gates::matrix_for(g, 0.0);
+    EXPECT_NEAR(std::abs(m.m00 - Complex{1, 0}), 0.0, kTol) << gate_name(g);
+    EXPECT_NEAR(std::abs(m.m11 - Complex{1, 0}), 0.0, kTol) << gate_name(g);
+    EXPECT_NEAR(std::abs(m.m01), 0.0, kTol) << gate_name(g);
+    EXPECT_NEAR(std::abs(m.m10), 0.0, kTol) << gate_name(g);
+  }
+}
+
+TEST(GateMatrices, RxAtPiIsMinusIX) {
+  const Mat2 m = gates::rx(std::numbers::pi);
+  EXPECT_NEAR(std::abs(m.m01 - Complex{0, -1}), 0.0, kTol);
+  EXPECT_NEAR(std::abs(m.m10 - Complex{0, -1}), 0.0, kTol);
+  EXPECT_NEAR(std::abs(m.m00), 0.0, kTol);
+}
+
+TEST(GateMatrices, SSquaredIsZ) {
+  const Mat2 z = gates::s() * gates::s();
+  EXPECT_NEAR(std::abs(z.m11 - Complex{-1, 0}), 0.0, kTol);
+}
+
+TEST(GateMatrices, TSquaredIsS) {
+  const Mat2 s2 = gates::t() * gates::t();
+  EXPECT_NEAR(std::abs(s2.m11 - gates::s().m11), 0.0, kTol);
+}
+
+/// Derivative matrices match finite differences of the gate matrices.
+class DerivativeCheck
+    : public ::testing::TestWithParam<std::tuple<GateType, double>> {};
+
+TEST_P(DerivativeCheck, MatchesFiniteDifference) {
+  const auto [gate, theta] = GetParam();
+  const double eps = 1e-7;
+  const Mat2 plus = gates::matrix_for(gate, theta + eps);
+  const Mat2 minus = gates::matrix_for(gate, theta - eps);
+  const Mat2 derivative = gates::derivative_for(gate, theta);
+
+  const auto check = [&](Complex analytic, Complex p, Complex m,
+                         const char* entry) {
+    const Complex numeric = (p - m) / (2.0 * eps);
+    EXPECT_NEAR(std::abs(analytic - numeric), 0.0, 1e-7)
+        << gate_name(gate) << " " << entry << " at theta=" << theta;
+  };
+  check(derivative.m00, plus.m00, minus.m00, "m00");
+  check(derivative.m01, plus.m01, minus.m01, "m01");
+  check(derivative.m10, plus.m10, minus.m10, "m10");
+  check(derivative.m11, plus.m11, minus.m11, "m11");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rotations, DerivativeCheck,
+    ::testing::Combine(::testing::Values(GateType::RX, GateType::RY,
+                                         GateType::RZ, GateType::PhaseShift),
+                       ::testing::Values(-1.2, 0.0, 0.7, 2.9)));
+
+TEST(GateMatrices, DerivativeForFixedGateThrows) {
+  EXPECT_THROW(gates::derivative_for(GateType::Hadamard, 0.0),
+               std::invalid_argument);
+}
+
+TEST(GateMatrices, MatrixForCnotThrows) {
+  EXPECT_THROW(gates::matrix_for(GateType::CNOT, 0.0), std::invalid_argument);
+}
+
+/// apply_gate followed by apply_gate_inverse restores the state for every
+/// gate type.
+class InverseRoundTrip : public ::testing::TestWithParam<GateType> {};
+
+TEST_P(InverseRoundTrip, RestoresState) {
+  const GateType gate = GetParam();
+  StateVector state{3};
+  // Prepare a non-trivial state.
+  state.apply_single_qubit(gates::hadamard(), 0);
+  state.apply_single_qubit(gates::ry(0.8), 1);
+  state.apply_single_qubit(gates::rx(1.4), 2);
+  state.apply_cnot(0, 1);
+  const std::vector<Complex> before(state.amplitudes().begin(),
+                                    state.amplitudes().end());
+
+  const double theta = 0.9137;
+  const std::size_t wire1 = gate_arity(gate) == 2 ? 2 : SIZE_MAX;
+  apply_gate(state, gate, theta, 0, wire1);
+  apply_gate_inverse(state, gate, theta, 0, wire1);
+
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_NEAR(std::abs(state.amplitudes()[i] - before[i]), 0.0, 1e-12)
+        << gate_name(gate) << " amplitude " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGates, InverseRoundTrip,
+    ::testing::Values(GateType::PauliX, GateType::PauliY, GateType::PauliZ,
+                      GateType::Hadamard, GateType::S, GateType::T,
+                      GateType::RX, GateType::RY, GateType::RZ,
+                      GateType::PhaseShift, GateType::CNOT, GateType::CZ,
+                      GateType::SWAP, GateType::CRX, GateType::CRY,
+                      GateType::CRZ, GateType::RXX, GateType::RYY,
+                      GateType::RZZ));
+
+TEST(ApplyGate, TwoQubitGateWithoutSecondWireThrows) {
+  StateVector state{2};
+  EXPECT_THROW(apply_gate(state, GateType::CNOT, 0.0, 0),
+               std::invalid_argument);
+}
+
+TEST(ApplyGate, DerivativeOfFixedGateThrows) {
+  StateVector state{2};
+  EXPECT_THROW(apply_gate_derivative(state, GateType::CNOT, 0.0, 0, 1),
+               std::invalid_argument);
+}
+
+TEST(ApplyGate, ControlledRotationActsOnlyOnControlOne) {
+  // CRX on |00⟩ does nothing; on |10⟩ rotates the target.
+  StateVector state{2};
+  apply_gate(state, GateType::CRX, 1.1, 0, 1);
+  EXPECT_NEAR(state.probability(0b00), 1.0, kTol);
+
+  StateVector excited{2};
+  excited.apply_single_qubit(gates::pauli_x(), 0);
+  apply_gate(excited, GateType::CRX, 1.1, 0, 1);
+  EXPECT_NEAR(excited.probability(0b10), std::cos(0.55) * std::cos(0.55),
+              1e-12);
+  EXPECT_NEAR(excited.probability(0b11), std::sin(0.55) * std::sin(0.55),
+              1e-12);
+}
+
+}  // namespace
+}  // namespace qhdl::quantum

@@ -1,0 +1,137 @@
+// Randomized invariant sweeps over the full gate set: unitarity of circuit
+// execution (norm/probability preservation), density-matrix equivalence,
+// circuit metadata consistency — the "can't-be-wrong" layer under the
+// targeted unit tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quantum/channels.hpp"
+#include "test_helpers.hpp"
+
+namespace qhdl::quantum {
+namespace {
+
+struct PropertyCase {
+  std::size_t qubits;
+  std::size_t ops;
+  std::uint64_t seed;
+};
+
+class RandomCircuitInvariants
+    : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(RandomCircuitInvariants, NormAndProbabilitiesPreserved) {
+  const PropertyCase c = GetParam();
+  util::Rng rng{c.seed};
+  std::vector<double> params;
+  const Circuit circuit = testing::random_circuit(c.qubits, c.ops, rng,
+                                                  params);
+  const StateVector psi = circuit.execute(params);
+
+  EXPECT_NEAR(psi.norm_squared(), 1.0, 1e-11);
+  double total = 0.0;
+  for (double p : psi.probabilities()) {
+    EXPECT_GE(p, -1e-15);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-11);
+  for (std::size_t w = 0; w < c.qubits; ++w) {
+    const double z = psi.expval_pauli_z(w);
+    EXPECT_GE(z, -1.0 - 1e-11);
+    EXPECT_LE(z, 1.0 + 1e-11);
+  }
+}
+
+TEST_P(RandomCircuitInvariants, InverseSweepRestoresGroundState) {
+  const PropertyCase c = GetParam();
+  util::Rng rng{c.seed + 1000};
+  std::vector<double> params;
+  const Circuit circuit = testing::random_circuit(c.qubits, c.ops, rng,
+                                                  params);
+  StateVector psi = circuit.execute(params);
+  const auto& ops = circuit.ops();
+  for (std::size_t idx = ops.size(); idx-- > 0;) {
+    const Op& op = ops[idx];
+    apply_gate_inverse(psi, op.type, op.angle(params), op.wire0, op.wire1);
+  }
+  EXPECT_NEAR(psi.probability(0), 1.0, 1e-10);
+}
+
+TEST_P(RandomCircuitInvariants, DensityMatrixAgreesWithStatevector) {
+  const PropertyCase c = GetParam();
+  if (c.qubits > 4) GTEST_SKIP() << "density path kept small";
+  util::Rng rng{c.seed + 2000};
+  std::vector<double> params;
+  const Circuit circuit = testing::random_circuit(c.qubits, c.ops, rng,
+                                                  params);
+  const StateVector psi = circuit.execute(params);
+  std::vector<std::size_t> wires(c.qubits);
+  for (std::size_t w = 0; w < c.qubits; ++w) wires[w] = w;
+  const auto density =
+      noisy_expvals(circuit, params, NoiseModel::noiseless(), wires);
+  for (std::size_t w = 0; w < c.qubits; ++w) {
+    EXPECT_NEAR(density[w], psi.expval_pauli_z(w), 1e-10) << "wire " << w;
+  }
+}
+
+TEST_P(RandomCircuitInvariants, MetadataConsistent) {
+  const PropertyCase c = GetParam();
+  util::Rng rng{c.seed + 3000};
+  std::vector<double> params;
+  const Circuit circuit = testing::random_circuit(c.qubits, c.ops, rng,
+                                                  params);
+  // Histogram totals the op count.
+  std::size_t histogram_total = 0;
+  for (const auto& [type, count] : circuit.gate_histogram()) {
+    histogram_total += count;
+  }
+  EXPECT_EQ(histogram_total, circuit.op_count());
+  // Depth is bounded by the op count and at least ceil(ops / qubits).
+  EXPECT_LE(circuit.depth(), circuit.op_count());
+  if (circuit.op_count() > 0) {
+    EXPECT_GE(circuit.depth(), 1u);
+  }
+  EXPECT_LE(circuit.two_qubit_op_count(), circuit.op_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomCircuitInvariants,
+    ::testing::Values(PropertyCase{1, 6, 11}, PropertyCase{2, 10, 12},
+                      PropertyCase{3, 15, 13}, PropertyCase{3, 25, 14},
+                      PropertyCase{4, 20, 15}, PropertyCase{5, 30, 16},
+                      PropertyCase{6, 24, 17}));
+
+TEST(CircuitMetadata, DepthOfKnownCircuits) {
+  Circuit c{3};
+  EXPECT_EQ(c.depth(), 0u);
+  c.gate(GateType::Hadamard, 0);
+  c.gate(GateType::Hadamard, 1);
+  c.gate(GateType::Hadamard, 2);
+  EXPECT_EQ(c.depth(), 1u);  // all parallel
+  c.gate(GateType::CNOT, 0, 1);
+  EXPECT_EQ(c.depth(), 2u);
+  c.gate(GateType::CNOT, 1, 2);
+  EXPECT_EQ(c.depth(), 3u);  // chained through wire 1
+  c.gate(GateType::PauliX, 0);
+  EXPECT_EQ(c.depth(), 3u);  // fits in wire 0's slack
+  EXPECT_EQ(c.two_qubit_op_count(), 2u);
+}
+
+TEST(ObservableAlgebra, ExpectationIsLinearInTerms) {
+  util::Rng rng{21};
+  std::vector<double> params;
+  const Circuit circuit = testing::random_circuit(3, 12, rng, params);
+  const StateVector psi = circuit.execute(params);
+
+  Observable combined;
+  combined.add_term(0.7, PauliWord::z(0));
+  combined.add_term(-1.3, PauliWord::z(2));
+  const double direct = combined.expectation(psi);
+  const double sum = 0.7 * Observable::pauli_z(0).expectation(psi) -
+                     1.3 * Observable::pauli_z(2).expectation(psi);
+  EXPECT_NEAR(direct, sum, 1e-12);
+}
+
+}  // namespace
+}  // namespace qhdl::quantum

@@ -1,0 +1,131 @@
+#include "tensor/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/init.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace qhdl::tensor {
+namespace {
+
+TEST(Cholesky, KnownFactorization) {
+  // A = [[4,2],[2,3]] -> L = [[2,0],[1,sqrt(2)]].
+  const Tensor a = Tensor::matrix(2, 2, {4, 2, 2, 3});
+  const Tensor l = cholesky(a);
+  EXPECT_DOUBLE_EQ(l.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(l.at(1, 0), 1.0);
+  EXPECT_NEAR(l.at(1, 1), std::sqrt(2.0), 1e-15);
+  EXPECT_DOUBLE_EQ(l.at(0, 1), 0.0);
+}
+
+TEST(Cholesky, ReconstructsRandomSpdMatrix) {
+  util::Rng rng{1};
+  // SPD via B Bᵀ + small ridge.
+  const Tensor b = uniform(Shape{6, 6}, -1, 1, rng);
+  Tensor a = gram(b);
+  for (std::size_t i = 0; i < 6; ++i) a.at(i, i) += 0.1;
+
+  const Tensor l = cholesky(a);
+  const Tensor reconstructed = matmul_transpose_b(l, l);
+  EXPECT_LT(max_abs_difference(reconstructed, a), 1e-10);
+}
+
+TEST(Cholesky, RejectsNonSpd) {
+  const Tensor indefinite = Tensor::matrix(2, 2, {1, 2, 2, 1});
+  EXPECT_THROW(cholesky(indefinite), std::invalid_argument);
+  const Tensor rect = Tensor::matrix(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_THROW(cholesky(rect), std::invalid_argument);
+}
+
+TEST(Cholesky, JitterRescuesSemidefinite) {
+  // Rank-1 PSD matrix; jitter makes it PD.
+  const Tensor v = Tensor::matrix(1, 3, {1, 2, 3});
+  const Tensor a = matmul_transpose_a(v, v);
+  EXPECT_THROW(cholesky(a), std::invalid_argument);
+  EXPECT_NO_THROW(cholesky(a, 1e-8));
+}
+
+TEST(LogdetSpd, MatchesKnownDeterminant) {
+  const Tensor a = Tensor::matrix(2, 2, {4, 2, 2, 3});
+  EXPECT_NEAR(logdet_spd(a), std::log(8.0), 1e-12);  // det = 12-4 = 8
+  EXPECT_NEAR(logdet_spd(Tensor::identity(5)), 0.0, 1e-12);
+}
+
+TEST(LogdetSpd, ScalesWithDiagonal) {
+  Tensor a = Tensor::identity(4);
+  scale_inplace(a, 3.0);
+  EXPECT_NEAR(logdet_spd(a), 4.0 * std::log(3.0), 1e-12);
+}
+
+TEST(Gram, SymmetricAndPsd) {
+  util::Rng rng{2};
+  const Tensor b = uniform(Shape{4, 7}, -1, 1, rng);
+  const Tensor g = gram(b);
+  EXPECT_EQ(g.shape(), Shape({4, 4}));
+  EXPECT_DOUBLE_EQ(symmetry_error(g), 0.0);
+  EXPECT_NO_THROW(cholesky(g, 1e-9));
+}
+
+TEST(Trace, SumsDiagonal) {
+  const Tensor a = Tensor::matrix(3, 3, {1, 9, 9, 9, 2, 9, 9, 9, 3});
+  EXPECT_DOUBLE_EQ(trace(a), 6.0);
+  EXPECT_THROW(trace(Tensor::matrix(2, 3, {1, 2, 3, 4, 5, 6})),
+               std::invalid_argument);
+}
+
+TEST(OuterProduct, AccumulatesScaledVvT) {
+  Tensor m{Shape{3, 3}};
+  const Tensor v{Shape{3}, {1, 2, 3}};
+  add_outer_product(m, v, 0.5);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 1), 3.0);
+  EXPECT_DOUBLE_EQ(symmetry_error(m), 0.0);
+  EXPECT_THROW(add_outer_product(m, Tensor{Shape{2}}, 1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qhdl::tensor
+
+namespace qhdl::tensor {
+namespace {
+
+TEST(CholeskySolve, RecoversKnownSolution) {
+  // A = [[4,2],[2,3]], x = [1, -2] -> b = A x = [0, -4].
+  const Tensor a = Tensor::matrix(2, 2, {4, 2, 2, 3});
+  const Tensor b = Tensor::matrix(2, 1, {0, -4});
+  const Tensor x = solve_spd(a, b);
+  EXPECT_NEAR(x.at(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(x.at(1, 0), -2.0, 1e-12);
+}
+
+TEST(CholeskySolve, MultipleRightHandSides) {
+  util::Rng rng{7};
+  const Tensor basis = uniform(Shape{5, 5}, -1, 1, rng);
+  Tensor a = gram(basis);
+  for (std::size_t i = 0; i < 5; ++i) a.at(i, i) += 0.5;
+  const Tensor x_true = uniform(Shape{5, 3}, -1, 1, rng);
+  const Tensor b = matmul(a, x_true);
+  const Tensor x = solve_spd(a, b);
+  EXPECT_LT(max_abs_difference(x, x_true), 1e-9);
+}
+
+TEST(CholeskySolve, RidgeRegularizesSingularSystem) {
+  const Tensor v = Tensor::matrix(1, 3, {1, 2, 3});
+  const Tensor a = matmul_transpose_a(v, v);  // rank 1
+  const Tensor b = Tensor::matrix(3, 1, {1, 2, 3});
+  EXPECT_NO_THROW(solve_spd(a, b, 1e-6));
+}
+
+TEST(CholeskySolve, ShapeMismatchThrows) {
+  const Tensor l = cholesky(Tensor::identity(3));
+  EXPECT_THROW(cholesky_solve(l, Tensor{Shape{2, 1}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qhdl::tensor

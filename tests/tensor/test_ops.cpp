@@ -1,0 +1,149 @@
+#include "tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/init.hpp"
+#include "util/rng.hpp"
+
+namespace qhdl::tensor {
+namespace {
+
+TEST(Ops, MatmulKnownValues) {
+  const Tensor a = Tensor::matrix(2, 3, {1, 2, 3, 4, 5, 6});
+  const Tensor b = Tensor::matrix(3, 2, {7, 8, 9, 10, 11, 12});
+  const Tensor c = matmul(a, b);
+  EXPECT_EQ(c.shape(), Shape({2, 2}));
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 154.0);
+}
+
+TEST(Ops, MatmulShapeMismatchThrows) {
+  const Tensor a = Tensor::matrix(2, 3, {1, 2, 3, 4, 5, 6});
+  const Tensor b = Tensor::matrix(2, 2, {1, 2, 3, 4});
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+}
+
+TEST(Ops, MatmulIdentity) {
+  util::Rng rng{1};
+  const Tensor a = uniform(Shape{4, 4}, -1, 1, rng);
+  EXPECT_TRUE(allclose(matmul(a, Tensor::identity(4)), a));
+  EXPECT_TRUE(allclose(matmul(Tensor::identity(4), a), a));
+}
+
+TEST(Ops, TransposedVariantsMatchExplicitTranspose) {
+  util::Rng rng{2};
+  const Tensor a = uniform(Shape{3, 5}, -1, 1, rng);
+  const Tensor b = uniform(Shape{3, 4}, -1, 1, rng);
+  // Aᵀ·B via matmul_transpose_a must equal transpose(A)·B.
+  EXPECT_TRUE(allclose(matmul_transpose_a(a, b), matmul(transpose(a), b)));
+
+  const Tensor c = uniform(Shape{5, 3}, -1, 1, rng);
+  const Tensor d = uniform(Shape{4, 3}, -1, 1, rng);
+  // C·Dᵀ via matmul_transpose_b must equal C·transpose(D).
+  EXPECT_TRUE(allclose(matmul_transpose_b(c, d), matmul(c, transpose(d))));
+}
+
+TEST(Ops, TransposeInvolution) {
+  util::Rng rng{3};
+  const Tensor a = uniform(Shape{3, 7}, -1, 1, rng);
+  EXPECT_TRUE(allclose(transpose(transpose(a)), a));
+}
+
+TEST(Ops, ElementwiseArithmetic) {
+  const Tensor a = Tensor::matrix(1, 3, {1, 2, 3});
+  const Tensor b = Tensor::matrix(1, 3, {10, 20, 30});
+  EXPECT_DOUBLE_EQ(add(a, b).at(0, 2), 33.0);
+  EXPECT_DOUBLE_EQ(subtract(b, a).at(0, 0), 9.0);
+  EXPECT_DOUBLE_EQ(multiply(a, b).at(0, 1), 40.0);
+  EXPECT_THROW(add(a, Tensor::matrix(1, 2, {1, 2})), std::invalid_argument);
+}
+
+TEST(Ops, InplaceOps) {
+  Tensor a = Tensor::matrix(1, 2, {1, 2});
+  add_inplace(a, Tensor::matrix(1, 2, {3, 4}));
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 6.0);
+  scale_inplace(a, 0.5);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(scale(a, 2.0).at(0, 0), 4.0);
+}
+
+TEST(Ops, RowBroadcast) {
+  const Tensor m = Tensor::matrix(2, 3, {0, 0, 0, 1, 1, 1});
+  const Tensor row = Tensor::row({10, 20, 30});
+  const Tensor out = add_row_broadcast(m, row);
+  EXPECT_DOUBLE_EQ(out.at(0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(out.at(1, 2), 31.0);
+  EXPECT_THROW(add_row_broadcast(m, Tensor::row({1, 2})),
+               std::invalid_argument);
+}
+
+TEST(Ops, MapSumMean) {
+  const Tensor a = Tensor::matrix(1, 4, {1, 2, 3, 4});
+  const Tensor doubled = map(a, [](double v) { return 2 * v; });
+  EXPECT_DOUBLE_EQ(doubled.at(0, 3), 8.0);
+  EXPECT_DOUBLE_EQ(sum(a), 10.0);
+  EXPECT_DOUBLE_EQ(mean_value(a), 2.5);
+}
+
+TEST(Ops, SumRows) {
+  const Tensor m = Tensor::matrix(2, 3, {1, 2, 3, 4, 5, 6});
+  const Tensor sums = sum_rows(m);
+  EXPECT_EQ(sums.shape(), Shape({1, 3}));
+  EXPECT_DOUBLE_EQ(sums[0], 5.0);
+  EXPECT_DOUBLE_EQ(sums[2], 9.0);
+}
+
+TEST(Ops, ArgmaxRow) {
+  const Tensor m = Tensor::matrix(2, 3, {0.1, 0.9, 0.3, 5, 4, 6});
+  EXPECT_EQ(argmax_row(m, 0), 1u);
+  EXPECT_EQ(argmax_row(m, 1), 2u);
+  EXPECT_THROW(argmax_row(m, 2), std::out_of_range);
+}
+
+TEST(Ops, NormsAndDifferences) {
+  const Tensor a = Tensor::matrix(1, 2, {3, 4});
+  EXPECT_DOUBLE_EQ(norm(a), 5.0);
+  const Tensor b = Tensor::matrix(1, 2, {3, 4.5});
+  EXPECT_DOUBLE_EQ(max_abs_difference(a, b), 0.5);
+  EXPECT_TRUE(allclose(a, a));
+  EXPECT_FALSE(allclose(a, b, 1e-9, 1e-9));
+}
+
+TEST(Ops, AllcloseShapeMismatchFalse) {
+  EXPECT_FALSE(allclose(Tensor{Shape{2}}, Tensor{Shape{3}}));
+}
+
+TEST(Init, GlorotUniformBounds) {
+  util::Rng rng{1};
+  const std::size_t fan_in = 10, fan_out = 6;
+  const Tensor w = glorot_uniform(fan_in, fan_out, rng);
+  EXPECT_EQ(w.shape(), Shape({fan_in, fan_out}));
+  const double limit = std::sqrt(6.0 / (fan_in + fan_out));
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_GE(w[i], -limit);
+    EXPECT_LE(w[i], limit);
+  }
+}
+
+TEST(Init, HeNormalVariance) {
+  util::Rng rng{2};
+  const Tensor w = he_normal(100, 200, rng);
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) sum_sq += w[i] * w[i];
+  const double var = sum_sq / static_cast<double>(w.size());
+  EXPECT_NEAR(var, 2.0 / 100.0, 0.002);
+}
+
+TEST(Init, DeterministicForSeed) {
+  util::Rng rng1{5}, rng2{5};
+  const Tensor a = glorot_uniform(4, 4, rng1);
+  const Tensor b = glorot_uniform(4, 4, rng2);
+  EXPECT_TRUE(allclose(a, b, 0, 0));
+}
+
+}  // namespace
+}  // namespace qhdl::tensor

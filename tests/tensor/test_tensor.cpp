@@ -1,0 +1,124 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qhdl::tensor {
+namespace {
+
+TEST(Shape, SizeAndRank) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3u);
+  EXPECT_EQ(s.size(), 24u);
+  EXPECT_EQ(s[1], 3u);
+}
+
+TEST(Shape, ScalarShape) {
+  const Shape s{};
+  EXPECT_EQ(s.rank(), 0u);
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(Shape, DimBoundsChecked) {
+  const Shape s{2, 3};
+  EXPECT_EQ(s.dim(0), 2u);
+  EXPECT_THROW(s.dim(2), std::out_of_range);
+}
+
+TEST(Shape, EqualityAndToString) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_EQ(Shape({2, 3}).to_string(), "[2, 3]");
+}
+
+TEST(Shape, CheckSameShapeThrowsWithContext) {
+  try {
+    check_same_shape(Shape{2}, Shape{3}, "ctx");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string{e.what()}.find("ctx"), std::string::npos);
+  }
+}
+
+TEST(Tensor, DefaultIsScalarZero) {
+  const Tensor t;
+  EXPECT_EQ(t.rank(), 0u);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_DOUBLE_EQ(t[0], 0.0);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  const Tensor t{Shape{3, 4}};
+  EXPECT_EQ(t.size(), 12u);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_DOUBLE_EQ(t[i], 0.0);
+}
+
+TEST(Tensor, ExplicitDataValidated) {
+  EXPECT_NO_THROW((Tensor{Shape{2, 2}, {1, 2, 3, 4}}));
+  EXPECT_THROW((Tensor{Shape{2, 2}, {1, 2, 3}}), std::invalid_argument);
+}
+
+TEST(Tensor, Factories) {
+  EXPECT_DOUBLE_EQ(Tensor::ones(Shape{2})[1], 1.0);
+  EXPECT_DOUBLE_EQ(Tensor::full(Shape{2}, 7.0)[0], 7.0);
+  EXPECT_DOUBLE_EQ(Tensor::scalar(3.5)[0], 3.5);
+
+  const Tensor r = Tensor::row({1, 2, 3});
+  EXPECT_EQ(r.shape(), Shape({1, 3}));
+
+  const Tensor m = Tensor::matrix(2, 2, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 3.0);
+
+  const Tensor eye = Tensor::identity(3);
+  EXPECT_DOUBLE_EQ(eye.at(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(eye.at(0, 1), 0.0);
+}
+
+TEST(Tensor, RankTwoAccessChecked) {
+  Tensor t{Shape{2, 3}};
+  t.at(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(t.at(1, 2), 5.0);
+  EXPECT_THROW(t.at(2, 0), std::out_of_range);
+  EXPECT_THROW(t.at(0, 3), std::out_of_range);
+  Tensor v{Shape{4}};
+  EXPECT_THROW(v.at(0, 0), std::logic_error);
+}
+
+TEST(Tensor, FlatAccessChecked) {
+  Tensor t{Shape{2}};
+  EXPECT_THROW(t.at(std::size_t{2}), std::out_of_range);
+}
+
+TEST(Tensor, RowsColsRequireRank2) {
+  const Tensor m{Shape{3, 5}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 5u);
+  const Tensor v{Shape{3}};
+  EXPECT_THROW(v.rows(), std::logic_error);
+}
+
+TEST(Tensor, ReshapePreservesCount) {
+  Tensor t{Shape{2, 6}};
+  t.reshape(Shape{3, 4});
+  EXPECT_EQ(t.shape(), Shape({3, 4}));
+  EXPECT_THROW(t.reshape(Shape{5}), std::invalid_argument);
+  const Tensor r = t.reshaped(Shape{12});
+  EXPECT_EQ(r.rank(), 1u);
+}
+
+TEST(Tensor, ValueSemantics) {
+  Tensor a{Shape{2}};
+  a[0] = 1.0;
+  Tensor b = a;
+  b[0] = 2.0;
+  EXPECT_DOUBLE_EQ(a[0], 1.0);  // deep copy
+}
+
+TEST(Tensor, FillAndToString) {
+  Tensor t{Shape{2, 2}};
+  t.fill(1.25);
+  EXPECT_DOUBLE_EQ(t[3], 1.25);
+  EXPECT_NE(t.to_string().find("1.25"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qhdl::tensor

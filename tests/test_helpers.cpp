@@ -1,0 +1,80 @@
+#include "test_helpers.hpp"
+
+#include <algorithm>
+
+#include "tensor/ops.hpp"
+
+namespace qhdl::testing {
+
+namespace {
+
+/// Scalar objective L = Σ output ⊙ probe for gradient checking.
+double objective(nn::Module& module, const tensor::Tensor& input,
+                 const tensor::Tensor& probe) {
+  const tensor::Tensor out = module.forward(input);
+  return tensor::sum(tensor::multiply(out, probe));
+}
+
+tensor::Tensor make_probe(nn::Module& module, const tensor::Tensor& input,
+                          util::Rng& rng) {
+  const tensor::Tensor out = module.forward(input);
+  tensor::Tensor probe{out.shape()};
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    probe[i] = rng.uniform(-1.0, 1.0);
+  }
+  return probe;
+}
+
+}  // namespace
+
+double module_input_gradient_error(nn::Module& module,
+                                   const tensor::Tensor& input,
+                                   util::Rng& rng, double eps) {
+  const tensor::Tensor probe = make_probe(module, input, rng);
+
+  // Analytic: backward with dL/d(out) = probe.
+  module.zero_grad();
+  module.forward(input);
+  const tensor::Tensor analytic = module.backward(probe);
+
+  double worst = 0.0;
+  tensor::Tensor perturbed = input;
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const double saved = perturbed[i];
+    perturbed[i] = saved + eps;
+    const double plus = objective(module, perturbed, probe);
+    perturbed[i] = saved - eps;
+    const double minus = objective(module, perturbed, probe);
+    perturbed[i] = saved;
+    const double numeric = (plus - minus) / (2.0 * eps);
+    worst = std::max(worst, std::abs(numeric - analytic[i]));
+  }
+  return worst;
+}
+
+double module_parameter_gradient_error(nn::Module& module,
+                                       const tensor::Tensor& input,
+                                       util::Rng& rng, double eps) {
+  const tensor::Tensor probe = make_probe(module, input, rng);
+
+  module.zero_grad();
+  module.forward(input);
+  module.backward(probe);
+
+  double worst = 0.0;
+  for (nn::Parameter* param : module.parameters()) {
+    for (std::size_t i = 0; i < param->value.size(); ++i) {
+      const double saved = param->value[i];
+      param->value[i] = saved + eps;
+      const double plus = objective(module, input, probe);
+      param->value[i] = saved - eps;
+      const double minus = objective(module, input, probe);
+      param->value[i] = saved;
+      const double numeric = (plus - minus) / (2.0 * eps);
+      worst = std::max(worst, std::abs(numeric - param->grad[i]));
+    }
+  }
+  return worst;
+}
+
+}  // namespace qhdl::testing

@@ -1,0 +1,86 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace qhdl::util {
+namespace {
+
+TEST(Csv, HeaderAndRows) {
+  CsvWriter csv({"a", "b"});
+  csv.add_row({"1", "2"});
+  csv.add_row({"x", "y"});
+  EXPECT_EQ(csv.to_string(), "a,b\n1,2\nx,y\n");
+  EXPECT_EQ(csv.row_count(), 2u);
+}
+
+TEST(Csv, RowWidthMismatchThrows) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_THROW(csv.add_row({"1"}), std::invalid_argument);
+  EXPECT_THROW(csv.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(Csv, EmptyHeaderThrows) {
+  EXPECT_THROW(CsvWriter({}), std::invalid_argument);
+}
+
+TEST(Csv, QuotesFieldsWithSpecials) {
+  CsvWriter csv({"value"});
+  csv.add_row({"has,comma"});
+  csv.add_row({"has\"quote"});
+  csv.add_row({"has\nnewline"});
+  EXPECT_EQ(csv.to_string(),
+            "value\n\"has,comma\"\n\"has\"\"quote\"\n\"has\nnewline\"\n");
+}
+
+TEST(Csv, NumericRowFormatting) {
+  CsvWriter csv({"x", "y"});
+  csv.add_row_values({1.5, 2.0});
+  EXPECT_EQ(csv.to_string(), "x,y\n1.5,2\n");
+}
+
+TEST(Csv, ParseRoundTrip) {
+  CsvWriter csv({"a", "b"});
+  csv.add_row({"plain", "with,comma"});
+  csv.add_row({"with\"quote", "with\nnewline"});
+  const CsvDocument doc = parse_csv(csv.to_string());
+  ASSERT_EQ(doc.header.size(), 2u);
+  EXPECT_EQ(doc.header[0], "a");
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[0][1], "with,comma");
+  EXPECT_EQ(doc.rows[1][0], "with\"quote");
+  EXPECT_EQ(doc.rows[1][1], "with\nnewline");
+}
+
+TEST(Csv, ParseToleratesCrlf) {
+  const CsvDocument doc = parse_csv("a,b\r\n1,2\r\n");
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][0], "1");
+}
+
+TEST(Csv, ParseEmptyFields) {
+  const CsvDocument doc = parse_csv("a,b,c\n,,\n");
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0].size(), 3u);
+  EXPECT_EQ(doc.rows[0][0], "");
+}
+
+TEST(Csv, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "qhdl_csv_test.csv").string();
+  CsvWriter csv({"k", "v"});
+  csv.add_row({"alpha", "1"});
+  csv.write_file(path);
+  const CsvDocument doc = read_csv_file(path);
+  EXPECT_EQ(doc.rows[0][0], "alpha");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/path.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace qhdl::util

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "util/json.hpp"
+
+namespace qhdl::util {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(Json::parse("-3.5e2").as_number(), -350.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, WhitespaceTolerated) {
+  const Json j = Json::parse("  {\n\t\"a\" : [ 1 , 2 ] }  ");
+  EXPECT_EQ(j.at("a").size(), 2u);
+  EXPECT_DOUBLE_EQ(j.at("a").at(1).as_number(), 2.0);
+}
+
+TEST(JsonParse, NestedStructures) {
+  const Json j = Json::parse(
+      R"({"name":"qhdl","nested":{"list":[true,null,{"x":1}]}})");
+  EXPECT_EQ(j.at("name").as_string(), "qhdl");
+  const Json& list = j.at("nested").at("list");
+  EXPECT_TRUE(list.at(0).as_bool());
+  EXPECT_TRUE(list.at(1).is_null());
+  EXPECT_DOUBLE_EQ(list.at(2).at("x").as_number(), 1.0);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\"b\\c\nd\t")").as_string(), "a\"b\\c\nd\t");
+  EXPECT_EQ(Json::parse(R"("A")").as_string(), "A");
+  EXPECT_EQ(Json::parse(R"("é")").as_string(), "\xc3\xa9");  // é UTF-8
+}
+
+TEST(JsonParse, RoundTripThroughDump) {
+  Json original = Json::object();
+  original["pi"] = Json{3.14159265358979};
+  original["label"] = Json{"hybrid \"SEL\""};
+  original["flags"] = Json::array_of(std::vector<int>{1, 0, 1});
+  const Json reparsed = Json::parse(original.dump(2));
+  EXPECT_DOUBLE_EQ(reparsed.at("pi").as_number(), 3.14159265358979);
+  EXPECT_EQ(reparsed.at("label").as_string(), "hybrid \"SEL\"");
+  EXPECT_EQ(reparsed.at("flags").size(), 3u);
+}
+
+TEST(JsonParse, FullDoublePrecisionRoundTrip) {
+  const double value = 0.1234567890123456789;
+  Json j = Json::object();
+  j["v"] = Json{value};
+  EXPECT_DOUBLE_EQ(Json::parse(j.dump()).at("v").as_number(), value);
+}
+
+TEST(JsonParse, Errors) {
+  EXPECT_THROW(Json::parse(""), std::invalid_argument);
+  EXPECT_THROW(Json::parse("{"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("[1,]"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("tru"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("\"unterminated"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("{} trailing"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("{\"k\" 1}"), std::invalid_argument);
+}
+
+TEST(JsonParse, AccessorTypeChecks) {
+  const Json j = Json::parse("{\"n\": 1}");
+  EXPECT_THROW(j.as_number(), std::logic_error);
+  EXPECT_THROW(j.at("n").as_string(), std::logic_error);
+  EXPECT_THROW(j.at("missing"), std::out_of_range);
+  EXPECT_THROW(j.at(std::size_t{0}), std::logic_error);
+}
+
+TEST(JsonParse, MissingFileThrows) {
+  EXPECT_THROW(Json::parse_file("/nonexistent/x.json"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace qhdl::util

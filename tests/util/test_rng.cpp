@@ -1,0 +1,162 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+namespace qhdl::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  bool any_difference = false;
+  for (int i = 0; i < 16; ++i) {
+    if (a.next_u64() != b.next_u64()) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 3.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 3.5);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng{99};
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng{5};
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParameters) {
+  Rng rng{5};
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, IndexStaysInBounds) {
+  Rng rng{3};
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.index(17), 17u);
+  }
+}
+
+TEST(Rng, IndexCoversAllValues) {
+  Rng rng{3};
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.index(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, IndexZeroThrows) {
+  Rng rng{3};
+  EXPECT_THROW(rng.index(0), std::invalid_argument);
+}
+
+TEST(Rng, IntegerInclusiveRange) {
+  Rng rng{11};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.integer(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, IntegerBadRangeThrows) {
+  Rng rng{11};
+  EXPECT_THROW(rng.integer(5, 4), std::invalid_argument);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng{17};
+  std::vector<int> values(50);
+  std::iota(values.begin(), values.end(), 0);
+  auto shuffled = values;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, values);  // astronomically unlikely to match
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(Rng, ShuffleSingleAndEmptyAreNoOps) {
+  Rng rng{17};
+  std::vector<int> empty;
+  rng.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  rng.shuffle(one);
+  EXPECT_EQ(one[0], 42);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent{21};
+  Rng child1 = parent.split();
+  Rng child2 = parent.split();
+  // Children differ from each other and from the parent's continuation.
+  EXPECT_NE(child1.next_u64(), child2.next_u64());
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a{21}, b{21};
+  Rng ca = a.split();
+  Rng cb = b.split();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(ca.next_u64(), cb.next_u64());
+}
+
+TEST(Rng, VectorHelpers) {
+  Rng rng{31};
+  const auto normals = rng.normal_vector(100);
+  EXPECT_EQ(normals.size(), 100u);
+  const auto uniforms = rng.uniform_vector(50, 2.0, 3.0);
+  EXPECT_EQ(uniforms.size(), 50u);
+  for (double u : uniforms) {
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+}  // namespace
+}  // namespace qhdl::util
