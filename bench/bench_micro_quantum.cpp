@@ -6,8 +6,10 @@
 
 #include "qnn/ansatz.hpp"
 #include "qnn/encoding.hpp"
+#include "qnn/quantum_layer.hpp"
 #include "quantum/adjoint_diff.hpp"
 #include "quantum/parameter_shift.hpp"
+#include "tensor/tensor.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -106,6 +108,36 @@ void BM_SelParameterShift(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SelParameterShift)->DenseRange(2, 8, 2);
+
+void BM_QuantumLayerBatchForward(benchmark::State& state) {
+  // Batch-parallel hybrid-layer forward on the shared thread pool; the
+  // argument is the thread count. The pool is persistent, so per-call
+  // dispatch overhead stays flat while wall time drops with cores
+  // (ThreadsPerBatch=1 is the serial baseline).
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  qnn::QuantumLayerConfig config;
+  config.qubits = 8;
+  config.depth = 2;
+  config.threads = threads;
+  util::Rng rng{11};
+  qnn::QuantumLayer layer{config, rng};
+  const std::size_t batch = 16;
+  tensor::Tensor input{tensor::Shape{batch, config.qubits}};
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = rng.uniform(-1.0, 1.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layer.forward(input));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_QuantumLayerBatchForward)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
 
 void BM_SelAdjointVsDepth(benchmark::State& state) {
   const auto depth = static_cast<std::size_t>(state.range(0));

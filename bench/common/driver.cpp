@@ -22,7 +22,9 @@ void add_protocol_options(util::Cli& cli) {
                  "Directory for cached sweeps and emitted CSV files");
   cli.add_int("seed", 42, "Search seed (dataset seeds derive from it)");
   cli.add_int("threads", 1,
-              "Worker threads per candidate's runs (>1 disables pruning)");
+              "Concurrency for the search (candidate lookahead, per-"
+              "candidate runs, quantum batches, sweep levels); results are "
+              "identical for any value");
 }
 
 Protocol protocol_from_cli(const util::Cli& cli) {

@@ -5,7 +5,7 @@
 //
 //   ./run_study                 # reduced protocol (~minutes)
 //   ./run_study --paper         # full paper protocol (hours)
-//   ./run_study --threads 4     # parallelize each candidate's runs
+//   ./run_study --threads 4     # parallelize the search (same results)
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -23,7 +23,9 @@ int main(int argc, char** argv) {
   cli.add_flag("paper", "Full paper protocol (5x5 runs, 100 epochs, "
                         "features 10..110) instead of the reduced one");
   cli.add_flag("quiet", "Suppress progress logging");
-  cli.add_int("threads", 1, "Worker threads per candidate's runs");
+  cli.add_int("threads", 1,
+              "Search concurrency (families, levels, candidate lookahead, "
+              "runs, quantum batches); results are thread-count independent");
   cli.add_int("seed", 42, "Search seed");
   cli.add_string("out", "qhdl_results/study", "Output directory");
   try {

@@ -1,8 +1,10 @@
 #include "core/study.hpp"
 
+#include <array>
 #include <stdexcept>
 
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 
 namespace qhdl::core {
 
@@ -28,12 +30,21 @@ std::vector<AblationSelection> ablation_from_sweep(
 
 StudyResult ComplexityStudy::run() const {
   StudyResult result;
-  util::log_info("study: classical sweep");
-  result.classical = run_family(search::Family::Classical);
-  util::log_info("study: hybrid BEL sweep");
-  result.hybrid_bel = run_family(search::Family::HybridBel);
-  util::log_info("study: hybrid SEL sweep");
-  result.hybrid_sel = run_family(search::Family::HybridSel);
+  // The three family sweeps share nothing but the (re-derived) datasets, so
+  // they fan out onto the shared pool; each sweep then parallelizes its own
+  // levels/candidates/runs from the same budget.
+  const std::array<search::Family, 3> families{search::Family::Classical,
+                                               search::Family::HybridBel,
+                                               search::Family::HybridSel};
+  std::array<search::SweepResult*, 3> slots{
+      &result.classical, &result.hybrid_bel, &result.hybrid_sel};
+  util::parallel_for(0, families.size(), config_.search.threads,
+                     [&](std::size_t i) {
+                       util::log_info("study: " +
+                                      search::family_name(families[i]) +
+                                      " sweep");
+                       *slots[i] = run_family(families[i]);
+                     });
 
   for (const auto* sweep :
        {&result.classical, &result.hybrid_bel, &result.hybrid_sel}) {

@@ -1,14 +1,13 @@
 #include "qnn/quantum_layer.hpp"
 
-#include <atomic>
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
-#include <thread>
 
 #include "quantum/sampling.hpp"
 #include "tensor/init.hpp"
 #include "util/string_util.hpp"
+#include "util/thread_pool.hpp"
 
 namespace qhdl::qnn {
 
@@ -164,20 +163,9 @@ Tensor QuantumLayer::backward(const Tensor& grad_output) {
 
 void QuantumLayer::run_batch_parallel(
     std::size_t batch, const std::function<void(std::size_t)>& work) const {
-  const std::size_t workers = std::min(config_.threads, batch);
-  std::vector<std::thread> pool;
-  std::atomic<std::size_t> next{0};
-  pool.reserve(workers);
-  for (std::size_t t = 0; t < workers; ++t) {
-    pool.emplace_back([&] {
-      while (true) {
-        const std::size_t b = next.fetch_add(1);
-        if (b >= batch) return;
-        work(b);
-      }
-    });
-  }
-  for (auto& worker : pool) worker.join();
+  // Shared persistent pool: forward/backward run once per training batch,
+  // so spawning threads here (the old design) dominated small-circuit cost.
+  util::parallel_for(0, batch, config_.threads, work);
 }
 
 std::vector<nn::Parameter*> QuantumLayer::parameters() { return {&weights_}; }

@@ -37,9 +37,10 @@ struct QuantumLayerConfig {
   /// Gradients remain exact (the layer models shot noise at inference time;
   /// combine with `noise` for channels + shots together is not supported).
   std::size_t shots = 0;
-  /// Worker threads over the batch dimension for the exact (noiseless,
-  /// shot-free) forward/backward paths. 1 = sequential. Results are
-  /// bit-identical regardless of the thread count.
+  /// Concurrency over the batch dimension for the exact (noiseless,
+  /// shot-free) forward/backward paths, dispatched on the shared
+  /// util::ThreadPool. 1 = sequential. Results are bit-identical
+  /// regardless of the thread count.
   std::size_t threads = 1;
 };
 
@@ -69,7 +70,8 @@ class QuantumLayer : public nn::Module {
   std::vector<double> pack_params(const tensor::Tensor& input,
                                   std::size_t row) const;
 
-  /// Dispatches `work(row)` over [0, batch) across config_.threads workers.
+  /// Dispatches `work(row)` over [0, batch) on the shared pool, at most
+  /// config_.threads rows in flight.
   void run_batch_parallel(std::size_t batch,
                           const std::function<void(std::size_t)>& work) const;
 

@@ -4,6 +4,7 @@
 
 #include "data/synthetic.hpp"
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 
 namespace qhdl::search {
 
@@ -54,15 +55,23 @@ SweepResult run_complexity_sweep(Family family, const SweepConfig& config) {
 
   SweepResult result;
   result.family = family;
-  for (std::size_t features : config.feature_sizes) {
-    util::log_info("sweep[" + family_name(family) +
-                   "]: features=" + std::to_string(features));
-    LevelResult level;
-    level.features = features;
-    const data::Dataset dataset = level_dataset(features, config);
-    level.search = run_repeated_search(specs, dataset, config.search);
-    result.levels.push_back(std::move(level));
-  }
+  // Levels are fully independent (each derives its dataset seed from its
+  // feature size and re-seeds its search from config.search.seed), so they
+  // parallelize with bit-identical results; slots are pre-sized and filled
+  // by index to keep the output order fixed.
+  result.levels.resize(config.feature_sizes.size());
+  util::parallel_for(
+      0, config.feature_sizes.size(), config.search.threads,
+      [&](std::size_t i) {
+        const std::size_t features = config.feature_sizes[i];
+        util::log_info("sweep[" + family_name(family) +
+                       "]: features=" + std::to_string(features));
+        LevelResult level;
+        level.features = features;
+        const data::Dataset dataset = level_dataset(features, config);
+        level.search = run_repeated_search(specs, dataset, config.search);
+        result.levels[i] = std::move(level);
+      });
   return result;
 }
 

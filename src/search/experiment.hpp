@@ -42,7 +42,9 @@ struct SweepResult {
   std::vector<LevelResult> levels;
 };
 
-/// Runs the full complexity sweep for one family.
+/// Runs the full complexity sweep for one family. Levels run concurrently
+/// (config.search.threads wide, shared util::ThreadPool) with results
+/// identical to the sequential walk.
 SweepResult run_complexity_sweep(Family family, const SweepConfig& config);
 
 /// Convenience: the standard per-level dataset (shared across families so

@@ -1,13 +1,12 @@
 #include "search/grid_search.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
 #include <stdexcept>
 
 #include "data/preprocess.hpp"
 #include "flops/profiler.hpp"
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 
 namespace qhdl::search {
 
@@ -45,10 +44,32 @@ std::vector<ModelSpec> sort_by_flops(std::vector<ModelSpec> specs,
   return sorted;
 }
 
-CandidateResult evaluate_candidate(const ModelSpec& spec,
-                                   const data::TrainValSplit& split,
-                                   const SearchConfig& config,
-                                   util::Rng& rng) {
+namespace {
+
+/// Pre-split run streams. Drawing all streams before any work is scheduled
+/// is what makes results independent of the execution order / thread count.
+std::vector<util::Rng> split_run_rngs(const SearchConfig& config,
+                                      util::Rng& rng) {
+  if (config.runs_per_model == 0) {
+    throw std::invalid_argument(
+        "evaluate_candidate: runs_per_model must be >= 1");
+  }
+  std::vector<util::Rng> run_rngs;
+  run_rngs.reserve(config.runs_per_model);
+  for (std::size_t run = 0; run < config.runs_per_model; ++run) {
+    run_rngs.push_back(rng.split());
+  }
+  return run_rngs;
+}
+
+/// evaluate_candidate body on already-split run streams (one per run).
+/// search_once pre-splits streams for a whole lookahead window through this
+/// path so speculative training consumes exactly the stream sequence the
+/// serial walk would.
+CandidateResult evaluate_candidate_with_rngs(const ModelSpec& spec,
+                                             const data::TrainValSplit& split,
+                                             const SearchConfig& config,
+                                             std::vector<util::Rng>& run_rngs) {
   const std::size_t features = split.train.features();
   const std::size_t classes = split.train.classes;
 
@@ -62,14 +83,6 @@ CandidateResult evaluate_candidate(const ModelSpec& spec,
   nn::TrainConfig train_config = config.train;
   train_config.early_stop_accuracy = config.accuracy_threshold;
 
-  // One RNG stream per run, split up front so results do not depend on the
-  // execution order / thread count.
-  std::vector<util::Rng> run_rngs;
-  run_rngs.reserve(config.runs_per_model);
-  for (std::size_t run = 0; run < config.runs_per_model; ++run) {
-    run_rngs.push_back(rng.split());
-  }
-
   const auto execute_run = [&](util::Rng& run_rng) {
     auto model = build_from_spec(spec, features, classes,
                                  config.classical_activation, run_rng);
@@ -79,45 +92,34 @@ CandidateResult evaluate_candidate(const ModelSpec& spec,
                                 train_config, run_rng);
   };
 
-  double train_sum = 0.0;
-  double val_sum = 0.0;
-  std::size_t runs = 0;
-  if (config.threads > 1 && config.runs_per_model > 1) {
-    // Parallel: all runs complete; pruning does not apply.
-    std::vector<nn::TrainHistory> histories(config.runs_per_model);
-    std::vector<std::thread> workers;
-    std::atomic<std::size_t> next_run{0};
-    const std::size_t worker_count =
-        std::min(config.threads, config.runs_per_model);
-    for (std::size_t w = 0; w < worker_count; ++w) {
-      workers.emplace_back([&] {
-        while (true) {
-          const std::size_t run = next_run.fetch_add(1);
-          if (run >= config.runs_per_model) return;
-          histories[run] = execute_run(run_rngs[run]);
-        }
-      });
-    }
-    for (auto& worker : workers) worker.join();
-    for (const nn::TrainHistory& history : histories) {
-      train_sum += history.best_train_accuracy;
-      val_sum += history.best_val_accuracy;
-      ++runs;
-    }
-  } else {
-    for (std::size_t run = 0; run < config.runs_per_model; ++run) {
-      const nn::TrainHistory history = execute_run(run_rngs[run]);
-      train_sum += history.best_train_accuracy;
-      val_sum += history.best_val_accuracy;
-      ++runs;
+  // Run 0 always executes first, on the calling thread, and the prune
+  // decision is taken from it alone. This makes the serial and parallel
+  // paths follow literally the same decision sequence: the thread count
+  // changes only where runs 1..N-1 execute, never which runs execute.
+  const nn::TrainHistory first = execute_run(run_rngs[0]);
+  double train_sum = first.best_train_accuracy;
+  double val_sum = first.best_val_accuracy;
+  std::size_t runs = 1;
 
-      if (config.prune_margin > 0.0 && run == 0 &&
-          history.best_val_accuracy <
-              config.accuracy_threshold - config.prune_margin) {
-        // Far below threshold after a full budget: averaging more runs
-        // cannot rescue this candidate at bench scale.
-        break;
-      }
+  // Far below threshold after a full budget: averaging more runs cannot
+  // rescue this candidate at bench scale.
+  const bool pruned =
+      config.prune_margin > 0.0 &&
+      first.best_val_accuracy <
+          config.accuracy_threshold - config.prune_margin;
+
+  if (!pruned && config.runs_per_model > 1) {
+    std::vector<nn::TrainHistory> histories(config.runs_per_model);
+    util::parallel_for(1, config.runs_per_model, config.threads,
+                       [&](std::size_t run) {
+                         histories[run] = execute_run(run_rngs[run]);
+                       });
+    // Accumulate in run order so the floating-point sums match the serial
+    // path bit-for-bit.
+    for (std::size_t run = 1; run < config.runs_per_model; ++run) {
+      train_sum += histories[run].best_train_accuracy;
+      val_sum += histories[run].best_val_accuracy;
+      ++runs;
     }
   }
 
@@ -131,28 +133,66 @@ CandidateResult evaluate_candidate(const ModelSpec& spec,
   return result;
 }
 
+}  // namespace
+
+CandidateResult evaluate_candidate(const ModelSpec& spec,
+                                   const data::TrainValSplit& split,
+                                   const SearchConfig& config,
+                                   util::Rng& rng) {
+  std::vector<util::Rng> run_rngs = split_run_rngs(config, rng);
+  return evaluate_candidate_with_rngs(spec, split, config, run_rngs);
+}
+
 SearchOutcome search_once(const std::vector<ModelSpec>& sorted_specs,
                           const data::TrainValSplit& split,
                           const SearchConfig& config, util::Rng& rng) {
   SearchOutcome outcome;
-  std::size_t examined = 0;
-  for (const ModelSpec& spec : sorted_specs) {
-    if (config.max_candidates > 0 && examined >= config.max_candidates) {
-      break;
+  std::size_t limit = sorted_specs.size();
+  if (config.max_candidates > 0) {
+    limit = std::min(limit, config.max_candidates);
+  }
+  // Speculative lookahead: train the next `window` FLOPs-ordered candidates
+  // concurrently, then commit their results strictly in FLOPs order. The
+  // committed sequence — including where the search stops — is identical to
+  // the serial walk; candidates trained past the winner are discarded.
+  const std::size_t window = std::max<std::size_t>(
+      1, config.lookahead > 0 ? config.lookahead : config.threads);
+
+  std::size_t next = 0;
+  while (next < limit && !outcome.winner.has_value()) {
+    const std::size_t count = std::min(window, limit - next);
+
+    // Each candidate's run streams are split from the repetition stream in
+    // FLOPs order before any work is scheduled — the exact sequence the
+    // serial walk draws — so training is independent of both the window
+    // size and the thread count.
+    std::vector<std::vector<util::Rng>> window_rngs;
+    window_rngs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      window_rngs.push_back(split_run_rngs(config, rng));
     }
-    ++examined;
-    CandidateResult result = evaluate_candidate(spec, split, config, rng);
-    util::log_info("search: " + spec.to_string() + " flops=" +
-                   std::to_string(result.flops) + " train_acc=" +
-                   std::to_string(result.avg_best_train_accuracy) +
-                   " val_acc=" +
-                   std::to_string(result.avg_best_val_accuracy) +
-                   (result.meets_threshold ? "  <- winner" : ""));
-    outcome.evaluated.push_back(result);
-    if (result.meets_threshold) {
-      outcome.winner = result;
-      break;
+
+    std::vector<CandidateResult> results(count);
+    util::parallel_for(0, count, config.threads, [&](std::size_t i) {
+      results[i] = evaluate_candidate_with_rngs(sorted_specs[next + i], split,
+                                                config, window_rngs[i]);
+    });
+
+    for (std::size_t i = 0; i < count; ++i) {
+      const CandidateResult& result = results[i];
+      util::log_info("search: " + result.spec.to_string() + " flops=" +
+                     std::to_string(result.flops) + " train_acc=" +
+                     std::to_string(result.avg_best_train_accuracy) +
+                     " val_acc=" +
+                     std::to_string(result.avg_best_val_accuracy) +
+                     (result.meets_threshold ? "  <- winner" : ""));
+      outcome.evaluated.push_back(result);
+      if (result.meets_threshold) {
+        outcome.winner = result;
+        break;
+      }
     }
+    next += count;
   }
   outcome.candidates_trained = outcome.evaluated.size();
   return outcome;

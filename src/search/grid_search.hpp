@@ -10,6 +10,11 @@
 //      threshold wins; cheaper-first ordering makes it the least-FLOPs
 //      solution. The whole procedure repeats `repetitions` times with fresh
 //      RNG streams to absorb training stochasticity.
+//
+// All parallelism (speculative candidate lookahead, per-candidate runs,
+// quantum batch rows) runs on the shared util::ThreadPool and is
+// result-invariant in the thread count: RNG streams are pre-split in a
+// fixed order and results commit in that order.
 #pragma once
 
 #include <optional>
@@ -31,17 +36,25 @@ struct SearchConfig {
   std::uint64_t seed = 42;
   /// If > 0: after the first run of a candidate, skip its remaining runs
   /// when best val accuracy < threshold − prune_margin (cheap reject).
-  /// 0 reproduces the paper's full protocol.
+  /// 0 reproduces the paper's full protocol. Run 0 always executes first
+  /// and alone decides pruning, so the decision — and therefore the search
+  /// outcome — is identical on the serial and parallel paths.
   double prune_margin = 0.0;
   /// Safety valve for bench drivers: examine at most this many candidates
   /// per repetition (0 = unlimited, the paper's setting).
   std::size_t max_candidates = 0;
-  /// Worker threads for a candidate's independent runs. 1 = sequential
-  /// (enables prune_margin); >1 runs all runs_per_model runs concurrently
-  /// (pruning is skipped — all runs complete). Results are deterministic
-  /// for a given seed regardless of the thread count because each run's RNG
-  /// stream is split up front.
+  /// Concurrency width for every parallel stage (speculative candidate
+  /// lookahead, a candidate's independent runs, quantum batch rows, sweep
+  /// levels), all dispatched on the shared util::ThreadPool. 1 = fully
+  /// sequential. Results are bit-identical for a given seed regardless of
+  /// the thread count: every RNG stream is split up front in a fixed order
+  /// and all results commit in that order.
   std::size_t threads = 1;
+  /// Speculative candidate lookahead window for search_once: this many
+  /// FLOPs-ordered candidates train concurrently, committing strictly in
+  /// FLOPs order (candidates trained past the winner are discarded, so the
+  /// "first winner" is the serial one). 0 = auto (= threads).
+  std::size_t lookahead = 0;
 };
 
 /// Per-candidate training outcome.

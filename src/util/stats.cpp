@@ -7,13 +7,14 @@
 namespace qhdl::util {
 
 double mean(std::span<const double> values) {
-  if (values.empty()) return 0.0;
+  if (values.empty()) throw std::invalid_argument("mean: empty sample");
   double sum = 0.0;
   for (double v : values) sum += v;
   return sum / static_cast<double>(values.size());
 }
 
 double stddev(std::span<const double> values) {
+  if (values.empty()) throw std::invalid_argument("stddev: empty sample");
   if (values.size() < 2) return 0.0;
   const double m = mean(values);
   double ss = 0.0;

@@ -18,9 +18,13 @@ struct Summary {
   double max = 0.0;
 };
 
+/// Arithmetic mean. Throws std::invalid_argument on an empty sample, like
+/// every other point statistic here — a mean of nothing is a bug upstream,
+/// not a 0.
 double mean(std::span<const double> values);
 
-/// Sample standard deviation (n-1 denominator); 0 for n < 2.
+/// Sample standard deviation (n-1 denominator); 0 for a singleton. Throws
+/// std::invalid_argument on an empty sample.
 double stddev(std::span<const double> values);
 
 double min_value(std::span<const double> values);
@@ -29,6 +33,8 @@ double max_value(std::span<const double> values);
 /// Median (average of middle two for even n). Copies and sorts internally.
 double median(std::span<const double> values);
 
+/// Empty input yields a count-0 Summary (callers branch on `count`); all
+/// scalar statistics above throw on empty instead.
 Summary summarize(std::span<const double> values);
 
 /// Percentage increase from `from` to `to`: 100*(to-from)/from.

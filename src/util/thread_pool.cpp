@@ -1,0 +1,144 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace qhdl::util {
+
+namespace {
+
+/// Shared between the issuing thread and its queued helpers. Held by
+/// shared_ptr because a helper may still sit in the queue after the loop
+/// has completed (every index drained by other threads); it must find the
+/// state alive, observe `next >= count`, and return without touching the
+/// caller's stack.
+struct LoopState {
+  std::size_t begin = 0;
+  std::size_t count = 0;
+  std::function<void(std::size_t)> work;
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
+  std::atomic<bool> cancelled{false};
+
+  std::mutex mutex;
+  std::condition_variable all_done;
+  std::exception_ptr error;
+
+  /// Claims indices until exhausted. Every claimed index is counted as
+  /// completed even when skipped after a failure, so `completed == count`
+  /// is always eventually true and the caller's wait terminates.
+  void drain() {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      if (!cancelled.load(std::memory_order_relaxed)) {
+        try {
+          work(begin + i);
+        } catch (...) {
+          cancelled.store(true, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(mutex);
+          if (!error) error = std::current_exception();
+        }
+      }
+      const std::size_t done =
+          completed.fetch_add(1, std::memory_order_acq_rel) + 1;
+      if (done == count) {
+        // Lock pairs with the caller's predicate check so the final
+        // notification cannot slip between its check and its wait.
+        std::lock_guard<std::mutex> lock(mutex);
+        all_done.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  const std::size_t n = std::max<std::size_t>(1, workers);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ set and queue drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              std::size_t max_threads,
+                              const std::function<void(std::size_t)>& work) {
+  if (end <= begin) return;
+  const std::size_t count = end - begin;
+  if (max_threads <= 1 || count == 1) {
+    for (std::size_t i = begin; i < end; ++i) work(i);
+    return;
+  }
+
+  auto state = std::make_shared<LoopState>();
+  state->begin = begin;
+  state->count = count;
+  state->work = work;
+
+  // The caller is one lane; enqueue up to max_threads - 1 helpers, capped
+  // by the loop size and the pool width (extra helpers would only ever
+  // no-op).
+  const std::size_t helpers =
+      std::min({max_threads - 1, count - 1, worker_count()});
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t h = 0; h < helpers; ++h) {
+      tasks_.emplace_back([state] { state->drain(); });
+    }
+  }
+  if (helpers == 1) {
+    task_ready_.notify_one();
+  } else {
+    task_ready_.notify_all();
+  }
+
+  state->drain();
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->all_done.wait(lock, [&] {
+    return state->completed.load(std::memory_order_acquire) == state->count;
+  });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool{std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::thread::hardware_concurrency()))};
+  return pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end, std::size_t max_threads,
+                  const std::function<void(std::size_t)>& work) {
+  ThreadPool::shared().parallel_for(begin, end, max_threads, work);
+}
+
+}  // namespace qhdl::util

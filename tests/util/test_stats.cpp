@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 #include <vector>
 
 namespace qhdl::util {
@@ -13,8 +14,8 @@ TEST(Stats, MeanOfKnownSample) {
   EXPECT_DOUBLE_EQ(mean(v), 2.5);
 }
 
-TEST(Stats, MeanOfEmptyIsZero) {
-  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+TEST(Stats, MeanOfEmptyThrows) {
+  EXPECT_THROW(mean(std::vector<double>{}), std::invalid_argument);
 }
 
 TEST(Stats, SampleStddev) {
@@ -25,6 +26,15 @@ TEST(Stats, SampleStddev) {
 
 TEST(Stats, StddevOfSingletonIsZero) {
   EXPECT_DOUBLE_EQ(stddev(std::vector<double>{5.0}), 0.0);
+}
+
+TEST(Stats, StddevOfEmptyThrows) {
+  EXPECT_THROW(stddev(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Stats, SummarizeEmptyIsCountZero) {
+  // summarize is the one empty-tolerant aggregate; callers branch on count.
+  EXPECT_EQ(summarize(std::vector<double>{}).count, 0u);
 }
 
 TEST(Stats, MinMax) {

@@ -1,0 +1,105 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace qhdl::util {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool{4};
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(0, n, 4, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, SingleThreadRunsInlineInOrder) {
+  ThreadPool pool{4};
+  std::vector<std::size_t> order;
+  const auto caller = std::this_thread::get_id();
+  pool.parallel_for(3, 8, 1, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  EXPECT_EQ(order, (std::vector<std::size_t>{3, 4, 5, 6, 7}));
+}
+
+TEST(ThreadPool, EmptyAndReversedRangesAreNoops) {
+  ThreadPool pool{2};
+  std::atomic<int> calls{0};
+  pool.parallel_for(5, 5, 4, [&](std::size_t) { calls.fetch_add(1); });
+  pool.parallel_for(7, 3, 4, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool{4};
+  EXPECT_THROW(pool.parallel_for(0, 100, 4,
+                                 [&](std::size_t i) {
+                                   if (i == 37) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, UsableAfterException) {
+  ThreadPool pool{4};
+  EXPECT_THROW(pool.parallel_for(
+                   0, 16, 4,
+                   [&](std::size_t) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(0, 100, 4, [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPool, ReusedAcrossManyParallelForCalls) {
+  // The whole point of the pool: one set of threads services every loop.
+  ThreadPool pool{4};
+  for (int round = 0; round < 50; ++round) {
+    std::vector<double> out(64, 0.0);
+    pool.parallel_for(0, out.size(), 4,
+                      [&](std::size_t i) { out[i] = static_cast<double>(i); });
+    EXPECT_DOUBLE_EQ(std::accumulate(out.begin(), out.end(), 0.0), 2016.0);
+  }
+}
+
+TEST(ThreadPool, MaxThreadsAboveWorkerCountStillCompletes) {
+  ThreadPool pool{2};
+  std::vector<std::atomic<int>> hits(256);
+  pool.parallel_for(0, hits.size(), 16,
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // Candidate -> training run -> quantum batch all share one pool; the
+  // caller of each loop participates, so nesting completes even with every
+  // worker busy.
+  ThreadPool pool{2};
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for(0, 4, 4, [&](std::size_t) {
+    pool.parallel_for(0, 8, 4, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 32u);
+}
+
+TEST(ThreadPool, SharedPoolIsASingletonAndWorks) {
+  EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
+  EXPECT_GE(ThreadPool::shared().worker_count(), 1u);
+  std::atomic<std::size_t> sum{0};
+  parallel_for(0, 10, 4, [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 45u);
+}
+
+}  // namespace
+}  // namespace qhdl::util
