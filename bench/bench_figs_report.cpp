@@ -1,0 +1,116 @@
+// Figure-level benchmark report: times the hybrid-layer workloads the
+// figures lean on (batch forward/backward, adjoint VJP) in both kernel
+// modes and writes BENCH_figs.json via the shared JSON reporter — the
+// figure-scale counterpart of tools/bench_report.py's BENCH_micro.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json_report.hpp"
+#include "qnn/quantum_layer.hpp"
+#include "quantum/kernels.hpp"
+#include "tensor/tensor.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace qhdl;
+
+/// Median wall-time of `repeat` runs of `fn`, as a BenchEntry.
+bench::BenchEntry time_workload(const std::string& name, std::size_t repeat,
+                                double amps_per_op,
+                                const std::function<void()>& fn) {
+  fn();  // warm-up (also primes thread-local scratch)
+  std::vector<double> samples;
+  samples.reserve(repeat);
+  for (std::size_t r = 0; r < repeat; ++r) {
+    const auto begin = std::chrono::steady_clock::now();
+    fn();
+    const auto end = std::chrono::steady_clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::nano>(end - begin).count());
+  }
+  std::sort(samples.begin(), samples.end());
+  bench::BenchEntry entry;
+  entry.name = name;
+  entry.ns_per_op = samples[samples.size() / 2];
+  if (amps_per_op > 0.0) {
+    entry.amps_per_sec = amps_per_op / (entry.ns_per_op * 1e-9);
+  }
+  return entry;
+}
+
+struct LayerWorkload {
+  qnn::QuantumLayer layer;
+  tensor::Tensor input;
+  tensor::Tensor upstream;
+  double amps_per_call = 0.0;
+};
+
+LayerWorkload make_layer_workload(std::size_t qubits, std::size_t depth,
+                                  std::size_t batch, util::Rng& rng) {
+  qnn::QuantumLayerConfig config;
+  config.qubits = qubits;
+  config.depth = depth;
+  config.threads = 1;
+  LayerWorkload workload{qnn::QuantumLayer{config, rng},
+                         tensor::Tensor{tensor::Shape{batch, qubits}},
+                         tensor::Tensor{tensor::Shape{batch, qubits}}, 0.0};
+  for (std::size_t i = 0; i < workload.input.size(); ++i) {
+    workload.input[i] = rng.uniform(-1.0, 1.0);
+    workload.upstream[i] = rng.uniform(-1.0, 1.0);
+  }
+  workload.amps_per_call =
+      static_cast<double>(batch) *
+      static_cast<double>(workload.layer.executor().circuit().op_count()) *
+      static_cast<double>(std::size_t{1} << qubits);
+  return workload;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli{"bench_figs_report",
+                "Times figure-level hybrid workloads in both kernel modes "
+                "and writes BENCH_figs.json"};
+  cli.add_string("out", "BENCH_figs.json", "output JSON path");
+  cli.add_int("repeat", 9, "timed repetitions per workload");
+  if (!cli.parse(argc, argv)) return 0;
+  const std::string out_path = cli.get_string("out");
+  const auto repeat = static_cast<std::size_t>(cli.get_int("repeat"));
+
+  util::Rng rng{29};
+  std::vector<bench::BenchEntry> entries;
+
+  for (const bool generic : {false, true}) {
+    quantum::kernels::set_force_generic(generic);
+    const std::string suffix = generic ? "_generic" : "";
+
+    auto sel5 = make_layer_workload(5, 10, 16, rng);
+    entries.push_back(time_workload(
+        "figs/sel_q5_d10_b16_forward" + suffix, repeat, sel5.amps_per_call,
+        [&] { sel5.layer.forward(sel5.input); }));
+    sel5.layer.forward(sel5.input);
+    entries.push_back(time_workload(
+        "figs/sel_q5_d10_b16_backward" + suffix, repeat, sel5.amps_per_call,
+        [&] { sel5.layer.backward(sel5.upstream); }));
+
+    auto sel8 = make_layer_workload(8, 2, 16, rng);
+    entries.push_back(time_workload(
+        "figs/sel_q8_d2_b16_forward" + suffix, repeat, sel8.amps_per_call,
+        [&] { sel8.layer.forward(sel8.input); }));
+  }
+  quantum::kernels::set_force_generic(std::nullopt);
+
+  bench::write_bench_json(out_path, bench::collect_metadata(), entries);
+  std::printf("wrote %s (%zu workloads)\n", out_path.c_str(),
+              entries.size());
+  const auto stats = quantum::kernels::stats();
+  std::printf("%s\n", stats.to_string().c_str());
+  return 0;
+}

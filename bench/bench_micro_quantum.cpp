@@ -8,6 +8,7 @@
 #include "qnn/encoding.hpp"
 #include "qnn/quantum_layer.hpp"
 #include "quantum/adjoint_diff.hpp"
+#include "quantum/kernels.hpp"
 #include "quantum/parameter_shift.hpp"
 #include "tensor/tensor.hpp"
 #include "util/rng.hpp"
@@ -138,6 +139,132 @@ BENCHMARK(BM_QuantumLayerBatchForward)
     ->Arg(4)
     ->Arg(8)
     ->UseRealTime();
+
+/// Pins the kernel mode for one benchmark's scope (specialized vs the
+/// QHDL_FORCE_GENERIC_KERNELS escape hatch) so each binary carries its own
+/// before/after pair.
+class KernelModeGuard {
+ public:
+  explicit KernelModeGuard(bool generic) {
+    quantum::kernels::set_force_generic(generic);
+  }
+  ~KernelModeGuard() { quantum::kernels::set_force_generic(std::nullopt); }
+};
+
+void run_rz_bench(benchmark::State& state, bool generic) {
+  const KernelModeGuard guard{generic};
+  const auto qubits = static_cast<std::size_t>(state.range(0));
+  StateVector sv{qubits};
+  sv.apply_single_qubit(quantum::gates::hadamard(), 0);
+  std::size_t wire = 0;
+  for (auto _ : state) {
+    quantum::apply_gate(sv, GateType::RZ, 0.41, wire);
+    wire = (wire + 1) % qubits;
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.counters["amps_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(sv.dimension()),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_RzGate(benchmark::State& state) { run_rz_bench(state, false); }
+void BM_RzGateGeneric(benchmark::State& state) { run_rz_bench(state, true); }
+BENCHMARK(BM_RzGate)->DenseRange(4, 12, 4);
+BENCHMARK(BM_RzGateGeneric)->DenseRange(4, 12, 4);
+
+void run_sel_forward_bench(benchmark::State& state, bool generic) {
+  const KernelModeGuard guard{generic};
+  const auto qubits = static_cast<std::size_t>(state.range(0));
+  std::vector<double> params;
+  const Circuit circuit = make_sel_circuit(qubits, 2, params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuit.execute(params).amplitudes().data());
+  }
+  state.counters["amps_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(circuit.op_count()) *
+          static_cast<double>(std::size_t{1} << qubits),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_SelForwardFused(benchmark::State& state) {
+  run_sel_forward_bench(state, false);
+}
+void BM_SelForwardGeneric(benchmark::State& state) {
+  run_sel_forward_bench(state, true);
+}
+BENCHMARK(BM_SelForwardFused)->DenseRange(2, 10, 2);
+BENCHMARK(BM_SelForwardGeneric)->DenseRange(2, 10, 2);
+
+/// The PR acceptance workload: SEL, 5 qubits, depth 10, batch 16, one
+/// thread. `Generic` pins the escape hatch, reproducing the pre-batching
+/// per-row dense path as the baseline for the speedup ratio.
+void run_layer5q_forward_bench(benchmark::State& state, bool generic) {
+  const KernelModeGuard guard{generic};
+  qnn::QuantumLayerConfig config;
+  config.qubits = 5;
+  config.depth = 10;
+  config.threads = 1;
+  util::Rng rng{11};
+  qnn::QuantumLayer layer{config, rng};
+  const std::size_t batch = 16;
+  tensor::Tensor input{tensor::Shape{batch, config.qubits}};
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = rng.uniform(-1.0, 1.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layer.forward(input));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch));
+  state.counters["amps_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(batch) *
+          static_cast<double>(layer.executor().circuit().op_count()) *
+          static_cast<double>(std::size_t{1} << config.qubits),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_QuantumLayerForward5qD10(benchmark::State& state) {
+  run_layer5q_forward_bench(state, false);
+}
+void BM_QuantumLayerForward5qD10Generic(benchmark::State& state) {
+  run_layer5q_forward_bench(state, true);
+}
+BENCHMARK(BM_QuantumLayerForward5qD10);
+BENCHMARK(BM_QuantumLayerForward5qD10Generic);
+
+void run_layer5q_backward_bench(benchmark::State& state, bool generic) {
+  const KernelModeGuard guard{generic};
+  qnn::QuantumLayerConfig config;
+  config.qubits = 5;
+  config.depth = 10;
+  config.threads = 1;
+  util::Rng rng{11};
+  qnn::QuantumLayer layer{config, rng};
+  const std::size_t batch = 16;
+  tensor::Tensor input{tensor::Shape{batch, config.qubits}};
+  tensor::Tensor upstream{tensor::Shape{batch, config.qubits}};
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = rng.uniform(-1.0, 1.0);
+    upstream[i] = rng.uniform(-1.0, 1.0);
+  }
+  benchmark::DoNotOptimize(layer.forward(input));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layer.backward(upstream));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch));
+}
+
+void BM_QuantumLayerBackward5qD10(benchmark::State& state) {
+  run_layer5q_backward_bench(state, false);
+}
+void BM_QuantumLayerBackward5qD10Generic(benchmark::State& state) {
+  run_layer5q_backward_bench(state, true);
+}
+BENCHMARK(BM_QuantumLayerBackward5qD10);
+BENCHMARK(BM_QuantumLayerBackward5qD10Generic);
 
 void BM_SelAdjointVsDepth(benchmark::State& state) {
   const auto depth = static_cast<std::size_t>(state.range(0));

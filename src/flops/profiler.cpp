@@ -39,6 +39,70 @@ FlopsReport profile_model(const nn::Sequential& model,
   return profile_layers(model.layer_infos(), cost_model);
 }
 
+DispatchCounts classify_circuit(const quantum::Circuit& circuit) {
+  using quantum::GateType;
+  DispatchCounts counts;
+  for (const quantum::Op& op : circuit.ops()) {
+    switch (op.type) {
+      case GateType::RZ:
+      case GateType::PhaseShift:
+      case GateType::S:
+      case GateType::T:
+      case GateType::PauliZ:
+      case GateType::CZ:
+        ++counts.diagonal;
+        break;
+      case GateType::RX:
+      case GateType::RY:
+        ++counts.real_rotation;
+        break;
+      case GateType::PauliX:
+      case GateType::CNOT:
+      case GateType::SWAP:
+        ++counts.permutation;
+        break;
+      case GateType::CRX:
+      case GateType::CRY:
+      case GateType::CRZ:
+        ++counts.controlled;
+        break;
+      case GateType::RXX:
+      case GateType::RYY:
+      case GateType::RZZ:
+        ++counts.double_flip;
+        break;
+      case GateType::PauliY:
+      case GateType::Hadamard:
+        ++counts.generic;
+        break;
+    }
+  }
+  return counts;
+}
+
+std::string dispatch_comparison_to_string(
+    const DispatchCounts& modeled,
+    const quantum::KernelStatsSnapshot& measured) {
+  util::Table table({"kernel", "modeled/run", "measured"});
+  const auto row = [&](const char* name, std::uint64_t m, std::uint64_t got) {
+    table.add_row({name, std::to_string(m), std::to_string(got)});
+  };
+  row("diagonal", modeled.diagonal, measured.diagonal);
+  row("real_rotation", modeled.real_rotation, measured.real_rotation);
+  row("permutation", modeled.permutation, measured.permutation);
+  row("controlled", modeled.controlled, measured.controlled);
+  row("double_flip", modeled.double_flip, measured.double_flip);
+  row("generic", modeled.generic, measured.generic);
+  std::ostringstream oss;
+  oss << table.to_string();
+  oss << "modeled total=" << modeled.total()
+      << " | measured total=" << measured.total_dispatches()
+      << " (fused_chains=" << measured.fused << " absorbing "
+      << measured.fused_gates << " gates, batched_rows="
+      << measured.batched_rows << ")\n";
+  return oss.str();
+}
+
 std::string report_to_string(const FlopsReport& report) {
   util::Table table({"layer", "kind", "fwd FLOPs", "bwd FLOPs", "total"});
   for (std::size_t i = 0; i < report.layers.size(); ++i) {

@@ -8,6 +8,8 @@
 
 #include "flops/cost_model.hpp"
 #include "nn/sequential.hpp"
+#include "quantum/circuit.hpp"
+#include "quantum/kernels.hpp"
 
 namespace qhdl::flops {
 
@@ -47,5 +49,32 @@ FlopsReport profile_model(const nn::Sequential& model,
 
 /// Renders the per-layer table plus stage summary.
 std::string report_to_string(const FlopsReport& report);
+
+// --- kernel-dispatch accounting (DESIGN.md §8) ----------------------------
+
+/// Modeled per-kernel-class dispatch counts for ONE un-fused execution of a
+/// circuit: which specialized statevector kernel each op routes to.
+struct DispatchCounts {
+  std::uint64_t diagonal = 0;       ///< RZ, PhaseShift, S, T, Z, CZ
+  std::uint64_t real_rotation = 0;  ///< RX, RY
+  std::uint64_t permutation = 0;    ///< X, CNOT, SWAP
+  std::uint64_t controlled = 0;     ///< CRX, CRY, CRZ
+  std::uint64_t double_flip = 0;    ///< RXX, RYY, RZZ
+  std::uint64_t generic = 0;        ///< PauliY, Hadamard (dense 2x2)
+  std::uint64_t total() const {
+    return diagonal + real_rotation + permutation + controlled +
+           double_flip + generic;
+  }
+};
+
+/// Classifies every op of `circuit` by the kernel it dispatches to.
+DispatchCounts classify_circuit(const quantum::Circuit& circuit);
+
+/// Side-by-side table of the modeled dispatch mix for a circuit vs the
+/// measured process-wide kernel counters (quantum::kernels::stats()), e.g.
+/// to confirm an experiment actually exercised the specialized paths.
+std::string dispatch_comparison_to_string(
+    const DispatchCounts& modeled,
+    const quantum::KernelStatsSnapshot& measured);
 
 }  // namespace qhdl::flops

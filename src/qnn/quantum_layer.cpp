@@ -1,7 +1,9 @@
 #include "qnn/quantum_layer.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <span>
 #include <stdexcept>
 
 #include "quantum/sampling.hpp"
@@ -74,6 +76,45 @@ Tensor QuantumLayer::forward(const Tensor& input) {
   has_cached_input_ = true;
 
   Tensor output{Shape{input.rows(), q}};
+
+  // Batched SoA fast path: all rows march through the gate kernels
+  // together, hitting contiguous memory (see StateVectorBatch). Chunked
+  // over the thread pool; per-row arithmetic is independent of the chunk
+  // boundaries, so results stay bit-identical across thread counts.
+  if (config_.noise.empty() && config_.shots == 0 &&
+      executor_.batch_path_available()) {
+    const std::size_t batch = input.rows();
+    const std::size_t stride = q + weights_.value.size();
+    std::vector<double> params(batch * stride);
+    for (std::size_t b = 0; b < batch; ++b) {
+      const auto row = pack_params(input, b);
+      std::copy(row.begin(), row.end(), params.begin() + b * stride);
+    }
+    const std::size_t threads = config_.threads > 0 ? config_.threads : 1;
+    const std::size_t chunks = std::min(threads, batch);
+    const auto run_chunk = [&](std::size_t c) {
+      const std::size_t begin = c * batch / chunks;
+      const std::size_t end = (c + 1) * batch / chunks;
+      if (begin == end) return;
+      const std::size_t rows = end - begin;
+      const auto expectations = executor_.run_batch(
+          std::span<const double>{params}.subspan(begin * stride,
+                                                  rows * stride),
+          stride, rows);
+      for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t w = 0; w < q; ++w) {
+          output.at(begin + r, w) = expectations[r * q + w];
+        }
+      }
+    };
+    if (chunks > 1) {
+      run_batch_parallel(chunks, run_chunk);
+    } else {
+      run_chunk(0);
+    }
+    return output;
+  }
+
   std::vector<std::size_t> wires(q);
   for (std::size_t w = 0; w < q; ++w) wires[w] = w;
 
@@ -116,6 +157,53 @@ Tensor QuantumLayer::backward(const Tensor& grad_output) {
 
   const std::size_t batch = cached_input_.rows();
   Tensor grad_input{Shape{batch, q}};
+
+  // Batched SoA fast path mirroring forward(): one adjoint sweep per chunk
+  // covers every row in it.
+  if (config_.noise.empty() && executor_.batch_path_available()) {
+    const std::size_t stride = q + weights_.value.size();
+    std::vector<double> params(batch * stride);
+    std::vector<double> upstream(batch * q);
+    for (std::size_t b = 0; b < batch; ++b) {
+      const auto row = pack_params(cached_input_, b);
+      std::copy(row.begin(), row.end(), params.begin() + b * stride);
+      for (std::size_t w = 0; w < q; ++w) {
+        upstream[b * q + w] = grad_output.at(b, w);
+      }
+    }
+    std::vector<double> all_grads(batch * stride);
+    const std::size_t threads = config_.threads > 0 ? config_.threads : 1;
+    const std::size_t chunks = std::min(threads, batch);
+    const auto run_chunk = [&](std::size_t c) {
+      const std::size_t begin = c * batch / chunks;
+      const std::size_t end = (c + 1) * batch / chunks;
+      if (begin == end) return;
+      const std::size_t rows = end - begin;
+      const auto vjp = executor_.run_with_vjp_batch(
+          std::span<const double>{params}.subspan(begin * stride,
+                                                  rows * stride),
+          stride, rows,
+          std::span<const double>{upstream}.subspan(begin * q, rows * q));
+      std::copy(vjp.gradient.begin(), vjp.gradient.end(),
+                all_grads.begin() + begin * stride);
+    };
+    if (chunks > 1) {
+      run_batch_parallel(chunks, run_chunk);
+    } else {
+      run_chunk(0);
+    }
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t w = 0; w < q; ++w) {
+        grad_input.at(b, w) =
+            config_.encoding.scale * all_grads[b * stride + w];
+      }
+      for (std::size_t i = 0; i < weights_.value.size(); ++i) {
+        weights_.grad[i] += all_grads[b * stride + q + i];
+      }
+    }
+    return grad_input;
+  }
+
   std::vector<std::size_t> wires(q);
   for (std::size_t w = 0; w < q; ++w) wires[w] = w;
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "quantum/statevector_batch.hpp"
+
 namespace qhdl::quantum {
 
 namespace {
@@ -141,6 +143,121 @@ std::vector<double> initial_state_cogradient(
     cogradient[i] = 2.0 * amps[i].real();
   }
   return cogradient;
+}
+
+BatchAdjointVjpResult adjoint_vjp_batch(
+    const Circuit& circuit, std::span<const double> params,
+    std::size_t param_stride, std::size_t batch_rows,
+    std::span<const Observable> observables,
+    std::span<const double> upstream_weights) {
+  const std::size_t obs_count = observables.size();
+  if (upstream_weights.size() != batch_rows * obs_count) {
+    throw std::invalid_argument(
+        "adjoint_vjp_batch: upstream_weights size must be batch * "
+        "observables");
+  }
+  if (batch_rows == 0) {
+    throw std::invalid_argument("adjoint_vjp_batch: batch must be >= 1");
+  }
+  for (const Observable& obs : observables) {
+    if (!obs.is_diagonal()) {
+      throw std::invalid_argument(
+          "adjoint_vjp_batch: all observables must be diagonal (all-Z); "
+          "fall back to per-row adjoint_vjp for " +
+          obs.to_string());
+    }
+  }
+
+  const std::size_t num_qubits = circuit.num_qubits();
+  const std::size_t dimension = std::size_t{1} << num_qubits;
+
+  BatchAdjointVjpResult result;
+  result.batch = batch_rows;
+  result.observable_count = obs_count;
+
+  // Forward: all rows at once through the SoA kernels.
+  StateVectorBatch phi{num_qubits, batch_rows};
+  circuit.run_batch(phi, params, param_stride);
+
+  // Each diagonal entry matches expectation()'s fast-path sign_weight, so
+  // the per-row expectations below are bit-identical to the scalar path.
+  std::vector<std::vector<double>> diagonals;
+  diagonals.reserve(obs_count);
+  for (const Observable& obs : observables) {
+    diagonals.push_back(obs.diagonal(num_qubits));
+  }
+
+  result.expectations.assign(batch_rows * obs_count, 0.0);
+  {
+    const std::span<const Complex> amps = phi.amplitudes();
+    for (std::size_t i = 0; i < dimension; ++i) {
+      for (std::size_t b = 0; b < batch_rows; ++b) {
+        const double p = std::norm(amps[i * batch_rows + b]);
+        for (std::size_t k = 0; k < obs_count; ++k) {
+          result.expectations[b * obs_count + k] += diagonals[k][i] * p;
+        }
+      }
+    }
+  }
+
+  // Co-state seed: λ_b = (Σ_k w_{b,k} diag_k) ∘ ψ_b.
+  StateVectorBatch lambda{num_qubits, batch_rows};
+  {
+    const std::span<const Complex> amps = phi.amplitudes();
+    const std::span<Complex> lam = lambda.amplitudes();
+    for (std::size_t i = 0; i < dimension; ++i) {
+      for (std::size_t b = 0; b < batch_rows; ++b) {
+        double effective = 0.0;
+        for (std::size_t k = 0; k < obs_count; ++k) {
+          effective += upstream_weights[b * obs_count + k] * diagonals[k][i];
+        }
+        lam[i * batch_rows + b] = effective * amps[i * batch_rows + b];
+      }
+    }
+  }
+
+  // Reverse sweep, batched: peel φ, form μ = (dU/dθ)φ, take per-row
+  // Re⟨λ|μ⟩, pull λ back.
+  const std::size_t parameter_count = circuit.parameter_count();
+  result.gradient.assign(batch_rows * parameter_count, 0.0);
+  StateVectorBatch mu{num_qubits, batch_rows};
+  std::vector<double> angles(batch_rows);
+  std::vector<double> row_inner(batch_rows);
+  const auto& ops = circuit.ops();
+
+  const auto gather_angles = [&](const Op& op) -> std::span<const double> {
+    if (!op.param_index.has_value()) {
+      angles[0] = op.fixed_angle;
+      return {angles.data(), 1};
+    }
+    bool shared = true;
+    for (std::size_t b = 0; b < batch_rows; ++b) {
+      angles[b] = params[b * param_stride + *op.param_index];
+      shared = shared && angles[b] == angles[0];
+    }
+    return shared ? std::span<const double>{angles.data(), 1}
+                  : std::span<const double>{angles};
+  };
+
+  for (std::size_t idx = ops.size(); idx-- > 0;) {
+    const Op& op = ops[idx];
+    const std::span<const double> op_angles = gather_angles(op);
+    apply_gate_inverse_batch(phi, op.type, op_angles, op.wire0, op.wire1);
+
+    if (op.param_index.has_value()) {
+      mu.assign_from(phi);
+      apply_gate_derivative_batch(mu, op.type, op_angles, op.wire0,
+                                  op.wire1);
+      lambda.inner_products_real(mu, row_inner);
+      for (std::size_t b = 0; b < batch_rows; ++b) {
+        result.gradient[b * parameter_count + *op.param_index] +=
+            2.0 * row_inner[b];
+      }
+    }
+
+    apply_gate_inverse_batch(lambda, op.type, op_angles, op.wire0, op.wire1);
+  }
+  return result;
 }
 
 std::vector<std::vector<double>> adjoint_jacobian(

@@ -74,4 +74,26 @@ std::vector<std::vector<double>> adjoint_jacobian(
     const Circuit& circuit, std::span<const double> params,
     std::span<const Observable> observables);
 
+// --- batched (SoA) adjoint VJP --------------------------------------------
+
+struct BatchAdjointVjpResult {
+  std::size_t batch = 0;
+  std::size_t observable_count = 0;
+  std::vector<double> expectations;  ///< [b * observable_count + k]
+  std::vector<double> gradient;      ///< [b * parameter_count + p]
+};
+
+/// One reverse sweep over a whole SoA batch of rows. Row b reads its circuit
+/// parameters from params[b*param_stride, (b+1)*param_stride) and its
+/// upstream weights from upstream_weights[b*K, (b+1)*K) with
+/// K = observables.size(). Requires every observable to be diagonal
+/// (all-Z) so the co-state seed is a per-amplitude multiply — the hybrid
+/// layer's ⟨Z_w⟩ heads satisfy this; callers with X/Y observables fall back
+/// to the per-row adjoint_vjp. Throws std::invalid_argument otherwise.
+BatchAdjointVjpResult adjoint_vjp_batch(
+    const Circuit& circuit, std::span<const double> params,
+    std::size_t param_stride, std::size_t batch_rows,
+    std::span<const Observable> observables,
+    std::span<const double> upstream_weights);
+
 }  // namespace qhdl::quantum

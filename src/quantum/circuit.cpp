@@ -5,6 +5,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "quantum/kernels.hpp"
+#include "quantum/statevector_batch.hpp"
+
 namespace qhdl::quantum {
 
 double Op::angle(std::span<const double> params) const {
@@ -94,6 +97,35 @@ Circuit& Circuit::rot(std::size_t param_index_base, std::size_t wire) {
   return *this;
 }
 
+namespace {
+
+/// Per-wire chain of deferred adjacent single-qubit gates. A chain of one
+/// gate dispatches through the specialized kernels untouched; two or more
+/// are collapsed into a single dense 2x2 before application. Single-qubit
+/// gates on distinct wires commute exactly, so deferral never reorders
+/// anything observable.
+struct PendingChain {
+  GateType first_type;
+  double first_angle = 0.0;
+  Mat2 matrix;  ///< product of the chain; only valid once gates >= 2
+  std::size_t gates = 0;
+};
+
+void flush_wire(StateVector& state, std::vector<PendingChain>& pending,
+                std::size_t wire) {
+  PendingChain& chain = pending[wire];
+  if (chain.gates == 0) return;
+  if (chain.gates == 1) {
+    apply_gate(state, chain.first_type, chain.first_angle, wire);
+  } else {
+    state.apply_single_qubit(chain.matrix, wire);
+    kernels::count_fused(chain.gates);
+  }
+  chain.gates = 0;
+}
+
+}  // namespace
+
 void Circuit::run(StateVector& state, std::span<const double> params) const {
   if (state.num_qubits() != num_qubits_) {
     throw std::invalid_argument("Circuit::run: state has " +
@@ -107,8 +139,82 @@ void Circuit::run(StateVector& state, std::span<const double> params) const {
                                 " params, need " +
                                 std::to_string(parameter_count_));
   }
+  if (kernels::force_generic()) {
+    // Escape hatch: no fusion, no specialized kernels — the pre-PR2 loop.
+    for (const Op& op : ops_) {
+      apply_gate(state, op.type, op.angle(params), op.wire0, op.wire1);
+    }
+    return;
+  }
+  thread_local std::vector<PendingChain> pending;
+  pending.assign(num_qubits_, PendingChain{});
   for (const Op& op : ops_) {
-    apply_gate(state, op.type, op.angle(params), op.wire0, op.wire1);
+    if (gate_arity(op.type) == 1) {
+      const double theta = op.angle(params);
+      PendingChain& chain = pending[op.wire0];
+      if (chain.gates == 0) {
+        chain.first_type = op.type;
+        chain.first_angle = theta;
+        chain.gates = 1;
+      } else {
+        if (chain.gates == 1) {
+          chain.matrix =
+              gates::matrix_for(chain.first_type, chain.first_angle);
+        }
+        chain.matrix = gates::matrix_for(op.type, theta) * chain.matrix;
+        ++chain.gates;
+      }
+    } else {
+      flush_wire(state, pending, op.wire0);
+      flush_wire(state, pending, op.wire1);
+      apply_gate(state, op.type, op.angle(params), op.wire0, op.wire1);
+    }
+  }
+  for (std::size_t wire = 0; wire < num_qubits_; ++wire) {
+    flush_wire(state, pending, wire);
+  }
+}
+
+void Circuit::run_batch(StateVectorBatch& batch,
+                        std::span<const double> params,
+                        std::size_t param_stride) const {
+  if (batch.num_qubits() != num_qubits_) {
+    throw std::invalid_argument("Circuit::run_batch: batch has " +
+                                std::to_string(batch.num_qubits()) +
+                                " qubits, circuit needs " +
+                                std::to_string(num_qubits_));
+  }
+  if (param_stride < parameter_count_) {
+    throw std::invalid_argument("Circuit::run_batch: param_stride " +
+                                std::to_string(param_stride) + " < " +
+                                std::to_string(parameter_count_) +
+                                " circuit parameters");
+  }
+  const std::size_t rows = batch.batch();
+  if (params.size() < rows * param_stride) {
+    throw std::invalid_argument("Circuit::run_batch: got " +
+                                std::to_string(params.size()) +
+                                " params, need " +
+                                std::to_string(rows * param_stride));
+  }
+  thread_local std::vector<double> angles;
+  angles.resize(rows);
+  for (const Op& op : ops_) {
+    if (!op.param_index.has_value()) {
+      const double fixed[1] = {op.fixed_angle};
+      apply_gate_batch(batch, op.type, fixed, op.wire0, op.wire1);
+      continue;
+    }
+    const std::size_t index = *op.param_index;
+    bool shared = true;
+    for (std::size_t b = 0; b < rows; ++b) {
+      angles[b] = params[b * param_stride + index];
+      shared = shared && angles[b] == angles[0];
+    }
+    apply_gate_batch(batch, op.type,
+                     shared ? std::span<const double>{angles.data(), 1}
+                            : std::span<const double>{angles},
+                     op.wire0, op.wire1);
   }
 }
 

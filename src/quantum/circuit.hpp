@@ -16,6 +16,8 @@
 
 namespace qhdl::quantum {
 
+class StateVectorBatch;
+
 /// One circuit operation.
 struct Op {
   GateType type;
@@ -61,8 +63,20 @@ class Circuit {
 
   // --- execution --------------------------------------------------------
 
-  /// Applies all ops to `state` with the given runtime parameters.
+  /// Applies all ops to `state` with the given runtime parameters. Unless
+  /// QHDL_FORCE_GENERIC_KERNELS is active, adjacent single-qubit gates on
+  /// the same wire are fused into one 2x2 matrix before application (gates
+  /// on different wires commute exactly, so deferral is safe; two-qubit ops
+  /// flush both of their wires first).
   void run(StateVector& state, std::span<const double> params) const;
+
+  /// Applies all ops to every row of a SoA batch. Row b reads its
+  /// parameters from params[b*param_stride, (b+1)*param_stride). Ops whose
+  /// angle is identical across rows (fixed angles, shared ansatz weights)
+  /// run as one shared kernel with a single sin/cos evaluation; per-row
+  /// angles (data encoding) use the per-row kernel variants.
+  void run_batch(StateVectorBatch& batch, std::span<const double> params,
+                 std::size_t param_stride) const;
 
   /// Runs on a fresh |0...0⟩ state and returns it.
   StateVector execute(std::span<const double> params) const;

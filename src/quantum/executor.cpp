@@ -1,8 +1,11 @@
 #include "quantum/executor.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "quantum/kernels.hpp"
 #include "quantum/parameter_shift.hpp"
+#include "quantum/statevector_batch.hpp"
 
 namespace qhdl::quantum {
 
@@ -45,6 +48,86 @@ AdjointVjpResult Executor::run_with_vjp(
     for (std::size_t j = 0; j < row.size(); ++j) {
       result.gradient[j] += upstream[k] * row[j];
     }
+  }
+  return result;
+}
+
+bool Executor::batch_path_available() const {
+  if (kernels::force_generic()) return false;
+  if (diff_method_ != DiffMethod::Adjoint) return false;
+  for (const Observable& obs : observables_) {
+    if (!obs.is_diagonal()) return false;
+  }
+  return true;
+}
+
+std::vector<double> Executor::run_batch(std::span<const double> params,
+                                        std::size_t param_stride,
+                                        std::size_t batch_rows) const {
+  if (batch_rows == 0) {
+    throw std::invalid_argument("Executor::run_batch: batch must be >= 1");
+  }
+  const std::size_t obs_count = observables_.size();
+  if (!batch_path_available()) {
+    // Per-row fallback: identical results, row at a time.
+    std::vector<double> expectations(batch_rows * obs_count);
+    for (std::size_t b = 0; b < batch_rows; ++b) {
+      const auto row = run(params.subspan(b * param_stride, param_stride));
+      std::copy(row.begin(), row.end(),
+                expectations.begin() + b * obs_count);
+    }
+    return expectations;
+  }
+  StateVectorBatch batch{circuit_.num_qubits(), batch_rows};
+  circuit_.run_batch(batch, params, param_stride);
+
+  std::vector<double> expectations(batch_rows * obs_count, 0.0);
+  const std::size_t dimension = batch.dimension();
+  const std::span<const Complex> amps = batch.amplitudes();
+  std::vector<std::vector<double>> diagonals;
+  diagonals.reserve(obs_count);
+  for (const Observable& obs : observables_) {
+    diagonals.push_back(obs.diagonal(circuit_.num_qubits()));
+  }
+  for (std::size_t i = 0; i < dimension; ++i) {
+    for (std::size_t b = 0; b < batch_rows; ++b) {
+      const double p = std::norm(amps[i * batch_rows + b]);
+      for (std::size_t k = 0; k < obs_count; ++k) {
+        expectations[b * obs_count + k] += diagonals[k][i] * p;
+      }
+    }
+  }
+  return expectations;
+}
+
+BatchAdjointVjpResult Executor::run_with_vjp_batch(
+    std::span<const double> params, std::size_t param_stride,
+    std::size_t batch_rows, std::span<const double> upstream) const {
+  const std::size_t obs_count = observables_.size();
+  if (upstream.size() != batch_rows * obs_count) {
+    throw std::invalid_argument(
+        "Executor::run_with_vjp_batch: upstream size");
+  }
+  if (batch_path_available()) {
+    return adjoint_vjp_batch(circuit_, params, param_stride, batch_rows,
+                             observables_, upstream);
+  }
+  // Per-row fallback (parameter-shift, non-diagonal observables, or the
+  // generic-kernel escape hatch).
+  BatchAdjointVjpResult result;
+  result.batch = batch_rows;
+  result.observable_count = obs_count;
+  const std::size_t parameter_count = circuit_.parameter_count();
+  result.expectations.resize(batch_rows * obs_count);
+  result.gradient.resize(batch_rows * parameter_count);
+  for (std::size_t b = 0; b < batch_rows; ++b) {
+    const AdjointVjpResult row =
+        run_with_vjp(params.subspan(b * param_stride, param_stride),
+                     upstream.subspan(b * obs_count, obs_count));
+    std::copy(row.expectations.begin(), row.expectations.end(),
+              result.expectations.begin() + b * obs_count);
+    std::copy(row.gradient.begin(), row.gradient.end(),
+              result.gradient.begin() + b * parameter_count);
   }
   return result;
 }

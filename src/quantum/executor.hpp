@@ -35,6 +35,25 @@ class Executor {
   std::vector<std::vector<double>> jacobian(
       std::span<const double> params) const;
 
+  /// True when the batched SoA path can serve this executor: adjoint
+  /// differentiation, all-diagonal observables, and the generic-kernel
+  /// escape hatch not active.
+  bool batch_path_available() const;
+
+  /// Forward for `batch_rows` parameter rows at once through the SoA
+  /// kernels. Row b reads params[b*param_stride, (b+1)*param_stride).
+  /// Returns expectations [b * observable_count + k]. Falls back to per-row
+  /// run() when batch_path_available() is false.
+  std::vector<double> run_batch(std::span<const double> params,
+                                std::size_t param_stride,
+                                std::size_t batch_rows) const;
+
+  /// Batched forward + VJP; upstream is [b * observable_count + k]. Falls
+  /// back to per-row run_with_vjp when batch_path_available() is false.
+  BatchAdjointVjpResult run_with_vjp_batch(
+      std::span<const double> params, std::size_t param_stride,
+      std::size_t batch_rows, std::span<const double> upstream) const;
+
  private:
   Circuit circuit_;
   std::vector<Observable> observables_;

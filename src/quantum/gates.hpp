@@ -8,11 +8,14 @@
 //   CR*(θ) = |0⟩⟨0|⊗I + |1⟩⟨1|⊗R*(θ).
 #pragma once
 
+#include <span>
 #include <string>
 
 #include "quantum/statevector.hpp"
 
 namespace qhdl::quantum {
+
+class StateVectorBatch;
 
 enum class GateType {
   // Fixed single-qubit gates.
@@ -106,5 +109,27 @@ void apply_gate_inverse(StateVector& state, GateType type, double theta,
 /// Applies dU/dθ (non-unitary). Only valid for parameterized gates.
 void apply_gate_derivative(StateVector& state, GateType type, double theta,
                            std::size_t wire0, std::size_t wire1 = SIZE_MAX);
+
+// --- batched (SoA) dispatch -----------------------------------------------
+// `angles` holds either ONE shared angle (size 1 — also pass {0.0} for fixed
+// gates) or one angle per batch row (size batch.batch()). Shared angles hit
+// the shared kernels (one trig evaluation for the whole batch); per-row
+// angles hit the per-row kernel variants. These always use the specialized
+// kernels — the QHDL_FORCE_GENERIC_KERNELS escape hatch disables the batched
+// path upstream (callers fall back to per-row StateVector execution).
+
+void apply_gate_batch(StateVectorBatch& batch, GateType type,
+                      std::span<const double> angles, std::size_t wire0,
+                      std::size_t wire1 = SIZE_MAX);
+
+void apply_gate_inverse_batch(StateVectorBatch& batch, GateType type,
+                              std::span<const double> angles,
+                              std::size_t wire0, std::size_t wire1 = SIZE_MAX);
+
+/// Only valid for parameterized gates.
+void apply_gate_derivative_batch(StateVectorBatch& batch, GateType type,
+                                 std::span<const double> angles,
+                                 std::size_t wire0,
+                                 std::size_t wire1 = SIZE_MAX);
 
 }  // namespace qhdl::quantum

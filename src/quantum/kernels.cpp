@@ -1,0 +1,119 @@
+#include "quantum/kernels.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <sstream>
+
+namespace qhdl::quantum {
+
+std::string KernelStatsSnapshot::to_string() const {
+  std::ostringstream oss;
+  oss << "kernel dispatches: diagonal=" << diagonal
+      << " real_rotation=" << real_rotation << " permutation=" << permutation
+      << " controlled=" << controlled << " double_flip=" << double_flip
+      << " generic=" << generic << " (fused_chains=" << fused
+      << " absorbing " << fused_gates << " gates, batched_rows="
+      << batched_rows << ")";
+  return oss.str();
+}
+
+namespace kernels {
+
+namespace {
+
+bool env_default() {
+  // Env var wins when set ("0" = specialized, anything else = generic);
+  // otherwise the build-time default applies.
+  const char* value = std::getenv("QHDL_FORCE_GENERIC_KERNELS");
+  if (value != nullptr && value[0] != '\0') {
+    return !(value[0] == '0' && value[1] == '\0');
+  }
+#ifdef QHDL_FORCE_GENERIC_KERNELS_DEFAULT
+  return true;
+#else
+  return false;
+#endif
+}
+
+// -1 = follow env/build default, 0 = specialized, 1 = generic.
+std::atomic<int> g_force_override{-1};
+
+struct Counters {
+  std::atomic<std::uint64_t> diagonal{0};
+  std::atomic<std::uint64_t> real_rotation{0};
+  std::atomic<std::uint64_t> permutation{0};
+  std::atomic<std::uint64_t> controlled{0};
+  std::atomic<std::uint64_t> double_flip{0};
+  std::atomic<std::uint64_t> generic{0};
+  std::atomic<std::uint64_t> fused{0};
+  std::atomic<std::uint64_t> fused_gates{0};
+  std::atomic<std::uint64_t> batched_rows{0};
+};
+
+Counters& counters() {
+  static Counters instance;
+  return instance;
+}
+
+inline void bump(std::atomic<std::uint64_t>& c, std::uint64_t by = 1) {
+  c.fetch_add(by, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+bool force_generic() {
+  const int override_value = g_force_override.load(std::memory_order_relaxed);
+  if (override_value >= 0) return override_value == 1;
+  static const bool from_env = env_default();
+  return from_env;
+}
+
+void set_force_generic(std::optional<bool> forced) {
+  g_force_override.store(forced.has_value() ? (*forced ? 1 : 0) : -1,
+                         std::memory_order_relaxed);
+}
+
+void count_diagonal() { bump(counters().diagonal); }
+void count_real_rotation() { bump(counters().real_rotation); }
+void count_permutation() { bump(counters().permutation); }
+void count_controlled() { bump(counters().controlled); }
+void count_double_flip() { bump(counters().double_flip); }
+void count_generic() { bump(counters().generic); }
+void count_fused(std::uint64_t gates_absorbed) {
+  bump(counters().fused);
+  bump(counters().fused_gates, gates_absorbed);
+}
+void count_batched_rows(std::uint64_t rows) {
+  bump(counters().batched_rows, rows);
+}
+
+KernelStatsSnapshot stats() {
+  const Counters& c = counters();
+  KernelStatsSnapshot snapshot;
+  snapshot.diagonal = c.diagonal.load(std::memory_order_relaxed);
+  snapshot.real_rotation = c.real_rotation.load(std::memory_order_relaxed);
+  snapshot.permutation = c.permutation.load(std::memory_order_relaxed);
+  snapshot.controlled = c.controlled.load(std::memory_order_relaxed);
+  snapshot.double_flip = c.double_flip.load(std::memory_order_relaxed);
+  snapshot.generic = c.generic.load(std::memory_order_relaxed);
+  snapshot.fused = c.fused.load(std::memory_order_relaxed);
+  snapshot.fused_gates = c.fused_gates.load(std::memory_order_relaxed);
+  snapshot.batched_rows = c.batched_rows.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+void reset_stats() {
+  Counters& c = counters();
+  c.diagonal.store(0, std::memory_order_relaxed);
+  c.real_rotation.store(0, std::memory_order_relaxed);
+  c.permutation.store(0, std::memory_order_relaxed);
+  c.controlled.store(0, std::memory_order_relaxed);
+  c.double_flip.store(0, std::memory_order_relaxed);
+  c.generic.store(0, std::memory_order_relaxed);
+  c.fused.store(0, std::memory_order_relaxed);
+  c.fused_gates.store(0, std::memory_order_relaxed);
+  c.batched_rows.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace kernels
+}  // namespace qhdl::quantum

@@ -1,0 +1,76 @@
+// Kernel dispatch configuration and observability.
+//
+// The state-vector simulator routes every gate through one of a handful of
+// specialized kernels (see DESIGN.md §8): diagonal phase multiplies for
+// RZ/PhaseShift/S/T/Z/CZ, real-rotation updates for RX/RY, index
+// permutations for X/CNOT/SWAP, and dense complex 2x2 matvecs for
+// everything else. This header owns
+//   * the QHDL_FORCE_GENERIC_KERNELS escape hatch (env var or CMake option)
+//     that forces every gate back onto the generic dense-matrix path and
+//     disables fusion and the batched SoA executor — i.e. reproduces the
+//     pre-kernel code path bit-for-bit, and
+//   * per-kernel dispatch counters, so the FLOPs cost model's predicted gate
+//     mix can be checked against what the simulator actually executed
+//     (flops::classify_circuit / flops::dispatch_comparison_to_string).
+//
+// Counters are process-global relaxed atomics: cheap, thread-safe, and
+// deliberately order-free (they are diagnostics, never control flow).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace qhdl::quantum {
+
+/// Point-in-time copy of the dispatch counters.
+struct KernelStatsSnapshot {
+  std::uint64_t diagonal = 0;       ///< RZ / PhaseShift / S / T / Z / CZ
+  std::uint64_t real_rotation = 0;  ///< RX / RY fast paths
+  std::uint64_t permutation = 0;    ///< X / CNOT / SWAP
+  std::uint64_t controlled = 0;     ///< CRX / CRY / CRZ (dense on half pairs)
+  std::uint64_t double_flip = 0;    ///< RXX / RYY / RZZ
+  std::uint64_t generic = 0;        ///< dense 2x2 matvec over all pairs
+  std::uint64_t fused = 0;          ///< single-qubit chains merged into one 2x2
+  std::uint64_t fused_gates = 0;    ///< gates absorbed into those chains
+  std::uint64_t batched_rows = 0;   ///< row-gates executed by the SoA batch path
+
+  /// Individual gate applications (a fused chain counts once).
+  std::uint64_t total_dispatches() const {
+    return diagonal + real_rotation + permutation + controlled + double_flip +
+           generic;
+  }
+  std::string to_string() const;
+};
+
+namespace kernels {
+
+/// True when the escape hatch is active: the QHDL_FORCE_GENERIC_KERNELS
+/// environment variable is set to anything but "0"/"" at first use, the
+/// CMake option of the same name was ON at build time, or a test override
+/// is in place.
+bool force_generic();
+
+/// Test override: true/false forces the mode, nullopt restores the
+/// env/build-time default. Not thread-safe against concurrent gate
+/// application (flip it only between runs).
+void set_force_generic(std::optional<bool> forced);
+
+// Counter bumps (relaxed; called from the hot loops in statevector.cpp).
+void count_diagonal();
+void count_real_rotation();
+void count_permutation();
+void count_controlled();
+void count_double_flip();
+void count_generic();
+void count_fused(std::uint64_t gates_absorbed);
+void count_batched_rows(std::uint64_t rows);
+
+/// Copies the current counters.
+KernelStatsSnapshot stats();
+
+/// Zeroes all counters (tests / bench epochs).
+void reset_stats();
+
+}  // namespace kernels
+}  // namespace qhdl::quantum

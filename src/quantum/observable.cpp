@@ -123,6 +123,33 @@ void Observable::apply(const StateVector& state, StateVector& out) const {
   }
 }
 
+std::vector<double> Observable::diagonal(std::size_t num_qubits) const {
+  if (!is_diagonal()) {
+    throw std::logic_error("Observable::diagonal: observable has X/Y terms");
+  }
+  const std::size_t dimension = std::size_t{1} << num_qubits;
+  std::vector<double> diag(dimension);
+  for (std::size_t i = 0; i < dimension; ++i) {
+    double sign_weight = 0.0;
+    for (const Term& term : terms_) {
+      double sign = 1.0;
+      for (std::size_t k = 0; k < term.word.wires.size(); ++k) {
+        const std::size_t wire = term.word.wires[k];
+        if (wire >= num_qubits) {
+          throw std::out_of_range("Observable::diagonal: wire out of range");
+        }
+        const std::size_t mask = std::size_t{1} << (num_qubits - 1 - wire);
+        if (term.word.factors[k] == Pauli::Z && (i & mask) != 0) {
+          sign = -sign;
+        }
+      }
+      sign_weight += term.weight * sign;
+    }
+    diag[i] = sign_weight;
+  }
+  return diag;
+}
+
 double Observable::expectation(const StateVector& state) const {
   // Fast path: all-Z observables are diagonal.
   if (is_diagonal()) {

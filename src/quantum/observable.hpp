@@ -55,6 +55,13 @@ class Observable {
   /// True when every term is a Z-word (fast diagonal path applies).
   bool is_diagonal() const;
 
+  /// The operator's computational-basis diagonal, entry per basis index
+  /// (size 2^num_qubits). Each entry is accumulated term-by-term in the same
+  /// order as expectation()'s diagonal fast path, so
+  /// Σ_i diagonal[i]·|a_i|² reproduces expectation() bit-for-bit. Throws
+  /// std::logic_error unless is_diagonal().
+  std::vector<double> diagonal(std::size_t num_qubits) const;
+
   std::string to_string() const;
 
  private:

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "quantum/kernels.hpp"
+
 namespace qhdl::quantum {
 
 Mat2 Mat2::dagger() const {
@@ -33,6 +35,21 @@ std::size_t log2_size(std::size_t n) {
   std::size_t bits = 0;
   while ((std::size_t{1} << bits) < n) ++bits;
   return bits;
+}
+
+/// Spreads compact index `i` into a basis index with a 0 bit at both mask
+/// positions (masks must satisfy lo_mask < hi_mask). Lets two-qubit kernels
+/// visit exactly the n/4 relevant base indices branch-free instead of
+/// scanning all n amplitudes.
+inline std::size_t expand_two_zero_bits(std::size_t i, std::size_t lo_mask,
+                                        std::size_t hi_mask) {
+  std::size_t j = ((i & ~(lo_mask - 1)) << 1) | (i & (lo_mask - 1));
+  return ((j & ~(hi_mask - 1)) << 1) | (j & (hi_mask - 1));
+}
+
+/// One-bit version: a 0 bit at the mask position.
+inline std::size_t expand_one_zero_bit(std::size_t i, std::size_t mask) {
+  return ((i & ~(mask - 1)) << 1) | (i & (mask - 1));
 }
 
 }  // namespace
@@ -77,6 +94,7 @@ void StateVector::check_wire(std::size_t wire, const char* context) const {
 
 void StateVector::apply_single_qubit(const Mat2& gate, std::size_t wire) {
   check_wire(wire, "apply_single_qubit");
+  kernels::count_generic();
   const std::size_t stride = std::size_t{1} << (num_qubits_ - 1 - wire);
   const std::size_t n = amplitudes_.size();
   for (std::size_t block = 0; block < n; block += 2 * stride) {
@@ -91,6 +109,81 @@ void StateVector::apply_single_qubit(const Mat2& gate, std::size_t wire) {
   }
 }
 
+void StateVector::apply_diagonal(Complex d0, Complex d1, std::size_t wire) {
+  check_wire(wire, "apply_diagonal");
+  kernels::count_diagonal();
+  const std::size_t stride = std::size_t{1} << (num_qubits_ - 1 - wire);
+  const std::size_t n = amplitudes_.size();
+  Complex* amps = amplitudes_.data();
+  if (d0 == Complex{1.0, 0.0}) {
+    // Phase-type gates (PhaseShift, S, T): only the wire=1 half moves.
+    for (std::size_t block = 0; block < n; block += 2 * stride) {
+      for (std::size_t offset = 0; offset < stride; ++offset) {
+        amps[block + stride + offset] *= d1;
+      }
+    }
+    return;
+  }
+  for (std::size_t block = 0; block < n; block += 2 * stride) {
+    for (std::size_t offset = 0; offset < stride; ++offset) {
+      amps[block + offset] *= d0;
+      amps[block + stride + offset] *= d1;
+    }
+  }
+}
+
+void StateVector::apply_rx_fast(double c, double s, std::size_t wire) {
+  check_wire(wire, "apply_rx_fast");
+  kernels::count_real_rotation();
+  const std::size_t stride = std::size_t{1} << (num_qubits_ - 1 - wire);
+  const std::size_t n = amplitudes_.size();
+  Complex* amps = amplitudes_.data();
+  for (std::size_t block = 0; block < n; block += 2 * stride) {
+    for (std::size_t offset = 0; offset < stride; ++offset) {
+      Complex& a0 = amps[block + offset];
+      Complex& a1 = amps[block + stride + offset];
+      const double r0 = a0.real(), i0 = a0.imag();
+      const double r1 = a1.real(), i1 = a1.imag();
+      // [[c, -is], [-is, c]] expanded over real/imag components, in the
+      // same operation order as the dense complex matvec.
+      a0 = Complex{c * r0 + s * i1, c * i0 - s * r1};
+      a1 = Complex{s * i0 + c * r1, -s * r0 + c * i1};
+    }
+  }
+}
+
+void StateVector::apply_ry_fast(double c, double s, std::size_t wire) {
+  check_wire(wire, "apply_ry_fast");
+  kernels::count_real_rotation();
+  const std::size_t stride = std::size_t{1} << (num_qubits_ - 1 - wire);
+  const std::size_t n = amplitudes_.size();
+  Complex* amps = amplitudes_.data();
+  for (std::size_t block = 0; block < n; block += 2 * stride) {
+    for (std::size_t offset = 0; offset < stride; ++offset) {
+      Complex& a0 = amps[block + offset];
+      Complex& a1 = amps[block + stride + offset];
+      const double r0 = a0.real(), i0 = a0.imag();
+      const double r1 = a1.real(), i1 = a1.imag();
+      // Real rotation [[c, -s], [s, c]] applied to both components.
+      a0 = Complex{c * r0 - s * r1, c * i0 - s * i1};
+      a1 = Complex{s * r0 + c * r1, s * i0 + c * i1};
+    }
+  }
+}
+
+void StateVector::apply_pauli_x(std::size_t wire) {
+  check_wire(wire, "apply_pauli_x");
+  kernels::count_permutation();
+  const std::size_t stride = std::size_t{1} << (num_qubits_ - 1 - wire);
+  const std::size_t n = amplitudes_.size();
+  Complex* amps = amplitudes_.data();
+  for (std::size_t block = 0; block < n; block += 2 * stride) {
+    for (std::size_t offset = 0; offset < stride; ++offset) {
+      std::swap(amps[block + offset], amps[block + stride + offset]);
+    }
+  }
+}
+
 void StateVector::apply_controlled(const Mat2& gate, std::size_t control,
                                    std::size_t target) {
   check_wire(control, "apply_controlled");
@@ -98,18 +191,21 @@ void StateVector::apply_controlled(const Mat2& gate, std::size_t control,
   if (control == target) {
     throw std::invalid_argument("apply_controlled: control == target");
   }
+  kernels::count_controlled();
   const std::size_t cmask = std::size_t{1} << (num_qubits_ - 1 - control);
   const std::size_t tmask = std::size_t{1} << (num_qubits_ - 1 - target);
-  const std::size_t n = amplitudes_.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    // Visit each control-1, target-0 amplitude once; pair with target-1.
-    if ((i & cmask) != 0 && (i & tmask) == 0) {
-      const std::size_t j = i | tmask;
-      const Complex a0 = amplitudes_[i];
-      const Complex a1 = amplitudes_[j];
-      amplitudes_[i] = gate.m00 * a0 + gate.m01 * a1;
-      amplitudes_[j] = gate.m10 * a0 + gate.m11 * a1;
-    }
+  const std::size_t lo = cmask < tmask ? cmask : tmask;
+  const std::size_t hi = cmask < tmask ? tmask : cmask;
+  const std::size_t quarter = amplitudes_.size() / 4;
+  Complex* amps = amplitudes_.data();
+  // Visit each control-1, target-0 amplitude once; pair with target-1.
+  for (std::size_t k = 0; k < quarter; ++k) {
+    const std::size_t i = expand_two_zero_bits(k, lo, hi) | cmask;
+    const std::size_t j = i | tmask;
+    const Complex a0 = amps[i];
+    const Complex a1 = amps[j];
+    amps[i] = gate.m00 * a0 + gate.m01 * a1;
+    amps[j] = gate.m10 * a0 + gate.m11 * a1;
   }
 }
 
@@ -122,20 +218,25 @@ void StateVector::apply_controlled_derivative(const Mat2& gate,
     throw std::invalid_argument(
         "apply_controlled_derivative: control == target");
   }
+  kernels::count_controlled();
   const std::size_t cmask = std::size_t{1} << (num_qubits_ - 1 - control);
   const std::size_t tmask = std::size_t{1} << (num_qubits_ - 1 - target);
-  const std::size_t n = amplitudes_.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    if ((i & cmask) == 0) {
-      // d(CU)/dθ annihilates the control-0 subspace.
-      amplitudes_[i] = Complex{0.0, 0.0};
-    } else if ((i & tmask) == 0) {
-      const std::size_t j = i | tmask;
-      const Complex a0 = amplitudes_[i];
-      const Complex a1 = amplitudes_[j];
-      amplitudes_[i] = gate.m00 * a0 + gate.m01 * a1;
-      amplitudes_[j] = gate.m10 * a0 + gate.m11 * a1;
-    }
+  const std::size_t lo = cmask < tmask ? cmask : tmask;
+  const std::size_t hi = cmask < tmask ? tmask : cmask;
+  const std::size_t half = amplitudes_.size() / 2;
+  const std::size_t quarter = amplitudes_.size() / 4;
+  Complex* amps = amplitudes_.data();
+  // d(CU)/dθ annihilates the control-0 subspace.
+  for (std::size_t k = 0; k < half; ++k) {
+    amps[expand_one_zero_bit(k, cmask)] = Complex{0.0, 0.0};
+  }
+  for (std::size_t k = 0; k < quarter; ++k) {
+    const std::size_t i = expand_two_zero_bits(k, lo, hi) | cmask;
+    const std::size_t j = i | tmask;
+    const Complex a0 = amps[i];
+    const Complex a1 = amps[j];
+    amps[i] = gate.m00 * a0 + gate.m01 * a1;
+    amps[j] = gate.m10 * a0 + gate.m11 * a1;
   }
 }
 
@@ -145,13 +246,16 @@ void StateVector::apply_cnot(std::size_t control, std::size_t target) {
   if (control == target) {
     throw std::invalid_argument("apply_cnot: control == target");
   }
+  kernels::count_permutation();
   const std::size_t cmask = std::size_t{1} << (num_qubits_ - 1 - control);
   const std::size_t tmask = std::size_t{1} << (num_qubits_ - 1 - target);
-  const std::size_t n = amplitudes_.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    if ((i & cmask) != 0 && (i & tmask) == 0) {
-      std::swap(amplitudes_[i], amplitudes_[i | tmask]);
-    }
+  const std::size_t lo = cmask < tmask ? cmask : tmask;
+  const std::size_t hi = cmask < tmask ? tmask : cmask;
+  const std::size_t quarter = amplitudes_.size() / 4;
+  Complex* amps = amplitudes_.data();
+  for (std::size_t k = 0; k < quarter; ++k) {
+    const std::size_t i = expand_two_zero_bits(k, lo, hi) | cmask;
+    std::swap(amps[i], amps[i | tmask]);
   }
 }
 
@@ -161,11 +265,16 @@ void StateVector::apply_cz(std::size_t control, std::size_t target) {
   if (control == target) {
     throw std::invalid_argument("apply_cz: control == target");
   }
+  kernels::count_diagonal();
   const std::size_t cmask = std::size_t{1} << (num_qubits_ - 1 - control);
   const std::size_t tmask = std::size_t{1} << (num_qubits_ - 1 - target);
-  const std::size_t n = amplitudes_.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    if ((i & cmask) != 0 && (i & tmask) != 0) amplitudes_[i] = -amplitudes_[i];
+  const std::size_t lo = cmask < tmask ? cmask : tmask;
+  const std::size_t hi = cmask < tmask ? tmask : cmask;
+  const std::size_t quarter = amplitudes_.size() / 4;
+  Complex* amps = amplitudes_.data();
+  for (std::size_t k = 0; k < quarter; ++k) {
+    const std::size_t i = expand_two_zero_bits(k, lo, hi) | cmask | tmask;
+    amps[i] = -amps[i];
   }
 }
 
@@ -173,14 +282,17 @@ void StateVector::apply_swap(std::size_t wire_a, std::size_t wire_b) {
   check_wire(wire_a, "apply_swap");
   check_wire(wire_b, "apply_swap");
   if (wire_a == wire_b) return;
+  kernels::count_permutation();
   const std::size_t amask = std::size_t{1} << (num_qubits_ - 1 - wire_a);
   const std::size_t bmask = std::size_t{1} << (num_qubits_ - 1 - wire_b);
-  const std::size_t n = amplitudes_.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    // Swap |..a=1..b=0..⟩ with |..a=0..b=1..⟩; visit each pair once.
-    if ((i & amask) != 0 && (i & bmask) == 0) {
-      std::swap(amplitudes_[i], amplitudes_[(i & ~amask) | bmask]);
-    }
+  const std::size_t lo = amask < bmask ? amask : bmask;
+  const std::size_t hi = amask < bmask ? bmask : amask;
+  const std::size_t quarter = amplitudes_.size() / 4;
+  Complex* amps = amplitudes_.data();
+  // Swap |..a=1..b=0..⟩ with |..a=0..b=1..⟩; visit each pair once.
+  for (std::size_t k = 0; k < quarter; ++k) {
+    const std::size_t base = expand_two_zero_bits(k, lo, hi);
+    std::swap(amps[base | amask], amps[base | bmask]);
   }
 }
 
@@ -193,18 +305,32 @@ void StateVector::apply_double_flip_pairs(const Mat2& even_pair,
   if (wire_a == wire_b) {
     throw std::invalid_argument("apply_double_flip_pairs: wires must differ");
   }
+  kernels::count_double_flip();
   const std::size_t amask = std::size_t{1} << (num_qubits_ - 1 - wire_a);
   const std::size_t bmask = std::size_t{1} << (num_qubits_ - 1 - wire_b);
   const std::size_t flip = amask | bmask;
-  const std::size_t n = amplitudes_.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    if ((i & amask) != 0) continue;  // visit each pair from its a=0 member
-    const std::size_t j = i ^ flip;
-    const Mat2& gate = (i & bmask) == 0 ? even_pair : odd_pair;
-    const Complex a0 = amplitudes_[i];
-    const Complex a1 = amplitudes_[j];
-    amplitudes_[i] = gate.m00 * a0 + gate.m01 * a1;
-    amplitudes_[j] = gate.m10 * a0 + gate.m11 * a1;
+  const std::size_t lo = amask < bmask ? amask : bmask;
+  const std::size_t hi = amask < bmask ? bmask : amask;
+  const std::size_t quarter = amplitudes_.size() / 4;
+  Complex* amps = amplitudes_.data();
+  // Visit each pair from its a=0 member: even block from |a=0,b=0⟩, odd
+  // block from |a=0,b=1⟩.
+  for (std::size_t k = 0; k < quarter; ++k) {
+    const std::size_t base = expand_two_zero_bits(k, lo, hi);
+    {
+      const std::size_t i = base, j = base ^ flip;
+      const Complex a0 = amps[i];
+      const Complex a1 = amps[j];
+      amps[i] = even_pair.m00 * a0 + even_pair.m01 * a1;
+      amps[j] = even_pair.m10 * a0 + even_pair.m11 * a1;
+    }
+    {
+      const std::size_t i = base | bmask, j = (base | bmask) ^ flip;
+      const Complex a0 = amps[i];
+      const Complex a1 = amps[j];
+      amps[i] = odd_pair.m00 * a0 + odd_pair.m01 * a1;
+      amps[j] = odd_pair.m10 * a0 + odd_pair.m11 * a1;
+    }
   }
 }
 

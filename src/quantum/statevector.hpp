@@ -47,8 +47,30 @@ class StateVector {
   /// Sets to a computational basis state.
   void set_basis_state(std::size_t basis_index);
 
-  /// Applies a single-qubit matrix to `wire`.
+  /// Applies a single-qubit matrix to `wire` (generic dense 2x2 matvec over
+  /// every amplitude pair — the reference path every specialized kernel is
+  /// tested against).
   void apply_single_qubit(const Mat2& gate, std::size_t wire);
+
+  // --- specialized kernels (see DESIGN.md §8) ---------------------------
+  // Each is algebraically identical to apply_single_qubit with the
+  // corresponding matrix but touches less data / does fewer FLOPs.
+
+  /// diag(d0, d1) on `wire`: pure per-amplitude phase multiply, no pair
+  /// gather (RZ, PhaseShift, S, T, PauliZ). When d0 == 1 only the wire=1
+  /// half of the state is touched.
+  void apply_diagonal(Complex d0, Complex d1, std::size_t wire);
+
+  /// RX(θ) with c = cos(θ/2), s = sin(θ/2): the matrix [[c, -is], [-is, c]]
+  /// needs only real multiplies (4 mul + 2 add per component pair).
+  void apply_rx_fast(double c, double s, std::size_t wire);
+
+  /// RY(θ) with c = cos(θ/2), s = sin(θ/2): the real rotation
+  /// [[c, -s], [s, c]] applied componentwise.
+  void apply_ry_fast(double c, double s, std::size_t wire);
+
+  /// PauliX on `wire`: pure index-permutation swap of amplitude pairs.
+  void apply_pauli_x(std::size_t wire);
 
   /// Applies a single-qubit matrix to `target` controlled on `control`=1.
   void apply_controlled(const Mat2& gate, std::size_t control,

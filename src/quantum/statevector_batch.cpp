@@ -1,0 +1,592 @@
+#include "quantum/statevector_batch.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "quantum/kernels.hpp"
+
+namespace qhdl::quantum {
+
+namespace {
+
+/// Same compact-index expanders as the scalar kernels (statevector.cpp).
+inline std::size_t expand_two_zero_bits(std::size_t i, std::size_t lo_mask,
+                                        std::size_t hi_mask) {
+  std::size_t j = ((i & ~(lo_mask - 1)) << 1) | (i & (lo_mask - 1));
+  return ((j & ~(hi_mask - 1)) << 1) | (j & (hi_mask - 1));
+}
+
+inline std::size_t expand_one_zero_bit(std::size_t i, std::size_t mask) {
+  return ((i & ~(mask - 1)) << 1) | (i & (mask - 1));
+}
+
+}  // namespace
+
+StateVectorBatch::StateVectorBatch(std::size_t num_qubits, std::size_t batch)
+    : num_qubits_(num_qubits), batch_(batch) {
+  if (num_qubits == 0 || num_qubits > 28) {
+    throw std::invalid_argument(
+        "StateVectorBatch: qubit count must be in [1,28]");
+  }
+  if (batch == 0) {
+    throw std::invalid_argument("StateVectorBatch: batch must be >= 1");
+  }
+  dimension_ = std::size_t{1} << num_qubits;
+  amplitudes_.assign(dimension_ * batch_, Complex{0.0, 0.0});
+  for (std::size_t b = 0; b < batch_; ++b) {
+    amplitudes_[b] = Complex{1.0, 0.0};
+  }
+}
+
+void StateVectorBatch::reset() {
+  for (auto& a : amplitudes_) a = Complex{0.0, 0.0};
+  for (std::size_t b = 0; b < batch_; ++b) {
+    amplitudes_[b] = Complex{1.0, 0.0};
+  }
+}
+
+void StateVectorBatch::assign_from(const StateVectorBatch& other) {
+  if (other.num_qubits_ != num_qubits_ || other.batch_ != batch_) {
+    throw std::invalid_argument("StateVectorBatch::assign_from: shape");
+  }
+  amplitudes_ = other.amplitudes_;
+}
+
+StateVector StateVectorBatch::extract_row(std::size_t row) const {
+  if (row >= batch_) {
+    throw std::out_of_range("StateVectorBatch::extract_row: row");
+  }
+  std::vector<Complex> amps(dimension_);
+  for (std::size_t i = 0; i < dimension_; ++i) {
+    amps[i] = amplitudes_[i * batch_ + row];
+  }
+  return StateVector{std::move(amps)};
+}
+
+void StateVectorBatch::set_row(std::size_t row, const StateVector& state) {
+  if (row >= batch_) {
+    throw std::out_of_range("StateVectorBatch::set_row: row");
+  }
+  if (state.dimension() != dimension_) {
+    throw std::invalid_argument("StateVectorBatch::set_row: dimension");
+  }
+  const auto amps = state.amplitudes();
+  for (std::size_t i = 0; i < dimension_; ++i) {
+    amplitudes_[i * batch_ + row] = amps[i];
+  }
+}
+
+void StateVectorBatch::check_wire(std::size_t wire,
+                                  const char* context) const {
+  if (wire >= num_qubits_) {
+    throw std::out_of_range(std::string{context} + ": wire " +
+                            std::to_string(wire) + " out of range for " +
+                            std::to_string(num_qubits_) + " qubits");
+  }
+}
+
+void StateVectorBatch::check_rows(std::size_t span_size,
+                                  const char* context) const {
+  if (span_size != batch_) {
+    throw std::invalid_argument(std::string{context} +
+                                ": per-row span size " +
+                                std::to_string(span_size) + " != batch " +
+                                std::to_string(batch_));
+  }
+}
+
+// --- shared-matrix kernels -------------------------------------------------
+
+void StateVectorBatch::apply_single_qubit(const Mat2& gate,
+                                          std::size_t wire) {
+  check_wire(wire, "StateVectorBatch::apply_single_qubit");
+  kernels::count_generic();
+  kernels::count_batched_rows(batch_);
+  const std::size_t stride = std::size_t{1} << (num_qubits_ - 1 - wire);
+  Complex* amps = amplitudes_.data();
+  for (std::size_t block = 0; block < dimension_; block += 2 * stride) {
+    for (std::size_t offset = 0; offset < stride; ++offset) {
+      Complex* a0 = amps + (block + offset) * batch_;
+      Complex* a1 = amps + (block + stride + offset) * batch_;
+      for (std::size_t b = 0; b < batch_; ++b) {
+        const Complex v0 = a0[b];
+        const Complex v1 = a1[b];
+        a0[b] = gate.m00 * v0 + gate.m01 * v1;
+        a1[b] = gate.m10 * v0 + gate.m11 * v1;
+      }
+    }
+  }
+}
+
+void StateVectorBatch::apply_diagonal(Complex d0, Complex d1,
+                                      std::size_t wire) {
+  check_wire(wire, "StateVectorBatch::apply_diagonal");
+  kernels::count_diagonal();
+  kernels::count_batched_rows(batch_);
+  const std::size_t stride = std::size_t{1} << (num_qubits_ - 1 - wire);
+  Complex* amps = amplitudes_.data();
+  const bool skip_zero_half = d0 == Complex{1.0, 0.0};
+  for (std::size_t block = 0; block < dimension_; block += 2 * stride) {
+    for (std::size_t offset = 0; offset < stride; ++offset) {
+      Complex* a0 = amps + (block + offset) * batch_;
+      Complex* a1 = amps + (block + stride + offset) * batch_;
+      if (!skip_zero_half) {
+        for (std::size_t b = 0; b < batch_; ++b) a0[b] *= d0;
+      }
+      for (std::size_t b = 0; b < batch_; ++b) a1[b] *= d1;
+    }
+  }
+}
+
+void StateVectorBatch::apply_rx_fast(double c, double s, std::size_t wire) {
+  check_wire(wire, "StateVectorBatch::apply_rx_fast");
+  kernels::count_real_rotation();
+  kernels::count_batched_rows(batch_);
+  const std::size_t stride = std::size_t{1} << (num_qubits_ - 1 - wire);
+  Complex* amps = amplitudes_.data();
+  for (std::size_t block = 0; block < dimension_; block += 2 * stride) {
+    for (std::size_t offset = 0; offset < stride; ++offset) {
+      Complex* a0 = amps + (block + offset) * batch_;
+      Complex* a1 = amps + (block + stride + offset) * batch_;
+      for (std::size_t b = 0; b < batch_; ++b) {
+        const double r0 = a0[b].real(), i0 = a0[b].imag();
+        const double r1 = a1[b].real(), i1 = a1[b].imag();
+        a0[b] = Complex{c * r0 + s * i1, c * i0 - s * r1};
+        a1[b] = Complex{s * i0 + c * r1, -s * r0 + c * i1};
+      }
+    }
+  }
+}
+
+void StateVectorBatch::apply_ry_fast(double c, double s, std::size_t wire) {
+  check_wire(wire, "StateVectorBatch::apply_ry_fast");
+  kernels::count_real_rotation();
+  kernels::count_batched_rows(batch_);
+  const std::size_t stride = std::size_t{1} << (num_qubits_ - 1 - wire);
+  Complex* amps = amplitudes_.data();
+  for (std::size_t block = 0; block < dimension_; block += 2 * stride) {
+    for (std::size_t offset = 0; offset < stride; ++offset) {
+      Complex* a0 = amps + (block + offset) * batch_;
+      Complex* a1 = amps + (block + stride + offset) * batch_;
+      for (std::size_t b = 0; b < batch_; ++b) {
+        const double r0 = a0[b].real(), i0 = a0[b].imag();
+        const double r1 = a1[b].real(), i1 = a1[b].imag();
+        a0[b] = Complex{c * r0 - s * r1, c * i0 - s * i1};
+        a1[b] = Complex{s * r0 + c * r1, s * i0 + c * i1};
+      }
+    }
+  }
+}
+
+void StateVectorBatch::apply_pauli_x(std::size_t wire) {
+  check_wire(wire, "StateVectorBatch::apply_pauli_x");
+  kernels::count_permutation();
+  kernels::count_batched_rows(batch_);
+  const std::size_t stride = std::size_t{1} << (num_qubits_ - 1 - wire);
+  Complex* amps = amplitudes_.data();
+  for (std::size_t block = 0; block < dimension_; block += 2 * stride) {
+    for (std::size_t offset = 0; offset < stride; ++offset) {
+      Complex* a0 = amps + (block + offset) * batch_;
+      Complex* a1 = amps + (block + stride + offset) * batch_;
+      for (std::size_t b = 0; b < batch_; ++b) std::swap(a0[b], a1[b]);
+    }
+  }
+}
+
+void StateVectorBatch::apply_cnot(std::size_t control, std::size_t target) {
+  check_wire(control, "StateVectorBatch::apply_cnot");
+  check_wire(target, "StateVectorBatch::apply_cnot");
+  if (control == target) {
+    throw std::invalid_argument("StateVectorBatch::apply_cnot: wires equal");
+  }
+  kernels::count_permutation();
+  kernels::count_batched_rows(batch_);
+  const std::size_t cmask = std::size_t{1} << (num_qubits_ - 1 - control);
+  const std::size_t tmask = std::size_t{1} << (num_qubits_ - 1 - target);
+  const std::size_t lo = cmask < tmask ? cmask : tmask;
+  const std::size_t hi = cmask < tmask ? tmask : cmask;
+  Complex* amps = amplitudes_.data();
+  for (std::size_t k = 0; k < dimension_ / 4; ++k) {
+    const std::size_t i = expand_two_zero_bits(k, lo, hi) | cmask;
+    Complex* a0 = amps + i * batch_;
+    Complex* a1 = amps + (i | tmask) * batch_;
+    for (std::size_t b = 0; b < batch_; ++b) std::swap(a0[b], a1[b]);
+  }
+}
+
+void StateVectorBatch::apply_cz(std::size_t control, std::size_t target) {
+  check_wire(control, "StateVectorBatch::apply_cz");
+  check_wire(target, "StateVectorBatch::apply_cz");
+  if (control == target) {
+    throw std::invalid_argument("StateVectorBatch::apply_cz: wires equal");
+  }
+  kernels::count_diagonal();
+  kernels::count_batched_rows(batch_);
+  const std::size_t cmask = std::size_t{1} << (num_qubits_ - 1 - control);
+  const std::size_t tmask = std::size_t{1} << (num_qubits_ - 1 - target);
+  const std::size_t lo = cmask < tmask ? cmask : tmask;
+  const std::size_t hi = cmask < tmask ? tmask : cmask;
+  Complex* amps = amplitudes_.data();
+  for (std::size_t k = 0; k < dimension_ / 4; ++k) {
+    Complex* a = amps + (expand_two_zero_bits(k, lo, hi) | cmask | tmask) *
+                            batch_;
+    for (std::size_t b = 0; b < batch_; ++b) a[b] = -a[b];
+  }
+}
+
+void StateVectorBatch::apply_swap(std::size_t wire_a, std::size_t wire_b) {
+  check_wire(wire_a, "StateVectorBatch::apply_swap");
+  check_wire(wire_b, "StateVectorBatch::apply_swap");
+  if (wire_a == wire_b) return;
+  kernels::count_permutation();
+  kernels::count_batched_rows(batch_);
+  const std::size_t amask = std::size_t{1} << (num_qubits_ - 1 - wire_a);
+  const std::size_t bmask = std::size_t{1} << (num_qubits_ - 1 - wire_b);
+  const std::size_t lo = amask < bmask ? amask : bmask;
+  const std::size_t hi = amask < bmask ? bmask : amask;
+  Complex* amps = amplitudes_.data();
+  for (std::size_t k = 0; k < dimension_ / 4; ++k) {
+    const std::size_t base = expand_two_zero_bits(k, lo, hi);
+    Complex* a0 = amps + (base | amask) * batch_;
+    Complex* a1 = amps + (base | bmask) * batch_;
+    for (std::size_t b = 0; b < batch_; ++b) std::swap(a0[b], a1[b]);
+  }
+}
+
+void StateVectorBatch::apply_controlled(const Mat2& gate, std::size_t control,
+                                        std::size_t target) {
+  check_wire(control, "StateVectorBatch::apply_controlled");
+  check_wire(target, "StateVectorBatch::apply_controlled");
+  if (control == target) {
+    throw std::invalid_argument(
+        "StateVectorBatch::apply_controlled: wires equal");
+  }
+  kernels::count_controlled();
+  kernels::count_batched_rows(batch_);
+  const std::size_t cmask = std::size_t{1} << (num_qubits_ - 1 - control);
+  const std::size_t tmask = std::size_t{1} << (num_qubits_ - 1 - target);
+  const std::size_t lo = cmask < tmask ? cmask : tmask;
+  const std::size_t hi = cmask < tmask ? tmask : cmask;
+  Complex* amps = amplitudes_.data();
+  for (std::size_t k = 0; k < dimension_ / 4; ++k) {
+    const std::size_t i = expand_two_zero_bits(k, lo, hi) | cmask;
+    Complex* a0 = amps + i * batch_;
+    Complex* a1 = amps + (i | tmask) * batch_;
+    for (std::size_t b = 0; b < batch_; ++b) {
+      const Complex v0 = a0[b];
+      const Complex v1 = a1[b];
+      a0[b] = gate.m00 * v0 + gate.m01 * v1;
+      a1[b] = gate.m10 * v0 + gate.m11 * v1;
+    }
+  }
+}
+
+void StateVectorBatch::apply_controlled_derivative(const Mat2& gate,
+                                                   std::size_t control,
+                                                   std::size_t target) {
+  check_wire(control, "StateVectorBatch::apply_controlled_derivative");
+  check_wire(target, "StateVectorBatch::apply_controlled_derivative");
+  if (control == target) {
+    throw std::invalid_argument(
+        "StateVectorBatch::apply_controlled_derivative: wires equal");
+  }
+  kernels::count_controlled();
+  kernels::count_batched_rows(batch_);
+  const std::size_t cmask = std::size_t{1} << (num_qubits_ - 1 - control);
+  Complex* amps = amplitudes_.data();
+  for (std::size_t k = 0; k < dimension_ / 2; ++k) {
+    Complex* a = amps + expand_one_zero_bit(k, cmask) * batch_;
+    for (std::size_t b = 0; b < batch_; ++b) a[b] = Complex{0.0, 0.0};
+  }
+  const std::size_t tmask = std::size_t{1} << (num_qubits_ - 1 - target);
+  const std::size_t lo = cmask < tmask ? cmask : tmask;
+  const std::size_t hi = cmask < tmask ? tmask : cmask;
+  for (std::size_t k = 0; k < dimension_ / 4; ++k) {
+    const std::size_t i = expand_two_zero_bits(k, lo, hi) | cmask;
+    Complex* a0 = amps + i * batch_;
+    Complex* a1 = amps + (i | tmask) * batch_;
+    for (std::size_t b = 0; b < batch_; ++b) {
+      const Complex v0 = a0[b];
+      const Complex v1 = a1[b];
+      a0[b] = gate.m00 * v0 + gate.m01 * v1;
+      a1[b] = gate.m10 * v0 + gate.m11 * v1;
+    }
+  }
+}
+
+void StateVectorBatch::apply_double_flip_pairs(const Mat2& even_pair,
+                                               const Mat2& odd_pair,
+                                               std::size_t wire_a,
+                                               std::size_t wire_b) {
+  check_wire(wire_a, "StateVectorBatch::apply_double_flip_pairs");
+  check_wire(wire_b, "StateVectorBatch::apply_double_flip_pairs");
+  if (wire_a == wire_b) {
+    throw std::invalid_argument(
+        "StateVectorBatch::apply_double_flip_pairs: wires must differ");
+  }
+  kernels::count_double_flip();
+  kernels::count_batched_rows(batch_);
+  const std::size_t amask = std::size_t{1} << (num_qubits_ - 1 - wire_a);
+  const std::size_t bmask = std::size_t{1} << (num_qubits_ - 1 - wire_b);
+  const std::size_t flip = amask | bmask;
+  const std::size_t lo = amask < bmask ? amask : bmask;
+  const std::size_t hi = amask < bmask ? bmask : amask;
+  Complex* amps = amplitudes_.data();
+  const auto apply_pair = [&](std::size_t i, std::size_t j,
+                              const Mat2& gate) {
+    Complex* a0 = amps + i * batch_;
+    Complex* a1 = amps + j * batch_;
+    for (std::size_t b = 0; b < batch_; ++b) {
+      const Complex v0 = a0[b];
+      const Complex v1 = a1[b];
+      a0[b] = gate.m00 * v0 + gate.m01 * v1;
+      a1[b] = gate.m10 * v0 + gate.m11 * v1;
+    }
+  };
+  for (std::size_t k = 0; k < dimension_ / 4; ++k) {
+    const std::size_t base = expand_two_zero_bits(k, lo, hi);
+    apply_pair(base, base ^ flip, even_pair);
+    apply_pair(base | bmask, (base | bmask) ^ flip, odd_pair);
+  }
+}
+
+// --- per-row kernels -------------------------------------------------------
+
+void StateVectorBatch::apply_single_qubit_per_row(std::span<const Mat2> gates,
+                                                  std::size_t wire) {
+  check_wire(wire, "StateVectorBatch::apply_single_qubit_per_row");
+  check_rows(gates.size(), "StateVectorBatch::apply_single_qubit_per_row");
+  kernels::count_generic();
+  kernels::count_batched_rows(batch_);
+  const std::size_t stride = std::size_t{1} << (num_qubits_ - 1 - wire);
+  Complex* amps = amplitudes_.data();
+  for (std::size_t block = 0; block < dimension_; block += 2 * stride) {
+    for (std::size_t offset = 0; offset < stride; ++offset) {
+      Complex* a0 = amps + (block + offset) * batch_;
+      Complex* a1 = amps + (block + stride + offset) * batch_;
+      for (std::size_t b = 0; b < batch_; ++b) {
+        const Mat2& gate = gates[b];
+        const Complex v0 = a0[b];
+        const Complex v1 = a1[b];
+        a0[b] = gate.m00 * v0 + gate.m01 * v1;
+        a1[b] = gate.m10 * v0 + gate.m11 * v1;
+      }
+    }
+  }
+}
+
+void StateVectorBatch::apply_diagonal_per_row(std::span<const Complex> d0,
+                                              std::span<const Complex> d1,
+                                              std::size_t wire) {
+  check_wire(wire, "StateVectorBatch::apply_diagonal_per_row");
+  check_rows(d0.size(), "StateVectorBatch::apply_diagonal_per_row");
+  check_rows(d1.size(), "StateVectorBatch::apply_diagonal_per_row");
+  kernels::count_diagonal();
+  kernels::count_batched_rows(batch_);
+  const std::size_t stride = std::size_t{1} << (num_qubits_ - 1 - wire);
+  Complex* amps = amplitudes_.data();
+  for (std::size_t block = 0; block < dimension_; block += 2 * stride) {
+    for (std::size_t offset = 0; offset < stride; ++offset) {
+      Complex* a0 = amps + (block + offset) * batch_;
+      Complex* a1 = amps + (block + stride + offset) * batch_;
+      for (std::size_t b = 0; b < batch_; ++b) a0[b] *= d0[b];
+      for (std::size_t b = 0; b < batch_; ++b) a1[b] *= d1[b];
+    }
+  }
+}
+
+void StateVectorBatch::apply_rx_fast_per_row(std::span<const double> c,
+                                             std::span<const double> s,
+                                             std::size_t wire) {
+  check_wire(wire, "StateVectorBatch::apply_rx_fast_per_row");
+  check_rows(c.size(), "StateVectorBatch::apply_rx_fast_per_row");
+  check_rows(s.size(), "StateVectorBatch::apply_rx_fast_per_row");
+  kernels::count_real_rotation();
+  kernels::count_batched_rows(batch_);
+  const std::size_t stride = std::size_t{1} << (num_qubits_ - 1 - wire);
+  Complex* amps = amplitudes_.data();
+  for (std::size_t block = 0; block < dimension_; block += 2 * stride) {
+    for (std::size_t offset = 0; offset < stride; ++offset) {
+      Complex* a0 = amps + (block + offset) * batch_;
+      Complex* a1 = amps + (block + stride + offset) * batch_;
+      for (std::size_t b = 0; b < batch_; ++b) {
+        const double r0 = a0[b].real(), i0 = a0[b].imag();
+        const double r1 = a1[b].real(), i1 = a1[b].imag();
+        a0[b] = Complex{c[b] * r0 + s[b] * i1, c[b] * i0 - s[b] * r1};
+        a1[b] = Complex{s[b] * i0 + c[b] * r1, -s[b] * r0 + c[b] * i1};
+      }
+    }
+  }
+}
+
+void StateVectorBatch::apply_ry_fast_per_row(std::span<const double> c,
+                                             std::span<const double> s,
+                                             std::size_t wire) {
+  check_wire(wire, "StateVectorBatch::apply_ry_fast_per_row");
+  check_rows(c.size(), "StateVectorBatch::apply_ry_fast_per_row");
+  check_rows(s.size(), "StateVectorBatch::apply_ry_fast_per_row");
+  kernels::count_real_rotation();
+  kernels::count_batched_rows(batch_);
+  const std::size_t stride = std::size_t{1} << (num_qubits_ - 1 - wire);
+  Complex* amps = amplitudes_.data();
+  for (std::size_t block = 0; block < dimension_; block += 2 * stride) {
+    for (std::size_t offset = 0; offset < stride; ++offset) {
+      Complex* a0 = amps + (block + offset) * batch_;
+      Complex* a1 = amps + (block + stride + offset) * batch_;
+      for (std::size_t b = 0; b < batch_; ++b) {
+        const double r0 = a0[b].real(), i0 = a0[b].imag();
+        const double r1 = a1[b].real(), i1 = a1[b].imag();
+        a0[b] = Complex{c[b] * r0 - s[b] * r1, c[b] * i0 - s[b] * i1};
+        a1[b] = Complex{s[b] * r0 + c[b] * r1, s[b] * i0 + c[b] * i1};
+      }
+    }
+  }
+}
+
+void StateVectorBatch::apply_controlled_per_row(std::span<const Mat2> gates,
+                                                std::size_t control,
+                                                std::size_t target) {
+  check_wire(control, "StateVectorBatch::apply_controlled_per_row");
+  check_wire(target, "StateVectorBatch::apply_controlled_per_row");
+  check_rows(gates.size(), "StateVectorBatch::apply_controlled_per_row");
+  if (control == target) {
+    throw std::invalid_argument(
+        "StateVectorBatch::apply_controlled_per_row: wires equal");
+  }
+  kernels::count_controlled();
+  kernels::count_batched_rows(batch_);
+  const std::size_t cmask = std::size_t{1} << (num_qubits_ - 1 - control);
+  const std::size_t tmask = std::size_t{1} << (num_qubits_ - 1 - target);
+  const std::size_t lo = cmask < tmask ? cmask : tmask;
+  const std::size_t hi = cmask < tmask ? tmask : cmask;
+  Complex* amps = amplitudes_.data();
+  for (std::size_t k = 0; k < dimension_ / 4; ++k) {
+    const std::size_t i = expand_two_zero_bits(k, lo, hi) | cmask;
+    Complex* a0 = amps + i * batch_;
+    Complex* a1 = amps + (i | tmask) * batch_;
+    for (std::size_t b = 0; b < batch_; ++b) {
+      const Mat2& gate = gates[b];
+      const Complex v0 = a0[b];
+      const Complex v1 = a1[b];
+      a0[b] = gate.m00 * v0 + gate.m01 * v1;
+      a1[b] = gate.m10 * v0 + gate.m11 * v1;
+    }
+  }
+}
+
+void StateVectorBatch::apply_controlled_derivative_per_row(
+    std::span<const Mat2> gates, std::size_t control, std::size_t target) {
+  check_wire(control, "StateVectorBatch::apply_controlled_derivative_per_row");
+  check_wire(target, "StateVectorBatch::apply_controlled_derivative_per_row");
+  check_rows(gates.size(),
+             "StateVectorBatch::apply_controlled_derivative_per_row");
+  if (control == target) {
+    throw std::invalid_argument(
+        "StateVectorBatch::apply_controlled_derivative_per_row: wires equal");
+  }
+  kernels::count_controlled();
+  kernels::count_batched_rows(batch_);
+  const std::size_t cmask = std::size_t{1} << (num_qubits_ - 1 - control);
+  Complex* amps = amplitudes_.data();
+  for (std::size_t k = 0; k < dimension_ / 2; ++k) {
+    Complex* a = amps + expand_one_zero_bit(k, cmask) * batch_;
+    for (std::size_t b = 0; b < batch_; ++b) a[b] = Complex{0.0, 0.0};
+  }
+  const std::size_t tmask = std::size_t{1} << (num_qubits_ - 1 - target);
+  const std::size_t lo = cmask < tmask ? cmask : tmask;
+  const std::size_t hi = cmask < tmask ? tmask : cmask;
+  for (std::size_t k = 0; k < dimension_ / 4; ++k) {
+    const std::size_t i = expand_two_zero_bits(k, lo, hi) | cmask;
+    Complex* a0 = amps + i * batch_;
+    Complex* a1 = amps + (i | tmask) * batch_;
+    for (std::size_t b = 0; b < batch_; ++b) {
+      const Mat2& gate = gates[b];
+      const Complex v0 = a0[b];
+      const Complex v1 = a1[b];
+      a0[b] = gate.m00 * v0 + gate.m01 * v1;
+      a1[b] = gate.m10 * v0 + gate.m11 * v1;
+    }
+  }
+}
+
+void StateVectorBatch::apply_double_flip_pairs_per_row(
+    std::span<const Mat2> even_pairs, std::span<const Mat2> odd_pairs,
+    std::size_t wire_a, std::size_t wire_b) {
+  check_wire(wire_a, "StateVectorBatch::apply_double_flip_pairs_per_row");
+  check_wire(wire_b, "StateVectorBatch::apply_double_flip_pairs_per_row");
+  check_rows(even_pairs.size(),
+             "StateVectorBatch::apply_double_flip_pairs_per_row");
+  check_rows(odd_pairs.size(),
+             "StateVectorBatch::apply_double_flip_pairs_per_row");
+  if (wire_a == wire_b) {
+    throw std::invalid_argument(
+        "StateVectorBatch::apply_double_flip_pairs_per_row: wires differ");
+  }
+  kernels::count_double_flip();
+  kernels::count_batched_rows(batch_);
+  const std::size_t amask = std::size_t{1} << (num_qubits_ - 1 - wire_a);
+  const std::size_t bmask = std::size_t{1} << (num_qubits_ - 1 - wire_b);
+  const std::size_t flip = amask | bmask;
+  const std::size_t lo = amask < bmask ? amask : bmask;
+  const std::size_t hi = amask < bmask ? bmask : amask;
+  Complex* amps = amplitudes_.data();
+  const auto apply_pair = [&](std::size_t i, std::size_t j,
+                              std::span<const Mat2> gates) {
+    Complex* a0 = amps + i * batch_;
+    Complex* a1 = amps + j * batch_;
+    for (std::size_t b = 0; b < batch_; ++b) {
+      const Mat2& gate = gates[b];
+      const Complex v0 = a0[b];
+      const Complex v1 = a1[b];
+      a0[b] = gate.m00 * v0 + gate.m01 * v1;
+      a1[b] = gate.m10 * v0 + gate.m11 * v1;
+    }
+  };
+  for (std::size_t k = 0; k < dimension_ / 4; ++k) {
+    const std::size_t base = expand_two_zero_bits(k, lo, hi);
+    apply_pair(base, base ^ flip, even_pairs);
+    apply_pair(base | bmask, (base | bmask) ^ flip, odd_pairs);
+  }
+}
+
+// --- reductions ------------------------------------------------------------
+
+void StateVectorBatch::expval_pauli_z(std::size_t wire,
+                                      std::span<double> out) const {
+  check_wire(wire, "StateVectorBatch::expval_pauli_z");
+  check_rows(out.size(), "StateVectorBatch::expval_pauli_z");
+  const std::size_t mask = std::size_t{1} << (num_qubits_ - 1 - wire);
+  for (std::size_t b = 0; b < batch_; ++b) out[b] = 0.0;
+  const Complex* amps = amplitudes_.data();
+  for (std::size_t i = 0; i < dimension_; ++i) {
+    const Complex* a = amps + i * batch_;
+    if ((i & mask) == 0) {
+      for (std::size_t b = 0; b < batch_; ++b) out[b] += std::norm(a[b]);
+    } else {
+      for (std::size_t b = 0; b < batch_; ++b) out[b] -= std::norm(a[b]);
+    }
+  }
+}
+
+void StateVectorBatch::inner_products_real(const StateVectorBatch& other,
+                                           std::span<double> out) const {
+  if (other.num_qubits_ != num_qubits_ || other.batch_ != batch_) {
+    throw std::invalid_argument(
+        "StateVectorBatch::inner_products_real: shape mismatch");
+  }
+  check_rows(out.size(), "StateVectorBatch::inner_products_real");
+  for (std::size_t b = 0; b < batch_; ++b) out[b] = 0.0;
+  const Complex* lhs = amplitudes_.data();
+  const Complex* rhs = other.amplitudes_.data();
+  for (std::size_t i = 0; i < dimension_; ++i) {
+    const Complex* l = lhs + i * batch_;
+    const Complex* r = rhs + i * batch_;
+    // Re(conj(l)·r) accumulated in index order, matching the real-part
+    // accumulation of StateVector::inner_product.
+    for (std::size_t b = 0; b < batch_; ++b) {
+      out[b] += l[b].real() * r[b].real() + l[b].imag() * r[b].imag();
+    }
+  }
+}
+
+}  // namespace qhdl::quantum

@@ -1,3 +1,7 @@
+#include <optional>
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "flops/profiler.hpp"
@@ -173,6 +177,50 @@ TEST(Profiler, CostModelOverridesPropagate) {
   const FlopsReport heavier = profile_layers(infos, expensive_cnots);
   EXPECT_GT(heavier.quantum, base.quantum);
   EXPECT_DOUBLE_EQ(heavier.classical, base.classical);
+}
+
+TEST(DispatchCounts, ClassifyCircuitMatchesMeasuredCounters) {
+  // Build a circuit touching every kernel class, classify it statically,
+  // then run it un-fused and compare against the measured dispatch
+  // counters — the modeled mix must equal what the simulator executed.
+  quantum::Circuit circuit{3};
+  circuit.parameterized_gate(quantum::GateType::RZ, 0, 0);
+  circuit.gate(quantum::GateType::S, 1);
+  circuit.parameterized_gate(quantum::GateType::RX, 1, 1);
+  circuit.gate(quantum::GateType::PauliX, 2);
+  circuit.gate(quantum::GateType::CNOT, 0, 1);
+  circuit.gate(quantum::GateType::Hadamard, 2);
+  circuit.parameterized_gate(quantum::GateType::CRY, 2, 1, 2);
+  circuit.parameterized_gate(quantum::GateType::RZZ, 3, 0, 2);
+
+  const DispatchCounts modeled = classify_circuit(circuit);
+  EXPECT_EQ(modeled.diagonal, 2u);       // RZ + S
+  EXPECT_EQ(modeled.real_rotation, 1u);  // RX
+  EXPECT_EQ(modeled.permutation, 2u);    // PauliX + CNOT
+  EXPECT_EQ(modeled.generic, 1u);        // Hadamard
+  EXPECT_EQ(modeled.controlled, 1u);     // CRY
+  EXPECT_EQ(modeled.double_flip, 1u);    // RZZ
+  EXPECT_EQ(modeled.total(), circuit.op_count());
+
+  quantum::kernels::set_force_generic(false);
+  quantum::kernels::reset_stats();
+  quantum::StateVector state{3};
+  const std::vector<double> params{0.3, 0.5, 0.7, 0.9};
+  for (const quantum::Op& op : circuit.ops()) {
+    quantum::apply_gate(state, op.type, op.angle(params), op.wire0, op.wire1);
+  }
+  const auto measured = quantum::kernels::stats();
+  quantum::kernels::set_force_generic(std::nullopt);
+  EXPECT_EQ(measured.diagonal, modeled.diagonal);
+  EXPECT_EQ(measured.real_rotation, modeled.real_rotation);
+  EXPECT_EQ(measured.permutation, modeled.permutation);
+  EXPECT_EQ(measured.controlled, modeled.controlled);
+  EXPECT_EQ(measured.double_flip, modeled.double_flip);
+  EXPECT_EQ(measured.generic, modeled.generic);
+
+  const std::string table = dispatch_comparison_to_string(modeled, measured);
+  EXPECT_NE(table.find("diagonal"), std::string::npos);
+  EXPECT_NE(table.find("total"), std::string::npos);
 }
 
 TEST(Profiler, ReportRendering) {

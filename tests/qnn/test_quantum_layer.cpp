@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <optional>
+#include <vector>
 
+#include "quantum/kernels.hpp"
 #include "tensor/init.hpp"
 #include "tensor/ops.hpp"
 #include "test_helpers.hpp"
@@ -316,6 +319,72 @@ TEST(QuantumLayer, ThreadedBatchMatchesSequential) {
   EXPECT_TRUE(tensor::allclose(sequential.parameters()[0]->grad,
                                threaded.parameters()[0]->grad, 1e-15,
                                1e-15));
+}
+
+TEST(QuantumLayer, BatchedSoAPathMatchesGenericPerRow) {
+  // The SoA batch path (specialized kernels, shared+per-row variants,
+  // batched adjoint VJP) must agree with the QHDL_FORCE_GENERIC_KERNELS
+  // per-row path — PR1's exact code path — to 1e-12 on outputs, input
+  // gradients, and weight gradients.
+  util::Rng rng_a{31};
+  util::Rng rng_b{31};
+  auto config = small_config(AnsatzKind::StronglyEntangling, 4, 3);
+  QuantumLayer batched{config, rng_a};
+  QuantumLayer generic{config, rng_b};  // same weights
+
+  util::Rng data_rng{13};
+  const tensor::Tensor x =
+      tensor::uniform(tensor::Shape{7, 4}, -1.0, 1.0, data_rng);
+  const tensor::Tensor g =
+      tensor::uniform(tensor::Shape{7, 4}, -1.0, 1.0, data_rng);
+
+  quantum::kernels::set_force_generic(false);
+  quantum::kernels::reset_stats();
+  const tensor::Tensor out_batched = batched.forward(x);
+  EXPECT_GT(quantum::kernels::stats().batched_rows, 0u)
+      << "specialized mode should take the SoA batch path";
+  const tensor::Tensor gin_batched = batched.backward(g);
+
+  quantum::kernels::set_force_generic(true);
+  quantum::kernels::reset_stats();
+  const tensor::Tensor out_generic = generic.forward(x);
+  EXPECT_EQ(quantum::kernels::stats().batched_rows, 0u)
+      << "escape hatch should disable the SoA batch path";
+  const tensor::Tensor gin_generic = generic.backward(g);
+  quantum::kernels::set_force_generic(std::nullopt);
+
+  EXPECT_TRUE(tensor::allclose(out_batched, out_generic, 1e-12, 1e-12));
+  EXPECT_TRUE(tensor::allclose(gin_batched, gin_generic, 1e-12, 1e-12));
+  EXPECT_TRUE(tensor::allclose(batched.parameters()[0]->grad,
+                               generic.parameters()[0]->grad, 1e-12, 1e-12));
+}
+
+TEST(QuantumLayer, BatchedPathBitIdenticalAcrossChunkCounts) {
+  // Chunking the batch across threads must not change a single bit: the
+  // batch kernels do per-row arithmetic in the same order regardless of
+  // where chunk boundaries fall.
+  util::Rng data_rng{45};
+  const tensor::Tensor x =
+      tensor::uniform(tensor::Shape{9, 3}, -1.0, 1.0, data_rng);
+  const tensor::Tensor g =
+      tensor::uniform(tensor::Shape{9, 3}, -1.0, 1.0, data_rng);
+
+  std::vector<tensor::Tensor> outs, gins, wgrads;
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+    util::Rng rng{77};
+    auto config = small_config(AnsatzKind::StronglyEntangling, 3, 2);
+    config.threads = threads;
+    QuantumLayer layer{config, rng};
+    outs.push_back(layer.forward(x));
+    gins.push_back(layer.backward(g));
+    wgrads.push_back(layer.parameters()[0]->grad);
+  }
+  for (std::size_t i = 1; i < outs.size(); ++i) {
+    EXPECT_TRUE(tensor::allclose(outs[0], outs[i], 0, 0));
+    EXPECT_TRUE(tensor::allclose(gins[0], gins[i], 0, 0));
+    EXPECT_TRUE(tensor::allclose(wgrads[0], wgrads[i], 0, 0));
+  }
 }
 
 }  // namespace

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Run the google-benchmark micro benches and merge their JSON into one
+BENCH_micro.json with repo metadata (git SHA, build flags) and ns/op plus
+derived amps/sec per benchmark — the shape check_bench_regression.py
+consumes. Stdlib only.
+
+Usage:
+  tools/bench_report.py [--build-dir build] [--out BENCH_micro.json]
+                        [--filter REGEX] [--min-time SECONDS]
+"""
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+MICRO_BENCHES = ["bench/bench_micro_quantum", "bench/bench_micro_nn"]
+
+TIME_UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def git_sha(repo_root):
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=repo_root, check=True,
+            capture_output=True, text=True).stdout.strip()
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return "unknown"
+
+
+def run_bench(binary, filter_regex, min_time, out_path):
+    cmd = [
+        binary,
+        "--benchmark_format=json",
+        f"--benchmark_out={out_path}",
+        "--benchmark_out_format=json",
+        f"--benchmark_min_time={min_time}",
+    ]
+    if filter_regex:
+        cmd.append(f"--benchmark_filter={filter_regex}")
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+    with open(out_path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def entries_from(report, binary_name):
+    entries = []
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        scale = TIME_UNIT_TO_NS.get(bench.get("time_unit", "ns"), 1.0)
+        entry = {
+            "name": f"{binary_name}/{bench['name']}",
+            "ns_per_op": bench["cpu_time"] * scale,
+            "real_ns_per_op": bench["real_time"] * scale,
+            "iterations": bench.get("iterations", 0),
+        }
+        if "amps_per_sec" in bench:
+            entry["amps_per_sec"] = bench["amps_per_sec"]
+        if "items_per_second" in bench:
+            entry["items_per_second"] = bench["items_per_second"]
+        entries.append(entry)
+    return entries
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--out", default="BENCH_micro.json")
+    parser.add_argument("--filter", default="")
+    parser.add_argument("--min-time", default="0.1")
+    args = parser.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    entries = []
+    context = {}
+    for rel in MICRO_BENCHES:
+        binary = os.path.join(args.build_dir, rel)
+        if not os.path.exists(binary):
+            print(f"error: {binary} not built", file=sys.stderr)
+            return 1
+        name = os.path.basename(rel)
+        raw_path = os.path.join(args.build_dir, f"{name}.raw.json")
+        report = run_bench(binary, args.filter, args.min_time, raw_path)
+        context = report.get("context", context)
+        entries.extend(entries_from(report, name))
+
+    merged = {
+        "metadata": {
+            "git_sha": git_sha(repo_root),
+            "build_flags": " ".join(
+                f"{k}={v}" for k, v in sorted(context.items())
+                if k in ("library_build_type", "num_cpus", "mhz_per_cpu")),
+            "force_generic_kernels": bool(
+                os.environ.get("QHDL_FORCE_GENERIC_KERNELS", "")
+                not in ("", "0")),
+        },
+        "benchmarks": entries,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out} ({len(entries)} benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_micro.json against the committed baseline.
+
+Fails (exit 1) when any shared benchmark is slower than baseline by more
+than the tolerance; reports (exit 0) improvements beyond the tolerance so
+CI can surface them. `--calibrate` divides every ratio by the median ratio
+first, so a uniformly slower/faster CI machine does not mask or fake a
+relative regression. Stdlib only.
+
+Usage:
+  tools/check_bench_regression.py --baseline BENCH_micro.json \
+      --current fresh.json [--tolerance 0.25] [--calibrate] [--report out.md]
+"""
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_benchmarks(path):
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    return {b["name"]: b["ns_per_op"] for b in data.get("benchmarks", [])
+            if b.get("ns_per_op", 0) > 0}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.25)
+    parser.add_argument("--calibrate", action="store_true",
+                        help="normalize ratios by their median (absorbs "
+                             "uniform machine-speed differences)")
+    parser.add_argument("--report", default="",
+                        help="write a markdown summary here")
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        print("error: no overlapping benchmark names", file=sys.stderr)
+        return 1
+
+    ratios = {name: current[name] / baseline[name] for name in shared}
+    scale = statistics.median(ratios.values()) if args.calibrate else 1.0
+    if scale <= 0:
+        print("error: non-positive calibration scale", file=sys.stderr)
+        return 1
+
+    regressions, improvements = [], []
+    rows = []
+    for name in shared:
+        ratio = ratios[name] / scale
+        rows.append((name, baseline[name], current[name], ratio))
+        if ratio > 1.0 + args.tolerance:
+            regressions.append((name, ratio))
+        elif ratio < 1.0 - args.tolerance:
+            improvements.append((name, ratio))
+
+    lines = [
+        "## Benchmark comparison",
+        "",
+        f"{len(shared)} shared benchmarks, tolerance ±{args.tolerance:.0%}"
+        + (f", calibration scale {scale:.3f}" if args.calibrate else ""),
+        "",
+        "| benchmark | baseline ns/op | current ns/op | ratio |",
+        "|---|---:|---:|---:|",
+    ]
+    for name, base, cur, ratio in rows:
+        marker = " ⚠️" if ratio > 1.0 + args.tolerance else (
+            " 🚀" if ratio < 1.0 - args.tolerance else "")
+        lines.append(f"| {name} | {base:.0f} | {cur:.0f} | "
+                     f"{ratio:.2f}{marker} |")
+    if regressions:
+        lines += ["", f"**{len(regressions)} regression(s):** "
+                  + ", ".join(f"{n} ({r:.2f}x)" for n, r in regressions)]
+    if improvements:
+        lines += ["", f"**{len(improvements)} improvement(s):** "
+                  + ", ".join(f"{n} ({r:.2f}x)" for n, r in improvements)]
+    report = "\n".join(lines) + "\n"
+    print(report)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(report)
+
+    if regressions:
+        print(f"FAIL: {len(regressions)} benchmark(s) regressed beyond "
+              f"{args.tolerance:.0%}", file=sys.stderr)
+        return 1
+    print("OK: no regressions beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
