@@ -1,0 +1,90 @@
+#include "nn/fastpath.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <sstream>
+
+namespace qhdl::nn::fastpath {
+
+std::string FastpathStatsSnapshot::to_string() const {
+  std::ostringstream oss;
+  oss << "nn fastpath: workspace_runs=" << workspace_runs
+      << " reference_runs=" << reference_runs
+      << " workspace_steps=" << workspace_steps;
+  return oss.str();
+}
+
+namespace {
+
+bool env_default() {
+  // Env var wins when set ("0" = workspace fast path, anything else =
+  // reference); otherwise the build-time default applies.
+  const char* value = std::getenv("QHDL_FORCE_REFERENCE_NN");
+  if (value != nullptr && value[0] != '\0') {
+    return !(value[0] == '0' && value[1] == '\0');
+  }
+#ifdef QHDL_FORCE_REFERENCE_NN_DEFAULT
+  return true;
+#else
+  return false;
+#endif
+}
+
+// -1 = follow env/build default, 0 = workspace, 1 = reference.
+std::atomic<int> g_force_override{-1};
+
+struct Counters {
+  std::atomic<std::uint64_t> workspace_runs{0};
+  std::atomic<std::uint64_t> reference_runs{0};
+  std::atomic<std::uint64_t> workspace_steps{0};
+};
+
+Counters& counters() {
+  static Counters instance;
+  return instance;
+}
+
+}  // namespace
+
+bool force_reference() {
+  const int override_value = g_force_override.load(std::memory_order_relaxed);
+  if (override_value >= 0) return override_value == 1;
+  static const bool from_env = env_default();
+  return from_env;
+}
+
+void set_force_reference(std::optional<bool> forced) {
+  g_force_override.store(forced.has_value() ? (*forced ? 1 : 0) : -1,
+                         std::memory_order_relaxed);
+}
+
+void count_workspace_run() {
+  counters().workspace_runs.fetch_add(1, std::memory_order_relaxed);
+}
+
+void count_reference_run() {
+  counters().reference_runs.fetch_add(1, std::memory_order_relaxed);
+}
+
+void count_workspace_steps(std::uint64_t steps) {
+  counters().workspace_steps.fetch_add(steps, std::memory_order_relaxed);
+}
+
+FastpathStatsSnapshot stats() {
+  const Counters& c = counters();
+  FastpathStatsSnapshot snapshot;
+  snapshot.workspace_runs = c.workspace_runs.load(std::memory_order_relaxed);
+  snapshot.reference_runs = c.reference_runs.load(std::memory_order_relaxed);
+  snapshot.workspace_steps =
+      c.workspace_steps.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+void reset_stats() {
+  Counters& c = counters();
+  c.workspace_runs.store(0, std::memory_order_relaxed);
+  c.reference_runs.store(0, std::memory_order_relaxed);
+  c.workspace_steps.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace qhdl::nn::fastpath

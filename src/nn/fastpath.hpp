@@ -1,0 +1,55 @@
+// Classical-training fast-path configuration and observability.
+//
+// train_classifier routes classical Sequential models through the
+// preallocated workspace trainer (nn/workspace.hpp): fused GEMM + bias +
+// activation forward, fused softmax-cross-entropy loss, in-place backward
+// and Adam step with zero steady-state heap allocations. This header owns
+//   * the QHDL_FORCE_REFERENCE_NN escape hatch (env var, CMake option, or
+//     runtime override, mirroring QHDL_FORCE_GENERIC_KERNELS in
+//     quantum/kernels.hpp) that forces every training run back onto the
+//     reference Module::forward/backward path for equivalence testing, and
+//   * per-path run/step counters so tests and benchmarks can assert which
+//     path actually executed.
+//
+// Counters are process-global relaxed atomics: diagnostics, never control
+// flow.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace qhdl::nn::fastpath {
+
+/// Point-in-time copy of the dispatch counters.
+struct FastpathStatsSnapshot {
+  std::uint64_t workspace_runs = 0;   ///< train_classifier calls on the
+                                      ///< workspace path
+  std::uint64_t reference_runs = 0;   ///< calls on the Module reference path
+  std::uint64_t workspace_steps = 0;  ///< fused train steps executed
+  std::string to_string() const;
+};
+
+/// True when the escape hatch is active: the QHDL_FORCE_REFERENCE_NN
+/// environment variable is set to anything but "0"/"" at first use, the
+/// CMake option of the same name was ON at build time, or a test override
+/// is in place.
+bool force_reference();
+
+/// Test override: true/false forces the mode, nullopt restores the
+/// env/build-time default. Not thread-safe against concurrently running
+/// training (flip it only between runs).
+void set_force_reference(std::optional<bool> forced);
+
+// Counter bumps (relaxed; called once per run / per step).
+void count_workspace_run();
+void count_reference_run();
+void count_workspace_steps(std::uint64_t steps);
+
+/// Copies the current counters.
+FastpathStatsSnapshot stats();
+
+/// Zeroes all counters (tests / bench epochs).
+void reset_stats();
+
+}  // namespace qhdl::nn::fastpath

@@ -1,14 +1,55 @@
 #include "nn/loss.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
-#include "nn/activations.hpp"
 #include "tensor/ops.hpp"
 
 namespace qhdl::nn {
 
 using tensor::Tensor;
+
+namespace detail {
+
+double softmax_xent_forward_grad(const double* logits, std::size_t batch,
+                                 std::size_t classes,
+                                 const std::size_t* labels, double* grad) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < batch; ++i) {
+    if (labels[i] >= classes) {
+      throw std::out_of_range("SoftmaxCrossEntropy: label out of range");
+    }
+    const double* lrow = logits + i * classes;
+    double* grow = grad + i * classes;
+    // Row softmax with the max-subtraction trick (same arithmetic as
+    // softmax_rows in activations.cpp).
+    double row_max = lrow[0];
+    for (std::size_t j = 1; j < classes; ++j) {
+      row_max = std::max(row_max, lrow[j]);
+    }
+    double denom = 0.0;
+    for (std::size_t j = 0; j < classes; ++j) {
+      const double e = std::exp(lrow[j] - row_max);
+      grow[j] = e;
+      denom += e;
+    }
+    for (std::size_t j = 0; j < classes; ++j) grow[j] /= denom;
+    // Clamp to avoid log(0) when a probability underflows.
+    const double p = std::max(grow[labels[i]], 1e-300);
+    total -= std::log(p);
+  }
+  // d(mean CE)/d(logit) = (softmax - onehot) / batch.
+  const double inv_batch = 1.0 / static_cast<double>(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    double* grow = grad + i * classes;
+    grow[labels[i]] -= 1.0;
+    for (std::size_t j = 0; j < classes; ++j) grow[j] *= inv_batch;
+  }
+  return total / static_cast<double>(batch);
+}
+
+}  // namespace detail
 
 LossResult SoftmaxCrossEntropy::evaluate(
     const Tensor& logits, std::span<const std::size_t> labels) const {
@@ -21,28 +62,11 @@ LossResult SoftmaxCrossEntropy::evaluate(
                                 std::to_string(batch) + " vs labels " +
                                 std::to_string(labels.size()));
   }
-  Tensor probs = softmax_rows(logits);
-  double total = 0.0;
-  for (std::size_t i = 0; i < batch; ++i) {
-    if (labels[i] >= classes) {
-      throw std::out_of_range("SoftmaxCrossEntropy: label out of range");
-    }
-    // Clamp to avoid log(0) when a probability underflows.
-    const double p = std::max(probs.at(i, labels[i]), 1e-300);
-    total -= std::log(p);
-  }
-
   LossResult result;
-  result.value = total / static_cast<double>(batch);
-  // d(mean CE)/d(logit) = (softmax - onehot) / batch.
-  result.grad = std::move(probs);
-  const double inv_batch = 1.0 / static_cast<double>(batch);
-  for (std::size_t i = 0; i < batch; ++i) {
-    result.grad.at(i, labels[i]) -= 1.0;
-    for (std::size_t j = 0; j < classes; ++j) {
-      result.grad.at(i, j) *= inv_batch;
-    }
-  }
+  result.grad = Tensor{tensor::Shape{batch, classes}};
+  result.value = detail::softmax_xent_forward_grad(
+      logits.data().data(), batch, classes, labels.data(),
+      result.grad.data().data());
   return result;
 }
 

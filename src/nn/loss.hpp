@@ -30,4 +30,17 @@ class MeanSquaredError {
                       const tensor::Tensor& targets) const;
 };
 
+namespace detail {
+
+/// Fused softmax + cross-entropy forward/gradient on raw row-major buffers:
+/// writes d(mean CE)/d(logits) into grad[batch*classes] and returns the mean
+/// loss. The single core shared by SoftmaxCrossEntropy::evaluate and the
+/// workspace trainer, so both training paths perform bit-identical
+/// arithmetic. Throws std::out_of_range on a label >= classes.
+double softmax_xent_forward_grad(const double* logits, std::size_t batch,
+                                 std::size_t classes,
+                                 const std::size_t* labels, double* grad);
+
+}  // namespace detail
+
 }  // namespace qhdl::nn

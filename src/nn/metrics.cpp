@@ -6,17 +6,36 @@
 
 namespace qhdl::nn {
 
+namespace detail {
+
+double accuracy_rows(const double* logits, std::size_t rows,
+                     std::size_t cols, const std::size_t* labels) {
+  if (rows == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double* row = logits + i * cols;
+    std::size_t best = 0;
+    double best_value = row[0];
+    for (std::size_t j = 1; j < cols; ++j) {
+      if (row[j] > best_value) {
+        best_value = row[j];
+        best = j;
+      }
+    }
+    if (best == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(rows);
+}
+
+}  // namespace detail
+
 double accuracy(const tensor::Tensor& logits,
                 std::span<const std::size_t> labels) {
   if (logits.rank() != 2 || logits.rows() != labels.size()) {
     throw std::invalid_argument("accuracy: logits/labels mismatch");
   }
-  if (labels.empty()) return 0.0;
-  std::size_t correct = 0;
-  for (std::size_t i = 0; i < labels.size(); ++i) {
-    if (tensor::argmax_row(logits, i) == labels[i]) ++correct;
-  }
-  return static_cast<double>(correct) / static_cast<double>(labels.size());
+  return detail::accuracy_rows(logits.data().data(), logits.rows(),
+                               logits.cols(), labels.data());
 }
 
 std::vector<std::size_t> predict_classes(const tensor::Tensor& logits) {

@@ -20,4 +20,14 @@ std::vector<std::vector<std::size_t>> confusion_matrix(
     const tensor::Tensor& logits, std::span<const std::size_t> labels,
     std::size_t classes);
 
+namespace detail {
+
+/// Raw-buffer accuracy core (argmax per row, strict >, first max wins) —
+/// shared by nn::accuracy and the workspace trainer's eval pass so both
+/// paths agree exactly.
+double accuracy_rows(const double* logits, std::size_t rows,
+                     std::size_t cols, const std::size_t* labels);
+
+}  // namespace detail
+
 }  // namespace qhdl::nn

@@ -9,9 +9,13 @@ using tensor::Tensor;
 Sgd::Sgd(double learning_rate) : learning_rate_(learning_rate) {}
 
 void Sgd::step(const std::vector<Parameter*>& parameters) {
+  const double lr = learning_rate_;
   for (Parameter* p : parameters) {
-    for (std::size_t i = 0; i < p->value.size(); ++i) {
-      p->value[i] -= learning_rate_ * p->grad[i];
+    double* __restrict value = p->value.data().data();
+    const double* __restrict grad = p->grad.data().data();
+    const std::size_t size = p->value.size();
+    for (std::size_t i = 0; i < size; ++i) {
+      value[i] -= lr * grad[i];
     }
   }
 }
@@ -21,12 +25,21 @@ Momentum::Momentum(double learning_rate, double momentum)
 
 void Momentum::step(const std::vector<Parameter*>& parameters) {
   for (Parameter* p : parameters) {
-    auto [it, inserted] =
-        velocity_.try_emplace(p, Tensor::zeros(p->value.shape()));
-    Tensor& v = it->second;
-    for (std::size_t i = 0; i < p->value.size(); ++i) {
-      v[i] = momentum_ * v[i] + p->grad[i];
-      p->value[i] -= learning_rate_ * v[i];
+    // find-then-insert: the zero tensor must only be built on first sight of
+    // a parameter, so steady-state steps stay allocation-free.
+    auto it = velocity_.find(p);
+    if (it == velocity_.end()) {
+      it = velocity_.emplace(p, Tensor::zeros(p->value.shape())).first;
+    }
+    double* __restrict v = it->second.data().data();
+    double* __restrict value = p->value.data().data();
+    const double* __restrict grad = p->grad.data().data();
+    const std::size_t size = p->value.size();
+    const double lr = learning_rate_;
+    const double mu = momentum_;
+    for (std::size_t i = 0; i < size; ++i) {
+      v[i] = mu * v[i] + grad[i];
+      value[i] -= lr * v[i];
     }
   }
 }
@@ -45,17 +58,38 @@ void Adam::step(const std::vector<Parameter*>& parameters) {
   const double bias1 = 1.0 - std::pow(beta1_, t);
   const double bias2 = 1.0 - std::pow(beta2_, t);
   for (Parameter* p : parameters) {
-    auto [it, inserted] = slots_.try_emplace(
-        p, Slots{Tensor::zeros(p->value.shape()),
-                 Tensor::zeros(p->value.shape())});
+    // find-then-insert: slot tensors are built once per parameter, keeping
+    // steady-state steps allocation-free (the workspace trainer relies on
+    // this; tests/nn/test_workspace_alloc.cpp enforces it).
+    auto it = slots_.find(p);
+    if (it == slots_.end()) {
+      it = slots_
+               .emplace(p, Slots{Tensor::zeros(p->value.shape()),
+                                 Tensor::zeros(p->value.shape())})
+               .first;
+    }
     Slots& s = it->second;
-    for (std::size_t i = 0; i < p->value.size(); ++i) {
-      const double g = p->grad[i];
-      s.m[i] = beta1_ * s.m[i] + (1.0 - beta1_) * g;
-      s.v[i] = beta2_ * s.v[i] + (1.0 - beta2_) * g * g;
-      const double m_hat = s.m[i] / bias1;
-      const double v_hat = s.v[i] / bias2;
-      p->value[i] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    // Restrict-qualified raw pointers plus hoisted scalars let the compiler
+    // vectorize the divide/sqrt chain (correctly-rounded SIMD lanes, so the
+    // update is bit-identical to the scalar loop).
+    double* __restrict m = s.m.data().data();
+    double* __restrict v = s.v.data().data();
+    double* __restrict value = p->value.data().data();
+    const double* __restrict grad = p->grad.data().data();
+    const std::size_t size = p->value.size();
+    const double b1 = beta1_;
+    const double b2 = beta2_;
+    const double one_minus_b1 = 1.0 - beta1_;
+    const double one_minus_b2 = 1.0 - beta2_;
+    const double lr = learning_rate_;
+    const double eps = epsilon_;
+    for (std::size_t i = 0; i < size; ++i) {
+      const double g = grad[i];
+      m[i] = b1 * m[i] + one_minus_b1 * g;
+      v[i] = b2 * v[i] + one_minus_b2 * g * g;
+      const double m_hat = m[i] / bias1;
+      const double v_hat = v[i] / bias2;
+      value[i] -= lr * m_hat / (std::sqrt(v_hat) + eps);
     }
   }
 }

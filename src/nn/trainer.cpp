@@ -4,7 +4,10 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "nn/fastpath.hpp"
 #include "nn/metrics.hpp"
+#include "nn/sequential.hpp"
+#include "nn/workspace.hpp"
 #include "util/csv.hpp"
 #include "util/string_util.hpp"
 #include "util/logging.hpp"
@@ -14,20 +17,34 @@ namespace qhdl::nn {
 using tensor::Shape;
 using tensor::Tensor;
 
+void slice_rows_into(const Tensor& matrix,
+                     std::span<const std::size_t> row_indices, Tensor& out) {
+  if (matrix.rank() != 2) {
+    throw std::invalid_argument("slice_rows: rank-2 input expected");
+  }
+  const std::size_t rows = matrix.rows(), cols = matrix.cols();
+  if (out.rank() != 2 || out.rows() != row_indices.size() ||
+      out.cols() != cols) {
+    throw std::invalid_argument("slice_rows_into: bad output shape");
+  }
+  const double* src = matrix.data().data();
+  double* dst = out.data().data();
+  for (std::size_t i = 0; i < row_indices.size(); ++i) {
+    const std::size_t r = row_indices[i];
+    if (r >= rows) {
+      throw std::out_of_range("slice_rows: row index out of range");
+    }
+    std::copy(src + r * cols, src + (r + 1) * cols, dst + i * cols);
+  }
+}
+
 Tensor slice_rows(const Tensor& matrix,
                   std::span<const std::size_t> row_indices) {
   if (matrix.rank() != 2) {
     throw std::invalid_argument("slice_rows: rank-2 input expected");
   }
-  const std::size_t cols = matrix.cols();
-  Tensor out{Shape{row_indices.size(), cols}};
-  for (std::size_t i = 0; i < row_indices.size(); ++i) {
-    const std::size_t r = row_indices[i];
-    if (r >= matrix.rows()) {
-      throw std::out_of_range("slice_rows: row index out of range");
-    }
-    for (std::size_t j = 0; j < cols; ++j) out.at(i, j) = matrix.at(r, j);
-  }
+  Tensor out{Shape{row_indices.size(), matrix.cols()}};
+  slice_rows_into(matrix, row_indices, out);
   return out;
 }
 
@@ -57,8 +74,41 @@ TrainHistory train_classifier(Module& model, Optimizer& optimizer,
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
 
+  // Workspace fast path: pure classical Sequential stacks train through a
+  // preallocated, fused, zero-steady-state-allocation pipeline. Hybrid and
+  // custom models — or QHDL_FORCE_REFERENCE_NN — use the reference Module
+  // path below. Both produce bit-identical histories.
+  std::unique_ptr<TrainWorkspace> workspace;
+  if (!fastpath::force_reference()) {
+    if (auto* sequential = dynamic_cast<Sequential*>(&model)) {
+      workspace = TrainWorkspace::compile(
+          *sequential, std::min(config.batch_size, n),
+          std::max(n, x_val.rows()));
+    }
+  }
+  if (workspace) {
+    fastpath::count_workspace_run();
+  } else {
+    fastpath::count_reference_run();
+  }
+
+  // Reference-path batch buffers, reused across batches: one tensor for
+  // full batches and (when n % batch_size != 0) one for the tail batch.
+  const std::size_t full_rows = std::min(config.batch_size, n);
+  const std::size_t tail_rows = n % config.batch_size;
+  Tensor x_batch_full, x_batch_tail;
+  std::vector<std::size_t> y_batch;
+  if (!workspace && n > 0) {
+    x_batch_full = Tensor{Shape{full_rows, x_train.cols()}};
+    if (tail_rows != 0 && tail_rows != full_rows) {
+      x_batch_tail = Tensor{Shape{tail_rows, x_train.cols()}};
+    }
+    y_batch.reserve(full_rows);
+  }
+
   SoftmaxCrossEntropy loss_fn;
   TrainHistory history;
+  history.epochs.reserve(config.epochs);
   double best_val_for_patience = -1.0;
   std::size_t epochs_without_improvement = 0;
 
@@ -71,27 +121,39 @@ TrainHistory train_classifier(Module& model, Optimizer& optimizer,
       const std::size_t end = std::min(begin + config.batch_size, n);
       const std::span<const std::size_t> batch_rows{order.data() + begin,
                                                     end - begin};
-      const Tensor x_batch = slice_rows(x_train, batch_rows);
-      std::vector<std::size_t> y_batch(batch_rows.size());
-      for (std::size_t i = 0; i < batch_rows.size(); ++i) {
-        y_batch[i] = y_train[batch_rows[i]];
+      if (workspace) {
+        epoch_loss +=
+            workspace->train_step(x_train, y_train, batch_rows, optimizer);
+      } else {
+        Tensor& x_batch =
+            batch_rows.size() == full_rows ? x_batch_full : x_batch_tail;
+        slice_rows_into(x_train, batch_rows, x_batch);
+        y_batch.resize(batch_rows.size());
+        for (std::size_t i = 0; i < batch_rows.size(); ++i) {
+          y_batch[i] = y_train[batch_rows[i]];
+        }
+
+        model.zero_grad();
+        const Tensor logits = model.forward(x_batch);
+        const LossResult loss = loss_fn.evaluate(logits, y_batch);
+        model.backward(loss.grad);
+        optimizer.step(model.parameters());
+
+        epoch_loss += loss.value;
       }
-
-      model.zero_grad();
-      const Tensor logits = model.forward(x_batch);
-      const LossResult loss = loss_fn.evaluate(logits, y_batch);
-      model.backward(loss.grad);
-      optimizer.step(model.parameters());
-
-      epoch_loss += loss.value;
       ++batches;
     }
 
     EpochStats stats;
     stats.train_loss = batches > 0 ? epoch_loss / static_cast<double>(batches)
                                    : 0.0;
-    stats.train_accuracy = evaluate_accuracy(model, x_train, y_train);
-    stats.val_accuracy = evaluate_accuracy(model, x_val, y_val);
+    if (workspace) {
+      stats.train_accuracy = workspace->evaluate_accuracy(x_train, y_train);
+      stats.val_accuracy = workspace->evaluate_accuracy(x_val, y_val);
+    } else {
+      stats.train_accuracy = evaluate_accuracy(model, x_train, y_train);
+      stats.val_accuracy = evaluate_accuracy(model, x_val, y_val);
+    }
     history.epochs.push_back(stats);
     history.best_train_accuracy =
         std::max(history.best_train_accuracy, stats.train_accuracy);

@@ -47,6 +47,12 @@ struct TrainHistory {
 
 /// Trains `model` with softmax cross-entropy on (x_train, y_train),
 /// evaluating on (x_val, y_val) each epoch. `rng` drives batch shuffling.
+///
+/// Classical Sequential models (Dense + Tanh/ReLU/Sigmoid stacks) train on
+/// the zero-allocation workspace fast path (nn/workspace.hpp); anything else
+/// — and everything when QHDL_FORCE_REFERENCE_NN is set (nn/fastpath.hpp) —
+/// uses the reference Module::forward/backward path. Both paths produce
+/// bit-identical TrainHistory values and consume the RNG identically.
 TrainHistory train_classifier(Module& model, Optimizer& optimizer,
                               const tensor::Tensor& x_train,
                               std::span<const std::size_t> y_train,
@@ -61,6 +67,12 @@ double evaluate_accuracy(Module& model, const tensor::Tensor& x,
 /// Extracts rows [begin, end) of a [N,F] matrix into a new tensor.
 tensor::Tensor slice_rows(const tensor::Tensor& matrix,
                           std::span<const std::size_t> row_indices);
+
+/// Gathers `row_indices` of a [N,F] matrix into a preallocated
+/// [row_indices.size(), F] tensor (row-wise std::copy, no allocation).
+void slice_rows_into(const tensor::Tensor& matrix,
+                     std::span<const std::size_t> row_indices,
+                     tensor::Tensor& out);
 
 /// Learning-curve export: one CSV row per epoch
 /// (epoch, train_loss, train_accuracy, val_accuracy).

@@ -5,6 +5,7 @@
 
 #include "data/preprocess.hpp"
 #include "flops/profiler.hpp"
+#include "nn/fastpath.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 
@@ -83,6 +84,9 @@ CandidateResult evaluate_candidate_with_rngs(const ModelSpec& spec,
   nn::TrainConfig train_config = config.train;
   train_config.early_stop_accuracy = config.accuracy_threshold;
 
+  // Each run builds its own model/optimizer/workspace, so concurrent runs
+  // share no mutable state: train_classifier's workspace fast path keeps all
+  // training buffers per-model and the GEMM packing scratch is thread_local.
   const auto execute_run = [&](util::Rng& run_rng) {
     auto model = build_from_spec(spec, features, classes,
                                  config.classical_activation, run_rng);
@@ -237,6 +241,7 @@ RepeatedSearchResult run_repeated_search(const std::vector<ModelSpec>& specs,
     result.mean_winner_flops = flops_sum / n;
     result.mean_winner_parameters = param_sum / n;
   }
+  util::log_info(nn::fastpath::stats().to_string());
   return result;
 }
 

@@ -15,6 +15,13 @@
 // quantum batch rows) runs on the shared util::ThreadPool and is
 // result-invariant in the thread count: RNG streams are pre-split in a
 // fixed order and results commit in that order.
+//
+// Classical candidates train on the zero-allocation workspace fast path
+// (nn/workspace.hpp): per-run models own their workspaces, GEMM packing
+// scratch is thread_local, and the workspace arithmetic is bit-identical to
+// the reference Module path — so the thread-count invariance above holds
+// unchanged, and QHDL_FORCE_REFERENCE_NN reproduces identical results on
+// the reference path (see DESIGN.md §9).
 #pragma once
 
 #include <optional>

@@ -1,0 +1,31 @@
+// Cache-blocked, register-tiled double GEMM used by every dense matmul in
+// the library (tensor::matmul and friends, the NN workspace trainer).
+//
+// One kernel serves all four transpose combinations: operands are packed
+// into contiguous panels first, so the inner microkernel always reads
+// unit-stride memory regardless of the source layout. Accumulation over the
+// inner dimension is strictly ascending per output element and the kernel is
+// single-threaded, so results are deterministic and — because every caller
+// (reference trainer, workspace trainer, Dense module) routes through this
+// same code — bit-identical across the training paths that must agree
+// (see DESIGN.md §9).
+#pragma once
+
+#include <cstddef>
+
+namespace qhdl::tensor::gemm {
+
+/// C[m,n] (+)= A[m,k] · B[k,n], all row-major.
+///
+/// `a_transposed`: A is stored as [k,m] with leading dimension `lda`
+/// (logical element A(i,p) read from a[p*lda + i]) — the Xᵀ·dY case.
+/// `b_transposed`: B is stored as [n,k] with leading dimension `ldb`
+/// (logical element B(p,j) read from b[j*ldb + p]) — the dY·Wᵀ case.
+/// `accumulate`: false overwrites C, true adds the product into C
+/// (used to accumulate parameter gradients without a temporary).
+void dgemm(std::size_t m, std::size_t n, std::size_t k,
+           const double* a, std::size_t lda, bool a_transposed,
+           const double* b, std::size_t ldb, bool b_transposed,
+           double* c, std::size_t ldc, bool accumulate);
+
+}  // namespace qhdl::tensor::gemm

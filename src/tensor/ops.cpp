@@ -1,7 +1,10 @@
 #include "tensor/ops.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "tensor/gemm.hpp"
 
 namespace qhdl::tensor {
 
@@ -14,81 +17,84 @@ void check_rank2(const Tensor& t, const char* context) {
   }
 }
 
+struct MatmulDims {
+  std::size_t m = 0, k = 0, n = 0;
+};
+
+MatmulDims check_matmul(const Tensor& a, const Tensor& b, bool a_transposed,
+                        bool b_transposed, const char* context) {
+  check_rank2(a, context);
+  check_rank2(b, context);
+  MatmulDims dims;
+  dims.m = a_transposed ? a.cols() : a.rows();
+  dims.k = a_transposed ? a.rows() : a.cols();
+  dims.n = b_transposed ? b.rows() : b.cols();
+  const std::size_t bk = b_transposed ? b.cols() : b.rows();
+  if (bk != dims.k) {
+    throw std::invalid_argument(std::string{context} + ": inner dims " +
+                                a.shape().to_string() + " vs " +
+                                b.shape().to_string());
+  }
+  return dims;
+}
+
+void check_out_shape(const Tensor& out, std::size_t rows, std::size_t cols,
+                     const char* context) {
+  if (out.rank() != 2 || out.rows() != rows || out.cols() != cols) {
+    throw std::invalid_argument(
+        std::string{context} + ": out shape " + out.shape().to_string() +
+        " != [" + std::to_string(rows) + ", " + std::to_string(cols) + "]");
+  }
+}
+
 }  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
-  check_rank2(a, "matmul(a)");
-  check_rank2(b, "matmul(b)");
-  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  if (b.rows() != k) {
-    throw std::invalid_argument("matmul: inner dims " + a.shape().to_string() +
-                                " vs " + b.shape().to_string());
-  }
-  Tensor c{Shape{m, n}};
-  const auto* ap = a.data().data();
-  const auto* bp = b.data().data();
-  auto* cp = c.data().data();
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t p = 0; p < k; ++p) {
-      const double aval = ap[i * k + p];
-      if (aval == 0.0) continue;
-      const double* brow = bp + p * n;
-      double* crow = cp + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
-    }
-  }
+  const MatmulDims d = check_matmul(a, b, false, false, "matmul");
+  Tensor c{Shape{d.m, d.n}};
+  gemm::dgemm(d.m, d.n, d.k, a.data().data(), d.k, false, b.data().data(),
+              d.n, false, c.data().data(), d.n, false);
   return c;
+}
+
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& out) {
+  const MatmulDims d = check_matmul(a, b, false, false, "matmul_into");
+  check_out_shape(out, d.m, d.n, "matmul_into");
+  gemm::dgemm(d.m, d.n, d.k, a.data().data(), d.k, false, b.data().data(),
+              d.n, false, out.data().data(), d.n, false);
 }
 
 Tensor matmul_transpose_a(const Tensor& a, const Tensor& b) {
-  check_rank2(a, "matmul_transpose_a(a)");
-  check_rank2(b, "matmul_transpose_a(b)");
-  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
-  if (b.rows() != k) {
-    throw std::invalid_argument("matmul_transpose_a: inner dims " +
-                                a.shape().to_string() + " vs " +
-                                b.shape().to_string());
-  }
-  Tensor c{Shape{m, n}};
-  const auto* ap = a.data().data();
-  const auto* bp = b.data().data();
-  auto* cp = c.data().data();
-  for (std::size_t p = 0; p < k; ++p) {
-    const double* arow = ap + p * m;
-    const double* brow = bp + p * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const double aval = arow[i];
-      if (aval == 0.0) continue;
-      double* crow = cp + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
-    }
-  }
+  const MatmulDims d = check_matmul(a, b, true, false, "matmul_transpose_a");
+  Tensor c{Shape{d.m, d.n}};
+  gemm::dgemm(d.m, d.n, d.k, a.data().data(), d.m, true, b.data().data(),
+              d.n, false, c.data().data(), d.n, false);
   return c;
 }
 
+void matmul_transpose_a_into(const Tensor& a, const Tensor& b, Tensor& out,
+                             bool accumulate) {
+  const MatmulDims d =
+      check_matmul(a, b, true, false, "matmul_transpose_a_into");
+  check_out_shape(out, d.m, d.n, "matmul_transpose_a_into");
+  gemm::dgemm(d.m, d.n, d.k, a.data().data(), d.m, true, b.data().data(),
+              d.n, false, out.data().data(), d.n, accumulate);
+}
+
 Tensor matmul_transpose_b(const Tensor& a, const Tensor& b) {
-  check_rank2(a, "matmul_transpose_b(a)");
-  check_rank2(b, "matmul_transpose_b(b)");
-  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
-  if (b.cols() != k) {
-    throw std::invalid_argument("matmul_transpose_b: inner dims " +
-                                a.shape().to_string() + " vs " +
-                                b.shape().to_string());
-  }
-  Tensor c{Shape{m, n}};
-  const auto* ap = a.data().data();
-  const auto* bp = b.data().data();
-  auto* cp = c.data().data();
-  for (std::size_t i = 0; i < m; ++i) {
-    const double* arow = ap + i * k;
-    for (std::size_t j = 0; j < n; ++j) {
-      const double* brow = bp + j * k;
-      double acc = 0.0;
-      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      cp[i * n + j] = acc;
-    }
-  }
+  const MatmulDims d = check_matmul(a, b, false, true, "matmul_transpose_b");
+  Tensor c{Shape{d.m, d.n}};
+  gemm::dgemm(d.m, d.n, d.k, a.data().data(), d.k, false, b.data().data(),
+              d.k, true, c.data().data(), d.n, false);
   return c;
+}
+
+void matmul_transpose_b_into(const Tensor& a, const Tensor& b, Tensor& out) {
+  const MatmulDims d =
+      check_matmul(a, b, false, true, "matmul_transpose_b_into");
+  check_out_shape(out, d.m, d.n, "matmul_transpose_b_into");
+  gemm::dgemm(d.m, d.n, d.k, a.data().data(), d.k, false, b.data().data(),
+              d.k, true, out.data().data(), d.n, false);
 }
 
 Tensor transpose(const Tensor& a) {
@@ -146,10 +152,28 @@ Tensor add_row_broadcast(const Tensor& matrix, const Tensor& row) {
                                 std::to_string(n));
   }
   Tensor c = matrix;
-  for (std::size_t i = 0; i < matrix.rows(); ++i) {
-    for (std::size_t j = 0; j < n; ++j) c.at(i, j) += row[j];
-  }
+  add_row_broadcast_into(c, row, c);
   return c;
+}
+
+void add_row_broadcast_into(const Tensor& matrix, const Tensor& row,
+                            Tensor& out) {
+  check_rank2(matrix, "add_row_broadcast_into(matrix)");
+  const std::size_t m = matrix.rows(), n = matrix.cols();
+  if (row.size() != n) {
+    throw std::invalid_argument("add_row_broadcast_into: row size " +
+                                std::to_string(row.size()) + " != cols " +
+                                std::to_string(n));
+  }
+  check_out_shape(out, m, n, "add_row_broadcast_into");
+  const double* src = matrix.data().data();
+  const double* rp = row.data().data();
+  double* dst = out.data().data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* srow = src + i * n;
+    double* drow = dst + i * n;
+    for (std::size_t j = 0; j < n; ++j) drow[j] = srow[j] + rp[j];
+  }
 }
 
 Tensor map(const Tensor& a, const std::function<double(double)>& fn) {
@@ -172,10 +196,27 @@ double mean_value(const Tensor& a) {
 Tensor sum_rows(const Tensor& a) {
   check_rank2(a, "sum_rows");
   Tensor out{Shape{1, a.cols()}};
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    for (std::size_t j = 0; j < a.cols(); ++j) out[j] += a.at(i, j);
-  }
+  sum_rows_into(a, out, /*accumulate=*/false);
   return out;
+}
+
+void sum_rows_into(const Tensor& a, Tensor& out, bool accumulate) {
+  check_rank2(a, "sum_rows_into");
+  const std::size_t m = a.rows(), n = a.cols();
+  if (out.size() != n) {
+    throw std::invalid_argument("sum_rows_into: out size " +
+                                std::to_string(out.size()) + " != cols " +
+                                std::to_string(n));
+  }
+  double* op = out.data().data();
+  if (!accumulate) std::fill(op, op + n, 0.0);
+  const double* ap = a.data().data();
+  // Row-ascending accumulation: the same order as summing each column with
+  // its own scalar accumulator, so results match the naive loop bit-for-bit.
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = ap + i * n;
+    for (std::size_t j = 0; j < n; ++j) op[j] += arow[j];
+  }
 }
 
 std::size_t argmax_row(const Tensor& a, std::size_t row) {

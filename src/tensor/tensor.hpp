@@ -1,9 +1,9 @@
 // Dense row-major double tensor with value semantics.
 //
-// The study trains small MLPs (<= a few hundred units), so the design favors
-// clarity and strict checking over SIMD/blocking tricks; the matmul in
-// ops.cpp is a cache-friendly ikj loop that is more than fast enough for the
-// paper-scale workloads.
+// The Tensor class itself favors clarity and strict checking; the dense
+// matmul hot paths in ops.cpp route through the blocked/packed GEMM kernel
+// in gemm.cpp, and the training loop avoids per-op Tensor allocation
+// entirely via the workspace trainer (nn/workspace.hpp).
 #pragma once
 
 #include <span>

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+
 #include "nn/activations.hpp"
 #include "nn/dense.hpp"
+#include "nn/fastpath.hpp"
 #include "nn/sequential.hpp"
 #include "tensor/init.hpp"
 
@@ -40,6 +43,87 @@ TEST(SliceRows, OutOfRangeThrows) {
   const Tensor m = Tensor::matrix(2, 1, {1, 2});
   EXPECT_THROW(slice_rows(m, std::vector<std::size_t>{2}),
                std::out_of_range);
+}
+
+TEST(SliceRows, IntoReusesPreallocatedTensor) {
+  const Tensor m = Tensor::matrix(3, 2, {1, 2, 3, 4, 5, 6});
+  Tensor out{Shape{2, 2}};
+  slice_rows_into(m, std::vector<std::size_t>{2, 0}, out);
+  EXPECT_DOUBLE_EQ(out.at(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(out.at(1, 1), 2.0);
+  EXPECT_THROW(slice_rows_into(m, std::vector<std::size_t>{3}, out),
+               std::invalid_argument);  // shape mismatch (1 row vs 2)
+  Tensor one_row{Shape{1, 2}};
+  EXPECT_THROW(slice_rows_into(m, std::vector<std::size_t>{3}, one_row),
+               std::out_of_range);
+}
+
+// Regression pin for the epoch-stats refactor: the accuracies recorded in
+// TrainHistory must exactly equal a module-path forward over the same
+// parameters at the same point in training — on both the workspace fast
+// path and the forced reference path.
+TEST(Trainer, EpochStatsMatchModuleForwardOnBothPaths) {
+  for (const bool force_reference : {false, true}) {
+    util::Rng rng{46};
+    Tensor x_train, x_val;
+    std::vector<std::size_t> y_train, y_val;
+    make_separable(52, rng, x_train, y_train);  // odd tail with batch 8
+    make_separable(21, rng, x_val, y_val);
+
+    Sequential model;
+    model.emplace<Dense>(2, 5, rng);
+    model.emplace<Tanh>();
+    model.emplace<Dense>(5, 2, rng);
+    Adam optimizer{1e-3};
+
+    fastpath::set_force_reference(force_reference);
+    TrainConfig config;
+    config.epochs = 3;
+    config.batch_size = 8;
+    config.on_epoch = [&](std::size_t, const EpochStats& stats) {
+      EXPECT_EQ(stats.train_accuracy,
+                evaluate_accuracy(model, x_train, y_train));
+      EXPECT_EQ(stats.val_accuracy, evaluate_accuracy(model, x_val, y_val));
+    };
+    const TrainHistory history = train_classifier(
+        model, optimizer, x_train, y_train, x_val, y_val, config, rng);
+    fastpath::set_force_reference(std::nullopt);
+    EXPECT_EQ(history.epochs_run, 3u);
+  }
+}
+
+// Early-stop and patience must trigger at the same epoch on both paths.
+TEST(Trainer, StoppingDecisionsIdenticalAcrossPaths) {
+  const auto run = [](bool force_reference) {
+    util::Rng rng{47};
+    Tensor x_train, x_val;
+    std::vector<std::size_t> y_train, y_val;
+    make_separable(120, rng, x_train, y_train);
+    make_separable(40, rng, x_val, y_val);
+    Sequential model;
+    model.emplace<Dense>(2, 4, rng);
+    model.emplace<Tanh>();
+    model.emplace<Dense>(4, 2, rng);
+    Adam optimizer{0.05};
+    fastpath::set_force_reference(force_reference);
+    TrainConfig config;
+    config.epochs = 200;
+    config.patience = 3;
+    config.early_stop_accuracy = 0.98;
+    const TrainHistory history = train_classifier(
+        model, optimizer, x_train, y_train, x_val, y_val, config, rng);
+    fastpath::set_force_reference(std::nullopt);
+    return history;
+  };
+  const TrainHistory fast = run(false);
+  const TrainHistory ref = run(true);
+  EXPECT_EQ(fast.epochs_run, ref.epochs_run);
+  EXPECT_EQ(fast.best_train_accuracy, ref.best_train_accuracy);
+  EXPECT_EQ(fast.best_val_accuracy, ref.best_val_accuracy);
+  ASSERT_EQ(fast.epochs.size(), ref.epochs.size());
+  for (std::size_t e = 0; e < fast.epochs.size(); ++e) {
+    EXPECT_EQ(fast.epochs[e].train_loss, ref.epochs[e].train_loss);
+  }
 }
 
 TEST(Trainer, LearnsSeparableProblem) {

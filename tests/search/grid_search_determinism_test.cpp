@@ -4,10 +4,12 @@
 // pruned candidate could still win the search under threads > 1.)
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <stdexcept>
 
 #include "core/config.hpp"
 #include "data/preprocess.hpp"
+#include "nn/fastpath.hpp"
 #include "search/experiment.hpp"
 #include "search/grid_search.hpp"
 #include "search/search_space.hpp"
@@ -131,6 +133,33 @@ TEST(GridSearchDeterminism, LookaheadWindowDoesNotChangeResults) {
   const auto speculative =
       run_repeated_search(paper_classical_space(), dataset, config);
   expect_identical(serial, speculative);
+}
+
+// The workspace fast path (default) and the QHDL_FORCE_REFERENCE_NN module
+// path must produce the same search outcome bit for bit — the classical
+// training results are interchangeable between the two trainers.
+TEST(GridSearchDeterminism, WorkspaceAndReferencePathsAgree) {
+  auto config = base_config();
+  config.accuracy_threshold = 0.34;
+  const auto dataset = level_dataset(6, core::test_scale());
+
+  nn::fastpath::set_force_reference(false);
+  config.threads = 1;
+  const auto workspace =
+      run_repeated_search(paper_classical_space(), dataset, config);
+
+  nn::fastpath::set_force_reference(true);
+  const auto reference =
+      run_repeated_search(paper_classical_space(), dataset, config);
+
+  // Reference path under parallel execution must also agree.
+  config.threads = 4;
+  const auto reference_parallel =
+      run_repeated_search(paper_classical_space(), dataset, config);
+  nn::fastpath::set_force_reference(std::nullopt);
+
+  expect_identical(workspace, reference);
+  expect_identical(workspace, reference_parallel);
 }
 
 TEST(GridSearchDeterminism, EvaluateCandidateRejectsZeroRuns) {

@@ -47,6 +47,136 @@ TEST(Ops, TransposedVariantsMatchExplicitTranspose) {
   EXPECT_TRUE(allclose(matmul_transpose_b(c, d), matmul(c, transpose(d))));
 }
 
+// Naive j-inner triple loop with ascending-k accumulation — the arithmetic
+// order the blocked GEMM must reproduce exactly (per element, contributions
+// arrive in ascending k).
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  Tensor c{Shape{a.rows(), b.cols()}};
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aval = a.at(i, k);
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c.at(i, j) += aval * b.at(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+TEST(Ops, MatmulZeroHeavyInputs) {
+  // The old kernel skipped a == 0.0 contributions with a data-dependent
+  // branch; the blocked kernel must handle zero-heavy inputs (e.g. ReLU
+  // activations) with no special casing and no wrong results.
+  util::Rng rng{7};
+  Tensor a = uniform(Shape{9, 13}, -1, 1, rng);
+  for (std::size_t i = 0; i < a.size(); i += 2) a[i] = 0.0;  // ~half zeros
+  const Tensor b = uniform(Shape{13, 6}, -1, 1, rng);
+  const Tensor c = matmul(a, b);
+  const Tensor expected = naive_matmul(a, b);
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_EQ(c[i], expected[i]);
+
+  const Tensor all_zero = Tensor::zeros(Shape{9, 13});
+  const Tensor zc = matmul(all_zero, b);
+  for (std::size_t i = 0; i < zc.size(); ++i) EXPECT_EQ(zc[i], 0.0);
+}
+
+TEST(Ops, BlockedMatmulBitIdenticalToNaiveOrder) {
+  // Shapes that exercise full tiles, edge tiles, and the search-space
+  // extremes (k stays below the 256-wide k-block, so the packed kernel's
+  // per-element accumulation order is exactly ascending k).
+  const struct { std::size_t m, k, n; } shapes[] = {
+      {1, 1, 1}, {4, 4, 4}, {5, 3, 7}, {8, 110, 10},
+      {37, 29, 11}, {70, 2, 130}, {3, 256, 5},
+  };
+  util::Rng rng{11};
+  for (const auto& s : shapes) {
+    const Tensor a = uniform(Shape{s.m, s.k}, -1, 1, rng);
+    const Tensor b = uniform(Shape{s.k, s.n}, -1, 1, rng);
+    const Tensor c = matmul(a, b);
+    const Tensor expected = naive_matmul(a, b);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      ASSERT_EQ(c[i], expected[i])
+          << "m=" << s.m << " k=" << s.k << " n=" << s.n << " flat=" << i;
+    }
+  }
+}
+
+TEST(Ops, MatmulLargeKMatchesNaiveClosely) {
+  // k > 256 splits the accumulation across k-blocks (different rounding
+  // order than the naive loop, same value up to normal fp tolerance).
+  util::Rng rng{13};
+  const Tensor a = uniform(Shape{6, 300}, -1, 1, rng);
+  const Tensor b = uniform(Shape{300, 5}, -1, 1, rng);
+  EXPECT_TRUE(allclose(matmul(a, b), naive_matmul(a, b), 1e-12, 1e-12));
+}
+
+TEST(Ops, MatmulIntoMatchesMatmul) {
+  util::Rng rng{17};
+  const Tensor a = uniform(Shape{6, 9}, -1, 1, rng);
+  const Tensor b = uniform(Shape{9, 4}, -1, 1, rng);
+  Tensor out{Shape{6, 4}};
+  matmul_into(a, b, out);
+  const Tensor expected = matmul(a, b);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], expected[i]);
+
+  Tensor bad{Shape{4, 6}};
+  EXPECT_THROW(matmul_into(a, b, bad), std::invalid_argument);
+}
+
+TEST(Ops, MatmulTransposeAIntoAccumulates) {
+  util::Rng rng{19};
+  const Tensor a = uniform(Shape{8, 5}, -1, 1, rng);   // [batch, in]
+  const Tensor b = uniform(Shape{8, 3}, -1, 1, rng);   // [batch, out]
+  const Tensor product = matmul_transpose_a(a, b);     // [in, out]
+
+  Tensor acc = Tensor::full(Shape{5, 3}, 1.5);
+  matmul_transpose_a_into(a, b, acc, /*accumulate=*/true);
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    EXPECT_DOUBLE_EQ(acc[i], 1.5 + product[i]);
+  }
+
+  Tensor fresh{Shape{5, 3}};
+  matmul_transpose_a_into(a, b, fresh, /*accumulate=*/false);
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_EQ(fresh[i], product[i]);
+  }
+}
+
+TEST(Ops, MatmulTransposeBIntoMatches) {
+  util::Rng rng{23};
+  const Tensor a = uniform(Shape{7, 4}, -1, 1, rng);   // [batch, out]
+  const Tensor b = uniform(Shape{6, 4}, -1, 1, rng);   // [in, out] (W)
+  Tensor out{Shape{7, 6}};
+  matmul_transpose_b_into(a, b, out);
+  const Tensor expected = matmul_transpose_b(a, b);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], expected[i]);
+}
+
+TEST(Ops, AddRowBroadcastIntoAliasesSafely) {
+  Tensor m = Tensor::matrix(2, 3, {0, 0, 0, 1, 1, 1});
+  const Tensor row = Tensor::row({10, 20, 30});
+  Tensor out{Shape{2, 3}};
+  add_row_broadcast_into(m, row, out);
+  EXPECT_DOUBLE_EQ(out.at(0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(out.at(1, 2), 31.0);
+  // In-place form: out aliases the matrix.
+  add_row_broadcast_into(m, row, m);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 20.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 11.0);
+  EXPECT_THROW(add_row_broadcast_into(m, Tensor::row({1, 2}), m),
+               std::invalid_argument);
+}
+
+TEST(Ops, SumRowsIntoAccumulates) {
+  const Tensor m = Tensor::matrix(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor acc = Tensor::row({10, 10, 10});
+  sum_rows_into(m, acc, /*accumulate=*/true);
+  EXPECT_DOUBLE_EQ(acc[0], 15.0);
+  EXPECT_DOUBLE_EQ(acc[2], 19.0);
+  sum_rows_into(m, acc, /*accumulate=*/false);
+  EXPECT_DOUBLE_EQ(acc[1], 7.0);
+}
+
 TEST(Ops, TransposeInvolution) {
   util::Rng rng{3};
   const Tensor a = uniform(Shape{3, 7}, -1, 1, rng);
