@@ -4,11 +4,18 @@
 //
 //   ./model_search --family classical --features 10
 //   ./model_search --family sel --features 60 --runs 2
+//
+// Pass --checkpoint <path> for durable execution: completed candidates are
+// checkpointed (atomic rename) and a re-run resumes from them, bit-identical
+// to an uninterrupted search. Ctrl-C exits cleanly with progress saved.
 #include <cstdio>
+#include <memory>
 
 #include "core/config.hpp"
+#include "search/checkpoint.hpp"
 #include "search/experiment.hpp"
 #include "util/cli.hpp"
+#include "util/interrupt.hpp"
 #include "util/logging.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
@@ -25,8 +32,12 @@ int main(int argc, char** argv) {
   cli.add_double("threshold", 0.90, "Accuracy threshold (train AND val)");
   cli.add_int("points", 900, "Dataset size");
   cli.add_int("seed", 42, "Search seed");
+  cli.add_string("checkpoint", "",
+                 "Checkpoint manifest path for crash-safe resume "
+                 "(empty = no checkpointing)");
   try {
     if (!cli.parse(argc, argv)) return 0;
+    util::install_interrupt_handler();
 
     const std::string family_arg = util::to_lower(cli.get_string("family"));
     search::Family family = search::Family::Classical;
@@ -54,8 +65,20 @@ int main(int argc, char** argv) {
                 config.feature_sizes[0],
                 search::family_search_space(family).size());
 
+    std::unique_ptr<search::StudyCheckpoint> checkpoint;
+    const std::string checkpoint_path = cli.get_string("checkpoint");
+    if (!checkpoint_path.empty()) {
+      checkpoint = std::make_unique<search::StudyCheckpoint>(
+          checkpoint_path, search::sweep_config_hash(config));
+      const std::size_t restored = checkpoint->load();
+      if (restored > 0) {
+        std::printf("resuming: %zu completed candidate(s) restored\n",
+                    restored);
+      }
+    }
+
     const search::SweepResult sweep =
-        search::run_complexity_sweep(family, config);
+        search::run_complexity_sweep(family, config, checkpoint.get());
     const auto& outcome = sweep.levels[0].search.repetitions[0];
 
     util::Table table({"#", "candidate", "FLOPs", "params", "train acc",
@@ -81,6 +104,11 @@ int main(int argc, char** argv) {
       std::printf("\nno candidate met the threshold "
                   "(try --epochs or --threshold)\n");
     }
+  } catch (const util::Interrupted&) {
+    std::fprintf(stderr,
+                 "\ninterrupted: progress saved; re-run the same command to "
+                 "resume\n");
+    return 130;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

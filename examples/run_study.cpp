@@ -6,14 +6,23 @@
 //   ./run_study                 # reduced protocol (~minutes)
 //   ./run_study --paper         # full paper protocol (hours)
 //   ./run_study --threads 4     # parallelize the search (same results)
+//
+// Execution is durable: completed candidate evaluations are checkpointed to
+// <out>/study.checkpoint.json (atomic rename at every unit boundary), so a
+// crashed or Ctrl-C'd study resumes where it left off — bit-identical to an
+// uninterrupted run — simply by re-running the same command. --fresh
+// discards an existing checkpoint; --no-checkpoint disables durability.
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
+#include <memory>
 
 #include "core/config.hpp"
 #include "core/report.hpp"
 #include "core/study.hpp"
+#include "search/checkpoint.hpp"
+#include "util/atomic_file.hpp"
 #include "util/cli.hpp"
+#include "util/interrupt.hpp"
 #include "util/logging.hpp"
 
 int main(int argc, char** argv) {
@@ -23,6 +32,8 @@ int main(int argc, char** argv) {
   cli.add_flag("paper", "Full paper protocol (5x5 runs, 100 epochs, "
                         "features 10..110) instead of the reduced one");
   cli.add_flag("quiet", "Suppress progress logging");
+  cli.add_flag("fresh", "Discard any existing checkpoint and start over");
+  cli.add_flag("no-checkpoint", "Disable durable execution (no resume)");
   cli.add_int("threads", 1,
               "Search concurrency (families, levels, candidate lookahead, "
               "runs, quantum batches); results are thread-count independent");
@@ -31,6 +42,7 @@ int main(int argc, char** argv) {
   try {
     if (!cli.parse(argc, argv)) return 0;
     if (!cli.flag("quiet")) util::set_log_level(util::LogLevel::Info);
+    util::install_interrupt_handler();
 
     search::SweepConfig config =
         cli.flag("paper") ? core::paper_scale() : core::bench_scale();
@@ -41,10 +53,26 @@ int main(int argc, char** argv) {
     const std::string out = cli.get_string("out");
     std::filesystem::create_directories(out);
 
+    // Durable execution: the checkpoint is keyed to the exact protocol via
+    // sweep_config_hash, so a stale manifest (different seeds/scale) is
+    // rejected instead of silently mixing results.
+    const std::string checkpoint_path = out + "/study.checkpoint.json";
+    std::unique_ptr<search::StudyCheckpoint> checkpoint;
+    if (!cli.flag("no-checkpoint")) {
+      if (cli.flag("fresh")) std::filesystem::remove(checkpoint_path);
+      checkpoint = std::make_unique<search::StudyCheckpoint>(
+          checkpoint_path, search::sweep_config_hash(config));
+      const std::size_t restored = checkpoint->load();
+      if (restored > 0) {
+        std::printf("Resuming: %zu completed unit(s) restored from %s\n",
+                    restored, checkpoint_path.c_str());
+      }
+    }
+
     std::printf("Running the %s protocol; artifacts -> %s/\n\n",
                 cli.flag("paper") ? "PAPER" : "reduced bench", out.c_str());
     const core::ComplexityStudy study{config};
-    const core::StudyResult result = study.run();
+    const core::StudyResult result = study.run(checkpoint.get());
 
     // Per-family winner tables (Figs. 6-9 data).
     for (const auto* sweep :
@@ -72,14 +100,20 @@ int main(int argc, char** argv) {
 
     // Full manifest + human-readable report.
     result.to_json().write_file(out + "/study.json");
-    {
-      const std::string report =
-          core::study_report_markdown(result, config);
-      std::ofstream md(out + "/report.md", std::ios::binary);
-      md << report;
-    }
+    util::atomic_write_file(out + "/report.md",
+                            core::study_report_markdown(result, config));
     std::printf("\nmanifest: %s/study.json\nreport:   %s/report.md\n",
                 out.c_str(), out.c_str());
+
+    // The study completed: the checkpoint has served its purpose and would
+    // otherwise resume-skip the whole study on the next run.
+    if (checkpoint) std::filesystem::remove(checkpoint_path);
+  } catch (const util::Interrupted&) {
+    // Completed units were flushed at every unit boundary; nothing to save.
+    std::fprintf(stderr,
+                 "\ninterrupted: progress saved; re-run the same command to "
+                 "resume\n");
+    return 130;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

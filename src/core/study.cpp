@@ -12,8 +12,8 @@ ComplexityStudy::ComplexityStudy(search::SweepConfig config)
     : config_(std::move(config)) {}
 
 search::SweepResult ComplexityStudy::run_family(
-    search::Family family) const {
-  return search::run_complexity_sweep(family, config_);
+    search::Family family, search::StudyCheckpoint* checkpoint) const {
+  return search::run_complexity_sweep(family, config_, checkpoint);
 }
 
 std::vector<AblationSelection> ablation_from_sweep(
@@ -28,7 +28,8 @@ std::vector<AblationSelection> ablation_from_sweep(
   return selection;
 }
 
-StudyResult ComplexityStudy::run() const {
+StudyResult ComplexityStudy::run(
+    search::StudyCheckpoint* checkpoint) const {
   StudyResult result;
   // The three family sweeps share nothing but the (re-derived) datasets, so
   // they fan out onto the shared pool; each sweep then parallelizes its own
@@ -43,18 +44,21 @@ StudyResult ComplexityStudy::run() const {
                        util::log_info("study: " +
                                       search::family_name(families[i]) +
                                       " sweep");
-                       *slots[i] = run_family(families[i]);
+                       *slots[i] = run_family(families[i], checkpoint);
                      });
 
   for (const auto* sweep :
        {&result.classical, &result.hybrid_bel, &result.hybrid_sel}) {
     try {
       result.growth.push_back(analyze_growth(*sweep));
-    } catch (const std::invalid_argument&) {
+    } catch (const std::invalid_argument& e) {
       // A family that never met the threshold at two levels has no growth
-      // summary; callers see it missing from `growth`.
-      util::log_warn("study: no growth summary for " +
-                     search::family_name(sweep->family));
+      // summary; record a structured skip so the manifest says why the
+      // Fig. 10 row is missing instead of silently dropping it.
+      const std::string family = search::family_name(sweep->family);
+      util::log_warn("study: no growth summary for " + family + ": " +
+                     e.what());
+      result.growth_skipped.push_back(GrowthSkip{family, e.what()});
     }
   }
 
@@ -85,6 +89,15 @@ util::Json StudyResult::to_json() const {
     growth_json.push_back(std::move(item));
   }
   root["growth"] = std::move(growth_json);
+
+  util::Json skipped_json = util::Json::array();
+  for (const GrowthSkip& skip : growth_skipped) {
+    util::Json item = util::Json::object();
+    item["family"] = util::Json{skip.family};
+    item["reason"] = util::Json{skip.reason};
+    skipped_json.push_back(std::move(item));
+  }
+  root["growth_skipped"] = std::move(skipped_json);
 
   util::Json ablation_json = util::Json::array();
   for (const AblationRow& row : ablation) {

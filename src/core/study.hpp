@@ -10,12 +10,21 @@
 
 namespace qhdl::core {
 
+/// A family whose growth summary could not be derived (it never met the
+/// threshold at two levels, so there is nothing to fit). Recorded instead of
+/// silently dropped so the manifest explains the missing Fig. 10 row.
+struct GrowthSkip {
+  std::string family;
+  std::string reason;  ///< the analyze_growth diagnostic
+};
+
 struct StudyResult {
   search::SweepResult classical;
   search::SweepResult hybrid_bel;
   search::SweepResult hybrid_sel;
 
   std::vector<FamilyGrowth> growth;      ///< Fig. 10 aggregates
+  std::vector<GrowthSkip> growth_skipped;  ///< families with no summary
   std::vector<AblationRow> ablation;     ///< Table I rows (from winners)
 
   /// Full machine-readable manifest.
@@ -26,11 +35,15 @@ class ComplexityStudy {
  public:
   explicit ComplexityStudy(search::SweepConfig config);
 
-  /// Runs everything. Progress is logged at Info level.
-  StudyResult run() const;
+  /// Runs everything. Progress is logged at Info level. A non-null
+  /// `checkpoint` makes the study durable: completed candidate evaluations
+  /// are recorded/flushed there and replayed on resume (DESIGN.md §10).
+  StudyResult run(search::StudyCheckpoint* checkpoint = nullptr) const;
 
   /// Runs a single family's sweep (used by the per-figure benches).
-  search::SweepResult run_family(search::Family family) const;
+  search::SweepResult run_family(
+      search::Family family,
+      search::StudyCheckpoint* checkpoint = nullptr) const;
 
   const search::SweepConfig& config() const { return config_; }
 

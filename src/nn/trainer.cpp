@@ -1,6 +1,8 @@
 #include "nn/trainer.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
@@ -9,6 +11,7 @@
 #include "nn/sequential.hpp"
 #include "nn/workspace.hpp"
 #include "util/csv.hpp"
+#include "util/fault_injection.hpp"
 #include "util/string_util.hpp"
 #include "util/logging.hpp"
 
@@ -16,6 +19,30 @@ namespace qhdl::nn {
 
 using tensor::Shape;
 using tensor::Tensor;
+
+NonFiniteError::NonFiniteError(std::string what_kind,
+                               std::size_t epoch_index)
+    : std::runtime_error("train_classifier: non-finite " + what_kind +
+                         " at epoch " + std::to_string(epoch_index + 1)),
+      kind_(std::move(what_kind)),
+      epoch_(epoch_index) {}
+
+namespace {
+
+/// Epoch-end sweep over every trainable value. A NaN/Inf gradient that
+/// slipped past the loss check leaves its footprint in the parameters after
+/// the optimizer step, so this catches "gradient exploded but the loss still
+/// looked finite" one epoch boundary later at O(P) cost.
+bool parameters_all_finite(Module& model) {
+  for (const Parameter* parameter : model.parameters()) {
+    for (double v : parameter->value.data()) {
+      if (!std::isfinite(v)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 void slice_rows_into(const Tensor& matrix,
                      std::span<const std::size_t> row_indices, Tensor& out) {
@@ -121,8 +148,9 @@ TrainHistory train_classifier(Module& model, Optimizer& optimizer,
       const std::size_t end = std::min(begin + config.batch_size, n);
       const std::span<const std::size_t> batch_rows{order.data() + begin,
                                                     end - begin};
+      double batch_loss = 0.0;
       if (workspace) {
-        epoch_loss +=
+        batch_loss =
             workspace->train_step(x_train, y_train, batch_rows, optimizer);
       } else {
         Tensor& x_batch =
@@ -139,9 +167,19 @@ TrainHistory train_classifier(Module& model, Optimizer& optimizer,
         model.backward(loss.grad);
         optimizer.step(model.parameters());
 
-        epoch_loss += loss.value;
+        batch_loss = loss.value;
       }
+      if (util::FaultInjector::instance().poison_loss()) {
+        batch_loss = std::numeric_limits<double>::quiet_NaN();
+      }
+      if (config.finite_guard && !std::isfinite(batch_loss)) {
+        throw NonFiniteError("loss", epoch);
+      }
+      epoch_loss += batch_loss;
       ++batches;
+    }
+    if (config.finite_guard && !parameters_all_finite(model)) {
+      throw NonFiniteError("parameters", epoch);
     }
 
     EpochStats stats;

@@ -5,6 +5,8 @@
 
 #include <functional>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "nn/loss.hpp"
@@ -20,10 +22,33 @@ struct EpochStats {
   double val_accuracy = 0.0;
 };
 
+/// Raised by train_classifier when the non-finite guard trips: a NaN/Inf
+/// batch loss, or non-finite parameters at the end of an epoch (the
+/// footprint a NaN gradient leaves after the optimizer step). Carries enough
+/// identity for the search layer to quarantine the run as a structured
+/// RunFailure instead of aborting the sweep or poisoning the accuracy mean.
+class NonFiniteError : public std::runtime_error {
+ public:
+  NonFiniteError(std::string what_kind, std::size_t epoch_index);
+
+  /// "loss" or "parameters".
+  const std::string& kind() const { return kind_; }
+  /// 0-based epoch in which the guard tripped.
+  std::size_t epoch() const { return epoch_; }
+
+ private:
+  std::string kind_;
+  std::size_t epoch_;
+};
+
 struct TrainConfig {
   std::size_t epochs = 100;
   std::size_t batch_size = 8;
   double learning_rate = 1e-3;
+  /// Non-finite guard: check every batch loss and, at each epoch end, every
+  /// parameter for NaN/Inf; throw NonFiniteError instead of training on.
+  /// Pure reads — never changes results of healthy runs on either path.
+  bool finite_guard = true;
   /// Stops early once both best train and best val accuracy reach this
   /// value (0 disables). The paper's threshold is 0.90; stopping early is
   /// sound because only the best-so-far accuracies are recorded.

@@ -47,7 +47,8 @@ data::Dataset level_dataset(std::size_t features, const SweepConfig& config) {
                                 noise * data::kDerivedNoiseFactor, rng);
 }
 
-SweepResult run_complexity_sweep(Family family, const SweepConfig& config) {
+SweepResult run_complexity_sweep(Family family, const SweepConfig& config,
+                                 StudyCheckpoint* checkpoint) {
   if (config.feature_sizes.empty()) {
     throw std::invalid_argument("run_complexity_sweep: no feature sizes");
   }
@@ -69,7 +70,12 @@ SweepResult run_complexity_sweep(Family family, const SweepConfig& config) {
         LevelResult level;
         level.features = features;
         const data::Dataset dataset = level_dataset(features, config);
-        level.search = run_repeated_search(specs, dataset, config.search);
+        ResumeContext resume;
+        resume.checkpoint = checkpoint;
+        resume.family = family_name(family);
+        resume.features = features;
+        level.search =
+            run_repeated_search(specs, dataset, config.search, resume);
         result.levels[i] = std::move(level);
       });
   return result;

@@ -42,10 +42,16 @@ struct SweepResult {
   std::vector<LevelResult> levels;
 };
 
+class StudyCheckpoint;
+
 /// Runs the full complexity sweep for one family. Levels run concurrently
 /// (config.search.threads wide, shared util::ThreadPool) with results
-/// identical to the sequential walk.
-SweepResult run_complexity_sweep(Family family, const SweepConfig& config);
+/// identical to the sequential walk. When `checkpoint` is non-null, each
+/// completed candidate evaluation is recorded there and flushed atomically,
+/// and previously completed units are replayed instead of retrained — a
+/// resumed sweep is bit-identical to an uninterrupted one (DESIGN.md §10).
+SweepResult run_complexity_sweep(Family family, const SweepConfig& config,
+                                 StudyCheckpoint* checkpoint = nullptr);
 
 /// Convenience: the standard per-level dataset (shared across families so
 /// the comparison is apples-to-apples).

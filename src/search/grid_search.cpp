@@ -1,11 +1,15 @@
 #include "search/grid_search.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 
 #include "data/preprocess.hpp"
 #include "flops/profiler.hpp"
 #include "nn/fastpath.hpp"
+#include "search/checkpoint.hpp"
+#include "util/fault_injection.hpp"
+#include "util/interrupt.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 
@@ -63,6 +67,24 @@ std::vector<util::Rng> split_run_rngs(const SearchConfig& config,
   return run_rngs;
 }
 
+/// One run's quarantined outcome: a history when any attempt survived the
+/// non-finite guard, plus a record of every guard trip along the way.
+struct RunOutcome {
+  std::optional<nn::TrainHistory> history;
+  std::vector<RunFailure> failures;
+};
+
+/// Retry stream derivation: attempt 0 consumes the run's pre-split stream;
+/// attempt k consumes the k-th chained child of it. Children are derived
+/// from a copy, so retries never advance the repetition stream and never
+/// perturb any other run — a neighbour's failure leaves healthy runs
+/// bit-identical.
+util::Rng attempt_stream(const util::Rng& base, std::size_t attempt) {
+  util::Rng stream = base;
+  for (std::size_t a = 0; a < attempt; ++a) stream = stream.split();
+  return stream;
+}
+
 /// evaluate_candidate body on already-split run streams (one per run).
 /// search_once pre-splits streams for a whole lookahead window through this
 /// path so speculative training consumes exactly the stream sequence the
@@ -96,42 +118,82 @@ CandidateResult evaluate_candidate_with_rngs(const ModelSpec& spec,
                                 train_config, run_rng);
   };
 
+  // A non-finite loss/gradient quarantines the attempt instead of aborting
+  // the sweep: bounded retries on the next deterministic child stream, then
+  // skip-and-record. The quarantined run is excluded from the means.
+  const auto run_with_quarantine = [&](std::size_t run) {
+    RunOutcome outcome;
+    for (std::size_t attempt = 0; attempt <= config.run_retries; ++attempt) {
+      util::Rng stream = attempt_stream(run_rngs[run], attempt);
+      try {
+        outcome.history = execute_run(stream);
+        return outcome;
+      } catch (const nn::NonFiniteError& error) {
+        outcome.failures.push_back(
+            RunFailure{run, attempt, error.epoch(), error.kind()});
+        util::log_warn("search: " + spec.to_string() + " run " +
+                       std::to_string(run) + " attempt " +
+                       std::to_string(attempt) + ": " + error.what() +
+                       (attempt < config.run_retries
+                            ? " — retrying on next stream"
+                            : " — quarantining run"));
+      }
+    }
+    return outcome;
+  };
+
+  double train_sum = 0.0;
+  double val_sum = 0.0;
+  std::size_t successes = 0;
+  // Commit in run order so the floating-point sums match the serial path
+  // bit-for-bit (and exactly match the pre-quarantine arithmetic when every
+  // run is healthy).
+  const auto commit = [&](RunOutcome& outcome) {
+    for (RunFailure& failure : outcome.failures) {
+      result.failures.push_back(std::move(failure));
+    }
+    if (outcome.history.has_value()) {
+      train_sum += outcome.history->best_train_accuracy;
+      val_sum += outcome.history->best_val_accuracy;
+      ++successes;
+    } else {
+      ++result.failed_runs;
+    }
+  };
+
   // Run 0 always executes first, on the calling thread, and the prune
   // decision is taken from it alone. This makes the serial and parallel
   // paths follow literally the same decision sequence: the thread count
   // changes only where runs 1..N-1 execute, never which runs execute.
-  const nn::TrainHistory first = execute_run(run_rngs[0]);
-  double train_sum = first.best_train_accuracy;
-  double val_sum = first.best_val_accuracy;
-  std::size_t runs = 1;
-
+  RunOutcome first = run_with_quarantine(0);
   // Far below threshold after a full budget: averaging more runs cannot
-  // rescue this candidate at bench scale.
+  // rescue this candidate at bench scale. A quarantined run 0 never prunes:
+  // there is no accuracy to judge by.
   const bool pruned =
-      config.prune_margin > 0.0 &&
-      first.best_val_accuracy <
+      config.prune_margin > 0.0 && first.history.has_value() &&
+      first.history->best_val_accuracy <
           config.accuracy_threshold - config.prune_margin;
+  commit(first);
 
   if (!pruned && config.runs_per_model > 1) {
-    std::vector<nn::TrainHistory> histories(config.runs_per_model);
+    std::vector<RunOutcome> outcomes(config.runs_per_model);
     util::parallel_for(1, config.runs_per_model, config.threads,
                        [&](std::size_t run) {
-                         histories[run] = execute_run(run_rngs[run]);
+                         outcomes[run] = run_with_quarantine(run);
                        });
-    // Accumulate in run order so the floating-point sums match the serial
-    // path bit-for-bit.
     for (std::size_t run = 1; run < config.runs_per_model; ++run) {
-      train_sum += histories[run].best_train_accuracy;
-      val_sum += histories[run].best_val_accuracy;
-      ++runs;
+      commit(outcomes[run]);
     }
   }
 
-  result.runs = runs;
-  result.avg_best_train_accuracy = train_sum / static_cast<double>(runs);
-  result.avg_best_val_accuracy = val_sum / static_cast<double>(runs);
+  result.runs = successes;
+  if (successes > 0) {
+    result.avg_best_train_accuracy =
+        train_sum / static_cast<double>(successes);
+    result.avg_best_val_accuracy = val_sum / static_cast<double>(successes);
+  }
   result.meets_threshold =
-      runs == config.runs_per_model &&
+      !pruned && successes > 0 &&
       result.avg_best_train_accuracy >= config.accuracy_threshold &&
       result.avg_best_val_accuracy >= config.accuracy_threshold;
   return result;
@@ -150,6 +212,14 @@ CandidateResult evaluate_candidate(const ModelSpec& spec,
 SearchOutcome search_once(const std::vector<ModelSpec>& sorted_specs,
                           const data::TrainValSplit& split,
                           const SearchConfig& config, util::Rng& rng) {
+  return search_once(sorted_specs, split, config, rng, ResumeContext{}, 0);
+}
+
+SearchOutcome search_once(const std::vector<ModelSpec>& sorted_specs,
+                          const data::TrainValSplit& split,
+                          const SearchConfig& config, util::Rng& rng,
+                          const ResumeContext& resume,
+                          std::size_t repetition) {
   SearchOutcome outcome;
   std::size_t limit = sorted_specs.size();
   if (config.max_candidates > 0) {
@@ -164,38 +234,67 @@ SearchOutcome search_once(const std::vector<ModelSpec>& sorted_specs,
 
   std::size_t next = 0;
   while (next < limit && !outcome.winner.has_value()) {
+    util::throw_if_interrupted();
     const std::size_t count = std::min(window, limit - next);
 
     // Each candidate's run streams are split from the repetition stream in
     // FLOPs order before any work is scheduled — the exact sequence the
     // serial walk draws — so training is independent of both the window
-    // size and the thread count.
+    // size and the thread count. Checkpointed candidates draw their splits
+    // too: a resumed search consumes the stream sequence of an
+    // uninterrupted one, which is what makes resume bit-identical.
     std::vector<std::vector<util::Rng>> window_rngs;
     window_rngs.reserve(count);
     for (std::size_t i = 0; i < count; ++i) {
       window_rngs.push_back(split_run_rngs(config, rng));
     }
 
+    // Units already in the checkpoint replay their recorded results.
+    std::vector<std::optional<CandidateResult>> replayed(count);
+    if (resume.checkpoint != nullptr) {
+      for (std::size_t i = 0; i < count; ++i) {
+        replayed[i] = resume.checkpoint->find(UnitKey{
+            resume.family, resume.features, repetition, next + i});
+      }
+    }
+
     std::vector<CandidateResult> results(count);
     util::parallel_for(0, count, config.threads, [&](std::size_t i) {
-      results[i] = evaluate_candidate_with_rngs(sorted_specs[next + i], split,
-                                                config, window_rngs[i]);
+      if (replayed[i].has_value()) {
+        results[i] = *replayed[i];
+      } else {
+        results[i] = evaluate_candidate_with_rngs(
+            sorted_specs[next + i], split, config, window_rngs[i]);
+      }
     });
 
     for (std::size_t i = 0; i < count; ++i) {
       const CandidateResult& result = results[i];
+      // Unit boundary: the injectable kill point. A crash here loses at
+      // most this window's unflushed units; the resumed search retrains
+      // them from the same streams and lands on the same bytes.
+      util::FaultInjector::instance().on_unit_boundary(
+          resume.family + "/f" + std::to_string(resume.features) + "/r" +
+          std::to_string(repetition) + "/c" + std::to_string(next + i));
+      if (resume.checkpoint != nullptr && !replayed[i].has_value()) {
+        resume.checkpoint->record(
+            UnitKey{resume.family, resume.features, repetition, next + i},
+            result);
+      }
       util::log_info("search: " + result.spec.to_string() + " flops=" +
                      std::to_string(result.flops) + " train_acc=" +
                      std::to_string(result.avg_best_train_accuracy) +
                      " val_acc=" +
                      std::to_string(result.avg_best_val_accuracy) +
-                     (result.meets_threshold ? "  <- winner" : ""));
+                     (result.meets_threshold ? "  <- winner" : "") +
+                     (replayed[i].has_value() ? "  (from checkpoint)" : ""));
       outcome.evaluated.push_back(result);
       if (result.meets_threshold) {
         outcome.winner = result;
         break;
       }
     }
+    if (resume.checkpoint != nullptr) resume.checkpoint->flush();
     next += count;
   }
   outcome.candidates_trained = outcome.evaluated.size();
@@ -205,6 +304,13 @@ SearchOutcome search_once(const std::vector<ModelSpec>& sorted_specs,
 RepeatedSearchResult run_repeated_search(const std::vector<ModelSpec>& specs,
                                          const data::Dataset& dataset,
                                          const SearchConfig& config) {
+  return run_repeated_search(specs, dataset, config, ResumeContext{});
+}
+
+RepeatedSearchResult run_repeated_search(const std::vector<ModelSpec>& specs,
+                                         const data::Dataset& dataset,
+                                         const SearchConfig& config,
+                                         const ResumeContext& resume) {
   dataset.validate();
   if (specs.empty()) {
     throw std::invalid_argument("run_repeated_search: empty search space");
@@ -221,7 +327,7 @@ RepeatedSearchResult run_repeated_search(const std::vector<ModelSpec>& specs,
         data::stratified_split(dataset, config.validation_fraction, rep_rng);
     data::standardize_split(split);
     result.repetitions.push_back(
-        search_once(sorted, split, config, rep_rng));
+        search_once(sorted, split, config, rep_rng, resume, rep));
   }
 
   double flops_sum = 0.0;

@@ -62,9 +62,27 @@ struct SearchConfig {
   /// FLOPs order (candidates trained past the winner are discarded, so the
   /// "first winner" is the serial one). 0 = auto (= threads).
   std::size_t lookahead = 0;
+  /// Graceful degradation budget: when a training run trips the non-finite
+  /// guard (nn::NonFiniteError), retry it up to this many times on the next
+  /// deterministic child stream before quarantining the run. Retries never
+  /// touch other runs' pre-split streams, so healthy runs are bit-identical
+  /// with or without a neighbour's failure.
+  std::size_t run_retries = 1;
 };
 
-/// Per-candidate training outcome.
+/// One guard trip during a candidate's training, recorded instead of
+/// aborting the sweep. A run whose every attempt failed is quarantined: it
+/// contributes nothing to the candidate's accuracy means.
+struct RunFailure {
+  std::size_t run = 0;      ///< run index within the candidate
+  std::size_t attempt = 0;  ///< 0 = first attempt, 1.. = retries
+  std::size_t epoch = 0;    ///< 0-based epoch where the guard tripped
+  std::string cause;        ///< "loss" | "parameters" (NonFiniteError::kind)
+};
+
+/// Per-candidate training outcome. Accuracy means are taken over the
+/// successful runs only; quarantined runs are excluded and listed in
+/// `failures` so they can never poison the mean.
 struct CandidateResult {
   ModelSpec spec;
   double avg_best_train_accuracy = 0.0;
@@ -72,7 +90,9 @@ struct CandidateResult {
   double flops = 0.0;            ///< per-sample fwd+bwd
   double flops_forward = 0.0;
   std::size_t parameter_count = 0;
-  std::size_t runs = 0;
+  std::size_t runs = 0;          ///< successful runs (mean denominator)
+  std::size_t failed_runs = 0;   ///< runs quarantined after all retries
+  std::vector<RunFailure> failures;  ///< every guard trip, retried or not
   bool meets_threshold = false;
 };
 
@@ -95,6 +115,21 @@ struct RepeatedSearchResult {
   std::optional<CandidateResult> smallest_winner;
 };
 
+class StudyCheckpoint;
+
+/// Durable-execution context for a repeated search. When `checkpoint` is
+/// non-null, every completed work unit — one candidate evaluation, keyed by
+/// (family, features, repetition, candidate index in FLOPs order) — is
+/// recorded and atomically flushed at unit boundaries, and units already in
+/// the checkpoint are replayed instead of retrained. The resumed search
+/// still draws every RNG split in the original order, so a resumed run is
+/// bit-identical to an uninterrupted one (see DESIGN.md §10).
+struct ResumeContext {
+  StudyCheckpoint* checkpoint = nullptr;
+  std::string family;        ///< family_name() of the sweep ("" standalone)
+  std::size_t features = 0;  ///< complexity level
+};
+
 /// Sorts specs ascending by analytic FLOPs (stable, deterministic).
 std::vector<ModelSpec> sort_by_flops(std::vector<ModelSpec> specs,
                                      std::size_t features,
@@ -112,9 +147,24 @@ SearchOutcome search_once(const std::vector<ModelSpec>& sorted_specs,
                           const data::TrainValSplit& split,
                           const SearchConfig& config, util::Rng& rng);
 
+/// Resume-aware repetition: replays checkpointed units, records and flushes
+/// fresh ones at unit boundaries, and polls for SIGINT/SIGTERM between
+/// units (util::Interrupted). `repetition` keys the checkpoint units.
+SearchOutcome search_once(const std::vector<ModelSpec>& sorted_specs,
+                          const data::TrainValSplit& split,
+                          const SearchConfig& config, util::Rng& rng,
+                          const ResumeContext& resume,
+                          std::size_t repetition);
+
 /// Full repeated search on a dataset (splits internally per repetition).
 RepeatedSearchResult run_repeated_search(const std::vector<ModelSpec>& specs,
                                          const data::Dataset& dataset,
                                          const SearchConfig& config);
+
+/// Resume-aware repeated search (see ResumeContext).
+RepeatedSearchResult run_repeated_search(const std::vector<ModelSpec>& specs,
+                                         const data::Dataset& dataset,
+                                         const SearchConfig& config,
+                                         const ResumeContext& resume);
 
 }  // namespace qhdl::search

@@ -60,6 +60,24 @@ util::Json sweep_to_json(const SweepResult& sweep) {
         rep["train_accuracy"] = util::Json{w.avg_best_train_accuracy};
         rep["val_accuracy"] = util::Json{w.avg_best_val_accuracy};
       }
+      // Non-finite guard trips (retried or quarantined): surfaced per
+      // repetition so a sweep that degraded gracefully says so in the
+      // manifest instead of silently averaging over fewer runs.
+      util::Json failures = util::Json::array();
+      for (std::size_t c = 0; c < outcome.evaluated.size(); ++c) {
+        const CandidateResult& candidate = outcome.evaluated[c];
+        for (const RunFailure& failure : candidate.failures) {
+          util::Json item = util::Json::object();
+          item["candidate_index"] = util::Json{c};
+          item["candidate"] = util::Json{candidate.spec.to_string()};
+          item["run"] = util::Json{failure.run};
+          item["attempt"] = util::Json{failure.attempt};
+          item["epoch"] = util::Json{failure.epoch};
+          item["cause"] = util::Json{failure.cause};
+          failures.push_back(std::move(item));
+        }
+      }
+      if (failures.size() > 0) rep["failures"] = std::move(failures);
       reps.push_back(std::move(rep));
     }
     level_json["repetitions"] = std::move(reps);

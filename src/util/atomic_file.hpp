@@ -1,0 +1,26 @@
+// Atomic, durable file persistence: write-temp + flush + rename.
+//
+// Every result/checkpoint writer (util::Json::write_file,
+// util::CsvWriter::write_file, search::StudyCheckpoint::flush) goes through
+// atomic_write_file so that a crash, kill, or IO failure at ANY point can
+// never leave a truncated or partially written artifact behind: readers see
+// either the previous complete file or the new complete file, nothing in
+// between. The invariant is the classic one — the content is staged in a
+// uniquely named temp file in the destination directory, flushed (fsync on
+// POSIX), and only then moved over the destination with a rename, which the
+// filesystem performs atomically.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace qhdl::util {
+
+/// Atomically replaces `path` with `content`. Throws std::runtime_error
+/// with a descriptive message on any IO failure (open, short write, flush,
+/// or rename — disk-full and unwritable-path are real on long sweeps); the
+/// destination is untouched and the temp file is cleaned up best-effort.
+/// Observes the FaultInjector's `io` site.
+void atomic_write_file(const std::string& path, std::string_view content);
+
+}  // namespace qhdl::util

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/atomic_file.hpp"
 #include "util/string_util.hpp"
 
 namespace qhdl::util {
@@ -69,10 +70,9 @@ std::string CsvWriter::to_string() const {
 }
 
 void CsvWriter::write_file(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("CsvWriter: cannot open " + path);
-  out << to_string();
-  if (!out) throw std::runtime_error("CsvWriter: write failed for " + path);
+  // Atomic temp+flush+rename: a crash or IO fault mid-write can never leave
+  // a truncated CSV where a complete one (or nothing) used to be.
+  atomic_write_file(path, to_string());
 }
 
 CsvDocument parse_csv(std::string_view text) {

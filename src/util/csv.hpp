@@ -25,7 +25,8 @@ class CsvWriter {
   /// Renders the full document (header + rows) as text.
   std::string to_string() const;
 
-  /// Writes to a file; throws std::runtime_error on I/O failure.
+  /// Writes to a file via atomic temp+flush+rename (util/atomic_file.hpp);
+  /// throws std::runtime_error on I/O failure with the target untouched.
   void write_file(const std::string& path) const;
 
  private:

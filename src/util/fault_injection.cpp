@@ -1,0 +1,203 @@
+#include "util/fault_injection.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "util/logging.hpp"
+#include "util/string_util.hpp"
+
+namespace qhdl::util {
+
+namespace {
+
+enum class FaultAction { Crash, Fail, Nan };
+
+struct Trigger {
+  FaultSite site = FaultSite::UnitBoundary;
+  FaultAction action = FaultAction::Crash;
+  std::uint64_t arrival = 1;  ///< 1-based arrival count
+  bool open_ended = false;    ///< '+' suffix: fires from `arrival` onward
+};
+
+const char* site_name(FaultSite site) {
+  switch (site) {
+    case FaultSite::UnitBoundary: return "unit";
+    case FaultSite::IoWrite: return "io";
+    case FaultSite::Loss: return "loss";
+  }
+  return "?";
+}
+
+FaultSite parse_site(const std::string& token, const std::string& spec) {
+  if (token == "unit") return FaultSite::UnitBoundary;
+  if (token == "io") return FaultSite::IoWrite;
+  if (token == "loss") return FaultSite::Loss;
+  throw std::invalid_argument("QHDL_FAULT_SPEC: unknown site '" + token +
+                              "' in '" + spec + "'");
+}
+
+FaultAction parse_action(const std::string& token, FaultSite site,
+                         const std::string& spec) {
+  if (token == "crash") {
+    if (site == FaultSite::Loss) {
+      throw std::invalid_argument(
+          "QHDL_FAULT_SPEC: 'crash' is not valid for the loss site");
+    }
+    return FaultAction::Crash;
+  }
+  if (token == "fail") {
+    if (site != FaultSite::IoWrite) {
+      throw std::invalid_argument(
+          "QHDL_FAULT_SPEC: 'fail' is only valid for the io site");
+    }
+    return FaultAction::Fail;
+  }
+  if (token == "nan") {
+    if (site != FaultSite::Loss) {
+      throw std::invalid_argument(
+          "QHDL_FAULT_SPEC: 'nan' is only valid for the loss site");
+    }
+    return FaultAction::Nan;
+  }
+  throw std::invalid_argument("QHDL_FAULT_SPEC: unknown action '" + token +
+                              "' in '" + spec + "'");
+}
+
+std::vector<Trigger> parse_spec(const std::string& spec) {
+  std::vector<Trigger> triggers;
+  for (const std::string& entry : split(spec, ';')) {
+    const std::string trimmed = trim(entry);
+    if (trimmed.empty()) continue;
+    const auto eq = trimmed.find('=');
+    const auto at = trimmed.find('@');
+    if (eq == std::string::npos || at == std::string::npos || at < eq) {
+      throw std::invalid_argument(
+          "QHDL_FAULT_SPEC: expected <site>=<action>@<n>[,..] got '" +
+          trimmed + "'");
+    }
+    const FaultSite site = parse_site(trim(trimmed.substr(0, eq)), spec);
+    const FaultAction action =
+        parse_action(trim(trimmed.substr(eq + 1, at - eq - 1)), site, spec);
+    for (const std::string& count : split(trimmed.substr(at + 1), ',')) {
+      Trigger trigger;
+      trigger.site = site;
+      trigger.action = action;
+      std::string number = trim(count);
+      if (!number.empty() && number.back() == '+') {
+        trigger.open_ended = true;
+        number.pop_back();
+      }
+      try {
+        const long long value = std::stoll(number);
+        if (value < 1) throw std::invalid_argument("non-positive");
+        trigger.arrival = static_cast<std::uint64_t>(value);
+      } catch (const std::exception&) {
+        throw std::invalid_argument(
+            "QHDL_FAULT_SPEC: bad trigger count '" + count + "' in '" +
+            trimmed + "'");
+      }
+      triggers.push_back(trigger);
+    }
+  }
+  return triggers;
+}
+
+}  // namespace
+
+struct FaultInjector::Impl {
+  mutable std::mutex mutex;
+  std::vector<Trigger> triggers;
+  /// Lock-free disarmed check: the loss site sits on the per-batch training
+  /// hot path, so the common (no injection) case must cost one relaxed load.
+  std::atomic<bool> any_armed{false};
+  std::atomic<std::uint64_t> counters[3] = {{0}, {0}, {0}};
+
+  /// Counts the arrival and returns the action that fires for it, if any.
+  /// The counter bump and trigger match happen under the mutex so that two
+  /// threads arriving concurrently observe distinct arrival numbers and at
+  /// most one of them claims any given trigger.
+  bool fire(FaultSite site, FaultAction* action) {
+    if (!any_armed.load(std::memory_order_relaxed)) return false;
+    std::lock_guard<std::mutex> lock(mutex);
+    const std::uint64_t arrival =
+        counters[static_cast<int>(site)].fetch_add(
+            1, std::memory_order_relaxed) +
+        1;
+    for (const Trigger& trigger : triggers) {
+      if (trigger.site != site) continue;
+      if (arrival == trigger.arrival ||
+          (trigger.open_ended && arrival >= trigger.arrival)) {
+        if (action != nullptr) *action = trigger.action;
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+FaultInjector::FaultInjector() : impl_(new Impl) {
+  const char* env = std::getenv("QHDL_FAULT_SPEC");
+  if (env != nullptr && env[0] != '\0') {
+    configure(env);
+    log_warn(std::string{"fault injection armed: QHDL_FAULT_SPEC="} + env);
+  }
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::configure(const std::string& spec) {
+  // Parse outside the lock so a malformed spec leaves the old state intact.
+  std::vector<Trigger> triggers = parse_spec(spec);
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->triggers = std::move(triggers);
+  impl_->any_armed.store(!impl_->triggers.empty(),
+                         std::memory_order_relaxed);
+  for (auto& counter : impl_->counters) {
+    counter.store(0, std::memory_order_relaxed);
+  }
+}
+
+bool FaultInjector::armed() const {
+  return impl_->any_armed.load(std::memory_order_relaxed);
+}
+
+bool FaultInjector::fires(FaultSite site) {
+  return impl_->fire(site, nullptr);
+}
+
+std::uint64_t FaultInjector::arrivals(FaultSite site) const {
+  return impl_->counters[static_cast<int>(site)].load(
+      std::memory_order_relaxed);
+}
+
+void FaultInjector::on_unit_boundary(const std::string& where) {
+  FaultAction action;
+  if (!impl_->fire(FaultSite::UnitBoundary, &action)) return;
+  throw InjectedCrash("injected crash at unit boundary: " + where);
+}
+
+void FaultInjector::on_io_write(const std::string& path) {
+  FaultAction action;
+  if (!impl_->fire(FaultSite::IoWrite, &action)) return;
+  if (action == FaultAction::Crash) {
+    throw InjectedCrash("injected crash during write: " + path);
+  }
+  throw std::runtime_error("injected IO failure (disk full?) writing " +
+                           path);
+}
+
+bool FaultInjector::poison_loss() {
+  FaultAction action;
+  if (!impl_->fire(FaultSite::Loss, &action)) return false;
+  log_warn(std::string{"fault injection: poisoning loss (arrival "} +
+           std::to_string(arrivals(FaultSite::Loss)) + " at site " +
+           site_name(FaultSite::Loss) + ")");
+  return true;
+}
+
+}  // namespace qhdl::util

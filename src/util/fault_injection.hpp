@@ -1,0 +1,90 @@
+// Deterministic fault injection for the durability layer.
+//
+// Crash-safe execution (search/checkpoint.hpp), atomic result persistence
+// (util/atomic_file.hpp), and the training loop's non-finite guards
+// (nn/trainer.cpp) all have failure paths that would otherwise only run when
+// real hardware misbehaves. This injector makes those paths testable: named
+// sites count their arrivals with process-global counters, and a spec —
+// taken from the QHDL_FAULT_SPEC environment variable or set directly by
+// tests — declares at which arrivals a site fires and what failure it
+// emulates.
+//
+// Spec grammar (sites separated by ';'):
+//   <site>=<action>@<trigger>[,<trigger>...]
+// where
+//   site    = unit | io | loss
+//   action  = crash (unit/io: throw InjectedCrash)
+//           | fail  (io: throw std::runtime_error, like a full disk)
+//           | nan   (loss: the guarded loss value becomes quiet NaN)
+//   trigger = 1-based arrival count, with an optional '+' suffix meaning
+//             "this arrival and every one after it"
+// Examples:
+//   QHDL_FAULT_SPEC="unit=crash@3"      crash at the 3rd unit boundary
+//   QHDL_FAULT_SPEC="io=fail@2"         2nd atomic file write fails
+//   QHDL_FAULT_SPEC="loss=nan@5,8"      losses 5 and 8 become NaN
+//   QHDL_FAULT_SPEC="loss=nan@1+"       every loss becomes NaN
+//
+// Counters are deterministic whenever the arrivals are (serial execution, or
+// sites placed in serialized sections such as the search's commit loop).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace qhdl::util {
+
+enum class FaultSite { UnitBoundary = 0, IoWrite = 1, Loss = 2 };
+
+/// Emulates a process kill at an injection site. Deliberately NOT derived
+/// from std::runtime_error: ordinary error handling must not absorb it, so
+/// a crash propagates out of the study exactly like a real SIGKILL would
+/// erase it — only the fault tests catch this type.
+class InjectedCrash : public std::exception {
+ public:
+  explicit InjectedCrash(std::string message) : message_(std::move(message)) {}
+  const char* what() const noexcept override { return message_.c_str(); }
+
+ private:
+  std::string message_;
+};
+
+class FaultInjector {
+ public:
+  /// Process-wide instance; reads QHDL_FAULT_SPEC once on first access.
+  static FaultInjector& instance();
+
+  /// Replaces the active spec and zeroes all arrival counters. Empty spec
+  /// disables injection. Throws std::invalid_argument on a malformed spec.
+  void configure(const std::string& spec);
+
+  /// True when any trigger is armed.
+  bool armed() const;
+
+  /// Counts one arrival at `site`; true when a trigger fires for it.
+  bool fires(FaultSite site);
+
+  /// Arrivals counted at `site` since the last configure().
+  std::uint64_t arrivals(FaultSite site) const;
+
+  // --- site helpers (count an arrival, then act) --------------------------
+
+  /// Work-unit boundary: throws InjectedCrash when a `unit=crash` fires.
+  void on_unit_boundary(const std::string& where);
+
+  /// Durable write: throws InjectedCrash (`io=crash`) or std::runtime_error
+  /// (`io=fail`) when a trigger fires.
+  void on_io_write(const std::string& path);
+
+  /// Loss computation: true when a `loss=nan` trigger fires and the guarded
+  /// loss value should be replaced with quiet NaN.
+  bool poison_loss();
+
+ private:
+  FaultInjector();
+
+  struct Impl;
+  Impl* impl_;  // leaked singleton state; never destroyed
+};
+
+}  // namespace qhdl::util

@@ -1,0 +1,40 @@
+#include "util/interrupt.hpp"
+
+#include <atomic>
+#include <csignal>
+
+namespace qhdl::util {
+
+namespace {
+
+std::atomic<bool> g_interrupted{false};
+
+extern "C" void interrupt_signal_handler(int) {
+  // Async-signal-safe: a lock-free atomic store and nothing else.
+  g_interrupted.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void install_interrupt_handler() {
+  std::signal(SIGINT, interrupt_signal_handler);
+  std::signal(SIGTERM, interrupt_signal_handler);
+}
+
+bool interrupt_requested() {
+  return g_interrupted.load(std::memory_order_relaxed);
+}
+
+void request_interrupt() {
+  g_interrupted.store(true, std::memory_order_relaxed);
+}
+
+void clear_interrupt() {
+  g_interrupted.store(false, std::memory_order_relaxed);
+}
+
+void throw_if_interrupted() {
+  if (interrupt_requested()) throw Interrupted{};
+}
+
+}  // namespace qhdl::util

@@ -1,0 +1,39 @@
+// Cooperative SIGINT/SIGTERM handling for the long-running drivers.
+//
+// The study is an hours-long sweep; a Ctrl-C or a scheduler's SIGTERM must
+// not lose work. The async-signal handler only sets a flag; the search loop
+// polls it at work-unit boundaries (search_once's commit loop) and raises
+// Interrupted, which unwinds through the parallel_for layers (cancelling
+// unclaimed work), past the checkpoint — already flushed at every unit
+// boundary — and up to the driver, which reports the resume command and
+// exits cleanly.
+#pragma once
+
+#include <stdexcept>
+
+namespace qhdl::util {
+
+/// Raised by throw_if_interrupted() once a handled signal has arrived.
+class Interrupted : public std::runtime_error {
+ public:
+  Interrupted() : std::runtime_error("interrupted (SIGINT/SIGTERM)") {}
+};
+
+/// Installs the flag-setting handler for SIGINT and SIGTERM. Idempotent.
+/// Only drivers call this; the library and tests never take over signals.
+void install_interrupt_handler();
+
+/// True once a handled signal has arrived.
+bool interrupt_requested();
+
+/// Requests cooperative shutdown programmatically (what the signal handler
+/// does); exists for tests.
+void request_interrupt();
+
+/// Clears the flag (tests).
+void clear_interrupt();
+
+/// Throws Interrupted when the flag is set. Called at unit boundaries.
+void throw_if_interrupted();
+
+}  // namespace qhdl::util

@@ -1,6 +1,8 @@
 #include "util/json.hpp"
 
 #include <cctype>
+
+#include "util/atomic_file.hpp"
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -188,6 +190,13 @@ const Json& Json::at(std::size_t index) const {
     throw std::out_of_range("Json::at: array index out of range");
   }
   return array_[index];
+}
+
+const std::map<std::string, Json>& Json::object_items() const {
+  if (type_ != Type::Object) {
+    throw std::logic_error("Json::object_items: not an object");
+  }
+  return object_;
 }
 
 const Json& Json::at(const std::string& key) const {
@@ -396,10 +405,9 @@ Json Json::parse_file(const std::string& path) {
 }
 
 void Json::write_file(const std::string& path, int indent) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("Json::write_file: cannot open " + path);
-  out << dump(indent) << '\n';
-  if (!out) throw std::runtime_error("Json::write_file: write failed " + path);
+  // Atomic temp+flush+rename: a crash or IO fault mid-write can never leave
+  // a truncated manifest where a complete one (or nothing) used to be.
+  atomic_write_file(path, dump(indent) + '\n');
 }
 
 }  // namespace qhdl::util

@@ -59,6 +59,9 @@ class Json {
   const Json& at(std::size_t index) const;
   /// Object member (checked; throws std::out_of_range if missing).
   const Json& at(const std::string& key) const;
+  /// Object members in sorted key order (throws std::logic_error if not an
+  /// object) — for consumers that enumerate keys, e.g. checkpoint manifests.
+  const std::map<std::string, Json>& object_items() const;
 
   /// Parses JSON text; throws std::invalid_argument with position info on
   /// malformed input.
@@ -70,7 +73,8 @@ class Json {
   /// Serializes; indent > 0 pretty-prints.
   std::string dump(int indent = 0) const;
 
-  /// Writes to a file; throws std::runtime_error on I/O failure.
+  /// Writes to a file via atomic temp+flush+rename (util/atomic_file.hpp);
+  /// throws std::runtime_error on I/O failure with the target untouched.
   void write_file(const std::string& path, int indent = 2) const;
 
  private:

@@ -1,0 +1,110 @@
+// CI fault-injection leg: driven by QHDL_FAULT_SPEC from the environment
+// (see .github/workflows: crash-at-boundary, IO failure, NaN loss). For a
+// killing fault the sweep must die, resume from its checkpoint, and land on
+// the uninterrupted baseline bytes; for a degrading fault (NaN loss) it must
+// complete with quarantined runs recorded. Without the env var this test is
+// skipped, so the regular suite is unaffected.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "core/config.hpp"
+#include "search/checkpoint.hpp"
+#include "search/experiment.hpp"
+#include "search/results.hpp"
+#include "util/fault_injection.hpp"
+
+namespace qhdl::search {
+namespace {
+
+namespace fs = std::filesystem;
+
+SweepConfig sweep_config() {
+  SweepConfig config = core::test_scale();
+  config.search.runs_per_model = 2;
+  config.search.repetitions = 2;
+  config.search.train.epochs = 2;
+  config.search.max_candidates = 4;
+  config.search.prune_margin = 0.0;
+  config.search.accuracy_threshold = 1.1;
+  config.search.run_retries = 1;
+  return config;
+}
+
+TEST(FaultMatrix, SweepSurvivesConfiguredFault) {
+  const char* env = std::getenv("QHDL_FAULT_SPEC");
+  if (env == nullptr || env[0] == '\0') {
+    GTEST_SKIP() << "set QHDL_FAULT_SPEC to run the fault matrix";
+  }
+  const std::string spec = env;
+
+  const std::string path =
+      (fs::temp_directory_path() / "qhdl_fault_matrix.checkpoint.json")
+          .string();
+  fs::remove(path);
+
+  // The injector armed itself from the environment at first touch; disarm
+  // while computing the uninterrupted baseline.
+  util::FaultInjector::instance().configure("");
+  const SweepConfig config = sweep_config();
+  const std::string hash = sweep_config_hash(config);
+  const std::string baseline =
+      sweep_to_json(run_complexity_sweep(Family::Classical, config)).dump(2);
+
+  // Faulted attempt. A crash/IO fault kills the sweep partway; a NaN fault
+  // degrades it but lets it finish.
+  util::FaultInjector::instance().configure(spec);
+  bool died = false;
+  std::string faulted;
+  {
+    StudyCheckpoint checkpoint{path, hash};
+    ASSERT_EQ(checkpoint.load(), 0u);
+    try {
+      faulted = sweep_to_json(run_complexity_sweep(Family::Classical, config,
+                                                   &checkpoint))
+                    .dump(2);
+    } catch (const std::exception& e) {
+      died = true;
+      SCOPED_TRACE(e.what());
+    }
+  }
+  util::FaultInjector::instance().configure("");
+
+  // Whatever happened, the manifest on disk is either absent or a complete,
+  // parseable generation — never a torn file.
+  if (fs::exists(path)) {
+    EXPECT_NO_THROW(util::Json::parse_file(path));
+  }
+
+  if (died) {
+    // Killing fault: a restarted process resumes to the baseline bytes.
+    StudyCheckpoint resumed{path, hash};
+    resumed.load();
+    EXPECT_EQ(sweep_to_json(
+                  run_complexity_sweep(Family::Classical, config, &resumed))
+                  .dump(2),
+              baseline);
+  } else if (spec.find("nan") != std::string::npos) {
+    // Degrading fault: the sweep completed; with an open-ended NaN spec
+    // every attempt fails, so quarantined runs must be on record.
+    std::size_t failed = 0;
+    const util::Json json = util::Json::parse(faulted);
+    const util::Json& reps = json.at("levels").at(0).at("repetitions");
+    for (std::size_t r = 0; r < reps.size(); ++r) {
+      if (reps.at(r).contains("failures")) {
+        failed += reps.at(r).at("failures").size();
+      }
+    }
+    EXPECT_GT(failed, 0u)
+        << "NaN injection completed without recording any failure";
+  } else {
+    FAIL() << "fault spec '" << spec
+           << "' neither killed nor degraded the sweep";
+  }
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace qhdl::search

@@ -1,0 +1,110 @@
+#include "util/atomic_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/fault_injection.hpp"
+
+namespace qhdl::util {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Fresh scratch directory per test; removed on teardown.
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::instance().configure("");
+    dir_ = fs::temp_directory_path() /
+           ("qhdl_atomic_file_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    FaultInjector::instance().configure("");
+    fs::remove_all(dir_);
+  }
+
+  std::size_t entries() const {
+    return static_cast<std::size_t>(
+        std::distance(fs::directory_iterator(dir_), fs::directory_iterator{}));
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(AtomicFileTest, WritesContentExactly) {
+  const fs::path target = dir_ / "out.json";
+  atomic_write_file(target.string(), "{\"a\": 1}\n");
+  EXPECT_EQ(read_file(target), "{\"a\": 1}\n");
+  // No .tmp staging file may survive a successful write.
+  EXPECT_EQ(entries(), 1u);
+}
+
+TEST_F(AtomicFileTest, OverwritesExistingFile) {
+  const fs::path target = dir_ / "out.csv";
+  atomic_write_file(target.string(), "old");
+  atomic_write_file(target.string(), "new contents");
+  EXPECT_EQ(read_file(target), "new contents");
+  EXPECT_EQ(entries(), 1u);
+}
+
+TEST_F(AtomicFileTest, MissingDirectoryThrowsDescriptively) {
+  const fs::path target = dir_ / "no_such_dir" / "out.json";
+  try {
+    atomic_write_file(target.string(), "x");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    // The error must name the target so a failed study run is debuggable.
+    EXPECT_NE(std::string(e.what()).find("out.json"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(AtomicFileTest, InjectedIoFailureLeavesTargetIntact) {
+  const fs::path target = dir_ / "manifest.json";
+  atomic_write_file(target.string(), "previous complete manifest");
+
+  FaultInjector::instance().configure("io=fail@1");
+  EXPECT_THROW(atomic_write_file(target.string(), "half-written update"),
+               std::runtime_error);
+  FaultInjector::instance().configure("");
+
+  // The atomic-rename invariant: the old bytes survive, byte-for-byte, and
+  // the aborted staging file is cleaned up.
+  EXPECT_EQ(read_file(target), "previous complete manifest");
+  EXPECT_EQ(entries(), 1u);
+
+  // And the writer recovers once the fault clears.
+  atomic_write_file(target.string(), "next manifest");
+  EXPECT_EQ(read_file(target), "next manifest");
+}
+
+TEST_F(AtomicFileTest, ConcurrentWritersToDistinctFilesDoNotCollide) {
+  // The temp-name counter must keep staging files distinct even for the
+  // same target basename written twice in a row after a failure.
+  const fs::path a = dir_ / "a.json";
+  const fs::path b = dir_ / "b.json";
+  atomic_write_file(a.string(), "A");
+  atomic_write_file(b.string(), "B");
+  EXPECT_EQ(read_file(a), "A");
+  EXPECT_EQ(read_file(b), "B");
+  EXPECT_EQ(entries(), 2u);
+}
+
+}  // namespace
+}  // namespace qhdl::util

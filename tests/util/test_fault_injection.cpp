@@ -1,0 +1,111 @@
+#include "util/fault_injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace qhdl::util {
+namespace {
+
+/// Every test starts disarmed and leaves the injector disarmed, so tests
+/// sharing the process-wide singleton cannot poison each other.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::instance().configure(""); }
+  void TearDown() override { FaultInjector::instance().configure(""); }
+};
+
+TEST_F(FaultInjectionTest, DisarmedInjectorNeverFires) {
+  FaultInjector& injector = FaultInjector::instance();
+  EXPECT_FALSE(injector.armed());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NO_THROW(injector.on_unit_boundary("unit"));
+    EXPECT_NO_THROW(injector.on_io_write("file"));
+    EXPECT_FALSE(injector.poison_loss());
+  }
+  // Disarmed arrivals are not even counted (lock-free fast path).
+  EXPECT_EQ(injector.arrivals(FaultSite::Loss), 0u);
+}
+
+TEST_F(FaultInjectionTest, CrashFiresAtExactArrival) {
+  FaultInjector& injector = FaultInjector::instance();
+  injector.configure("unit=crash@3");
+  EXPECT_TRUE(injector.armed());
+  EXPECT_NO_THROW(injector.on_unit_boundary("u1"));
+  EXPECT_NO_THROW(injector.on_unit_boundary("u2"));
+  EXPECT_THROW(injector.on_unit_boundary("u3"), InjectedCrash);
+  // One-shot trigger: arrival 4 passes.
+  EXPECT_NO_THROW(injector.on_unit_boundary("u4"));
+  EXPECT_EQ(injector.arrivals(FaultSite::UnitBoundary), 4u);
+}
+
+TEST_F(FaultInjectionTest, MultipleArrivalsAndSemicolonEntries) {
+  FaultInjector& injector = FaultInjector::instance();
+  injector.configure("unit=crash@2,4; io=fail@1");
+  EXPECT_NO_THROW(injector.on_unit_boundary("u1"));
+  EXPECT_THROW(injector.on_unit_boundary("u2"), InjectedCrash);
+  EXPECT_NO_THROW(injector.on_unit_boundary("u3"));
+  EXPECT_THROW(injector.on_unit_boundary("u4"), InjectedCrash);
+  EXPECT_THROW(injector.on_io_write("f"), std::runtime_error);
+  EXPECT_NO_THROW(injector.on_io_write("f"));
+}
+
+TEST_F(FaultInjectionTest, OpenEndedTriggerFiresFromArrivalOnward) {
+  FaultInjector& injector = FaultInjector::instance();
+  injector.configure("loss=nan@3+");
+  EXPECT_FALSE(injector.poison_loss());
+  EXPECT_FALSE(injector.poison_loss());
+  EXPECT_TRUE(injector.poison_loss());
+  EXPECT_TRUE(injector.poison_loss());
+  EXPECT_TRUE(injector.poison_loss());
+}
+
+TEST_F(FaultInjectionTest, ReconfigureResetsCounters) {
+  FaultInjector& injector = FaultInjector::instance();
+  injector.configure("unit=crash@2");
+  EXPECT_NO_THROW(injector.on_unit_boundary("u1"));
+  injector.configure("unit=crash@2");
+  // The arrival counter restarted, so the next arrival is 1 again.
+  EXPECT_NO_THROW(injector.on_unit_boundary("u1"));
+  EXPECT_THROW(injector.on_unit_boundary("u2"), InjectedCrash);
+  injector.configure("");
+  EXPECT_FALSE(injector.armed());
+}
+
+TEST_F(FaultInjectionTest, InvalidSpecsThrowAndPreserveState) {
+  FaultInjector& injector = FaultInjector::instance();
+  injector.configure("unit=crash@5");
+  for (const char* bad :
+       {"bogus", "unit=explode@1", "disk=fail@1", "unit=crash@0",
+        "unit=crash@x", "loss=crash@1", "unit=fail@1", "io=nan@1",
+        "unit=crash", "=crash@1"}) {
+    EXPECT_THROW(injector.configure(bad), std::invalid_argument) << bad;
+  }
+  // A rejected spec must not clobber the armed configuration.
+  EXPECT_TRUE(injector.armed());
+}
+
+TEST_F(FaultInjectionTest, InjectedCrashIsNotARuntimeError) {
+  // The crash must never be absorbable by ordinary catch(runtime_error)
+  // error handling — only a top-level catch(std::exception) or the OS sees
+  // it, which is what makes it a faithful stand-in for a real crash.
+  FaultInjector& injector = FaultInjector::instance();
+  injector.configure("unit=crash@1");
+  bool absorbed = false;
+  bool crashed = false;
+  try {
+    try {
+      injector.on_unit_boundary("u");
+    } catch (const std::runtime_error&) {
+      absorbed = true;
+    }
+  } catch (const InjectedCrash& e) {
+    crashed = true;
+    EXPECT_NE(std::string(e.what()).find("u"), std::string::npos);
+  }
+  EXPECT_FALSE(absorbed);
+  EXPECT_TRUE(crashed);
+}
+
+}  // namespace
+}  // namespace qhdl::util
