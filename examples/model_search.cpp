@@ -8,12 +8,17 @@
 // Pass --checkpoint <path> for durable execution: completed candidates are
 // checkpointed (atomic rename) and a re-run resumes from them, bit-identical
 // to an uninterrupted search. Ctrl-C exits cleanly with progress saved.
+// Pass --workers N to train candidates on crash-isolated worker processes
+// (supervised: heartbeats, deadlines, retries, quarantine) with results
+// identical to in-process execution — see DESIGN.md §11.
 #include <cstdio>
+#include <cstring>
 #include <memory>
 
 #include "core/config.hpp"
 #include "search/checkpoint.hpp"
 #include "search/experiment.hpp"
+#include "search/worker_pool.hpp"
 #include "util/cli.hpp"
 #include "util/interrupt.hpp"
 #include "util/logging.hpp"
@@ -22,6 +27,12 @@
 
 int main(int argc, char** argv) {
   using namespace qhdl;
+  // Worker processes re-exec this binary; dispatch before CLI parsing.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--worker-mode") == 0) {
+      return search::worker_main();
+    }
+  }
   util::Cli cli{"model_search",
                 "FLOPs-sorted grid search at one complexity level"};
   cli.add_string("family", "classical",
@@ -32,6 +43,18 @@ int main(int argc, char** argv) {
   cli.add_double("threshold", 0.90, "Accuracy threshold (train AND val)");
   cli.add_int("points", 900, "Dataset size");
   cli.add_int("seed", 42, "Search seed");
+  cli.add_int("max-candidates", 0,
+              "Examine at most this many FLOPs-ordered candidates "
+              "(0 = unlimited)");
+  cli.add_int("workers", 0,
+              "Crash-isolated worker processes for candidate evaluation "
+              "(0 = in-process); results are identical either way");
+  cli.add_double("unit-timeout", 0.0,
+                 "Wall-clock budget per candidate evaluation in seconds "
+                 "when using --workers (0 = no deadline)");
+  cli.add_int("worker-retries", 2,
+              "Failed attempts allowed per unit beyond the first before it "
+              "is quarantined (with --workers)");
   cli.add_string("checkpoint", "",
                  "Checkpoint manifest path for crash-safe resume "
                  "(empty = no checkpointing)");
@@ -58,6 +81,10 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(cli.get_int("epochs"));
     config.search.accuracy_threshold = cli.get_double("threshold");
     config.search.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    if (cli.get_int("max-candidates") > 0) {
+      config.search.max_candidates =
+          static_cast<std::size_t>(cli.get_int("max-candidates"));
+    }
 
     std::printf("grid search: family=%s features=%zu (space: %zu "
                 "candidates, FLOPs-sorted)\n\n",
@@ -77,8 +104,25 @@ int main(int argc, char** argv) {
       }
     }
 
-    const search::SweepResult sweep =
-        search::run_complexity_sweep(family, config, checkpoint.get());
+    std::unique_ptr<search::WorkerPool> pool;
+    if (cli.get_int("workers") > 0) {
+      search::WorkerPoolConfig pool_config;
+      pool_config.workers = static_cast<std::size_t>(cli.get_int("workers"));
+      pool_config.unit_timeout_ms = static_cast<std::uint64_t>(
+          cli.get_double("unit-timeout") * 1000.0);
+      pool_config.unit_retries =
+          static_cast<std::size_t>(cli.get_int("worker-retries"));
+      pool = std::make_unique<search::WorkerPool>(config, pool_config);
+      if (pool->degraded()) {
+        std::fprintf(stderr,
+                     "warning: worker pool degraded to in-process "
+                     "execution: %s\n",
+                     pool->degraded_reason().c_str());
+      }
+    }
+
+    const search::SweepResult sweep = search::run_complexity_sweep(
+        family, config, checkpoint.get(), pool.get());
     const auto& outcome = sweep.levels[0].search.repetitions[0];
 
     util::Table table({"#", "candidate", "FLOPs", "params", "train acc",

@@ -12,7 +12,15 @@
 // crashed or Ctrl-C'd study resumes where it left off — bit-identical to an
 // uninterrupted run — simply by re-running the same command. --fresh
 // discards an existing checkpoint; --no-checkpoint disables durability.
+//
+// --workers N runs candidate evaluations on N crash-isolated worker
+// processes (re-exec'd instances of this binary in --worker-mode) with
+// supervision: heartbeats, per-unit deadlines (--unit-timeout), bounded
+// retries (--worker-retries), quarantine for units that keep failing, and
+// graceful in-process degradation when workers cannot be spawned. Results
+// stay bit-identical to --workers 0. See DESIGN.md §11.
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <memory>
 
@@ -20,6 +28,7 @@
 #include "core/report.hpp"
 #include "core/study.hpp"
 #include "search/checkpoint.hpp"
+#include "search/worker_pool.hpp"
 #include "util/atomic_file.hpp"
 #include "util/cli.hpp"
 #include "util/interrupt.hpp"
@@ -27,6 +36,13 @@
 
 int main(int argc, char** argv) {
   using namespace qhdl;
+  // Worker processes re-exec this binary; dispatch before any CLI parsing
+  // so the protocol loop owns stdin/stdout exclusively.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--worker-mode") == 0) {
+      return search::worker_main();
+    }
+  }
   util::Cli cli{"run_study",
                 "Run the full HQNN complexity-scaling study (paper Fig. 3)"};
   cli.add_flag("paper", "Full paper protocol (5x5 runs, 100 epochs, "
@@ -37,6 +53,15 @@ int main(int argc, char** argv) {
   cli.add_int("threads", 1,
               "Search concurrency (families, levels, candidate lookahead, "
               "runs, quantum batches); results are thread-count independent");
+  cli.add_int("workers", 0,
+              "Crash-isolated worker processes for candidate evaluation "
+              "(0 = in-process); results are identical either way");
+  cli.add_double("unit-timeout", 0.0,
+                 "Wall-clock budget per candidate evaluation in seconds "
+                 "when using --workers (0 = no deadline)");
+  cli.add_int("worker-retries", 2,
+              "Failed attempts allowed per unit beyond the first before it "
+              "is quarantined (with --workers)");
   cli.add_int("seed", 42, "Search seed");
   cli.add_string("out", "qhdl_results/study", "Output directory");
   try {
@@ -69,10 +94,40 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Supervised multi-process execution. The pool degrades to in-process
+    // evaluation (same results, no isolation) if workers cannot spawn.
+    std::unique_ptr<search::WorkerPool> pool;
+    if (cli.get_int("workers") > 0) {
+      search::WorkerPoolConfig pool_config;
+      pool_config.workers = static_cast<std::size_t>(cli.get_int("workers"));
+      pool_config.unit_timeout_ms = static_cast<std::uint64_t>(
+          cli.get_double("unit-timeout") * 1000.0);
+      pool_config.unit_retries =
+          static_cast<std::size_t>(cli.get_int("worker-retries"));
+      pool = std::make_unique<search::WorkerPool>(config, pool_config);
+      if (pool->degraded()) {
+        std::fprintf(stderr,
+                     "warning: worker pool degraded to in-process "
+                     "execution: %s\n",
+                     pool->degraded_reason().c_str());
+      }
+    }
+
     std::printf("Running the %s protocol; artifacts -> %s/\n\n",
                 cli.flag("paper") ? "PAPER" : "reduced bench", out.c_str());
     const core::ComplexityStudy study{config};
-    const core::StudyResult result = study.run(checkpoint.get());
+    const core::StudyResult result = study.run(checkpoint.get(), pool.get());
+
+    if (pool) {
+      const search::WorkerPoolStats stats = pool->stats();
+      if (stats.restarts + stats.retried_units + stats.quarantined_units >
+          0) {
+        std::printf("worker pool: %zu restart(s), %zu retried unit(s), %zu "
+                    "quarantined unit(s)\n",
+                    stats.restarts, stats.retried_units,
+                    stats.quarantined_units);
+      }
+    }
 
     // Per-family winner tables (Figs. 6-9 data).
     for (const auto* sweep :

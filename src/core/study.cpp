@@ -12,8 +12,9 @@ ComplexityStudy::ComplexityStudy(search::SweepConfig config)
     : config_(std::move(config)) {}
 
 search::SweepResult ComplexityStudy::run_family(
-    search::Family family, search::StudyCheckpoint* checkpoint) const {
-  return search::run_complexity_sweep(family, config_, checkpoint);
+    search::Family family, search::StudyCheckpoint* checkpoint,
+    search::WorkerPool* pool) const {
+  return search::run_complexity_sweep(family, config_, checkpoint, pool);
 }
 
 std::vector<AblationSelection> ablation_from_sweep(
@@ -28,8 +29,8 @@ std::vector<AblationSelection> ablation_from_sweep(
   return selection;
 }
 
-StudyResult ComplexityStudy::run(
-    search::StudyCheckpoint* checkpoint) const {
+StudyResult ComplexityStudy::run(search::StudyCheckpoint* checkpoint,
+                                 search::WorkerPool* pool) const {
   StudyResult result;
   // The three family sweeps share nothing but the (re-derived) datasets, so
   // they fan out onto the shared pool; each sweep then parallelizes its own
@@ -44,7 +45,7 @@ StudyResult ComplexityStudy::run(
                        util::log_info("study: " +
                                       search::family_name(families[i]) +
                                       " sweep");
-                       *slots[i] = run_family(families[i], checkpoint);
+                       *slots[i] = run_family(families[i], checkpoint, pool);
                      });
 
   for (const auto* sweep :

@@ -37,13 +37,16 @@ class ComplexityStudy {
 
   /// Runs everything. Progress is logged at Info level. A non-null
   /// `checkpoint` makes the study durable: completed candidate evaluations
-  /// are recorded/flushed there and replayed on resume (DESIGN.md §10).
-  StudyResult run(search::StudyCheckpoint* checkpoint = nullptr) const;
+  /// are recorded/flushed there and replayed on resume (DESIGN.md §10). A
+  /// non-null `pool` executes fresh units on crash-isolated worker
+  /// processes (DESIGN.md §11) with bit-identical results.
+  StudyResult run(search::StudyCheckpoint* checkpoint = nullptr,
+                  search::WorkerPool* pool = nullptr) const;
 
   /// Runs a single family's sweep (used by the per-figure benches).
   search::SweepResult run_family(
-      search::Family family,
-      search::StudyCheckpoint* checkpoint = nullptr) const;
+      search::Family family, search::StudyCheckpoint* checkpoint = nullptr,
+      search::WorkerPool* pool = nullptr) const;
 
   const search::SweepConfig& config() const { return config_; }
 

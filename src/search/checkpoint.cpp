@@ -19,7 +19,9 @@ std::string canonical_double(double value) {
   return buf;
 }
 
-util::Json spec_to_json(const ModelSpec& spec) {
+}  // namespace
+
+util::Json model_spec_to_json(const ModelSpec& spec) {
   util::Json json = util::Json::object();
   if (spec.family == ModelSpec::Family::Classical) {
     json["family"] = "classical";
@@ -33,7 +35,7 @@ util::Json spec_to_json(const ModelSpec& spec) {
   return json;
 }
 
-ModelSpec spec_from_json(const util::Json& json) {
+ModelSpec model_spec_from_json(const util::Json& json) {
   const std::string& family = json.at("family").as_string();
   if (family == "classical") {
     std::vector<std::size_t> hidden;
@@ -54,8 +56,6 @@ ModelSpec spec_from_json(const util::Json& json) {
                            "'");
 }
 
-}  // namespace
-
 std::string UnitKey::to_string() const {
   return family + "/f" + std::to_string(features) + "/r" +
          std::to_string(repetition) + "/c" + std::to_string(candidate);
@@ -63,7 +63,7 @@ std::string UnitKey::to_string() const {
 
 util::Json candidate_result_to_json(const CandidateResult& result) {
   util::Json json = util::Json::object();
-  json["spec"] = spec_to_json(result.spec);
+  json["spec"] = model_spec_to_json(result.spec);
   json["avg_best_train_accuracy"] = result.avg_best_train_accuracy;
   json["avg_best_val_accuracy"] = result.avg_best_val_accuracy;
   json["flops"] = result.flops;
@@ -89,7 +89,7 @@ util::Json candidate_result_to_json(const CandidateResult& result) {
 
 CandidateResult candidate_result_from_json(const util::Json& json) {
   CandidateResult result;
-  result.spec = spec_from_json(json.at("spec"));
+  result.spec = model_spec_from_json(json.at("spec"));
   result.avg_best_train_accuracy =
       json.at("avg_best_train_accuracy").as_number();
   result.avg_best_val_accuracy = json.at("avg_best_val_accuracy").as_number();

@@ -85,4 +85,9 @@ std::string sweep_config_hash(const SweepConfig& config);
 util::Json candidate_result_to_json(const CandidateResult& result);
 CandidateResult candidate_result_from_json(const util::Json& json);
 
+/// ModelSpec <-> JSON, shared by the manifest and the worker protocol
+/// (search/worker_protocol.hpp) so both speak the same encoding.
+util::Json model_spec_to_json(const ModelSpec& spec);
+ModelSpec model_spec_from_json(const util::Json& json);
+
 }  // namespace qhdl::search

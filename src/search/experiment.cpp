@@ -48,7 +48,8 @@ data::Dataset level_dataset(std::size_t features, const SweepConfig& config) {
 }
 
 SweepResult run_complexity_sweep(Family family, const SweepConfig& config,
-                                 StudyCheckpoint* checkpoint) {
+                                 StudyCheckpoint* checkpoint,
+                                 WorkerPool* pool) {
   if (config.feature_sizes.empty()) {
     throw std::invalid_argument("run_complexity_sweep: no feature sizes");
   }
@@ -74,6 +75,7 @@ SweepResult run_complexity_sweep(Family family, const SweepConfig& config,
         resume.checkpoint = checkpoint;
         resume.family = family_name(family);
         resume.features = features;
+        resume.pool = pool;
         level.search =
             run_repeated_search(specs, dataset, config.search, resume);
         result.levels[i] = std::move(level);

@@ -43,6 +43,7 @@ struct SweepResult {
 };
 
 class StudyCheckpoint;
+class WorkerPool;
 
 /// Runs the full complexity sweep for one family. Levels run concurrently
 /// (config.search.threads wide, shared util::ThreadPool) with results
@@ -50,8 +51,12 @@ class StudyCheckpoint;
 /// completed candidate evaluation is recorded there and flushed atomically,
 /// and previously completed units are replayed instead of retrained — a
 /// resumed sweep is bit-identical to an uninterrupted one (DESIGN.md §10).
+/// When `pool` is non-null, fresh units execute on its crash-isolated worker
+/// processes (DESIGN.md §11) — still bit-identical, because each unit ships
+/// the exact RNG streams the in-process search would consume.
 SweepResult run_complexity_sweep(Family family, const SweepConfig& config,
-                                 StudyCheckpoint* checkpoint = nullptr);
+                                 StudyCheckpoint* checkpoint = nullptr,
+                                 WorkerPool* pool = nullptr);
 
 /// Convenience: the standard per-level dataset (shared across families so
 /// the comparison is apples-to-apples).

@@ -8,6 +8,7 @@
 #include "flops/profiler.hpp"
 #include "nn/fastpath.hpp"
 #include "search/checkpoint.hpp"
+#include "search/worker_pool.hpp"
 #include "util/fault_injection.hpp"
 #include "util/interrupt.hpp"
 #include "util/logging.hpp"
@@ -209,6 +210,19 @@ CandidateResult evaluate_candidate(const ModelSpec& spec,
   return evaluate_candidate_with_rngs(spec, split, config, run_rngs);
 }
 
+CandidateResult evaluate_candidate(const ModelSpec& spec,
+                                   const data::TrainValSplit& split,
+                                   const SearchConfig& config,
+                                   std::vector<util::Rng>& run_rngs) {
+  if (run_rngs.size() != config.runs_per_model) {
+    throw std::invalid_argument(
+        "evaluate_candidate: expected " +
+        std::to_string(config.runs_per_model) + " run streams, got " +
+        std::to_string(run_rngs.size()));
+  }
+  return evaluate_candidate_with_rngs(spec, split, config, run_rngs);
+}
+
 SearchOutcome search_once(const std::vector<ModelSpec>& sorted_specs,
                           const data::TrainValSplit& split,
                           const SearchConfig& config, util::Rng& rng) {
@@ -229,8 +243,14 @@ SearchOutcome search_once(const std::vector<ModelSpec>& sorted_specs,
   // concurrently, then commit their results strictly in FLOPs order. The
   // committed sequence — including where the search stops — is identical to
   // the serial walk; candidates trained past the winner are discarded.
-  const std::size_t window = std::max<std::size_t>(
+  std::size_t window = std::max<std::size_t>(
       1, config.lookahead > 0 ? config.lookahead : config.threads);
+  // With a worker pool the window is the dispatch batch; widen it so every
+  // worker process has a unit in flight. Window size never changes results
+  // (streams are drawn in FLOPs order regardless), only scheduling.
+  if (resume.pool != nullptr) {
+    window = std::max(window, resume.pool->worker_count());
+  }
 
   std::size_t next = 0;
   while (next < limit && !outcome.winner.has_value()) {
@@ -259,14 +279,41 @@ SearchOutcome search_once(const std::vector<ModelSpec>& sorted_specs,
     }
 
     std::vector<CandidateResult> results(count);
-    util::parallel_for(0, count, config.threads, [&](std::size_t i) {
-      if (replayed[i].has_value()) {
-        results[i] = *replayed[i];
-      } else {
-        results[i] = evaluate_candidate_with_rngs(
-            sorted_specs[next + i], split, config, window_rngs[i]);
+    if (resume.pool != nullptr) {
+      // Crash-isolated path: ship every fresh unit (with its pre-drawn
+      // streams) to the pool and scatter results back by window slot. The
+      // pool returns results in submission order, so the commit loop below
+      // is unchanged — and identical to the in-process path's.
+      std::vector<WorkUnit> units;
+      std::vector<std::size_t> slots;
+      for (std::size_t i = 0; i < count; ++i) {
+        if (replayed[i].has_value()) {
+          results[i] = *replayed[i];
+          continue;
+        }
+        WorkUnit unit;
+        unit.key = UnitKey{resume.family, resume.features, repetition,
+                           next + i};
+        unit.spec = sorted_specs[next + i];
+        unit.streams = window_rngs[i];
+        units.push_back(std::move(unit));
+        slots.push_back(i);
       }
-    });
+      std::vector<CandidateResult> pooled =
+          resume.pool->evaluate(std::move(units));
+      for (std::size_t u = 0; u < pooled.size(); ++u) {
+        results[slots[u]] = std::move(pooled[u]);
+      }
+    } else {
+      util::parallel_for(0, count, config.threads, [&](std::size_t i) {
+        if (replayed[i].has_value()) {
+          results[i] = *replayed[i];
+        } else {
+          results[i] = evaluate_candidate_with_rngs(
+              sorted_specs[next + i], split, config, window_rngs[i]);
+        }
+      });
+    }
 
     for (std::size_t i = 0; i < count; ++i) {
       const CandidateResult& result = results[i];

@@ -116,6 +116,7 @@ struct RepeatedSearchResult {
 };
 
 class StudyCheckpoint;
+class WorkerPool;
 
 /// Durable-execution context for a repeated search. When `checkpoint` is
 /// non-null, every completed work unit — one candidate evaluation, keyed by
@@ -124,10 +125,18 @@ class StudyCheckpoint;
 /// the checkpoint are replayed instead of retrained. The resumed search
 /// still draws every RNG split in the original order, so a resumed run is
 /// bit-identical to an uninterrupted one (see DESIGN.md §10).
+///
+/// When `pool` is non-null, fresh units are dispatched to the crash-isolated
+/// worker pool (DESIGN.md §11) instead of the in-process thread pool. Only
+/// run_complexity_sweep sets this: pooled units must be reproducible from
+/// the SweepConfig alone, which a standalone search's arbitrary dataset is
+/// not. Results remain bit-identical to in-process execution because each
+/// unit ships the pre-split run streams drawn below.
 struct ResumeContext {
   StudyCheckpoint* checkpoint = nullptr;
   std::string family;        ///< family_name() of the sweep ("" standalone)
   std::size_t features = 0;  ///< complexity level
+  WorkerPool* pool = nullptr;
 };
 
 /// Sorts specs ascending by analytic FLOPs (stable, deterministic).
@@ -141,6 +150,15 @@ CandidateResult evaluate_candidate(const ModelSpec& spec,
                                    const data::TrainValSplit& split,
                                    const SearchConfig& config,
                                    util::Rng& rng);
+
+/// Same, but on pre-split run streams (one per runs_per_model, consumed in
+/// order). This is the worker-pool entry point: the supervisor splits the
+/// streams, ships them, and the worker calls this — making a worker's
+/// arithmetic bit-identical to the in-process search's.
+CandidateResult evaluate_candidate(const ModelSpec& spec,
+                                   const data::TrainValSplit& split,
+                                   const SearchConfig& config,
+                                   std::vector<util::Rng>& run_rngs);
 
 /// One search repetition over pre-sorted specs.
 SearchOutcome search_once(const std::vector<ModelSpec>& sorted_specs,

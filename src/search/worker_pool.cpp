@@ -1,0 +1,599 @@
+#include "search/worker_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <poll.h>
+#include <unistd.h>
+#endif
+
+#include "util/deadline.hpp"
+#include "util/interrupt.hpp"
+#include "util/logging.hpp"
+#include "util/subprocess.hpp"
+#include "util/thread_pool.hpp"
+
+namespace qhdl::search {
+
+namespace {
+
+/// One length-prefixed frame as raw wire bytes (for Subprocess::write_all).
+std::string frame_wire(const std::string& payload) {
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  std::string wire;
+  wire.reserve(4 + payload.size());
+  wire.push_back(static_cast<char>((length >> 24) & 0xff));
+  wire.push_back(static_cast<char>((length >> 16) & 0xff));
+  wire.push_back(static_cast<char>((length >> 8) & 0xff));
+  wire.push_back(static_cast<char>(length & 0xff));
+  wire += payload;
+  return wire;
+}
+
+}  // namespace
+
+struct WorkerPool::Impl {
+  /// A unit somewhere between submission and resolution. `attempts` counts
+  /// failed attempts; the promise is set exactly once (result, quarantine,
+  /// or exception).
+  struct PendingUnit {
+    WorkUnit unit;
+    std::size_t attempts = 0;
+    std::vector<std::string> causes;
+    std::promise<CandidateResult> promise;
+    bool resolved = false;
+  };
+
+  /// One worker process slot. Slots are touched only by the constructor and
+  /// the dispatcher thread.
+  struct Slot {
+    std::optional<util::Subprocess> process;
+    FrameReader reader;
+    bool ready = false;
+    std::shared_ptr<PendingUnit> current;
+    util::Deadline unit_deadline;
+    std::uint64_t last_heard_ms = 0;
+    std::size_t consecutive_failures = 0;
+    util::Deadline respawn_gate = util::Deadline::after_ms(0);
+  };
+
+  SweepConfig worker_config;  ///< sweep config as shipped (worker threads)
+  WorkerPoolConfig cfg;
+  std::vector<std::string> command;
+  std::string init_wire;
+
+  mutable std::mutex mutex;
+  std::deque<std::shared_ptr<PendingUnit>> queue;
+  std::vector<Slot> slots;
+  bool degraded = false;
+  std::string degraded_reason;
+  bool dispatcher_running = false;
+  bool interrupt_forwarded = false;
+  std::size_t spawn_failure_streak = 0;
+  WorkerPoolStats stat;
+
+  std::atomic<bool> stop{false};
+  std::thread dispatcher;
+  UnitDataCache cache;  ///< degraded-mode dataset/split derivation
+
+  // --- promise resolution (mutex held) ------------------------------------
+
+  void resolve_result(PendingUnit& unit, CandidateResult result) {
+    if (unit.resolved) return;
+    unit.resolved = true;
+    unit.promise.set_value(std::move(result));
+  }
+
+  void resolve_exception(PendingUnit& unit, std::exception_ptr error) {
+    if (unit.resolved) return;
+    unit.resolved = true;
+    unit.promise.set_exception(std::move(error));
+  }
+
+  /// Books one failed attempt: requeues (front, so the retry preempts new
+  /// work) while the retry budget lasts, else quarantines through the PR-4
+  /// failure path. The unit's RNG streams are untouched, so a successful
+  /// retry is bit-identical to a never-failed attempt.
+  void fail_attempt(const std::shared_ptr<PendingUnit>& unit,
+                    const std::string& cause) {
+    unit->causes.push_back(cause);
+    unit->attempts += 1;
+    const std::string key = unit->unit.key.to_string();
+    if (unit->attempts > cfg.unit_retries) {
+      stat.quarantined_units += 1;
+      std::string all;
+      for (const std::string& c : unit->causes) {
+        if (!all.empty()) all += "; ";
+        all += c;
+      }
+      util::log_error("worker pool: quarantining " + key + " after " +
+                      std::to_string(unit->attempts) +
+                      " failed attempts (" + all + ")");
+      resolve_result(*unit,
+                     quarantined_unit_result(worker_config, unit->unit,
+                                             unit->causes));
+    } else {
+      if (unit->attempts == 1) stat.retried_units += 1;
+      util::log_warn("worker pool: retrying " + key + " (attempt " +
+                     std::to_string(unit->attempts + 1) + "): " + cause);
+      queue.push_front(unit);
+    }
+  }
+
+  // --- worker lifecycle (mutex held) ---------------------------------------
+
+  std::uint64_t backoff_ms(std::size_t failures) const {
+    std::uint64_t ms = cfg.backoff_initial_ms;
+    for (std::size_t i = 1; i < failures && ms < cfg.backoff_max_ms; ++i) {
+      ms *= 2;
+    }
+    return std::min(ms, cfg.backoff_max_ms);
+  }
+
+  /// Spawns a worker into `slot` and sends the init frame. Returns false
+  /// (with the slot left empty and its backoff gate armed) on failure.
+  bool spawn_slot(Slot& slot) {
+    try {
+      slot.process = util::Subprocess::spawn(command, cfg.worker_env);
+      if (!slot.process->write_all(init_wire.data(), init_wire.size())) {
+        throw std::runtime_error("worker died before the init frame");
+      }
+    } catch (const std::exception& error) {
+      slot.process.reset();
+      slot.consecutive_failures += 1;
+      slot.respawn_gate =
+          util::Deadline::after_ms(backoff_ms(slot.consecutive_failures));
+      spawn_failure_streak += 1;
+      util::log_warn(std::string{"worker pool: spawn failed: "} +
+                     error.what() + " (backoff " +
+                     std::to_string(backoff_ms(slot.consecutive_failures)) +
+                     " ms)");
+      return false;
+    }
+    slot.reader = FrameReader{};
+    slot.ready = false;
+    slot.current.reset();
+    slot.last_heard_ms = util::monotonic_now_ms();
+    spawn_failure_streak = 0;
+    return true;
+  }
+
+  /// Kills (if asked), reaps, and clears a slot whose worker is done for;
+  /// fails the in-flight attempt with `cause` and arms the respawn gate.
+  void retire_slot(Slot& slot, const std::string& cause, bool kill) {
+    if (slot.process.has_value()) {
+      if (kill) slot.process->kill_hard();
+      slot.process->wait();
+      slot.process.reset();
+    }
+    slot.ready = false;
+    if (slot.current != nullptr) {
+      fail_attempt(slot.current, cause);
+      slot.current.reset();
+    }
+    slot.consecutive_failures += 1;
+    slot.respawn_gate =
+        util::Deadline::after_ms(backoff_ms(slot.consecutive_failures));
+  }
+
+  bool any_live_worker() const {
+    for (const Slot& slot : slots) {
+      if (slot.process.has_value()) return true;
+    }
+    return false;
+  }
+
+  void enter_degraded(const std::string& reason) {
+    degraded = true;
+    degraded_reason = reason;
+    util::log_error("worker pool: degrading to in-process execution: " +
+                    reason);
+  }
+
+  // --- dispatcher phases ----------------------------------------------------
+
+  /// Forwards SIGTERM to live workers once and fails every pending unit
+  /// with util::Interrupted, so evaluate() unwinds to the search loop's own
+  /// interrupt poll (the checkpoint holds only committed units, hence a
+  /// resume retrains this window identically).
+  void handle_interrupt_locked() {
+    if (!util::interrupt_requested()) return;
+    if (!interrupt_forwarded) {
+      interrupt_forwarded = true;
+      std::size_t live = 0;
+      for (Slot& slot : slots) {
+        if (slot.process.has_value()) {
+          slot.process->terminate();
+          ++live;
+        }
+      }
+      util::log_warn("worker pool: interrupt — forwarded SIGTERM to " +
+                     std::to_string(live) + " worker(s)");
+    }
+    const auto interrupted = std::make_exception_ptr(util::Interrupted{});
+    for (const std::shared_ptr<PendingUnit>& unit : queue) {
+      resolve_exception(*unit, interrupted);
+    }
+    queue.clear();
+    for (Slot& slot : slots) {
+      if (slot.current != nullptr) {
+        resolve_exception(*slot.current, interrupted);
+        slot.current.reset();
+      }
+    }
+  }
+
+  void respawn_slots_locked() {
+    for (Slot& slot : slots) {
+      if (slot.process.has_value()) continue;
+      if (!slot.respawn_gate.expired()) continue;
+      if (spawn_slot(slot)) {
+        stat.restarts += 1;
+      } else if (spawn_failure_streak >= 2 * slots.size() &&
+                 !any_live_worker()) {
+        // Every slot has failed to come (back) up repeatedly and nothing is
+        // running: give up on processes, keep the study going in-process.
+        enter_degraded("cannot spawn workers (" +
+                       std::to_string(spawn_failure_streak) +
+                       " consecutive failures)");
+        return;
+      }
+    }
+  }
+
+  void dispatch_locked() {
+    for (Slot& slot : slots) {
+      if (queue.empty()) return;
+      if (!slot.process.has_value() || !slot.ready ||
+          slot.current != nullptr) {
+        continue;
+      }
+      std::shared_ptr<PendingUnit> unit = queue.front();
+      queue.pop_front();
+      util::Json frame = util::Json::object();
+      frame["type"] = "unit";
+      frame["unit"] = work_unit_to_json(unit->unit);
+      const std::string wire = frame_wire(frame.dump());
+      if (!slot.process->write_all(wire.data(), wire.size())) {
+        // The worker died between units; the unit never reached it, so no
+        // attempt is consumed — requeue and retire the slot.
+        queue.push_front(unit);
+        retire_slot(slot, "", /*kill=*/true);
+        continue;
+      }
+      slot.current = std::move(unit);
+      slot.unit_deadline = cfg.unit_timeout_ms > 0
+                               ? util::Deadline::after_ms(cfg.unit_timeout_ms)
+                               : util::Deadline::never();
+      slot.last_heard_ms = util::monotonic_now_ms();
+    }
+  }
+
+  /// Consumes every complete frame a worker has produced. Returns false when
+  /// the worker must be retired (corrupt stream).
+  bool process_frames_locked(Slot& slot) {
+    while (true) {
+      std::optional<std::string> payload;
+      try {
+        payload = slot.reader.next();
+      } catch (const ProtocolError& error) {
+        retire_slot(slot, std::string{"corrupt frame: "} + error.what(),
+                    /*kill=*/true);
+        return false;
+      }
+      if (!payload.has_value()) return true;
+
+      util::Json frame;
+      std::string type;
+      try {
+        frame = util::Json::parse(*payload);
+        type = frame.at("type").as_string();
+      } catch (const std::exception& error) {
+        retire_slot(slot, std::string{"corrupt frame: "} + error.what(),
+                    /*kill=*/true);
+        return false;
+      }
+
+      slot.last_heard_ms = util::monotonic_now_ms();
+      if (type == "ready") {
+        slot.ready = true;
+      } else if (type == "heartbeat") {
+        // liveness timestamp already updated
+      } else if (type == "result") {
+        if (slot.current == nullptr) {
+          util::log_warn("worker pool: stray result frame ignored");
+          continue;
+        }
+        CandidateResult result;
+        try {
+          result = candidate_result_from_json(frame.at("result"));
+        } catch (const std::exception& error) {
+          retire_slot(slot, std::string{"corrupt result: "} + error.what(),
+                      /*kill=*/true);
+          return false;
+        }
+        resolve_result(*slot.current, std::move(result));
+        slot.current.reset();
+        slot.consecutive_failures = 0;
+      } else if (type == "error") {
+        // The worker survived but the unit failed cleanly in-process.
+        std::string message = "unknown error";
+        if (frame.contains("message")) {
+          message = frame.at("message").as_string();
+        }
+        if (slot.current != nullptr) {
+          fail_attempt(slot.current, "worker error: " + message);
+          slot.current.reset();
+        }
+      } else {
+        retire_slot(slot, "unknown frame type '" + type + "'",
+                    /*kill=*/true);
+        return false;
+      }
+    }
+  }
+
+#if defined(__unix__) || defined(__APPLE__)
+  void read_workers_locked() {
+    char buffer[8192];
+    for (Slot& slot : slots) {
+      if (!slot.process.has_value()) continue;
+      bool eof = false;
+      while (true) {
+        const ssize_t n =
+            ::read(slot.process->stdout_fd(), buffer, sizeof(buffer));
+        if (n > 0) {
+          slot.reader.feed(buffer, static_cast<std::size_t>(n));
+          continue;
+        }
+        if (n == 0) {
+          eof = true;
+          break;
+        }
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        eof = true;  // unexpected read error: treat as a dead worker
+        break;
+      }
+      if (!process_frames_locked(slot)) continue;  // slot already retired
+      if (eof) {
+        const util::ExitStatus status = slot.process->wait();
+        retire_slot(slot, "worker " + status.to_string(), /*kill=*/false);
+      }
+    }
+  }
+#else
+  void read_workers_locked() {}
+#endif
+
+  void check_liveness_locked() {
+    const std::uint64_t now = util::monotonic_now_ms();
+    for (Slot& slot : slots) {
+      if (!slot.process.has_value()) continue;
+      const bool busy = slot.current != nullptr;
+      if (busy && slot.unit_deadline.expired()) {
+        retire_slot(slot,
+                    "deadline exceeded after " +
+                        std::to_string(cfg.unit_timeout_ms) + " ms",
+                    /*kill=*/true);
+        continue;
+      }
+      // An idle ready worker is legitimately silent; a busy one must tick,
+      // and a fresh one must answer the init frame.
+      if ((busy || !slot.ready) &&
+          now - slot.last_heard_ms > cfg.heartbeat_timeout_ms) {
+        retire_slot(slot,
+                    std::string{busy ? "no heartbeat for "
+                                     : "worker failed to initialize within "} +
+                        std::to_string(cfg.heartbeat_timeout_ms) + " ms",
+                    /*kill=*/true);
+      }
+    }
+  }
+
+#if defined(__unix__) || defined(__APPLE__)
+  void wait_for_io() {
+    std::vector<pollfd> fds;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      for (const Slot& slot : slots) {
+        if (!slot.process.has_value()) continue;
+        fds.push_back(pollfd{slot.process->stdout_fd(), POLLIN, 0});
+      }
+    }
+    if (fds.empty()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      return;
+    }
+    ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 50);
+  }
+#else
+  void wait_for_io() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+#endif
+
+  /// In-process execution of a batch (degraded mode), same arithmetic as a
+  /// worker: evaluate_unit on the shipped streams.
+  void run_inline(std::vector<std::shared_ptr<PendingUnit>>& units) {
+    util::parallel_for(
+        0, units.size(), std::max<std::size_t>(1, cfg.workers),
+        [&](std::size_t i) {
+          std::exception_ptr error;
+          CandidateResult result;
+          try {
+            result = evaluate_unit(worker_config, units[i]->unit, cache);
+          } catch (...) {
+            error = std::current_exception();
+          }
+          std::lock_guard<std::mutex> lock(mutex);
+          if (error != nullptr) {
+            resolve_exception(*units[i], error);
+          } else {
+            resolve_result(*units[i], std::move(result));
+          }
+        });
+  }
+
+  void dispatcher_loop() {
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::vector<std::shared_ptr<PendingUnit>> inline_batch;
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        handle_interrupt_locked();
+        if (degraded) {
+          inline_batch.assign(queue.begin(), queue.end());
+          queue.clear();
+        } else {
+          respawn_slots_locked();
+          dispatch_locked();
+        }
+      }
+      if (!inline_batch.empty()) {
+        run_inline(inline_batch);
+        continue;
+      }
+      wait_for_io();
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!degraded) {
+          read_workers_locked();
+          check_liveness_locked();
+        }
+      }
+    }
+  }
+};
+
+WorkerPool::WorkerPool(SweepConfig config, WorkerPoolConfig pool_config)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->cfg = pool_config;
+  impl_->cfg.workers = std::max<std::size_t>(1, impl_->cfg.workers);
+  impl_->worker_config = std::move(config);
+  // Inside a worker the only parallelism is a unit's runs_per_model.
+  impl_->worker_config.search.threads =
+      std::max<std::size_t>(1, pool_config.worker_threads);
+  impl_->worker_config.search.lookahead = 0;
+
+  if (pool_config.worker_command.empty()) {
+    const std::string self = util::current_executable_path();
+    if (!util::subprocess_supported() || self.empty()) {
+      impl_->enter_degraded(
+          "subprocess spawning is unavailable on this platform");
+      return;
+    }
+    impl_->command = {self, "--worker-mode"};
+  } else {
+    impl_->command = pool_config.worker_command;
+  }
+
+  util::Json init = util::Json::object();
+  init["type"] = "init";
+  init["version"] = kWorkerProtocolVersion;
+  init["heartbeat_interval_ms"] = impl_->cfg.heartbeat_interval_ms;
+  init["config"] = sweep_config_to_json(impl_->worker_config);
+  impl_->init_wire = frame_wire(init.dump());
+
+  impl_->slots.resize(impl_->cfg.workers);
+  // Spawn validation happens here, synchronously: if the very first worker
+  // cannot be created (missing binary, fork failure, exec failure via the
+  // status pipe), the pool degrades before any unit is submitted.
+  if (!impl_->spawn_slot(impl_->slots[0])) {
+    impl_->enter_degraded("cannot spawn worker process (" +
+                          impl_->command[0] + ")");
+    impl_->slots.clear();
+    return;
+  }
+  for (std::size_t i = 1; i < impl_->slots.size(); ++i) {
+    // Later failures are not fatal: the dispatcher keeps retrying them with
+    // backoff while the first worker carries the load.
+    impl_->spawn_slot(impl_->slots[i]);
+  }
+  impl_->dispatcher_running = true;
+  impl_->dispatcher = std::thread([this] { impl_->dispatcher_loop(); });
+  util::log_info("worker pool: " + std::to_string(impl_->cfg.workers) +
+                 " worker(s), command " + impl_->command[0]);
+}
+
+WorkerPool::~WorkerPool() {
+  if (impl_ == nullptr) return;
+  impl_->stop.store(true, std::memory_order_relaxed);
+  if (impl_->dispatcher.joinable()) impl_->dispatcher.join();
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    const auto destroyed = std::make_exception_ptr(
+        std::runtime_error("worker pool destroyed with units pending"));
+    for (const auto& unit : impl_->queue) {
+      impl_->resolve_exception(*unit, destroyed);
+    }
+    impl_->queue.clear();
+    for (Impl::Slot& slot : impl_->slots) {
+      if (slot.current != nullptr) {
+        impl_->resolve_exception(*slot.current, destroyed);
+        slot.current.reset();
+      }
+      // EOF on stdin asks the worker to exit; the Subprocess destructor
+      // SIGKILLs and reaps whatever does not comply.
+      if (slot.process.has_value()) slot.process->close_stdin();
+    }
+  }
+}
+
+std::vector<CandidateResult> WorkerPool::evaluate(
+    std::vector<WorkUnit> units) {
+  util::throw_if_interrupted();
+  if (units.empty()) return {};
+
+  bool inline_now = false;
+  std::vector<std::shared_ptr<Impl::PendingUnit>> pending;
+  std::vector<std::future<CandidateResult>> futures;
+  pending.reserve(units.size());
+  futures.reserve(units.size());
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    inline_now = impl_->degraded && !impl_->dispatcher_running;
+    for (WorkUnit& unit : units) {
+      auto p = std::make_shared<Impl::PendingUnit>();
+      p->unit = std::move(unit);
+      futures.push_back(p->promise.get_future());
+      pending.push_back(std::move(p));
+    }
+    if (!inline_now) {
+      for (const auto& p : pending) impl_->queue.push_back(p);
+    }
+  }
+  // A pool that never came up has no dispatcher; evaluate on the caller.
+  if (inline_now) impl_->run_inline(pending);
+
+  std::vector<CandidateResult> results;
+  results.reserve(futures.size());
+  for (std::future<CandidateResult>& future : futures) {
+    results.push_back(future.get());
+  }
+  return results;
+}
+
+bool WorkerPool::degraded() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->degraded;
+}
+
+std::string WorkerPool::degraded_reason() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->degraded_reason;
+}
+
+std::size_t WorkerPool::worker_count() const { return impl_->cfg.workers; }
+
+WorkerPoolStats WorkerPool::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->stat;
+}
+
+}  // namespace qhdl::search

@@ -1,0 +1,107 @@
+// Supervised multi-process study execution (DESIGN.md §11).
+//
+// WorkerPool shards candidate evaluations across crash-isolated OS worker
+// processes — re-exec'd instances of the current binary in --worker-mode,
+// speaking the length-prefixed JSON protocol of worker_protocol.hpp over
+// stdin/stdout pipes. The supervisor:
+//
+//   * enforces a per-unit wall-clock deadline and heartbeat liveness, and
+//     SIGKILLs a worker that exceeds either;
+//   * reaps workers killed by signals (segfault, OOM killer, external
+//     kill -9) and workers that emit corrupt frames;
+//   * retries the failed unit — with the SAME shipped RNG streams, so a
+//     successful retry is bit-identical to a never-failed run — up to
+//     `unit_retries` times, respawning workers with exponential backoff;
+//   * quarantines a unit whose every attempt failed through the same
+//     failure path PR 4 uses for non-finite training runs (runs = 0,
+//     cause "worker:<reason>"), so one poisoned unit can never abort or
+//     bias the sweep;
+//   * degrades gracefully to in-process execution — at construction when
+//     workers cannot be spawned at all, or mid-run when respawns keep
+//     failing — with the reason logged and queryable.
+//
+// Determinism: the supervisor pre-splits every unit's RNG streams in FLOPs
+// order (grid_search.cpp) and ships them in the unit frame; workers
+// re-derive datasets/splits from the sweep config; results merge back in
+// submission order. A multi-process sweep is therefore byte-identical to an
+// in-process one (pinned by the worker-pool golden test), regardless of
+// worker count, scheduling, crashes, or retries that eventually succeed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "search/worker_protocol.hpp"
+
+namespace qhdl::search {
+
+struct WorkerPoolConfig {
+  /// Number of worker processes (>= 1).
+  std::size_t workers = 2;
+  /// Worker argv; empty means re-exec the current binary with
+  /// `--worker-mode` appended (util::current_executable_path()).
+  std::vector<std::string> worker_command;
+  /// Extra "KEY=value" environment entries for workers (override inherited
+  /// values). Tests use this to arm fault injection in workers only.
+  std::vector<std::string> worker_env;
+  /// Thread width inside each worker (its runs_per_model parallelism).
+  std::size_t worker_threads = 1;
+  /// Wall-clock budget per unit attempt in ms; 0 = no deadline.
+  std::uint64_t unit_timeout_ms = 0;
+  /// Cadence at which a busy worker emits heartbeat frames.
+  std::uint64_t heartbeat_interval_ms = 250;
+  /// A busy worker silent for this long is presumed wedged and killed.
+  std::uint64_t heartbeat_timeout_ms = 10000;
+  /// Failed attempts allowed per unit beyond the first; a unit is
+  /// quarantined after 1 + unit_retries failed attempts.
+  std::size_t unit_retries = 2;
+  /// Respawn backoff after consecutive failures of one worker slot:
+  /// initial * 2^(failures-1), capped at max.
+  std::uint64_t backoff_initial_ms = 100;
+  std::uint64_t backoff_max_ms = 5000;
+};
+
+/// Supervisor health counters (monotonic over the pool's lifetime).
+struct WorkerPoolStats {
+  std::size_t restarts = 0;           ///< worker processes respawned
+  std::size_t retried_units = 0;      ///< units that needed >= 1 retry
+  std::size_t quarantined_units = 0;  ///< units that exhausted all retries
+};
+
+class WorkerPool {
+ public:
+  /// Validates spawning immediately: one worker is started (then the rest)
+  /// before the constructor returns. If no worker can be spawned the pool
+  /// comes up degraded — evaluate() runs in-process — with the reason in
+  /// degraded_reason(); construction never throws for spawn problems.
+  WorkerPool(SweepConfig config, WorkerPoolConfig pool_config);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Evaluates the units, blocking until all have a result (in submission
+  /// order). Thread-safe: concurrent sweep levels share the pool, and their
+  /// units interleave on the workers. Throws util::Interrupted when a
+  /// cooperative shutdown arrives while units are pending (after forwarding
+  /// SIGTERM to live workers).
+  std::vector<CandidateResult> evaluate(std::vector<WorkUnit> units);
+
+  /// True when the pool executes in-process (spawn failure at construction
+  /// or persistent respawn failure mid-run).
+  bool degraded() const;
+  std::string degraded_reason() const;
+
+  /// Configured worker count (also the dispatch width in degraded mode).
+  std::size_t worker_count() const;
+
+  WorkerPoolStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace qhdl::search

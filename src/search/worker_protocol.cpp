@@ -1,0 +1,596 @@
+#include "search/worker_protocol.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#include <unistd.h>
+#endif
+
+#include "data/preprocess.hpp"
+#include "flops/profiler.hpp"
+#include "util/fault_injection.hpp"
+#include "util/logging.hpp"
+
+namespace qhdl::search {
+
+// --- framing --------------------------------------------------------------
+
+#if defined(__unix__) || defined(__APPLE__)
+
+bool write_frame(int fd, const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    throw ProtocolError("refusing to send oversized frame (" +
+                        std::to_string(payload.size()) + " bytes)");
+  }
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  char frame_header[4] = {
+      static_cast<char>((length >> 24) & 0xff),
+      static_cast<char>((length >> 16) & 0xff),
+      static_cast<char>((length >> 8) & 0xff),
+      static_cast<char>(length & 0xff),
+  };
+  std::string wire{frame_header, 4};
+  wire += payload;
+  std::size_t written = 0;
+  while (written < wire.size()) {
+    const ssize_t n =
+        ::write(fd, wire.data() + written, wire.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // EPIPE/EBADF: the peer is gone
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+#else
+
+bool write_frame(int, const std::string&) { return false; }
+
+#endif
+
+void FrameReader::feed(const char* data, std::size_t size) {
+  buffer_.append(data, size);
+}
+
+std::optional<std::string> FrameReader::next() {
+  if (buffer_.size() < 4) return std::nullopt;
+  const auto byte = [&](std::size_t i) {
+    return static_cast<std::uint32_t>(
+        static_cast<unsigned char>(buffer_[i]));
+  };
+  const std::uint32_t length =
+      (byte(0) << 24) | (byte(1) << 16) | (byte(2) << 8) | byte(3);
+  if (length > kMaxFrameBytes) {
+    throw ProtocolError("frame length " + std::to_string(length) +
+                        " exceeds the " + std::to_string(kMaxFrameBytes) +
+                        "-byte limit (corrupt stream)");
+  }
+  if (buffer_.size() < 4 + static_cast<std::size_t>(length)) {
+    return std::nullopt;
+  }
+  std::string payload = buffer_.substr(4, length);
+  buffer_.erase(0, 4 + static_cast<std::size_t>(length));
+  return payload;
+}
+
+// --- JSON codecs ----------------------------------------------------------
+
+namespace {
+
+/// util::Json numbers are doubles; 64-bit seeds ride as decimal strings so
+/// every bit survives the round trip.
+util::Json u64_to_json(std::uint64_t value) {
+  return util::Json{std::to_string(value)};
+}
+
+std::uint64_t u64_from_json(const util::Json& json) {
+  return std::stoull(json.as_string());
+}
+
+std::string geometry_name(BaseGeometry geometry) {
+  return geometry == BaseGeometry::Spiral ? "spiral" : "rings";
+}
+
+BaseGeometry geometry_from_name(const std::string& name) {
+  if (name == "spiral") return BaseGeometry::Spiral;
+  if (name == "rings") return BaseGeometry::Rings;
+  throw ProtocolError("unknown geometry '" + name + "'");
+}
+
+std::string activation_name(qnn::Activation activation) {
+  return activation == qnn::Activation::Tanh ? "tanh" : "relu";
+}
+
+qnn::Activation activation_from_name(const std::string& name) {
+  if (name == "tanh") return qnn::Activation::Tanh;
+  if (name == "relu") return qnn::Activation::ReLU;
+  throw ProtocolError("unknown activation '" + name + "'");
+}
+
+}  // namespace
+
+util::Json sweep_config_to_json(const SweepConfig& config) {
+  util::Json json = util::Json::object();
+  json["feature_sizes"] = util::Json::array_of(config.feature_sizes);
+  util::Json spiral = util::Json::object();
+  spiral["points"] = config.spiral.points;
+  spiral["classes"] = config.spiral.classes;
+  spiral["turns"] = config.spiral.turns;
+  spiral["radial_noise"] = config.spiral.radial_noise;
+  json["spiral"] = std::move(spiral);
+  json["geometry"] = geometry_name(config.geometry);
+  json["dataset_seed"] = u64_to_json(config.dataset_seed);
+
+  const SearchConfig& search = config.search;
+  util::Json s = util::Json::object();
+  s["accuracy_threshold"] = search.accuracy_threshold;
+  s["runs_per_model"] = search.runs_per_model;
+  s["repetitions"] = search.repetitions;
+  s["validation_fraction"] = search.validation_fraction;
+  s["classical_activation"] = activation_name(search.classical_activation);
+  s["seed"] = u64_to_json(search.seed);
+  s["prune_margin"] = search.prune_margin;
+  s["max_candidates"] = search.max_candidates;
+  s["threads"] = search.threads;
+  s["lookahead"] = search.lookahead;
+  s["run_retries"] = search.run_retries;
+
+  const nn::TrainConfig& train = search.train;
+  util::Json t = util::Json::object();
+  t["epochs"] = train.epochs;
+  t["batch_size"] = train.batch_size;
+  t["learning_rate"] = train.learning_rate;
+  t["finite_guard"] = train.finite_guard;
+  t["early_stop_accuracy"] = train.early_stop_accuracy;
+  t["shuffle"] = train.shuffle;
+  t["patience"] = train.patience;
+  // train.on_epoch is a process-local callback and cannot cross the wire.
+  s["train"] = std::move(t);
+
+  const flops::CostModel& cost = search.cost_model;
+  util::Json c = util::Json::object();
+  c["matmul_mac"] = cost.matmul_mac;
+  c["bias_per_element"] = cost.bias_per_element;
+  c["activation_forward"] = cost.activation_forward;
+  c["activation_backward"] = cost.activation_backward;
+  c["softmax_forward"] = cost.softmax_forward;
+  c["gate_per_amplitude"] = cost.gate_per_amplitude;
+  c["rotation_setup"] = cost.rotation_setup;
+  c["entangler_per_amplitude"] = cost.entangler_per_amplitude;
+  c["expval_per_amplitude"] = cost.expval_per_amplitude;
+  c["observable_apply_per_amplitude"] = cost.observable_apply_per_amplitude;
+  c["inner_product_per_amplitude"] = cost.inner_product_per_amplitude;
+  s["cost_model"] = std::move(c);
+
+  json["search"] = std::move(s);
+  return json;
+}
+
+SweepConfig sweep_config_from_json(const util::Json& json) {
+  SweepConfig config;
+  config.feature_sizes.clear();
+  const util::Json& sizes = json.at("feature_sizes");
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    config.feature_sizes.push_back(
+        static_cast<std::size_t>(sizes.at(i).as_number()));
+  }
+  const util::Json& spiral = json.at("spiral");
+  config.spiral.points =
+      static_cast<std::size_t>(spiral.at("points").as_number());
+  config.spiral.classes =
+      static_cast<std::size_t>(spiral.at("classes").as_number());
+  config.spiral.turns = spiral.at("turns").as_number();
+  config.spiral.radial_noise = spiral.at("radial_noise").as_number();
+  config.geometry = geometry_from_name(json.at("geometry").as_string());
+  config.dataset_seed = u64_from_json(json.at("dataset_seed"));
+
+  const util::Json& s = json.at("search");
+  SearchConfig& search = config.search;
+  search.accuracy_threshold = s.at("accuracy_threshold").as_number();
+  search.runs_per_model =
+      static_cast<std::size_t>(s.at("runs_per_model").as_number());
+  search.repetitions =
+      static_cast<std::size_t>(s.at("repetitions").as_number());
+  search.validation_fraction = s.at("validation_fraction").as_number();
+  search.classical_activation =
+      activation_from_name(s.at("classical_activation").as_string());
+  search.seed = u64_from_json(s.at("seed"));
+  search.prune_margin = s.at("prune_margin").as_number();
+  search.max_candidates =
+      static_cast<std::size_t>(s.at("max_candidates").as_number());
+  search.threads = static_cast<std::size_t>(s.at("threads").as_number());
+  search.lookahead = static_cast<std::size_t>(s.at("lookahead").as_number());
+  search.run_retries =
+      static_cast<std::size_t>(s.at("run_retries").as_number());
+
+  const util::Json& t = s.at("train");
+  nn::TrainConfig& train = search.train;
+  train.epochs = static_cast<std::size_t>(t.at("epochs").as_number());
+  train.batch_size = static_cast<std::size_t>(t.at("batch_size").as_number());
+  train.learning_rate = t.at("learning_rate").as_number();
+  train.finite_guard = t.at("finite_guard").as_bool();
+  train.early_stop_accuracy = t.at("early_stop_accuracy").as_number();
+  train.shuffle = t.at("shuffle").as_bool();
+  train.patience = static_cast<std::size_t>(t.at("patience").as_number());
+
+  const util::Json& c = s.at("cost_model");
+  flops::CostModel& cost = search.cost_model;
+  cost.matmul_mac = c.at("matmul_mac").as_number();
+  cost.bias_per_element = c.at("bias_per_element").as_number();
+  cost.activation_forward = c.at("activation_forward").as_number();
+  cost.activation_backward = c.at("activation_backward").as_number();
+  cost.softmax_forward = c.at("softmax_forward").as_number();
+  cost.gate_per_amplitude = c.at("gate_per_amplitude").as_number();
+  cost.rotation_setup = c.at("rotation_setup").as_number();
+  cost.entangler_per_amplitude = c.at("entangler_per_amplitude").as_number();
+  cost.expval_per_amplitude = c.at("expval_per_amplitude").as_number();
+  cost.observable_apply_per_amplitude =
+      c.at("observable_apply_per_amplitude").as_number();
+  cost.inner_product_per_amplitude =
+      c.at("inner_product_per_amplitude").as_number();
+  return config;
+}
+
+util::Json rng_to_json(const util::Rng& rng) {
+  const util::Rng::Snapshot snap = rng.snapshot();
+  util::Json json = util::Json::object();
+  util::Json state = util::Json::array();
+  for (std::uint64_t word : snap.state) state.push_back(u64_to_json(word));
+  json["state"] = std::move(state);
+  json["has_cached_normal"] = snap.has_cached_normal;
+  json["cached_normal"] = snap.cached_normal;
+  return json;
+}
+
+util::Rng rng_from_json(const util::Json& json) {
+  util::Rng::Snapshot snap;
+  const util::Json& state = json.at("state");
+  if (state.size() != snap.state.size()) {
+    throw ProtocolError("rng snapshot must have " +
+                        std::to_string(snap.state.size()) + " state words");
+  }
+  for (std::size_t i = 0; i < snap.state.size(); ++i) {
+    snap.state[i] = u64_from_json(state.at(i));
+  }
+  snap.has_cached_normal = json.at("has_cached_normal").as_bool();
+  snap.cached_normal = json.at("cached_normal").as_number();
+  return util::Rng::restore(snap);
+}
+
+util::Json work_unit_to_json(const WorkUnit& unit) {
+  util::Json json = util::Json::object();
+  util::Json key = util::Json::object();
+  key["family"] = unit.key.family;
+  key["features"] = unit.key.features;
+  key["repetition"] = unit.key.repetition;
+  key["candidate"] = unit.key.candidate;
+  json["key"] = std::move(key);
+  json["spec"] = model_spec_to_json(unit.spec);
+  util::Json streams = util::Json::array();
+  for (const util::Rng& stream : unit.streams) {
+    streams.push_back(rng_to_json(stream));
+  }
+  json["streams"] = std::move(streams);
+  return json;
+}
+
+WorkUnit work_unit_from_json(const util::Json& json) {
+  WorkUnit unit;
+  const util::Json& key = json.at("key");
+  unit.key.family = key.at("family").as_string();
+  unit.key.features =
+      static_cast<std::size_t>(key.at("features").as_number());
+  unit.key.repetition =
+      static_cast<std::size_t>(key.at("repetition").as_number());
+  unit.key.candidate =
+      static_cast<std::size_t>(key.at("candidate").as_number());
+  unit.spec = model_spec_from_json(json.at("spec"));
+  const util::Json& streams = json.at("streams");
+  unit.streams.reserve(streams.size());
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    unit.streams.push_back(rng_from_json(streams.at(i)));
+  }
+  return unit;
+}
+
+// --- unit evaluation ------------------------------------------------------
+
+struct UnitDataCache::Impl {
+  struct Entry {
+    std::size_t features = 0;
+    std::size_t repetition = 0;
+    std::shared_ptr<const data::TrainValSplit> split;
+  };
+  std::mutex mutex;
+  std::deque<Entry> entries;  // most-recently-used at the back
+};
+
+UnitDataCache::UnitDataCache() : impl_(std::make_shared<Impl>()) {}
+
+std::shared_ptr<const data::TrainValSplit> UnitDataCache::split_for(
+    const SweepConfig& config, std::size_t features, std::size_t repetition) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    for (const Impl::Entry& entry : impl_->entries) {
+      if (entry.features == features && entry.repetition == repetition) {
+        return entry.split;
+      }
+    }
+  }
+  // Replay exactly what run_repeated_search does for this repetition: the
+  // repetition stream is the (repetition+1)-th split of the root search
+  // stream, and the stratified split consumes it before any training draws.
+  const data::Dataset dataset = level_dataset(features, config);
+  util::Rng root{config.search.seed};
+  util::Rng rep_rng = root.split();
+  for (std::size_t rep = 0; rep < repetition; ++rep) rep_rng = root.split();
+  auto split = std::make_shared<data::TrainValSplit>(data::stratified_split(
+      dataset, config.search.validation_fraction, rep_rng));
+  data::standardize_split(*split);
+
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->entries.push_back(Impl::Entry{features, repetition, split});
+  // Bound memory: a worker streams units grouped by (level, repetition), so
+  // a short MRU window gets all the reuse there is.
+  constexpr std::size_t kMaxEntries = 8;
+  while (impl_->entries.size() > kMaxEntries) impl_->entries.pop_front();
+  return split;
+}
+
+CandidateResult evaluate_unit(const SweepConfig& config, const WorkUnit& unit,
+                              UnitDataCache& cache) {
+  const std::shared_ptr<const data::TrainValSplit> split =
+      cache.split_for(config, unit.key.features, unit.key.repetition);
+  // evaluate_candidate validates the stream count against runs_per_model.
+  std::vector<util::Rng> streams = unit.streams;
+  return evaluate_candidate(unit.spec, *split, config.search, streams);
+}
+
+CandidateResult quarantined_unit_result(
+    const SweepConfig& config, const WorkUnit& unit,
+    const std::vector<std::string>& attempt_causes) {
+  CandidateResult result;
+  result.spec = unit.spec;
+  // Analytic metadata needs no training and stays informative in the
+  // quarantine record.
+  const flops::FlopsReport report = flops::profile_layers(
+      spec_layer_infos(unit.spec, unit.key.features, config.spiral.classes,
+                       config.search.classical_activation),
+      config.search.cost_model);
+  result.flops = report.total();
+  result.flops_forward = report.forward_total;
+  result.parameter_count = report.parameter_count;
+  // runs = 0 keeps the unit out of every accuracy mean, exactly like a unit
+  // whose every run tripped the non-finite guard.
+  result.runs = 0;
+  result.failed_runs = config.search.runs_per_model;
+  result.meets_threshold = false;
+  result.failures.reserve(attempt_causes.size());
+  for (std::size_t attempt = 0; attempt < attempt_causes.size(); ++attempt) {
+    RunFailure failure;
+    failure.run = 0;
+    failure.attempt = attempt;
+    failure.epoch = 0;
+    failure.cause = "worker:" + attempt_causes[attempt];
+    result.failures.push_back(std::move(failure));
+  }
+  return result;
+}
+
+// --- worker entry point ---------------------------------------------------
+
+#if defined(__unix__) || defined(__APPLE__)
+
+namespace {
+
+/// Serializes worker stdout: the heartbeat thread and the unit loop both
+/// emit frames on fd 1.
+std::mutex g_stdout_mutex;
+
+bool send_frame(const util::Json& payload) {
+  std::lock_guard<std::mutex> lock(g_stdout_mutex);
+  return write_frame(STDOUT_FILENO, payload.dump());
+}
+
+/// Emits heartbeat frames for one unit on a fixed cadence until stopped.
+class HeartbeatTicker {
+ public:
+  HeartbeatTicker(std::string key, std::uint64_t interval_ms)
+      : key_(std::move(key)), interval_ms_(interval_ms) {
+    thread_ = std::thread([this] { run(); });
+  }
+
+  ~HeartbeatTicker() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void run() {
+    util::Json frame = util::Json::object();
+    frame["type"] = "heartbeat";
+    frame["key"] = key_;
+    const std::string payload = frame.dump();
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+      if (cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                       [this] { return stop_; })) {
+        return;
+      }
+      std::lock_guard<std::mutex> out(g_stdout_mutex);
+      // A failed write means the supervisor is gone; training still runs to
+      // completion and the final result write fails the same way.
+      (void)write_frame(STDOUT_FILENO, payload);
+    }
+  }
+
+  std::string key_;
+  std::uint64_t interval_ms_;
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+int worker_main() {
+  // The supervisor may die while this worker writes to it; a broken pipe
+  // should surface as a failed write, not SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  FrameReader reader;
+  std::optional<SweepConfig> config;
+  std::uint64_t heartbeat_interval_ms = 250;
+  UnitDataCache cache;
+
+  char buffer[4096];
+  while (true) {
+    std::optional<std::string> payload;
+    try {
+      payload = reader.next();
+    } catch (const ProtocolError& error) {
+      util::log_error(std::string{"worker: "} + error.what());
+      return 2;
+    }
+    if (!payload.has_value()) {
+      const ssize_t n = ::read(STDIN_FILENO, buffer, sizeof(buffer));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        util::log_error("worker: stdin read failed");
+        return 2;
+      }
+      if (n == 0) return 0;  // supervisor closed the pipe: clean shutdown
+      reader.feed(buffer, static_cast<std::size_t>(n));
+      continue;
+    }
+
+    util::Json frame;
+    std::string type;
+    try {
+      frame = util::Json::parse(*payload);
+      type = frame.at("type").as_string();
+    } catch (const std::exception& error) {
+      util::log_error(std::string{"worker: bad frame: "} + error.what());
+      return 2;
+    }
+
+    if (type == "shutdown") return 0;
+
+    if (type == "init") {
+      try {
+        const int version =
+            static_cast<int>(frame.at("version").as_number());
+        if (version != kWorkerProtocolVersion) {
+          util::log_error("worker: unsupported protocol version " +
+                          std::to_string(version));
+          return 2;
+        }
+        config = sweep_config_from_json(frame.at("config"));
+        heartbeat_interval_ms = static_cast<std::uint64_t>(
+            frame.at("heartbeat_interval_ms").as_number());
+      } catch (const std::exception& error) {
+        util::log_error(std::string{"worker: bad init frame: "} +
+                        error.what());
+        return 2;
+      }
+      util::Json ready = util::Json::object();
+      ready["type"] = "ready";
+      ready["pid"] = static_cast<long>(::getpid());
+      if (!send_frame(ready)) return 2;
+      continue;
+    }
+
+    if (type != "unit") {
+      util::log_error("worker: unknown frame type '" + type + "'");
+      return 2;
+    }
+    if (!config.has_value()) {
+      util::log_error("worker: unit frame before init");
+      return 2;
+    }
+
+    WorkUnit unit;
+    try {
+      unit = work_unit_from_json(frame.at("unit"));
+    } catch (const std::exception& error) {
+      util::log_error(std::string{"worker: bad unit frame: "} + error.what());
+      return 2;
+    }
+    const std::string key = unit.key.to_string();
+
+    // Injectable process-level failures (fault_injection.hpp `worker` site):
+    // these emulate what a real crashed/wedged/corrupted worker does, so the
+    // supervisor's reaping paths are exercised end to end.
+    switch (util::FaultInjector::instance().on_worker_unit(key)) {
+      case util::WorkerFaultMode::Crash:
+        util::log_warn("worker: injected crash on " + key);
+        std::abort();
+        break;
+      case util::WorkerFaultMode::Hang:
+        // Wedge silently — no heartbeats, no result — until the supervisor
+        // kills this process.
+        while (true) {
+          std::this_thread::sleep_for(std::chrono::seconds(1));
+        }
+        break;
+      case util::WorkerFaultMode::Garbage: {
+        util::log_warn("worker: injected garbage frame on " + key);
+        std::lock_guard<std::mutex> lock(g_stdout_mutex);
+        // Valid length prefix, payload that is not JSON.
+        (void)write_frame(STDOUT_FILENO, "\x01\x02garbage, not JSON\x03");
+        ::_exit(3);
+        break;
+      }
+      case util::WorkerFaultMode::None:
+        break;
+    }
+
+    try {
+      CandidateResult result;
+      {
+        HeartbeatTicker ticker{key, heartbeat_interval_ms};
+        result = evaluate_unit(*config, unit, cache);
+      }
+      util::Json out = util::Json::object();
+      out["type"] = "result";
+      out["key"] = key;
+      out["result"] = candidate_result_to_json(result);
+      if (!send_frame(out)) return 2;
+    } catch (const std::exception& error) {
+      // A clean in-worker failure (bad spec, stream-count mismatch, ...):
+      // report it instead of dying so the supervisor can retry or
+      // quarantine without paying a respawn.
+      util::Json out = util::Json::object();
+      out["type"] = "error";
+      out["key"] = key;
+      out["message"] = std::string{error.what()};
+      if (!send_frame(out)) return 2;
+    }
+  }
+}
+
+#else
+
+int worker_main() {
+  util::log_error("worker: --worker-mode requires a POSIX platform");
+  return 2;
+}
+
+#endif
+
+}  // namespace qhdl::search

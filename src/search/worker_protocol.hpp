@@ -1,0 +1,134 @@
+// The supervisor <-> worker wire protocol and the worker-process entry
+// point (DESIGN.md §11).
+//
+// A work unit is one candidate evaluation — the same (family, features,
+// repetition, candidate) unit the PR-4 checkpoint keys — plus everything a
+// fresh process needs to reproduce it bit-for-bit: the candidate's
+// ModelSpec and the pre-split per-run RNG streams the in-process search
+// would have consumed. The worker re-derives the level dataset and the
+// repetition's train/val split from the sweep config it received at init
+// (replaying exactly the derivation run_repeated_search performs), trains
+// the unit with qhdl::search::evaluate_candidate on the shipped streams,
+// and returns the CandidateResult in the checkpoint's own JSON encoding —
+// so a multi-process sweep is byte-identical to an in-process one.
+//
+// Framing: every message is a 4-byte big-endian payload length followed by
+// that many bytes of UTF-8 JSON. Frame types:
+//   supervisor -> worker: init {version, config, heartbeat_interval_ms}
+//                         unit {unit}
+//                         shutdown {}
+//   worker -> supervisor: ready {pid}
+//                         heartbeat {key}        (ticks while training)
+//                         result {key, result}
+//                         error {key, message}   (unit failed cleanly)
+// Anything else — oversized lengths, unparseable JSON, unknown types — is
+// garbage; the supervisor kills the emitting worker and retries the unit.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "data/preprocess.hpp"
+#include "search/checkpoint.hpp"
+#include "search/experiment.hpp"
+
+namespace qhdl::search {
+
+inline constexpr int kWorkerProtocolVersion = 1;
+
+/// Upper bound on a frame payload; a length prefix beyond it means the
+/// stream is garbage (a real unit/result frame is a few KB).
+inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+/// A corrupt or malformed protocol stream (bad length, bad JSON, wrong
+/// frame shape). The supervisor treats it as a worker failure.
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& message)
+      : std::runtime_error("worker protocol: " + message) {}
+};
+
+/// One shippable candidate evaluation.
+struct WorkUnit {
+  UnitKey key;
+  ModelSpec spec;
+  /// Pre-split per-run streams, exactly the ones the in-process search
+  /// draws for this candidate (one per runs_per_model, consumed in order).
+  std::vector<util::Rng> streams;
+};
+
+// --- framing --------------------------------------------------------------
+
+/// Serializes `payload` as one length-prefixed frame. Returns false when
+/// the descriptor is broken (peer died); never raises SIGPIPE.
+bool write_frame(int fd, const std::string& payload);
+
+/// Incremental frame decoder: feed() raw pipe bytes, next() yields complete
+/// payloads. Throws ProtocolError on a garbage length prefix.
+class FrameReader {
+ public:
+  void feed(const char* data, std::size_t size);
+  std::optional<std::string> next();
+
+ private:
+  std::string buffer_;
+};
+
+// --- JSON codecs ----------------------------------------------------------
+
+util::Json sweep_config_to_json(const SweepConfig& config);
+SweepConfig sweep_config_from_json(const util::Json& json);
+
+/// Exact Rng state round-trip (state words as hex strings — util::Json
+/// numbers are doubles and cannot carry 64 bits).
+util::Json rng_to_json(const util::Rng& rng);
+util::Rng rng_from_json(const util::Json& json);
+
+util::Json work_unit_to_json(const WorkUnit& unit);
+WorkUnit work_unit_from_json(const util::Json& json);
+
+// --- unit evaluation (shared with the pool's in-process degradation) ------
+
+/// Re-derives level datasets and repetition splits from the sweep config,
+/// caching a bounded number of recent splits (workers receive many units
+/// for the same level/repetition in a row). Thread-safe; entries are
+/// shared_ptr so an eviction cannot invalidate a split in use.
+class UnitDataCache {
+ public:
+  UnitDataCache();
+
+  std::shared_ptr<const data::TrainValSplit> split_for(
+      const SweepConfig& config, std::size_t features,
+      std::size_t repetition);
+
+ private:
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+/// Evaluates one unit exactly as the in-process search would: same split,
+/// same streams, same arithmetic. Used by worker_main and by the pool when
+/// it degrades to in-process execution.
+CandidateResult evaluate_unit(const SweepConfig& config, const WorkUnit& unit,
+                              UnitDataCache& cache);
+
+/// The result recorded for a unit whose every supervised attempt failed
+/// (crash/hang/garbage beyond the retry budget): analytic FLOPs/parameter
+/// metadata is kept, runs = 0 so it can never contribute to accuracy means,
+/// and one RunFailure per attempt (cause "worker:<reason>") documents what
+/// happened — the same quarantine shape the PR-4 non-finite guard uses.
+CandidateResult quarantined_unit_result(
+    const SweepConfig& config, const WorkUnit& unit,
+    const std::vector<std::string>& attempt_causes);
+
+/// Worker-process entry point: drivers dispatch to this when invoked with
+/// --worker-mode. Speaks the framed protocol on stdin/stdout until EOF or a
+/// shutdown frame; stderr is ordinary logging. Returns the process exit
+/// code. Observes the FaultInjector's `worker` site on each unit receipt.
+int worker_main();
+
+}  // namespace qhdl::search

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
 #include <unistd.h>
 #define QHDL_HAVE_FSYNC 1
 #endif
@@ -88,6 +89,28 @@ void atomic_write_file(const std::string& path, std::string_view content) {
     throw std::runtime_error("atomic_write_file: rename failed for " + path +
                              ": " + ec.message());
   }
+
+#ifdef QHDL_HAVE_FSYNC
+  // The rename is only durable once the parent directory's entry for it is
+  // on disk; without this fsync a power loss can roll the directory back to
+  // a state where the just-committed file never existed. A failure here
+  // leaves the new content visible but its durability unproven, so it is
+  // reported like every other stage (the injectable `dir=fail` site tests
+  // this path).
+  FaultInjector::instance().on_io_dir_sync(path);
+  std::string dir = std::filesystem::path(path).parent_path().string();
+  if (dir.empty()) dir = ".";
+  errno = 0;
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY);
+  if (dir_fd < 0) fail("open-dir", path, "");
+  if (::fsync(dir_fd) != 0) {
+    const int saved_errno = errno;
+    ::close(dir_fd);
+    errno = saved_errno;
+    fail("fsync-dir", path, "");
+  }
+  ::close(dir_fd);
+#endif
 }
 
 }  // namespace qhdl::util

@@ -8,7 +8,10 @@
 // between. The invariant is the classic one — the content is staged in a
 // uniquely named temp file in the destination directory, flushed (fsync on
 // POSIX), and only then moved over the destination with a rename, which the
-// filesystem performs atomically.
+// filesystem performs atomically. On POSIX the parent directory is fsynced
+// after the rename as well: without it the file's content is durable but the
+// directory entry pointing at it may not be, and a power loss could make the
+// just-committed checkpoint manifest vanish.
 #pragma once
 
 #include <string>
@@ -18,9 +21,12 @@ namespace qhdl::util {
 
 /// Atomically replaces `path` with `content`. Throws std::runtime_error
 /// with a descriptive message on any IO failure (open, short write, flush,
-/// or rename — disk-full and unwritable-path are real on long sweeps); the
-/// destination is untouched and the temp file is cleaned up best-effort.
-/// Observes the FaultInjector's `io` site.
+/// rename, or post-rename directory fsync — disk-full and unwritable-path
+/// are real on long sweeps); on a pre-rename failure the destination is
+/// untouched and the temp file is cleaned up best-effort, while a
+/// directory-fsync failure leaves the new content visible but reports that
+/// its durability is unproven. Observes the FaultInjector's `io` and `dir`
+/// sites.
 void atomic_write_file(const std::string& path, std::string_view content);
 
 }  // namespace qhdl::util

@@ -1,0 +1,32 @@
+#include "util/deadline.hpp"
+
+#include <chrono>
+#include <limits>
+
+namespace qhdl::util {
+
+std::uint64_t monotonic_now_ms() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(now).count());
+}
+
+Deadline Deadline::after_ms(std::uint64_t ms) {
+  Deadline deadline;
+  deadline.infinite_ = false;
+  deadline.expires_at_ms_ = monotonic_now_ms() + ms;
+  return deadline;
+}
+
+bool Deadline::expired() const {
+  if (infinite_) return false;
+  return monotonic_now_ms() >= expires_at_ms_;
+}
+
+std::uint64_t Deadline::remaining_ms() const {
+  if (infinite_) return std::numeric_limits<std::uint64_t>::max() / 2;
+  const std::uint64_t now = monotonic_now_ms();
+  return now >= expires_at_ms_ ? 0 : expires_at_ms_ - now;
+}
+
+}  // namespace qhdl::util

@@ -1,0 +1,42 @@
+// Monotonic deadline timers for the worker-pool supervisor.
+//
+// Every liveness decision the supervisor makes — unit deadlines, heartbeat
+// timeouts, respawn backoff gates — must survive wall-clock adjustments
+// (NTP slew, suspend/resume), so they are all expressed against
+// std::chrono::steady_clock through this one helper instead of ad-hoc
+// time arithmetic at each site.
+#pragma once
+
+#include <cstdint>
+
+namespace qhdl::util {
+
+/// Milliseconds on the monotonic (steady) clock. Only differences are
+/// meaningful; the epoch is unspecified.
+std::uint64_t monotonic_now_ms();
+
+/// A point on the monotonic clock after which something is overdue.
+/// Deadline{} (or never()) never expires.
+class Deadline {
+ public:
+  /// Never expires.
+  Deadline() = default;
+  static Deadline never() { return Deadline{}; }
+
+  /// Expires `ms` milliseconds from now. after_ms(0) is already expired —
+  /// use never() for "no deadline".
+  static Deadline after_ms(std::uint64_t ms);
+
+  bool infinite() const { return infinite_; }
+  bool expired() const;
+
+  /// Milliseconds until expiry (0 when expired; huge when infinite) —
+  /// suitable as a poll() timeout bound.
+  std::uint64_t remaining_ms() const;
+
+ private:
+  bool infinite_ = true;
+  std::uint64_t expires_at_ms_ = 0;
+};
+
+}  // namespace qhdl::util

@@ -12,7 +12,7 @@ namespace qhdl::util {
 
 namespace {
 
-enum class FaultAction { Crash, Fail, Nan };
+enum class FaultAction { Crash, Fail, Nan, Hang, Garbage };
 
 struct Trigger {
   FaultSite site = FaultSite::UnitBoundary;
@@ -26,6 +26,8 @@ const char* site_name(FaultSite site) {
     case FaultSite::UnitBoundary: return "unit";
     case FaultSite::IoWrite: return "io";
     case FaultSite::Loss: return "loss";
+    case FaultSite::Worker: return "worker";
+    case FaultSite::DirSync: return "dir";
   }
   return "?";
 }
@@ -34,6 +36,8 @@ FaultSite parse_site(const std::string& token, const std::string& spec) {
   if (token == "unit") return FaultSite::UnitBoundary;
   if (token == "io") return FaultSite::IoWrite;
   if (token == "loss") return FaultSite::Loss;
+  if (token == "worker") return FaultSite::Worker;
+  if (token == "dir") return FaultSite::DirSync;
   throw std::invalid_argument("QHDL_FAULT_SPEC: unknown site '" + token +
                               "' in '" + spec + "'");
 }
@@ -41,16 +45,17 @@ FaultSite parse_site(const std::string& token, const std::string& spec) {
 FaultAction parse_action(const std::string& token, FaultSite site,
                          const std::string& spec) {
   if (token == "crash") {
-    if (site == FaultSite::Loss) {
+    if (site == FaultSite::Loss || site == FaultSite::DirSync) {
       throw std::invalid_argument(
-          "QHDL_FAULT_SPEC: 'crash' is not valid for the loss site");
+          "QHDL_FAULT_SPEC: 'crash' is not valid for the " +
+          std::string{site_name(site)} + " site");
     }
     return FaultAction::Crash;
   }
   if (token == "fail") {
-    if (site != FaultSite::IoWrite) {
+    if (site != FaultSite::IoWrite && site != FaultSite::DirSync) {
       throw std::invalid_argument(
-          "QHDL_FAULT_SPEC: 'fail' is only valid for the io site");
+          "QHDL_FAULT_SPEC: 'fail' is only valid for the io and dir sites");
     }
     return FaultAction::Fail;
   }
@@ -60,6 +65,20 @@ FaultAction parse_action(const std::string& token, FaultSite site,
           "QHDL_FAULT_SPEC: 'nan' is only valid for the loss site");
     }
     return FaultAction::Nan;
+  }
+  if (token == "hang") {
+    if (site != FaultSite::Worker) {
+      throw std::invalid_argument(
+          "QHDL_FAULT_SPEC: 'hang' is only valid for the worker site");
+    }
+    return FaultAction::Hang;
+  }
+  if (token == "garbage") {
+    if (site != FaultSite::Worker) {
+      throw std::invalid_argument(
+          "QHDL_FAULT_SPEC: 'garbage' is only valid for the worker site");
+    }
+    return FaultAction::Garbage;
   }
   throw std::invalid_argument("QHDL_FAULT_SPEC: unknown action '" + token +
                               "' in '" + spec + "'");
@@ -112,7 +131,7 @@ struct FaultInjector::Impl {
   /// Lock-free disarmed check: the loss site sits on the per-batch training
   /// hot path, so the common (no injection) case must cost one relaxed load.
   std::atomic<bool> any_armed{false};
-  std::atomic<std::uint64_t> counters[3] = {{0}, {0}, {0}};
+  std::atomic<std::uint64_t> counters[5] = {{0}, {0}, {0}, {0}, {0}};
 
   /// Counts the arrival and returns the action that fires for it, if any.
   /// The counter bump and trigger match happen under the mutex so that two
@@ -198,6 +217,25 @@ bool FaultInjector::poison_loss() {
            std::to_string(arrivals(FaultSite::Loss)) + " at site " +
            site_name(FaultSite::Loss) + ")");
   return true;
+}
+
+void FaultInjector::on_io_dir_sync(const std::string& path) {
+  FaultAction action;
+  if (!impl_->fire(FaultSite::DirSync, &action)) return;
+  throw std::runtime_error(
+      "injected directory fsync failure after renaming " + path);
+}
+
+WorkerFaultMode FaultInjector::on_worker_unit(const std::string& key) {
+  FaultAction action;
+  if (!impl_->fire(FaultSite::Worker, &action)) return WorkerFaultMode::None;
+  log_warn("fault injection: worker fault on unit " + key);
+  switch (action) {
+    case FaultAction::Crash: return WorkerFaultMode::Crash;
+    case FaultAction::Hang: return WorkerFaultMode::Hang;
+    case FaultAction::Garbage: return WorkerFaultMode::Garbage;
+    default: return WorkerFaultMode::None;
+  }
 }
 
 }  // namespace qhdl::util

@@ -12,17 +12,29 @@
 // Spec grammar (sites separated by ';'):
 //   <site>=<action>@<trigger>[,<trigger>...]
 // where
-//   site    = unit | io | loss
-//   action  = crash (unit/io: throw InjectedCrash)
-//           | fail  (io: throw std::runtime_error, like a full disk)
+//   site    = unit | io | dir | loss | worker
+//   action  = crash (unit/io: throw InjectedCrash; worker: std::abort(),
+//                    so the worker process dies by signal mid-unit)
+//           | fail  (io/dir: throw std::runtime_error, like a full disk /
+//                    a directory fsync error after rename)
 //           | nan   (loss: the guarded loss value becomes quiet NaN)
-//   trigger = 1-based arrival count, with an optional '+' suffix meaning
-//             "this arrival and every one after it"
+//           | hang  (worker: wedge silently without emitting frames, so the
+//                    supervisor's deadline/heartbeat reaper must act)
+//           | garbage (worker: emit a corrupt protocol frame and exit)
+// and trigger = 1-based arrival count, with an optional '+' suffix meaning
+// "this arrival and every one after it".
 // Examples:
 //   QHDL_FAULT_SPEC="unit=crash@3"      crash at the 3rd unit boundary
 //   QHDL_FAULT_SPEC="io=fail@2"         2nd atomic file write fails
+//   QHDL_FAULT_SPEC="dir=fail@1"        1st post-rename directory fsync fails
 //   QHDL_FAULT_SPEC="loss=nan@5,8"      losses 5 and 8 become NaN
 //   QHDL_FAULT_SPEC="loss=nan@1+"       every loss becomes NaN
+//   QHDL_FAULT_SPEC="worker=crash@2"    worker aborts on its 2nd unit
+//
+// The worker site only arrives inside --worker-mode processes (each with its
+// own fresh counters), so "worker=crash@2" means "every worker instance dies
+// on the second unit it receives" — the supervisor retries the unit on a
+// respawned worker whose counter starts over.
 //
 // Counters are deterministic whenever the arrivals are (serial execution, or
 // sites placed in serialized sections such as the search's commit loop).
@@ -34,7 +46,16 @@
 
 namespace qhdl::util {
 
-enum class FaultSite { UnitBoundary = 0, IoWrite = 1, Loss = 2 };
+enum class FaultSite {
+  UnitBoundary = 0,
+  IoWrite = 1,
+  Loss = 2,
+  Worker = 3,
+  DirSync = 4,
+};
+
+/// What a worker process should do with the unit it just received.
+enum class WorkerFaultMode { None, Crash, Hang, Garbage };
 
 /// Emulates a process kill at an injection site. Deliberately NOT derived
 /// from std::runtime_error: ordinary error handling must not absorb it, so
@@ -79,6 +100,17 @@ class FaultInjector {
   /// Loss computation: true when a `loss=nan` trigger fires and the guarded
   /// loss value should be replaced with quiet NaN.
   bool poison_loss();
+
+  /// Post-rename parent-directory fsync: throws std::runtime_error when a
+  /// `dir=fail` trigger fires (the content is committed but its durability
+  /// is not provable — see util/atomic_file.cpp).
+  void on_io_dir_sync(const std::string& path);
+
+  /// Worker-process unit receipt: which failure the worker should emulate
+  /// for this unit (None when no trigger fires). The caller acts on it —
+  /// crash/hang/garbage happen in search::worker_main, not here, because
+  /// they are process-level behaviours.
+  WorkerFaultMode on_worker_unit(const std::string& key);
 
  private:
   FaultInjector();

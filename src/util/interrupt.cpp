@@ -2,6 +2,11 @@
 
 #include <atomic>
 #include <csignal>
+#include <cstdlib>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 namespace qhdl::util {
 
@@ -9,9 +14,20 @@ namespace {
 
 std::atomic<bool> g_interrupted{false};
 
-extern "C" void interrupt_signal_handler(int) {
-  // Async-signal-safe: a lock-free atomic store and nothing else.
-  g_interrupted.store(true, std::memory_order_relaxed);
+extern "C" void interrupt_signal_handler(int sig) {
+  // Async-signal-safe: an atomic exchange, and for the escalation path an
+  // immediate process exit. The first signal requests cooperative shutdown
+  // (the search saves at the next unit boundary); a SECOND Ctrl-C means the
+  // cooperative path is wedged — e.g. a hung worker the supervisor is still
+  // draining — and the user must not be trapped, so exit hard right here.
+  if (g_interrupted.exchange(true, std::memory_order_relaxed) &&
+      sig == SIGINT) {
+#if defined(__unix__) || defined(__APPLE__)
+    _exit(130);
+#else
+    std::_Exit(130);
+#endif
+  }
 }
 
 }  // namespace

@@ -6,7 +6,13 @@
 // Interrupted, which unwinds through the parallel_for layers (cancelling
 // unclaimed work), past the checkpoint — already flushed at every unit
 // boundary — and up to the driver, which reports the resume command and
-// exits cleanly.
+// exits cleanly with status 130. When a worker pool is active, the
+// supervisor observes the flag and forwards SIGTERM to every live worker so
+// in-flight training stops promptly (search/worker_pool.cpp).
+//
+// A SECOND SIGINT escalates: the handler calls _exit(130) immediately, so a
+// wedged cooperative path (e.g. a hung worker still being drained) can never
+// trap the user at the terminal.
 #pragma once
 
 #include <stdexcept>

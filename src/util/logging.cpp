@@ -1,11 +1,20 @@
 #include "util/logging.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 namespace qhdl::util {
 
 namespace {
+
 std::atomic<LogLevel> g_level{LogLevel::Warn};
 
 const char* level_name(LogLevel level) {
@@ -18,14 +27,93 @@ const char* level_name(LogLevel level) {
   }
   return "?    ";
 }
+
+/// Reads QHDL_LOG_LEVEL exactly once; a valid value pins the threshold for
+/// the whole process (workers inherit the variable, so one setting governs
+/// the merged supervisor+worker stream).
+bool env_pinned_level() {
+  static const bool pinned = [] {
+    const char* env = std::getenv("QHDL_LOG_LEVEL");
+    if (env == nullptr || env[0] == '\0') return false;
+    const std::optional<LogLevel> parsed = log_level_from_name(env);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr, "ignoring invalid QHDL_LOG_LEVEL='%s' (expected "
+                           "debug|info|warn|error|silent)\n", env);
+      return false;
+    }
+    g_level.store(*parsed);
+    return true;
+  }();
+  return pinned;
+}
+
+long current_pid() {
+#if defined(__unix__) || defined(__APPLE__)
+  return static_cast<long>(::getpid());
+#else
+  return 0;
+#endif
+}
+
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
-LogLevel log_level() { return g_level.load(); }
+std::optional<LogLevel> log_level_from_name(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug") return LogLevel::Debug;
+  if (lower == "info") return LogLevel::Info;
+  if (lower == "warn" || lower == "warning") return LogLevel::Warn;
+  if (lower == "error") return LogLevel::Error;
+  if (lower == "silent") return LogLevel::Silent;
+  return std::nullopt;
+}
+
+bool log_level_env_pinned() { return env_pinned_level(); }
+
+void set_log_level(LogLevel level) {
+  if (env_pinned_level()) return;
+  g_level.store(level);
+}
+
+LogLevel log_level() {
+  env_pinned_level();
+  return g_level.load();
+}
+
+std::string format_log_line(LogLevel level, const std::string& message) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm_buf{};
+#if defined(__unix__) || defined(__APPLE__)
+  localtime_r(&seconds, &tm_buf);
+#else
+  const std::tm* local = std::localtime(&seconds);
+  if (local != nullptr) tm_buf = *local;
+#endif
+  char stamp[32];
+  std::strftime(stamp, sizeof(stamp), "%Y-%m-%d %H:%M:%S", &tm_buf);
+
+  char prefix[96];
+  std::snprintf(prefix, sizeof(prefix), "[%s.%03d] [pid %ld] [%s] ", stamp,
+                static_cast<int>(ms), current_pid(), level_name(level));
+  return std::string{prefix} + message;
+}
 
 void log(LogLevel level, const std::string& message) {
+  env_pinned_level();
   if (level < g_level.load() || level == LogLevel::Silent) return;
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  // One fprintf per line so concurrent processes sharing stderr interleave
+  // at line granularity, not mid-line.
+  const std::string line = format_log_line(level, message);
+  std::fprintf(stderr, "%s\n", line.c_str());
 }
 
 void log_debug(const std::string& message) { log(LogLevel::Debug, message); }

@@ -1,19 +1,42 @@
 // Leveled logging with a global threshold. The grid search emits progress
 // lines (which model is training, accuracies) that benches silence by
 // default and examples enable with --verbose.
+//
+// Every line is prefixed with a wall-clock timestamp and the emitting PID:
+// once the worker pool is active, supervisor and worker processes interleave
+// on the same stderr, and the prefix is what makes the merged stream
+// attributable. The QHDL_LOG_LEVEL environment variable
+// (debug|info|warn|error|silent) pins the threshold for the whole process
+// tree — workers inherit it — and takes precedence over programmatic
+// set_log_level calls.
 #pragma once
 
+#include <optional>
 #include <string>
 
 namespace qhdl::util {
 
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Silent = 4 };
 
-/// Sets the global threshold; messages below it are dropped.
+/// Sets the global threshold; messages below it are dropped. Ignored when
+/// QHDL_LOG_LEVEL is set in the environment — the env threshold wins, so an
+/// operator can silence (or open up) a driver without editing its flags.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Core logging call; prefixes level and writes to stderr.
+/// True when QHDL_LOG_LEVEL pinned the threshold for this process.
+bool log_level_env_pinned();
+
+/// Parses a threshold name ("debug", "info", "warn", "error", "silent",
+/// case-insensitive); nullopt on anything else.
+std::optional<LogLevel> log_level_from_name(const std::string& name);
+
+/// The exact line log() would emit (sans trailing newline):
+/// "[YYYY-MM-DD HH:MM:SS.mmm] [pid N] [LEVEL] message". Exposed so tests
+/// can pin the prefix format without capturing stderr.
+std::string format_log_line(LogLevel level, const std::string& message);
+
+/// Core logging call; prefixes timestamp, PID, and level, writes to stderr.
 void log(LogLevel level, const std::string& message);
 
 void log_debug(const std::string& message);

@@ -101,4 +101,20 @@ std::vector<double> Rng::uniform_vector(std::size_t n, double lo, double hi) {
 
 Rng Rng::split() { return Rng{next_u64() ^ 0xa5a5a5a5deadbeefULL}; }
 
+Rng::Snapshot Rng::snapshot() const {
+  Snapshot snap;
+  snap.state = state_;
+  snap.has_cached_normal = has_cached_normal_;
+  snap.cached_normal = cached_normal_;
+  return snap;
+}
+
+Rng Rng::restore(const Snapshot& snapshot) {
+  Rng rng;
+  rng.state_ = snapshot.state;
+  rng.has_cached_normal_ = snapshot.has_cached_normal;
+  rng.cached_normal_ = snapshot.cached_normal;
+  return rng;
+}
+
 }  // namespace qhdl::util

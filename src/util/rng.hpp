@@ -67,6 +67,19 @@ class Rng {
   /// search repetition its own stream without coupling their sequences.
   Rng split();
 
+  /// Serializable image of the full generator state: the four xoshiro words
+  /// plus the Box-Muller cache. A restored generator resumes the exact
+  /// sequence, which is how the worker protocol ships pre-split run streams
+  /// across process boundaries (search/worker_protocol.hpp) while keeping
+  /// multi-process results bit-identical to in-process ones.
+  struct Snapshot {
+    std::array<std::uint64_t, 4> state{};
+    bool has_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+  Snapshot snapshot() const;
+  static Rng restore(const Snapshot& snapshot);
+
  private:
   std::array<std::uint64_t, 4> state_{};
   bool has_cached_normal_ = false;

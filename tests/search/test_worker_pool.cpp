@@ -1,0 +1,332 @@
+// Supervised multi-process execution (DESIGN.md §11).
+//
+// The golden property throughout: a sweep executed on crash-isolated worker
+// processes is byte-identical to the in-process sweep — including when
+// workers are killed by signals, wedge silently, or emit garbage, as long
+// as the retry budget absorbs the failures (retries reuse the same shipped
+// RNG streams). Tests that exhaust the budget instead pin the quarantine
+// path: the sweep completes with the poisoned units excluded from means.
+//
+// These tests spawn REAL worker processes: the shared test main dispatches
+// --worker-mode to search::worker_main, so this binary is its own worker.
+#include "search/worker_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "core/config.hpp"
+#include "search/checkpoint.hpp"
+#include "search/results.hpp"
+#include "util/fault_injection.hpp"
+#include "util/rng.hpp"
+#include "util/subprocess.hpp"
+
+namespace qhdl::search {
+namespace {
+
+/// Tiny but non-trivial: 3 candidates x 2 runs at one level, threshold
+/// unreachable so every candidate is evaluated (deterministic unit count).
+SweepConfig sweep_config() {
+  SweepConfig config = core::test_scale();
+  config.search.runs_per_model = 2;
+  config.search.repetitions = 1;
+  config.search.train.epochs = 2;
+  config.search.max_candidates = 3;
+  config.search.prune_margin = 0.0;
+  config.search.accuracy_threshold = 1.1;
+  config.search.run_retries = 1;
+  config.search.threads = 2;
+  return config;
+}
+
+std::string sweep_bytes(const SweepConfig& config, WorkerPool* pool) {
+  return sweep_to_json(
+             run_complexity_sweep(Family::Classical, config, nullptr, pool))
+      .dump(2);
+}
+
+// --- protocol codecs ------------------------------------------------------
+
+TEST(WorkerProtocol, FrameReaderReassemblesSplitFrames) {
+  FrameReader reader;
+  const std::string payload = "{\"type\":\"heartbeat\"}";
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  std::string wire;
+  wire.push_back(static_cast<char>((length >> 24) & 0xff));
+  wire.push_back(static_cast<char>((length >> 16) & 0xff));
+  wire.push_back(static_cast<char>((length >> 8) & 0xff));
+  wire.push_back(static_cast<char>(length & 0xff));
+  wire += payload;
+  wire += wire;  // two identical frames back to back
+
+  // Feed one byte at a time: frames must reassemble across arbitrary pipe
+  // read boundaries.
+  std::size_t complete = 0;
+  for (char c : wire) {
+    reader.feed(&c, 1);
+    while (auto frame = reader.next()) {
+      EXPECT_EQ(*frame, payload);
+      ++complete;
+    }
+  }
+  EXPECT_EQ(complete, 2u);
+}
+
+TEST(WorkerProtocol, FrameReaderRejectsOversizedLength) {
+  FrameReader reader;
+  const char junk[4] = {0x7f, 0x7f, 0x7f, 0x7f};  // ~2 GB length prefix
+  reader.feed(junk, 4);
+  EXPECT_THROW(reader.next(), ProtocolError);
+}
+
+TEST(WorkerProtocol, SweepConfigRoundTripsEveryResultAffectingField) {
+  SweepConfig config = sweep_config();
+  config.search.seed = 0xfedcba9876543210ULL;  // must survive as a string
+  config.dataset_seed = 0xffffffffffffffffULL;
+  const SweepConfig back =
+      sweep_config_from_json(sweep_config_to_json(config));
+  // sweep_config_hash covers every result-affecting field, so equal hashes
+  // mean the worker will reproduce the supervisor's protocol exactly.
+  EXPECT_EQ(sweep_config_hash(back), sweep_config_hash(config));
+  EXPECT_EQ(back.search.seed, config.search.seed);
+  EXPECT_EQ(back.dataset_seed, config.dataset_seed);
+}
+
+TEST(WorkerProtocol, RngRoundTripResumesExactSequence) {
+  util::Rng rng{12345};
+  (void)rng.normal();  // populate the Box-Muller cache mid-pair
+  util::Rng restored = rng_from_json(rng_to_json(rng));
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(restored.next_u64(), rng.next_u64());
+    EXPECT_EQ(restored.normal(), rng.normal());
+  }
+}
+
+TEST(WorkerProtocol, WorkUnitRoundTrips) {
+  WorkUnit unit;
+  unit.key = UnitKey{"classical", 6, 1, 2};
+  unit.spec = ModelSpec::make_classical({4, 8});
+  util::Rng base{7};
+  unit.streams = {base.split(), base.split()};
+  const WorkUnit back = work_unit_from_json(work_unit_to_json(unit));
+  EXPECT_EQ(back.key.to_string(), unit.key.to_string());
+  EXPECT_EQ(back.spec.to_string(), unit.spec.to_string());
+  ASSERT_EQ(back.streams.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    util::Rng a = unit.streams[i];
+    util::Rng b = back.streams[i];
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+// --- golden byte-identity -------------------------------------------------
+
+TEST(WorkerPoolGolden, MultiProcessSweepMatchesInProcessBytes) {
+  if (!util::subprocess_supported()) GTEST_SKIP() << "no subprocess support";
+  const SweepConfig config = sweep_config();
+  const std::string baseline = sweep_bytes(config, nullptr);
+
+  WorkerPoolConfig pool_config;
+  pool_config.workers = 4;
+  WorkerPool pool{config, pool_config};
+  ASSERT_FALSE(pool.degraded()) << pool.degraded_reason();
+  EXPECT_EQ(sweep_bytes(config, &pool), baseline);
+  const WorkerPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.retried_units, 0u);
+  EXPECT_EQ(stats.quarantined_units, 0u);
+}
+
+// --- supervised failure handling -----------------------------------------
+
+/// Runs the pooled sweep with a fault spec armed in the WORKERS only (the
+/// supervisor's injector never sees it) and returns the result bytes.
+std::string faulted_sweep_bytes(const SweepConfig& config,
+                                const std::string& fault_spec,
+                                WorkerPoolConfig pool_config,
+                                WorkerPoolStats* stats_out = nullptr) {
+  pool_config.worker_env = {"QHDL_FAULT_SPEC=" + fault_spec};
+  WorkerPool pool{config, pool_config};
+  EXPECT_FALSE(pool.degraded()) << pool.degraded_reason();
+  const std::string bytes = sweep_bytes(config, &pool);
+  if (stats_out != nullptr) *stats_out = pool.stats();
+  return bytes;
+}
+
+TEST(WorkerPoolFaults, CrashedWorkerIsRespawnedAndUnitRetried) {
+  if (!util::subprocess_supported()) GTEST_SKIP() << "no subprocess support";
+  const SweepConfig config = sweep_config();
+  const std::string baseline = sweep_bytes(config, nullptr);
+
+  // Every worker instance std::abort()s on its 2nd unit (fresh per-process
+  // counters), so respawned workers make progress one unit at a time.
+  WorkerPoolConfig pool_config;
+  pool_config.workers = 2;
+  pool_config.backoff_initial_ms = 50;
+  WorkerPoolStats stats;
+  EXPECT_EQ(faulted_sweep_bytes(config, "worker=crash@2", pool_config,
+                                &stats),
+            baseline);
+  EXPECT_GT(stats.restarts, 0u);
+  EXPECT_GT(stats.retried_units, 0u);
+  EXPECT_EQ(stats.quarantined_units, 0u);
+}
+
+TEST(WorkerPoolFaults, HungWorkerIsKilledByUnitDeadline) {
+  if (!util::subprocess_supported()) GTEST_SKIP() << "no subprocess support";
+  const SweepConfig config = sweep_config();
+  const std::string baseline = sweep_bytes(config, nullptr);
+
+  // The hang emits nothing at all; with a generous heartbeat budget the
+  // per-unit deadline is what must reap it.
+  WorkerPoolConfig pool_config;
+  pool_config.workers = 2;
+  pool_config.unit_timeout_ms = 1500;
+  pool_config.heartbeat_timeout_ms = 60000;
+  pool_config.backoff_initial_ms = 50;
+  WorkerPoolStats stats;
+  EXPECT_EQ(
+      faulted_sweep_bytes(config, "worker=hang@2", pool_config, &stats),
+      baseline);
+  EXPECT_GT(stats.restarts, 0u);
+  EXPECT_GT(stats.retried_units, 0u);
+  EXPECT_EQ(stats.quarantined_units, 0u);
+}
+
+TEST(WorkerPoolFaults, HungWorkerIsKilledByHeartbeatLiveness) {
+  if (!util::subprocess_supported()) GTEST_SKIP() << "no subprocess support";
+  const SweepConfig config = sweep_config();
+  const std::string baseline = sweep_bytes(config, nullptr);
+
+  // No unit deadline at all: heartbeat silence alone must reap the hang.
+  WorkerPoolConfig pool_config;
+  pool_config.workers = 2;
+  pool_config.unit_timeout_ms = 0;
+  pool_config.heartbeat_interval_ms = 100;
+  pool_config.heartbeat_timeout_ms = 700;
+  pool_config.backoff_initial_ms = 50;
+  WorkerPoolStats stats;
+  EXPECT_EQ(
+      faulted_sweep_bytes(config, "worker=hang@2", pool_config, &stats),
+      baseline);
+  EXPECT_GT(stats.restarts, 0u);
+  EXPECT_GT(stats.retried_units, 0u);
+  EXPECT_EQ(stats.quarantined_units, 0u);
+}
+
+TEST(WorkerPoolFaults, GarbageEmittingWorkerIsKilledAndUnitRetried) {
+  if (!util::subprocess_supported()) GTEST_SKIP() << "no subprocess support";
+  const SweepConfig config = sweep_config();
+  const std::string baseline = sweep_bytes(config, nullptr);
+
+  WorkerPoolConfig pool_config;
+  pool_config.workers = 2;
+  pool_config.backoff_initial_ms = 50;
+  WorkerPoolStats stats;
+  EXPECT_EQ(faulted_sweep_bytes(config, "worker=garbage@2", pool_config,
+                                &stats),
+            baseline);
+  EXPECT_GT(stats.restarts, 0u);
+  EXPECT_GT(stats.retried_units, 0u);
+  EXPECT_EQ(stats.quarantined_units, 0u);
+}
+
+TEST(WorkerPoolFaults, ExhaustedRetriesQuarantineUnitsAndSweepCompletes) {
+  if (!util::subprocess_supported()) GTEST_SKIP() << "no subprocess support";
+  const SweepConfig config = sweep_config();
+
+  // Every attempt of every unit crashes; with 1 retry each unit burns its
+  // 2 attempts and is quarantined. The sweep must still complete.
+  WorkerPoolConfig pool_config;
+  pool_config.workers = 2;
+  pool_config.unit_retries = 1;
+  pool_config.backoff_initial_ms = 50;
+  pool_config.worker_env = {"QHDL_FAULT_SPEC=worker=crash@1+"};
+  WorkerPool pool{config, pool_config};
+  ASSERT_FALSE(pool.degraded()) << pool.degraded_reason();
+
+  const SweepResult sweep =
+      run_complexity_sweep(Family::Classical, config, nullptr, &pool);
+  const SearchOutcome& outcome = sweep.levels.at(0).search.repetitions.at(0);
+  ASSERT_EQ(outcome.evaluated.size(), config.search.max_candidates);
+  EXPECT_FALSE(outcome.winner.has_value());
+  for (const CandidateResult& result : outcome.evaluated) {
+    // The PR-4 quarantine shape: zero successful runs (excluded from every
+    // mean), the full run budget recorded as failed, and worker-prefixed
+    // causes documenting each attempt.
+    EXPECT_EQ(result.runs, 0u);
+    EXPECT_EQ(result.failed_runs, config.search.runs_per_model);
+    EXPECT_FALSE(result.meets_threshold);
+    ASSERT_EQ(result.failures.size(), 2u);  // 1 + unit_retries attempts
+    for (const RunFailure& failure : result.failures) {
+      EXPECT_EQ(failure.cause.rfind("worker:", 0), 0u) << failure.cause;
+    }
+    // Analytic metadata survives quarantine.
+    EXPECT_GT(result.flops, 0.0);
+    EXPECT_GT(result.parameter_count, 0u);
+  }
+  const WorkerPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.quarantined_units, config.search.max_candidates);
+}
+
+// --- graceful degradation -------------------------------------------------
+
+TEST(WorkerPoolDegraded, UnspawnableWorkersFallBackToInProcessIdentically) {
+  const SweepConfig config = sweep_config();
+  const std::string baseline = sweep_bytes(config, nullptr);
+
+  WorkerPoolConfig pool_config;
+  pool_config.workers = 2;
+  pool_config.worker_command = {"/nonexistent/qhdl-no-such-worker",
+                                "--worker-mode"};
+  WorkerPool pool{config, pool_config};
+  EXPECT_TRUE(pool.degraded());
+  EXPECT_FALSE(pool.degraded_reason().empty());
+  // Degraded execution is the same arithmetic on the same shipped streams.
+  EXPECT_EQ(sweep_bytes(config, &pool), baseline);
+}
+
+// --- CI fault-matrix leg --------------------------------------------------
+
+// Env-driven like FaultMatrix.*: CI sets QHDL_FAULT_SPEC to a worker-site
+// spec; workers inherit it from the environment (the supervisor disarms its
+// own injector). Skipped without the env var. CI must select this with an
+// anchored regex (^WorkerFaultMatrix\.) — "FaultMatrix" is a substring.
+TEST(WorkerFaultMatrix, PooledSweepSurvivesConfiguredWorkerFault) {
+  const char* env = std::getenv("QHDL_FAULT_SPEC");
+  if (env == nullptr || std::string{env}.find("worker=") == std::string::npos) {
+    GTEST_SKIP() << "set QHDL_FAULT_SPEC to a worker= spec to run this";
+  }
+  if (!util::subprocess_supported()) GTEST_SKIP() << "no subprocess support";
+  const std::string spec = env;
+
+  // Disarm the supervisor's injector (it read the env at first touch);
+  // workers re-read the inherited variable in their own processes.
+  util::FaultInjector::instance().configure("");
+  const SweepConfig config = sweep_config();
+  const std::string baseline = sweep_bytes(config, nullptr);
+
+  WorkerPoolConfig pool_config;
+  pool_config.workers = 2;
+  pool_config.unit_timeout_ms = 2000;  // bounds injected hangs
+  pool_config.backoff_initial_ms = 50;
+  WorkerPool pool{config, pool_config};
+  ASSERT_FALSE(pool.degraded()) << pool.degraded_reason();
+  const std::string faulted = sweep_bytes(config, &pool);
+  const WorkerPoolStats stats = pool.stats();
+
+  if (spec.find('+') != std::string::npos) {
+    // Open-ended fault: every attempt fails, so units are quarantined but
+    // the sweep still completes (exit 0 in the driver).
+    EXPECT_GT(stats.quarantined_units, 0u);
+  } else {
+    // Bounded fault: retries absorb it and the bytes are the baseline's.
+    EXPECT_EQ(faulted, baseline);
+    EXPECT_GT(stats.retried_units, 0u);
+    EXPECT_EQ(stats.quarantined_units, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace qhdl::search

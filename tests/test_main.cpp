@@ -1,0 +1,21 @@
+// Shared gtest entry point for every test binary. It intercepts
+// --worker-mode before gtest sees the argv, so any test binary can serve as
+// its own worker-pool child process (the pool's default command re-execs
+// the current executable — util::current_executable_path()). This is what
+// lets the worker-pool tests spawn real supervised OS processes without a
+// separate worker binary.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "search/worker_protocol.hpp"
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--worker-mode") == 0) {
+      return qhdl::search::worker_main();
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -94,6 +94,35 @@ TEST_F(AtomicFileTest, InjectedIoFailureLeavesTargetIntact) {
   EXPECT_EQ(read_file(target), "next manifest");
 }
 
+TEST_F(AtomicFileTest, InjectedDirSyncFailureSurfacesAfterCommit) {
+  // The directory-entry fsync happens AFTER the rename: the new content is
+  // already committed, but its durability across power loss cannot be
+  // proven, so the failure must surface to the caller rather than being
+  // swallowed.
+  const fs::path target = dir_ / "manifest.json";
+  FaultInjector::instance().configure("dir=fail@1");
+  try {
+    atomic_write_file(target.string(), "committed but maybe not durable");
+    FAIL() << "expected std::runtime_error from the dir fsync stage";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("injected directory fsync failure"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("manifest.json"), std::string::npos)
+        << e.what();
+  }
+  FaultInjector::instance().configure("");
+
+  // Unlike an io-stage failure, the rename already happened: the new bytes
+  // are in place and no staging file lingers.
+  EXPECT_EQ(read_file(target), "committed but maybe not durable");
+  EXPECT_EQ(entries(), 1u);
+
+  // Clean writes keep working afterwards.
+  atomic_write_file(target.string(), "next");
+  EXPECT_EQ(read_file(target), "next");
+}
+
 TEST_F(AtomicFileTest, ConcurrentWritersToDistinctFilesDoNotCollide) {
   // The temp-name counter must keep staging files distinct even for the
   // same target basename written twice in a row after a failure.

@@ -1,0 +1,66 @@
+#include "util/interrupt.hpp"
+
+#include <gtest/gtest.h>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace qhdl::util {
+namespace {
+
+TEST(Interrupt, CooperativeFlagRoundTrip) {
+  clear_interrupt();
+  EXPECT_FALSE(interrupt_requested());
+  EXPECT_NO_THROW(throw_if_interrupted());
+  request_interrupt();
+  EXPECT_TRUE(interrupt_requested());
+  EXPECT_THROW(throw_if_interrupted(), Interrupted);
+  clear_interrupt();
+  EXPECT_FALSE(interrupt_requested());
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+// Signal-delivery semantics need a process of their own: the first SIGINT
+// must only set the flag, the second must force an immediate exit with
+// status 130 even if the cooperative path is wedged.
+TEST(Interrupt, SecondSigintForcesExit130) {
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    install_interrupt_handler();
+    ::raise(SIGINT);
+    if (!interrupt_requested()) ::_exit(1);  // first signal: flag only
+    ::raise(SIGINT);                          // second signal: _exit(130)
+    ::_exit(2);                               // must be unreachable
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 130);
+}
+
+TEST(Interrupt, RepeatedSigtermStaysCooperative) {
+  // Only a second SIGINT escalates; schedulers often send several SIGTERMs
+  // and those must keep honoring the save-and-exit path.
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    install_interrupt_handler();
+    ::raise(SIGTERM);
+    ::raise(SIGTERM);
+    ::_exit(interrupt_requested() ? 42 : 1);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 42);
+}
+
+#endif
+
+}  // namespace
+}  // namespace qhdl::util

@@ -1,0 +1,94 @@
+#include "util/subprocess.hpp"
+
+#include <gtest/gtest.h>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <poll.h>
+#include <unistd.h>
+#endif
+
+#include <string>
+
+namespace qhdl::util {
+namespace {
+
+#if defined(__unix__) || defined(__APPLE__)
+
+/// Drains the child's (non-blocking) stdout until EOF, polling in between.
+std::string read_all(Subprocess& child) {
+  std::string out;
+  char buffer[1024];
+  while (true) {
+    const ssize_t n = ::read(child.stdout_fd(), buffer, sizeof(buffer));
+    if (n > 0) {
+      out.append(buffer, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) break;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      pollfd fd{child.stdout_fd(), POLLIN, 0};
+      ::poll(&fd, 1, 1000);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    break;
+  }
+  return out;
+}
+
+TEST(Subprocess, EchoesThroughPipes) {
+  ASSERT_TRUE(subprocess_supported());
+  Subprocess child = Subprocess::spawn({"/bin/cat"});
+  EXPECT_GT(child.pid(), 0);
+  const std::string message = "hello across the pipe\n";
+  EXPECT_TRUE(child.write_all(message.data(), message.size()));
+  child.close_stdin();
+  EXPECT_EQ(read_all(child), message);
+  const ExitStatus status = child.wait();
+  EXPECT_TRUE(status.exited);
+  EXPECT_EQ(status.exit_code, 0);
+  EXPECT_EQ(status.to_string(), "exit 0");
+}
+
+TEST(Subprocess, KillHardReportsSignal) {
+  Subprocess child = Subprocess::spawn({"/bin/cat"});
+  ASSERT_FALSE(child.try_wait().has_value());  // still running
+  child.kill_hard();
+  const ExitStatus status = child.wait();
+  EXPECT_TRUE(status.signaled);
+  EXPECT_EQ(status.term_signal, 9);
+  EXPECT_EQ(status.to_string(), "killed by signal 9");
+}
+
+TEST(Subprocess, SpawnOfMissingBinaryThrows) {
+  // The CLOEXEC status pipe makes exec failure synchronous: spawn() itself
+  // throws instead of handing back an instantly-dead child.
+  EXPECT_THROW(Subprocess::spawn({"/nonexistent/qhdl-no-such-binary"}),
+               std::runtime_error);
+}
+
+TEST(Subprocess, ExtraEnvOverridesInherited) {
+  Subprocess child = Subprocess::spawn(
+      {"/bin/sh", "-c", "printf '%s' \"$QHDL_SUBPROCESS_TEST\""},
+      {"QHDL_SUBPROCESS_TEST=overridden"});
+  child.close_stdin();
+  EXPECT_EQ(read_all(child), "overridden");
+  EXPECT_TRUE(child.wait().exited);
+}
+
+TEST(Subprocess, CurrentExecutablePathIsAbsolute) {
+  const std::string self = current_executable_path();
+  ASSERT_FALSE(self.empty());
+  EXPECT_EQ(self[0], '/');
+}
+
+#else
+
+TEST(Subprocess, UnsupportedPlatformReportsSo) {
+  EXPECT_FALSE(subprocess_supported());
+}
+
+#endif
+
+}  // namespace
+}  // namespace qhdl::util
