@@ -1,7 +1,8 @@
 // Figure-level benchmark report: times the hybrid-layer workloads the
-// figures lean on (batch forward/backward, adjoint VJP) in both kernel
-// modes and writes BENCH_figs.json via the shared JSON reporter — the
-// figure-scale counterpart of tools/bench_report.py's BENCH_micro.json.
+// figures lean on (batch forward/backward, adjoint VJP) under compiled
+// plans, forced-uncompiled lowering, and generic kernels, and writes
+// BENCH_figs.json via the shared JSON reporter — the figure-scale
+// counterpart of tools/bench_report.py's BENCH_micro.json.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -11,7 +12,14 @@
 #include <vector>
 
 #include "common/json_report.hpp"
+#include "qnn/ansatz.hpp"
+#include "qnn/encoding.hpp"
 #include "qnn/quantum_layer.hpp"
+#include "quantum/adjoint_diff.hpp"
+#include "quantum/circuit.hpp"
+#include "quantum/observable.hpp"
+#include "quantum/statevector.hpp"
+#include "quantum/exec_plan.hpp"
 #include "quantum/kernels.hpp"
 #include "tensor/tensor.hpp"
 #include "util/cli.hpp"
@@ -21,28 +29,70 @@ namespace {
 
 using namespace qhdl;
 
-/// Median wall-time of `repeat` runs of `fn`, as a BenchEntry.
-bench::BenchEntry time_workload(const std::string& name, std::size_t repeat,
-                                double amps_per_op,
-                                const std::function<void()>& fn) {
-  fn();  // warm-up (also primes thread-local scratch)
-  std::vector<double> samples;
-  samples.reserve(repeat);
-  for (std::size_t r = 0; r < repeat; ++r) {
-    const auto begin = std::chrono::steady_clock::now();
-    fn();
-    const auto end = std::chrono::steady_clock::now();
-    samples.push_back(
-        std::chrono::duration<double, std::nano>(end - begin).count());
-  }
+// Three execution modes per workload: cached compiled plans (default),
+// QHDL_FORCE_UNCOMPILED per-call lowering, and fully generic kernels.
+struct BenchMode {
+  const char* suffix;
+  bool generic;
+  bool uncompiled;
+};
+
+constexpr BenchMode kModes[] = {
+    {"", false, false},
+    {"_uncompiled", false, true},
+    {"_generic", true, false},
+};
+
+void apply_mode(const BenchMode& mode) {
+  quantum::kernels::set_force_generic(mode.generic);
+  quantum::kernels::set_force_uncompiled(mode.uncompiled);
+}
+
+double median(std::vector<double>& samples) {
   std::sort(samples.begin(), samples.end());
-  bench::BenchEntry entry;
-  entry.name = name;
-  entry.ns_per_op = samples[samples.size() / 2];
-  if (amps_per_op > 0.0) {
-    entry.amps_per_sec = amps_per_op / (entry.ns_per_op * 1e-9);
+  return samples[samples.size() / 2];
+}
+
+/// Times `fn` under every mode with the modes INTERLEAVED per repetition
+/// round, then reports each mode's median ns/call. Interleaving matters:
+/// this machine's clock drifts several percent over a bench run, so timing
+/// one mode to completion before the next would fold that drift into the
+/// mode comparison; alternating modes within each round makes adjacent
+/// samples share thermal/frequency conditions so the drift cancels in the
+/// medians. Each sample is a timed block of `inner` calls preceded by one
+/// untimed call — the warm call restores branch predictors and caches
+/// after the mode switch, and the block amortizes timer granularity.
+std::vector<bench::BenchEntry> time_workload_all_modes(
+    const std::string& name, std::size_t repeat, std::size_t inner,
+    double amps_per_op, const std::function<void()>& fn) {
+  for (const BenchMode& mode : kModes) {
+    apply_mode(mode);
+    fn();  // warm-up (also primes thread-local scratch and the plan cache)
   }
-  return entry;
+  std::vector<std::vector<double>> samples(std::size(kModes));
+  for (std::size_t r = 0; r < repeat; ++r) {
+    for (std::size_t m = 0; m < std::size(kModes); ++m) {
+      apply_mode(kModes[m]);
+      fn();
+      const auto begin = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < inner; ++i) fn();
+      const auto end = std::chrono::steady_clock::now();
+      samples[m].push_back(
+          std::chrono::duration<double, std::nano>(end - begin).count() /
+          static_cast<double>(inner));
+    }
+  }
+  std::vector<bench::BenchEntry> entries;
+  for (std::size_t m = 0; m < std::size(kModes); ++m) {
+    bench::BenchEntry entry;
+    entry.name = name + kModes[m].suffix;
+    entry.ns_per_op = median(samples[m]);
+    if (amps_per_op > 0.0) {
+      entry.amps_per_sec = amps_per_op / (entry.ns_per_op * 1e-9);
+    }
+    entries.push_back(entry);
+  }
+  return entries;
 }
 
 struct LayerWorkload {
@@ -51,6 +101,36 @@ struct LayerWorkload {
   tensor::Tensor upstream;
   double amps_per_call = 0.0;
 };
+
+// Scalar (per-sample) workload over the raw circuit: the path taken by
+// parameter-shift, shots, and noisy evaluation, where every run() call
+// re-lowered the op stream before compiled plans existed.
+struct ScalarWorkload {
+  quantum::Circuit circuit;
+  std::vector<double> params;
+  std::vector<quantum::Observable> observables;
+  std::vector<double> upstream;
+  double amps_per_call = 0.0;
+};
+
+ScalarWorkload make_scalar_workload(std::size_t qubits, std::size_t depth,
+                                    util::Rng& rng) {
+  ScalarWorkload workload{quantum::Circuit{qubits}, {}, {}, {}, 0.0};
+  qnn::AngleEncoding encoding;
+  std::size_t count = encoding.append(workload.circuit, qubits);
+  count += qnn::append_ansatz(workload.circuit,
+                              qnn::AnsatzKind::StronglyEntangling, qubits,
+                              depth, count);
+  workload.params = rng.uniform_vector(count, -2.0, 2.0);
+  for (std::size_t w = 0; w < qubits; ++w) {
+    workload.observables.push_back(quantum::Observable::pauli_z(w));
+    workload.upstream.push_back(rng.uniform(-1.0, 1.0));
+  }
+  workload.amps_per_call =
+      static_cast<double>(workload.circuit.op_count()) *
+      static_cast<double>(std::size_t{1} << qubits);
+  return workload;
+}
 
 LayerWorkload make_layer_workload(std::size_t qubits, std::size_t depth,
                                   std::size_t batch, util::Rng& rng) {
@@ -76,8 +156,9 @@ LayerWorkload make_layer_workload(std::size_t qubits, std::size_t depth,
 
 int main(int argc, char** argv) {
   util::Cli cli{"bench_figs_report",
-                "Times figure-level hybrid workloads in both kernel modes "
-                "and writes BENCH_figs.json"};
+                "Times figure-level hybrid workloads under compiled, "
+                "uncompiled, and generic execution and writes "
+                "BENCH_figs.json"};
   cli.add_string("out", "BENCH_figs.json", "output JSON path");
   cli.add_int("repeat", 9, "timed repetitions per workload");
   if (!cli.parse(argc, argv)) return 0;
@@ -86,31 +167,77 @@ int main(int argc, char** argv) {
 
   util::Rng rng{29};
   std::vector<bench::BenchEntry> entries;
+  quantum::plan_cache::reset_stats();
 
-  for (const bool generic : {false, true}) {
-    quantum::kernels::set_force_generic(generic);
-    const std::string suffix = generic ? "_generic" : "";
+  // Cumulative plan-cache counters at the time each workload finished:
+  // proves the compiled rounds hit the cache instead of recompiling. The
+  // counters go on the compiled (no-suffix) entry of each workload.
+  const auto attach_plan_stats = [](std::vector<bench::BenchEntry> batch) {
+    const auto stats = quantum::plan_cache::stats();
+    batch.front().extra["plan_cache_hits"] =
+        static_cast<double>(stats.hits);
+    batch.front().extra["plan_cache_misses"] =
+        static_cast<double>(stats.misses);
+    batch.front().extra["plan_cache_compiled"] =
+        static_cast<double>(stats.compiled);
+    return batch;
+  };
+  const auto push_all = [&](std::vector<bench::BenchEntry> batch) {
+    for (bench::BenchEntry& entry : batch) {
+      entries.push_back(std::move(entry));
+    }
+  };
 
-    auto sel5 = make_layer_workload(5, 10, 16, rng);
-    entries.push_back(time_workload(
-        "figs/sel_q5_d10_b16_forward" + suffix, repeat, sel5.amps_per_call,
-        [&] { sel5.layer.forward(sel5.input); }));
-    sel5.layer.forward(sel5.input);
-    entries.push_back(time_workload(
-        "figs/sel_q5_d10_b16_backward" + suffix, repeat, sel5.amps_per_call,
-        [&] { sel5.layer.backward(sel5.upstream); }));
+  auto sel5 = make_layer_workload(5, 10, 16, rng);
+  push_all(attach_plan_stats(time_workload_all_modes(
+      "figs/sel_q5_d10_b16_forward", repeat, 16, sel5.amps_per_call,
+      [&] { sel5.layer.forward(sel5.input); })));
+  sel5.layer.forward(sel5.input);
+  push_all(attach_plan_stats(time_workload_all_modes(
+      "figs/sel_q5_d10_b16_backward", repeat, 4, sel5.amps_per_call,
+      [&] { sel5.layer.backward(sel5.upstream); })));
 
-    auto sel8 = make_layer_workload(8, 2, 16, rng);
-    entries.push_back(time_workload(
-        "figs/sel_q8_d2_b16_forward" + suffix, repeat, sel8.amps_per_call,
-        [&] { sel8.layer.forward(sel8.input); }));
-  }
+  auto sel8 = make_layer_workload(8, 2, 16, rng);
+  push_all(attach_plan_stats(time_workload_all_modes(
+      "figs/sel_q8_d2_b16_forward", repeat, 8, sel8.amps_per_call,
+      [&] { sel8.layer.forward(sel8.input); })));
+
+  // Scalar per-sample path (parameter-shift / shots / noise route): here
+  // per-call lowering is a larger fraction of the work than in the batch
+  // path, whose uncompiled loop never re-analyzed ops in the first place.
+  auto scalar5 = make_scalar_workload(5, 10, rng);
+  push_all(attach_plan_stats(time_workload_all_modes(
+      "figs/sel_q5_d10_scalar_forward", repeat, 64, scalar5.amps_per_call,
+      [&] {
+        quantum::StateVector state{5};
+        scalar5.circuit.run(state, scalar5.params);
+      })));
+  push_all(attach_plan_stats(time_workload_all_modes(
+      "figs/sel_q5_d10_scalar_backward", repeat, 24, scalar5.amps_per_call,
+      [&] {
+        quantum::adjoint_vjp(scalar5.circuit, scalar5.params,
+                             scalar5.observables, scalar5.upstream);
+      })));
+
+  // Small-state scalar workload: at q3 the per-op bookkeeping is
+  // comparable to the kernel arithmetic, so this is where compiled plans
+  // buy the most throughput (~10% on this machine).
+  auto scalar3 = make_scalar_workload(3, 10, rng);
+  push_all(attach_plan_stats(time_workload_all_modes(
+      "figs/sel_q3_d10_scalar_forward", repeat, 128, scalar3.amps_per_call,
+      [&] {
+        quantum::StateVector state{3};
+        scalar3.circuit.run(state, scalar3.params);
+      })));
+
   quantum::kernels::set_force_generic(std::nullopt);
+  quantum::kernels::set_force_uncompiled(std::nullopt);
 
   bench::write_bench_json(out_path, bench::collect_metadata(), entries);
   std::printf("wrote %s (%zu workloads)\n", out_path.c_str(),
               entries.size());
   const auto stats = quantum::kernels::stats();
   std::printf("%s\n", stats.to_string().c_str());
+  std::printf("%s\n", quantum::plan_cache::stats().to_string().c_str());
   return 0;
 }

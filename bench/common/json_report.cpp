@@ -51,6 +51,7 @@ BenchMetadata collect_metadata() {
   metadata.build_flags = "assertions";
 #endif
   metadata.force_generic_kernels = quantum::kernels::force_generic();
+  metadata.force_uncompiled = quantum::kernels::force_uncompiled();
   return metadata;
 }
 
@@ -63,6 +64,7 @@ void write_bench_json(const std::string& path, const BenchMetadata& metadata,
   meta["build_flags"] = util::Json{metadata.build_flags};
   meta["force_generic_kernels"] =
       util::Json{metadata.force_generic_kernels};
+  meta["force_uncompiled"] = util::Json{metadata.force_uncompiled};
   root["metadata"] = meta;
 
   util::Json benchmarks = util::Json::array();

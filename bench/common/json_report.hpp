@@ -17,6 +17,7 @@ struct BenchMetadata {
   std::string compiler;     ///< compiler + version string
   std::string build_flags;  ///< NDEBUG / optimization summary
   bool force_generic_kernels = false;  ///< escape-hatch state at run time
+  bool force_uncompiled = false;  ///< compiled-plan escape hatch at run time
 };
 
 /// Collects metadata from the environment/process.

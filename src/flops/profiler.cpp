@@ -80,6 +80,53 @@ DispatchCounts classify_circuit(const quantum::Circuit& circuit) {
   return counts;
 }
 
+DispatchCounts classify_plan(const quantum::ExecutionPlan& plan) {
+  using quantum::FusedOp;
+  using quantum::KernelClass;
+  DispatchCounts counts;
+  const auto count_kernel = [&](KernelClass kernel) {
+    switch (kernel) {
+      case KernelClass::Diagonal: ++counts.diagonal; break;
+      case KernelClass::RealRotation: ++counts.real_rotation; break;
+      case KernelClass::Permutation: ++counts.permutation; break;
+      case KernelClass::Controlled: ++counts.controlled; break;
+      case KernelClass::DoubleFlip: ++counts.double_flip; break;
+      case KernelClass::Generic: ++counts.generic; break;
+    }
+  };
+  for (const quantum::FusedOp& op : plan.fused_ops()) {
+    switch (op.kind) {
+      case FusedOp::Kind::Single:
+      case FusedOp::Kind::TwoQubit:
+        count_kernel(op.kernel);
+        break;
+      case FusedOp::Kind::Chain:
+        // Runtime/precomputed 2x2 products go through the dense
+        // single-qubit kernel, which the measured counters file as generic.
+        ++counts.generic;
+        ++counts.fused;
+        counts.fused_gates += op.chain_length;
+        break;
+      case FusedOp::Kind::FixedChain:
+        ++counts.generic;
+        ++counts.fused;
+        counts.fused_gates += op.gate_count;
+        break;
+      case FusedOp::Kind::DiagonalChain:
+        ++counts.diagonal;
+        ++counts.fused;
+        counts.fused_gates += op.gate_count;
+        break;
+      case FusedOp::Kind::FusedPair:
+        ++counts.two_qubit_dense;
+        ++counts.fused;
+        counts.fused_gates += op.gate_count;
+        break;
+    }
+  }
+  return counts;
+}
+
 std::string dispatch_comparison_to_string(
     const DispatchCounts& modeled,
     const quantum::KernelStatsSnapshot& measured) {
@@ -93,9 +140,12 @@ std::string dispatch_comparison_to_string(
   row("controlled", modeled.controlled, measured.controlled);
   row("double_flip", modeled.double_flip, measured.double_flip);
   row("generic", modeled.generic, measured.generic);
+  row("two_qubit_dense", modeled.two_qubit_dense, measured.two_qubit_dense);
   std::ostringstream oss;
   oss << table.to_string();
   oss << "modeled total=" << modeled.total()
+      << " (fused_chains=" << modeled.fused << " absorbing "
+      << modeled.fused_gates << " gates)"
       << " | measured total=" << measured.total_dispatches()
       << " (fused_chains=" << measured.fused << " absorbing "
       << measured.fused_gates << " gates, batched_rows="

@@ -9,6 +9,7 @@
 #include "flops/cost_model.hpp"
 #include "nn/sequential.hpp"
 #include "quantum/circuit.hpp"
+#include "quantum/exec_plan.hpp"
 #include "quantum/kernels.hpp"
 
 namespace qhdl::flops {
@@ -52,8 +53,10 @@ std::string report_to_string(const FlopsReport& report);
 
 // --- kernel-dispatch accounting (DESIGN.md §8) ----------------------------
 
-/// Modeled per-kernel-class dispatch counts for ONE un-fused execution of a
-/// circuit: which specialized statevector kernel each op routes to.
+/// Modeled per-kernel-class dispatch counts for ONE execution of a circuit:
+/// which specialized statevector kernel each op routes to. classify_circuit
+/// models the un-fused per-op stream; classify_plan models the compiled
+/// fused stream (chains count once, like the measured counters).
 struct DispatchCounts {
   std::uint64_t diagonal = 0;       ///< RZ, PhaseShift, S, T, Z, CZ
   std::uint64_t real_rotation = 0;  ///< RX, RY
@@ -61,14 +64,22 @@ struct DispatchCounts {
   std::uint64_t controlled = 0;     ///< CRX, CRY, CRZ
   std::uint64_t double_flip = 0;    ///< RXX, RYY, RZZ
   std::uint64_t generic = 0;        ///< PauliY, Hadamard (dense 2x2)
+  std::uint64_t two_qubit_dense = 0;  ///< fused two-qubit pairs (dense 4x4)
+  std::uint64_t fused = 0;        ///< single-qubit chains merged to one 2x2
+  std::uint64_t fused_gates = 0;  ///< source gates absorbed into those chains
   std::uint64_t total() const {
     return diagonal + real_rotation + permutation + controlled +
-           double_flip + generic;
+           double_flip + generic + two_qubit_dense;
   }
 };
 
 /// Classifies every op of `circuit` by the kernel it dispatches to.
 DispatchCounts classify_circuit(const quantum::Circuit& circuit);
+
+/// Classifies the fused scalar stream of a compiled plan: exactly the
+/// dispatch mix one ExecutionPlan::run performs, so modeled counts line up
+/// with the measured process counters when the compiled path is active.
+DispatchCounts classify_plan(const quantum::ExecutionPlan& plan);
 
 /// Side-by-side table of the modeled dispatch mix for a circuit vs the
 /// measured process-wide kernel counters (quantum::kernels::stats()), e.g.

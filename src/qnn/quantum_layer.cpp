@@ -151,6 +151,10 @@ Tensor QuantumLayer::backward(const Tensor& grad_output) {
   const std::size_t q = config_.qubits;
   if (grad_output.rank() != 2 || grad_output.cols() != q ||
       grad_output.rows() != cached_input_.rows()) {
+    // Invalidate the cache before throwing: a mismatched upstream means the
+    // caller's forward/backward pairing is broken, and letting the next
+    // backward silently reuse this stale batch would hide the bug.
+    has_cached_input_ = false;
     throw std::invalid_argument("QuantumLayer::backward: grad shape " +
                                 grad_output.shape().to_string());
   }

@@ -2,38 +2,66 @@
 
 #include <stdexcept>
 
+#include "quantum/exec_plan.hpp"
 #include "quantum/statevector_batch.hpp"
 
 namespace qhdl::quantum {
 
 namespace {
 
+// The sweeps below run over either the circuit's raw op list or its
+// compiled plan's flat op stream (same ops minus exactly-cancelled
+// involution pairs — see exec_plan.hpp). These shims give both op types
+// one parameter-slot interface.
+inline bool op_has_param(const Op& op) { return op.param_index.has_value(); }
+inline std::size_t op_param(const Op& op) { return *op.param_index; }
+inline bool op_has_param(const PlanOp& op) { return op.param_slot >= 0; }
+inline std::size_t op_param(const PlanOp& op) {
+  return static_cast<std::size_t>(op.param_slot);
+}
+
 /// Core reverse sweep shared by the scalar and VJP entry points.
 /// `lambda` must hold O_eff|ψ⟩ on entry; `phi` must hold |ψ⟩.
-std::vector<double> reverse_sweep(const Circuit& circuit,
-                                  std::span<const double> params,
-                                  StateVector& phi, StateVector& lambda) {
-  std::vector<double> gradient(circuit.parameter_count(), 0.0);
-  const auto& ops = circuit.ops();
-  StateVector mu{circuit.num_qubits()};
+template <typename OpT>
+std::vector<double> reverse_sweep_ops(std::span<const OpT> ops,
+                                      std::size_t parameter_count,
+                                      std::size_t num_qubits,
+                                      std::span<const double> params,
+                                      StateVector& phi, StateVector& lambda) {
+  std::vector<double> gradient(parameter_count, 0.0);
+  StateVector mu{num_qubits};
 
   for (std::size_t idx = ops.size(); idx-- > 0;) {
-    const Op& op = ops[idx];
+    const OpT& op = ops[idx];
     const double angle = op.angle(params);
     // Peel the gate off the forward state: φ ← U_k† φ.
     apply_gate_inverse(phi, op.type, angle, op.wire0, op.wire1);
 
-    if (op.param_index.has_value()) {
+    if (op_has_param(op)) {
       // μ = (dU_k/dθ) φ_{k-1}; contribution = 2 Re⟨λ|μ⟩.
       mu = phi;
       apply_gate_derivative(mu, op.type, angle, op.wire0, op.wire1);
-      gradient[*op.param_index] += 2.0 * lambda.inner_product(mu).real();
+      gradient[op_param(op)] += 2.0 * lambda.inner_product(mu).real();
     }
 
     // Pull the co-state back: λ ← U_k† λ.
     apply_gate_inverse(lambda, op.type, angle, op.wire0, op.wire1);
   }
   return gradient;
+}
+
+std::vector<double> reverse_sweep(const Circuit& circuit,
+                                  std::span<const double> params,
+                                  StateVector& phi, StateVector& lambda) {
+  if (const std::shared_ptr<const ExecutionPlan> plan =
+          circuit.compiled_plan()) {
+    return reverse_sweep_ops<PlanOp>(plan->flat_ops(),
+                                     circuit.parameter_count(),
+                                     circuit.num_qubits(), params, phi,
+                                     lambda);
+  }
+  return reverse_sweep_ops<Op>(circuit.ops(), circuit.parameter_count(),
+                               circuit.num_qubits(), params, phi, lambda);
 }
 
 }  // namespace
@@ -131,11 +159,18 @@ std::vector<double> initial_state_cogradient(
   circuit.run(psi, params);
   StateVector lambda =
       weighted_observable_state(psi, observables, upstream_weights);
-  const auto& ops = circuit.ops();
-  for (std::size_t idx = ops.size(); idx-- > 0;) {
-    const Op& op = ops[idx];
-    apply_gate_inverse(lambda, op.type, op.angle(params), op.wire0,
-                       op.wire1);
+  const auto pull_back = [&](auto ops) {
+    for (std::size_t idx = ops.size(); idx-- > 0;) {
+      const auto& op = ops[idx];
+      apply_gate_inverse(lambda, op.type, op.angle(params), op.wire0,
+                         op.wire1);
+    }
+  };
+  if (const std::shared_ptr<const ExecutionPlan> plan =
+          circuit.compiled_plan()) {
+    pull_back(plan->flat_ops());
+  } else {
+    pull_back(std::span<const Op>{circuit.ops()});
   }
   std::vector<double> cogradient(lambda.dimension());
   const auto amps = lambda.amplitudes();
@@ -158,6 +193,19 @@ BatchAdjointVjpResult adjoint_vjp_batch(
   }
   if (batch_rows == 0) {
     throw std::invalid_argument("adjoint_vjp_batch: batch must be >= 1");
+  }
+  // Same strictness as Circuit::run/run_batch: a stride or size mismatch in
+  // either direction is a packing-layout bug, not something to read past.
+  if (param_stride < circuit.parameter_count()) {
+    throw std::invalid_argument(
+        "adjoint_vjp_batch: param_stride " + std::to_string(param_stride) +
+        " < " + std::to_string(circuit.parameter_count()) +
+        " circuit parameters");
+  }
+  if (params.size() != batch_rows * param_stride) {
+    throw std::invalid_argument(
+        "adjoint_vjp_batch: got " + std::to_string(params.size()) +
+        " params, need exactly " + std::to_string(batch_rows * param_stride));
   }
   for (const Observable& obs : observables) {
     if (!obs.is_diagonal()) {
@@ -223,39 +271,51 @@ BatchAdjointVjpResult adjoint_vjp_batch(
   StateVectorBatch mu{num_qubits, batch_rows};
   std::vector<double> angles(batch_rows);
   std::vector<double> row_inner(batch_rows);
-  const auto& ops = circuit.ops();
 
-  const auto gather_angles = [&](const Op& op) -> std::span<const double> {
-    if (!op.param_index.has_value()) {
+  const auto gather_angles =
+      [&](const auto& op) -> std::span<const double> {
+    if (!op_has_param(op)) {
       angles[0] = op.fixed_angle;
       return {angles.data(), 1};
     }
     bool shared = true;
     for (std::size_t b = 0; b < batch_rows; ++b) {
-      angles[b] = params[b * param_stride + *op.param_index];
+      angles[b] = params[b * param_stride + op_param(op)];
       shared = shared && angles[b] == angles[0];
     }
     return shared ? std::span<const double>{angles.data(), 1}
                   : std::span<const double>{angles};
   };
 
-  for (std::size_t idx = ops.size(); idx-- > 0;) {
-    const Op& op = ops[idx];
-    const std::span<const double> op_angles = gather_angles(op);
-    apply_gate_inverse_batch(phi, op.type, op_angles, op.wire0, op.wire1);
+  const auto sweep = [&](auto ops) {
+    for (std::size_t idx = ops.size(); idx-- > 0;) {
+      const auto& op = ops[idx];
+      const std::span<const double> op_angles = gather_angles(op);
+      apply_gate_inverse_batch(phi, op.type, op_angles, op.wire0, op.wire1);
 
-    if (op.param_index.has_value()) {
-      mu.assign_from(phi);
-      apply_gate_derivative_batch(mu, op.type, op_angles, op.wire0,
-                                  op.wire1);
-      lambda.inner_products_real(mu, row_inner);
-      for (std::size_t b = 0; b < batch_rows; ++b) {
-        result.gradient[b * parameter_count + *op.param_index] +=
-            2.0 * row_inner[b];
+      if (op_has_param(op)) {
+        mu.assign_from(phi);
+        apply_gate_derivative_batch(mu, op.type, op_angles, op.wire0,
+                                    op.wire1);
+        lambda.inner_products_real(mu, row_inner);
+        for (std::size_t b = 0; b < batch_rows; ++b) {
+          result.gradient[b * parameter_count + op_param(op)] +=
+              2.0 * row_inner[b];
+        }
       }
-    }
 
-    apply_gate_inverse_batch(lambda, op.type, op_angles, op.wire0, op.wire1);
+      apply_gate_inverse_batch(lambda, op.type, op_angles, op.wire0,
+                               op.wire1);
+    }
+  };
+  // The flat plan stream is the op list minus exactly-cancelled involution
+  // pairs (bit-identical, and never parameterized), so gradients match the
+  // uncompiled sweep exactly.
+  if (const std::shared_ptr<const ExecutionPlan> plan =
+          circuit.compiled_plan()) {
+    sweep(plan->flat_ops());
+  } else {
+    sweep(std::span<const Op>{circuit.ops()});
   }
   return result;
 }

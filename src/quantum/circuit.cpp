@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "quantum/exec_plan.hpp"
 #include "quantum/kernels.hpp"
 #include "quantum/statevector_batch.hpp"
 
@@ -25,6 +26,40 @@ Circuit::Circuit(std::size_t num_qubits) : num_qubits_(num_qubits) {
   if (num_qubits == 0) {
     throw std::invalid_argument("Circuit: need at least one qubit");
   }
+}
+
+Circuit::Circuit(const Circuit& other)
+    : num_qubits_(other.num_qubits_),
+      ops_(other.ops_),
+      parameter_count_(other.parameter_count_),
+      plan_slot_(other.plan_slot_.load(std::memory_order_acquire)) {}
+
+Circuit::Circuit(Circuit&& other) noexcept
+    : num_qubits_(other.num_qubits_),
+      ops_(std::move(other.ops_)),
+      parameter_count_(other.parameter_count_),
+      plan_slot_(other.plan_slot_.load(std::memory_order_acquire)) {}
+
+Circuit& Circuit::operator=(const Circuit& other) {
+  if (this != &other) {
+    num_qubits_ = other.num_qubits_;
+    ops_ = other.ops_;
+    parameter_count_ = other.parameter_count_;
+    plan_slot_.store(other.plan_slot_.load(std::memory_order_acquire),
+                     std::memory_order_release);
+  }
+  return *this;
+}
+
+Circuit& Circuit::operator=(Circuit&& other) noexcept {
+  if (this != &other) {
+    num_qubits_ = other.num_qubits_;
+    ops_ = std::move(other.ops_);
+    parameter_count_ = other.parameter_count_;
+    plan_slot_.store(other.plan_slot_.load(std::memory_order_acquire),
+                     std::memory_order_release);
+  }
+  return *this;
 }
 
 std::size_t Circuit::parameterized_op_count() const {
@@ -70,6 +105,7 @@ Circuit& Circuit::gate(GateType type, std::size_t wire0, std::size_t wire1,
   op.wire1 = wire1;
   op.fixed_angle = fixed_angle;
   ops_.push_back(op);
+  plan_slot_.store(nullptr, std::memory_order_release);
   return *this;
 }
 
@@ -87,6 +123,7 @@ Circuit& Circuit::parameterized_gate(GateType type, std::size_t param_index,
   op.param_index = param_index;
   ops_.push_back(op);
   parameter_count_ = std::max(parameter_count_, param_index + 1);
+  plan_slot_.store(nullptr, std::memory_order_release);
   return *this;
 }
 
@@ -126,6 +163,16 @@ void flush_wire(StateVector& state, std::vector<PendingChain>& pending,
 
 }  // namespace
 
+std::shared_ptr<const ExecutionPlan> Circuit::compiled_plan() const {
+  if (kernels::force_uncompiled()) return nullptr;
+  std::shared_ptr<const ExecutionPlan> plan =
+      plan_slot_.load(std::memory_order_acquire);
+  if (plan != nullptr) return plan;
+  plan = plan_cache::get_or_compile(*this);
+  plan_slot_.store(plan, std::memory_order_release);
+  return plan;
+}
+
 void Circuit::run(StateVector& state, std::span<const double> params) const {
   if (state.num_qubits() != num_qubits_) {
     throw std::invalid_argument("Circuit::run: state has " +
@@ -133,10 +180,13 @@ void Circuit::run(StateVector& state, std::span<const double> params) const {
                                 " qubits, circuit needs " +
                                 std::to_string(num_qubits_));
   }
-  if (params.size() < parameter_count_) {
+  // Oversized parameter vectors are as much a caller bug as undersized
+  // ones (a packing-layout mismatch would silently read garbage angles),
+  // so both directions are hard errors.
+  if (params.size() != parameter_count_) {
     throw std::invalid_argument("Circuit::run: got " +
                                 std::to_string(params.size()) +
-                                " params, need " +
+                                " params, need exactly " +
                                 std::to_string(parameter_count_));
   }
   if (kernels::force_generic()) {
@@ -146,6 +196,11 @@ void Circuit::run(StateVector& state, std::span<const double> params) const {
     }
     return;
   }
+  if (const std::shared_ptr<const ExecutionPlan> plan = compiled_plan()) {
+    plan->run(state, params);
+    return;
+  }
+  // QHDL_FORCE_UNCOMPILED: per-call lowering, the pre-plan fused loop.
   thread_local std::vector<PendingChain> pending;
   pending.assign(num_qubits_, PendingChain{});
   for (const Op& op : ops_) {
@@ -191,11 +246,18 @@ void Circuit::run_batch(StateVectorBatch& batch,
                                 " circuit parameters");
   }
   const std::size_t rows = batch.batch();
-  if (params.size() < rows * param_stride) {
+  if (params.size() != rows * param_stride) {
     throw std::invalid_argument("Circuit::run_batch: got " +
                                 std::to_string(params.size()) +
-                                " params, need " +
+                                " params, need exactly " +
                                 std::to_string(rows * param_stride));
+  }
+  // compiled_plan() is nullptr under either force flag; the batched
+  // kernels themselves are identical either way, so this only changes
+  // which loop drives them.
+  if (const std::shared_ptr<const ExecutionPlan> plan = compiled_plan()) {
+    plan->run_batch(batch, params, param_stride);
+    return;
   }
   thread_local std::vector<double> angles;
   angles.resize(rows);

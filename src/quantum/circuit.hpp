@@ -6,6 +6,8 @@
 // module builds encoding + ansatz circuits on top of this.
 #pragma once
 
+#include <atomic>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -16,6 +18,7 @@
 
 namespace qhdl::quantum {
 
+class ExecutionPlan;
 class StateVectorBatch;
 
 /// One circuit operation.
@@ -34,6 +37,14 @@ struct Op {
 class Circuit {
  public:
   explicit Circuit(std::size_t num_qubits);
+
+  // Copies and moves are explicit because the memoized plan slot is atomic
+  // (shareable across concurrently running executors); the slot's value —
+  // a pointer into the process-wide plan cache — travels with the circuit.
+  Circuit(const Circuit& other);
+  Circuit(Circuit&& other) noexcept;
+  Circuit& operator=(const Circuit& other);
+  Circuit& operator=(Circuit&& other) noexcept;
 
   std::size_t num_qubits() const { return num_qubits_; }
   std::size_t op_count() const { return ops_.size(); }
@@ -63,20 +74,35 @@ class Circuit {
 
   // --- execution --------------------------------------------------------
 
-  /// Applies all ops to `state` with the given runtime parameters. Unless
-  /// QHDL_FORCE_GENERIC_KERNELS is active, adjacent single-qubit gates on
-  /// the same wire are fused into one 2x2 matrix before application (gates
-  /// on different wires commute exactly, so deferral is safe; two-qubit ops
-  /// flush both of their wires first).
+  /// Applies all ops to `state` with the given runtime parameters
+  /// (params.size() must equal parameter_count() exactly). By default this
+  /// executes the circuit's cached ExecutionPlan (compiled on first use,
+  /// shared through the process-wide plan cache — see exec_plan.hpp).
+  /// QHDL_FORCE_UNCOMPILED falls back to per-call lowering: adjacent
+  /// single-qubit gates on the same wire are fused into one 2x2 matrix
+  /// before application (gates on different wires commute exactly, so
+  /// deferral is safe; two-qubit ops flush both of their wires first).
+  /// QHDL_FORCE_GENERIC_KERNELS additionally disables fusion and the
+  /// specialized kernels.
   void run(StateVector& state, std::span<const double> params) const;
 
   /// Applies all ops to every row of a SoA batch. Row b reads its
-  /// parameters from params[b*param_stride, (b+1)*param_stride). Ops whose
+  /// parameters from params[b*param_stride, (b+1)*param_stride), and
+  /// params.size() must equal batch()*param_stride exactly. Ops whose
   /// angle is identical across rows (fixed angles, shared ansatz weights)
   /// run as one shared kernel with a single sin/cos evaluation; per-row
-  /// angles (data encoding) use the per-row kernel variants.
+  /// angles (data encoding) use the per-row kernel variants. Executes the
+  /// cached plan's flat op stream unless QHDL_FORCE_UNCOMPILED /
+  /// QHDL_FORCE_GENERIC_KERNELS is active (both paths are bit-identical).
   void run_batch(StateVectorBatch& batch, std::span<const double> params,
                  std::size_t param_stride) const;
+
+  /// The circuit's compiled plan, memoized per instance and shared through
+  /// the process-wide plan cache. Returns nullptr when compiled execution
+  /// is disabled (QHDL_FORCE_UNCOMPILED or QHDL_FORCE_GENERIC_KERNELS), so
+  /// callers can use it directly as the "should I take the compiled path"
+  /// test. Thread-safe; builder mutations invalidate the memoized slot.
+  std::shared_ptr<const ExecutionPlan> compiled_plan() const;
 
   /// Runs on a fresh |0...0⟩ state and returns it.
   StateVector execute(std::span<const double> params) const;
@@ -101,6 +127,10 @@ class Circuit {
   std::size_t num_qubits_;
   std::vector<Op> ops_;
   std::size_t parameter_count_ = 0;
+  /// Memoized compiled plan (nullptr until first compiled execution or
+  /// after a builder mutation). Atomic so concurrent run()/run_batch()
+  /// calls on one circuit can fill and read it without a lock.
+  mutable std::atomic<std::shared_ptr<const ExecutionPlan>> plan_slot_;
 };
 
 }  // namespace qhdl::quantum

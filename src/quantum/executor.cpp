@@ -17,6 +17,11 @@ Executor::Executor(Circuit circuit, std::vector<Observable> observables,
   if (observables_.empty()) {
     throw std::invalid_argument("Executor: need at least one observable");
   }
+  // Prime the compiled plan while construction is still single-threaded:
+  // later run()/run_batch() calls (possibly from many worker threads at
+  // once) find the memoized slot already filled. No-op when a force flag
+  // disables compiled execution.
+  circuit_.compiled_plan();
 }
 
 std::vector<double> Executor::run(std::span<const double> params) const {
@@ -69,10 +74,13 @@ std::vector<double> Executor::run_batch(std::span<const double> params,
   }
   const std::size_t obs_count = observables_.size();
   if (!batch_path_available()) {
-    // Per-row fallback: identical results, row at a time.
+    // Per-row fallback: identical results, row at a time. Each row's
+    // parameters are the first parameter_count() entries of its stride
+    // block (run() rejects anything but an exact-size span).
     std::vector<double> expectations(batch_rows * obs_count);
     for (std::size_t b = 0; b < batch_rows; ++b) {
-      const auto row = run(params.subspan(b * param_stride, param_stride));
+      const auto row = run(
+          params.subspan(b * param_stride, circuit_.parameter_count()));
       std::copy(row.begin(), row.end(),
                 expectations.begin() + b * obs_count);
     }
@@ -122,7 +130,7 @@ BatchAdjointVjpResult Executor::run_with_vjp_batch(
   result.gradient.resize(batch_rows * parameter_count);
   for (std::size_t b = 0; b < batch_rows; ++b) {
     const AdjointVjpResult row =
-        run_with_vjp(params.subspan(b * param_stride, param_stride),
+        run_with_vjp(params.subspan(b * param_stride, parameter_count),
                      upstream.subspan(b * obs_count, obs_count));
     std::copy(row.expectations.begin(), row.expectations.end(),
               result.expectations.begin() + b * obs_count);

@@ -11,7 +11,8 @@ std::string KernelStatsSnapshot::to_string() const {
   oss << "kernel dispatches: diagonal=" << diagonal
       << " real_rotation=" << real_rotation << " permutation=" << permutation
       << " controlled=" << controlled << " double_flip=" << double_flip
-      << " generic=" << generic << " (fused_chains=" << fused
+      << " generic=" << generic << " two_qubit_dense=" << two_qubit_dense
+      << " (fused_chains=" << fused
       << " absorbing " << fused_gates << " gates, batched_rows="
       << batched_rows << ")";
   return oss.str();
@@ -35,8 +36,23 @@ bool env_default() {
 #endif
 }
 
+bool uncompiled_env_default() {
+  const char* value = std::getenv("QHDL_FORCE_UNCOMPILED");
+  if (value != nullptr && value[0] != '\0') {
+    return !(value[0] == '0' && value[1] == '\0');
+  }
+#ifdef QHDL_FORCE_UNCOMPILED_DEFAULT
+  return true;
+#else
+  return false;
+#endif
+}
+
 // -1 = follow env/build default, 0 = specialized, 1 = generic.
 std::atomic<int> g_force_override{-1};
+
+// -1 = follow env/build default, 0 = compiled plans, 1 = uncompiled.
+std::atomic<int> g_force_uncompiled_override{-1};
 
 struct Counters {
   std::atomic<std::uint64_t> diagonal{0};
@@ -45,6 +61,7 @@ struct Counters {
   std::atomic<std::uint64_t> controlled{0};
   std::atomic<std::uint64_t> double_flip{0};
   std::atomic<std::uint64_t> generic{0};
+  std::atomic<std::uint64_t> two_qubit_dense{0};
   std::atomic<std::uint64_t> fused{0};
   std::atomic<std::uint64_t> fused_gates{0};
   std::atomic<std::uint64_t> batched_rows{0};
@@ -73,12 +90,27 @@ void set_force_generic(std::optional<bool> forced) {
                          std::memory_order_relaxed);
 }
 
+bool force_uncompiled() {
+  if (force_generic()) return true;
+  const int override_value =
+      g_force_uncompiled_override.load(std::memory_order_relaxed);
+  if (override_value >= 0) return override_value == 1;
+  static const bool from_env = uncompiled_env_default();
+  return from_env;
+}
+
+void set_force_uncompiled(std::optional<bool> forced) {
+  g_force_uncompiled_override.store(
+      forced.has_value() ? (*forced ? 1 : 0) : -1, std::memory_order_relaxed);
+}
+
 void count_diagonal() { bump(counters().diagonal); }
 void count_real_rotation() { bump(counters().real_rotation); }
 void count_permutation() { bump(counters().permutation); }
 void count_controlled() { bump(counters().controlled); }
 void count_double_flip() { bump(counters().double_flip); }
 void count_generic() { bump(counters().generic); }
+void count_two_qubit_dense() { bump(counters().two_qubit_dense); }
 void count_fused(std::uint64_t gates_absorbed) {
   bump(counters().fused);
   bump(counters().fused_gates, gates_absorbed);
@@ -96,6 +128,7 @@ KernelStatsSnapshot stats() {
   snapshot.controlled = c.controlled.load(std::memory_order_relaxed);
   snapshot.double_flip = c.double_flip.load(std::memory_order_relaxed);
   snapshot.generic = c.generic.load(std::memory_order_relaxed);
+  snapshot.two_qubit_dense = c.two_qubit_dense.load(std::memory_order_relaxed);
   snapshot.fused = c.fused.load(std::memory_order_relaxed);
   snapshot.fused_gates = c.fused_gates.load(std::memory_order_relaxed);
   snapshot.batched_rows = c.batched_rows.load(std::memory_order_relaxed);
@@ -110,6 +143,7 @@ void reset_stats() {
   c.controlled.store(0, std::memory_order_relaxed);
   c.double_flip.store(0, std::memory_order_relaxed);
   c.generic.store(0, std::memory_order_relaxed);
+  c.two_qubit_dense.store(0, std::memory_order_relaxed);
   c.fused.store(0, std::memory_order_relaxed);
   c.fused_gates.store(0, std::memory_order_relaxed);
   c.batched_rows.store(0, std::memory_order_relaxed);

@@ -8,7 +8,11 @@
 //   * the QHDL_FORCE_GENERIC_KERNELS escape hatch (env var or CMake option)
 //     that forces every gate back onto the generic dense-matrix path and
 //     disables fusion and the batched SoA executor — i.e. reproduces the
-//     pre-kernel code path bit-for-bit, and
+//     pre-kernel code path bit-for-bit,
+//   * the QHDL_FORCE_UNCOMPILED escape hatch (same env/CMake/override
+//     plumbing) that keeps the specialized kernels but disables the cached
+//     ExecutionPlan path, restoring per-call circuit lowering (DESIGN.md
+//     §12); forcing generic kernels implies uncompiled execution, and
 //   * per-kernel dispatch counters, so the FLOPs cost model's predicted gate
 //     mix can be checked against what the simulator actually executed
 //     (flops::classify_circuit / flops::dispatch_comparison_to_string).
@@ -31,14 +35,15 @@ struct KernelStatsSnapshot {
   std::uint64_t controlled = 0;     ///< CRX / CRY / CRZ (dense on half pairs)
   std::uint64_t double_flip = 0;    ///< RXX / RYY / RZZ
   std::uint64_t generic = 0;        ///< dense 2x2 matvec over all pairs
-  std::uint64_t fused = 0;          ///< single-qubit chains merged into one 2x2
+  std::uint64_t two_qubit_dense = 0;  ///< dense 4x4 matvec (fused gate pairs)
+  std::uint64_t fused = 0;          ///< gate chains merged into one matrix
   std::uint64_t fused_gates = 0;    ///< gates absorbed into those chains
   std::uint64_t batched_rows = 0;   ///< row-gates executed by the SoA batch path
 
   /// Individual gate applications (a fused chain counts once).
   std::uint64_t total_dispatches() const {
     return diagonal + real_rotation + permutation + controlled + double_flip +
-           generic;
+           generic + two_qubit_dense;
   }
   std::string to_string() const;
 };
@@ -56,6 +61,16 @@ bool force_generic();
 /// application (flip it only between runs).
 void set_force_generic(std::optional<bool> forced);
 
+/// True when the cached-plan escape hatch is active: QHDL_FORCE_UNCOMPILED
+/// env var set to anything but "0"/"" at first use, the CMake option of the
+/// same name ON at build time, or a test override. Circuits then lower
+/// per call instead of executing a cached ExecutionPlan. Implied by
+/// force_generic() (the generic path never compiles).
+bool force_uncompiled();
+
+/// Test override mirroring set_force_generic. Flip only between runs.
+void set_force_uncompiled(std::optional<bool> forced);
+
 // Counter bumps (relaxed; called from the hot loops in statevector.cpp).
 void count_diagonal();
 void count_real_rotation();
@@ -63,6 +78,7 @@ void count_permutation();
 void count_controlled();
 void count_double_flip();
 void count_generic();
+void count_two_qubit_dense();
 void count_fused(std::uint64_t gates_absorbed);
 void count_batched_rows(std::uint64_t rows);
 

@@ -27,6 +27,37 @@ bool Mat2::is_unitary(double tolerance) const {
          std::abs(product.m11 - Complex{1.0, 0.0}) < tolerance;
 }
 
+Mat4 Mat4::dagger() const {
+  Mat4 out;
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) out.m[r][c] = std::conj(m[c][r]);
+  }
+  return out;
+}
+
+Mat4 Mat4::operator*(const Mat4& other) const {
+  Mat4 out;
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      Complex sum{0.0, 0.0};
+      for (int k = 0; k < 4; ++k) sum += m[r][k] * other.m[k][c];
+      out.m[r][c] = sum;
+    }
+  }
+  return out;
+}
+
+bool Mat4::is_unitary(double tolerance) const {
+  const Mat4 product = *this * dagger();
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      const Complex expected = r == c ? Complex{1.0, 0.0} : Complex{0.0, 0.0};
+      if (std::abs(product.m[r][c] - expected) >= tolerance) return false;
+    }
+  }
+  return true;
+}
+
 namespace {
 
 bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
@@ -293,6 +324,33 @@ void StateVector::apply_swap(std::size_t wire_a, std::size_t wire_b) {
   for (std::size_t k = 0; k < quarter; ++k) {
     const std::size_t base = expand_two_zero_bits(k, lo, hi);
     std::swap(amps[base | amask], amps[base | bmask]);
+  }
+}
+
+void StateVector::apply_two_qubit(const Mat4& gate, std::size_t wire_a,
+                                  std::size_t wire_b) {
+  check_wire(wire_a, "apply_two_qubit");
+  check_wire(wire_b, "apply_two_qubit");
+  if (wire_a == wire_b) {
+    throw std::invalid_argument("apply_two_qubit: wires must differ");
+  }
+  kernels::count_two_qubit_dense();
+  const std::size_t amask = std::size_t{1} << (num_qubits_ - 1 - wire_a);
+  const std::size_t bmask = std::size_t{1} << (num_qubits_ - 1 - wire_b);
+  const std::size_t lo = amask < bmask ? amask : bmask;
+  const std::size_t hi = amask < bmask ? bmask : amask;
+  const std::size_t quarter = amplitudes_.size() / 4;
+  Complex* amps = amplitudes_.data();
+  for (std::size_t k = 0; k < quarter; ++k) {
+    const std::size_t base = expand_two_zero_bits(k, lo, hi);
+    const std::size_t idx[4] = {base, base | bmask, base | amask,
+                                base | amask | bmask};
+    const Complex a[4] = {amps[idx[0]], amps[idx[1]], amps[idx[2]],
+                          amps[idx[3]]};
+    for (int r = 0; r < 4; ++r) {
+      amps[idx[r]] = gate.m[r][0] * a[0] + gate.m[r][1] * a[1] +
+                     gate.m[r][2] * a[2] + gate.m[r][3] * a[3];
+    }
   }
 }
 

@@ -26,6 +26,19 @@ struct Mat2 {
   bool is_unitary(double tolerance = 1e-12) const;
 };
 
+/// Dense 4x4 complex matrix, row-major m[row][col]. Acts on a wire pair
+/// (a, b) with local basis index (bit_a << 1) | bit_b. Used by the compile
+/// pass to collapse adjacent fixed two-qubit gates into one unitary.
+struct Mat4 {
+  Complex m[4][4];
+
+  /// Conjugate transpose.
+  Mat4 dagger() const;
+  /// Matrix product this * other.
+  Mat4 operator*(const Mat4& other) const;
+  bool is_unitary(double tolerance = 1e-12) const;
+};
+
 /// State of `num_qubits` qubits; 2^n complex amplitudes.
 class StateVector {
  public:
@@ -84,6 +97,13 @@ class StateVector {
   void apply_cnot(std::size_t control, std::size_t target);
   void apply_cz(std::size_t control, std::size_t target);
   void apply_swap(std::size_t wire_a, std::size_t wire_b);
+
+  /// Applies a dense 4x4 matrix to the wire pair (wire_a, wire_b); the
+  /// matrix's local basis index is (bit_a << 1) | bit_b. The generic
+  /// two-qubit path — specialized kernels above beat it whenever the gate
+  /// has structure; the compile pass uses it for fused gate pairs.
+  void apply_two_qubit(const Mat4& gate, std::size_t wire_a,
+                       std::size_t wire_b);
 
   /// Applies a 2x2 matrix to the double-flip amplitude pairs
   /// (i, i ^ mask_a ^ mask_b): `even_pair` where the two wire bits agree

@@ -7,6 +7,7 @@
 #include "data/preprocess.hpp"
 #include "flops/profiler.hpp"
 #include "nn/fastpath.hpp"
+#include "quantum/exec_plan.hpp"
 #include "search/checkpoint.hpp"
 #include "search/worker_pool.hpp"
 #include "util/fault_injection.hpp"
@@ -395,6 +396,7 @@ RepeatedSearchResult run_repeated_search(const std::vector<ModelSpec>& specs,
     result.mean_winner_parameters = param_sum / n;
   }
   util::log_info(nn::fastpath::stats().to_string());
+  util::log_info(quantum::plan_cache::stats().to_string());
   return result;
 }
 

@@ -12,7 +12,7 @@ namespace qhdl::util {
 
 namespace {
 
-enum class FaultAction { Crash, Fail, Nan, Hang, Garbage };
+enum class FaultAction { Crash, Fail, Nan, Hang, Garbage, Evict };
 
 struct Trigger {
   FaultSite site = FaultSite::UnitBoundary;
@@ -28,6 +28,7 @@ const char* site_name(FaultSite site) {
     case FaultSite::Loss: return "loss";
     case FaultSite::Worker: return "worker";
     case FaultSite::DirSync: return "dir";
+    case FaultSite::PlanCache: return "plan";
   }
   return "?";
 }
@@ -38,6 +39,7 @@ FaultSite parse_site(const std::string& token, const std::string& spec) {
   if (token == "loss") return FaultSite::Loss;
   if (token == "worker") return FaultSite::Worker;
   if (token == "dir") return FaultSite::DirSync;
+  if (token == "plan") return FaultSite::PlanCache;
   throw std::invalid_argument("QHDL_FAULT_SPEC: unknown site '" + token +
                               "' in '" + spec + "'");
 }
@@ -45,7 +47,8 @@ FaultSite parse_site(const std::string& token, const std::string& spec) {
 FaultAction parse_action(const std::string& token, FaultSite site,
                          const std::string& spec) {
   if (token == "crash") {
-    if (site == FaultSite::Loss || site == FaultSite::DirSync) {
+    if (site == FaultSite::Loss || site == FaultSite::DirSync ||
+        site == FaultSite::PlanCache) {
       throw std::invalid_argument(
           "QHDL_FAULT_SPEC: 'crash' is not valid for the " +
           std::string{site_name(site)} + " site");
@@ -79,6 +82,13 @@ FaultAction parse_action(const std::string& token, FaultSite site,
           "QHDL_FAULT_SPEC: 'garbage' is only valid for the worker site");
     }
     return FaultAction::Garbage;
+  }
+  if (token == "evict") {
+    if (site != FaultSite::PlanCache) {
+      throw std::invalid_argument(
+          "QHDL_FAULT_SPEC: 'evict' is only valid for the plan site");
+    }
+    return FaultAction::Evict;
   }
   throw std::invalid_argument("QHDL_FAULT_SPEC: unknown action '" + token +
                               "' in '" + spec + "'");
@@ -131,7 +141,7 @@ struct FaultInjector::Impl {
   /// Lock-free disarmed check: the loss site sits on the per-batch training
   /// hot path, so the common (no injection) case must cost one relaxed load.
   std::atomic<bool> any_armed{false};
-  std::atomic<std::uint64_t> counters[5] = {{0}, {0}, {0}, {0}, {0}};
+  std::atomic<std::uint64_t> counters[6] = {{0}, {0}, {0}, {0}, {0}, {0}};
 
   /// Counts the arrival and returns the action that fires for it, if any.
   /// The counter bump and trigger match happen under the mutex so that two
@@ -224,6 +234,15 @@ void FaultInjector::on_io_dir_sync(const std::string& path) {
   if (!impl_->fire(FaultSite::DirSync, &action)) return;
   throw std::runtime_error(
       "injected directory fsync failure after renaming " + path);
+}
+
+bool FaultInjector::plan_cache_evict() {
+  FaultAction action;
+  if (!impl_->fire(FaultSite::PlanCache, &action)) return false;
+  log_warn(std::string{"fault injection: evicting compiled-plan cache "
+                       "(arrival "} +
+           std::to_string(arrivals(FaultSite::PlanCache)) + ")");
+  return true;
 }
 
 WorkerFaultMode FaultInjector::on_worker_unit(const std::string& key) {

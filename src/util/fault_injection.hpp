@@ -12,7 +12,7 @@
 // Spec grammar (sites separated by ';'):
 //   <site>=<action>@<trigger>[,<trigger>...]
 // where
-//   site    = unit | io | dir | loss | worker
+//   site    = unit | io | dir | loss | worker | plan
 //   action  = crash (unit/io: throw InjectedCrash; worker: std::abort(),
 //                    so the worker process dies by signal mid-unit)
 //           | fail  (io/dir: throw std::runtime_error, like a full disk /
@@ -21,6 +21,8 @@
 //           | hang  (worker: wedge silently without emitting frames, so the
 //                    supervisor's deadline/heartbeat reaper must act)
 //           | garbage (worker: emit a corrupt protocol frame and exit)
+//           | evict (plan: flush the compiled-plan cache before the lookup,
+//                    forcing a rehash + recompile — results must not change)
 // and trigger = 1-based arrival count, with an optional '+' suffix meaning
 // "this arrival and every one after it".
 // Examples:
@@ -52,6 +54,7 @@ enum class FaultSite {
   Loss = 2,
   Worker = 3,
   DirSync = 4,
+  PlanCache = 5,
 };
 
 /// What a worker process should do with the unit it just received.
@@ -111,6 +114,11 @@ class FaultInjector {
   /// crash/hang/garbage happen in search::worker_main, not here, because
   /// they are process-level behaviours.
   WorkerFaultMode on_worker_unit(const std::string& key);
+
+  /// Compiled-plan cache lookup: true when a `plan=evict` trigger fires and
+  /// the cache should be flushed before serving the lookup (exercises the
+  /// eviction + recompile path; see quantum/exec_plan.cpp).
+  bool plan_cache_evict();
 
  private:
   FaultInjector();

@@ -1,6 +1,7 @@
 #include "util/json.hpp"
 
 #include <cctype>
+#include <charconv>
 
 #include "util/atomic_file.hpp"
 #include <cmath>
@@ -379,11 +380,18 @@ class Parser {
       ++pos_;
     }
     if (pos_ == start) fail("expected value");
-    try {
-      return Json{std::stod(std::string{text_.substr(start, pos_ - start)})};
-    } catch (const std::exception&) {
-      fail("bad number");
-    }
+    // std::from_chars, not std::stod: stod honors the global C locale (a
+    // ','-decimal locale rejects every serialized double) and throws
+    // out_of_range on subnormals, which %.17g-printed worker-protocol
+    // payloads legitimately contain. from_chars is locale-independent,
+    // round-trips subnormals and signed zeros exactly, and reserves
+    // result_out_of_range for values no finite double can represent.
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    double value = 0.0;
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ptr != last || ec != std::errc{}) fail("bad number");
+    return Json{value};
   }
 
   std::string_view text_;

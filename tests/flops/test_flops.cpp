@@ -223,6 +223,50 @@ TEST(DispatchCounts, ClassifyCircuitMatchesMeasuredCounters) {
   EXPECT_NE(table.find("total"), std::string::npos);
 }
 
+TEST(DispatchCounts, ClassifyPlanMatchesMeasuredCompiledCounters) {
+  // Classify the compiled fused stream and run it: modeled counts must
+  // equal the measured dispatch mix of an ExecutionPlan::run, including the
+  // fused-chain and precomputed-pair accounting.
+  quantum::Circuit circuit{3};
+  circuit.gate(quantum::GateType::Hadamard, 0);       // chain on wire 0...
+  circuit.parameterized_gate(quantum::GateType::RY, 0, 0);
+  circuit.gate(quantum::GateType::S, 1);              // diagonal chain...
+  circuit.gate(quantum::GateType::T, 1);
+  circuit.gate(quantum::GateType::CNOT, 1, 2);        // fused pair...
+  circuit.gate(quantum::GateType::CZ, 1, 2);
+  circuit.parameterized_gate(quantum::GateType::CRY, 1, 0, 2);
+  circuit.gate(quantum::GateType::PauliX, 2);         // lone single gate
+
+  const auto plan = quantum::compile_circuit(circuit);
+  const DispatchCounts modeled = classify_plan(*plan);
+  EXPECT_EQ(modeled.generic, 1u);          // H·RY runtime chain (dense 2x2)
+  EXPECT_EQ(modeled.diagonal, 1u);         // S·T precomputed diagonal
+  EXPECT_EQ(modeled.two_qubit_dense, 1u);  // CNOT·CZ precomputed 4x4
+  EXPECT_EQ(modeled.controlled, 1u);       // CRY
+  EXPECT_EQ(modeled.permutation, 1u);      // PauliX
+  EXPECT_EQ(modeled.fused, 3u);
+  EXPECT_EQ(modeled.fused_gates, 6u);
+
+  quantum::kernels::set_force_generic(false);
+  quantum::kernels::reset_stats();
+  quantum::StateVector state{3};
+  const std::vector<double> params{0.4, -0.8};
+  plan->run(state, params);
+  const auto measured = quantum::kernels::stats();
+  quantum::kernels::set_force_generic(std::nullopt);
+  EXPECT_EQ(measured.diagonal, modeled.diagonal);
+  EXPECT_EQ(measured.generic, modeled.generic);
+  EXPECT_EQ(measured.two_qubit_dense, modeled.two_qubit_dense);
+  EXPECT_EQ(measured.controlled, modeled.controlled);
+  EXPECT_EQ(measured.permutation, modeled.permutation);
+  EXPECT_EQ(measured.fused, modeled.fused);
+  EXPECT_EQ(measured.fused_gates, modeled.fused_gates);
+  EXPECT_EQ(measured.total_dispatches(), modeled.total());
+
+  const std::string table = dispatch_comparison_to_string(modeled, measured);
+  EXPECT_NE(table.find("two_qubit_dense"), std::string::npos);
+}
+
 TEST(Profiler, ReportRendering) {
   util::Rng rng{3};
   qnn::HybridConfig config;

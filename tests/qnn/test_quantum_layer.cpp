@@ -67,6 +67,24 @@ TEST(QuantumLayer, BackwardBeforeForwardThrows) {
                std::logic_error);
 }
 
+TEST(QuantumLayer, FailedBackwardInvalidatesCachedInput) {
+  // Regression: a shape-mismatched backward used to leave the cached
+  // forward batch in place, so the NEXT backward silently differentiated
+  // against a stale input instead of surfacing the broken pairing.
+  util::Rng rng{6};
+  QuantumLayer layer{small_config(AnsatzKind::BasicEntangler), rng};
+  layer.forward(Tensor::matrix(2, 3, {0.1, -0.2, 0.3, 0.4, -0.5, 0.6}));
+  EXPECT_THROW(layer.backward(Tensor::matrix(1, 3, {1, 1, 1})),
+               std::invalid_argument);
+  // The cache is gone: even a correctly-shaped upstream must now report
+  // "backward before forward" rather than reuse the stale batch.
+  EXPECT_THROW(layer.backward(Tensor::matrix(2, 3, {1, 1, 1, 1, 1, 1})),
+               std::logic_error);
+  // A fresh forward restores the normal pairing.
+  layer.forward(Tensor::matrix(1, 3, {0.2, 0.1, -0.3}));
+  EXPECT_NO_THROW(layer.backward(Tensor::matrix(1, 3, {1, 0.5, -1})));
+}
+
 /// The decisive test: analytic input and weight gradients through the
 /// adjoint VJP match finite differences, for both ansätze.
 class QuantumLayerGradCheck

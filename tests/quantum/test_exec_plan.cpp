@@ -1,0 +1,507 @@
+// Compiled execution plans (DESIGN.md §12): golden compiled-vs-uncompiled
+// equivalence for every gate × position × {3,4,5} qubits, fusion/cancellation
+// lowering invariants, the process-wide plan cache (determinism across
+// threads, LRU eviction, fault-injected flushes), and the strict parameter
+// size contract the compile pass relies on.
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "qnn/ansatz.hpp"
+#include "qnn/encoding.hpp"
+#include "quantum/adjoint_diff.hpp"
+#include "quantum/circuit.hpp"
+#include "quantum/exec_plan.hpp"
+#include "quantum/gates.hpp"
+#include "quantum/kernels.hpp"
+#include "quantum/observable.hpp"
+#include "quantum/statevector.hpp"
+#include "quantum/statevector_batch.hpp"
+#include "util/fault_injection.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace qhdl;
+using quantum::Circuit;
+using quantum::ExecutionPlan;
+using quantum::FusedOp;
+using quantum::GateType;
+using quantum::Observable;
+using quantum::StateVector;
+using quantum::StateVectorBatch;
+
+constexpr double kTol = 1e-12;
+
+/// Forces per-call lowering inside the scope; restores the default on exit.
+class UncompiledScope {
+ public:
+  explicit UncompiledScope(bool uncompiled) {
+    quantum::kernels::set_force_uncompiled(uncompiled);
+  }
+  ~UncompiledScope() {
+    quantum::kernels::set_force_uncompiled(std::nullopt);
+  }
+};
+
+const std::vector<GateType> kAllGates = {
+    GateType::PauliX, GateType::PauliY, GateType::PauliZ,
+    GateType::Hadamard, GateType::S, GateType::T,
+    GateType::RX, GateType::RY, GateType::RZ, GateType::PhaseShift,
+    GateType::CNOT, GateType::CZ, GateType::SWAP,
+    GateType::CRX, GateType::CRY, GateType::CRZ,
+    GateType::RXX, GateType::RYY, GateType::RZZ,
+};
+
+void expect_states_close(const StateVector& a, const StateVector& b,
+                         double tolerance, const std::string& label) {
+  ASSERT_EQ(a.dimension(), b.dimension()) << label;
+  for (std::size_t i = 0; i < a.dimension(); ++i) {
+    EXPECT_NEAR(a.amplitudes()[i].real(), b.amplitudes()[i].real(),
+                tolerance)
+        << label << " amplitude " << i << " (real)";
+    EXPECT_NEAR(a.amplitudes()[i].imag(), b.amplitudes()[i].imag(),
+                tolerance)
+        << label << " amplitude " << i << " (imag)";
+  }
+}
+
+Circuit make_sel_circuit(std::size_t qubits, std::size_t depth,
+                         std::vector<double>& params, util::Rng& rng) {
+  Circuit circuit{qubits};
+  qnn::AngleEncoding encoding;
+  std::size_t offset = encoding.append(circuit, qubits);
+  offset += qnn::append_ansatz(circuit, qnn::AnsatzKind::StronglyEntangling,
+                               qubits, depth, offset);
+  params = rng.uniform_vector(offset, -2.0, 2.0);
+  return circuit;
+}
+
+/// Runs `circuit` compiled and uncompiled from |0...0> and checks 1e-12
+/// amplitude agreement.
+void check_compiled_matches_uncompiled(const Circuit& circuit,
+                                       std::span<const double> params,
+                                       const std::string& label) {
+  StateVector compiled{circuit.num_qubits()};
+  StateVector uncompiled{circuit.num_qubits()};
+  {
+    const UncompiledScope scope{false};
+    circuit.run(compiled, params);
+  }
+  {
+    const UncompiledScope scope{true};
+    circuit.run(uncompiled, params);
+  }
+  expect_states_close(compiled, uncompiled, kTol, label);
+}
+
+TEST(ExecPlan, EveryGateEveryPositionMatchesUncompiled) {
+  // Golden suite: each gate at each position, sandwiched between a mixing
+  // prefix (so the state is non-trivial and complex) and neighbors that
+  // exercise the chain fuser around it.
+  util::Rng rng{2024};
+  for (const std::size_t qubits : {3u, 4u, 5u}) {
+    for (const GateType type : kAllGates) {
+      const std::size_t arity = quantum::gate_arity(type);
+      for (std::size_t w0 = 0; w0 < qubits; ++w0) {
+        const std::size_t w1 =
+            arity == 2 ? (w0 + 1 + rng.index(qubits - 1)) % qubits : SIZE_MAX;
+        Circuit circuit{qubits};
+        std::size_t slot = 0;
+        for (std::size_t w = 0; w < qubits; ++w) {
+          circuit.gate(GateType::Hadamard, w);
+          circuit.parameterized_gate(GateType::RY, slot++, w);
+        }
+        for (std::size_t w = 0; w + 1 < qubits; ++w) {
+          circuit.gate(GateType::CNOT, w, w + 1);
+        }
+        if (quantum::gate_is_parameterized(type)) {
+          circuit.parameterized_gate(type, slot++, w0, w1);
+        } else {
+          circuit.gate(type, w0, w1);
+        }
+        circuit.parameterized_gate(GateType::RX, slot++, w0);
+        const auto params = rng.uniform_vector(slot, -3.0, 3.0);
+        check_compiled_matches_uncompiled(
+            circuit, params,
+            quantum::gate_name(type) + " q=" + std::to_string(qubits) +
+                " w0=" + std::to_string(w0));
+      }
+    }
+  }
+}
+
+TEST(ExecPlan, SelAnsatzMatchesUncompiledAllDepths) {
+  util::Rng rng{31};
+  for (const std::size_t qubits : {3u, 4u, 5u}) {
+    for (const std::size_t depth : {1u, 4u, 10u}) {
+      std::vector<double> params;
+      const Circuit circuit = make_sel_circuit(qubits, depth, params, rng);
+      check_compiled_matches_uncompiled(
+          circuit, params,
+          "SEL q=" + std::to_string(qubits) + " d=" + std::to_string(depth));
+    }
+  }
+}
+
+TEST(ExecPlan, RunBatchBitIdenticalToUncompiled) {
+  util::Rng rng{17};
+  for (const std::size_t qubits : {3u, 5u}) {
+    std::vector<double> proto;
+    const Circuit circuit = make_sel_circuit(qubits, 3, proto, rng);
+    const std::size_t stride = proto.size();
+    const std::size_t batch = 6;
+    std::vector<double> params(batch * stride);
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t p = 0; p < stride; ++p) {
+        params[b * stride + p] =
+            p < qubits ? rng.uniform(-2.0, 2.0) : proto[p];
+      }
+    }
+    StateVectorBatch compiled{qubits, batch};
+    StateVectorBatch uncompiled{qubits, batch};
+    {
+      const UncompiledScope scope{false};
+      circuit.run_batch(compiled, params, stride);
+    }
+    {
+      const UncompiledScope scope{true};
+      circuit.run_batch(uncompiled, params, stride);
+    }
+    // The compiled flat stream drives the exact same batch kernels, so the
+    // amplitudes must be bit-identical, not merely close.
+    const auto lhs = compiled.amplitudes();
+    const auto rhs = uncompiled.amplitudes();
+    ASSERT_EQ(lhs.size(), rhs.size());
+    for (std::size_t i = 0; i < lhs.size(); ++i) {
+      EXPECT_EQ(lhs[i].real(), rhs[i].real()) << "amplitude " << i;
+      EXPECT_EQ(lhs[i].imag(), rhs[i].imag()) << "amplitude " << i;
+    }
+  }
+}
+
+TEST(ExecPlan, AdjointVjpBitIdenticalToUncompiled) {
+  util::Rng rng{23};
+  const std::size_t qubits = 4;
+  std::vector<double> params;
+  const Circuit circuit = make_sel_circuit(qubits, 3, params, rng);
+  std::vector<Observable> observables;
+  std::vector<double> upstream;
+  for (std::size_t w = 0; w < qubits; ++w) {
+    observables.push_back(Observable::pauli_z(w));
+    upstream.push_back(rng.uniform(-1.0, 1.0));
+  }
+  quantum::AdjointVjpResult compiled, uncompiled;
+  {
+    const UncompiledScope scope{false};
+    compiled = quantum::adjoint_vjp(circuit, params, observables, upstream);
+  }
+  {
+    const UncompiledScope scope{true};
+    uncompiled =
+        quantum::adjoint_vjp(circuit, params, observables, upstream);
+  }
+  ASSERT_EQ(compiled.gradient.size(), uncompiled.gradient.size());
+  for (std::size_t p = 0; p < compiled.gradient.size(); ++p) {
+    EXPECT_EQ(compiled.gradient[p], uncompiled.gradient[p]) << "param " << p;
+  }
+  for (std::size_t k = 0; k < observables.size(); ++k) {
+    EXPECT_EQ(compiled.expectations[k], uncompiled.expectations[k])
+        << "obs " << k;
+  }
+}
+
+TEST(ExecPlan, InvolutionPairsCancel) {
+  // X·X, CNOT·CNOT, CZ·CZ (reversed wires too — CZ is symmetric), SWAP·SWAP
+  // are pure permutations/sign flips; the peephole pass removes them and the
+  // compiled state still matches the uncompiled one exactly.
+  Circuit circuit{3};
+  circuit.gate(GateType::Hadamard, 0);
+  circuit.gate(GateType::PauliX, 1);
+  circuit.gate(GateType::PauliX, 1);
+  circuit.gate(GateType::CNOT, 0, 1);
+  circuit.gate(GateType::CNOT, 0, 1);
+  circuit.gate(GateType::CZ, 1, 2);
+  circuit.gate(GateType::CZ, 2, 1);
+  circuit.gate(GateType::SWAP, 0, 2);
+  circuit.gate(GateType::SWAP, 2, 0);
+  circuit.parameterized_gate(GateType::RY, 0, 2);
+
+  const auto plan = quantum::compile_circuit(circuit);
+  EXPECT_EQ(plan->source_op_count(), 10u);
+  EXPECT_EQ(plan->cancelled_op_count(), 8u);
+  EXPECT_EQ(plan->flat_ops().size(), 2u);  // Hadamard + RY survive
+
+  const std::vector<double> params = {0.37};
+  check_compiled_matches_uncompiled(circuit, params, "involution pairs");
+}
+
+TEST(ExecPlan, CnotReversedWiresDoesNotCancel) {
+  // CNOT(0,1)·CNOT(1,0) is NOT identity — the cancellation must compare
+  // control and target exactly, not as an unordered pair.
+  Circuit circuit{2};
+  circuit.gate(GateType::Hadamard, 0);
+  circuit.gate(GateType::CNOT, 0, 1);
+  circuit.gate(GateType::CNOT, 1, 0);
+  const auto plan = quantum::compile_circuit(circuit);
+  EXPECT_EQ(plan->cancelled_op_count(), 0u);
+  check_compiled_matches_uncompiled(circuit, {}, "reversed CNOT");
+}
+
+TEST(ExecPlan, FixedSingleQubitChainsPrecompute) {
+  // H·S·H on one wire: fixed, not all diagonal -> one FixedChain op.
+  Circuit circuit{2};
+  circuit.gate(GateType::Hadamard, 0);
+  circuit.gate(GateType::S, 0);
+  circuit.gate(GateType::Hadamard, 0);
+  const auto plan = quantum::compile_circuit(circuit);
+  ASSERT_EQ(plan->fused_ops().size(), 1u);
+  EXPECT_EQ(plan->fused_ops()[0].kind, FusedOp::Kind::FixedChain);
+  EXPECT_EQ(plan->fused_ops()[0].gate_count, 3u);
+  check_compiled_matches_uncompiled(circuit, {}, "H S H fixed chain");
+}
+
+TEST(ExecPlan, DiagonalChainsPrecomputeDiagonal) {
+  // S·T·Z on one wire: fixed and all diagonal -> one DiagonalChain op.
+  Circuit circuit{2};
+  circuit.gate(GateType::S, 1);
+  circuit.gate(GateType::T, 1);
+  circuit.gate(GateType::PauliZ, 1);
+  const auto plan = quantum::compile_circuit(circuit);
+  ASSERT_EQ(plan->fused_ops().size(), 1u);
+  EXPECT_EQ(plan->fused_ops()[0].kind, FusedOp::Kind::DiagonalChain);
+  check_compiled_matches_uncompiled(circuit, {}, "S T Z diagonal chain");
+}
+
+TEST(ExecPlan, AdjacentFixedTwoQubitGatesFuseToPair) {
+  // CNOT(0,1)·CZ(0,1) and the wire-order-flipped CNOT(0,1)·CZ(1,0) both
+  // collapse to one precomputed 4x4; parameterized two-qubit gates do not.
+  {
+    Circuit circuit{3};
+    circuit.gate(GateType::Hadamard, 0);
+    circuit.gate(GateType::Hadamard, 1);
+    circuit.gate(GateType::CNOT, 0, 1);
+    circuit.gate(GateType::CZ, 0, 1);
+    const auto plan = quantum::compile_circuit(circuit);
+    bool saw_pair = false;
+    for (const FusedOp& op : plan->fused_ops()) {
+      if (op.kind == FusedOp::Kind::FusedPair) {
+        saw_pair = true;
+        EXPECT_EQ(op.gate_count, 2u);
+      }
+    }
+    EXPECT_TRUE(saw_pair);
+    check_compiled_matches_uncompiled(circuit, {}, "CNOT CZ same order");
+  }
+  {
+    Circuit circuit{3};
+    circuit.gate(GateType::Hadamard, 0);
+    circuit.gate(GateType::Hadamard, 1);
+    circuit.gate(GateType::CNOT, 0, 1);
+    circuit.gate(GateType::CZ, 1, 0);
+    const auto plan = quantum::compile_circuit(circuit);
+    bool saw_pair = false;
+    for (const FusedOp& op : plan->fused_ops()) {
+      if (op.kind == FusedOp::Kind::FusedPair) saw_pair = true;
+    }
+    EXPECT_TRUE(saw_pair);
+    check_compiled_matches_uncompiled(circuit, {}, "CNOT CZ flipped order");
+  }
+  {
+    Circuit circuit{3};
+    circuit.gate(GateType::Hadamard, 0);
+    circuit.parameterized_gate(GateType::CRX, 0, 0, 1);
+    circuit.parameterized_gate(GateType::CRZ, 1, 0, 1);
+    const auto plan = quantum::compile_circuit(circuit);
+    for (const FusedOp& op : plan->fused_ops()) {
+      EXPECT_NE(op.kind, FusedOp::Kind::FusedPair)
+          << "parameterized two-qubit gates must not pair-fuse";
+    }
+    const std::vector<double> cr_params = {0.4, -0.9};
+    check_compiled_matches_uncompiled(circuit, cr_params,
+                                      "parameterized CR chain");
+  }
+}
+
+TEST(ExecPlan, StructureKeyDistinguishesAngleAndShape) {
+  Circuit a{3};
+  a.gate(GateType::Hadamard, 0);
+  Circuit b{3};
+  b.gate(GateType::Hadamard, 1);  // differs in wire
+  Circuit c{4};
+  c.gate(GateType::Hadamard, 0);  // differs in qubit count
+  Circuit d{3};
+  d.gate(GateType::RZ, 0, SIZE_MAX, 0.25);
+  Circuit e{3};
+  e.gate(GateType::RZ, 0, SIZE_MAX, 0.250000000000001);  // differs in angle
+
+  std::set<std::string> keys;
+  for (const Circuit* circuit : {&a, &b, &c, &d, &e}) {
+    keys.insert(quantum::compile_circuit(*circuit)->structure_key());
+  }
+  EXPECT_EQ(keys.size(), 5u) << "all five structures must key differently";
+
+  Circuit a2{3};
+  a2.gate(GateType::Hadamard, 0);
+  EXPECT_EQ(quantum::compile_circuit(a)->structure_key(),
+            quantum::compile_circuit(a2)->structure_key());
+  EXPECT_EQ(quantum::compile_circuit(a)->structure_hash(),
+            quantum::compile_circuit(a2)->structure_hash());
+}
+
+TEST(ExecPlan, CacheHitsShareOnePlanAcrossThreads) {
+  // Pin compiled execution so the test also passes under a
+  // QHDL_FORCE_UNCOMPILED environment (the forced-uncompiled CI leg).
+  const UncompiledScope scope{false};
+  quantum::plan_cache::clear();
+  quantum::plan_cache::reset_stats();
+
+  util::Rng rng{5};
+  std::vector<double> params;
+  const std::size_t threads = 8;
+  std::vector<std::shared_ptr<const ExecutionPlan>> plans(threads);
+  {
+    // Each thread builds its own structurally-identical circuit and asks
+    // for its plan concurrently; every one must get the same object and
+    // the structure must compile exactly once.
+    std::vector<std::thread> workers;
+    for (std::size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        util::Rng thread_rng{7};
+        std::vector<double> p;
+        const Circuit circuit = make_sel_circuit(4, 3, p, thread_rng);
+        plans[t] = circuit.compiled_plan();
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  for (std::size_t t = 0; t < threads; ++t) {
+    ASSERT_NE(plans[t], nullptr) << "thread " << t;
+    EXPECT_EQ(plans[t], plans[0]) << "thread " << t;
+  }
+  const auto stats = quantum::plan_cache::stats();
+  EXPECT_EQ(stats.compiled, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, threads - 1);
+  EXPECT_EQ(stats.size, 1u);
+}
+
+TEST(ExecPlan, MemoizedSlotInvalidatesOnMutation) {
+  const UncompiledScope scope{false};
+  Circuit circuit{3};
+  circuit.gate(GateType::Hadamard, 0);
+  const auto before = circuit.compiled_plan();
+  ASSERT_NE(before, nullptr);
+  EXPECT_EQ(circuit.compiled_plan(), before) << "stable while unmutated";
+  circuit.gate(GateType::CNOT, 0, 1);
+  const auto after = circuit.compiled_plan();
+  ASSERT_NE(after, nullptr);
+  EXPECT_NE(after, before);
+  EXPECT_NE(after->structure_key(), before->structure_key());
+}
+
+TEST(ExecPlan, LruEvictionHonorsCapacity) {
+  const UncompiledScope scope{false};
+  quantum::plan_cache::clear();
+  quantum::plan_cache::reset_stats();
+  quantum::plan_cache::set_capacity(2);
+
+  const auto touch = [](std::size_t qubits, std::size_t wire) {
+    Circuit circuit{qubits};
+    circuit.gate(GateType::Hadamard, wire);
+    return circuit.compiled_plan();
+  };
+  touch(4, 0);  // A
+  touch(4, 1);  // B
+  touch(4, 0);  // A again: hit, refreshes A's recency
+  touch(4, 2);  // C: evicts B (least recently used)
+  EXPECT_EQ(quantum::plan_cache::size(), 2u);
+  EXPECT_EQ(quantum::plan_cache::stats().evictions, 1u);
+
+  touch(4, 0);  // A must still be resident
+  EXPECT_EQ(quantum::plan_cache::stats().hits, 2u);
+  touch(4, 1);  // B was evicted -> recompiles
+  EXPECT_EQ(quantum::plan_cache::stats().compiled, 4u);
+
+  quantum::plan_cache::set_capacity(std::nullopt);
+  quantum::plan_cache::clear();
+}
+
+TEST(ExecPlan, FaultInjectionFlushesCache) {
+  auto& injector = util::FaultInjector::instance();
+  quantum::plan_cache::clear();
+  quantum::plan_cache::reset_stats();
+  injector.configure("plan=evict@2");
+
+  Circuit circuit{3};
+  circuit.gate(GateType::Hadamard, 0);
+  Circuit other{3};
+  other.gate(GateType::Hadamard, 1);
+
+  ASSERT_NE(quantum::compile_circuit(circuit), nullptr);
+  quantum::plan_cache::get_or_compile(circuit);  // arrival 1: no fault
+  EXPECT_EQ(quantum::plan_cache::size(), 1u);
+  quantum::plan_cache::get_or_compile(other);  // arrival 2: flush fires
+  // The flush empties the cache before the lookup, so `other` recompiles
+  // into an empty cache and `circuit`'s plan is gone.
+  EXPECT_EQ(quantum::plan_cache::size(), 1u);
+  EXPECT_GE(quantum::plan_cache::stats().evictions, 1u);
+  quantum::plan_cache::get_or_compile(circuit);  // arrival 3: miss again
+  EXPECT_EQ(quantum::plan_cache::stats().compiled, 3u);
+
+  injector.configure("");
+  quantum::plan_cache::clear();
+}
+
+TEST(ExecPlan, ForcedUncompiledDisablesPlans) {
+  Circuit circuit{3};
+  circuit.gate(GateType::Hadamard, 0);
+  {
+    const UncompiledScope scope{true};
+    EXPECT_EQ(circuit.compiled_plan(), nullptr);
+  }
+  // force_generic implies force_uncompiled: the generic path never compiles.
+  quantum::kernels::set_force_generic(true);
+  EXPECT_TRUE(quantum::kernels::force_uncompiled());
+  EXPECT_EQ(circuit.compiled_plan(), nullptr);
+  quantum::kernels::set_force_generic(std::nullopt);
+  {
+    const UncompiledScope scope{false};
+    EXPECT_NE(circuit.compiled_plan(), nullptr);
+  }
+}
+
+TEST(ExecPlan, RunRejectsWrongSizedParams) {
+  Circuit circuit{2};
+  circuit.parameterized_gate(GateType::RX, 0, 0);
+  circuit.parameterized_gate(GateType::RY, 1, 1);  // (param 1, wire 1)
+  StateVector state{2};
+  const std::vector<double> short_params = {0.1};
+  const std::vector<double> long_params = {0.1, 0.2, 0.3};
+  const std::vector<double> exact = {0.1, 0.2};
+  EXPECT_THROW(circuit.run(state, short_params), std::invalid_argument);
+  EXPECT_THROW(circuit.run(state, long_params), std::invalid_argument);
+  EXPECT_NO_THROW(circuit.run(state, exact));
+
+  StateVectorBatch batch{2, 2};
+  // run_batch needs exactly rows * stride values.
+  const std::vector<double> batch_exact = {0.1, 0.2, 0.3, 0.4};
+  const std::vector<double> batch_long = {0.1, 0.2, 0.3, 0.4, 0.5};
+  EXPECT_THROW(circuit.run_batch(batch, batch_long, 2),
+               std::invalid_argument);
+  EXPECT_NO_THROW(circuit.run_batch(batch, batch_exact, 2));
+}
+
+TEST(ExecPlan, ForceUncompiledOverrideLatches) {
+  quantum::kernels::set_force_uncompiled(true);
+  EXPECT_TRUE(quantum::kernels::force_uncompiled());
+  quantum::kernels::set_force_uncompiled(false);
+  EXPECT_FALSE(quantum::kernels::force_uncompiled());
+  quantum::kernels::set_force_uncompiled(std::nullopt);
+}
+
+}  // namespace

@@ -10,6 +10,7 @@
 #include "core/config.hpp"
 #include "data/preprocess.hpp"
 #include "nn/fastpath.hpp"
+#include "quantum/kernels.hpp"
 #include "search/experiment.hpp"
 #include "search/grid_search.hpp"
 #include "search/search_space.hpp"
@@ -160,6 +161,36 @@ TEST(GridSearchDeterminism, WorkspaceAndReferencePathsAgree) {
 
   expect_identical(workspace, reference);
   expect_identical(workspace, reference_parallel);
+}
+
+// Compiled execution plans (the default) and QHDL_FORCE_UNCOMPILED per-call
+// lowering must produce bit-identical hybrid search outcomes: the plan's
+// fused scalar stream, flat batch stream, and adjoint sweeps all reproduce
+// the uncompiled arithmetic exactly, so every TrainHistory — and therefore
+// every accuracy, prune decision, and winner — matches.
+TEST(GridSearchDeterminism, CompiledAndUncompiledPlansAgree) {
+  auto config = base_config();
+  config.accuracy_threshold = 0.34;
+  config.max_candidates = 3;
+  const auto dataset = level_dataset(4, core::test_scale());
+
+  quantum::kernels::set_force_uncompiled(false);
+  config.threads = 1;
+  const auto compiled = run_repeated_search(
+      paper_hybrid_space(qnn::AnsatzKind::BasicEntangler), dataset, config);
+
+  quantum::kernels::set_force_uncompiled(true);
+  const auto uncompiled = run_repeated_search(
+      paper_hybrid_space(qnn::AnsatzKind::BasicEntangler), dataset, config);
+
+  // Uncompiled under parallel execution must also agree.
+  config.threads = 4;
+  const auto uncompiled_parallel = run_repeated_search(
+      paper_hybrid_space(qnn::AnsatzKind::BasicEntangler), dataset, config);
+  quantum::kernels::set_force_uncompiled(std::nullopt);
+
+  expect_identical(compiled, uncompiled);
+  expect_identical(compiled, uncompiled_parallel);
 }
 
 TEST(GridSearchDeterminism, EvaluateCandidateRejectsZeroRuns) {

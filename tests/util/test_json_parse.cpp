@@ -1,3 +1,8 @@
+#include <clocale>
+#include <cmath>
+#include <limits>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "util/json.hpp"
@@ -52,6 +57,56 @@ TEST(JsonParse, FullDoublePrecisionRoundTrip) {
   Json j = Json::object();
   j["v"] = Json{value};
   EXPECT_DOUBLE_EQ(Json::parse(j.dump()).at("v").as_number(), value);
+}
+
+TEST(JsonParse, SubnormalsAndSignedZeroRoundTrip) {
+  // Regression: std::stod threw out_of_range on subnormals, so a %.17g
+  // worker-protocol payload carrying one (a vanishing gradient entry, say)
+  // killed the parse. from_chars must accept the full double range.
+  const double min_subnormal = std::numeric_limits<double>::denorm_min();
+  const double min_normal = std::numeric_limits<double>::min();
+  for (const double value :
+       {min_subnormal, min_normal / 2.0, min_normal, -min_subnormal}) {
+    Json j = Json::object();
+    j["v"] = Json{value};
+    EXPECT_EQ(Json::parse(j.dump()).at("v").as_number(), value)
+        << "value " << value;
+  }
+  EXPECT_EQ(Json::parse("4.9406564584124654e-324").as_number(),
+            min_subnormal);
+
+  const double negative_zero = Json::parse("-0.0").as_number();
+  EXPECT_EQ(negative_zero, 0.0);
+  EXPECT_TRUE(std::signbit(negative_zero)) << "-0.0 must keep its sign";
+}
+
+TEST(JsonParse, NumberParsingIgnoresGlobalLocale) {
+  // Regression: std::stod honors the global C locale; under a ','-decimal
+  // locale every serialized double failed to parse. from_chars is
+  // locale-independent. de_DE may not be installed in minimal containers,
+  // so skip (not fail) when setlocale rejects every candidate.
+  const char* previous = std::setlocale(LC_NUMERIC, nullptr);
+  const std::string saved = previous != nullptr ? previous : "C";
+  const char* comma_locale = nullptr;
+  for (const char* candidate : {"de_DE.UTF-8", "de_DE", "fr_FR.UTF-8"}) {
+    if (std::setlocale(LC_NUMERIC, candidate) != nullptr) {
+      comma_locale = candidate;
+      break;
+    }
+  }
+  if (comma_locale == nullptr) {
+    GTEST_SKIP() << "no comma-decimal locale installed";
+  }
+  EXPECT_DOUBLE_EQ(Json::parse("3.25").as_number(), 3.25);
+  EXPECT_DOUBLE_EQ(Json::parse("[1.5e-3]").at(std::size_t{0}).as_number(),
+                   0.0015);
+  std::setlocale(LC_NUMERIC, saved.c_str());
+}
+
+TEST(JsonParse, OutOfRangeNumbersStillRejected) {
+  // Values no finite double can represent keep throwing, as with stod.
+  EXPECT_THROW(Json::parse("1e999"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("-1e999"), std::invalid_argument);
 }
 
 TEST(JsonParse, Errors) {

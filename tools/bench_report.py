@@ -4,9 +4,16 @@ BENCH_micro.json with repo metadata (git SHA, build flags) and ns/op plus
 derived amps/sec per benchmark — the shape check_bench_regression.py
 consumes. Stdlib only.
 
+Committed BENCH JSONs also carry a "trajectory" array: one compact
+{git_sha, ns_per_op-by-name} entry per recorded run, so the perf history of
+the repo accumulates across commits instead of being overwritten. This tool
+preserves the existing trajectory of --out, appends the fresh run, and with
+--figs does the same for an already-regenerated BENCH_figs.json.
+
 Usage:
   tools/bench_report.py [--build-dir build] [--out BENCH_micro.json]
                         [--filter REGEX] [--min-time SECONDS]
+                        [--figs BENCH_figs.json]
 """
 import argparse
 import json
@@ -66,12 +73,67 @@ def entries_from(report, binary_name):
     return entries
 
 
+TRAJECTORY_LIMIT = 50
+
+
+def load_existing(path):
+    """Parses the committed JSON at `path`, or {} when absent/corrupt."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return {}
+
+
+def appended_trajectory(existing, sha, entries):
+    """Existing trajectory plus one entry for this run (newest last).
+
+    Re-running on the same SHA replaces that SHA's entry instead of
+    duplicating it; history is capped at TRAJECTORY_LIMIT entries.
+    """
+    trajectory = [
+        point for point in existing.get("trajectory", [])
+        if point.get("git_sha") != sha
+    ]
+    trajectory.append({
+        "git_sha": sha,
+        "ns_per_op": {
+            e["name"]: e["ns_per_op"] for e in entries if "ns_per_op" in e
+        },
+    })
+    return trajectory[-TRAJECTORY_LIMIT:]
+
+
+def stamp_figs_trajectory(path, sha):
+    """Folds a freshly regenerated BENCH_figs.json run into its trajectory.
+
+    bench_figs_report (C++) overwrites the file wholesale; this re-attaches
+    the accumulated history from the committed version and appends the new
+    run's numbers.
+    """
+    doc = load_existing(path)
+    if not doc.get("benchmarks"):
+        print(f"warning: {path} missing or empty, trajectory not stamped",
+              file=sys.stderr)
+        return
+    doc["trajectory"] = appended_trajectory(doc, sha, doc["benchmarks"])
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"stamped trajectory entry in {path} "
+          f"({len(doc['trajectory'])} points)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build")
     parser.add_argument("--out", default="BENCH_micro.json")
     parser.add_argument("--filter", default="")
     parser.add_argument("--min-time", default="0.1")
+    parser.add_argument(
+        "--figs", default="",
+        help="also append a trajectory entry to this (already regenerated) "
+             "BENCH_figs.json")
     args = parser.parse_args()
 
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -88,22 +150,31 @@ def main():
         context = report.get("context", context)
         entries.extend(entries_from(report, name))
 
+    sha = git_sha(repo_root)
     merged = {
         "metadata": {
-            "git_sha": git_sha(repo_root),
+            "git_sha": sha,
             "build_flags": " ".join(
                 f"{k}={v}" for k, v in sorted(context.items())
                 if k in ("library_build_type", "num_cpus", "mhz_per_cpu")),
             "force_generic_kernels": bool(
                 os.environ.get("QHDL_FORCE_GENERIC_KERNELS", "")
                 not in ("", "0")),
+            "force_uncompiled": bool(
+                os.environ.get("QHDL_FORCE_UNCOMPILED", "")
+                not in ("", "0")),
         },
         "benchmarks": entries,
+        "trajectory": appended_trajectory(
+            load_existing(args.out), sha, entries),
     }
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(merged, handle, indent=2, sort_keys=True)
         handle.write("\n")
-    print(f"wrote {args.out} ({len(entries)} benchmarks)")
+    print(f"wrote {args.out} ({len(entries)} benchmarks, "
+          f"{len(merged['trajectory'])} trajectory points)")
+    if args.figs:
+        stamp_figs_trajectory(args.figs, sha)
     return 0
 
 
