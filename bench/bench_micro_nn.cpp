@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include <optional>
+#include <string>
 
 #include "nn/activations.hpp"
 #include "nn/dense.hpp"
@@ -17,6 +18,7 @@
 #include "qnn/hybrid_model.hpp"
 #include "tensor/init.hpp"
 #include "tensor/ops.hpp"
+#include "util/backend_registry.hpp"
 
 namespace {
 
@@ -252,6 +254,50 @@ void BM_AdamStep(benchmark::State& state) {
 }
 BENCHMARK(BM_AdamStep)->RangeMultiplier(8)->Range(64, 4096);
 
+// ---------------------------------------------------------------------------
+// Per-backend packed-GEMM variants, registered dynamically as
+// `BM_GemmPacked@<backend>/<size>` for every supported non-reference
+// backend. Size 256 (k*n = 65536) is far past the direct-path dispatch
+// bounds, so the registry-dispatched 4x4 micro-kernel dominates the timing.
+// tools/check_bench_regression.py understands the `@<backend>` suffix and
+// compares like-for-like.
+
+void run_gemm_packed_backend(benchmark::State& state,
+                             const std::string& backend) {
+  util::simd::set_backend(backend);
+  const auto size = static_cast<std::size_t>(state.range(0));
+  util::Rng rng{1};
+  const Tensor a = tensor::uniform(Shape{size, size}, -1, 1, rng);
+  const Tensor b = tensor::uniform(Shape{size, size}, -1, 1, rng);
+  Tensor c{Shape{size, size}};
+  for (auto _ : state) {
+    tensor::matmul_into(a, b, c);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  util::simd::set_backend(std::nullopt);
+}
+
+void register_backend_variants() {
+  for (const util::simd::Backend* backend : util::simd::backends()) {
+    if (backend->reference || !backend->supported()) continue;
+    const std::string name = backend->name;
+    benchmark::RegisterBenchmark(
+        ("BM_GemmPacked@" + name).c_str(),
+        [name](benchmark::State& state) {
+          run_gemm_packed_backend(state, name);
+        })
+        ->Arg(256);
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  register_backend_variants();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

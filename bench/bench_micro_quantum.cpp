@@ -2,6 +2,8 @@
 // These quantify the "simulation overhead" the paper's argument leans on:
 // gate application and adjoint differentiation scale exponentially with the
 // qubit count on classical hardware.
+#include <string>
+
 #include <benchmark/benchmark.h>
 
 #include "qnn/ansatz.hpp"
@@ -11,6 +13,7 @@
 #include "quantum/kernels.hpp"
 #include "quantum/parameter_shift.hpp"
 #include "tensor/tensor.hpp"
+#include "util/backend_registry.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -284,6 +287,91 @@ void BM_SelAdjointVsDepth(benchmark::State& state) {
 }
 BENCHMARK(BM_SelAdjointVsDepth)->DenseRange(1, 10, 3);
 
+// ---------------------------------------------------------------------------
+// Per-backend variants of the registry-dispatched kernels, registered
+// dynamically as `BM_<Kernel>@<backend>/<qubits>` for every backend this
+// machine supports (reference excluded — it measures the legacy scalar
+// paths, not a kernel table). tools/check_bench_regression.py understands
+// the `@<backend>` suffix and compares like-for-like, skipping backends the
+// baseline runner could not measure.
+
+/// Pins one backend for a benchmark's scope; restores env/build/auto on
+/// exit.
+class BackendGuard {
+ public:
+  explicit BackendGuard(const std::string& name) {
+    util::simd::set_backend(name);
+  }
+  ~BackendGuard() { util::simd::set_backend(std::nullopt); }
+};
+
+void run_single_qubit_backend(benchmark::State& state,
+                              const std::string& backend) {
+  const BackendGuard guard{backend};
+  const auto qubits = static_cast<std::size_t>(state.range(0));
+  StateVector sv{qubits};
+  const quantum::Mat2 gate = quantum::gates::rx(0.73);
+  std::size_t wire = 0;
+  for (auto _ : state) {
+    sv.apply_single_qubit(gate, wire);
+    wire = (wire + 1) % qubits;
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void run_cnot_backend(benchmark::State& state, const std::string& backend) {
+  const BackendGuard guard{backend};
+  const auto qubits = static_cast<std::size_t>(state.range(0));
+  StateVector sv{qubits};
+  sv.apply_single_qubit(quantum::gates::hadamard(), 0);
+  for (auto _ : state) {
+    sv.apply_cnot(0, 1);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+}
+
+void run_expval_backend(benchmark::State& state, const std::string& backend) {
+  const BackendGuard guard{backend};
+  const auto qubits = static_cast<std::size_t>(state.range(0));
+  StateVector sv{qubits};
+  sv.apply_single_qubit(quantum::gates::ry(0.9), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sv.expval_pauli_z(0));
+  }
+}
+
+void register_backend_variants() {
+  for (const util::simd::Backend* backend : util::simd::backends()) {
+    if (backend->reference || !backend->supported()) continue;
+    const std::string name = backend->name;
+    benchmark::RegisterBenchmark(
+        ("BM_SingleQubitGate@" + name).c_str(),
+        [name](benchmark::State& state) {
+          run_single_qubit_backend(state, name);
+        })
+        ->Arg(10)
+        ->Arg(12);
+    benchmark::RegisterBenchmark(
+        ("BM_Cnot@" + name).c_str(),
+        [name](benchmark::State& state) { run_cnot_backend(state, name); })
+        ->Arg(10)
+        ->Arg(12);
+    benchmark::RegisterBenchmark(
+        ("BM_ExpvalZ@" + name).c_str(),
+        [name](benchmark::State& state) { run_expval_backend(state, name); })
+        ->Arg(10)
+        ->Arg(12);
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  register_backend_variants();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "util/backend_registry.hpp"
+
 namespace qhdl::quantum {
 
 std::string KernelStatsSnapshot::to_string() const {
@@ -82,7 +84,11 @@ bool force_generic() {
   const int override_value = g_force_override.load(std::memory_order_relaxed);
   if (override_value >= 0) return override_value == 1;
   static const bool from_env = env_default();
-  return from_env;
+  // The reference kernel backend (QHDL_BACKEND=reference) implies the
+  // historical QHDL_FORCE_GENERIC_KERNELS escape hatch: no specialized
+  // dispatch, fusion, or batched SoA path. Queried live (not cached) so
+  // runtime backend switches in tests take effect.
+  return from_env || util::simd::active_backend().reference;
 }
 
 void set_force_generic(std::optional<bool> forced) {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "quantum/kernels.hpp"
+#include "util/backend_registry.hpp"
 
 namespace qhdl::quantum {
 
@@ -127,40 +128,22 @@ void StateVector::apply_single_qubit(const Mat2& gate, std::size_t wire) {
   check_wire(wire, "apply_single_qubit");
   kernels::count_generic();
   const std::size_t stride = std::size_t{1} << (num_qubits_ - 1 - wire);
-  const std::size_t n = amplitudes_.size();
-  for (std::size_t block = 0; block < n; block += 2 * stride) {
-    for (std::size_t offset = 0; offset < stride; ++offset) {
-      const std::size_t i0 = block + offset;
-      const std::size_t i1 = i0 + stride;
-      const Complex a0 = amplitudes_[i0];
-      const Complex a1 = amplitudes_[i1];
-      amplitudes_[i0] = gate.m00 * a0 + gate.m01 * a1;
-      amplitudes_[i1] = gate.m10 * a0 + gate.m11 * a1;
-    }
-  }
+  // Inner loop is registry-dispatched (DESIGN.md §13): the active backend's
+  // dense 2x2 kernel runs a0' = m00*a0 + m01*a1, a1' = m10*a0 + m11*a1 over
+  // every (i, i+stride) pair, bit-identically across backends.
+  const Complex m[4] = {gate.m00, gate.m01, gate.m10, gate.m11};
+  util::simd::ops().apply_single_qubit(amplitudes_.data(), amplitudes_.size(),
+                                       stride, m);
 }
 
 void StateVector::apply_diagonal(Complex d0, Complex d1, std::size_t wire) {
   check_wire(wire, "apply_diagonal");
   kernels::count_diagonal();
   const std::size_t stride = std::size_t{1} << (num_qubits_ - 1 - wire);
-  const std::size_t n = amplitudes_.size();
-  Complex* amps = amplitudes_.data();
-  if (d0 == Complex{1.0, 0.0}) {
-    // Phase-type gates (PhaseShift, S, T): only the wire=1 half moves.
-    for (std::size_t block = 0; block < n; block += 2 * stride) {
-      for (std::size_t offset = 0; offset < stride; ++offset) {
-        amps[block + stride + offset] *= d1;
-      }
-    }
-    return;
-  }
-  for (std::size_t block = 0; block < n; block += 2 * stride) {
-    for (std::size_t offset = 0; offset < stride; ++offset) {
-      amps[block + offset] *= d0;
-      amps[block + stride + offset] *= d1;
-    }
-  }
+  // Registry-dispatched; the d0 == 1 phase-gate fast path (only the wire=1
+  // half moves) lives inside the backend op.
+  util::simd::ops().apply_diagonal(amplitudes_.data(), amplitudes_.size(),
+                                   stride, d0, d1);
 }
 
 void StateVector::apply_rx_fast(double c, double s, std::size_t wire) {
@@ -282,12 +265,11 @@ void StateVector::apply_cnot(std::size_t control, std::size_t target) {
   const std::size_t tmask = std::size_t{1} << (num_qubits_ - 1 - target);
   const std::size_t lo = cmask < tmask ? cmask : tmask;
   const std::size_t hi = cmask < tmask ? tmask : cmask;
-  const std::size_t quarter = amplitudes_.size() / 4;
-  Complex* amps = amplitudes_.data();
-  for (std::size_t k = 0; k < quarter; ++k) {
-    const std::size_t i = expand_two_zero_bits(k, lo, hi) | cmask;
-    std::swap(amps[i], amps[i | tmask]);
-  }
+  // Registry-dispatched pure permutation: swap amplitudes at
+  // expand_two_zero_bits(k, lo, hi) | cmask and its | tmask partner.
+  util::simd::ops().apply_cnot_pairs(amplitudes_.data(),
+                                     amplitudes_.size() / 4, lo, hi, cmask,
+                                     tmask);
 }
 
 void StateVector::apply_cz(std::size_t control, std::size_t target) {
@@ -399,12 +381,12 @@ void StateVector::scale(Complex factor) {
 double StateVector::expval_pauli_z(std::size_t wire) const {
   check_wire(wire, "expval_pauli_z");
   const std::size_t mask = std::size_t{1} << (num_qubits_ - 1 - wire);
-  double expectation = 0.0;
-  for (std::size_t i = 0; i < amplitudes_.size(); ++i) {
-    const double p = std::norm(amplitudes_[i]);
-    expectation += (i & mask) == 0 ? p : -p;
-  }
-  return expectation;
+  // Registry-dispatched reduction. generic/avx2/avx512fma share the
+  // canonical mod-8 lane order (bit-identical to each other); the reference
+  // backend keeps the historical strictly sequential sum, which may differ
+  // from the lane order by ~1 ulp per reassociation.
+  return util::simd::ops().expval_z(amplitudes_.data(), amplitudes_.size(),
+                                    mask);
 }
 
 double StateVector::probability(std::size_t basis_index) const {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "util/backend_registry.hpp"
+
 namespace qhdl::tensor::gemm {
 
 namespace {
@@ -23,23 +25,12 @@ double* scratch(std::vector<double>& buffer, std::size_t size) {
   return buffer.data();
 }
 
-/// Full MR x NR tile over a kc-long inner dimension. `pa` is tile-packed
-/// (p-major, MR values per step), `pb` is row-packed with `pb_stride`
-/// doubles per p step. Each acc element sums its products in ascending p —
-/// the deterministic order every caller shares.
-inline void micro_kernel(std::size_t kc, const double* pa, const double* pb,
-                         std::size_t pb_stride, double acc[MR][NR]) {
-  for (std::size_t p = 0; p < kc; ++p) {
-    const double* arow = pa + p * MR;
-    const double* brow = pb + p * pb_stride;
-    for (std::size_t ii = 0; ii < MR; ++ii) {
-      const double aval = arow[ii];
-      for (std::size_t jj = 0; jj < NR; ++jj) {
-        acc[ii][jj] += aval * brow[jj];
-      }
-    }
-  }
-}
+// The MR x NR micro-kernel is registry-dispatched (DESIGN.md §13): every
+// backend sums each acc element in ascending p — the deterministic order
+// every caller shares — so the packed path stays bit-identical across
+// backends. MR/NR here must match the registry's 4x4 packing contract.
+static_assert(MR == 4 && NR == 4,
+              "KernelOps::gemm_micro_4x4 assumes a 4x4 register tile");
 
 // Shapes this small skip packing entirely: the classical search's matrices
 // (batch 8, widths 2..110) are dominated by packing overhead, not cache
@@ -127,6 +118,7 @@ void dgemm_impl(std::size_t m, std::size_t n, std::size_t k, AAt a_at,
   }
   thread_local std::vector<double> pa_buffer;
   thread_local std::vector<double> pb_buffer;
+  const auto& simd_ops = util::simd::ops();
 
   for (std::size_t jc = 0; jc < n; jc += NC) {
     const std::size_t nc = std::min(NC, n - jc);
@@ -174,7 +166,8 @@ void dgemm_impl(std::size_t m, std::size_t n, std::size_t k, AAt a_at,
             const std::size_t j0 = jc + jt * NR;
             const std::size_t nr = std::min(NR, jc + nc - j0);
             double acc[MR][NR] = {};
-            micro_kernel(kc, pa_tile, pb + jt * NR, nc_padded, acc);
+            simd_ops.gemm_micro_4x4(kc, pa_tile, pb + jt * NR, nc_padded,
+                                    acc);
             for (std::size_t ii = 0; ii < mr; ++ii) {
               double* crow = c + (i0 + ii) * ldc + j0;
               for (std::size_t jj = 0; jj < nr; ++jj) {

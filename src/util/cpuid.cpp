@@ -1,0 +1,61 @@
+#include "util/cpuid.hpp"
+
+#include <sstream>
+
+namespace qhdl::util::cpuid {
+
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+
+// __builtin_cpu_supports consults the dynamic feature mask the compiler
+// runtime fills in (CPUID leaves plus XGETBV, so "supported" means the OS
+// context-switches the wide registers too). __builtin_cpu_init() is
+// idempotent and makes the mask valid even when queried before the
+// runtime's own initializer has run (static-init-time queries).
+bool query_avx2() {
+  __builtin_cpu_init();
+  return __builtin_cpu_supports("avx2");
+}
+bool query_fma() {
+  __builtin_cpu_init();
+  return __builtin_cpu_supports("fma");
+}
+bool query_avx512f() {
+  __builtin_cpu_init();
+  return __builtin_cpu_supports("avx512f");
+}
+
+#else
+
+bool query_avx2() { return false; }
+bool query_fma() { return false; }
+bool query_avx512f() { return false; }
+
+#endif
+
+}  // namespace
+
+bool has_avx2() {
+  static const bool value = query_avx2();
+  return value;
+}
+
+bool has_fma() {
+  static const bool value = query_fma();
+  return value;
+}
+
+bool has_avx512f() {
+  static const bool value = query_avx512f();
+  return value;
+}
+
+std::string summary() {
+  std::ostringstream oss;
+  oss << "avx2=" << (has_avx2() ? 1 : 0) << " fma=" << (has_fma() ? 1 : 0)
+      << " avx512f=" << (has_avx512f() ? 1 : 0);
+  return oss.str();
+}
+
+}  // namespace qhdl::util::cpuid

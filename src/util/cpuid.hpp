@@ -1,0 +1,27 @@
+// Runtime CPU feature detection for the SIMD kernel backend registry
+// (DESIGN.md §13). Thin wrapper over the compiler's CPUID support so the
+// registry can ask "is AVX2 actually usable on this machine?" — which
+// includes the OS-saves-the-wide-registers check, not just the CPUID bit.
+// On non-x86 targets every query returns false and the registry falls back
+// to the generic backend.
+#pragma once
+
+#include <string>
+
+namespace qhdl::util::cpuid {
+
+/// AVX2 usable (CPUID bit + OS xsave support).
+bool has_avx2();
+
+/// FMA3 usable. The avx512fma backend requires it as a capability gate even
+/// though no value-producing kernel math uses fused multiply-add (FMA
+/// changes rounding and would break cross-backend bit-identity).
+bool has_fma();
+
+/// AVX-512 Foundation usable.
+bool has_avx512f();
+
+/// One-line human-readable summary ("avx2=1 fma=1 avx512f=0").
+std::string summary();
+
+}  // namespace qhdl::util::cpuid

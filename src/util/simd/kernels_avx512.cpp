@@ -1,0 +1,149 @@
+// AVX-512 kernel backend ("avx512fma"). The capability gate is
+// AVX-512F + FMA (the feature pair every AVX-512 server part ships), but no
+// value-producing math uses fused multiply-add — FMA skips the intermediate
+// rounding and would break the cross-backend bit-identity contract
+// (backend_registry.hpp). 512-bit vectors are only used where widening
+// cannot change a rounding: the elementwise single-qubit and diagonal
+// kernels (independent amplitude pairs per lane). Kernels whose order is
+// pinned by the canonical reduction (expval-Z) or the 4-lane packing
+// contract (GEMM micro-kernel), and the arithmetic-free CNOT, reuse the
+// AVX2 implementations.
+#include "util/simd/kernels_internal.hpp"
+
+#if defined(QHDL_SIMD_AVX512) && defined(__x86_64__)
+
+#include <immintrin.h>
+
+#include "util/cpuid.hpp"
+
+namespace qhdl::util::simd::detail {
+
+namespace {
+
+/// Sign mask with -0.0 in the even (real-component) lanes: XOR-negating t2
+/// there turns a plain add into AVX2's addsub (a - b == a + (-b) bitwise).
+inline __m512d real_lane_sign() {
+  return _mm512_set_pd(0.0, -0.0, 0.0, -0.0, 0.0, -0.0, 0.0, -0.0);
+}
+
+/// 512-bit constant complex multiply with the scalar formula's roundings
+/// (see kernels_avx2.cpp; AVX-512 has no addsub, so XOR + add). The sign
+/// flip goes through the integer domain: _mm512_xor_pd needs AVX-512DQ,
+/// which the avx512fma capability gate does not require.
+inline __m512d cmul_const(__m512d v, __m512d mr, __m512d mi, __m512d rsign) {
+  const __m512d t1 = _mm512_mul_pd(v, mr);
+  const __m512d swapped = _mm512_permute_pd(v, 0x55);  // [im, re] per complex
+  const __m512d t2 = _mm512_mul_pd(swapped, mi);
+  const __m512d t2_signed = _mm512_castsi512_pd(_mm512_xor_epi64(
+      _mm512_castpd_si512(t2), _mm512_castpd_si512(rsign)));
+  return _mm512_add_pd(t1, t2_signed);
+}
+
+void avx512_apply_single_qubit(Complex* amps, std::size_t n,
+                               std::size_t stride, const Complex* m) {
+  if (stride < 4) {
+    avx2_apply_single_qubit(amps, n, stride, m);
+    return;
+  }
+  double* base = reinterpret_cast<double*>(amps);
+  const __m512d rsign = real_lane_sign();
+  const __m512d m00r = _mm512_set1_pd(m[0].real());
+  const __m512d m00i = _mm512_set1_pd(m[0].imag());
+  const __m512d m01r = _mm512_set1_pd(m[1].real());
+  const __m512d m01i = _mm512_set1_pd(m[1].imag());
+  const __m512d m10r = _mm512_set1_pd(m[2].real());
+  const __m512d m10i = _mm512_set1_pd(m[2].imag());
+  const __m512d m11r = _mm512_set1_pd(m[3].real());
+  const __m512d m11i = _mm512_set1_pd(m[3].imag());
+  for (std::size_t block = 0; block < n; block += 2 * stride) {
+    for (std::size_t offset = 0; offset < stride; offset += 4) {
+      double* p0 = base + 2 * (block + offset);
+      double* p1 = base + 2 * (block + offset + stride);
+      const __m512d a0 = _mm512_loadu_pd(p0);
+      const __m512d a1 = _mm512_loadu_pd(p1);
+      const __m512d r0 = _mm512_add_pd(cmul_const(a0, m00r, m00i, rsign),
+                                       cmul_const(a1, m01r, m01i, rsign));
+      const __m512d r1 = _mm512_add_pd(cmul_const(a0, m10r, m10i, rsign),
+                                       cmul_const(a1, m11r, m11i, rsign));
+      _mm512_storeu_pd(p0, r0);
+      _mm512_storeu_pd(p1, r1);
+    }
+  }
+}
+
+void avx512_apply_diagonal(Complex* amps, std::size_t n, std::size_t stride,
+                           Complex d0, Complex d1) {
+  if (stride < 4) {
+    avx2_apply_diagonal(amps, n, stride, d0, d1);
+    return;
+  }
+  double* base = reinterpret_cast<double*>(amps);
+  const __m512d rsign = real_lane_sign();
+  const __m512d d1r = _mm512_set1_pd(d1.real());
+  const __m512d d1i = _mm512_set1_pd(d1.imag());
+  if (d0 == Complex{1.0, 0.0}) {
+    for (std::size_t block = 0; block < n; block += 2 * stride) {
+      for (std::size_t offset = 0; offset < stride; offset += 4) {
+        double* p = base + 2 * (block + stride + offset);
+        _mm512_storeu_pd(p,
+                         cmul_const(_mm512_loadu_pd(p), d1r, d1i, rsign));
+      }
+    }
+    return;
+  }
+  const __m512d d0r = _mm512_set1_pd(d0.real());
+  const __m512d d0i = _mm512_set1_pd(d0.imag());
+  for (std::size_t block = 0; block < n; block += 2 * stride) {
+    for (std::size_t offset = 0; offset < stride; offset += 4) {
+      double* p0 = base + 2 * (block + offset);
+      double* p1 = base + 2 * (block + stride + offset);
+      _mm512_storeu_pd(p0, cmul_const(_mm512_loadu_pd(p0), d0r, d0i, rsign));
+      _mm512_storeu_pd(p1, cmul_const(_mm512_loadu_pd(p1), d1r, d1i, rsign));
+    }
+  }
+}
+
+bool avx512fma_supported() {
+  return util::cpuid::has_avx512f() && util::cpuid::has_fma();
+}
+
+}  // namespace
+
+}  // namespace qhdl::util::simd::detail
+
+namespace qhdl::util::simd {
+
+namespace {
+
+const Backend kAvx512{
+    "avx512fma",
+    /*priority=*/100,
+    detail::avx512fma_supported,
+    /*reference=*/false,
+    KernelOps{
+        detail::avx512_apply_single_qubit,
+        detail::avx512_apply_diagonal,
+        detail::avx2_apply_cnot_pairs,
+        detail::avx2_expval_z,
+        detail::avx2_gemm_micro_4x4,
+    },
+};
+
+}  // namespace
+
+namespace detail {
+
+void register_avx512_backend() { register_backend(&kAvx512); }
+
+}  // namespace detail
+}  // namespace qhdl::util::simd
+
+#else  // !QHDL_SIMD_AVX512: nothing to register on this target/toolchain
+
+namespace qhdl::util::simd::detail {
+
+void register_avx512_backend() {}
+
+}  // namespace qhdl::util::simd::detail
+
+#endif

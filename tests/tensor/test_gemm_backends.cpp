@@ -1,0 +1,108 @@
+// Cross-backend GEMM bit-identity (DESIGN.md §13): the packed blocked path
+// dispatches its 4x4 micro-kernel through the backend registry; every
+// supported backend must produce byte-for-byte identical results because
+// each acc element sums its products in ascending p regardless of ISA.
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/gemm.hpp"
+#include "util/backend_registry.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace qhdl;
+namespace simd = util::simd;
+
+class BackendScope {
+ public:
+  explicit BackendScope(const char* name) { simd::set_backend(name); }
+  ~BackendScope() { simd::set_backend(std::nullopt); }
+};
+
+std::vector<const simd::Backend*> supported_backends() {
+  std::vector<const simd::Backend*> out;
+  for (const simd::Backend* backend : simd::backends()) {
+    if (!backend->supported()) continue;
+    if (std::string{backend->name} == "generic") continue;
+    out.push_back(backend);
+  }
+  return out;
+}
+
+std::vector<double> random_matrix(std::size_t rows, std::size_t cols,
+                                  util::Rng& rng) {
+  return rng.uniform_vector(rows * cols, -1.0, 1.0);
+}
+
+std::vector<double> run_dgemm(std::size_t m, std::size_t n, std::size_t k,
+                              const std::vector<double>& a, bool a_transposed,
+                              const std::vector<double>& b, bool b_transposed,
+                              bool accumulate) {
+  std::vector<double> c(m * n, accumulate ? 0.5 : -7.0);
+  const std::size_t lda = a_transposed ? m : k;
+  const std::size_t ldb = b_transposed ? k : n;
+  tensor::gemm::dgemm(m, n, k, a.data(), lda, a_transposed, b.data(), ldb,
+                      b_transposed, c.data(), n, accumulate);
+  return c;
+}
+
+struct Shape {
+  std::size_t m, n, k;
+  const char* note;
+};
+
+TEST(GemmBackend, PackedAndDirectPathsBitIdenticalAcrossBackends) {
+  // 160^3 and the k=300 case exceed the direct-path dispatch bounds
+  // (k <= 256, n <= 128, k*n <= 8192), so they run the packed blocked path
+  // whose micro-kernel is registry-dispatched — including edge tiles (166
+  // is not a multiple of the 4x4 register tile). The small shapes cover the
+  // shared direct kernels for completeness.
+  const std::vector<Shape> shapes = {
+      {160, 160, 160, "packed, k*n > 8192"},
+      {166, 131, 300, "packed, k > KC, ragged tiles"},
+      {8, 48, 32, "direct row kernel"},
+      {5, 3, 7, "direct, sub-tile"},
+  };
+  util::Rng rng{90210};
+  for (const Shape& shape : shapes) {
+    for (const bool a_transposed : {false, true}) {
+      for (const bool b_transposed : {false, true}) {
+        for (const bool accumulate : {false, true}) {
+          const auto a = a_transposed
+                             ? random_matrix(shape.k, shape.m, rng)
+                             : random_matrix(shape.m, shape.k, rng);
+          const auto b = b_transposed
+                             ? random_matrix(shape.n, shape.k, rng)
+                             : random_matrix(shape.k, shape.n, rng);
+          std::vector<double> golden;
+          {
+            const BackendScope scope{"generic"};
+            golden = run_dgemm(shape.m, shape.n, shape.k, a, a_transposed, b,
+                               b_transposed, accumulate);
+          }
+          for (const simd::Backend* backend : supported_backends()) {
+            const BackendScope scope{backend->name};
+            const auto candidate = run_dgemm(shape.m, shape.n, shape.k, a,
+                                             a_transposed, b, b_transposed,
+                                             accumulate);
+            ASSERT_EQ(candidate.size(), golden.size());
+            for (std::size_t i = 0; i < golden.size(); ++i) {
+              ASSERT_EQ(candidate[i], golden[i])
+                  << backend->name << " " << shape.note << " m=" << shape.m
+                  << " n=" << shape.n << " k=" << shape.k
+                  << " aT=" << a_transposed << " bT=" << b_transposed
+                  << " acc=" << accumulate << " element " << i;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,215 @@
+// Backend registry selection tests (DESIGN.md §13): precedence layers
+// (runtime override > QHDL_BACKEND env > deprecated alias flags > build
+// default > CPUID auto-detect), unknown/unsupported-backend errors, and the
+// deprecated QHDL_FORCE_* alias mapping onto the reference backend.
+#include <cstdlib>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "nn/fastpath.hpp"
+#include "quantum/kernels.hpp"
+#include "util/backend_registry.hpp"
+
+namespace {
+
+using namespace qhdl;
+namespace simd = util::simd;
+
+/// Saves one env var on construction and restores it (set or unset) on
+/// destruction, re-resolving the registry so no state leaks across tests.
+class EnvScope {
+ public:
+  explicit EnvScope(const char* name) : name_{name} {
+    const char* value = std::getenv(name);
+    if (value != nullptr) saved_ = value;
+  }
+  ~EnvScope() {
+    if (saved_.has_value()) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+    simd::set_backend(std::nullopt);
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+TEST(BackendRegistry, ResolutionPrecedenceIsOverrideEnvAliasBuildAuto) {
+  const char* source = nullptr;
+
+  // Runtime override beats every other layer.
+  EXPECT_EQ(simd::resolve_backend_name("avx2", "generic", "1", "1", "generic",
+                                       &source),
+            "avx2");
+  EXPECT_STREQ(source, "override");
+
+  // Env var beats the aliases and the build default.
+  EXPECT_EQ(simd::resolve_backend_name(nullptr, "generic", "1", "1", "avx2",
+                                       &source),
+            "generic");
+  EXPECT_STREQ(source, "env");
+
+  // Either deprecated alias flag maps to the reference backend and beats
+  // the build default; "0" and empty mean unset, matching the old flags.
+  EXPECT_EQ(simd::resolve_backend_name(nullptr, nullptr, "1", nullptr, "avx2",
+                                       &source),
+            "reference");
+  EXPECT_STREQ(source, "alias");
+  EXPECT_EQ(simd::resolve_backend_name(nullptr, nullptr, nullptr, "1", "avx2",
+                                       &source),
+            "reference");
+  EXPECT_STREQ(source, "alias");
+  EXPECT_EQ(simd::resolve_backend_name(nullptr, nullptr, "0", "", "avx2",
+                                       &source),
+            "avx2");
+  EXPECT_STREQ(source, "build");
+
+  // Build default applies when nothing stronger is set; empty everywhere
+  // means CPUID auto-detection.
+  EXPECT_EQ(simd::resolve_backend_name(nullptr, nullptr, nullptr, nullptr,
+                                       "generic", &source),
+            "generic");
+  EXPECT_STREQ(source, "build");
+  EXPECT_EQ(simd::resolve_backend_name(nullptr, nullptr, nullptr, nullptr, "",
+                                       &source),
+            "");
+  EXPECT_STREQ(source, "auto");
+
+  // Empty strings are "not set", same as null.
+  EXPECT_EQ(
+      simd::resolve_backend_name("", "", nullptr, nullptr, "", &source), "");
+  EXPECT_STREQ(source, "auto");
+}
+
+TEST(BackendRegistry, StandardBackendsAreRegistered) {
+  ASSERT_NE(simd::find_backend("generic"), nullptr);
+  ASSERT_NE(simd::find_backend("reference"), nullptr);
+  EXPECT_FALSE(simd::find_backend("generic")->reference);
+  EXPECT_TRUE(simd::find_backend("reference")->reference);
+  // generic is the unconditional fallback: always supported, priority 0.
+  EXPECT_TRUE(simd::find_backend("generic")->supported());
+  EXPECT_EQ(simd::find_backend("generic")->priority, 0);
+  // Every KernelOps entry must be populated on every registered backend.
+  for (const simd::Backend* backend : simd::backends()) {
+    EXPECT_NE(backend->ops.apply_single_qubit, nullptr) << backend->name;
+    EXPECT_NE(backend->ops.apply_diagonal, nullptr) << backend->name;
+    EXPECT_NE(backend->ops.apply_cnot_pairs, nullptr) << backend->name;
+    EXPECT_NE(backend->ops.expval_z, nullptr) << backend->name;
+    EXPECT_NE(backend->ops.gemm_micro_4x4, nullptr) << backend->name;
+  }
+}
+
+TEST(BackendRegistry, UnknownBackendThrowsListingRegisteredNames) {
+  try {
+    simd::set_backend("definitely-not-a-backend");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("definitely-not-a-backend"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("generic"), std::string::npos)
+        << "error should list the registered names: " << what;
+  }
+  // A failed set leaves the previous selection working.
+  EXPECT_TRUE(simd::active_backend().supported());
+}
+
+TEST(BackendRegistry, UnsupportedBackendRejectedEverywhere) {
+  // Inject a fake descriptor whose CPUID gate always fails. Static storage:
+  // the registry keeps the pointer for the process lifetime.
+  static const simd::Backend kUnsupported{
+      "test-unsupported",
+      /*priority=*/100000,  // would win auto-detect if support were ignored
+      +[] { return false; },
+      /*reference=*/false,
+      simd::find_backend("generic")->ops,
+  };
+  simd::register_backend(&kUnsupported);
+  ASSERT_NE(simd::find_backend("test-unsupported"), nullptr);
+
+  // Explicit selection of an unsupported backend is an error...
+  EXPECT_THROW(simd::set_backend("test-unsupported"), std::invalid_argument);
+
+  // ...and auto-detect skips it despite the huge priority (the graceful
+  // fallback path for binaries whose best backend the CPU cannot run).
+  simd::set_backend(std::nullopt);
+  EXPECT_STRNE(simd::active_backend().name, "test-unsupported");
+  EXPECT_TRUE(simd::active_backend().supported());
+}
+
+TEST(BackendRegistry, RuntimeOverrideWinsAndClears) {
+  simd::set_backend("generic");
+  EXPECT_STREQ(simd::active_backend().name, "generic");
+  EXPECT_STREQ(simd::active_source(), "override");
+  EXPECT_EQ(&simd::ops(), &simd::active_backend().ops);
+
+  simd::set_backend(std::nullopt);
+  EXPECT_STRNE(simd::active_source(), "override");
+  EXPECT_TRUE(simd::active_backend().supported());
+}
+
+TEST(BackendRegistry, EnvSelectionAppliesOnResolution) {
+  const EnvScope guard{"QHDL_BACKEND"};
+  ::setenv("QHDL_BACKEND", "generic", 1);
+  simd::set_backend(std::nullopt);  // clear override, re-read env
+  EXPECT_STREQ(simd::active_backend().name, "generic");
+  EXPECT_STREQ(simd::active_source(), "env");
+
+  // The runtime override still beats the env var.
+  simd::set_backend("reference");
+  EXPECT_STREQ(simd::active_backend().name, "reference");
+  EXPECT_STREQ(simd::active_source(), "override");
+}
+
+TEST(BackendRegistry, UnknownEnvBackendThrowsOnResolution) {
+  const EnvScope guard{"QHDL_BACKEND"};
+  ::setenv("QHDL_BACKEND", "definitely-not-a-backend", 1);
+  try {
+    simd::set_backend(std::nullopt);  // forces re-resolution from env
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("definitely-not-a-backend"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("env"), std::string::npos)
+        << "error should name the deciding layer: " << what;
+  }
+}
+
+TEST(BackendRegistry, DeprecatedAliasesSelectReferenceBackend) {
+  if (std::getenv("QHDL_FORCE_GENERIC_KERNELS") != nullptr ||
+      std::getenv("QHDL_FORCE_REFERENCE_NN") != nullptr) {
+    GTEST_SKIP() << "legacy force flags already set in this environment";
+  }
+  const EnvScope backend_guard{"QHDL_BACKEND"};
+  const EnvScope generic_guard{"QHDL_FORCE_GENERIC_KERNELS"};
+  ::unsetenv("QHDL_BACKEND");
+  ::setenv("QHDL_FORCE_GENERIC_KERNELS", "1", 1);
+  simd::set_backend(std::nullopt);
+  EXPECT_STREQ(simd::active_backend().name, "reference");
+  EXPECT_STREQ(simd::active_source(), "alias");
+}
+
+TEST(BackendRegistry, ReferenceBackendForcesLegacyReferencePaths) {
+  simd::set_backend("reference");
+  EXPECT_TRUE(quantum::kernels::force_generic());
+  EXPECT_TRUE(quantum::kernels::force_uncompiled());
+  EXPECT_TRUE(nn::fastpath::force_reference());
+
+  simd::set_backend("generic");
+  if (std::getenv("QHDL_FORCE_GENERIC_KERNELS") == nullptr) {
+    EXPECT_FALSE(quantum::kernels::force_generic());
+  }
+  if (std::getenv("QHDL_FORCE_REFERENCE_NN") == nullptr) {
+    EXPECT_FALSE(nn::fastpath::force_reference());
+  }
+  simd::set_backend(std::nullopt);
+}
+
+}  // namespace

@@ -1,27 +1,105 @@
 #!/usr/bin/env python3
 """Compare a fresh BENCH_micro.json against the committed baseline.
 
-Fails (exit 1) when any shared benchmark is slower than baseline by more
-than the tolerance; reports (exit 0) improvements beyond the tolerance so
-CI can surface them. `--calibrate` divides every ratio by the median ratio
-first, so a uniformly slower/faster CI machine does not mask or fake a
-relative regression. Stdlib only.
+Fails (exit 1) when any comparable benchmark is slower than baseline by
+more than the tolerance; reports (exit 0) improvements beyond the tolerance
+so CI can surface them. `--calibrate` divides every ratio by the median
+ratio first, so a uniformly slower/faster CI machine does not mask or fake
+a relative regression. Stdlib only.
+
+Benchmark names may carry a kernel-backend suffix, e.g.
+`bench_micro_quantum/BM_SingleQubitGate@avx2/10` — the `@<backend>` names a
+SIMD backend from the registry (DESIGN.md §13), and which ones exist
+depends on the machine's CPU. Comparison is like-for-like:
+
+  * `X@b` vs `X@b` when the baseline has the same backend variant;
+  * `X@generic` falls back to the baseline's plain `X` — the pre-registry
+    scalar kernels are the generic backend's lineage;
+  * a backend variant the baseline runner could not measure (e.g. the
+    baseline machine lacked AVX-512) is reported as skipped, never an
+    error, and never silently dropped.
+
+Committed BENCH JSONs also carry a `trajectory` array of
+{git_sha, ns_per_op} entries (tools/bench_report.py). `--baseline-sha`
+selects one of those entries (full SHA or unique prefix) as the baseline
+instead of the file's top-level benchmark list, so a regression can be
+pinned against any recorded commit.
 
 Usage:
   tools/check_bench_regression.py --baseline BENCH_micro.json \
-      --current fresh.json [--tolerance 0.25] [--calibrate] [--report out.md]
+      --current fresh.json [--tolerance 0.25] [--calibrate] \
+      [--baseline-sha SHA] [--report out.md]
 """
 import argparse
 import json
+import re
 import statistics
 import sys
 
+# `<binary>/<BM_Name>@<backend>/<args...>` — the backend tag sits between
+# the benchmark name and its slash-separated argument suffix.
+BACKEND_RE = re.compile(r"^(?P<head>[^@]*)@(?P<backend>[^/]+)(?P<args>/.*)?$")
 
-def load_benchmarks(path):
+
+def split_backend(name):
+    """Returns (base_name_without_tag, backend_or_None)."""
+    match = BACKEND_RE.match(name)
+    if not match:
+        return name, None
+    return match.group("head") + (match.group("args") or ""), \
+        match.group("backend")
+
+
+def load_document(path):
     with open(path, encoding="utf-8") as handle:
-        data = json.load(handle)
-    return {b["name"]: b["ns_per_op"] for b in data.get("benchmarks", [])
+        return json.load(handle)
+
+
+def benchmarks_from(doc, baseline_sha=None, path=""):
+    """Name → ns/op map, from the top level or a trajectory entry."""
+    if baseline_sha:
+        matches = [point for point in doc.get("trajectory", [])
+                   if point.get("git_sha", "").startswith(baseline_sha)]
+        if not matches:
+            raise SystemExit(
+                f"error: no trajectory entry matching sha "
+                f"'{baseline_sha}' in {path}")
+        if len(matches) > 1:
+            shas = ", ".join(p["git_sha"][:12] for p in matches)
+            raise SystemExit(
+                f"error: sha prefix '{baseline_sha}' is ambiguous in "
+                f"{path}: {shas}")
+        return {name: ns for name, ns in matches[0]["ns_per_op"].items()
+                if ns > 0}
+    return {b["name"]: b["ns_per_op"] for b in doc.get("benchmarks", [])
             if b.get("ns_per_op", 0) > 0}
+
+
+def pair_benchmarks(baseline, current):
+    """Matches current names to baseline names like-for-like.
+
+    Returns (pairs, skipped): pairs is a list of
+    (current_name, baseline_name) and skipped a list of
+    (current_name, reason) for benchmarks with no comparable baseline.
+    """
+    pairs, skipped = [], []
+    for name in sorted(current):
+        if name in baseline:
+            pairs.append((name, name))
+            continue
+        base_name, backend = split_backend(name)
+        if backend is None:
+            skipped.append((name, "not in baseline (new benchmark)"))
+        elif backend == "generic" and base_name in baseline:
+            # The generic backend inherits the pre-registry scalar kernels,
+            # so the untagged baseline entry is the honest ancestor.
+            pairs.append((name, base_name))
+        else:
+            skipped.append(
+                (name,
+                 f"backend '{backend}' not measured in baseline "
+                 f"(runner CPU or older revision)"))
+    return pairs, skipped
 
 
 def main():
@@ -32,18 +110,25 @@ def main():
     parser.add_argument("--calibrate", action="store_true",
                         help="normalize ratios by their median (absorbs "
                              "uniform machine-speed differences)")
+    parser.add_argument("--baseline-sha", default="",
+                        help="compare against this trajectory entry of the "
+                             "baseline file (SHA prefix) instead of its "
+                             "top-level benchmark list")
     parser.add_argument("--report", default="",
                         help="write a markdown summary here")
     args = parser.parse_args()
 
-    baseline = load_benchmarks(args.baseline)
-    current = load_benchmarks(args.current)
-    shared = sorted(set(baseline) & set(current))
-    if not shared:
-        print("error: no overlapping benchmark names", file=sys.stderr)
+    baseline = benchmarks_from(load_document(args.baseline),
+                               args.baseline_sha, args.baseline)
+    current = benchmarks_from(load_document(args.current))
+    pairs, skipped = pair_benchmarks(baseline, current)
+    if not pairs:
+        print("error: no comparable benchmark names", file=sys.stderr)
         return 1
+    missing = sorted(set(baseline)
+                     - {base for _, base in pairs})
 
-    ratios = {name: current[name] / baseline[name] for name in shared}
+    ratios = {cur: current[cur] / baseline[base] for cur, base in pairs}
     scale = statistics.median(ratios.values()) if args.calibrate else 1.0
     if scale <= 0:
         print("error: non-positive calibration scale", file=sys.stderr)
@@ -51,28 +136,39 @@ def main():
 
     regressions, improvements = [], []
     rows = []
-    for name in shared:
-        ratio = ratios[name] / scale
-        rows.append((name, baseline[name], current[name], ratio))
+    for cur, base in pairs:
+        ratio = ratios[cur] / scale
+        rows.append((cur, base, baseline[base], current[cur], ratio))
         if ratio > 1.0 + args.tolerance:
-            regressions.append((name, ratio))
+            regressions.append((cur, ratio))
         elif ratio < 1.0 - args.tolerance:
-            improvements.append((name, ratio))
+            improvements.append((cur, ratio))
 
     lines = [
         "## Benchmark comparison",
         "",
-        f"{len(shared)} shared benchmarks, tolerance ±{args.tolerance:.0%}"
-        + (f", calibration scale {scale:.3f}" if args.calibrate else ""),
+        f"{len(pairs)} comparable benchmarks, "
+        f"tolerance ±{args.tolerance:.0%}"
+        + (f", calibration scale {scale:.3f}" if args.calibrate else "")
+        + (f", baseline sha {args.baseline_sha}" if args.baseline_sha
+           else ""),
         "",
         "| benchmark | baseline ns/op | current ns/op | ratio |",
         "|---|---:|---:|---:|",
     ]
-    for name, base, cur, ratio in rows:
+    for cur, base, base_ns, cur_ns, ratio in rows:
         marker = " ⚠️" if ratio > 1.0 + args.tolerance else (
             " 🚀" if ratio < 1.0 - args.tolerance else "")
-        lines.append(f"| {name} | {base:.0f} | {cur:.0f} | "
+        label = cur if cur == base else f"{cur} (vs {base})"
+        lines.append(f"| {label} | {base_ns:.0f} | {cur_ns:.0f} | "
                      f"{ratio:.2f}{marker} |")
+    if skipped:
+        lines += ["", f"**{len(skipped)} skipped (no comparable "
+                  "baseline):**"]
+        lines += [f"- {name}: {reason}" for name, reason in skipped]
+    if missing:
+        lines += ["", f"**{len(missing)} baseline-only (not in current "
+                  "run):** " + ", ".join(missing)]
     if regressions:
         lines += ["", f"**{len(regressions)} regression(s):** "
                   + ", ".join(f"{n} ({r:.2f}x)" for n, r in regressions)]
