@@ -12,6 +12,7 @@
 #include "quantum/adjoint_diff.hpp"
 #include "quantum/kernels.hpp"
 #include "quantum/parameter_shift.hpp"
+#include "quantum/statevector_batch.hpp"
 #include "tensor/tensor.hpp"
 #include "util/backend_registry.hpp"
 #include "util/rng.hpp"
@@ -341,6 +342,97 @@ void run_expval_backend(benchmark::State& state, const std::string& backend) {
   }
 }
 
+// --- batched SoA variants (DESIGN.md §14) ---------------------------------
+// The batched kernels vectorize across batch lanes, so their speedup over
+// generic is the PR-8 acceptance metric; batch 16 fills the widest (AVX-512
+// 4-lane × unrolled) paths, and the layer-level forward measures the whole
+// compiled batch pipeline end to end.
+
+void run_single_qubit_batch_backend(benchmark::State& state,
+                                    const std::string& backend) {
+  const BackendGuard guard{backend};
+  const auto qubits = static_cast<std::size_t>(state.range(0));
+  const std::size_t batch = 16;
+  quantum::StateVectorBatch sv{qubits, batch};
+  const quantum::Mat2 gate = quantum::gates::rx(0.73);
+  std::size_t wire = 0;
+  for (auto _ : state) {
+    sv.apply_single_qubit(gate, wire);
+    wire = (wire + 1) % qubits;
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch));
+}
+
+void run_expval_batch_backend(benchmark::State& state,
+                              const std::string& backend) {
+  const BackendGuard guard{backend};
+  const auto qubits = static_cast<std::size_t>(state.range(0));
+  const std::size_t batch = 16;
+  quantum::StateVectorBatch sv{qubits, batch};
+  sv.apply_single_qubit(quantum::gates::ry(0.9), 0);
+  std::vector<double> out(batch);
+  for (auto _ : state) {
+    sv.expval_pauli_z(0, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch));
+}
+
+void run_adjoint_vjp_batch_backend(benchmark::State& state,
+                                   const std::string& backend) {
+  const BackendGuard guard{backend};
+  const auto qubits = static_cast<std::size_t>(state.range(0));
+  const std::size_t batch = 16;
+  std::vector<double> proto;
+  const Circuit circuit = make_sel_circuit(qubits, 2, proto);
+  // Hybrid-layer parameter shape: per-row encoding angles, shared weights.
+  util::Rng rng{13};
+  std::vector<double> params(batch * proto.size());
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t p = 0; p < proto.size(); ++p) {
+      params[b * proto.size() + p] =
+          p < qubits ? rng.uniform(-1.0, 1.0) : proto[p];
+    }
+  }
+  std::vector<Observable> observables;
+  for (std::size_t w = 0; w < qubits; ++w) {
+    observables.push_back(Observable::pauli_z(w));
+  }
+  std::vector<double> upstream(batch * qubits, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        quantum::adjoint_vjp_batch(circuit, params, proto.size(), batch,
+                                   observables, upstream)
+            .gradient.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch));
+}
+
+void run_layer_batch_forward_backend(benchmark::State& state,
+                                     const std::string& backend) {
+  const BackendGuard guard{backend};
+  qnn::QuantumLayerConfig config;
+  config.qubits = 8;
+  config.depth = 2;
+  config.threads = 1;
+  util::Rng rng{11};
+  qnn::QuantumLayer layer{config, rng};
+  const std::size_t batch = 16;
+  tensor::Tensor input{tensor::Shape{batch, config.qubits}};
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = rng.uniform(-1.0, 1.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layer.forward(input));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch));
+}
+
 void register_backend_variants() {
   for (const util::simd::Backend* backend : util::simd::backends()) {
     if (backend->reference || !backend->supported()) continue;
@@ -362,6 +454,31 @@ void register_backend_variants() {
         [name](benchmark::State& state) { run_expval_backend(state, name); })
         ->Arg(10)
         ->Arg(12);
+    benchmark::RegisterBenchmark(
+        ("BM_SingleQubitBatch@" + name).c_str(),
+        [name](benchmark::State& state) {
+          run_single_qubit_batch_backend(state, name);
+        })
+        ->Arg(6)
+        ->Arg(8);
+    benchmark::RegisterBenchmark(
+        ("BM_ExpvalZBatch@" + name).c_str(),
+        [name](benchmark::State& state) {
+          run_expval_batch_backend(state, name);
+        })
+        ->Arg(6)
+        ->Arg(8);
+    benchmark::RegisterBenchmark(
+        ("BM_AdjointVjpBatch@" + name).c_str(),
+        [name](benchmark::State& state) {
+          run_adjoint_vjp_batch_backend(state, name);
+        })
+        ->Arg(6);
+    benchmark::RegisterBenchmark(
+        ("BM_QuantumLayerBatchForward@" + name).c_str(),
+        [name](benchmark::State& state) {
+          run_layer_batch_forward_backend(state, name);
+        });
   }
 }
 

@@ -248,18 +248,23 @@ BatchAdjointVjpResult adjoint_vjp_batch(
     }
   }
 
-  // Co-state seed: λ_b = (Σ_k w_{b,k} diag_k) ∘ ψ_b.
+  // Co-state seed: λ_b = Σ_k w_{b,k} (O_k ψ_b), accumulated term-by-term in
+  // the same order as the scalar weighted_observable_state (k outer,
+  // ascending i, w == 0 terms skipped) — bit-identical per row for the
+  // single-term observables the hybrid layer emits.
   StateVectorBatch lambda{num_qubits, batch_rows};
   {
     const std::span<const Complex> amps = phi.amplitudes();
     const std::span<Complex> lam = lambda.amplitudes();
-    for (std::size_t i = 0; i < dimension; ++i) {
-      for (std::size_t b = 0; b < batch_rows; ++b) {
-        double effective = 0.0;
-        for (std::size_t k = 0; k < obs_count; ++k) {
-          effective += upstream_weights[b * obs_count + k] * diagonals[k][i];
+    for (auto& a : lam) a = Complex{0.0, 0.0};  // ctor seeds amplitude 0 to 1
+    for (std::size_t k = 0; k < obs_count; ++k) {
+      const std::vector<double>& diag = diagonals[k];
+      for (std::size_t i = 0; i < dimension; ++i) {
+        for (std::size_t b = 0; b < batch_rows; ++b) {
+          const double w = upstream_weights[b * obs_count + k];
+          if (w == 0.0) continue;
+          lam[i * batch_rows + b] += w * (diag[i] * amps[i * batch_rows + b]);
         }
-        lam[i * batch_rows + b] = effective * amps[i * batch_rows + b];
       }
     }
   }

@@ -366,28 +366,95 @@ void ExecutionPlan::run(StateVector& state,
 void ExecutionPlan::run_batch(StateVectorBatch& batch,
                               std::span<const double> params,
                               std::size_t param_stride) const {
-  // Same loop shape as the uncompiled Circuit::run_batch — one kernel per
-  // flat op with runtime shared-angle detection — minus the per-op
-  // param-index plumbing resolved at compile time.
+  // Executes the FUSED stream — the same ops ExecutionPlan::run dispatches
+  // — so every batch row reproduces the scalar compiled path bit-for-bit
+  // and the fused chains feed the batched SIMD kernels (DESIGN.md §14).
+  // Parameterized gates detect shared-vs-per-row angles at runtime; a
+  // chain whose angles are all row-independent falls back to one 2x2
+  // product per row, built in the scalar fuser's left-multiplication
+  // order.
   const std::size_t rows = batch.batch();
   thread_local std::vector<double> angles;
+  thread_local std::vector<Mat2> row_mats;
   angles.resize(rows);
-  for (const PlanOp& op : flat_ops_) {
-    if (op.param_slot < 0) {
-      const double fixed[1] = {op.fixed_angle};
-      apply_gate_batch(batch, op.type, fixed, op.wire0, op.wire1);
-      continue;
+  const auto gather = [&](std::int64_t slot, double fixed_angle) -> bool {
+    // Fills `angles`; true when every row shares one angle.
+    if (slot < 0) {
+      angles[0] = fixed_angle;
+      return true;
     }
-    const std::size_t index = static_cast<std::size_t>(op.param_slot);
+    const std::size_t index = static_cast<std::size_t>(slot);
     bool shared = true;
     for (std::size_t b = 0; b < rows; ++b) {
       angles[b] = params[b * param_stride + index];
       shared = shared && angles[b] == angles[0];
     }
-    apply_gate_batch(batch, op.type,
-                     shared ? std::span<const double>{angles.data(), 1}
-                            : std::span<const double>{angles},
-                     op.wire0, op.wire1);
+    return shared;
+  };
+  for (const FusedOp& op : fused_ops_) {
+    switch (op.kind) {
+      case FusedOp::Kind::Single:
+      case FusedOp::Kind::TwoQubit: {
+        const bool shared = gather(op.param_slot, op.fixed_angle);
+        apply_gate_batch(batch, op.type,
+                         shared ? std::span<const double>{angles.data(), 1}
+                                : std::span<const double>{angles},
+                         op.wire0, op.wire1);
+        break;
+      }
+      case FusedOp::Kind::Chain: {
+        const ChainGate* gates = &chain_gates_[op.chain_begin];
+        bool all_shared = true;
+        for (std::uint32_t i = 0; i < op.chain_length && all_shared; ++i) {
+          if (gates[i].param_slot < 0) continue;
+          const std::size_t index =
+              static_cast<std::size_t>(gates[i].param_slot);
+          const double first = params[index];
+          for (std::size_t b = 1; b < rows && all_shared; ++b) {
+            all_shared = params[b * param_stride + index] == first;
+          }
+        }
+        const auto chain_angle = [&](std::uint32_t i, std::size_t b) {
+          return gates[i].param_slot < 0
+                     ? gates[i].fixed_angle
+                     : params[b * param_stride +
+                              static_cast<std::size_t>(gates[i].param_slot)];
+        };
+        if (all_shared) {
+          Mat2 matrix = gates::matrix_for(gates[0].type, chain_angle(0, 0));
+          for (std::uint32_t i = 1; i < op.chain_length; ++i) {
+            matrix =
+                gates::matrix_for(gates[i].type, chain_angle(i, 0)) * matrix;
+          }
+          batch.apply_single_qubit(matrix, op.wire0);
+        } else {
+          row_mats.resize(rows);
+          for (std::size_t b = 0; b < rows; ++b) {
+            Mat2 matrix = gates::matrix_for(gates[0].type, chain_angle(0, b));
+            for (std::uint32_t i = 1; i < op.chain_length; ++i) {
+              matrix = gates::matrix_for(gates[i].type, chain_angle(i, b)) *
+                       matrix;
+            }
+            row_mats[b] = matrix;
+          }
+          batch.apply_single_qubit_per_row(row_mats, op.wire0);
+        }
+        kernels::count_fused(op.chain_length);
+        break;
+      }
+      case FusedOp::Kind::FixedChain:
+        batch.apply_single_qubit(op.matrix, op.wire0);
+        kernels::count_fused(op.gate_count);
+        break;
+      case FusedOp::Kind::DiagonalChain:
+        batch.apply_diagonal(op.d0, op.d1, op.wire0);
+        kernels::count_fused(op.gate_count);
+        break;
+      case FusedOp::Kind::FusedPair:
+        batch.apply_two_qubit(op.matrix4, op.wire0, op.wire1);
+        kernels::count_fused(op.gate_count);
+        break;
+    }
   }
 }
 

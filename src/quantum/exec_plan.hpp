@@ -145,8 +145,10 @@ class ExecutionPlan {
   /// two-qubit ops dispatch through apply_gate and are bit-identical.
   void run(StateVector& state, std::span<const double> params) const;
 
-  /// Executes the flat stream with the same shared/per-row batch kernels as
-  /// the uncompiled Circuit::run_batch — bit-identical to it.
+  /// Executes the FUSED stream with the batched SoA kernels (DESIGN.md
+  /// §14): the same fused ops run() dispatches, so every batch row is
+  /// bit-identical to the scalar compiled path — and to the uncompiled
+  /// batch fuser, which mirrors the same lowering per call.
   void run_batch(StateVectorBatch& batch, std::span<const double> params,
                  std::size_t param_stride) const;
 

@@ -1,9 +1,11 @@
 #include "quantum/statevector_batch.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
 #include "quantum/kernels.hpp"
+#include "util/backend_registry.hpp"
 
 namespace qhdl::quantum {
 
@@ -49,16 +51,33 @@ void StateVectorBatch::assign_from(const StateVectorBatch& other) {
   if (other.num_qubits_ != num_qubits_ || other.batch_ != batch_) {
     throw std::invalid_argument("StateVectorBatch::assign_from: shape");
   }
-  amplitudes_ = other.amplitudes_;
+  // std::copy into the existing storage: same-shape batches have equal
+  // sizes, so this never reallocates on the hot path (the adjoint sweep
+  // calls assign_from once per parameterized op).
+  std::copy(other.amplitudes_.begin(), other.amplitudes_.end(),
+            amplitudes_.begin());
 }
+
+namespace {
+
+/// Transpose block for the AoS<->SoA row bridges: enough amplitudes that
+/// each strided pass streams ~a cache line per lane run without the whole
+/// pass evicting the contiguous side (256 complexes = 4 KiB contiguous).
+constexpr std::size_t kRowCopyBlock = 256;
+
+}  // namespace
 
 StateVector StateVectorBatch::extract_row(std::size_t row) const {
   if (row >= batch_) {
     throw std::out_of_range("StateVectorBatch::extract_row: row");
   }
   std::vector<Complex> amps(dimension_);
-  for (std::size_t i = 0; i < dimension_; ++i) {
-    amps[i] = amplitudes_[i * batch_ + row];
+  const Complex* src = amplitudes_.data() + row;
+  for (std::size_t i0 = 0; i0 < dimension_; i0 += kRowCopyBlock) {
+    const std::size_t end = std::min(dimension_, i0 + kRowCopyBlock);
+    for (std::size_t i = i0; i < end; ++i) {
+      amps[i] = src[i * batch_];
+    }
   }
   return StateVector{std::move(amps)};
 }
@@ -71,8 +90,12 @@ void StateVectorBatch::set_row(std::size_t row, const StateVector& state) {
     throw std::invalid_argument("StateVectorBatch::set_row: dimension");
   }
   const auto amps = state.amplitudes();
-  for (std::size_t i = 0; i < dimension_; ++i) {
-    amplitudes_[i * batch_ + row] = amps[i];
+  Complex* dst = amplitudes_.data() + row;
+  for (std::size_t i0 = 0; i0 < dimension_; i0 += kRowCopyBlock) {
+    const std::size_t end = std::min(dimension_, i0 + kRowCopyBlock);
+    for (std::size_t i = i0; i < end; ++i) {
+      dst[i * batch_] = amps[i];
+    }
   }
 }
 
@@ -103,19 +126,12 @@ void StateVectorBatch::apply_single_qubit(const Mat2& gate,
   kernels::count_generic();
   kernels::count_batched_rows(batch_);
   const std::size_t stride = std::size_t{1} << (num_qubits_ - 1 - wire);
-  Complex* amps = amplitudes_.data();
-  for (std::size_t block = 0; block < dimension_; block += 2 * stride) {
-    for (std::size_t offset = 0; offset < stride; ++offset) {
-      Complex* a0 = amps + (block + offset) * batch_;
-      Complex* a1 = amps + (block + stride + offset) * batch_;
-      for (std::size_t b = 0; b < batch_; ++b) {
-        const Complex v0 = a0[b];
-        const Complex v1 = a1[b];
-        a0[b] = gate.m00 * v0 + gate.m01 * v1;
-        a1[b] = gate.m10 * v0 + gate.m11 * v1;
-      }
-    }
-  }
+  // Registry-dispatched (DESIGN.md §14): the active backend vectorizes
+  // across the contiguous batch lanes; per-lane arithmetic is the scalar
+  // StateVector formula unchanged.
+  const Complex m[4] = {gate.m00, gate.m01, gate.m10, gate.m11};
+  util::simd::ops().apply_single_qubit_batch(amplitudes_.data(), dimension_,
+                                             stride, batch_, m);
 }
 
 void StateVectorBatch::apply_diagonal(Complex d0, Complex d1,
@@ -124,18 +140,10 @@ void StateVectorBatch::apply_diagonal(Complex d0, Complex d1,
   kernels::count_diagonal();
   kernels::count_batched_rows(batch_);
   const std::size_t stride = std::size_t{1} << (num_qubits_ - 1 - wire);
-  Complex* amps = amplitudes_.data();
-  const bool skip_zero_half = d0 == Complex{1.0, 0.0};
-  for (std::size_t block = 0; block < dimension_; block += 2 * stride) {
-    for (std::size_t offset = 0; offset < stride; ++offset) {
-      Complex* a0 = amps + (block + offset) * batch_;
-      Complex* a1 = amps + (block + stride + offset) * batch_;
-      if (!skip_zero_half) {
-        for (std::size_t b = 0; b < batch_; ++b) a0[b] *= d0;
-      }
-      for (std::size_t b = 0; b < batch_; ++b) a1[b] *= d1;
-    }
-  }
+  // Registry-dispatched; the d0 == 1 phase-gate fast path lives inside
+  // the backend op, mirroring the scalar apply_diagonal.
+  util::simd::ops().apply_diagonal_batch(amplitudes_.data(), dimension_,
+                                         stride, batch_, d0, d1);
 }
 
 void StateVectorBatch::apply_rx_fast(double c, double s, std::size_t wire) {
@@ -205,13 +213,31 @@ void StateVectorBatch::apply_cnot(std::size_t control, std::size_t target) {
   const std::size_t tmask = std::size_t{1} << (num_qubits_ - 1 - target);
   const std::size_t lo = cmask < tmask ? cmask : tmask;
   const std::size_t hi = cmask < tmask ? tmask : cmask;
-  Complex* amps = amplitudes_.data();
-  for (std::size_t k = 0; k < dimension_ / 4; ++k) {
-    const std::size_t i = expand_two_zero_bits(k, lo, hi) | cmask;
-    Complex* a0 = amps + i * batch_;
-    Complex* a1 = amps + (i | tmask) * batch_;
-    for (std::size_t b = 0; b < batch_; ++b) std::swap(a0[b], a1[b]);
+  // Registry-dispatched pure permutation: each swap moves a run of batch_
+  // complexes.
+  util::simd::ops().apply_cnot_pairs_batch(amplitudes_.data(), dimension_ / 4,
+                                           lo, hi, cmask, tmask, batch_);
+}
+
+void StateVectorBatch::apply_two_qubit(const Mat4& gate, std::size_t wire_a,
+                                       std::size_t wire_b) {
+  check_wire(wire_a, "StateVectorBatch::apply_two_qubit");
+  check_wire(wire_b, "StateVectorBatch::apply_two_qubit");
+  if (wire_a == wire_b) {
+    throw std::invalid_argument(
+        "StateVectorBatch::apply_two_qubit: wires must differ");
   }
+  kernels::count_two_qubit_dense();
+  kernels::count_batched_rows(batch_);
+  const std::size_t amask = std::size_t{1} << (num_qubits_ - 1 - wire_a);
+  const std::size_t bmask = std::size_t{1} << (num_qubits_ - 1 - wire_b);
+  const std::size_t lo = amask < bmask ? amask : bmask;
+  const std::size_t hi = amask < bmask ? bmask : amask;
+  // Same basis order as StateVector::apply_two_qubit: |wire_a wire_b⟩ rows
+  // {base, base|bmask, base|amask, base|amask|bmask}.
+  util::simd::ops().apply_two_qubit_batch(amplitudes_.data(), dimension_ / 4,
+                                          lo, hi, amask, bmask, batch_,
+                                          &gate.m[0][0]);
 }
 
 void StateVectorBatch::apply_cz(std::size_t control, std::size_t target) {
@@ -556,16 +582,10 @@ void StateVectorBatch::expval_pauli_z(std::size_t wire,
   check_wire(wire, "StateVectorBatch::expval_pauli_z");
   check_rows(out.size(), "StateVectorBatch::expval_pauli_z");
   const std::size_t mask = std::size_t{1} << (num_qubits_ - 1 - wire);
-  for (std::size_t b = 0; b < batch_; ++b) out[b] = 0.0;
-  const Complex* amps = amplitudes_.data();
-  for (std::size_t i = 0; i < dimension_; ++i) {
-    const Complex* a = amps + i * batch_;
-    if ((i & mask) == 0) {
-      for (std::size_t b = 0; b < batch_; ++b) out[b] += std::norm(a[b]);
-    } else {
-      for (std::size_t b = 0; b < batch_; ++b) out[b] -= std::norm(a[b]);
-    }
-  }
+  // Registry-dispatched per-row sequential reduction (the batched canon —
+  // backend_registry.hpp), one independent running sum per lane.
+  util::simd::ops().expval_z_batch(amplitudes_.data(), dimension_, mask,
+                                   batch_, out.data());
 }
 
 void StateVectorBatch::inner_products_real(const StateVectorBatch& other,
@@ -575,18 +595,11 @@ void StateVectorBatch::inner_products_real(const StateVectorBatch& other,
         "StateVectorBatch::inner_products_real: shape mismatch");
   }
   check_rows(out.size(), "StateVectorBatch::inner_products_real");
-  for (std::size_t b = 0; b < batch_; ++b) out[b] = 0.0;
-  const Complex* lhs = amplitudes_.data();
-  const Complex* rhs = other.amplitudes_.data();
-  for (std::size_t i = 0; i < dimension_; ++i) {
-    const Complex* l = lhs + i * batch_;
-    const Complex* r = rhs + i * batch_;
-    // Re(conj(l)·r) accumulated in index order, matching the real-part
-    // accumulation of StateVector::inner_product.
-    for (std::size_t b = 0; b < batch_; ++b) {
-      out[b] += l[b].real() * r[b].real() + l[b].imag() * r[b].imag();
-    }
-  }
+  // Re(conj(l)·r) per row, accumulated in index order (the batched
+  // reduction canon), registry-dispatched.
+  util::simd::ops().inner_products_real_batch(amplitudes_.data(),
+                                              other.amplitudes_.data(),
+                                              dimension_, batch_, out.data());
 }
 
 }  // namespace qhdl::quantum

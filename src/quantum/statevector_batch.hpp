@@ -15,6 +15,11 @@
 // Arithmetic per row is identical to the scalar StateVector kernels (same
 // operations in the same order), so batch results match the per-row path
 // bit-for-bit regardless of how the batch is chunked.
+//
+// The hottest kernels (dense 2x2, diagonal, CNOT, dense 4x4, expval-Z,
+// batched inner products) are registry-dispatched through
+// util::simd::ops() (DESIGN.md §14): the active backend vectorizes ACROSS
+// the contiguous batch lanes, which cannot change any per-lane rounding.
 #pragma once
 
 #include <span>
@@ -62,6 +67,11 @@ class StateVectorBatch {
                                    std::size_t target);
   void apply_double_flip_pairs(const Mat2& even_pair, const Mat2& odd_pair,
                                std::size_t wire_a, std::size_t wire_b);
+  /// Dense 4x4 two-qubit unitary on |wire_a wire_b⟩, same basis order and
+  /// row formula as StateVector::apply_two_qubit (used by the compiled
+  /// plan's FusedPair ops).
+  void apply_two_qubit(const Mat4& gate, std::size_t wire_a,
+                       std::size_t wire_b);
 
   // --- per-row kernels (independent gate per row; spans sized batch()) ---
   void apply_single_qubit_per_row(std::span<const Mat2> gates,

@@ -30,7 +30,18 @@
 //     formula does;
 //   * the GEMM micro-kernel keeps each accumulator element's ascending-p
 //     order (broadcast A, vector multiply, vector add), so AVX lanes see
-//     the same add sequence the scalar tile loop performs.
+//     the same add sequence the scalar tile loop performs;
+//   * the *_batch ops vectorize ACROSS the batch lanes of the SoA layout
+//     (amps[i * batch + b], unit-stride loads, no shuffles): each lane's
+//     arithmetic is the independent per-row scalar formula, so lane-wise
+//     SIMD cannot change a single rounding regardless of vector width —
+//     scalar tails for odd batch sizes are bit-safe by the same argument;
+//   * batched reductions (expval_z_batch, inner_products_real_batch) keep
+//     one sequential running sum per row in ascending amplitude order —
+//     the per-row canon that Observable::expectation and the scalar
+//     adjoint sweep use — NOT the single-state mod-8 lane order; the two
+//     canons are never mixed because the batched and single-state ops are
+//     distinct registry entries.
 //
 // The `reference` backend preserves the pre-registry escape hatch: scalar
 // ops with the seed's sequential expval reduction, and selecting it flips
@@ -84,6 +95,56 @@ struct KernelOps {
   /// operands; MR = NR = 4 is fixed by the packing layout).
   void (*gemm_micro_4x4)(std::size_t kc, const double* pa, const double* pb,
                          std::size_t pb_stride, double acc[4][4]);
+
+  // Batched SoA ops. `amps` holds a StateVectorBatch: amplitude i of row b
+  // at amps[i * batch + b], so every (i0, i1) gate pair touches two
+  // contiguous runs of `batch` complexes — the lanes SIMD vectorizes
+  // across. All index parameters (n, stride, quarter, masks) are in
+  // AMPLITUDE units, exactly as for the single-state ops; the kernels scale
+  // by `batch` internally.
+
+  /// Dense 2x2 on every (i, i+stride) pair of amplitude ROWS: for each lane
+  /// b, a0 = m0*v0 + m1*v1 and a1 = m2*v0 + m3*v1 with the scalar
+  /// formula's rounding order per lane.
+  void (*apply_single_qubit_batch)(Complex* amps, std::size_t n,
+                                   std::size_t stride, std::size_t batch,
+                                   const Complex* m);
+
+  /// Batched diagonal phase multiply; the d0 == 1 fast path (only the set
+  /// half moves) lives inside the op, mirroring apply_diagonal.
+  void (*apply_diagonal_batch)(Complex* amps, std::size_t n,
+                               std::size_t stride, std::size_t batch,
+                               Complex d0, Complex d1);
+
+  /// Batched CNOT pair swap: same index stream as apply_cnot_pairs, each
+  /// swap moves a run of `batch` complexes. Pure permutation.
+  void (*apply_cnot_pairs_batch)(Complex* amps, std::size_t quarter,
+                                 std::size_t lo, std::size_t hi,
+                                 std::size_t cmask, std::size_t tmask,
+                                 std::size_t batch);
+
+  /// Batched dense 4x4 (fused-pair / two-qubit unitary): for each compact
+  /// k in [0, quarter), base = expand_two_zero_bits(k, lo, hi) and the four
+  /// amplitude rows {base, base|bmask, base|amask, base|amask|bmask} mix as
+  /// out_r = m16[4r]*a0 + m16[4r+1]*a1 + m16[4r+2]*a2 + m16[4r+3]*a3
+  /// (left-to-right association, matching StateVector::apply_two_qubit).
+  void (*apply_two_qubit_batch)(Complex* amps, std::size_t quarter,
+                                std::size_t lo, std::size_t hi,
+                                std::size_t amask, std::size_t bmask,
+                                std::size_t batch, const Complex* m16);
+
+  /// Per-row Σ ±|a_i|²: out[b] accumulates sequentially in ascending i
+  /// (the batched reduction canon — see header comment), sign from
+  /// (i & mask). `out` is overwritten.
+  void (*expval_z_batch)(const Complex* amps, std::size_t n, std::size_t mask,
+                         std::size_t batch, double* out);
+
+  /// Per-row real part of <lhs_b|rhs_b>: out[b] accumulates
+  /// l.re*r.re + l.im*r.im sequentially in ascending i (batched reduction
+  /// canon). `out` is overwritten.
+  void (*inner_products_real_batch)(const Complex* lhs, const Complex* rhs,
+                                    std::size_t n, std::size_t batch,
+                                    double* out);
 };
 
 /// Capability descriptor one backend TU registers.

@@ -219,6 +219,241 @@ double avx2_expval_z(const Complex* amps, std::size_t n, std::size_t mask) {
   return (lane[0] + lane[2]) + (lane[1] + lane[3]);
 }
 
+// Batched-SoA kernels. Amplitude row i is a contiguous run of `batch`
+// complexes; vectorization is ACROSS those lanes (2 complexes per ymm,
+// unit-stride, no shuffles), so each lane executes the scalar per-row
+// formula unchanged — the bit-identity argument is lane independence, not
+// a reduction-order proof. Odd trailing lanes run the scalar formula
+// directly (this TU has -ffp-contract=off, so the tail code is exact).
+
+void avx2_apply_single_qubit_batch(Complex* amps, std::size_t n,
+                                   std::size_t stride, std::size_t batch,
+                                   const Complex* m) {
+  double* base = reinterpret_cast<double*>(amps);
+  const __m256d m00r = _mm256_set1_pd(m[0].real());
+  const __m256d m00i = _mm256_set1_pd(m[0].imag());
+  const __m256d m01r = _mm256_set1_pd(m[1].real());
+  const __m256d m01i = _mm256_set1_pd(m[1].imag());
+  const __m256d m10r = _mm256_set1_pd(m[2].real());
+  const __m256d m10i = _mm256_set1_pd(m[2].imag());
+  const __m256d m11r = _mm256_set1_pd(m[3].real());
+  const __m256d m11i = _mm256_set1_pd(m[3].imag());
+  // Rows block+offset for offset in [0, stride) are contiguous in SoA, so
+  // the offset and lane loops collapse into one run of stride*batch
+  // complexes per half.
+  const std::size_t run = stride * batch;
+  for (std::size_t block = 0; block < n; block += 2 * stride) {
+    double* p0 = base + 2 * block * batch;
+    double* p1 = p0 + 2 * run;
+    std::size_t j = 0;
+    for (; j + 2 <= run; j += 2) {
+      const __m256d a0 = _mm256_loadu_pd(p0 + 2 * j);
+      const __m256d a1 = _mm256_loadu_pd(p1 + 2 * j);
+      const __m256d r0 = _mm256_add_pd(cmul_const(a0, m00r, m00i),
+                                       cmul_const(a1, m01r, m01i));
+      const __m256d r1 = _mm256_add_pd(cmul_const(a0, m10r, m10i),
+                                       cmul_const(a1, m11r, m11i));
+      _mm256_storeu_pd(p0 + 2 * j, r0);
+      _mm256_storeu_pd(p1 + 2 * j, r1);
+    }
+    for (; j < run; ++j) {
+      Complex* c0 = amps + block * batch + j;
+      Complex* c1 = c0 + run;
+      const Complex v0 = *c0;
+      const Complex v1 = *c1;
+      *c0 = m[0] * v0 + m[1] * v1;
+      *c1 = m[2] * v0 + m[3] * v1;
+    }
+  }
+}
+
+void avx2_apply_diagonal_batch(Complex* amps, std::size_t n,
+                               std::size_t stride, std::size_t batch,
+                               Complex d0, Complex d1) {
+  double* base = reinterpret_cast<double*>(amps);
+  const __m256d d1r = _mm256_set1_pd(d1.real());
+  const __m256d d1i = _mm256_set1_pd(d1.imag());
+  const std::size_t run = stride * batch;
+  if (d0 == Complex{1.0, 0.0}) {
+    for (std::size_t block = 0; block < n; block += 2 * stride) {
+      double* p1 = base + 2 * (block + stride) * batch;
+      std::size_t j = 0;
+      for (; j + 2 <= run; j += 2) {
+        _mm256_storeu_pd(p1 + 2 * j,
+                         cmul_const(_mm256_loadu_pd(p1 + 2 * j), d1r, d1i));
+      }
+      for (; j < run; ++j) amps[(block + stride) * batch + j] *= d1;
+    }
+    return;
+  }
+  const __m256d d0r = _mm256_set1_pd(d0.real());
+  const __m256d d0i = _mm256_set1_pd(d0.imag());
+  for (std::size_t block = 0; block < n; block += 2 * stride) {
+    double* p0 = base + 2 * block * batch;
+    double* p1 = p0 + 2 * run;
+    std::size_t j = 0;
+    for (; j + 2 <= run; j += 2) {
+      _mm256_storeu_pd(p0 + 2 * j,
+                       cmul_const(_mm256_loadu_pd(p0 + 2 * j), d0r, d0i));
+      _mm256_storeu_pd(p1 + 2 * j,
+                       cmul_const(_mm256_loadu_pd(p1 + 2 * j), d1r, d1i));
+    }
+    for (; j < run; ++j) {
+      amps[block * batch + j] *= d0;
+      amps[(block + stride) * batch + j] *= d1;
+    }
+  }
+}
+
+void avx2_apply_cnot_pairs_batch(Complex* amps, std::size_t quarter,
+                                 std::size_t lo, std::size_t hi,
+                                 std::size_t cmask, std::size_t tmask,
+                                 std::size_t batch) {
+  double* base = reinterpret_cast<double*>(amps);
+  for (std::size_t k = 0; k < quarter; ++k) {
+    const std::size_t i = expand_two_zero_bits(k, lo, hi) | cmask;
+    double* p = base + 2 * i * batch;
+    double* q = base + 2 * (i | tmask) * batch;
+    std::size_t j = 0;
+    for (; j + 2 <= batch; j += 2) {
+      const __m256d a = _mm256_loadu_pd(p + 2 * j);
+      const __m256d b = _mm256_loadu_pd(q + 2 * j);
+      _mm256_storeu_pd(p + 2 * j, b);
+      _mm256_storeu_pd(q + 2 * j, a);
+    }
+    for (; j < batch; ++j) {
+      const Complex tmp = amps[i * batch + j];
+      amps[i * batch + j] = amps[(i | tmask) * batch + j];
+      amps[(i | tmask) * batch + j] = tmp;
+    }
+  }
+}
+
+void avx2_apply_two_qubit_batch(Complex* amps, std::size_t quarter,
+                                std::size_t lo, std::size_t hi,
+                                std::size_t amask, std::size_t bmask,
+                                std::size_t batch, const Complex* m16) {
+  double* base = reinterpret_cast<double*>(amps);
+  __m256d mr[16];
+  __m256d mi[16];
+  for (std::size_t t = 0; t < 16; ++t) {
+    mr[t] = _mm256_set1_pd(m16[t].real());
+    mi[t] = _mm256_set1_pd(m16[t].imag());
+  }
+  for (std::size_t k = 0; k < quarter; ++k) {
+    const std::size_t idx = expand_two_zero_bits(k, lo, hi);
+    const std::size_t rows[4] = {idx, idx | bmask, idx | amask,
+                                 idx | amask | bmask};
+    std::size_t j = 0;
+    for (; j + 2 <= batch; j += 2) {
+      __m256d a[4];
+      for (std::size_t r = 0; r < 4; ++r) {
+        a[r] = _mm256_loadu_pd(base + 2 * (rows[r] * batch + j));
+      }
+      for (std::size_t r = 0; r < 4; ++r) {
+        // Left-to-right association, matching the scalar 4x4 row formula.
+        __m256d acc = cmul_const(a[0], mr[4 * r], mi[4 * r]);
+        acc = _mm256_add_pd(acc, cmul_const(a[1], mr[4 * r + 1],
+                                            mi[4 * r + 1]));
+        acc = _mm256_add_pd(acc, cmul_const(a[2], mr[4 * r + 2],
+                                            mi[4 * r + 2]));
+        acc = _mm256_add_pd(acc, cmul_const(a[3], mr[4 * r + 3],
+                                            mi[4 * r + 3]));
+        _mm256_storeu_pd(base + 2 * (rows[r] * batch + j), acc);
+      }
+    }
+    for (; j < batch; ++j) {
+      Complex a[4];
+      for (std::size_t r = 0; r < 4; ++r) a[r] = amps[rows[r] * batch + j];
+      for (std::size_t r = 0; r < 4; ++r) {
+        amps[rows[r] * batch + j] = m16[4 * r + 0] * a[0] +
+                                    m16[4 * r + 1] * a[1] +
+                                    m16[4 * r + 2] * a[2] +
+                                    m16[4 * r + 3] * a[3];
+      }
+    }
+  }
+}
+
+void avx2_expval_z_batch(const Complex* amps, std::size_t n, std::size_t mask,
+                         std::size_t batch, double* out) {
+  const double* base = reinterpret_cast<const double*>(amps);
+  const __m256d neg = _mm256_set1_pd(-0.0);
+  const __m256d none = _mm256_setzero_pd();
+  std::size_t b = 0;
+  // 4-lane groups; the accumulator stays in hadd's interleaved lane order
+  // [b, b+2, b+1, b+3] through the whole i loop (each lane is an
+  // independent chain, so register position is irrelevant to rounding) and
+  // is unpermuted only at the final scalar store.
+  for (; b + 4 <= batch; b += 4) {
+    __m256d acc = none;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* p = base + 2 * (i * batch + b);
+      const __m256d v0 = _mm256_loadu_pd(p);
+      const __m256d v1 = _mm256_loadu_pd(p + 4);
+      const __m256d norms = _mm256_hadd_pd(_mm256_mul_pd(v0, v0),
+                                           _mm256_mul_pd(v1, v1));
+      // acc + (-p) is bit-identical to acc - p.
+      const __m256d sign = (i & mask) != 0 ? neg : none;
+      acc = _mm256_add_pd(acc, _mm256_xor_pd(norms, sign));
+    }
+    alignas(32) double lane[4];
+    _mm256_store_pd(lane, acc);
+    out[b] = lane[0];
+    out[b + 1] = lane[2];
+    out[b + 2] = lane[1];
+    out[b + 3] = lane[3];
+  }
+  for (; b < batch; ++b) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double p = std::norm(amps[i * batch + b]);
+      if ((i & mask) == 0) {
+        sum += p;
+      } else {
+        sum -= p;
+      }
+    }
+    out[b] = sum;
+  }
+}
+
+void avx2_inner_products_real_batch(const Complex* lhs, const Complex* rhs,
+                                    std::size_t n, std::size_t batch,
+                                    double* out) {
+  const double* lbase = reinterpret_cast<const double*>(lhs);
+  const double* rbase = reinterpret_cast<const double*>(rhs);
+  std::size_t b = 0;
+  for (; b + 4 <= batch; b += 4) {
+    __m256d acc = _mm256_setzero_pd();  // lane order [b, b+2, b+1, b+3]
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* lp = lbase + 2 * (i * batch + b);
+      const double* rp = rbase + 2 * (i * batch + b);
+      const __m256d t0 =
+          _mm256_mul_pd(_mm256_loadu_pd(lp), _mm256_loadu_pd(rp));
+      const __m256d t1 =
+          _mm256_mul_pd(_mm256_loadu_pd(lp + 4), _mm256_loadu_pd(rp + 4));
+      // hadd(re*re, im*im): the one add rounding the scalar formula does.
+      acc = _mm256_add_pd(acc, _mm256_hadd_pd(t0, t1));
+    }
+    alignas(32) double lane[4];
+    _mm256_store_pd(lane, acc);
+    out[b] = lane[0];
+    out[b + 1] = lane[2];
+    out[b + 2] = lane[1];
+    out[b + 3] = lane[3];
+  }
+  for (; b < batch; ++b) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Complex l = lhs[i * batch + b];
+      const Complex r = rhs[i * batch + b];
+      sum += l.real() * r.real() + l.imag() * r.imag();
+    }
+    out[b] = sum;
+  }
+}
+
 void avx2_gemm_micro_4x4(std::size_t kc, const double* pa, const double* pb,
                          std::size_t pb_stride, double acc[4][4]) {
   __m256d c0 = _mm256_loadu_pd(acc[0]);
@@ -258,6 +493,12 @@ const Backend kAvx2{
         detail::avx2_apply_cnot_pairs,
         detail::avx2_expval_z,
         detail::avx2_gemm_micro_4x4,
+        detail::avx2_apply_single_qubit_batch,
+        detail::avx2_apply_diagonal_batch,
+        detail::avx2_apply_cnot_pairs_batch,
+        detail::avx2_apply_two_qubit_batch,
+        detail::avx2_expval_z_batch,
+        detail::avx2_inner_products_real_batch,
     },
 };
 

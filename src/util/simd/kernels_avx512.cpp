@@ -103,6 +103,154 @@ void avx512_apply_diagonal(Complex* amps, std::size_t n, std::size_t stride,
   }
 }
 
+// Batched-SoA kernels: 4 complexes (one zmm) per step across the batch
+// lanes, falling through to the AVX2 2-lane kernels for short runs and to
+// the scalar formula for the last <2 lanes. Lane independence keeps every
+// rounding identical to the generic batched kernels regardless of vector
+// width (backend_registry.hpp). The batched reductions reuse the AVX2
+// implementations — their per-row sequential canon gains nothing from
+// wider registers without changing group shape.
+
+void avx512_apply_single_qubit_batch(Complex* amps, std::size_t n,
+                                     std::size_t stride, std::size_t batch,
+                                     const Complex* m) {
+  const std::size_t run = stride * batch;
+  if (run < 4) {
+    avx2_apply_single_qubit_batch(amps, n, stride, batch, m);
+    return;
+  }
+  double* base = reinterpret_cast<double*>(amps);
+  const __m512d rsign = real_lane_sign();
+  const __m512d m00r = _mm512_set1_pd(m[0].real());
+  const __m512d m00i = _mm512_set1_pd(m[0].imag());
+  const __m512d m01r = _mm512_set1_pd(m[1].real());
+  const __m512d m01i = _mm512_set1_pd(m[1].imag());
+  const __m512d m10r = _mm512_set1_pd(m[2].real());
+  const __m512d m10i = _mm512_set1_pd(m[2].imag());
+  const __m512d m11r = _mm512_set1_pd(m[3].real());
+  const __m512d m11i = _mm512_set1_pd(m[3].imag());
+  for (std::size_t block = 0; block < n; block += 2 * stride) {
+    double* p0 = base + 2 * block * batch;
+    double* p1 = p0 + 2 * run;
+    std::size_t j = 0;
+    for (; j + 4 <= run; j += 4) {
+      const __m512d a0 = _mm512_loadu_pd(p0 + 2 * j);
+      const __m512d a1 = _mm512_loadu_pd(p1 + 2 * j);
+      const __m512d r0 = _mm512_add_pd(cmul_const(a0, m00r, m00i, rsign),
+                                       cmul_const(a1, m01r, m01i, rsign));
+      const __m512d r1 = _mm512_add_pd(cmul_const(a0, m10r, m10i, rsign),
+                                       cmul_const(a1, m11r, m11i, rsign));
+      _mm512_storeu_pd(p0 + 2 * j, r0);
+      _mm512_storeu_pd(p1 + 2 * j, r1);
+    }
+    for (; j < run; ++j) {
+      Complex* c0 = amps + block * batch + j;
+      Complex* c1 = c0 + run;
+      const Complex v0 = *c0;
+      const Complex v1 = *c1;
+      *c0 = m[0] * v0 + m[1] * v1;
+      *c1 = m[2] * v0 + m[3] * v1;
+    }
+  }
+}
+
+void avx512_apply_diagonal_batch(Complex* amps, std::size_t n,
+                                 std::size_t stride, std::size_t batch,
+                                 Complex d0, Complex d1) {
+  const std::size_t run = stride * batch;
+  if (run < 4) {
+    avx2_apply_diagonal_batch(amps, n, stride, batch, d0, d1);
+    return;
+  }
+  double* base = reinterpret_cast<double*>(amps);
+  const __m512d rsign = real_lane_sign();
+  const __m512d d1r = _mm512_set1_pd(d1.real());
+  const __m512d d1i = _mm512_set1_pd(d1.imag());
+  if (d0 == Complex{1.0, 0.0}) {
+    for (std::size_t block = 0; block < n; block += 2 * stride) {
+      double* p1 = base + 2 * (block + stride) * batch;
+      std::size_t j = 0;
+      for (; j + 4 <= run; j += 4) {
+        _mm512_storeu_pd(
+            p1 + 2 * j,
+            cmul_const(_mm512_loadu_pd(p1 + 2 * j), d1r, d1i, rsign));
+      }
+      for (; j < run; ++j) amps[(block + stride) * batch + j] *= d1;
+    }
+    return;
+  }
+  const __m512d d0r = _mm512_set1_pd(d0.real());
+  const __m512d d0i = _mm512_set1_pd(d0.imag());
+  for (std::size_t block = 0; block < n; block += 2 * stride) {
+    double* p0 = base + 2 * block * batch;
+    double* p1 = p0 + 2 * run;
+    std::size_t j = 0;
+    for (; j + 4 <= run; j += 4) {
+      _mm512_storeu_pd(
+          p0 + 2 * j, cmul_const(_mm512_loadu_pd(p0 + 2 * j), d0r, d0i,
+                                 rsign));
+      _mm512_storeu_pd(
+          p1 + 2 * j, cmul_const(_mm512_loadu_pd(p1 + 2 * j), d1r, d1i,
+                                 rsign));
+    }
+    for (; j < run; ++j) {
+      amps[block * batch + j] *= d0;
+      amps[(block + stride) * batch + j] *= d1;
+    }
+  }
+}
+
+void avx512_apply_two_qubit_batch(Complex* amps, std::size_t quarter,
+                                  std::size_t lo, std::size_t hi,
+                                  std::size_t amask, std::size_t bmask,
+                                  std::size_t batch, const Complex* m16) {
+  if (batch < 4) {
+    avx2_apply_two_qubit_batch(amps, quarter, lo, hi, amask, bmask, batch,
+                               m16);
+    return;
+  }
+  double* base = reinterpret_cast<double*>(amps);
+  const __m512d rsign = real_lane_sign();
+  __m512d mr[16];
+  __m512d mi[16];
+  for (std::size_t t = 0; t < 16; ++t) {
+    mr[t] = _mm512_set1_pd(m16[t].real());
+    mi[t] = _mm512_set1_pd(m16[t].imag());
+  }
+  for (std::size_t k = 0; k < quarter; ++k) {
+    const std::size_t idx = expand_two_zero_bits(k, lo, hi);
+    const std::size_t rows[4] = {idx, idx | bmask, idx | amask,
+                                 idx | amask | bmask};
+    std::size_t j = 0;
+    for (; j + 4 <= batch; j += 4) {
+      __m512d a[4];
+      for (std::size_t r = 0; r < 4; ++r) {
+        a[r] = _mm512_loadu_pd(base + 2 * (rows[r] * batch + j));
+      }
+      for (std::size_t r = 0; r < 4; ++r) {
+        __m512d acc = cmul_const(a[0], mr[4 * r], mi[4 * r], rsign);
+        acc = _mm512_add_pd(
+            acc, cmul_const(a[1], mr[4 * r + 1], mi[4 * r + 1], rsign));
+        acc = _mm512_add_pd(
+            acc, cmul_const(a[2], mr[4 * r + 2], mi[4 * r + 2], rsign));
+        acc = _mm512_add_pd(
+            acc, cmul_const(a[3], mr[4 * r + 3], mi[4 * r + 3], rsign));
+        _mm512_storeu_pd(base + 2 * (rows[r] * batch + j), acc);
+      }
+    }
+    for (; j < batch; ++j) {
+      Complex a[4];
+      for (std::size_t r = 0; r < 4; ++r) a[r] = amps[rows[r] * batch + j];
+      for (std::size_t r = 0; r < 4; ++r) {
+        amps[rows[r] * batch + j] = m16[4 * r + 0] * a[0] +
+                                    m16[4 * r + 1] * a[1] +
+                                    m16[4 * r + 2] * a[2] +
+                                    m16[4 * r + 3] * a[3];
+      }
+    }
+  }
+}
+
 bool avx512fma_supported() {
   return util::cpuid::has_avx512f() && util::cpuid::has_fma();
 }
@@ -126,6 +274,12 @@ const Backend kAvx512{
         detail::avx2_apply_cnot_pairs,
         detail::avx2_expval_z,
         detail::avx2_gemm_micro_4x4,
+        detail::avx512_apply_single_qubit_batch,
+        detail::avx512_apply_diagonal_batch,
+        detail::avx2_apply_cnot_pairs_batch,
+        detail::avx512_apply_two_qubit_batch,
+        detail::avx2_expval_z_batch,
+        detail::avx2_inner_products_real_batch,
     },
 };
 

@@ -94,6 +94,112 @@ double scalar_expval_z_lanes(const Complex* amps, std::size_t n,
   return (b0 + b1) + (b2 + b3);
 }
 
+void scalar_apply_single_qubit_batch(Complex* amps, std::size_t n,
+                                     std::size_t stride, std::size_t batch,
+                                     const Complex* m) {
+  for (std::size_t block = 0; block < n; block += 2 * stride) {
+    for (std::size_t offset = 0; offset < stride; ++offset) {
+      Complex* a0 = amps + (block + offset) * batch;
+      Complex* a1 = a0 + stride * batch;
+      for (std::size_t b = 0; b < batch; ++b) {
+        const Complex v0 = a0[b];
+        const Complex v1 = a1[b];
+        a0[b] = m[0] * v0 + m[1] * v1;
+        a1[b] = m[2] * v0 + m[3] * v1;
+      }
+    }
+  }
+}
+
+void scalar_apply_diagonal_batch(Complex* amps, std::size_t n,
+                                 std::size_t stride, std::size_t batch,
+                                 Complex d0, Complex d1) {
+  if (d0 == Complex{1.0, 0.0}) {
+    for (std::size_t block = 0; block < n; block += 2 * stride) {
+      Complex* a1 = amps + (block + stride) * batch;
+      for (std::size_t b = 0; b < stride * batch; ++b) a1[b] *= d1;
+    }
+    return;
+  }
+  for (std::size_t block = 0; block < n; block += 2 * stride) {
+    Complex* a0 = amps + block * batch;
+    Complex* a1 = a0 + stride * batch;
+    for (std::size_t b = 0; b < stride * batch; ++b) {
+      a0[b] *= d0;
+      a1[b] *= d1;
+    }
+  }
+}
+
+void scalar_apply_cnot_pairs_batch(Complex* amps, std::size_t quarter,
+                                   std::size_t lo, std::size_t hi,
+                                   std::size_t cmask, std::size_t tmask,
+                                   std::size_t batch) {
+  for (std::size_t k = 0; k < quarter; ++k) {
+    const std::size_t i = expand_two_zero_bits(k, lo, hi) | cmask;
+    Complex* a = amps + i * batch;
+    Complex* b = amps + (i | tmask) * batch;
+    for (std::size_t lane = 0; lane < batch; ++lane) {
+      const Complex tmp = a[lane];
+      a[lane] = b[lane];
+      b[lane] = tmp;
+    }
+  }
+}
+
+void scalar_apply_two_qubit_batch(Complex* amps, std::size_t quarter,
+                                  std::size_t lo, std::size_t hi,
+                                  std::size_t amask, std::size_t bmask,
+                                  std::size_t batch, const Complex* m16) {
+  for (std::size_t k = 0; k < quarter; ++k) {
+    const std::size_t base = expand_two_zero_bits(k, lo, hi);
+    Complex* rows[4] = {
+        amps + base * batch,
+        amps + (base | bmask) * batch,
+        amps + (base | amask) * batch,
+        amps + (base | amask | bmask) * batch,
+    };
+    for (std::size_t b = 0; b < batch; ++b) {
+      const Complex a0 = rows[0][b];
+      const Complex a1 = rows[1][b];
+      const Complex a2 = rows[2][b];
+      const Complex a3 = rows[3][b];
+      for (std::size_t r = 0; r < 4; ++r) {
+        rows[r][b] = m16[4 * r + 0] * a0 + m16[4 * r + 1] * a1 +
+                     m16[4 * r + 2] * a2 + m16[4 * r + 3] * a3;
+      }
+    }
+  }
+}
+
+void scalar_expval_z_batch(const Complex* amps, std::size_t n,
+                           std::size_t mask, std::size_t batch, double* out) {
+  // One sequential running sum per row in ascending i — the batched
+  // reduction canon (each lane is an independent scalar chain).
+  for (std::size_t b = 0; b < batch; ++b) out[b] = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Complex* row = amps + i * batch;
+    if ((i & mask) == 0) {
+      for (std::size_t b = 0; b < batch; ++b) out[b] += std::norm(row[b]);
+    } else {
+      for (std::size_t b = 0; b < batch; ++b) out[b] -= std::norm(row[b]);
+    }
+  }
+}
+
+void scalar_inner_products_real_batch(const Complex* lhs, const Complex* rhs,
+                                      std::size_t n, std::size_t batch,
+                                      double* out) {
+  for (std::size_t b = 0; b < batch; ++b) out[b] = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Complex* l = lhs + i * batch;
+    const Complex* r = rhs + i * batch;
+    for (std::size_t b = 0; b < batch; ++b) {
+      out[b] += l[b].real() * r[b].real() + l[b].imag() * r[b].imag();
+    }
+  }
+}
+
 void scalar_gemm_micro_4x4(std::size_t kc, const double* pa, const double* pb,
                            std::size_t pb_stride, double acc[4][4]) {
   for (std::size_t p = 0; p < kc; ++p) {
@@ -127,6 +233,12 @@ const Backend kGeneric{
         detail::scalar_apply_cnot_pairs,
         detail::scalar_expval_z_lanes,
         detail::scalar_gemm_micro_4x4,
+        detail::scalar_apply_single_qubit_batch,
+        detail::scalar_apply_diagonal_batch,
+        detail::scalar_apply_cnot_pairs_batch,
+        detail::scalar_apply_two_qubit_batch,
+        detail::scalar_expval_z_batch,
+        detail::scalar_inner_products_real_batch,
     },
 };
 
@@ -141,6 +253,14 @@ const Backend kReference{
         detail::scalar_apply_cnot_pairs,
         detail::scalar_expval_z_sequential,
         detail::scalar_gemm_micro_4x4,
+        // The batched ops' per-row sequential sums ARE the seed's order, so
+        // the reference backend shares the scalar batched kernels.
+        detail::scalar_apply_single_qubit_batch,
+        detail::scalar_apply_diagonal_batch,
+        detail::scalar_apply_cnot_pairs_batch,
+        detail::scalar_apply_two_qubit_batch,
+        detail::scalar_expval_z_batch,
+        detail::scalar_inner_products_real_batch,
     },
 };
 

@@ -45,6 +45,29 @@ double scalar_expval_z_sequential(const Complex* amps, std::size_t n,
 void scalar_gemm_micro_4x4(std::size_t kc, const double* pa, const double* pb,
                            std::size_t pb_stride, double acc[4][4]);
 
+// Scalar batched-SoA kernels (generic backend ops; the SIMD backends fall
+// back to them for tiny batches). Per-row arithmetic and reduction order
+// are the batched canon from backend_registry.hpp.
+void scalar_apply_single_qubit_batch(Complex* amps, std::size_t n,
+                                     std::size_t stride, std::size_t batch,
+                                     const Complex* m);
+void scalar_apply_diagonal_batch(Complex* amps, std::size_t n,
+                                 std::size_t stride, std::size_t batch,
+                                 Complex d0, Complex d1);
+void scalar_apply_cnot_pairs_batch(Complex* amps, std::size_t quarter,
+                                   std::size_t lo, std::size_t hi,
+                                   std::size_t cmask, std::size_t tmask,
+                                   std::size_t batch);
+void scalar_apply_two_qubit_batch(Complex* amps, std::size_t quarter,
+                                  std::size_t lo, std::size_t hi,
+                                  std::size_t amask, std::size_t bmask,
+                                  std::size_t batch, const Complex* m16);
+void scalar_expval_z_batch(const Complex* amps, std::size_t n,
+                           std::size_t mask, std::size_t batch, double* out);
+void scalar_inner_products_real_batch(const Complex* lhs, const Complex* rhs,
+                                      std::size_t n, std::size_t batch,
+                                      double* out);
+
 // AVX2 kernels, exported for reuse by the avx512fma backend. Only defined
 // when the avx2 TU is compiled in (QHDL_SIMD_AVX2); the avx512 TU is only
 // compiled when avx2 is too, so the references always resolve.
@@ -58,5 +81,26 @@ void avx2_apply_cnot_pairs(Complex* amps, std::size_t quarter, std::size_t lo,
 double avx2_expval_z(const Complex* amps, std::size_t n, std::size_t mask);
 void avx2_gemm_micro_4x4(std::size_t kc, const double* pa, const double* pb,
                          std::size_t pb_stride, double acc[4][4]);
+
+// AVX2 batched-SoA kernels (2 lanes per ymm step, scalar tails).
+void avx2_apply_single_qubit_batch(Complex* amps, std::size_t n,
+                                   std::size_t stride, std::size_t batch,
+                                   const Complex* m);
+void avx2_apply_diagonal_batch(Complex* amps, std::size_t n,
+                               std::size_t stride, std::size_t batch,
+                               Complex d0, Complex d1);
+void avx2_apply_cnot_pairs_batch(Complex* amps, std::size_t quarter,
+                                 std::size_t lo, std::size_t hi,
+                                 std::size_t cmask, std::size_t tmask,
+                                 std::size_t batch);
+void avx2_apply_two_qubit_batch(Complex* amps, std::size_t quarter,
+                                std::size_t lo, std::size_t hi,
+                                std::size_t amask, std::size_t bmask,
+                                std::size_t batch, const Complex* m16);
+void avx2_expval_z_batch(const Complex* amps, std::size_t n, std::size_t mask,
+                         std::size_t batch, double* out);
+void avx2_inner_products_real_batch(const Complex* lhs, const Complex* rhs,
+                                    std::size_t n, std::size_t batch,
+                                    double* out);
 
 }  // namespace qhdl::util::simd::detail

@@ -104,19 +104,35 @@ def appended_trajectory(existing, sha, entries):
     return trajectory[-TRAJECTORY_LIMIT:]
 
 
-def stamp_figs_trajectory(path, sha):
+def committed_trajectory(path, repo_root):
+    """Trajectory array from the committed (HEAD) version of `path`."""
+    try:
+        rel = os.path.relpath(os.path.abspath(path), repo_root)
+        blob = subprocess.run(
+            ["git", "show", f"HEAD:{rel}"], cwd=repo_root, check=True,
+            capture_output=True, text=True).stdout
+        return json.loads(blob).get("trajectory", [])
+    except (subprocess.CalledProcessError, FileNotFoundError,
+            json.JSONDecodeError):
+        return []
+
+
+def stamp_figs_trajectory(path, sha, repo_root):
     """Folds a freshly regenerated BENCH_figs.json run into its trajectory.
 
-    bench_figs_report (C++) overwrites the file wholesale; this re-attaches
-    the accumulated history from the committed version and appends the new
-    run's numbers.
+    bench_figs_report (C++) overwrites the file wholesale — including any
+    trajectory the working copy carried — so the accumulated history is
+    recovered from the committed (HEAD) version of the file before the new
+    run's numbers are appended.
     """
     doc = load_existing(path)
     if not doc.get("benchmarks"):
         print(f"warning: {path} missing or empty, trajectory not stamped",
               file=sys.stderr)
         return
-    doc["trajectory"] = appended_trajectory(doc, sha, doc["benchmarks"])
+    history = doc.get("trajectory") or committed_trajectory(path, repo_root)
+    doc["trajectory"] = appended_trajectory(
+        {"trajectory": history}, sha, doc["benchmarks"])
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(doc, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -174,7 +190,7 @@ def main():
     print(f"wrote {args.out} ({len(entries)} benchmarks, "
           f"{len(merged['trajectory'])} trajectory points)")
     if args.figs:
-        stamp_figs_trajectory(args.figs, sha)
+        stamp_figs_trajectory(args.figs, sha, repo_root)
     return 0
 
 

@@ -94,6 +94,14 @@ def pair_benchmarks(baseline, current):
             # The generic backend inherits the pre-registry scalar kernels,
             # so the untagged baseline entry is the honest ancestor.
             pairs.append((name, base_name))
+        elif not any(split_backend(other)[0] == base_name
+                     for other in baseline):
+            # No baseline entry for this benchmark under ANY backend (nor
+            # untagged): the benchmark itself is new — e.g. the batched SoA
+            # kernels of DESIGN.md §14 — not a runner-capability gap. Pairs
+            # exactly once a regenerated baseline records it.
+            skipped.append(
+                (name, "new benchmark (no baseline entry for any backend)"))
         else:
             skipped.append(
                 (name,
