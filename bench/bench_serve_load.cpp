@@ -1,0 +1,224 @@
+// Serve-layer load benchmark: drives an in-process serve::Server over real
+// TCP with concurrent clients and reports request-latency percentiles plus
+// the admission-control shed rate, written to BENCH_serve.json via the
+// shared JSON reporter (same shape as BENCH_micro.json / BENCH_figs.json).
+//
+// Three phases:
+//   cold     — unique tiny study configs (every unit is a cache miss),
+//   hot      — the same config repeated (served from the result cache),
+//   overload — sleep jobs against a 1-executor, tiny-queue server; most
+//              requests must be shed with "rejected: overloaded".
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json_report.hpp"
+#include "core/config.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/logging.hpp"
+#include "util/socket.hpp"
+
+namespace {
+
+using namespace qhdl;
+using Clock = std::chrono::steady_clock;
+
+search::SweepConfig tiny_study(std::uint64_t seed) {
+  search::SweepConfig config = core::test_scale();
+  config.feature_sizes = {4};
+  config.search.max_candidates = 1;
+  config.search.repetitions = 1;
+  config.search.runs_per_model = 1;
+  config.search.train.epochs = 2;
+  config.search.seed = seed;
+  return config;
+}
+
+struct PhaseResult {
+  std::vector<double> latencies_ms;  // successful (non-shed) replies
+  std::size_t requests = 0;
+  std::size_t shed = 0;
+  std::size_t unit_hits = 0;
+  std::size_t unit_misses = 0;
+};
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+double mean_ms(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+/// Fires `total` requests at the server from `threads` concurrent clients.
+/// `request_for(i)` builds the i-th request.
+template <typename RequestFn>
+PhaseResult run_phase(std::uint16_t port, std::size_t total,
+                      std::size_t threads, RequestFn request_for) {
+  PhaseResult result;
+  result.requests = total;
+  std::mutex mutex;
+  std::vector<std::thread> pool;
+  std::size_t next = 0;
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      for (;;) {
+        std::size_t index;
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          if (next >= total) return;
+          index = next++;
+        }
+        const util::Json request = request_for(index);
+        const auto start = Clock::now();
+        util::Json reply;
+        try {
+          reply = serve::round_trip("127.0.0.1", port, request, 120000);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "bench_serve_load: transport error: %s\n",
+                       e.what());
+          continue;
+        }
+        const double ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - start)
+                .count();
+        std::lock_guard<std::mutex> lock(mutex);
+        if (reply.at("type").as_string() == "rejected") {
+          result.shed += 1;
+          continue;
+        }
+        result.latencies_ms.push_back(ms);
+        if (reply.contains("cache")) {
+          const util::Json& cache = reply.at("cache");
+          result.unit_hits +=
+              static_cast<std::size_t>(cache.at("unit_hits").as_number());
+          result.unit_misses +=
+              static_cast<std::size_t>(cache.at("unit_misses").as_number());
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  return result;
+}
+
+bench::BenchEntry entry_for(const std::string& name,
+                            const PhaseResult& phase) {
+  bench::BenchEntry entry;
+  entry.name = name;
+  entry.ns_per_op = mean_ms(phase.latencies_ms) * 1e6;
+  entry.extra["p50_ms"] = percentile(phase.latencies_ms, 0.50);
+  entry.extra["p99_ms"] = percentile(phase.latencies_ms, 0.99);
+  entry.extra["requests"] = static_cast<double>(phase.requests);
+  entry.extra["shed"] = static_cast<double>(phase.shed);
+  entry.extra["shed_rate"] =
+      phase.requests == 0
+          ? 0.0
+          : static_cast<double>(phase.shed) /
+                static_cast<double>(phase.requests);
+  return entry;
+}
+
+void print_phase(const char* label, const PhaseResult& phase) {
+  std::printf("  %-10s %3zu req  p50 %8.2f ms  p99 %8.2f ms  shed %zu "
+              "(%.0f%%)  cache %zu/%zu hit/miss\n",
+              label, phase.requests, percentile(phase.latencies_ms, 0.50),
+              percentile(phase.latencies_ms, 0.99), phase.shed,
+              100.0 * static_cast<double>(phase.shed) /
+                  static_cast<double>(std::max<std::size_t>(phase.requests,
+                                                            1)),
+              phase.unit_hits, phase.unit_misses);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli{"bench_serve_load",
+                "Latency/shed-rate benchmark for the qhdl serve layer"};
+  cli.add_int("cold", 4, "Unique-config study requests (all cache misses)");
+  cli.add_int("hot", 32, "Repeated-config study requests (cache-served)");
+  cli.add_int("overload", 16, "Sleep requests fired at the tiny server");
+  cli.add_int("clients", 4, "Concurrent client threads");
+  cli.add_string("out", "BENCH_serve.json", "Output JSON path");
+  if (!cli.parse(argc, argv)) return 0;
+  util::set_log_level(util::LogLevel::Warn);
+  if (!util::sockets_supported()) {
+    std::fprintf(stderr, "bench_serve_load: sockets unsupported here\n");
+    return 0;
+  }
+
+  const std::size_t clients = static_cast<std::size_t>(cli.get_int("clients"));
+  std::printf("bench_serve_load: %zu concurrent clients\n", clients);
+
+  // Phase 1+2: a roomy server (nothing sheds) for cold/hot latency.
+  serve::ServerConfig roomy;
+  roomy.executors = 2;
+  roomy.max_queue = 256;
+  serve::Server server{roomy};
+  server.start();
+
+  const PhaseResult cold = run_phase(
+      server.port(), static_cast<std::size_t>(cli.get_int("cold")), clients,
+      [](std::size_t i) {
+        return serve::make_study_request(search::Family::Classical,
+                                         tiny_study(1000 + i));
+      });
+  print_phase("cold", cold);
+
+  const PhaseResult hot = run_phase(
+      server.port(), static_cast<std::size_t>(cli.get_int("hot")), clients,
+      [](std::size_t) {
+        return serve::make_study_request(search::Family::Classical,
+                                         tiny_study(1000));
+      });
+  print_phase("hot", hot);
+  server.stop();
+
+  // Phase 3: a deliberately tiny server; most sleep jobs must shed.
+  serve::ServerConfig tiny;
+  tiny.executors = 1;
+  tiny.max_queue = 2;
+  serve::Server small{tiny};
+  small.start();
+  const PhaseResult overload = run_phase(
+      small.port(), static_cast<std::size_t>(cli.get_int("overload")),
+      clients, [](std::size_t) {
+        util::Json request = util::Json::object();
+        request["type"] = "sleep";
+        request["ms"] = 200;
+        return request;
+      });
+  print_phase("overload", overload);
+  small.stop();
+
+  bench::BenchEntry cold_entry = entry_for("serve_cold_study", cold);
+  cold_entry.extra["unit_misses"] = static_cast<double>(cold.unit_misses);
+  bench::BenchEntry hot_entry = entry_for("serve_hot_cached", hot);
+  hot_entry.extra["unit_hits"] = static_cast<double>(hot.unit_hits);
+  hot_entry.extra["unit_misses"] = static_cast<double>(hot.unit_misses);
+  const bench::BenchEntry shed_entry =
+      entry_for("serve_overload_shed", overload);
+
+  const std::string out = cli.get_string("out");
+  bench::write_bench_json(out, bench::collect_metadata(),
+                          {cold_entry, hot_entry, shed_entry});
+  std::printf("bench_serve_load: wrote %s\n", out.c_str());
+  return 0;
+}

@@ -124,7 +124,7 @@ StudyCheckpoint::StudyCheckpoint(std::string path, std::string config_hash)
 std::size_t StudyCheckpoint::load() {
   std::lock_guard<std::mutex> lock(mutex_);
   units_.clear();
-  if (!std::filesystem::exists(path_)) return 0;
+  if (path_.empty() || !std::filesystem::exists(path_)) return 0;
   util::Json manifest;
   try {
     manifest = util::Json::parse_file(path_);
@@ -166,8 +166,22 @@ std::optional<CandidateResult> StudyCheckpoint::find(
     const UnitKey& key) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = units_.find(key.to_string());
-  if (it == units_.end()) return std::nullopt;
+  if (it == units_.end()) {
+    ++replay_misses_;
+    return std::nullopt;
+  }
+  ++replay_hits_;
   return candidate_result_from_json(it->second);
+}
+
+std::size_t StudyCheckpoint::replay_hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return replay_hits_;
+}
+
+std::size_t StudyCheckpoint::replay_misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return replay_misses_;
 }
 
 void StudyCheckpoint::record(const UnitKey& key,
@@ -178,6 +192,7 @@ void StudyCheckpoint::record(const UnitKey& key,
 }
 
 void StudyCheckpoint::flush() const {
+  if (path_.empty()) return;  // memory-only checkpoint
   util::Json manifest = util::Json::object();
   manifest["version"] = std::size_t{1};
   manifest["config_hash"] = hash_;

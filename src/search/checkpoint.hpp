@@ -44,7 +44,10 @@ struct UnitKey {
 class StudyCheckpoint {
  public:
   /// Binds to `path`; nothing is read or written yet. `config_hash`
-  /// (sweep_config_hash) guards resumes against stale manifests.
+  /// (sweep_config_hash) guards resumes against stale manifests. An empty
+  /// path makes the checkpoint memory-only: load() restores nothing and
+  /// flush() is a no-op (the serve layer's cache uses this when disk spill
+  /// is disabled).
   StudyCheckpoint(std::string path, std::string config_hash);
 
   /// Loads an existing manifest if `path` exists; returns the number of
@@ -66,12 +69,22 @@ class StudyCheckpoint {
   const std::string& path() const { return path_; }
   const std::string& config_hash() const { return hash_; }
 
+  /// Replay counters: how many find() lookups hit a recorded unit vs came
+  /// up empty since construction. The serve layer's result cache surfaces
+  /// these as its per-config hit/miss statistics (a fully warmed repeat of
+  /// a sweep is 100% hits), and the golden cache-determinism test asserts
+  /// on them.
+  std::size_t replay_hits() const;
+  std::size_t replay_misses() const;
+
  private:
   std::string path_;
   std::string hash_;
   mutable std::mutex mutex_;
   // std::map keeps manifest keys sorted -> deterministic file bytes.
   std::map<std::string, util::Json> units_;
+  mutable std::size_t replay_hits_ = 0;
+  mutable std::size_t replay_misses_ = 0;
 };
 
 /// FNV-1a hash (hex) over every SweepConfig field that affects results —

@@ -49,7 +49,8 @@ data::Dataset level_dataset(std::size_t features, const SweepConfig& config) {
 
 SweepResult run_complexity_sweep(Family family, const SweepConfig& config,
                                  StudyCheckpoint* checkpoint,
-                                 WorkerPool* pool) {
+                                 WorkerPool* pool,
+                                 const util::CancelToken* cancel) {
   if (config.feature_sizes.empty()) {
     throw std::invalid_argument("run_complexity_sweep: no feature sizes");
   }
@@ -66,6 +67,7 @@ SweepResult run_complexity_sweep(Family family, const SweepConfig& config,
       0, config.feature_sizes.size(), config.search.threads,
       [&](std::size_t i) {
         const std::size_t features = config.feature_sizes[i];
+        util::throw_if_cancelled(cancel);
         util::log_info("sweep[" + family_name(family) +
                        "]: features=" + std::to_string(features));
         LevelResult level;
@@ -76,6 +78,7 @@ SweepResult run_complexity_sweep(Family family, const SweepConfig& config,
         resume.family = family_name(family);
         resume.features = features;
         resume.pool = pool;
+        resume.cancel = cancel;
         level.search =
             run_repeated_search(specs, dataset, config.search, resume);
         result.levels[i] = std::move(level);

@@ -54,9 +54,14 @@ class WorkerPool;
 /// When `pool` is non-null, fresh units execute on its crash-isolated worker
 /// processes (DESIGN.md §11) — still bit-identical, because each unit ships
 /// the exact RNG streams the in-process search would consume.
+/// When `cancel` is non-null, the sweep aborts with util::Cancelled at the
+/// next unit-window boundary after the token fires (per-job cancellation
+/// for the serve layer); completed units stay in the checkpoint, so a
+/// retried job resumes instead of recomputing.
 SweepResult run_complexity_sweep(Family family, const SweepConfig& config,
                                  StudyCheckpoint* checkpoint = nullptr,
-                                 WorkerPool* pool = nullptr);
+                                 WorkerPool* pool = nullptr,
+                                 const util::CancelToken* cancel = nullptr);
 
 /// Convenience: the standard per-level dataset (shared across families so
 /// the comparison is apples-to-apples).

@@ -256,6 +256,7 @@ SearchOutcome search_once(const std::vector<ModelSpec>& sorted_specs,
   std::size_t next = 0;
   while (next < limit && !outcome.winner.has_value()) {
     util::throw_if_interrupted();
+    util::throw_if_cancelled(resume.cancel);
     const std::size_t count = std::min(window, limit - next);
 
     // Each candidate's run streams are split from the repetition stream in
@@ -370,6 +371,7 @@ RepeatedSearchResult run_repeated_search(const std::vector<ModelSpec>& specs,
   RepeatedSearchResult result;
   util::Rng rng{config.seed};
   for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
+    util::throw_if_cancelled(resume.cancel);
     util::Rng rep_rng = rng.split();
     data::TrainValSplit split =
         data::stratified_split(dataset, config.validation_fraction, rep_rng);

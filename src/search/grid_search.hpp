@@ -29,6 +29,7 @@
 #include "data/dataset.hpp"
 #include "nn/trainer.hpp"
 #include "search/candidate.hpp"
+#include "util/cancel.hpp"
 
 namespace qhdl::search {
 
@@ -132,11 +133,18 @@ class WorkerPool;
 /// the SweepConfig alone, which a standalone search's arbitrary dataset is
 /// not. Results remain bit-identical to in-process execution because each
 /// unit ships the pre-split run streams drawn below.
+/// When `cancel` is non-null, search_once polls it at the same unit-window
+/// boundaries where it polls the process interrupt flag, and throws
+/// util::Cancelled when the token fires — per-job cancellation for the
+/// serve layer (client disconnect, per-job deadline) without touching the
+/// process-global interrupt. Completed units are already recorded and
+/// flushed, so a retried job resumes from where cancellation landed.
 struct ResumeContext {
   StudyCheckpoint* checkpoint = nullptr;
   std::string family;        ///< family_name() of the sweep ("" standalone)
   std::size_t features = 0;  ///< complexity level
   WorkerPool* pool = nullptr;
+  const util::CancelToken* cancel = nullptr;
 };
 
 /// Sorts specs ascending by analytic FLOPs (stable, deterministic).

@@ -21,23 +21,6 @@
 
 namespace qhdl::search {
 
-namespace {
-
-/// One length-prefixed frame as raw wire bytes (for Subprocess::write_all).
-std::string frame_wire(const std::string& payload) {
-  const auto length = static_cast<std::uint32_t>(payload.size());
-  std::string wire;
-  wire.reserve(4 + payload.size());
-  wire.push_back(static_cast<char>((length >> 24) & 0xff));
-  wire.push_back(static_cast<char>((length >> 16) & 0xff));
-  wire.push_back(static_cast<char>((length >> 8) & 0xff));
-  wire.push_back(static_cast<char>(length & 0xff));
-  wire += payload;
-  return wire;
-}
-
-}  // namespace
-
 struct WorkerPool::Impl {
   /// A unit somewhere between submission and resolution. `attempts` counts
   /// failed attempts; the promise is set exactly once (result, quarantine,
@@ -473,6 +456,10 @@ struct WorkerPool::Impl {
 
 WorkerPool::WorkerPool(SweepConfig config, WorkerPoolConfig pool_config)
     : impl_(std::make_unique<Impl>()) {
+  // A worker dying mid-write must come back as EPIPE from write_all, never
+  // as a supervisor-killing signal (spawn() also installs this, but the
+  // guard must exist even when the pool degrades before the first spawn).
+  util::install_sigpipe_guard();
   impl_->cfg = pool_config;
   impl_->cfg.workers = std::max<std::size_t>(1, impl_->cfg.workers);
   impl_->worker_config = std::move(config);

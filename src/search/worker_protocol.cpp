@@ -10,14 +10,19 @@
 #include <thread>
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <cerrno>
 #include <csignal>
+#include <cstring>
+#include <poll.h>
 #include <unistd.h>
 #endif
 
 #include "data/preprocess.hpp"
 #include "flops/profiler.hpp"
 #include "util/fault_injection.hpp"
+#include "util/interrupt.hpp"
 #include "util/logging.hpp"
+#include "util/subprocess.hpp"
 
 namespace qhdl::search {
 
@@ -26,19 +31,7 @@ namespace qhdl::search {
 #if defined(__unix__) || defined(__APPLE__)
 
 bool write_frame(int fd, const std::string& payload) {
-  if (payload.size() > kMaxFrameBytes) {
-    throw ProtocolError("refusing to send oversized frame (" +
-                        std::to_string(payload.size()) + " bytes)");
-  }
-  const auto length = static_cast<std::uint32_t>(payload.size());
-  char frame_header[4] = {
-      static_cast<char>((length >> 24) & 0xff),
-      static_cast<char>((length >> 16) & 0xff),
-      static_cast<char>((length >> 8) & 0xff),
-      static_cast<char>(length & 0xff),
-  };
-  std::string wire{frame_header, 4};
-  wire += payload;
+  const std::string wire = frame_wire(payload);
   std::size_t written = 0;
   while (written < wire.size()) {
     const ssize_t n =
@@ -57,6 +50,24 @@ bool write_frame(int fd, const std::string& payload) {
 bool write_frame(int, const std::string&) { return false; }
 
 #endif
+
+std::string frame_wire(const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    throw ProtocolError("refusing to send oversized frame (" +
+                        std::to_string(payload.size()) + " bytes exceeds " +
+                        std::to_string(kMaxFrameBytes) + "-byte limit)");
+  }
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  char frame_header[4] = {
+      static_cast<char>((length >> 24) & 0xff),
+      static_cast<char>((length >> 16) & 0xff),
+      static_cast<char>((length >> 8) & 0xff),
+      static_cast<char>(length & 0xff),
+  };
+  std::string wire{frame_header, 4};
+  wire += payload;
+  return wire;
+}
 
 void FrameReader::feed(const char* data, std::size_t size) {
   buffer_.append(data, size);
@@ -82,6 +93,92 @@ std::optional<std::string> FrameReader::next() {
   buffer_.erase(0, 4 + static_cast<std::size_t>(length));
   return payload;
 }
+
+std::string FrameReader::pending_description() const {
+  if (buffer_.empty()) return "";
+  if (buffer_.size() < 4) {
+    return std::to_string(buffer_.size()) + " of 4 header bytes";
+  }
+  const auto byte = [&](std::size_t i) {
+    return static_cast<std::uint32_t>(
+        static_cast<unsigned char>(buffer_[i]));
+  };
+  const std::uint32_t length =
+      (byte(0) << 24) | (byte(1) << 16) | (byte(2) << 8) | byte(3);
+  return std::to_string(buffer_.size() - 4) + " of " +
+         std::to_string(length) + " payload bytes";
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+FrameReadStatus read_frame(int fd, FrameReader& reader,
+                           const util::Deadline& deadline,
+                           std::string* payload) {
+  char buffer[4096];
+  while (true) {
+    if (auto frame = reader.next()) {  // may throw on a garbage length
+      *payload = std::move(*frame);
+      return FrameReadStatus::Frame;
+    }
+    util::throw_if_interrupted();
+    if (deadline.expired()) return FrameReadStatus::Timeout;
+
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const std::uint64_t remaining = deadline.remaining_ms();
+    const int timeout = static_cast<int>(remaining < 100 ? remaining : 100);
+    const int ready = ::poll(&pfd, 1, timeout);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw ProtocolError(std::string{"poll failed during frame read: "} +
+                          std::strerror(errno));
+    }
+    if (ready == 0) continue;  // slice elapsed; loop re-checks the deadline
+
+    const auto mode = util::FaultInjector::instance().on_socket_read();
+    if (mode == util::SocketFaultMode::Slow) {
+      // A slow-loris peer: stall without consuming anything so the
+      // deadline, not the peer, bounds the wait.
+      std::this_thread::sleep_for(std::chrono::milliseconds(120));
+      continue;
+    }
+    ssize_t n;
+    if (mode == util::SocketFaultMode::Disconnect) {
+      n = 0;  // emulate the peer vanishing
+    } else {
+      const std::size_t cap =
+          mode == util::SocketFaultMode::ShortRead ? 1 : sizeof(buffer);
+      n = ::read(fd, buffer, cap);
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == ECONNRESET) {
+        n = 0;  // reset counts as a disconnect, handled below
+      } else {
+        throw ProtocolError(std::string{"read failed during frame read: "} +
+                            std::strerror(errno));
+      }
+    }
+    if (n == 0) {
+      if (reader.mid_frame()) {
+        throw ProtocolError("truncated frame: peer closed with " +
+                            reader.pending_description() + " received");
+      }
+      return FrameReadStatus::Eof;
+    }
+    reader.feed(buffer, static_cast<std::size_t>(n));
+  }
+}
+
+#else
+
+FrameReadStatus read_frame(int, FrameReader&, const util::Deadline&,
+                           std::string*) {
+  return FrameReadStatus::Eof;
+}
+
+#endif
 
 // --- JSON codecs ----------------------------------------------------------
 
@@ -451,7 +548,7 @@ class HeartbeatTicker {
 int worker_main() {
   // The supervisor may die while this worker writes to it; a broken pipe
   // should surface as a failed write, not SIGPIPE.
-  std::signal(SIGPIPE, SIG_IGN);
+  util::install_sigpipe_guard();
 
   FrameReader reader;
   std::optional<SweepConfig> config;

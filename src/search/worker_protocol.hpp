@@ -35,6 +35,7 @@
 #include "data/preprocess.hpp"
 #include "search/checkpoint.hpp"
 #include "search/experiment.hpp"
+#include "util/deadline.hpp"
 
 namespace qhdl::search {
 
@@ -67,16 +68,49 @@ struct WorkUnit {
 /// the descriptor is broken (peer died); never raises SIGPIPE.
 bool write_frame(int fd, const std::string& payload);
 
-/// Incremental frame decoder: feed() raw pipe bytes, next() yields complete
-/// payloads. Throws ProtocolError on a garbage length prefix.
+/// The on-the-wire bytes of one frame (4-byte big-endian length + payload),
+/// for callers that write through their own descriptor wrapper (the pool's
+/// Subprocess stdin, the serve layer's Socket). Throws ProtocolError when
+/// the payload exceeds kMaxFrameBytes.
+std::string frame_wire(const std::string& payload);
+
+/// Incremental frame decoder: feed() raw pipe/socket bytes, next() yields
+/// complete payloads. Throws ProtocolError on a garbage length prefix
+/// (anything beyond kMaxFrameBytes), naming the offending length.
 class FrameReader {
  public:
   void feed(const char* data, std::size_t size);
   std::optional<std::string> next();
 
+  /// True when a frame is partially buffered — EOF here means the peer
+  /// disconnected mid-frame (a truncated frame), not a clean close.
+  bool mid_frame() const { return !buffer_.empty(); }
+
+  /// Human-readable description of the partial frame ("" at a frame
+  /// boundary), used to build descriptive truncation errors.
+  std::string pending_description() const;
+
  private:
   std::string buffer_;
 };
+
+/// Outcome of one read_frame() call that did not throw.
+enum class FrameReadStatus {
+  Frame,    ///< *payload holds one complete frame
+  Eof,      ///< peer closed cleanly at a frame boundary
+  Timeout,  ///< deadline expired before a full frame arrived
+};
+
+/// Deadline-aware framed read from a stream descriptor (pipe or socket).
+/// Polls in short slices so a hung peer cannot wedge the caller forever: a
+/// pending process interrupt throws util::Interrupted, deadline expiry
+/// returns Timeout, and EOF mid-frame throws ProtocolError naming how many
+/// bytes of the frame actually arrived. This is the serve layer's read
+/// primitive, so it observes the `sock` fault-injection site
+/// (short/drop/slow peer emulation).
+FrameReadStatus read_frame(int fd, FrameReader& reader,
+                           const util::Deadline& deadline,
+                           std::string* payload);
 
 // --- JSON codecs ----------------------------------------------------------
 

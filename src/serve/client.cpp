@@ -1,0 +1,42 @@
+#include "serve/client.hpp"
+
+#include <stdexcept>
+
+#include "search/worker_protocol.hpp"
+#include "util/deadline.hpp"
+#include "util/socket.hpp"
+#include "util/subprocess.hpp"
+
+namespace qhdl::serve {
+
+util::Json round_trip(const std::string& host, std::uint16_t port,
+                      const util::Json& request,
+                      std::uint64_t reply_timeout_ms) {
+  util::install_sigpipe_guard();
+  util::Socket socket = util::connect_tcp(host, port);
+  if (!socket.write_all(search::frame_wire(request.dump()))) {
+    throw std::runtime_error("qhdl_serve client: request write failed "
+                             "(server closed the connection)");
+  }
+  // NOTE: no shutdown_write() here — the server reads EOF on this socket
+  // as "client disconnected" and cancels the pending job, so the write
+  // side stays open until the reply arrives.
+  const util::Deadline deadline =
+      reply_timeout_ms == 0 ? util::Deadline::never()
+                            : util::Deadline::after_ms(reply_timeout_ms);
+  search::FrameReader reader;
+  std::string payload;
+  const auto status =
+      search::read_frame(socket.fd(), reader, deadline, &payload);
+  if (status == search::FrameReadStatus::Timeout) {
+    throw std::runtime_error("qhdl_serve client: no reply within " +
+                             std::to_string(reply_timeout_ms) + " ms");
+  }
+  if (status == search::FrameReadStatus::Eof) {
+    throw std::runtime_error("qhdl_serve client: server closed the "
+                             "connection without a reply");
+  }
+  return util::Json::parse(payload);
+}
+
+}  // namespace qhdl::serve

@@ -1,0 +1,24 @@
+// Blocking qhdl_serve client: one connection, one request, one reply.
+//
+// Used by the qhdl_client tool, the load bench, and the serve tests. Reads
+// ride search::read_frame, so they are deadline-bounded — a wedged or
+// slow-loris server surfaces as a timeout error, never a hang.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace qhdl::serve {
+
+/// Connects to host:port, sends `request` as one frame, and returns the
+/// reply frame. Throws std::runtime_error when the connection fails, the
+/// server closes without replying, or no reply arrives within
+/// `reply_timeout_ms` (0 = wait forever); search::ProtocolError on a
+/// corrupt reply stream.
+util::Json round_trip(const std::string& host, std::uint16_t port,
+                      const util::Json& request,
+                      std::uint64_t reply_timeout_ms = 0);
+
+}  // namespace qhdl::serve

@@ -1,0 +1,48 @@
+#include "serve/protocol.hpp"
+
+#include <stdexcept>
+
+#include "search/worker_protocol.hpp"
+
+namespace qhdl::serve {
+
+search::Family family_from_name(const std::string& name) {
+  if (name == "classical") return search::Family::Classical;
+  if (name == "hybrid-bel") return search::Family::HybridBel;
+  if (name == "hybrid-sel") return search::Family::HybridSel;
+  throw std::invalid_argument(
+      "unknown family '" + name +
+      "' (expected classical, hybrid-bel, or hybrid-sel)");
+}
+
+util::Json make_error(const std::string& message) {
+  util::Json reply = util::Json::object();
+  reply["type"] = "error";
+  reply["message"] = message;
+  return reply;
+}
+
+util::Json make_rejected(const std::string& reason) {
+  util::Json reply = util::Json::object();
+  reply["type"] = "rejected";
+  reply["reason"] = reason;
+  return reply;
+}
+
+util::Json make_cancelled(const std::string& reason) {
+  util::Json reply = util::Json::object();
+  reply["type"] = "cancelled";
+  reply["reason"] = reason;
+  return reply;
+}
+
+util::Json make_study_request(search::Family family,
+                              const search::SweepConfig& config) {
+  util::Json request = util::Json::object();
+  request["type"] = "study";
+  request["family"] = search::family_name(family);
+  request["config"] = search::sweep_config_to_json(config);
+  return request;
+}
+
+}  // namespace qhdl::serve

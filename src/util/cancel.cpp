@@ -1,0 +1,41 @@
+#include "util/cancel.hpp"
+
+namespace qhdl::util {
+
+void CancelToken::cancel(const std::string& reason) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (flag_.load(std::memory_order_relaxed)) return;
+  reason_ = reason;
+  flag_.store(true, std::memory_order_release);
+}
+
+void CancelToken::set_deadline(Deadline deadline) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  deadline_ = deadline;
+}
+
+bool CancelToken::cancelled() const {
+  if (flag_.load(std::memory_order_acquire)) return true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return deadline_.expired();
+}
+
+bool CancelToken::deadline_expired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !flag_.load(std::memory_order_relaxed) && deadline_.expired();
+}
+
+std::string CancelToken::reason() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (flag_.load(std::memory_order_relaxed)) return reason_;
+  if (deadline_.expired()) return "deadline exceeded";
+  return "";
+}
+
+void CancelToken::throw_if_cancelled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (flag_.load(std::memory_order_relaxed)) throw Cancelled(reason_);
+  if (deadline_.expired()) throw Cancelled("deadline exceeded");
+}
+
+}  // namespace qhdl::util

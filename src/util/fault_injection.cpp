@@ -12,7 +12,8 @@ namespace qhdl::util {
 
 namespace {
 
-enum class FaultAction { Crash, Fail, Nan, Hang, Garbage, Evict };
+enum class FaultAction { Crash, Fail, Nan, Hang, Garbage, Evict, Short, Drop,
+                         Slow };
 
 struct Trigger {
   FaultSite site = FaultSite::UnitBoundary;
@@ -29,6 +30,8 @@ const char* site_name(FaultSite site) {
     case FaultSite::Worker: return "worker";
     case FaultSite::DirSync: return "dir";
     case FaultSite::PlanCache: return "plan";
+    case FaultSite::SocketAccept: return "accept";
+    case FaultSite::SocketRead: return "sock";
   }
   return "?";
 }
@@ -40,6 +43,8 @@ FaultSite parse_site(const std::string& token, const std::string& spec) {
   if (token == "worker") return FaultSite::Worker;
   if (token == "dir") return FaultSite::DirSync;
   if (token == "plan") return FaultSite::PlanCache;
+  if (token == "accept") return FaultSite::SocketAccept;
+  if (token == "sock") return FaultSite::SocketRead;
   throw std::invalid_argument("QHDL_FAULT_SPEC: unknown site '" + token +
                               "' in '" + spec + "'");
 }
@@ -56,11 +61,22 @@ FaultAction parse_action(const std::string& token, FaultSite site,
     return FaultAction::Crash;
   }
   if (token == "fail") {
-    if (site != FaultSite::IoWrite && site != FaultSite::DirSync) {
+    if (site != FaultSite::IoWrite && site != FaultSite::DirSync &&
+        site != FaultSite::SocketAccept) {
       throw std::invalid_argument(
-          "QHDL_FAULT_SPEC: 'fail' is only valid for the io and dir sites");
+          "QHDL_FAULT_SPEC: 'fail' is only valid for the io, dir, and "
+          "accept sites");
     }
     return FaultAction::Fail;
+  }
+  if (token == "short" || token == "drop" || token == "slow") {
+    if (site != FaultSite::SocketRead) {
+      throw std::invalid_argument("QHDL_FAULT_SPEC: '" + token +
+                                  "' is only valid for the sock site");
+    }
+    if (token == "short") return FaultAction::Short;
+    if (token == "drop") return FaultAction::Drop;
+    return FaultAction::Slow;
   }
   if (token == "nan") {
     if (site != FaultSite::Loss) {
@@ -118,7 +134,13 @@ std::vector<Trigger> parse_spec(const std::string& spec) {
         trigger.open_ended = true;
         number.pop_back();
       }
+      // Full-match digits only: std::stoll would silently accept trailing
+      // junk ("1x", "1++"), turning a typo into a different fault schedule.
+      const bool all_digits =
+          !number.empty() &&
+          number.find_first_not_of("0123456789") == std::string::npos;
       try {
+        if (!all_digits) throw std::invalid_argument("not a count");
         const long long value = std::stoll(number);
         if (value < 1) throw std::invalid_argument("non-positive");
         trigger.arrival = static_cast<std::uint64_t>(value);
@@ -141,7 +163,8 @@ struct FaultInjector::Impl {
   /// Lock-free disarmed check: the loss site sits on the per-batch training
   /// hot path, so the common (no injection) case must cost one relaxed load.
   std::atomic<bool> any_armed{false};
-  std::atomic<std::uint64_t> counters[6] = {{0}, {0}, {0}, {0}, {0}, {0}};
+  std::atomic<std::uint64_t> counters[8] = {{0}, {0}, {0}, {0},
+                                            {0}, {0}, {0}, {0}};
 
   /// Counts the arrival and returns the action that fires for it, if any.
   /// The counter bump and trigger match happen under the mutex so that two
@@ -243,6 +266,31 @@ bool FaultInjector::plan_cache_evict() {
                        "(arrival "} +
            std::to_string(arrivals(FaultSite::PlanCache)) + ")");
   return true;
+}
+
+bool FaultInjector::on_socket_accept() {
+  FaultAction action;
+  if (!impl_->fire(FaultSite::SocketAccept, &action)) return false;
+  log_warn(std::string{"fault injection: dropping accepted connection "
+                       "(arrival "} +
+           std::to_string(arrivals(FaultSite::SocketAccept)) + ")");
+  return true;
+}
+
+SocketFaultMode FaultInjector::on_socket_read() {
+  FaultAction action;
+  if (!impl_->fire(FaultSite::SocketRead, &action)) {
+    return SocketFaultMode::None;
+  }
+  switch (action) {
+    case FaultAction::Short: return SocketFaultMode::ShortRead;
+    case FaultAction::Drop:
+      log_warn("fault injection: socket read observes disconnect");
+      return SocketFaultMode::Disconnect;
+    case FaultAction::Slow:
+      return SocketFaultMode::Slow;
+    default: return SocketFaultMode::None;
+  }
 }
 
 WorkerFaultMode FaultInjector::on_worker_unit(const std::string& key) {

@@ -12,17 +12,28 @@
 // Spec grammar (sites separated by ';'):
 //   <site>=<action>@<trigger>[,<trigger>...]
 // where
-//   site    = unit | io | dir | loss | worker | plan
+//   site    = unit | io | dir | loss | worker | plan | accept | sock
 //   action  = crash (unit/io: throw InjectedCrash; worker: std::abort(),
 //                    so the worker process dies by signal mid-unit)
 //           | fail  (io/dir: throw std::runtime_error, like a full disk /
-//                    a directory fsync error after rename)
+//                    a directory fsync error after rename;
+//                    accept: the accepted connection is closed immediately,
+//                    as if the listener hit a transient accept failure)
 //           | nan   (loss: the guarded loss value becomes quiet NaN)
 //           | hang  (worker: wedge silently without emitting frames, so the
 //                    supervisor's deadline/heartbeat reaper must act)
 //           | garbage (worker: emit a corrupt protocol frame and exit)
 //           | evict (plan: flush the compiled-plan cache before the lookup,
 //                    forcing a rehash + recompile — results must not change)
+//           | short (sock: the framed read delivers at most one byte, so
+//                    frames arrive maximally fragmented — reassembly must
+//                    still produce identical results)
+//           | drop  (sock: the framed read observes EOF, emulating a peer
+//                    that disconnected; mid-frame this must surface as a
+//                    descriptive truncated-frame error)
+//           | slow  (sock: the framed read stalls without consuming data,
+//                    emulating a slow-loris peer — the read deadline, not
+//                    the peer, must bound the wait)
 // and trigger = 1-based arrival count, with an optional '+' suffix meaning
 // "this arrival and every one after it".
 // Examples:
@@ -32,6 +43,9 @@
 //   QHDL_FAULT_SPEC="loss=nan@5,8"      losses 5 and 8 become NaN
 //   QHDL_FAULT_SPEC="loss=nan@1+"       every loss becomes NaN
 //   QHDL_FAULT_SPEC="worker=crash@2"    worker aborts on its 2nd unit
+//   QHDL_FAULT_SPEC="accept=fail@1"     1st accepted connection is dropped
+//   QHDL_FAULT_SPEC="sock=short@1+"     every socket read is 1 byte
+//   QHDL_FAULT_SPEC="sock=short@1;sock=drop@2"  disconnect mid-frame
 //
 // The worker site only arrives inside --worker-mode processes (each with its
 // own fresh counters), so "worker=crash@2" means "every worker instance dies
@@ -55,10 +69,15 @@ enum class FaultSite {
   Worker = 3,
   DirSync = 4,
   PlanCache = 5,
+  SocketAccept = 6,
+  SocketRead = 7,
 };
 
 /// What a worker process should do with the unit it just received.
 enum class WorkerFaultMode { None, Crash, Hang, Garbage };
+
+/// What a framed socket read should emulate for this read attempt.
+enum class SocketFaultMode { None, ShortRead, Disconnect, Slow };
 
 /// Emulates a process kill at an injection site. Deliberately NOT derived
 /// from std::runtime_error: ordinary error handling must not absorb it, so
@@ -119,6 +138,17 @@ class FaultInjector {
   /// the cache should be flushed before serving the lookup (exercises the
   /// eviction + recompile path; see quantum/exec_plan.cpp).
   bool plan_cache_evict();
+
+  /// Listener accept: true when an `accept=fail` trigger fires and the
+  /// freshly accepted connection should be closed immediately, emulating a
+  /// transient accept-path failure (see util/socket.cpp).
+  bool on_socket_accept();
+
+  /// Framed socket read attempt: which peer misbehaviour to emulate for
+  /// this read (None when no trigger fires). The caller acts on it —
+  /// short/drop/slow happen in the frame-read loop, not here (see
+  /// search::read_frame in worker_protocol.cpp).
+  SocketFaultMode on_socket_read();
 
  private:
   FaultInjector();

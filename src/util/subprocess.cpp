@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/logging.hpp"
+
 #if defined(__unix__) || defined(__APPLE__)
 #define QHDL_HAVE_SUBPROCESS 1
 #include <csignal>
@@ -29,16 +31,6 @@ namespace {
 [[noreturn]] void spawn_fail(const std::string& stage, int saved_errno) {
   throw std::runtime_error("Subprocess::spawn: " + stage + " failed: " +
                            std::strerror(saved_errno));
-}
-
-/// The supervisor writes to pipes whose reader may have just crashed; the
-/// write must come back as an error code, not a process-killing SIGPIPE.
-void ignore_sigpipe_once() {
-  static const bool done = [] {
-    std::signal(SIGPIPE, SIG_IGN);
-    return true;
-  }();
-  (void)done;
 }
 
 ExitStatus decode_status(int raw) {
@@ -82,6 +74,16 @@ std::vector<std::string> merged_environment(
 
 bool subprocess_supported() { return true; }
 
+void install_sigpipe_guard() {
+  // A peer that died mid-write must surface as EPIPE from write(), not as a
+  // process-killing signal; guarded so repeated init paths install it once.
+  static const bool done = [] {
+    std::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)done;
+}
+
 std::string current_executable_path() {
 #if defined(__linux__)
   char buffer[4096];
@@ -99,7 +101,7 @@ Subprocess Subprocess::spawn(const std::vector<std::string>& argv,
   if (argv.empty() || argv[0].empty()) {
     throw std::runtime_error("Subprocess::spawn: empty command");
   }
-  ignore_sigpipe_once();
+  install_sigpipe_guard();
 
   // [0] = read end, [1] = write end.
   int to_child[2] = {-1, -1};
@@ -199,6 +201,15 @@ bool Subprocess::write_all(const char* data, std::size_t size) {
     const ssize_t n = ::write(stdin_fd_, data + written, size - written);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EPIPE) {
+        // Clean peer disconnect: the child closed its stdin end (most
+        // likely it died). The supervisor's reap/respawn path owns the
+        // recovery, so this is expected traffic, not an anomaly.
+        log_debug("Subprocess::write_all: EPIPE (child closed its stdin)");
+      } else {
+        log_warn(std::string{"Subprocess::write_all: write failed: "} +
+                 std::strerror(errno));
+      }
       return false;
     }
     written += static_cast<std::size_t>(n);
@@ -286,6 +297,8 @@ Subprocess::~Subprocess() {
 #else  // !QHDL_HAVE_SUBPROCESS
 
 bool subprocess_supported() { return false; }
+
+void install_sigpipe_guard() {}
 
 std::string current_executable_path() { return ""; }
 

@@ -20,6 +20,14 @@ namespace qhdl::util {
 /// True when this build can spawn supervised child processes.
 bool subprocess_supported();
 
+/// Ignores SIGPIPE process-wide (idempotent; no-op on platforms without
+/// it). A peer — worker child, serve client — that dies mid-write must
+/// surface as an EPIPE error code from write(), never as a process-killing
+/// signal. Installed automatically by Subprocess::spawn, the worker-pool
+/// supervisor, and the serve layer; long-running entry points that write to
+/// pipes or sockets should call it once during init.
+void install_sigpipe_guard();
+
 /// Absolute path of the currently running executable, for self-re-exec
 /// ("" when it cannot be determined on this platform).
 std::string current_executable_path();

@@ -16,9 +16,14 @@
 #include <cstdlib>
 #include <string>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "core/config.hpp"
 #include "search/checkpoint.hpp"
 #include "search/results.hpp"
+#include "util/deadline.hpp"
 #include "util/fault_injection.hpp"
 #include "util/rng.hpp"
 #include "util/subprocess.hpp"
@@ -120,6 +125,148 @@ TEST(WorkerProtocol, WorkUnitRoundTrips) {
     EXPECT_EQ(a.next_u64(), b.next_u64());
   }
 }
+
+// --- framing hardening (PR-9) ---------------------------------------------
+
+#if defined(__unix__) || defined(__APPLE__)
+
+/// A pipe whose write end we control byte-by-byte, standing in for a
+/// misbehaving peer on the other side of read_frame().
+struct PipePair {
+  int fds[2] = {-1, -1};
+  PipePair() { EXPECT_EQ(pipe(fds), 0); }
+  ~PipePair() {
+    if (fds[0] >= 0) close(fds[0]);
+    if (fds[1] >= 0) close(fds[1]);
+  }
+  void write_bytes(const std::string& bytes) {
+    ASSERT_EQ(::write(fds[1], bytes.data(), bytes.size()),
+              static_cast<ssize_t>(bytes.size()));
+  }
+  void close_writer() {
+    close(fds[1]);
+    fds[1] = -1;
+  }
+};
+
+TEST(WorkerProtocolFraming, FrameWireAcceptsCapRejectsBeyondNamingLength) {
+  // Exactly at the 16 MB cap is legal...
+  const std::string at_cap(kMaxFrameBytes, 'x');
+  EXPECT_EQ(frame_wire(at_cap).size(), at_cap.size() + 4);
+  // ...one byte beyond is refused, and the error names the actual length
+  // so a truncated log line still identifies the offender.
+  const std::string beyond(kMaxFrameBytes + 1, 'x');
+  try {
+    frame_wire(beyond);
+    FAIL() << "oversized frame was not rejected";
+  } catch (const ProtocolError& e) {
+    EXPECT_NE(std::string(e.what()).find("16777217"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(WorkerProtocolFraming, OversizedLengthPrefixErrorNamesLength) {
+  FrameReader reader;
+  // Big-endian 0x01000001 = kMaxFrameBytes + 1.
+  const char prefix[4] = {0x01, 0x00, 0x00, 0x01};
+  reader.feed(prefix, 4);
+  try {
+    (void)reader.next();
+    FAIL() << "garbage length prefix was not rejected";
+  } catch (const ProtocolError& e) {
+    EXPECT_NE(std::string(e.what()).find("16777217"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(WorkerProtocolFraming, ReadFrameReturnsFrameThenCleanEof) {
+  PipePair pipe_pair;
+  pipe_pair.write_bytes(frame_wire("{\"type\":\"ready\"}"));
+  pipe_pair.close_writer();
+  FrameReader reader;
+  std::string payload;
+  EXPECT_EQ(read_frame(pipe_pair.fds[0], reader,
+                       util::Deadline::after_ms(2000), &payload),
+            FrameReadStatus::Frame);
+  EXPECT_EQ(payload, "{\"type\":\"ready\"}");
+  // The peer closed at a frame boundary: that is a clean EOF, not an error.
+  EXPECT_EQ(read_frame(pipe_pair.fds[0], reader,
+                       util::Deadline::after_ms(2000), &payload),
+            FrameReadStatus::Eof);
+}
+
+TEST(WorkerProtocolFraming, MidFrameEofNamesHowMuchArrived) {
+  PipePair pipe_pair;
+  // Header promises a 10-byte payload; only 3 bytes ever arrive.
+  const char header[4] = {0x00, 0x00, 0x00, 0x0a};
+  pipe_pair.write_bytes(std::string(header, 4) + "abc");
+  pipe_pair.close_writer();
+  FrameReader reader;
+  std::string payload;
+  try {
+    (void)read_frame(pipe_pair.fds[0], reader, util::Deadline::after_ms(2000),
+                     &payload);
+    FAIL() << "truncated frame was not rejected";
+  } catch (const ProtocolError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+    EXPECT_NE(what.find("3 of 10"), std::string::npos) << what;
+  }
+}
+
+TEST(WorkerProtocolFraming, MidHeaderEofIsAlsoTruncation) {
+  PipePair pipe_pair;
+  pipe_pair.write_bytes(std::string("\x00\x00", 2));  // half a header
+  pipe_pair.close_writer();
+  FrameReader reader;
+  std::string payload;
+  try {
+    (void)read_frame(pipe_pair.fds[0], reader, util::Deadline::after_ms(2000),
+                     &payload);
+    FAIL() << "truncated header was not rejected";
+  } catch (const ProtocolError& e) {
+    EXPECT_NE(std::string(e.what()).find("2 of 4"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(WorkerProtocolFraming, ReadFrameTimesOutOnSilentPeer) {
+  // A peer that connects and then sends nothing must not wedge the reader:
+  // the deadline converts the hang into a Timeout the caller can act on.
+  PipePair pipe_pair;
+  FrameReader reader;
+  std::string payload;
+  const std::uint64_t start = util::monotonic_now_ms();
+  EXPECT_EQ(read_frame(pipe_pair.fds[0], reader,
+                       util::Deadline::after_ms(150), &payload),
+            FrameReadStatus::Timeout);
+  const std::uint64_t elapsed = util::monotonic_now_ms() - start;
+  EXPECT_GE(elapsed, 100u);
+  EXPECT_LT(elapsed, 5000u);
+  // Nothing consumed, nothing buffered: a later retry starts clean.
+  EXPECT_FALSE(reader.mid_frame());
+}
+
+TEST(WorkerProtocolFraming, ReadFrameSurvivesHungPeerFault) {
+  // The sock=slow site emulates a peer that dribbles nothing for a while:
+  // read_frame must keep honoring its deadline rather than block.
+  util::FaultInjector::instance().configure("sock=slow@1+");
+  PipePair pipe_pair;
+  pipe_pair.write_bytes(frame_wire("{}"));
+  FrameReader reader;
+  std::string payload;
+  EXPECT_EQ(read_frame(pipe_pair.fds[0], reader,
+                       util::Deadline::after_ms(100), &payload),
+            FrameReadStatus::Timeout);
+  util::FaultInjector::instance().configure("");
+  // With the fault cleared the buffered frame is readable as usual.
+  EXPECT_EQ(read_frame(pipe_pair.fds[0], reader,
+                       util::Deadline::after_ms(2000), &payload),
+            FrameReadStatus::Frame);
+  EXPECT_EQ(payload, "{}");
+}
+
+#endif  // defined(__unix__) || defined(__APPLE__)
 
 // --- golden byte-identity -------------------------------------------------
 

@@ -1,0 +1,308 @@
+// End-to-end serve-layer tests over real TCP connections: admission
+// control, the golden cache-determinism property, per-job deadlines,
+// client-disconnect cancellation, and graceful drain.
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/config.hpp"
+#include "search/checkpoint.hpp"
+#include "search/experiment.hpp"
+#include "search/results.hpp"
+#include "search/worker_protocol.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "util/deadline.hpp"
+#include "util/fault_injection.hpp"
+#include "util/socket.hpp"
+#include "util/subprocess.hpp"
+
+namespace qhdl::serve {
+namespace {
+
+/// Tiny but non-trivial study: 2 candidates x 1 run, threshold unreachable
+/// so the unit count is deterministic (2 units).
+search::SweepConfig tiny_study() {
+  search::SweepConfig config = core::test_scale();
+  config.feature_sizes = {4};
+  config.search.max_candidates = 2;
+  config.search.repetitions = 1;
+  config.search.runs_per_model = 1;
+  config.search.train.epochs = 2;
+  config.search.prune_margin = 0.0;
+  config.search.accuracy_threshold = 1.1;
+  return config;
+}
+
+util::Json sleep_request(int ms) {
+  util::Json request = util::Json::object();
+  request["type"] = "sleep";
+  request["ms"] = ms;
+  return request;
+}
+
+/// Polls `predicate` against the server's stats until it holds or the
+/// deadline expires.
+bool wait_for_stats(const Server& server,
+                    const std::function<bool(const ServerStats&)>& predicate,
+                    std::uint64_t budget_ms = 5000) {
+  const util::Deadline deadline = util::Deadline::after_ms(budget_ms);
+  while (!deadline.expired()) {
+    if (predicate(server.stats())) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return predicate(server.stats());
+}
+
+class ServeServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!util::sockets_supported()) GTEST_SKIP() << "no socket support";
+    util::FaultInjector::instance().configure("");
+  }
+  void TearDown() override {
+    util::FaultInjector::instance().configure("");
+  }
+};
+
+TEST_F(ServeServerTest, StartStopIsCleanAndIdempotent) {
+  ServerConfig config;
+  Server server{config};
+  server.start();
+  EXPECT_GT(server.port(), 0);
+  server.stop();
+  server.stop();  // idempotent
+  EXPECT_EQ(server.stats().accepted, 0u);
+}
+
+TEST_F(ServeServerTest, PingAndStatsAreServedInline) {
+  Server server{ServerConfig{}};
+  server.start();
+  util::Json request = util::Json::object();
+  request["type"] = "ping";
+  const util::Json pong =
+      round_trip("127.0.0.1", server.port(), request, 5000);
+  EXPECT_EQ(pong.at("type").as_string(), "pong");
+  EXPECT_EQ(static_cast<int>(pong.at("version").as_number()),
+            kServeProtocolVersion);
+
+  request["type"] = "stats";
+  const util::Json stats =
+      round_trip("127.0.0.1", server.port(), request, 5000);
+  EXPECT_EQ(stats.at("type").as_string(), "stats");
+  for (const char* key :
+       {"accepted", "rejected_overloaded", "jobs_completed", "cache"}) {
+    EXPECT_TRUE(stats.contains(key)) << key;
+  }
+  EXPECT_EQ(static_cast<std::size_t>(stats.at("accepted").as_number()), 2u);
+}
+
+TEST_F(ServeServerTest, UnknownRequestTypeIsAnErrorNotADisconnect) {
+  Server server{ServerConfig{}};
+  server.start();
+  util::Json request = util::Json::object();
+  request["type"] = "frobnicate";
+  const util::Json reply =
+      round_trip("127.0.0.1", server.port(), request, 5000);
+  EXPECT_EQ(reply.at("type").as_string(), "error");
+  EXPECT_NE(reply.at("message").as_string().find("frobnicate"),
+            std::string::npos);
+}
+
+// The golden property of the serving layer: submitting the same study twice
+// returns byte-identical results, with the second pass served entirely from
+// the content-addressed cache (counters asserted, not assumed) — and both
+// passes byte-identical to a direct in-process sweep.
+TEST_F(ServeServerTest, GoldenRepeatedStudyIsCacheServedByteIdentical) {
+  const search::SweepConfig config = tiny_study();
+  const std::string direct =
+      search::sweep_to_json(
+          search::run_complexity_sweep(search::Family::Classical, config))
+          .dump(2);
+
+  Server server{ServerConfig{}};
+  server.start();
+  const util::Json request =
+      make_study_request(search::Family::Classical, config);
+
+  const util::Json first =
+      round_trip("127.0.0.1", server.port(), request, 120000);
+  ASSERT_EQ(first.at("type").as_string(), "result");
+  // Cold pass: every unit trained.
+  EXPECT_EQ(first.at("cache").at("unit_hits").as_number(), 0.0);
+  EXPECT_EQ(first.at("cache").at("unit_misses").as_number(), 2.0);
+
+  const util::Json second =
+      round_trip("127.0.0.1", server.port(), request, 120000);
+  ASSERT_EQ(second.at("type").as_string(), "result");
+  // Warm pass: 100% of unit lookups served from the cache (>= the 90%
+  // acceptance bar), zero retraining.
+  EXPECT_EQ(second.at("cache").at("unit_hits").as_number(), 2.0);
+  EXPECT_EQ(second.at("cache").at("unit_misses").as_number(), 0.0);
+
+  // Byte-identical across passes AND against the in-process baseline.
+  EXPECT_EQ(first.at("sweep").dump(2), direct);
+  EXPECT_EQ(second.at("sweep").dump(2), first.at("sweep").dump(2));
+  EXPECT_EQ(first.at("config_hash").as_string(),
+            search::sweep_config_hash(config));
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.jobs_completed, 2u);
+  EXPECT_EQ(stats.cache.unit_hits, 2u);
+  EXPECT_EQ(stats.cache.unit_misses, 2u);
+}
+
+TEST_F(ServeServerTest, PoolBackedStudyMatchesInProcessBytes) {
+  if (!util::subprocess_supported()) GTEST_SKIP() << "no subprocess support";
+  const search::SweepConfig config = tiny_study();
+  const util::Json request =
+      make_study_request(search::Family::Classical, config);
+
+  ServerConfig in_process;
+  Server baseline{in_process};
+  baseline.start();
+  const util::Json direct =
+      round_trip("127.0.0.1", baseline.port(), request, 120000);
+  baseline.stop();
+
+  ServerConfig pooled;
+  pooled.pool_workers = 2;
+  Server server{pooled};
+  server.start();
+  const util::Json reply =
+      round_trip("127.0.0.1", server.port(), request, 120000);
+  ASSERT_EQ(reply.at("type").as_string(), "result");
+  EXPECT_EQ(reply.at("sweep").dump(2), direct.at("sweep").dump(2));
+}
+
+TEST_F(ServeServerTest, OverloadedQueueShedsDeterministically) {
+  ServerConfig config;
+  config.executors = 1;
+  config.max_queue = 1;
+  Server server{config};
+  server.start();
+
+  // A occupies the single executor...
+  std::thread a([&] {
+    const util::Json reply =
+        round_trip("127.0.0.1", server.port(), sleep_request(1500), 30000);
+    EXPECT_EQ(reply.at("type").as_string(), "result");
+  });
+  // ...wait until it has actually been dequeued into the executor...
+  ASSERT_TRUE(wait_for_stats(server, [](const ServerStats& s) {
+    return s.accepted >= 1;
+  }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  // ...B fills the queue slot...
+  std::thread b([&] {
+    const util::Json reply =
+        round_trip("127.0.0.1", server.port(), sleep_request(1500), 30000);
+    EXPECT_EQ(reply.at("type").as_string(), "result");
+  });
+  ASSERT_TRUE(wait_for_stats(server, [](const ServerStats& s) {
+    return s.accepted >= 2;
+  }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  // ...so C must be shed, immediately, with reason "overloaded".
+  const util::Json reply =
+      round_trip("127.0.0.1", server.port(), sleep_request(1500), 30000);
+  EXPECT_EQ(reply.at("type").as_string(), "rejected");
+  EXPECT_EQ(reply.at("reason").as_string(), "overloaded");
+
+  a.join();
+  b.join();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.jobs_completed, 2u);
+  EXPECT_GE(stats.rejected_overloaded, 1u);
+}
+
+TEST_F(ServeServerTest, JobDeadlineCancelsSleep) {
+  ServerConfig config;
+  config.job_timeout_ms = 200;
+  Server server{config};
+  server.start();
+  const util::Json reply =
+      round_trip("127.0.0.1", server.port(), sleep_request(10000), 30000);
+  EXPECT_EQ(reply.at("type").as_string(), "cancelled");
+  EXPECT_NE(reply.at("reason").as_string().find("deadline"),
+            std::string::npos);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.jobs_cancelled, 1u);
+  EXPECT_EQ(stats.deadlines_expired, 1u);
+}
+
+TEST_F(ServeServerTest, JobDeadlineCancelsStudyCompute) {
+  // A heavy study against a tiny budget: the deadline must interrupt real
+  // compute at a unit-window boundary, not just the diagnostic sleep job.
+  search::SweepConfig config = tiny_study();
+  config.search.max_candidates = 8;
+  config.search.runs_per_model = 3;
+  config.search.train.epochs = 400;
+  ServerConfig server_config;
+  server_config.job_timeout_ms = 100;
+  Server server{server_config};
+  server.start();
+  const util::Json reply = round_trip(
+      "127.0.0.1", server.port(),
+      make_study_request(search::Family::Classical, config), 120000);
+  EXPECT_EQ(reply.at("type").as_string(), "cancelled");
+  EXPECT_EQ(server.stats().deadlines_expired, 1u);
+}
+
+TEST_F(ServeServerTest, ClientDisconnectCancelsOrphanedJob) {
+  Server server{ServerConfig{}};
+  server.start();
+  {
+    // Submit a long sleep and hang up without reading the reply.
+    util::Socket socket = util::connect_tcp("127.0.0.1", server.port());
+    ASSERT_TRUE(socket.write_all(
+        search::frame_wire(sleep_request(30000).dump())));
+    // Give the server a moment to admit the job before the disconnect.
+    ASSERT_TRUE(wait_for_stats(server, [](const ServerStats& s) {
+      return s.accepted >= 1;
+    }));
+  }  // socket closes here: the client is gone
+
+  // The orphaned job must be cancelled, not run to completion.
+  EXPECT_TRUE(wait_for_stats(server, [](const ServerStats& s) {
+    return s.client_disconnects >= 1 && s.jobs_cancelled >= 1;
+  }));
+
+  // And the server is still healthy.
+  util::Json ping = util::Json::object();
+  ping["type"] = "ping";
+  EXPECT_EQ(round_trip("127.0.0.1", server.port(), ping, 5000)
+                .at("type")
+                .as_string(),
+            "pong");
+}
+
+TEST_F(ServeServerTest, GracefulDrainFinishesInFlightJobs) {
+  Server server{ServerConfig{}};
+  server.start();
+  std::thread in_flight([&] {
+    const util::Json reply =
+        round_trip("127.0.0.1", server.port(), sleep_request(600), 30000);
+    // The job was already executing when the drain began: it must finish
+    // and the client must receive its real reply, not a rejection.
+    EXPECT_EQ(reply.at("type").as_string(), "result");
+  });
+  ASSERT_TRUE(wait_for_stats(server, [](const ServerStats& s) {
+    return s.accepted >= 1;
+  }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  server.stop();  // request_drain + join everything
+  in_flight.join();
+  EXPECT_EQ(server.stats().jobs_completed, 1u);
+}
+
+}  // namespace
+}  // namespace qhdl::serve

@@ -85,6 +85,65 @@ TEST_F(FaultInjectionTest, InvalidSpecsThrowAndPreserveState) {
   EXPECT_TRUE(injector.armed());
 }
 
+TEST_F(FaultInjectionTest, SpecParsingEdgeCases) {
+  FaultInjector& injector = FaultInjector::instance();
+  // Whitespace-/semicolon-only specs are equivalent to "": disarmed.
+  for (const char* empty : {"", "  ", ";", " ; ; "}) {
+    EXPECT_NO_THROW(injector.configure(empty)) << "'" << empty << "'";
+    EXPECT_FALSE(injector.armed()) << "'" << empty << "'";
+  }
+  // Unknown sites, malformed counters, and bare fragments are rejected
+  // with std::invalid_argument — never silently ignored.
+  for (const char* bad :
+       {"socket=fail@1",      // unknown site (the real site is "sock")
+        "accep=fail@1",       // typo'd site
+        "sock=short@",        // missing counter
+        "sock=short@1x",      // trailing junk in counter
+        "sock=short@-1",      // negative counter
+        "sock=short@1++",     // doubled open-ended suffix
+        "sock=short@2,",      // dangling comma in the arrival list
+        "accept=fail",        // no trigger at all
+        "sock=@1",            // empty action
+        "@1",                 // no site/action
+        "sock short@1"}) {    // missing '='
+    EXPECT_THROW(injector.configure(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST_F(FaultInjectionTest, SocketSiteActionValidity) {
+  FaultInjector& injector = FaultInjector::instance();
+  // The socket vocabulary parses...
+  EXPECT_NO_THROW(injector.configure("accept=fail@1"));
+  EXPECT_NO_THROW(injector.configure("sock=short@1+"));
+  EXPECT_NO_THROW(injector.configure("sock=drop@2"));
+  EXPECT_NO_THROW(injector.configure("sock=slow@1,3"));
+  EXPECT_NO_THROW(injector.configure("sock=short@1;sock=drop@2"));
+  // ...but only on the sites it belongs to.
+  EXPECT_THROW(injector.configure("accept=short@1"), std::invalid_argument);
+  EXPECT_THROW(injector.configure("sock=fail@1"), std::invalid_argument);
+  EXPECT_THROW(injector.configure("unit=drop@1"), std::invalid_argument);
+  EXPECT_THROW(injector.configure("io=slow@1"), std::invalid_argument);
+}
+
+TEST_F(FaultInjectionTest, SocketSitesFireAndCount) {
+  FaultInjector& injector = FaultInjector::instance();
+  injector.configure("accept=fail@2; sock=short@1;sock=drop@2;sock=slow@3+");
+  EXPECT_FALSE(injector.on_socket_accept());
+  EXPECT_TRUE(injector.on_socket_accept());
+  EXPECT_FALSE(injector.on_socket_accept());  // one-shot
+  EXPECT_EQ(injector.arrivals(FaultSite::SocketAccept), 3u);
+
+  EXPECT_EQ(injector.on_socket_read(), SocketFaultMode::ShortRead);
+  EXPECT_EQ(injector.on_socket_read(), SocketFaultMode::Disconnect);
+  EXPECT_EQ(injector.on_socket_read(), SocketFaultMode::Slow);
+  EXPECT_EQ(injector.on_socket_read(), SocketFaultMode::Slow);  // open-ended
+  EXPECT_EQ(injector.arrivals(FaultSite::SocketRead), 4u);
+
+  injector.configure("");
+  EXPECT_FALSE(injector.on_socket_accept());
+  EXPECT_EQ(injector.on_socket_read(), SocketFaultMode::None);
+}
+
 TEST_F(FaultInjectionTest, InjectedCrashIsNotARuntimeError) {
   // The crash must never be absorbable by ordinary catch(runtime_error)
   // error handling — only a top-level catch(std::exception) or the OS sees
