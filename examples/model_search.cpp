@@ -18,6 +18,7 @@
 #include "core/config.hpp"
 #include "search/checkpoint.hpp"
 #include "search/experiment.hpp"
+#include "search/results.hpp"
 #include "search/worker_pool.hpp"
 #include "util/cli.hpp"
 #include "util/interrupt.hpp"
@@ -55,9 +56,26 @@ int main(int argc, char** argv) {
   cli.add_int("worker-retries", 2,
               "Failed attempts allowed per unit beyond the first before it "
               "is quarantined (with --workers)");
+  cli.add_string("listen", "",
+                 "Listen address host:port (port 0 = ephemeral, printed at "
+                 "startup) for remote qhdl_worker daemons; requires "
+                 "--workers-remote");
+  cli.add_int("workers-remote", 0,
+              "Expected remote worker registrations; falls back to local "
+              "--workers if none arrive within --handshake-timeout");
+  cli.add_double("handshake-timeout", 5.0,
+                 "Registration deadline in seconds (per connection, and for "
+                 "the remote fleet before local fallback)");
+  cli.add_double("steal-after", 0.0,
+                 "Duplicate a unit onto an idle worker once it has been in "
+                 "flight this many seconds (0 = off); first result wins, "
+                 "results unchanged");
   cli.add_string("checkpoint", "",
                  "Checkpoint manifest path for crash-safe resume "
                  "(empty = no checkpointing)");
+  cli.add_string("out", "",
+                 "Write the full sweep result JSON here (byte-identical "
+                 "across worker modes; used by CI to pin distributed runs)");
   try {
     if (!cli.parse(argc, argv)) return 0;
     util::install_interrupt_handler();
@@ -105,14 +123,36 @@ int main(int argc, char** argv) {
     }
 
     std::unique_ptr<search::WorkerPool> pool;
-    if (cli.get_int("workers") > 0) {
+    if (cli.get_int("workers") > 0 || cli.get_int("workers-remote") > 0) {
       search::WorkerPoolConfig pool_config;
-      pool_config.workers = static_cast<std::size_t>(cli.get_int("workers"));
+      if (cli.get_int("workers") > 0) {
+        pool_config.workers =
+            static_cast<std::size_t>(cli.get_int("workers"));
+      }
       pool_config.unit_timeout_ms = static_cast<std::uint64_t>(
           cli.get_double("unit-timeout") * 1000.0);
       pool_config.unit_retries =
           static_cast<std::size_t>(cli.get_int("worker-retries"));
+      if (cli.get_int("workers-remote") > 0) {
+        pool_config.remote_workers =
+            static_cast<std::size_t>(cli.get_int("workers-remote"));
+        pool_config.handshake_timeout_ms = static_cast<std::uint64_t>(
+            cli.get_double("handshake-timeout") * 1000.0);
+        if (!cli.get_string("listen").empty() &&
+            !search::parse_host_port(cli.get_string("listen"),
+                                     &pool_config.listen_host,
+                                     &pool_config.listen_port)) {
+          throw std::invalid_argument(
+              "--listen requires host:port (e.g. --listen 0.0.0.0:7200)");
+        }
+      }
+      pool_config.steal_after_ms = static_cast<std::uint64_t>(
+          cli.get_double("steal-after") * 1000.0);
       pool = std::make_unique<search::WorkerPool>(config, pool_config);
+      if (pool->listen_port() != 0) {
+        std::printf("listening for qhdl_worker daemons on %s:%u\n",
+                    pool_config.listen_host.c_str(), pool->listen_port());
+      }
       if (pool->degraded()) {
         std::fprintf(stderr,
                      "warning: worker pool degraded to in-process "
@@ -124,6 +164,21 @@ int main(int argc, char** argv) {
     const search::SweepResult sweep = search::run_complexity_sweep(
         family, config, checkpoint.get(), pool.get());
     const auto& outcome = sweep.levels[0].search.repetitions[0];
+
+    if (!cli.get_string("out").empty()) {
+      search::sweep_to_json(sweep).write_file(cli.get_string("out"));
+    }
+    if (pool) {
+      const search::WorkerPoolStats stats = pool->stats();
+      if (stats.restarts + stats.retried_units + stats.quarantined_units +
+              stats.steals + stats.remote_lost + stats.handshake_rejects >
+          0) {
+        std::printf("worker pool: %zu restart(s), %zu retried unit(s), %zu "
+                    "quarantined unit(s), %zu stolen unit(s)\n",
+                    stats.restarts, stats.retried_units,
+                    stats.quarantined_units, stats.steals);
+      }
+    }
 
     util::Table table({"#", "candidate", "FLOPs", "params", "train acc",
                        "val acc", "verdict"});

@@ -19,10 +19,15 @@
 // retries (--worker-retries), quarantine for units that keep failing, and
 // graceful in-process degradation when workers cannot be spawned. Results
 // stay bit-identical to --workers 0. See DESIGN.md §11.
+//
+// --listen host:port --workers-remote N shards the same units across
+// qhdl_worker daemons on other hosts instead (README "Multi-host sweeps",
+// DESIGN.md §16) — still byte-identical.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <memory>
+#include <stdexcept>
 
 #include "core/config.hpp"
 #include "core/report.hpp"
@@ -62,6 +67,20 @@ int main(int argc, char** argv) {
   cli.add_int("worker-retries", 2,
               "Failed attempts allowed per unit beyond the first before it "
               "is quarantined (with --workers)");
+  cli.add_string("listen", "",
+                 "Listen address host:port (port 0 = ephemeral, printed at "
+                 "startup) for remote qhdl_worker daemons; requires "
+                 "--workers-remote");
+  cli.add_int("workers-remote", 0,
+              "Expected remote worker registrations; falls back to local "
+              "--workers if none arrive within --handshake-timeout");
+  cli.add_double("handshake-timeout", 5.0,
+                 "Registration deadline in seconds (per connection, and for "
+                 "the remote fleet before local fallback)");
+  cli.add_double("steal-after", 0.0,
+                 "Duplicate a unit onto an idle worker once it has been in "
+                 "flight this many seconds (0 = off); first result wins, "
+                 "results unchanged");
   cli.add_int("seed", 42, "Search seed");
   cli.add_string("out", "qhdl_results/study", "Output directory");
   try {
@@ -97,14 +116,36 @@ int main(int argc, char** argv) {
     // Supervised multi-process execution. The pool degrades to in-process
     // evaluation (same results, no isolation) if workers cannot spawn.
     std::unique_ptr<search::WorkerPool> pool;
-    if (cli.get_int("workers") > 0) {
+    if (cli.get_int("workers") > 0 || cli.get_int("workers-remote") > 0) {
       search::WorkerPoolConfig pool_config;
-      pool_config.workers = static_cast<std::size_t>(cli.get_int("workers"));
+      if (cli.get_int("workers") > 0) {
+        pool_config.workers =
+            static_cast<std::size_t>(cli.get_int("workers"));
+      }
       pool_config.unit_timeout_ms = static_cast<std::uint64_t>(
           cli.get_double("unit-timeout") * 1000.0);
       pool_config.unit_retries =
           static_cast<std::size_t>(cli.get_int("worker-retries"));
+      if (cli.get_int("workers-remote") > 0) {
+        pool_config.remote_workers =
+            static_cast<std::size_t>(cli.get_int("workers-remote"));
+        pool_config.handshake_timeout_ms = static_cast<std::uint64_t>(
+            cli.get_double("handshake-timeout") * 1000.0);
+        if (!cli.get_string("listen").empty() &&
+            !search::parse_host_port(cli.get_string("listen"),
+                                     &pool_config.listen_host,
+                                     &pool_config.listen_port)) {
+          throw std::runtime_error(
+              "--listen requires host:port (e.g. --listen 0.0.0.0:7200)");
+        }
+      }
+      pool_config.steal_after_ms = static_cast<std::uint64_t>(
+          cli.get_double("steal-after") * 1000.0);
       pool = std::make_unique<search::WorkerPool>(config, pool_config);
+      if (pool->listen_port() != 0) {
+        std::printf("listening for qhdl_worker daemons on %s:%u\n",
+                    pool_config.listen_host.c_str(), pool->listen_port());
+      }
       if (pool->degraded()) {
         std::fprintf(stderr,
                      "warning: worker pool degraded to in-process "
@@ -120,12 +161,21 @@ int main(int argc, char** argv) {
 
     if (pool) {
       const search::WorkerPoolStats stats = pool->stats();
-      if (stats.restarts + stats.retried_units + stats.quarantined_units >
+      if (stats.restarts + stats.retried_units + stats.quarantined_units +
+              stats.steals + stats.remote_lost + stats.handshake_rejects >
           0) {
         std::printf("worker pool: %zu restart(s), %zu retried unit(s), %zu "
-                    "quarantined unit(s)\n",
+                    "quarantined unit(s), %zu stolen unit(s)\n",
                     stats.restarts, stats.retried_units,
-                    stats.quarantined_units);
+                    stats.quarantined_units, stats.steals);
+      }
+      if (stats.remote_registered + stats.remote_lost +
+              stats.handshake_rejects >
+          0) {
+        std::printf("worker pool: %zu remote registration(s), %zu remote "
+                    "connection(s) lost, %zu handshake reject(s)\n",
+                    stats.remote_registered, stats.remote_lost,
+                    stats.handshake_rejects);
       }
     }
 

@@ -50,7 +50,8 @@ data::Dataset level_dataset(std::size_t features, const SweepConfig& config) {
 SweepResult run_complexity_sweep(Family family, const SweepConfig& config,
                                  StudyCheckpoint* checkpoint,
                                  WorkerPool* pool,
-                                 const util::CancelToken* cancel) {
+                                 const util::CancelToken* cancel,
+                                 const ProgressFn* progress) {
   if (config.feature_sizes.empty()) {
     throw std::invalid_argument("run_complexity_sweep: no feature sizes");
   }
@@ -79,6 +80,7 @@ SweepResult run_complexity_sweep(Family family, const SweepConfig& config,
         resume.features = features;
         resume.pool = pool;
         resume.cancel = cancel;
+        resume.progress = progress;
         level.search =
             run_repeated_search(specs, dataset, config.search, resume);
         result.levels[i] = std::move(level);

@@ -58,10 +58,14 @@ class WorkerPool;
 /// next unit-window boundary after the token fires (per-job cancellation
 /// for the serve layer); completed units stay in the checkpoint, so a
 /// retried job resumes instead of recomputing.
+/// When `progress` is non-null, it fires after every committed unit window
+/// (see ProgressEvent) — from concurrent level threads, so the handler must
+/// be thread-safe. The serve layer uses this for streaming progress frames.
 SweepResult run_complexity_sweep(Family family, const SweepConfig& config,
                                  StudyCheckpoint* checkpoint = nullptr,
                                  WorkerPool* pool = nullptr,
-                                 const util::CancelToken* cancel = nullptr);
+                                 const util::CancelToken* cancel = nullptr,
+                                 const ProgressFn* progress = nullptr);
 
 /// Convenience: the standard per-level dataset (shared across families so
 /// the comparison is apples-to-apples).

@@ -344,6 +344,24 @@ SearchOutcome search_once(const std::vector<ModelSpec>& sorted_specs,
       }
     }
     if (resume.checkpoint != nullptr) resume.checkpoint->flush();
+    // Progress fires only after the window is committed AND flushed: every
+    // unit a handler hears about is durable, so a consumer acting on the
+    // event (UI, serve progress frame) can never observe work a crash
+    // would take back.
+    if (resume.progress != nullptr && *resume.progress != nullptr &&
+        !outcome.evaluated.empty()) {
+      ProgressEvent event;
+      event.family = resume.family;
+      event.features = resume.features;
+      event.repetition = repetition;
+      event.units_done = outcome.evaluated.size();
+      event.total_units = limit;
+      event.last_spec = outcome.evaluated.back().spec.to_string();
+      event.last_val_accuracy =
+          outcome.evaluated.back().avg_best_val_accuracy;
+      event.winner_found = outcome.winner.has_value();
+      (*resume.progress)(event);
+    }
     next += count;
   }
   outcome.candidates_trained = outcome.evaluated.size();

@@ -24,6 +24,7 @@
 // the reference path (see DESIGN.md §9).
 #pragma once
 
+#include <functional>
 #include <optional>
 
 #include "data/dataset.hpp"
@@ -139,12 +140,31 @@ class WorkerPool;
 /// serve layer (client disconnect, per-job deadline) without touching the
 /// process-global interrupt. Completed units are already recorded and
 /// flushed, so a retried job resumes from where cancellation landed.
+/// Live progress notification, fired by the resume-aware search_once after
+/// each unit window commits (and flushes to the checkpoint, when present).
+/// Replayed checkpoint units count toward units_done, so a resumed search
+/// reports absolute progress. Fired from whatever thread runs the level —
+/// handlers must be thread-safe when sweep levels run concurrently.
+struct ProgressEvent {
+  std::string family;          ///< "" for a standalone search
+  std::size_t features = 0;    ///< complexity level
+  std::size_t repetition = 0;  ///< 0-based repetition index
+  std::size_t units_done = 0;  ///< committed candidates this repetition
+  std::size_t total_units = 0; ///< candidates this repetition will examine
+  std::string last_spec;       ///< spec of the newest committed candidate
+  double last_val_accuracy = 0.0;
+  bool winner_found = false;   ///< the repetition already has its winner
+};
+using ProgressFn = std::function<void(const ProgressEvent&)>;
+
 struct ResumeContext {
   StudyCheckpoint* checkpoint = nullptr;
   std::string family;        ///< family_name() of the sweep ("" standalone)
   std::size_t features = 0;  ///< complexity level
   WorkerPool* pool = nullptr;
   const util::CancelToken* cancel = nullptr;
+  /// Optional progress sink (see ProgressEvent); not owned, may be null.
+  const ProgressFn* progress = nullptr;
 };
 
 /// Sorts specs ascending by analytic FLOPs (stable, deterministic).

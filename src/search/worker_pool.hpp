@@ -1,9 +1,11 @@
-// Supervised multi-process study execution (DESIGN.md §11).
+// Supervised multi-process study execution (DESIGN.md §11, §16).
 //
-// WorkerPool shards candidate evaluations across crash-isolated OS worker
-// processes — re-exec'd instances of the current binary in --worker-mode,
+// WorkerPool shards candidate evaluations across crash-isolated workers
 // speaking the length-prefixed JSON protocol of worker_protocol.hpp over
-// stdin/stdout pipes. The supervisor:
+// one of two transports: stdin/stdout pipes to re-exec'd instances of the
+// current binary in --worker-mode, or TCP connections from remote
+// qhdl_worker daemons that register themselves against the pool's listener
+// (remote_workers > 0). The supervisor:
 //
 //   * enforces a per-unit wall-clock deadline and heartbeat liveness, and
 //     SIGKILLs a worker that exceeds either;
@@ -58,9 +60,33 @@ struct WorkerPoolConfig {
   /// quarantined after 1 + unit_retries failed attempts.
   std::size_t unit_retries = 2;
   /// Respawn backoff after consecutive failures of one worker slot:
-  /// initial * 2^(failures-1), capped at max.
+  /// jittered exponential, initial * 2^(failures-1) capped at max, then
+  /// drawn from [base/2, base] with backoff_with_jitter_ms (seeded — the
+  /// schedule is reproducible under the fault matrix).
   std::uint64_t backoff_initial_ms = 100;
   std::uint64_t backoff_max_ms = 5000;
+  /// Seed for the jittered backoff draw (worker slot index is the salt).
+  std::uint64_t backoff_jitter_seed = 0x71686a69ULL;
+
+  // --- distributed mode (DESIGN.md §16) ---------------------------------
+  /// Expected remote worker registrations. 0 keeps the pool purely local;
+  /// > 0 makes it listen on listen_host:listen_port for qhdl_worker
+  /// daemons and widens the dispatch window to this count. Local pipe
+  /// workers are only spawned as a fallback when no daemon registers (or
+  /// the whole fleet is lost) within handshake_timeout_ms.
+  std::size_t remote_workers = 0;
+  std::string listen_host = "127.0.0.1";
+  /// 0 binds an ephemeral port; query it with WorkerPool::listen_port().
+  std::uint16_t listen_port = 0;
+  /// Registration deadline: per accepted connection (register frame must
+  /// arrive within it) and for the fleet as a whole before the pool falls
+  /// back to local pipe workers.
+  std::uint64_t handshake_timeout_ms = 5000;
+  /// Straggler work-stealing: an idle worker duplicates a unit that has
+  /// been in flight longer than this (first result wins; replicas are
+  /// byte-identical by construction). 0 disables stealing — orphaned-unit
+  /// re-dispatch on transport loss is always on.
+  std::uint64_t steal_after_ms = 0;
 };
 
 /// Supervisor health counters (monotonic over the pool's lifetime).
@@ -68,14 +94,21 @@ struct WorkerPoolStats {
   std::size_t restarts = 0;           ///< worker processes respawned
   std::size_t retried_units = 0;      ///< units that needed >= 1 retry
   std::size_t quarantined_units = 0;  ///< units that exhausted all retries
+  std::size_t steals = 0;             ///< units re-dispatched or duplicated
+  std::size_t remote_registered = 0;  ///< remote registrations accepted
+  std::size_t remote_lost = 0;        ///< remote connections lost
+  std::size_t handshake_rejects = 0;  ///< connections dropped pre-register
 };
 
 class WorkerPool {
  public:
-  /// Validates spawning immediately: one worker is started (then the rest)
-  /// before the constructor returns. If no worker can be spawned the pool
-  /// comes up degraded — evaluate() runs in-process — with the reason in
-  /// degraded_reason(); construction never throws for spawn problems.
+  /// Local mode validates spawning immediately: one worker is started (then
+  /// the rest) before the constructor returns. If no worker can be spawned
+  /// the pool comes up degraded — evaluate() runs in-process — with the
+  /// reason in degraded_reason(); construction never throws for spawn
+  /// problems. Distributed mode (remote_workers > 0) binds the listener in
+  /// the constructor and degrades along the chain remote -> local pipes ->
+  /// in-process as deadlines expire, each step logged.
   WorkerPool(SweepConfig config, WorkerPoolConfig pool_config);
   ~WorkerPool();
 
@@ -94,8 +127,14 @@ class WorkerPool {
   bool degraded() const;
   std::string degraded_reason() const;
 
-  /// Configured worker count (also the dispatch width in degraded mode).
+  /// Current dispatch width: the wider of the live slot count and the
+  /// configured worker target (remote_workers when listening, workers
+  /// otherwise). Also the dispatch width in degraded mode.
   std::size_t worker_count() const;
+
+  /// Bound port when listening for remote workers, 0 otherwise. Lets a
+  /// caller bind an ephemeral port and then tell daemons where to connect.
+  std::uint16_t listen_port() const;
 
   WorkerPoolStats stats() const;
 

@@ -19,9 +19,11 @@
 
 #include "data/preprocess.hpp"
 #include "flops/profiler.hpp"
+#include "util/backend_registry.hpp"
 #include "util/fault_injection.hpp"
 #include "util/interrupt.hpp"
 #include "util/logging.hpp"
+#include "util/socket.hpp"
 #include "util/subprocess.hpp"
 
 namespace qhdl::search {
@@ -400,6 +402,74 @@ WorkUnit work_unit_from_json(const util::Json& json) {
   return unit;
 }
 
+util::Json registration_to_json(const WorkerRegistration& registration) {
+  util::Json json = util::Json::object();
+  json["type"] = "register";
+  json["version"] = registration.version;
+  json["backend"] = registration.backend;
+  json["slots"] = registration.slots;
+  json["slot"] = registration.slot;
+  json["pid"] = registration.pid;
+  return json;
+}
+
+WorkerRegistration registration_from_json(const util::Json& json) {
+  WorkerRegistration registration;
+  try {
+    if (json.at("type").as_string() != "register") {
+      throw std::runtime_error("frame type is not 'register'");
+    }
+    registration.version = static_cast<int>(json.at("version").as_number());
+    registration.backend = json.at("backend").as_string();
+    registration.slots =
+        static_cast<std::size_t>(json.at("slots").as_number());
+    registration.slot = static_cast<std::size_t>(json.at("slot").as_number());
+    registration.pid = static_cast<long>(json.at("pid").as_number());
+  } catch (const std::exception& error) {
+    throw ProtocolError(std::string{"bad register frame: "} + error.what());
+  }
+  return registration;
+}
+
+std::uint64_t backoff_with_jitter_ms(std::uint64_t initial_ms,
+                                     std::uint64_t max_ms,
+                                     std::size_t failures, std::uint64_t seed,
+                                     std::uint64_t salt) {
+  if (failures == 0) failures = 1;
+  std::uint64_t base = initial_ms == 0 ? 1 : initial_ms;
+  for (std::size_t i = 1; i < failures && base < max_ms; ++i) base *= 2;
+  if (max_ms > 0 && base > max_ms) base = max_ms;
+  // SplitMix64 over (seed, salt, failures): deterministic, decorrelated
+  // across salts so simultaneous losers fan out instead of stampeding.
+  std::uint64_t x = seed ^ (salt * 0x9e3779b97f4a7c15ULL) ^
+                    (static_cast<std::uint64_t>(failures) << 32);
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  const std::uint64_t half = base / 2;
+  return base - half + (half == 0 ? 0 : x % (half + 1));
+}
+
+bool parse_host_port(const std::string& text, std::string* host,
+                     std::uint16_t* port) {
+  const auto colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= text.size()) {
+    return false;
+  }
+  const std::string digits = text.substr(colon + 1);
+  if (digits.find_first_not_of("0123456789") != std::string::npos ||
+      digits.size() > 5) {
+    return false;
+  }
+  const unsigned long value = std::stoul(digits);
+  if (value > 65535) return false;
+  *host = text.substr(0, colon);
+  *port = static_cast<std::uint16_t>(value);
+  return true;
+}
+
 // --- unit evaluation ------------------------------------------------------
 
 struct UnitDataCache::Impl {
@@ -490,20 +560,31 @@ CandidateResult quarantined_unit_result(
 
 namespace {
 
-/// Serializes worker stdout: the heartbeat thread and the unit loop both
-/// emit frames on fd 1.
-std::mutex g_stdout_mutex;
+/// Serializes one worker output stream: the heartbeat thread and the unit
+/// loop both emit frames on it (stdout for pipe workers, the connected
+/// socket for TCP daemons).
+class FrameChannel {
+ public:
+  explicit FrameChannel(int fd) : fd_(fd) {}
 
-bool send_frame(const util::Json& payload) {
-  std::lock_guard<std::mutex> lock(g_stdout_mutex);
-  return write_frame(STDOUT_FILENO, payload.dump());
-}
+  bool send(const util::Json& payload) { return send_raw(payload.dump()); }
+
+  bool send_raw(const std::string& payload) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return write_frame(fd_, payload);
+  }
+
+ private:
+  int fd_;
+  std::mutex mutex_;
+};
 
 /// Emits heartbeat frames for one unit on a fixed cadence until stopped.
 class HeartbeatTicker {
  public:
-  HeartbeatTicker(std::string key, std::uint64_t interval_ms)
-      : key_(std::move(key)), interval_ms_(interval_ms) {
+  HeartbeatTicker(std::string key, std::uint64_t interval_ms,
+                  FrameChannel& out)
+      : key_(std::move(key)), interval_ms_(interval_ms), out_(out) {
     thread_ = std::thread([this] { run(); });
   }
 
@@ -528,32 +609,43 @@ class HeartbeatTicker {
                        [this] { return stop_; })) {
         return;
       }
-      std::lock_guard<std::mutex> out(g_stdout_mutex);
       // A failed write means the supervisor is gone; training still runs to
       // completion and the final result write fails the same way.
-      (void)write_frame(STDOUT_FILENO, payload);
+      (void)out_.send_raw(payload);
     }
   }
 
   std::string key_;
   std::uint64_t interval_ms_;
+  FrameChannel& out_;
   std::thread thread_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
 };
 
-}  // namespace
+/// How one protocol session over a descriptor ended.
+enum class WorkerLoopEnd {
+  Shutdown,   ///< supervisor sent a shutdown frame
+  Eof,        ///< supervisor closed the stream at a frame boundary
+  PeerGone,   ///< a write to the supervisor failed mid-session
+  Malformed,  ///< the inbound stream was garbage
+};
 
-int worker_main() {
-  // The supervisor may die while this worker writes to it; a broken pipe
-  // should surface as a failed write, not SIGPIPE.
-  util::install_sigpipe_guard();
+struct WorkerLoopResult {
+  WorkerLoopEnd end = WorkerLoopEnd::Eof;
+  bool saw_init = false;  ///< the session got far enough to be real work
+};
 
+/// The worker side of the protocol, generic over the stream: blocking reads
+/// from `in_fd`, replies through `out`. Shared by pipe workers (stdin/
+/// stdout) and TCP daemon slots (the connected socket, both directions).
+WorkerLoopResult run_worker_loop(int in_fd, FrameChannel& out,
+                                 UnitDataCache& cache) {
   FrameReader reader;
   std::optional<SweepConfig> config;
   std::uint64_t heartbeat_interval_ms = 250;
-  UnitDataCache cache;
+  WorkerLoopResult outcome;
 
   char buffer[4096];
   while (true) {
@@ -562,16 +654,25 @@ int worker_main() {
       payload = reader.next();
     } catch (const ProtocolError& error) {
       util::log_error(std::string{"worker: "} + error.what());
-      return 2;
+      outcome.end = WorkerLoopEnd::Malformed;
+      return outcome;
     }
     if (!payload.has_value()) {
-      const ssize_t n = ::read(STDIN_FILENO, buffer, sizeof(buffer));
+      const ssize_t n = ::read(in_fd, buffer, sizeof(buffer));
       if (n < 0) {
         if (errno == EINTR) continue;
-        util::log_error("worker: stdin read failed");
-        return 2;
+        if (errno == ECONNRESET) {  // a reset peer is a gone peer
+          outcome.end = WorkerLoopEnd::Eof;
+          return outcome;
+        }
+        util::log_error("worker: stream read failed");
+        outcome.end = WorkerLoopEnd::Malformed;
+        return outcome;
       }
-      if (n == 0) return 0;  // supervisor closed the pipe: clean shutdown
+      if (n == 0) {  // supervisor closed the stream: clean shutdown
+        outcome.end = WorkerLoopEnd::Eof;
+        return outcome;
+      }
       reader.feed(buffer, static_cast<std::size_t>(n));
       continue;
     }
@@ -583,10 +684,14 @@ int worker_main() {
       type = frame.at("type").as_string();
     } catch (const std::exception& error) {
       util::log_error(std::string{"worker: bad frame: "} + error.what());
-      return 2;
+      outcome.end = WorkerLoopEnd::Malformed;
+      return outcome;
     }
 
-    if (type == "shutdown") return 0;
+    if (type == "shutdown") {
+      outcome.end = WorkerLoopEnd::Shutdown;
+      return outcome;
+    }
 
     if (type == "init") {
       try {
@@ -595,7 +700,8 @@ int worker_main() {
         if (version != kWorkerProtocolVersion) {
           util::log_error("worker: unsupported protocol version " +
                           std::to_string(version));
-          return 2;
+          outcome.end = WorkerLoopEnd::Malformed;
+          return outcome;
         }
         config = sweep_config_from_json(frame.at("config"));
         heartbeat_interval_ms = static_cast<std::uint64_t>(
@@ -603,22 +709,29 @@ int worker_main() {
       } catch (const std::exception& error) {
         util::log_error(std::string{"worker: bad init frame: "} +
                         error.what());
-        return 2;
+        outcome.end = WorkerLoopEnd::Malformed;
+        return outcome;
       }
+      outcome.saw_init = true;
       util::Json ready = util::Json::object();
       ready["type"] = "ready";
       ready["pid"] = static_cast<long>(::getpid());
-      if (!send_frame(ready)) return 2;
+      if (!out.send(ready)) {
+        outcome.end = WorkerLoopEnd::PeerGone;
+        return outcome;
+      }
       continue;
     }
 
     if (type != "unit") {
       util::log_error("worker: unknown frame type '" + type + "'");
-      return 2;
+      outcome.end = WorkerLoopEnd::Malformed;
+      return outcome;
     }
     if (!config.has_value()) {
       util::log_error("worker: unit frame before init");
-      return 2;
+      outcome.end = WorkerLoopEnd::Malformed;
+      return outcome;
     }
 
     WorkUnit unit;
@@ -626,7 +739,8 @@ int worker_main() {
       unit = work_unit_from_json(frame.at("unit"));
     } catch (const std::exception& error) {
       util::log_error(std::string{"worker: bad unit frame: "} + error.what());
-      return 2;
+      outcome.end = WorkerLoopEnd::Malformed;
+      return outcome;
     }
     const std::string key = unit.key.to_string();
 
@@ -640,16 +754,15 @@ int worker_main() {
         break;
       case util::WorkerFaultMode::Hang:
         // Wedge silently — no heartbeats, no result — until the supervisor
-        // kills this process.
+        // kills this process (or, over TCP, gives up on the connection).
         while (true) {
           std::this_thread::sleep_for(std::chrono::seconds(1));
         }
         break;
       case util::WorkerFaultMode::Garbage: {
         util::log_warn("worker: injected garbage frame on " + key);
-        std::lock_guard<std::mutex> lock(g_stdout_mutex);
         // Valid length prefix, payload that is not JSON.
-        (void)write_frame(STDOUT_FILENO, "\x01\x02garbage, not JSON\x03");
+        (void)out.send_raw("\x01\x02garbage, not JSON\x03");
         ::_exit(3);
         break;
       }
@@ -660,31 +773,135 @@ int worker_main() {
     try {
       CandidateResult result;
       {
-        HeartbeatTicker ticker{key, heartbeat_interval_ms};
+        HeartbeatTicker ticker{key, heartbeat_interval_ms, out};
         result = evaluate_unit(*config, unit, cache);
       }
-      util::Json out = util::Json::object();
-      out["type"] = "result";
-      out["key"] = key;
-      out["result"] = candidate_result_to_json(result);
-      if (!send_frame(out)) return 2;
+      util::Json reply = util::Json::object();
+      reply["type"] = "result";
+      reply["key"] = key;
+      reply["result"] = candidate_result_to_json(result);
+      if (!out.send(reply)) {
+        outcome.end = WorkerLoopEnd::PeerGone;
+        return outcome;
+      }
     } catch (const std::exception& error) {
       // A clean in-worker failure (bad spec, stream-count mismatch, ...):
       // report it instead of dying so the supervisor can retry or
       // quarantine without paying a respawn.
-      util::Json out = util::Json::object();
-      out["type"] = "error";
-      out["key"] = key;
-      out["message"] = std::string{error.what()};
-      if (!send_frame(out)) return 2;
+      util::Json reply = util::Json::object();
+      reply["type"] = "error";
+      reply["key"] = key;
+      reply["message"] = std::string{error.what()};
+      if (!out.send(reply)) {
+        outcome.end = WorkerLoopEnd::PeerGone;
+        return outcome;
+      }
     }
   }
+}
+
+}  // namespace
+
+int worker_main() {
+  // The supervisor may die while this worker writes to it; a broken pipe
+  // should surface as a failed write, not SIGPIPE.
+  util::install_sigpipe_guard();
+  FrameChannel out{STDOUT_FILENO};
+  UnitDataCache cache;
+  const WorkerLoopResult outcome = run_worker_loop(STDIN_FILENO, out, cache);
+  return (outcome.end == WorkerLoopEnd::Shutdown ||
+          outcome.end == WorkerLoopEnd::Eof)
+             ? 0
+             : 2;
+}
+
+int remote_worker_main(const RemoteWorkerOptions& options) {
+  util::install_sigpipe_guard();
+  const std::size_t slots = options.slots == 0 ? 1 : options.slots;
+  std::atomic<bool> gave_up{false};
+  std::vector<std::thread> threads;
+  threads.reserve(slots);
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    threads.emplace_back([&options, slots, slot, &gave_up] {
+      const std::string tag =
+          "qhdl_worker slot " + std::to_string(slot) + ": ";
+      // Level splits are derived from the sweep config, not the connection;
+      // keeping the cache across reconnects avoids re-deriving them after a
+      // supervisor restart.
+      UnitDataCache cache;
+      std::size_t failures = 0;
+      const auto back_off = [&](const std::string& why) {
+        failures += 1;
+        if (options.max_reconnect_failures > 0 &&
+            failures >= options.max_reconnect_failures) {
+          util::log_error(tag + "giving up after " +
+                          std::to_string(failures) + " failed attempts: " +
+                          why);
+          gave_up.store(true);
+          return false;
+        }
+        const std::uint64_t wait = backoff_with_jitter_ms(
+            options.reconnect_initial_ms, options.reconnect_max_ms, failures,
+            options.jitter_seed, slot);
+        util::log_warn(tag + why + "; retrying in " + std::to_string(wait) +
+                       " ms");
+        std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+        return true;
+      };
+
+      while (true) {
+        util::Socket socket;
+        try {
+          socket = util::connect_tcp(options.host, options.port,
+                                     options.connect_timeout_ms);
+        } catch (const std::exception& error) {
+          if (!back_off(error.what())) return;
+          continue;
+        }
+        FrameChannel out{socket.fd()};
+        WorkerRegistration registration;
+        registration.backend = util::simd::active_backend().name;
+        registration.slots = slots;
+        registration.slot = slot;
+        registration.pid = static_cast<long>(::getpid());
+        if (!out.send(registration_to_json(registration))) {
+          if (!back_off("registration write failed")) return;
+          continue;
+        }
+        util::log_info(tag + "registered with " + options.host + ":" +
+                       std::to_string(options.port));
+        const WorkerLoopResult served =
+            run_worker_loop(socket.fd(), out, cache);
+        if (served.end == WorkerLoopEnd::Shutdown) {
+          if (!options.persist) {
+            util::log_info(tag + "shutdown from supervisor; exiting");
+            return;
+          }
+          util::log_info(tag + "shutdown from supervisor; reconnecting "
+                               "(--persist)");
+          failures = 0;
+          continue;
+        }
+        // A served session resets the failure streak: this disconnect is
+        // the first failure of a new one.
+        if (served.saw_init) failures = 0;
+        if (!back_off("connection to supervisor lost")) return;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  return gave_up.load() ? 1 : 0;
 }
 
 #else
 
 int worker_main() {
   util::log_error("worker: --worker-mode requires a POSIX platform");
+  return 2;
+}
+
+int remote_worker_main(const RemoteWorkerOptions&) {
+  util::log_error("worker: --connect requires a POSIX platform");
   return 2;
 }
 

@@ -17,12 +17,20 @@
 //   supervisor -> worker: init {version, config, heartbeat_interval_ms}
 //                         unit {unit}
 //                         shutdown {}
-//   worker -> supervisor: ready {pid}
+//   worker -> supervisor: register {version, backend, slots, slot, pid}
+//                         ready {pid}
 //                         heartbeat {key}        (ticks while training)
 //                         result {key, result}
 //                         error {key, message}   (unit failed cleanly)
 // Anything else — oversized lengths, unparseable JSON, unknown types — is
 // garbage; the supervisor kills the emitting worker and retries the unit.
+//
+// The same protocol runs over two transports (DESIGN.md §16): CLOEXEC pipes
+// to re-exec'd local children (`--workers N`) and TCP connections from
+// remote worker daemons (`qhdl_worker --connect host:port`). Pipe workers
+// are implicitly registered by being spawned; a TCP worker must open with a
+// `register` frame (protocol version, kernel backend name, slot count) and
+// only becomes schedulable once the supervisor answers with `init`.
 #pragma once
 
 #include <cstdint>
@@ -39,7 +47,9 @@
 
 namespace qhdl::search {
 
-inline constexpr int kWorkerProtocolVersion = 1;
+// v2 added the TCP registration handshake (`register` frames); pipe framing
+// and every other frame type are unchanged from v1.
+inline constexpr int kWorkerProtocolVersion = 2;
 
 /// Upper bound on a frame payload; a length prefix beyond it means the
 /// stream is garbage (a real unit/result frame is a few KB).
@@ -125,6 +135,37 @@ util::Rng rng_from_json(const util::Json& json);
 util::Json work_unit_to_json(const WorkUnit& unit);
 WorkUnit work_unit_from_json(const util::Json& json);
 
+/// The opening frame a TCP worker sends after connecting: who it is and
+/// what it brings. `backend` is the worker's active SIMD kernel backend
+/// name — the supervisor warns when it differs from its own, because only
+/// the production backends (generic/avx2/avx512fma) are bit-identical.
+struct WorkerRegistration {
+  int version = kWorkerProtocolVersion;
+  std::string backend;
+  std::size_t slots = 1;  ///< total evaluation slots the daemon offers
+  std::size_t slot = 0;   ///< which of them this connection carries
+  long pid = 0;
+};
+
+util::Json registration_to_json(const WorkerRegistration& registration);
+WorkerRegistration registration_from_json(const util::Json& json);
+
+/// Exponential backoff with deterministic jitter: the exponential base
+/// (initial_ms doubled failures-1 times, capped at max_ms) plus a hash of
+/// (seed, salt, failures) spread over [base/2, base]. Reconnecting daemons
+/// salt with their slot index, so a healed partition does not produce a
+/// synchronized reconnect storm — yet the schedule is a pure function of
+/// its inputs and reproducible under the fault matrix.
+std::uint64_t backoff_with_jitter_ms(std::uint64_t initial_ms,
+                                     std::uint64_t max_ms,
+                                     std::size_t failures, std::uint64_t seed,
+                                     std::uint64_t salt);
+
+/// Splits "host:port" ("127.0.0.1:7401"). Returns false on a malformed
+/// string or an out-of-range port.
+bool parse_host_port(const std::string& text, std::string* host,
+                     std::uint16_t* port);
+
 // --- unit evaluation (shared with the pool's in-process degradation) ------
 
 /// Re-derives level datasets and repetition splits from the sweep config,
@@ -164,5 +205,31 @@ CandidateResult quarantined_unit_result(
 /// shutdown frame; stderr is ordinary logging. Returns the process exit
 /// code. Observes the FaultInjector's `worker` site on each unit receipt.
 int worker_main();
+
+/// Remote worker daemon (qhdl_worker --connect, or a test binary's
+/// --worker-connect). One thread per slot dials the supervisor, sends a
+/// `register` frame, then serves the same init/unit protocol over the
+/// socket until the connection drops or a shutdown frame arrives.
+struct RemoteWorkerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::size_t slots = 1;
+  std::uint64_t connect_timeout_ms = 5000;
+  /// Jittered exponential backoff between reconnect attempts.
+  std::uint64_t reconnect_initial_ms = 200;
+  std::uint64_t reconnect_max_ms = 10000;
+  std::uint64_t jitter_seed = 0x716864'6cULL;  // fixed default: reproducible
+  /// Consecutive failed dial/serve attempts per slot before the slot gives
+  /// up (0 = retry forever). A served session resets the count.
+  std::size_t max_reconnect_failures = 0;
+  /// false: a shutdown frame ends the slot (one supervisor run). true: the
+  /// slot reconnects after shutdown too, so one daemon can serve a sequence
+  /// of supervisors (qhdl_serve spawns a pool per study job).
+  bool persist = false;
+};
+
+/// Runs the daemon until every slot has ended. Returns 0 when all slots
+/// ended on a clean shutdown frame, 1 when any slot gave up reconnecting.
+int remote_worker_main(const RemoteWorkerOptions& options);
 
 }  // namespace qhdl::search

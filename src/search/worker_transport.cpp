@@ -1,0 +1,122 @@
+#include "search/worker_transport.hpp"
+
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#endif
+
+namespace qhdl::search {
+
+namespace {
+
+class PipeTransport final : public WorkerTransport {
+ public:
+  explicit PipeTransport(util::Subprocess process)
+      : process_(std::move(process)) {}
+
+  bool write_wire(const std::string& wire) override {
+    return process_.write_all(wire.data(), wire.size());
+  }
+
+  int read_fd() const override { return process_.stdout_fd(); }
+
+  bool remote() const override { return false; }
+
+  void interrupt(const std::string&) override { process_.terminate(); }
+
+  void request_shutdown(const std::string&) override {
+    process_.close_stdin();
+  }
+
+  std::string finish(bool kill) override {
+    if (kill) process_.kill_hard();
+    return "worker " + process_.wait().to_string();
+  }
+
+  std::string describe() const override {
+    return "pid " + std::to_string(process_.pid());
+  }
+
+ private:
+  util::Subprocess process_;
+};
+
+class TcpTransport final : public WorkerTransport {
+ public:
+  TcpTransport(util::Socket socket, std::string peer)
+      : socket_(std::move(socket)), peer_(std::move(peer)) {}
+
+  bool write_wire(const std::string& wire) override {
+    return socket_.write_all(wire);
+  }
+
+  int read_fd() const override { return socket_.fd(); }
+
+  bool remote() const override { return true; }
+
+  void interrupt(const std::string& shutdown_wire) override {
+    // The daemon's process is out of signal reach; a shutdown frame is the
+    // cooperative stop. It finishes its in-flight unit first — exactly what
+    // SIGTERM forwarding achieves for pipe children.
+    (void)socket_.write_all(shutdown_wire);
+  }
+
+  void request_shutdown(const std::string& shutdown_wire) override {
+    (void)socket_.write_all(shutdown_wire);
+    socket_.shutdown_write();
+  }
+
+  std::string finish(bool) override {
+    // Closing is all the "kill" a connection supports; the daemon notices
+    // and reconnects as a fresh registration.
+    socket_.close();
+    return "connection to " + peer_ + " closed";
+  }
+
+  std::string describe() const override { return peer_; }
+
+ private:
+  util::Socket socket_;
+  std::string peer_;
+};
+
+std::string peer_of(const util::Socket& socket) {
+#if defined(__unix__) || defined(__APPLE__)
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (socket.valid() &&
+      ::getpeername(socket.fd(), reinterpret_cast<sockaddr*>(&addr), &len) ==
+          0 &&
+      addr.sin_family == AF_INET) {
+    char host[INET_ADDRSTRLEN] = {0};
+    if (::inet_ntop(AF_INET, &addr.sin_addr, host, sizeof(host)) != nullptr) {
+      return std::string{host} + ":" + std::to_string(ntohs(addr.sin_port));
+    }
+  }
+#endif
+  return "remote worker";
+}
+
+}  // namespace
+
+std::unique_ptr<WorkerTransport> make_pipe_transport(
+    util::Subprocess process) {
+  return std::make_unique<PipeTransport>(std::move(process));
+}
+
+std::unique_ptr<WorkerTransport> make_tcp_transport(util::Socket socket) {
+  std::string peer = peer_of(socket);
+#if defined(__unix__) || defined(__APPLE__)
+  // The dispatcher multiplexes reads with poll(); a blocking fd would let
+  // one chatty worker starve the others.
+  const int flags = ::fcntl(socket.fd(), F_GETFL, 0);
+  if (flags >= 0) ::fcntl(socket.fd(), F_SETFL, flags | O_NONBLOCK);
+#endif
+  return std::make_unique<TcpTransport>(std::move(socket), std::move(peer));
+}
+
+}  // namespace qhdl::search

@@ -1,0 +1,64 @@
+// Transport abstraction for the supervised worker pool (DESIGN.md §16).
+//
+// The pool speaks one framed protocol (worker_protocol.hpp) over two kinds
+// of stream: CLOEXEC pipes to re-exec'd local children and TCP connections
+// from remote qhdl_worker daemons. Everything the supervisor's dispatcher
+// needs from either is the same four operations — write a frame, expose a
+// pollable read descriptor, interrupt cooperatively, and tear down with a
+// human-readable account of how the worker ended — so both live behind this
+// interface and the dispatcher stays transport-blind.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "util/socket.hpp"
+#include "util/subprocess.hpp"
+
+namespace qhdl::search {
+
+class WorkerTransport {
+ public:
+  virtual ~WorkerTransport() = default;
+
+  /// Writes pre-framed wire bytes (frame_wire output). False when the
+  /// worker is gone; never raises SIGPIPE.
+  virtual bool write_wire(const std::string& wire) = 0;
+
+  /// Non-blocking descriptor carrying worker->supervisor frames, for the
+  /// dispatcher's poll loop.
+  virtual int read_fd() const = 0;
+
+  /// True for TCP workers. Remote workers are never respawned by the
+  /// supervisor — the daemon's reconnect loop re-registers them — and
+  /// losing one is a transport event, not a unit failure.
+  virtual bool remote() const = 0;
+
+  /// Forwards a cooperative stop: SIGTERM to a pipe child, a shutdown frame
+  /// to a TCP worker (whose process the supervisor cannot signal).
+  virtual void interrupt(const std::string& shutdown_wire) = 0;
+
+  /// Asks for a clean end of the session (pool destruction): pipe children
+  /// get stdin EOF, TCP workers get a shutdown frame so a non-persistent
+  /// daemon exits instead of reconnect-looping.
+  virtual void request_shutdown(const std::string& shutdown_wire) = 0;
+
+  /// Hard-stops (when `kill`) and reaps the worker. Returns how it ended —
+  /// "worker exit 0", "worker killed by signal 9", "connection to
+  /// 127.0.0.1:43210 closed" — for retry/quarantine attribution.
+  virtual std::string finish(bool kill) = 0;
+
+  /// Short identity for logs ("pid 12345", "127.0.0.1:43210").
+  virtual std::string describe() const = 0;
+};
+
+/// Wraps a spawned --worker-mode child (stdin frames in, stdout frames out).
+std::unique_ptr<WorkerTransport> make_pipe_transport(
+    util::Subprocess process);
+
+/// Wraps an accepted, registered daemon connection. Flips the socket
+/// non-blocking for the dispatcher's multiplexed reads and records the peer
+/// address for logs.
+std::unique_ptr<WorkerTransport> make_tcp_transport(util::Socket socket);
+
+}  // namespace qhdl::search

@@ -12,6 +12,13 @@ namespace qhdl::serve {
 util::Json round_trip(const std::string& host, std::uint16_t port,
                       const util::Json& request,
                       std::uint64_t reply_timeout_ms) {
+  return round_trip(host, port, request, nullptr, reply_timeout_ms);
+}
+
+util::Json round_trip(
+    const std::string& host, std::uint16_t port, const util::Json& request,
+    const std::function<void(const util::Json&)>& on_progress,
+    std::uint64_t reply_timeout_ms) {
   util::install_sigpipe_guard();
   util::Socket socket = util::connect_tcp(host, port);
   if (!socket.write_all(search::frame_wire(request.dump()))) {
@@ -21,22 +28,30 @@ util::Json round_trip(const std::string& host, std::uint16_t port,
   // NOTE: no shutdown_write() here — the server reads EOF on this socket
   // as "client disconnected" and cancels the pending job, so the write
   // side stays open until the reply arrives.
-  const util::Deadline deadline =
-      reply_timeout_ms == 0 ? util::Deadline::never()
-                            : util::Deadline::after_ms(reply_timeout_ms);
   search::FrameReader reader;
-  std::string payload;
-  const auto status =
-      search::read_frame(socket.fd(), reader, deadline, &payload);
-  if (status == search::FrameReadStatus::Timeout) {
-    throw std::runtime_error("qhdl_serve client: no reply within " +
-                             std::to_string(reply_timeout_ms) + " ms");
+  while (true) {
+    // The timeout re-arms per frame: a streaming study is healthy as long
+    // as *something* (progress or the reply) arrives within the window.
+    const util::Deadline deadline =
+        reply_timeout_ms == 0 ? util::Deadline::never()
+                              : util::Deadline::after_ms(reply_timeout_ms);
+    std::string payload;
+    const auto status =
+        search::read_frame(socket.fd(), reader, deadline, &payload);
+    if (status == search::FrameReadStatus::Timeout) {
+      throw std::runtime_error("qhdl_serve client: no reply within " +
+                               std::to_string(reply_timeout_ms) + " ms");
+    }
+    if (status == search::FrameReadStatus::Eof) {
+      throw std::runtime_error("qhdl_serve client: server closed the "
+                               "connection without a reply");
+    }
+    util::Json frame = util::Json::parse(payload);
+    const bool is_progress = frame.contains("type") &&
+                             frame.at("type").as_string() == "progress";
+    if (!is_progress) return frame;
+    if (on_progress) on_progress(frame);
   }
-  if (status == search::FrameReadStatus::Eof) {
-    throw std::runtime_error("qhdl_serve client: server closed the "
-                             "connection without a reply");
-  }
-  return util::Json::parse(payload);
 }
 
 }  // namespace qhdl::serve

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "util/json.hpp"
@@ -19,6 +20,17 @@ namespace qhdl::serve {
 /// corrupt reply stream.
 util::Json round_trip(const std::string& host, std::uint16_t port,
                       const util::Json& request,
+                      std::uint64_t reply_timeout_ms = 0);
+
+/// Streaming variant: frames with "type":"progress" are handed to
+/// `on_progress` (when non-null) and reading continues; the first
+/// non-progress frame is the terminal reply and is returned. The reply
+/// timeout re-arms per frame, so a long study stays alive as long as
+/// progress keeps flowing. Pair with a request that sets "progress": true
+/// (see protocol.hpp).
+util::Json round_trip(const std::string& host, std::uint16_t port,
+                      const util::Json& request,
+                      const std::function<void(const util::Json&)>& on_progress,
                       std::uint64_t reply_timeout_ms = 0);
 
 }  // namespace qhdl::serve

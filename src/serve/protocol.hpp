@@ -3,8 +3,12 @@
 // Transport: TCP, one length-prefixed JSON frame per message — the exact
 // framing the worker pool speaks over pipes (search/worker_protocol.hpp),
 // including the 16MB cap and the truncation/oversize error behaviour. A
-// connection carries one request and receives exactly one reply frame,
-// then the server closes it.
+// connection carries one request and receives exactly one *terminal* reply
+// frame, then the server closes it. A study request that sets
+// "progress": true additionally receives zero or more {"type":"progress"}
+// frames before the terminal reply — one per committed unit window, with
+// family/features/repetition/units_done/total_units and the last evaluated
+// spec; clients must keep reading until a non-progress frame arrives.
 //
 // Requests:
 //   {"type":"ping"}

@@ -46,9 +46,11 @@ util::Json ServerStats::to_json() const {
   json["client_disconnects"] = client_disconnects;
   json["protocol_errors"] = protocol_errors;
   json["read_timeouts"] = read_timeouts;
+  json["progress_frames"] = progress_frames;
   json["pool_restarts"] = pool_restarts;
   json["pool_retried_units"] = pool_retried_units;
   json["pool_quarantined_units"] = pool_quarantined_units;
+  json["pool_steals"] = pool_steals;
   util::Json cache_json = util::Json::object();
   cache_json["entries"] = cache.entries;
   cache_json["unit_hits"] = cache.unit_hits;
@@ -71,8 +73,18 @@ struct Job {
   std::promise<util::Json> promise;
   std::shared_future<util::Json> reply;
 
+  /// Streaming progress (study requests with "progress": true): the
+  /// executor enqueues frames here and the connection thread drains them
+  /// to the socket while waiting for the reply. Bounded — progress is
+  /// advisory, so under backpressure the oldest frames are dropped.
+  bool wants_progress = false;
+  std::mutex progress_mutex;
+  std::deque<util::Json> progress_frames;
+
   Job() : reply(promise.get_future().share()) {}
 };
+
+constexpr std::size_t kMaxQueuedProgressFrames = 256;
 
 }  // namespace
 
@@ -243,6 +255,9 @@ struct Server::Impl {
     }
     auto job = std::make_shared<Job>();
     job->request = std::move(request);
+    job->wants_progress = type == "study" &&
+                          job->request.contains("progress") &&
+                          job->request.at("progress").as_bool();
     {
       std::lock_guard<std::mutex> lock(queue_mutex);
       if (queue.size() >= cfg.max_queue) {
@@ -265,12 +280,30 @@ struct Server::Impl {
     reply_and_close(socket, job->reply.get());
   }
 
+  /// Drains queued progress frames for `job` onto the socket. Returns
+  /// false when a write fails (client gone). No-op unless the job asked
+  /// for progress.
+  bool flush_progress(util::Socket& socket, Job& job) {
+    if (!job.wants_progress) return true;
+    std::deque<util::Json> frames;
+    {
+      std::lock_guard<std::mutex> lock(job.progress_mutex);
+      frames.swap(job.progress_frames);
+    }
+    for (const util::Json& frame : frames) {
+      if (!socket.write_all(search::frame_wire(frame.dump()))) return false;
+      bump([](ServerStats& s) { ++s.progress_frames; });
+    }
+    return true;
+  }
+
   /// True when the reply became ready; false when the client disconnected
-  /// first.
+  /// first. Streams queued progress frames to the client while waiting.
   bool wait_with_disconnect_watch(util::Socket& socket, Job& job) {
 #if defined(__unix__) || defined(__APPLE__)
     while (job.reply.wait_for(std::chrono::milliseconds(0)) !=
            std::future_status::ready) {
+      if (!flush_progress(socket, job)) return false;
       pollfd pfd{};
       pfd.fd = socket.fd();
       pfd.events = POLLIN;
@@ -285,10 +318,12 @@ struct Server::Impl {
         // is still owed for the request already admitted).
       }
     }
-    return true;
+    // Frames enqueued between the last flush and reply-readiness must land
+    // before the terminal reply frame.
+    return flush_progress(socket, job);
 #else
     job.reply.wait();
-    return true;
+    return flush_progress(socket, job);
 #endif
   }
 
@@ -364,19 +399,52 @@ struct Server::Impl {
     const std::size_t misses_before = checkpoint->replay_misses();
 
     std::unique_ptr<search::WorkerPool> pool;
-    if (cfg.pool_workers > 0 && util::subprocess_supported()) {
+    // Remote fleets don't need local subprocess support: the pool's own
+    // fallback chain (remote -> local pipes -> in-process) handles the
+    // degenerate cases.
+    const bool want_pool = cfg.pool_workers > 0 || cfg.pool.remote_workers > 0;
+    if (want_pool &&
+        (cfg.pool.remote_workers > 0 || util::subprocess_supported())) {
       search::WorkerPoolConfig pool_cfg = cfg.pool;
-      pool_cfg.workers = cfg.pool_workers;
+      if (cfg.pool_workers > 0) pool_cfg.workers = cfg.pool_workers;
       pool = std::make_unique<search::WorkerPool>(config, pool_cfg);
     }
+
+    // Progress streaming: fires from concurrent level threads after each
+    // committed unit window; frames queue on the job (bounded, oldest
+    // dropped) and the connection thread drains them to the socket.
+    search::ProgressFn progress_fn;
+    if (job.wants_progress) {
+      Job* job_ptr = &job;
+      progress_fn = [job_ptr](const search::ProgressEvent& event) {
+        util::Json frame = util::Json::object();
+        frame["type"] = "progress";
+        frame["family"] = event.family;
+        frame["features"] = event.features;
+        frame["repetition"] = event.repetition;
+        frame["units_done"] = event.units_done;
+        frame["total_units"] = event.total_units;
+        frame["last_spec"] = event.last_spec;
+        frame["last_val_accuracy"] = event.last_val_accuracy;
+        frame["winner_found"] = event.winner_found;
+        std::lock_guard<std::mutex> lock(job_ptr->progress_mutex);
+        if (job_ptr->progress_frames.size() >= kMaxQueuedProgressFrames) {
+          job_ptr->progress_frames.pop_front();
+        }
+        job_ptr->progress_frames.push_back(std::move(frame));
+      };
+    }
+
     const search::SweepResult sweep = search::run_complexity_sweep(
-        family, config, checkpoint.get(), pool.get(), &job.cancel);
+        family, config, checkpoint.get(), pool.get(), &job.cancel,
+        progress_fn ? &progress_fn : nullptr);
     if (pool != nullptr) {
       const search::WorkerPoolStats pool_stats = pool->stats();
       bump([&pool_stats](ServerStats& s) {
         s.pool_restarts += pool_stats.restarts;
         s.pool_retried_units += pool_stats.retried_units;
         s.pool_quarantined_units += pool_stats.quarantined_units;
+        s.pool_steals += pool_stats.steals;
       });
     }
     checkpoint->flush();

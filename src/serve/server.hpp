@@ -54,7 +54,12 @@ struct ServerConfig {
   std::size_t cache_capacity = 8;
   /// Worker processes per study job (0 = in-process execution). Knobs for
   /// the spawned pools (deadlines, retries, backoff) ride in `pool`;
-  /// its `workers` field is overridden by pool_workers.
+  /// its `workers` field is overridden by pool_workers when > 0.
+  /// `pool.remote_workers > 0` makes each study job's pool listen on
+  /// `pool.listen_port` for qhdl_worker daemons (which should run with
+  /// --persist, since each job binds the port afresh); with concurrent
+  /// executors only one job holds the port at a time and the others fall
+  /// back to local workers.
   std::size_t pool_workers = 0;
   search::WorkerPoolConfig pool;
 };
@@ -72,10 +77,12 @@ struct ServerStats {
   std::size_t client_disconnects = 0;
   std::size_t protocol_errors = 0;
   std::size_t read_timeouts = 0;
+  std::size_t progress_frames = 0;  ///< streaming progress frames written
   // Aggregated over every per-job worker pool this server has run.
   std::size_t pool_restarts = 0;
   std::size_t pool_retried_units = 0;
   std::size_t pool_quarantined_units = 0;
+  std::size_t pool_steals = 0;
   ResultCacheStats cache;
 
   util::Json to_json() const;

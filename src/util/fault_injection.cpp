@@ -13,7 +13,7 @@ namespace qhdl::util {
 namespace {
 
 enum class FaultAction { Crash, Fail, Nan, Hang, Garbage, Evict, Short, Drop,
-                         Slow };
+                         Slow, Refuse, Reset, Partition };
 
 struct Trigger {
   FaultSite site = FaultSite::UnitBoundary;
@@ -32,6 +32,7 @@ const char* site_name(FaultSite site) {
     case FaultSite::PlanCache: return "plan";
     case FaultSite::SocketAccept: return "accept";
     case FaultSite::SocketRead: return "sock";
+    case FaultSite::Connection: return "conn";
   }
   return "?";
 }
@@ -45,6 +46,7 @@ FaultSite parse_site(const std::string& token, const std::string& spec) {
   if (token == "plan") return FaultSite::PlanCache;
   if (token == "accept") return FaultSite::SocketAccept;
   if (token == "sock") return FaultSite::SocketRead;
+  if (token == "conn") return FaultSite::Connection;
   throw std::invalid_argument("QHDL_FAULT_SPEC: unknown site '" + token +
                               "' in '" + spec + "'");
 }
@@ -52,8 +54,8 @@ FaultSite parse_site(const std::string& token, const std::string& spec) {
 FaultAction parse_action(const std::string& token, FaultSite site,
                          const std::string& spec) {
   if (token == "crash") {
-    if (site == FaultSite::Loss || site == FaultSite::DirSync ||
-        site == FaultSite::PlanCache) {
+    if (site != FaultSite::UnitBoundary && site != FaultSite::IoWrite &&
+        site != FaultSite::Worker) {
       throw std::invalid_argument(
           "QHDL_FAULT_SPEC: 'crash' is not valid for the " +
           std::string{site_name(site)} + " site");
@@ -70,13 +72,26 @@ FaultAction parse_action(const std::string& token, FaultSite site,
     return FaultAction::Fail;
   }
   if (token == "short" || token == "drop" || token == "slow") {
+    if (token == "slow" && site == FaultSite::Connection) {
+      return FaultAction::Slow;
+    }
     if (site != FaultSite::SocketRead) {
       throw std::invalid_argument("QHDL_FAULT_SPEC: '" + token +
-                                  "' is only valid for the sock site");
+                                  "' is only valid for the sock site"
+                                  " ('slow' also for conn)");
     }
     if (token == "short") return FaultAction::Short;
     if (token == "drop") return FaultAction::Drop;
     return FaultAction::Slow;
+  }
+  if (token == "refuse" || token == "reset" || token == "partition") {
+    if (site != FaultSite::Connection) {
+      throw std::invalid_argument("QHDL_FAULT_SPEC: '" + token +
+                                  "' is only valid for the conn site");
+    }
+    if (token == "refuse") return FaultAction::Refuse;
+    if (token == "reset") return FaultAction::Reset;
+    return FaultAction::Partition;
   }
   if (token == "nan") {
     if (site != FaultSite::Loss) {
@@ -163,7 +178,7 @@ struct FaultInjector::Impl {
   /// Lock-free disarmed check: the loss site sits on the per-batch training
   /// hot path, so the common (no injection) case must cost one relaxed load.
   std::atomic<bool> any_armed{false};
-  std::atomic<std::uint64_t> counters[8] = {{0}, {0}, {0}, {0},
+  std::atomic<std::uint64_t> counters[9] = {{0}, {0}, {0}, {0}, {0},
                                             {0}, {0}, {0}, {0}};
 
   /// Counts the arrival and returns the action that fires for it, if any.
@@ -290,6 +305,35 @@ SocketFaultMode FaultInjector::on_socket_read() {
     case FaultAction::Slow:
       return SocketFaultMode::Slow;
     default: return SocketFaultMode::None;
+  }
+}
+
+bool FaultInjector::on_connect_attempt(const std::string& target) {
+  FaultAction action;
+  if (!impl_->fire(FaultSite::Connection, &action)) return false;
+  if (action != FaultAction::Refuse) return false;
+  log_warn("fault injection: refusing outbound connection to " + target +
+           " (arrival " + std::to_string(arrivals(FaultSite::Connection)) +
+           ")");
+  return true;
+}
+
+ConnFaultMode FaultInjector::on_connection(const std::string& where) {
+  FaultAction action;
+  if (!impl_->fire(FaultSite::Connection, &action)) {
+    return ConnFaultMode::None;
+  }
+  switch (action) {
+    case FaultAction::Reset:
+      log_warn("fault injection: resetting worker connection (" + where +
+               ")");
+      return ConnFaultMode::Reset;
+    case FaultAction::Partition:
+      log_warn("fault injection: partitioning worker connection (" + where +
+               ")");
+      return ConnFaultMode::Partition;
+    case FaultAction::Slow: return ConnFaultMode::Slow;
+    default: return ConnFaultMode::None;
   }
 }
 

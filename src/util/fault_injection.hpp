@@ -12,7 +12,7 @@
 // Spec grammar (sites separated by ';'):
 //   <site>=<action>@<trigger>[,<trigger>...]
 // where
-//   site    = unit | io | dir | loss | worker | plan | accept | sock
+//   site    = unit | io | dir | loss | worker | plan | accept | sock | conn
 //   action  = crash (unit/io: throw InjectedCrash; worker: std::abort(),
 //                    so the worker process dies by signal mid-unit)
 //           | fail  (io/dir: throw std::runtime_error, like a full disk /
@@ -33,7 +33,19 @@
 //                    descriptive truncated-frame error)
 //           | slow  (sock: the framed read stalls without consuming data,
 //                    emulating a slow-loris peer — the read deadline, not
-//                    the peer, must bound the wait)
+//                    the peer, must bound the wait;
+//                    conn: the supervisor stalls reading a worker connection
+//                    this arrival — a slow registration handshake must be
+//                    bounded by the handshake deadline)
+//           | refuse (conn: an outbound connect_tcp throws as if the peer
+//                    refused — reconnect/backoff must retry)
+//           | reset (conn: an established remote-worker connection is torn
+//                    down as if the peer sent RST — the unit it was running
+//                    must be re-dispatched without losing determinism)
+//           | partition (conn: the supervisor stops reading a remote-worker
+//                    connection without closing it — heartbeat liveness, not
+//                    the transport, must detect the split; the daemon's
+//                    reconnect is the heal)
 // and trigger = 1-based arrival count, with an optional '+' suffix meaning
 // "this arrival and every one after it".
 // Examples:
@@ -46,6 +58,8 @@
 //   QHDL_FAULT_SPEC="accept=fail@1"     1st accepted connection is dropped
 //   QHDL_FAULT_SPEC="sock=short@1+"     every socket read is 1 byte
 //   QHDL_FAULT_SPEC="sock=short@1;sock=drop@2"  disconnect mid-frame
+//   QHDL_FAULT_SPEC="conn=refuse@1"     1st outbound connect is refused
+//   QHDL_FAULT_SPEC="conn=reset@1"      1st worker-connection event resets
 //
 // The worker site only arrives inside --worker-mode processes (each with its
 // own fresh counters), so "worker=crash@2" means "every worker instance dies
@@ -71,6 +85,7 @@ enum class FaultSite {
   PlanCache = 5,
   SocketAccept = 6,
   SocketRead = 7,
+  Connection = 8,
 };
 
 /// What a worker process should do with the unit it just received.
@@ -78,6 +93,9 @@ enum class WorkerFaultMode { None, Crash, Hang, Garbage };
 
 /// What a framed socket read should emulate for this read attempt.
 enum class SocketFaultMode { None, ShortRead, Disconnect, Slow };
+
+/// What a remote-worker connection event should emulate (supervisor side).
+enum class ConnFaultMode { None, Refuse, Reset, Partition, Slow };
 
 /// Emulates a process kill at an injection site. Deliberately NOT derived
 /// from std::runtime_error: ordinary error handling must not absorb it, so
@@ -149,6 +167,17 @@ class FaultInjector {
   /// short/drop/slow happen in the frame-read loop, not here (see
   /// search::read_frame in worker_protocol.cpp).
   SocketFaultMode on_socket_read();
+
+  /// Outbound TCP connect attempt: true when a `conn=refuse` trigger fires
+  /// and connect_tcp should throw as if the peer refused the connection.
+  /// Other conn actions do not fire here (the arrival is still counted).
+  bool on_connect_attempt(const std::string& target);
+
+  /// Remote-worker connection event on the supervisor (one arrival per
+  /// handshaking or busy connection per dispatcher tick): which network
+  /// misbehaviour to emulate (None when no trigger fires). Reset/partition/
+  /// slow are acted on by the worker pool; `conn=refuse` does not fire here.
+  ConnFaultMode on_connection(const std::string& where);
 
  private:
   FaultInjector();

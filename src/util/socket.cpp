@@ -11,6 +11,7 @@
 #if defined(__unix__) || defined(__APPLE__)
 #define QHDL_HAVE_SOCKETS 1
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -109,27 +110,104 @@ void Socket::close() {
   }
 }
 
-Socket connect_tcp(const std::string& host, std::uint16_t port) {
+Socket connect_tcp(const std::string& host, std::uint16_t port,
+                   std::uint64_t timeout_ms) {
+  const std::string target = host + ":" + std::to_string(port);
+  if (FaultInjector::instance().on_connect_attempt(target)) {
+    throw std::runtime_error("connect_tcp: injected connection refused (" +
+                             target + ")");
+  }
   const sockaddr_in addr = make_addr(host, port);
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     throw std::runtime_error(std::string{"connect_tcp: socket failed: "} +
                              std::strerror(errno));
   }
-  int rc;
-  do {
-    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                   sizeof(addr));
-  } while (rc < 0 && errno == EINTR);
-  if (rc < 0) {
-    const int saved = errno;
-    ::close(fd);
-    throw std::runtime_error("connect_tcp: connect to " + host + ":" +
-                             std::to_string(port) + " failed: " +
-                             std::strerror(saved));
+  if (timeout_ms == 0) {
+    int rc;
+    do {
+      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) {
+      const int saved = errno;
+      ::close(fd);
+      throw std::runtime_error("connect_tcp: connect to " + target +
+                               " failed: " + std::strerror(saved));
+    }
+  } else {
+    // Deadline-bounded connect: a plain ::connect against a black-holed
+    // host blocks for the OS default (often minutes). Flip the socket
+    // non-blocking, poll for writability, and read the outcome back with
+    // SO_ERROR before restoring blocking mode.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+      const int saved = errno;
+      ::close(fd);
+      throw std::runtime_error(std::string{"connect_tcp: fcntl failed: "} +
+                               std::strerror(saved));
+    }
+    int rc;
+    do {
+      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0 && errno != EINPROGRESS) {
+      const int saved = errno;
+      ::close(fd);
+      throw std::runtime_error("connect_tcp: connect to " + target +
+                               " failed: " + std::strerror(saved));
+    }
+    if (rc < 0) {  // in progress: wait for the handshake or the deadline
+      const Deadline deadline = Deadline::after_ms(timeout_ms);
+      bool writable = false;
+      while (!deadline.expired()) {
+        pollfd pfd{};
+        pfd.fd = fd;
+        pfd.events = POLLOUT;
+        const std::uint64_t remaining = deadline.remaining_ms();
+        const int slice = static_cast<int>(remaining < 100 ? remaining : 100);
+        const int ready = ::poll(&pfd, 1, slice);
+        if (ready < 0) {
+          if (errno == EINTR) continue;
+          const int saved = errno;
+          ::close(fd);
+          throw std::runtime_error(
+              std::string{"connect_tcp: poll failed: "} +
+              std::strerror(saved));
+        }
+        if (ready > 0) {
+          writable = true;
+          break;
+        }
+      }
+      if (!writable) {
+        ::close(fd);
+        throw std::runtime_error("connect_tcp: connect to " + target +
+                                 " timed out after " +
+                                 std::to_string(timeout_ms) + " ms");
+      }
+      int err = 0;
+      socklen_t len = sizeof(err);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+        err = errno;
+      }
+      if (err != 0) {
+        ::close(fd);
+        throw std::runtime_error("connect_tcp: connect to " + target +
+                                 " failed: " + std::strerror(err));
+      }
+    }
+    if (::fcntl(fd, F_SETFL, flags) < 0) {
+      const int saved = errno;
+      ::close(fd);
+      throw std::runtime_error(std::string{"connect_tcp: fcntl failed: "} +
+                               std::strerror(saved));
+    }
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  ::setsockopt(fd, SOL_SOCKET, SO_KEEPALIVE, &one, sizeof(one));
   return Socket{fd};
 }
 
@@ -222,7 +300,7 @@ bool Socket::write_all(const char*, std::size_t) { return false; }
 void Socket::shutdown_write() {}
 void Socket::close() { fd_ = -1; }
 
-Socket connect_tcp(const std::string&, std::uint16_t) {
+Socket connect_tcp(const std::string&, std::uint16_t, std::uint64_t) {
   throw std::runtime_error(
       "connect_tcp: TCP sockets are not supported on this platform");
 }

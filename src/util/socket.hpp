@@ -59,9 +59,16 @@ class Socket {
   int fd_ = -1;
 };
 
-/// Connects to host:port (numeric IPv4 such as "127.0.0.1"). Blocking;
-/// throws std::runtime_error when the connection cannot be established.
-Socket connect_tcp(const std::string& host, std::uint16_t port);
+/// Connects to host:port (numeric IPv4 such as "127.0.0.1"). Throws
+/// std::runtime_error when the connection cannot be established. With
+/// timeout_ms == 0 the connect blocks on the OS default (minutes against a
+/// black-holed host); a positive timeout runs the connect non-blocking and
+/// bounds the wait. Either way the returned socket is blocking again, with
+/// TCP_NODELAY (framed request/reply traffic) and SO_KEEPALIVE (long-lived
+/// worker connections must eventually notice a silently dead peer) set.
+/// Observes the `conn=refuse` fault site before dialing.
+Socket connect_tcp(const std::string& host, std::uint16_t port,
+                   std::uint64_t timeout_ms = 0);
 
 /// A bound, listening TCP socket. Move-only.
 class ListenSocket {

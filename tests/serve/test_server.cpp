@@ -181,6 +181,48 @@ TEST_F(ServeServerTest, PoolBackedStudyMatchesInProcessBytes) {
   EXPECT_EQ(reply.at("sweep").dump(2), direct.at("sweep").dump(2));
 }
 
+TEST_F(ServeServerTest, StudyWithProgressStreamsFramesBeforeTheReply) {
+  const search::SweepConfig config = tiny_study();
+  const std::string direct =
+      search::sweep_to_json(
+          search::run_complexity_sweep(search::Family::Classical, config))
+          .dump(2);
+
+  Server server{ServerConfig{}};
+  server.start();
+  util::Json request = make_study_request(search::Family::Classical, config);
+  request["progress"] = true;
+
+  std::vector<util::Json> progress;
+  const util::Json reply = round_trip(
+      "127.0.0.1", server.port(), request,
+      [&progress](const util::Json& frame) { progress.push_back(frame); },
+      120000);
+  ASSERT_EQ(reply.at("type").as_string(), "result");
+  // One frame per committed unit window; the tiny study has 2 units and a
+  // window of at least 1, so at least one frame must have streamed.
+  ASSERT_GE(progress.size(), 1u);
+  for (const util::Json& frame : progress) {
+    EXPECT_EQ(frame.at("type").as_string(), "progress");
+    EXPECT_EQ(frame.at("family").as_string(), "classical");
+    EXPECT_EQ(frame.at("features").as_number(), 4.0);
+    EXPECT_GE(frame.at("units_done").as_number(), 1.0);
+    EXPECT_LE(frame.at("units_done").as_number(),
+              frame.at("total_units").as_number());
+    EXPECT_TRUE(frame.contains("last_spec"));
+  }
+  // Progress observation must not perturb the bytes: the streamed study's
+  // result is the in-process baseline's.
+  EXPECT_EQ(reply.at("sweep").dump(2), direct);
+  EXPECT_GE(server.stats().progress_frames, progress.size());
+
+  // A plain request on the same server still gets exactly one frame.
+  const util::Json plain = round_trip(
+      "127.0.0.1", server.port(),
+      make_study_request(search::Family::Classical, config), 120000);
+  EXPECT_EQ(plain.at("sweep").dump(2), direct);
+}
+
 TEST_F(ServeServerTest, OverloadedQueueShedsDeterministically) {
   ServerConfig config;
   config.executors = 1;

@@ -1,12 +1,16 @@
 // Shared gtest entry point for every test binary. It intercepts
-// --worker-mode before gtest sees the argv, so any test binary can serve as
-// its own worker-pool child process (the pool's default command re-execs
-// the current executable — util::current_executable_path()). This is what
-// lets the worker-pool tests spawn real supervised OS processes without a
-// separate worker binary.
+// --worker-mode / --worker-connect before gtest sees the argv, so any test
+// binary can serve as its own worker-pool child process (the pool's default
+// command re-execs the current executable —
+// util::current_executable_path()) or as a remote qhdl_worker daemon for
+// the distributed-pool tests. This is what lets those tests spawn real
+// supervised OS processes without a separate worker binary.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
+#include <stdexcept>
+#include <string>
 
 #include "search/worker_protocol.hpp"
 
@@ -14,6 +18,31 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--worker-mode") == 0) {
       return qhdl::search::worker_main();
+    }
+    if (std::strcmp(argv[i], "--worker-connect") == 0 && i + 1 < argc) {
+      qhdl::search::RemoteWorkerOptions options;
+      if (!qhdl::search::parse_host_port(argv[i + 1], &options.host,
+                                         &options.port)) {
+        std::fprintf(stderr, "--worker-connect needs host:port\n");
+        return 2;
+      }
+      // Tests want fast turnarounds, not production backoff curves.
+      options.connect_timeout_ms = 2000;
+      options.reconnect_initial_ms = 50;
+      options.reconnect_max_ms = 500;
+      for (int j = 1; j < argc; ++j) {
+        if (std::strcmp(argv[j], "--worker-slots") == 0 && j + 1 < argc) {
+          options.slots = static_cast<std::size_t>(std::atoi(argv[j + 1]));
+        } else if (std::strcmp(argv[j], "--worker-max-retries") == 0 &&
+                   j + 1 < argc) {
+          options.max_reconnect_failures =
+              static_cast<std::size_t>(std::atoi(argv[j + 1]));
+        } else if (std::strcmp(argv[j], "--worker-persist") == 0) {
+          options.persist = true;
+        }
+      }
+      if (options.slots == 0) options.slots = 1;
+      return qhdl::search::remote_worker_main(options);
     }
   }
   ::testing::InitGoogleTest(&argc, argv);

@@ -144,6 +144,46 @@ TEST_F(FaultInjectionTest, SocketSitesFireAndCount) {
   EXPECT_EQ(injector.on_socket_read(), SocketFaultMode::None);
 }
 
+TEST_F(FaultInjectionTest, ConnectionSiteActionValidity) {
+  FaultInjector& injector = FaultInjector::instance();
+  // The connection vocabulary parses...
+  EXPECT_NO_THROW(injector.configure("conn=refuse@1"));
+  EXPECT_NO_THROW(injector.configure("conn=reset@2"));
+  EXPECT_NO_THROW(injector.configure("conn=partition@1,3"));
+  EXPECT_NO_THROW(injector.configure("conn=slow@1+"));
+  // ...but only on its own site, and only its own actions.
+  EXPECT_THROW(injector.configure("conn=nan@1"), std::invalid_argument);
+  EXPECT_THROW(injector.configure("conn=crash@1"), std::invalid_argument);
+  EXPECT_THROW(injector.configure("unit=refuse@1"), std::invalid_argument);
+  EXPECT_THROW(injector.configure("sock=reset@1"), std::invalid_argument);
+  EXPECT_THROW(injector.configure("worker=partition@1"),
+               std::invalid_argument);
+}
+
+TEST_F(FaultInjectionTest, ConnectionSiteFiresAndCounts) {
+  FaultInjector& injector = FaultInjector::instance();
+  injector.configure("conn=refuse@1;conn=reset@2;conn=partition@3;"
+                     "conn=slow@4+");
+  // refuse fires only on the connect-attempt helper; the same arrival
+  // stream feeds both helpers (one shared site counter).
+  EXPECT_TRUE(injector.on_connect_attempt("127.0.0.1:7401"));
+  EXPECT_EQ(injector.on_connection("unit a"), ConnFaultMode::Reset);
+  EXPECT_EQ(injector.on_connection("unit b"), ConnFaultMode::Partition);
+  EXPECT_EQ(injector.on_connection("handshake"), ConnFaultMode::Slow);
+  EXPECT_EQ(injector.on_connection("handshake"), ConnFaultMode::Slow);
+  EXPECT_EQ(injector.arrivals(FaultSite::Connection), 5u);
+
+  // The cross-helper cases: reset/partition/slow never fire on a connect
+  // attempt, refuse never fires on a connection event.
+  injector.configure("conn=reset@1;conn=refuse@2");
+  EXPECT_FALSE(injector.on_connect_attempt("x"));  // reset: wrong helper
+  EXPECT_EQ(injector.on_connection("y"), ConnFaultMode::None);  // refuse
+
+  injector.configure("");
+  EXPECT_FALSE(injector.on_connect_attempt("x"));
+  EXPECT_EQ(injector.on_connection("y"), ConnFaultMode::None);
+}
+
 TEST_F(FaultInjectionTest, InjectedCrashIsNotARuntimeError) {
   // The crash must never be absorbable by ordinary catch(runtime_error)
   // error handling — only a top-level catch(std::exception) or the OS sees

@@ -74,7 +74,11 @@ int main(int argc, char** argv) {
               "Override the study's thread width (0 = keep preset)");
   cli.add_int("ms", 100, "Sleep duration for --type sleep");
   cli.add_double("timeout", 0.0,
-                 "Reply timeout in seconds (0 = wait forever)");
+                 "Reply timeout in seconds (0 = wait forever; with "
+                 "--progress it re-arms per received frame)");
+  cli.add_flag("progress",
+               "Stream per-unit-window progress frames for --type study "
+               "(printed to stderr, one line each)");
   cli.add_flag("quiet", "Suppress progress logging");
   try {
     if (!cli.parse(argc, argv)) return 0;
@@ -123,9 +127,28 @@ int main(int argc, char** argv) {
       throw std::runtime_error("unknown --type '" + type + "'");
     }
 
-    const util::Json reply = serve::round_trip(
-        cli.get_string("host"), resolve_port(cli), request,
-        static_cast<std::uint64_t>(cli.get_double("timeout") * 1000.0));
+    const auto timeout_ms =
+        static_cast<std::uint64_t>(cli.get_double("timeout") * 1000.0);
+    util::Json reply;
+    if (cli.flag("progress") && type == "study") {
+      request["progress"] = true;
+      reply = serve::round_trip(
+          cli.get_string("host"), resolve_port(cli), request,
+          [](const util::Json& frame) {
+            std::fprintf(
+                stderr, "progress: %s features=%d rep=%d unit %d/%d%s\n",
+                frame.at("family").as_string().c_str(),
+                static_cast<int>(frame.at("features").as_number()),
+                static_cast<int>(frame.at("repetition").as_number()),
+                static_cast<int>(frame.at("units_done").as_number()),
+                static_cast<int>(frame.at("total_units").as_number()),
+                frame.at("winner_found").as_bool() ? " (winner found)" : "");
+          },
+          timeout_ms);
+    } else {
+      reply = serve::round_trip(cli.get_string("host"), resolve_port(cli),
+                                request, timeout_ms);
+    }
     std::printf("%s\n", reply.dump(2).c_str());
 
     const std::string reply_type = reply.at("type").as_string();

@@ -14,6 +14,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <stdexcept>
 #include <thread>
 
 #include "search/worker_protocol.hpp"
@@ -82,6 +83,21 @@ int main(int argc, char** argv) {
   cli.add_int("worker-retries", 2,
               "Failed attempts allowed per unit beyond the first before "
               "quarantine (with --workers)");
+  cli.add_int("workers-listen", 0,
+              "Fixed port for remote qhdl_worker daemons (requires "
+              "--workers-remote; daemons should use --persist since each "
+              "study job runs its own pool). With --executors > 1 only one "
+              "job can bind the port at a time; the others fall back to "
+              "local workers");
+  cli.add_int("workers-remote", 0,
+              "Expected remote worker registrations per study job; falls "
+              "back to local --workers (or 2) if none arrive within "
+              "--handshake-timeout");
+  cli.add_double("handshake-timeout", 5.0,
+                 "Remote registration deadline in seconds");
+  cli.add_double("steal-after", 0.0,
+                 "Duplicate a straggling unit onto an idle worker after "
+                 "this many seconds in flight (0 = off)");
   cli.add_flag("quiet", "Suppress progress logging");
   try {
     if (!cli.parse(argc, argv)) return 0;
@@ -106,6 +122,22 @@ int main(int argc, char** argv) {
         static_cast<std::uint64_t>(cli.get_double("unit-timeout") * 1000.0);
     config.pool.unit_retries =
         static_cast<std::size_t>(cli.get_int("worker-retries"));
+    if (cli.get_int("workers-remote") > 0) {
+      if (cli.get_int("workers-listen") <= 0 ||
+          cli.get_int("workers-listen") > 65535) {
+        throw std::runtime_error(
+            "--workers-remote needs --workers-listen <port>: per-job pools "
+            "must rebind a port the daemons know");
+      }
+      config.pool.remote_workers =
+          static_cast<std::size_t>(cli.get_int("workers-remote"));
+      config.pool.listen_port =
+          static_cast<std::uint16_t>(cli.get_int("workers-listen"));
+      config.pool.handshake_timeout_ms = static_cast<std::uint64_t>(
+          cli.get_double("handshake-timeout") * 1000.0);
+    }
+    config.pool.steal_after_ms =
+        static_cast<std::uint64_t>(cli.get_double("steal-after") * 1000.0);
 
     serve::Server server{std::move(config)};
     server.start();
